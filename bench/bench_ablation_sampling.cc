@@ -1,0 +1,68 @@
+// Ablation: methodology robustness of the ball-growing estimates.
+//
+// The paper samples ball centers "for larger subgraphs ... for a
+// sufficiently large number of randomly chosen nodes". This bench
+// quantifies how many centers the qualitative classification actually
+// needs: the Section 4.4 signature of a PLRG and the AS stand-in must be
+// stable from very few centers up, and the link-value classification
+// stable across source subsampling -- the evidence behind the harness'
+// default budgets.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/report.h"
+#include "core/suite.h"
+#include "hierarchy/link_value.h"
+
+int main() {
+  using namespace topogen;
+  std::printf("# Ablation: sampling budgets (scale=%s)\n",
+              bench::ScaleName().c_str());
+  core::RosterOptions ro = bench::Roster();
+  const core::Topology plrg = core::MakePlrg(ro);
+  const core::Topology as = core::MakeAs(ro);
+
+  std::printf("# Signature vs ball-center budget\n");
+  core::PrintTableHeader(std::cout, {"Centers", "PLRG", "AS"});
+  bool stable = true;
+  std::string ref_plrg, ref_as;
+  for (const std::size_t centers : {4u, 8u, 16u, 32u}) {
+    core::SuiteOptions so = bench::Suite();
+    so.ball.max_centers = centers;
+    so.ball.big_ball_centers = std::max<std::size_t>(2, centers / 4);
+    const std::string sp = core::RunBasicMetrics(plrg, so).signature.ToString();
+    const std::string sa = core::RunBasicMetrics(as, so).signature.ToString();
+    if (ref_plrg.empty()) {
+      ref_plrg = sp;
+      ref_as = sa;
+    }
+    stable &= sp == ref_plrg && sa == ref_as;
+    core::PrintTableRow(std::cout,
+                        {core::Num(static_cast<double>(centers)), sp, sa});
+  }
+
+  std::printf("\n# Hierarchy class vs link-value source budget (AS)\n");
+  core::PrintTableHeader(std::cout, {"Sources", "Class", "TopValue"});
+  hierarchy::HierarchyClass ref_class{};
+  bool first = true;
+  for (const std::size_t sources : {300u, 600u, 1200u}) {
+    const hierarchy::LinkValueResult lv = hierarchy::ComputeLinkValues(
+        as.graph, {.max_sources = sources, .seed = 23});
+    const auto cls = hierarchy::ClassifyHierarchy(lv);
+    if (first) {
+      ref_class = cls;
+      first = false;
+    }
+    stable &= cls == ref_class;
+    double top = 0;
+    for (double v : lv.value) top = std::max(top, v);
+    core::PrintTableRow(
+        std::cout,
+        {core::Num(static_cast<double>(sources)), hierarchy::ToString(cls),
+         core::Num(top / as.graph.num_nodes(), 3)});
+  }
+  std::printf("\n# %s\n", stable ? "stable across budgets"
+                                 : "UNSTABLE across budgets");
+  return stable ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+// Shared setup for the figure-regeneration harness.
+//
+// Every bench binary prints the rows/series behind one of the paper's
+// tables or figures (gnuplot-style "# panel / # curve / x y" blocks, see
+// core/report.h) followed by a qualitative shape summary that
+// EXPERIMENTS.md records as paper-vs-measured.
+//
+// Scale is controlled by the TOPOGEN_SCALE environment variable:
+//   small   - quick smoke runs (CI-sized, ~seconds per bench)
+//   default - the scale EXPERIMENTS.md reports (minutes for the suite)
+//   full    - paper-sized where feasible (AS at 10941 nodes etc.)
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "core/roster.h"
+#include "core/suite.h"
+#include "hierarchy/link_value.h"
+
+namespace topogen::bench {
+
+inline std::string ScaleName() {
+  const char* env = std::getenv("TOPOGEN_SCALE");
+  return env == nullptr ? "default" : env;
+}
+
+inline core::RosterOptions Roster() {
+  core::RosterOptions ro;
+  ro.seed = 42;
+  const std::string scale = ScaleName();
+  if (scale == "small") {
+    ro.as_nodes = 1500;
+    ro.rl_expansion_ratio = 4.0;
+    ro.plrg_nodes = 4000;
+    ro.degree_based_nodes = 3000;
+  } else if (scale == "full") {
+    ro.as_nodes = 10941;
+    ro.rl_expansion_ratio = 15.6;  // -> ~170k routers, the May 2001 map
+    ro.plrg_nodes = 10000;
+    ro.degree_based_nodes = 10000;
+  } else {
+    ro.as_nodes = 4000;
+    ro.rl_expansion_ratio = 6.0;
+    ro.plrg_nodes = 10000;
+    ro.degree_based_nodes = 8000;
+  }
+  return ro;
+}
+
+inline core::SuiteOptions Suite() {
+  core::SuiteOptions so;
+  const std::string scale = ScaleName();
+  if (scale == "small") {
+    so.ball.max_centers = 8;
+    so.ball.big_ball_centers = 3;
+    so.expansion.max_sources = 500;
+  } else {
+    so.ball.max_centers = 16;
+    so.ball.big_ball_centers = 4;
+    so.expansion.max_sources = 1500;
+  }
+  return so;
+}
+
+// Source budget for link-value analysis (exact up to this many sources).
+inline std::size_t LinkValueSources() {
+  return ScaleName() == "small" ? 600 : 1500;
+}
+
+}  // namespace topogen::bench

@@ -1,0 +1,80 @@
+// Extension experiment: the paper's thesis as a single experiment.
+//
+// Section 1 argues local and global properties are separable, and
+// Section 6 concludes that the Internet's large-scale structure follows
+// from its degree distribution plus "fairly random connection of nodes".
+// The sharpest test: take the measured (stand-in) AS graph, randomize it
+// with Maslov-Sneppen degree-preserving rewiring -- every node keeps its
+// exact degree, everything else is destroyed -- and re-measure.
+//
+// Expected: the L/H signature (HHL) and the moderate hierarchy survive
+// the rewiring (they are carried by the degree sequence), while the
+// clustering coefficient (a local property the paper's Section 4.4
+// closing paragraph says PLRG misses) collapses.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/report.h"
+#include "core/suite.h"
+#include "gen/degree_seq.h"
+#include "hierarchy/link_value.h"
+#include "metrics/clustering.h"
+
+int main() {
+  using namespace topogen;
+  const core::RosterOptions ro = bench::Roster();
+  std::printf("# Extension: degree-preserving rewiring of the AS graph "
+              "(scale=%s)\n",
+              bench::ScaleName().c_str());
+
+  const core::Topology as = core::MakeAs(ro);
+  graph::Rng rng(61);
+  core::Topology rewired{"AS-rewired", core::Category::kMeasured,
+                         gen::DegreePreservingRewire(as.graph, rng), {},
+                         "Maslov-Sneppen, 3 swaps/edge"};
+
+  core::SuiteOptions so = bench::Suite();
+  const hierarchy::LinkValueOptions lv{
+      .max_sources = bench::LinkValueSources(), .seed = 23};
+
+  core::PrintTableHeader(std::cout, {"Graph", "Signature", "Hierarchy",
+                                     "Clustering", "AvgDeg"});
+  std::string sig[2];
+  hierarchy::HierarchyClass cls[2];
+  double clust[2];
+  const core::Topology* graphs[2] = {&as, &rewired};
+  for (int i = 0; i < 2; ++i) {
+    const core::BasicMetrics m = core::RunBasicMetrics(*graphs[i], so);
+    const hierarchy::LinkValueResult r =
+        hierarchy::ComputeLinkValues(graphs[i]->graph, lv);
+    sig[i] = m.signature.ToString();
+    cls[i] = hierarchy::ClassifyHierarchy(r);
+    clust[i] = metrics::ClusteringCoefficient(graphs[i]->graph);
+    core::PrintTableRow(std::cout,
+                        {graphs[i]->name, sig[i], hierarchy::ToString(cls[i]),
+                         core::Num(clust[i], 4),
+                         core::Num(graphs[i]->graph.average_degree(), 3)});
+  }
+
+  const bool structure_survives = sig[0] == sig[1] && cls[0] == cls[1];
+  // Rewiring cannot reduce clustering below the configuration-model
+  // baseline a heavy-tailed degree sequence carries intrinsically (hub
+  // co-neighbors stay likely to be linked); what it destroys is the
+  // *planted* excess. Expect a clear drop, not annihilation.
+  const bool local_drops = clust[1] < 0.8 * clust[0];
+  std::printf("\n# Large-scale structure survives rewiring: %s "
+              "(signature %s->%s, hierarchy %s->%s)\n",
+              structure_survives ? "yes" : "NO", sig[0].c_str(),
+              sig[1].c_str(), hierarchy::ToString(cls[0]),
+              hierarchy::ToString(cls[1]));
+  std::printf("# Planted clustering excess destroyed: %s (%.4f -> %.4f; "
+              "the remainder is the degree sequence's intrinsic "
+              "configuration-model clustering)\n",
+              local_drops ? "yes" : "NO", clust[0], clust[1]);
+  std::printf("# -> %s\n",
+              structure_survives && local_drops
+                  ? "the paper's thesis, in one experiment"
+                  : "MISMATCH");
+  return structure_survives && local_drops ? 0 : 1;
+}

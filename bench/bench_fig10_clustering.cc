@@ -1,0 +1,68 @@
+// Figure 10 (Appendix B): clustering coefficient of ball subgraphs, plus
+// the whole-graph clustering comparison the Section 4.4 discussion draws
+// its closing caveat from.
+//
+// Paper shape: under ball-growing, PLRG tracks the AS graph but not the
+// RL graph; on whole graphs, PLRG's clustering coefficient differs from
+// both measured graphs -- "PLRG captures the large-scale properties ...
+// [but] may not capture the local properties".
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/report.h"
+#include "metrics/clustering.h"
+
+int main() {
+  using namespace topogen;
+  const core::RosterOptions ro = bench::Roster();
+  const core::SuiteOptions so = bench::Suite();
+  std::printf("# Figure 10: clustering coefficient vs ball size "
+              "(scale=%s)\n",
+              bench::ScaleName().c_str());
+
+  auto curve = [&](const std::string& name, const graph::Graph& g) {
+    metrics::Series s = metrics::ClusteringSeries(g, so.ball);
+    s.name = name;
+    return s;
+  };
+
+  const core::RlArtifacts rl = core::MakeRl(ro);
+  const core::Topology as = core::MakeAs(ro);
+  const core::Topology plrg = core::MakePlrg(ro);
+
+  std::vector<metrics::Series> c1;
+  for (const core::Topology& t : core::CanonicalRoster(ro)) {
+    c1.push_back(curve(t.name, t.graph));
+  }
+  core::PrintPanel(std::cout, "10a", "Clustering, Canonical", c1);
+  core::PrintPanel(std::cout, "10b", "Clustering, Measured",
+                   {curve("RL", rl.topology.graph), curve("AS", as.graph),
+                    curve("PLRG", plrg.graph)});
+  std::vector<metrics::Series> c3;
+  for (const core::Topology& t :
+       {core::MakeTransitStub(ro), core::MakeTiers(ro),
+        core::MakeWaxman(ro)}) {
+    c3.push_back(curve(t.name, t.graph));
+  }
+  core::PrintPanel(std::cout, "10c", "Clustering, Generated", c3);
+
+  // Whole-graph coefficients (the Section 4.4 caveat).
+  std::printf("# Whole-graph clustering coefficients\n");
+  core::PrintTableHeader(std::cout, {"Topology", "Clustering"});
+  auto row = [](const std::string& name, const graph::Graph& g) {
+    core::PrintTableRow(std::cout,
+                        {name, core::Num(metrics::ClusteringCoefficient(g),
+                                         4)});
+  };
+  row("AS", as.graph);
+  row("RL", rl.topology.graph);
+  row("PLRG", plrg.graph);
+  for (const core::Topology& t : core::CanonicalRoster(ro)) {
+    row(t.name, t.graph);
+  }
+  row("TS", core::MakeTransitStub(ro).graph);
+  row("Tiers", core::MakeTiers(ro).graph);
+  row("Waxman", core::MakeWaxman(ro).graph);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 12 (Appendix D.1): the degree-based generator variants -- B-A,
+// Brite, BT (GLP), Inet, PLRG -- compared on (a) degree CCDF and
+// (b-d) the three basic metrics.
+//
+// Paper shape: all five are heavy-tailed and classify together
+// (high expansion, high resilience, low distortion); B-A/Brite/BT sit
+// slightly apart on distortion because their tails carry fewer low-degree
+// and extreme-degree nodes.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/report.h"
+#include "fig2_panels.h"
+#include "metrics/degree.h"
+
+int main() {
+  using namespace topogen;
+  const core::RosterOptions ro = bench::Roster();
+  std::printf("# Figure 12: degree-based variants (scale=%s)\n",
+              bench::ScaleName().c_str());
+
+  const std::vector<core::Topology> roster = core::DegreeBasedRoster(ro);
+
+  std::vector<metrics::Series> ccdfs;
+  for (const core::Topology& t : roster) {
+    metrics::Series s = metrics::DegreeCcdf(t.graph);
+    s.name = t.name;
+    ccdfs.push_back(std::move(s));
+  }
+  core::PrintPanel(std::cout, "12a", "Degree CCDF, Variants", ccdfs);
+
+  std::vector<metrics::Series> expansion, resilience, distortion;
+  for (const core::Topology& t : roster) {
+    expansion.push_back(
+        bench::Compute(bench::BasicMetric::kExpansion, t, false));
+    resilience.push_back(
+        bench::Compute(bench::BasicMetric::kResilience, t, false));
+    distortion.push_back(
+        bench::Compute(bench::BasicMetric::kDistortion, t, false));
+  }
+  core::PrintPanel(std::cout, "12b", "Expansion, Variants", expansion);
+  core::PrintPanel(std::cout, "12c", "Resilience, Variants", resilience);
+  core::PrintPanel(std::cout, "12d", "Distortion, Variants", distortion);
+
+  std::printf("# Shape check: all variants heavy-tailed and classified "
+              "HHL\n");
+  bool ok = true;
+  for (std::size_t i = 0; i < roster.size(); ++i) {
+    const auto sig = metrics::Classify(expansion[i], resilience[i],
+                                       distortion[i]);
+    const bool heavy = metrics::LooksHeavyTailed(roster[i].graph);
+    std::printf("#   %-6s heavy=%-3s sig=%s\n", roster[i].name.c_str(),
+                heavy ? "yes" : "no", sig.ToString().c_str());
+    ok &= heavy && sig.ToString() == "HHL";
+  }
+  return ok ? 0 : 1;
+}

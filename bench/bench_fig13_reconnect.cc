@@ -1,0 +1,69 @@
+// Figure 13 (Appendix D.1): B-A and Brite graphs rewired with the PLRG
+// connectivity method ("modified B-A" / "modified Brite") versus the
+// originals, on the three basic metrics.
+//
+// Paper conclusion: "what seems to determine the qualitative behavior of
+// these degree-based generators is the degree distribution, not the
+// connectivity method" -- the rewired graphs track the originals.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/report.h"
+#include "fig2_panels.h"
+#include "gen/degree_seq.h"
+
+int main() {
+  using namespace topogen;
+  const core::RosterOptions ro = bench::Roster();
+  std::printf("# Figure 13: PLRG-reconnected variants (scale=%s)\n",
+              bench::ScaleName().c_str());
+
+  std::vector<core::Topology> roster;
+  roster.push_back(core::MakeBa(ro));
+  roster.push_back(core::MakeBrite(ro));
+  roster.push_back(core::MakeBt(ro));
+  const std::size_t originals = roster.size();
+  for (std::size_t i = 0; i < originals; ++i) {
+    graph::Rng rng(31 + i);
+    core::Topology modified;
+    modified.name = "Modified " + roster[i].name;
+    modified.category = core::Category::kDegreeBased;
+    modified.graph = gen::ReconnectWithPlrg(roster[i].graph, rng);
+    modified.comment = "degree sequence of " + roster[i].name +
+                       ", PLRG connectivity";
+    roster.push_back(std::move(modified));
+  }
+
+  std::vector<metrics::Series> expansion, resilience, distortion;
+  for (const core::Topology& t : roster) {
+    expansion.push_back(
+        bench::Compute(bench::BasicMetric::kExpansion, t, false));
+    resilience.push_back(
+        bench::Compute(bench::BasicMetric::kResilience, t, false));
+    distortion.push_back(
+        bench::Compute(bench::BasicMetric::kDistortion, t, false));
+  }
+  core::PrintPanel(std::cout, "13a", "Expansion, Original vs Modified",
+                   expansion);
+  core::PrintPanel(std::cout, "13b", "Resilience, Original vs Modified",
+                   resilience);
+  core::PrintPanel(std::cout, "13c", "Distortion, Original vs Modified",
+                   distortion);
+
+  std::printf("# Shape check: every modified graph keeps its original's "
+              "signature\n");
+  bool ok = true;
+  for (std::size_t i = 0; i < originals; ++i) {
+    const auto orig =
+        metrics::Classify(expansion[i], resilience[i], distortion[i]);
+    const auto mod = metrics::Classify(expansion[originals + i],
+                                       resilience[originals + i],
+                                       distortion[originals + i]);
+    std::printf("#   %-6s %s -> %s %s\n", roster[i].name.c_str(),
+                orig.ToString().c_str(), mod.ToString().c_str(),
+                orig == mod ? "ok" : "MISMATCH");
+    ok &= orig == mod;
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+// Figure 14 (Appendix D.2): link-value rank distributions of the PLRG
+// variants (B-A, Brite, BT, Inet, PLRG) next to the measured networks.
+//
+// Paper shape: the variants' distributions fall off as quickly as the
+// measured graphs' and top out in the same range -- all are "moderate"
+// hierarchies.
+#include <cstdio>
+#include <iostream>
+
+#include "core/report.h"
+#include "linkvalue_common.h"
+
+int main() {
+  using namespace topogen;
+  const core::RosterOptions ro = bench::Roster();
+  std::printf("# Figure 14: link values of PLRG variants vs measured "
+              "(scale=%s)\n",
+              bench::ScaleName().c_str());
+
+  std::vector<bench::AnalyzedTopology> variants;
+  for (core::Topology& t : core::DegreeBasedRoster(ro)) {
+    variants.push_back(bench::Analyze(std::move(t)));
+  }
+  std::vector<metrics::Series> curves;
+  for (const bench::AnalyzedTopology& t : variants) {
+    metrics::Series s = t.plain.RankDistribution();
+    s.name = t.name;
+    curves.push_back(std::move(s));
+  }
+  core::PrintPanel(std::cout, "14a", "Link values, PLRG variants", curves);
+
+  std::vector<bench::AnalyzedTopology> measured;
+  measured.push_back(bench::AnalyzeRl(core::MakeRl(ro)));
+  measured.push_back(bench::Analyze(core::MakeAs(ro)));
+  std::vector<metrics::Series> mcurves;
+  for (const bench::AnalyzedTopology& t : measured) {
+    metrics::Series s = t.plain.RankDistribution();
+    s.name = t.name;
+    mcurves.push_back(std::move(s));
+    metrics::Series p = t.policy.RankDistribution();
+    p.name = t.name + "(Policy)";
+    mcurves.push_back(std::move(p));
+  }
+  core::PrintPanel(std::cout, "14b", "Link values, Measured", mcurves);
+
+  std::printf("# Shape check: every variant classifies 'moderate' like "
+              "the measured networks\n");
+  bool ok = true;
+  for (const bench::AnalyzedTopology& t : variants) {
+    const auto c = hierarchy::ClassifyHierarchy(t.plain);
+    std::printf("#   %-6s %s\n", t.name.c_str(), hierarchy::ToString(c));
+    ok &= c == hierarchy::HierarchyClass::kModerate;
+  }
+  for (const bench::AnalyzedTopology& t : measured) {
+    const auto c = hierarchy::ClassifyHierarchy(t.plain);
+    std::printf("#   %-8s %s\n", t.name.c_str(), hierarchy::ToString(c));
+    ok &= c == hierarchy::HierarchyClass::kModerate;
+  }
+  return ok ? 0 : 1;
+}

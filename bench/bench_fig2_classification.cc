@@ -1,0 +1,63 @@
+// Section 4.4's summary table: the Low/High signature of every topology
+// on the three basic metrics, checked against the paper's published
+// grouping. This is the paper's headline result ("Only the PLRG matches
+// the measured graphs in all three metrics").
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "bench_common.h"
+#include "core/report.h"
+
+int main() {
+  using namespace topogen;
+  const core::RosterOptions ro = bench::Roster();
+  const core::SuiteOptions so = bench::Suite();
+
+  const std::map<std::string, std::string> paper{
+      {"Mesh", "LHH"},   {"Random", "HHH"}, {"Tree", "HLL"},
+      {"AS", "HHL"},     {"RL", "HHL"},     {"PLRG", "HHL"},
+      {"Tiers", "LHL"},  {"TS", "HLL"},     {"Waxman", "HHH"},
+      {"AS(Policy)", "HHL"}, {"RL(Policy)", "HHL"},
+      {"B-A", "HHL"},    {"Brite", "HHL"},  {"BT", "HHL"},
+      {"Inet", "HHL"},
+  };
+
+  std::printf("# Section 4.4 table: Low/High classification (scale=%s)\n",
+              bench::ScaleName().c_str());
+  core::PrintTableHeader(std::cout, {"Topology", "Expansion", "Resilience",
+                                     "Distortion", "Signature", "Paper",
+                                     "Match"});
+  int matches = 0, total = 0;
+  auto row = [&](const core::Topology& t, bool use_policy) {
+    core::SuiteOptions opts = so;
+    opts.use_policy = use_policy;
+    const core::BasicMetrics m = core::RunBasicMetrics(t, opts);
+    const std::string name = use_policy ? t.name + "(Policy)" : t.name;
+    const std::string sig = m.signature.ToString();
+    const auto it = paper.find(name);
+    const std::string expect = it == paper.end() ? "-" : it->second;
+    const bool ok = expect == "-" || expect == sig;
+    matches += ok ? 1 : 0;
+    ++total;
+    core::PrintTableRow(
+        std::cout,
+        {name, std::string(1, sig[0]), std::string(1, sig[1]),
+         std::string(1, sig[2]), sig, expect, ok ? "yes" : "NO"});
+  };
+
+  for (const core::Topology& t : core::CanonicalRoster(ro)) row(t, false);
+  for (const core::Topology& t : core::GeneratedRoster(ro)) row(t, false);
+  for (const core::Topology& t : core::DegreeBasedRoster(ro)) row(t, false);
+  const core::Topology as = core::MakeAs(ro);
+  row(as, false);
+  row(as, true);
+  const core::RlArtifacts rl = core::MakeRl(ro);
+  row(rl.topology, false);
+  row(rl.topology, true);
+
+  std::printf("\n# %d/%d signatures match the paper's table\n", matches,
+              total);
+  return matches == total ? 0 : 1;
+}

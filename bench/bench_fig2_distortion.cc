@@ -1,0 +1,22 @@
+// Figure 2 (c, f, i, l): distortion D(n) for canonical, measured,
+// generated, and degree-based topologies.
+//
+// Paper shape: Tree at exactly 1; Mesh, Random, and Waxman climb like
+// log n; the measured graphs and every degree-based generator stay low
+// (more so under policy).
+#include "fig2_panels.h"
+
+int main() {
+  using namespace topogen;
+  bench::EmitFigure2Row(bench::BasicMetric::kDistortion, "2c", "2f", "2i",
+                        "2l");
+
+  const core::RosterOptions ro = bench::Roster();
+  const metrics::Series tree =
+      bench::Compute(bench::BasicMetric::kDistortion, core::MakeTree(ro),
+                     false);
+  std::printf("# Shape check: Tree distortion stays at %.3f (paper: "
+              "exactly 1)\n",
+              tree.empty() ? 0.0 : tree.y.back());
+  return 0;
+}

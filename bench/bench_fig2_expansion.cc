@@ -1,0 +1,34 @@
+// Figure 2 (a, d, g, j): expansion E(h) for canonical, measured,
+// generated, and degree-based topologies.
+//
+// Paper shape: Tree, Random, TS, Waxman, PLRG, AS, RL and every
+// degree-based generator expand exponentially; Mesh and Tiers expand
+// qualitatively slower; policy routing does not change the picture.
+#include "fig2_panels.h"
+
+#include "metrics/classification.h"
+
+int main() {
+  using namespace topogen;
+  bench::EmitFigure2Row(bench::BasicMetric::kExpansion, "2a", "2d", "2g",
+                        "2j");
+
+  // Shape summary: the Section 4.1 low/high split.
+  const core::RosterOptions ro = bench::Roster();
+  std::printf("# Shape check (paper Section 4.1: Mesh and Tiers low, all "
+              "others high)\n");
+  auto level = [&](const core::Topology& t) {
+    const metrics::Series e =
+        bench::Compute(bench::BasicMetric::kExpansion, t, false);
+    return metrics::ToChar(metrics::ClassifyExpansion(e));
+  };
+  for (const core::Topology& t : core::CanonicalRoster(ro)) {
+    std::printf("#   %-8s %c\n", t.name.c_str(), level(t));
+  }
+  for (const core::Topology& t : core::GeneratedRoster(ro)) {
+    std::printf("#   %-8s %c\n", t.name.c_str(), level(t));
+  }
+  std::printf("#   %-8s %c\n", "AS", level(core::MakeAs(ro)));
+  std::printf("#   %-8s %c\n", "RL", level(core::MakeRl(ro).topology));
+  return 0;
+}

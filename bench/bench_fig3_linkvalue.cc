@@ -1,0 +1,91 @@
+// Figures 3 and 4: link-value rank distributions, plus the Section 5.1
+// strict/moderate/loose grouping table.
+//
+// The two figures plot the same data at different emphases (Figure 3:
+// log-x, highlighting the top-ranked links; Figure 4: linear-x log-y,
+// showing the whole distribution); we emit the full series once per
+// topology, in rank order, which regenerates both.
+//
+// Paper shape: Tree/TS have top values above 0.3 and Tiers near 0.25 with
+// sharp fall-offs (strict); AS/RL/PLRG fall off as sharply but from much
+// lower tops (moderate); Mesh/Random/Waxman spread value across most
+// links (loose). Policy raises the measured graphs' top values.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "core/report.h"
+#include "linkvalue_common.h"
+
+int main() {
+  using namespace topogen;
+  const core::RosterOptions ro = bench::Roster();
+  std::printf("# Figures 3/4: link value rank distributions (scale=%s)\n",
+              bench::ScaleName().c_str());
+
+  std::vector<bench::AnalyzedTopology> canonical;
+  canonical.push_back(bench::Analyze(core::MakeTree(ro)));
+  canonical.push_back(bench::Analyze(core::MakeMesh(ro)));
+  canonical.push_back(bench::Analyze(core::MakeRandom(ro)));
+
+  std::vector<bench::AnalyzedTopology> measured;
+  measured.push_back(bench::AnalyzeRl(core::MakeRl(ro)));
+  measured.push_back(bench::Analyze(core::MakeAs(ro)));
+
+  std::vector<bench::AnalyzedTopology> generated;
+  generated.push_back(bench::Analyze(core::MakeTransitStub(ro)));
+  generated.push_back(bench::Analyze(core::MakeTiers(ro)));
+  generated.push_back(bench::Analyze(core::MakeWaxman(ro)));
+  generated.push_back(bench::Analyze(core::MakePlrg(ro)));
+
+  auto panel = [](const char* id, const char* title,
+                  const std::vector<bench::AnalyzedTopology>& group,
+                  bool with_policy) {
+    std::vector<metrics::Series> curves;
+    for (const bench::AnalyzedTopology& t : group) {
+      metrics::Series s = t.plain.RankDistribution();
+      s.name = t.name;
+      curves.push_back(std::move(s));
+      if (with_policy && !t.relationship.empty()) {
+        metrics::Series p = t.policy.RankDistribution();
+        p.name = t.name + "(Policy)";
+        curves.push_back(std::move(p));
+      }
+    }
+    core::PrintPanel(std::cout, id, title, curves);
+  };
+  panel("3a", "Link values, Canonical", canonical, false);
+  panel("3b", "Link values, Measured", measured, true);
+  panel("3c", "Link values, Generated", generated, false);
+
+  // Section 5.1's grouping table.
+  std::printf("# Section 5.1 groupings (paper: Tree/TS/Tiers strict; "
+              "AS/RL/PLRG moderate; Mesh/Random/Waxman loose)\n");
+  core::PrintTableHeader(std::cout,
+                         {"Topology", "TopValue", "Flatness", "Class"});
+  auto row = [](const std::string& name,
+                const hierarchy::LinkValueResult& r) {
+    const double n = static_cast<double>(r.num_nodes);
+    std::vector<double> sorted(r.value);
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    const double top = sorted.empty() ? 0.0 : sorted.front() / n;
+    // Flatness = median / 1st-percentile value, the classifier's loose
+    // criterion (see hierarchy::HierarchyClassOptions).
+    const double near_top =
+        sorted.empty() ? 0.0 : sorted[sorted.size() / 100] / n;
+    const double median =
+        sorted.empty() ? 0.0 : sorted[sorted.size() / 2] / n;
+    core::PrintTableRow(
+        std::cout,
+        {name, core::Num(top, 3),
+         core::Num(near_top > 0 ? median / near_top : 0.0, 3),
+         hierarchy::ToString(hierarchy::ClassifyHierarchy(r))});
+  };
+  for (const auto& t : canonical) row(t.name, t.plain);
+  for (const auto& t : generated) row(t.name, t.plain);
+  for (const auto& t : measured) {
+    row(t.name, t.plain);
+    row(t.name + "(Policy)", t.policy);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 8 (Appendix B): (a-c) vertex cover of ball subgraphs; (d-f)
+// biconnected components within balls.
+//
+// Paper shape: vertex covers of all graphs grow similarly with ball size;
+// biconnectivity likewise except Mesh, Random, and Waxman (whose balls
+// fuse into few biconnected components).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/report.h"
+#include "metrics/cover_bicomp.h"
+
+int main() {
+  using namespace topogen;
+  const core::RosterOptions ro = bench::Roster();
+  const core::SuiteOptions so = bench::Suite();
+  std::printf("# Figure 8: vertex cover and biconnectivity vs ball size "
+              "(scale=%s)\n",
+              bench::ScaleName().c_str());
+
+  auto cover = [&](const core::Topology& t) {
+    metrics::Series s = metrics::VertexCoverSeries(t.graph, so.ball);
+    s.name = t.name;
+    return s;
+  };
+  auto bicomp = [&](const core::Topology& t) {
+    metrics::Series s = metrics::BiconnectivitySeries(t.graph, so.ball);
+    s.name = t.name;
+    return s;
+  };
+
+  const core::RlArtifacts rl = core::MakeRl(ro);
+  const core::Topology as = core::MakeAs(ro);
+  const core::Topology plrg = core::MakePlrg(ro);
+
+  std::vector<metrics::Series> c1, c2, c3, b1, b2, b3;
+  for (const core::Topology& t : core::CanonicalRoster(ro)) {
+    c1.push_back(cover(t));
+    b1.push_back(bicomp(t));
+  }
+  c2 = {cover(rl.topology), cover(as), cover(plrg)};
+  b2 = {bicomp(rl.topology), bicomp(as), bicomp(plrg)};
+  for (const core::Topology& t :
+       {core::MakeTransitStub(ro), core::MakeTiers(ro),
+        core::MakeWaxman(ro)}) {
+    c3.push_back(cover(t));
+    b3.push_back(bicomp(t));
+  }
+  core::PrintPanel(std::cout, "8a", "Vertex cover, Canonical", c1);
+  core::PrintPanel(std::cout, "8b", "Vertex cover, Measured", c2);
+  core::PrintPanel(std::cout, "8c", "Vertex cover, Generated", c3);
+  core::PrintPanel(std::cout, "8d", "Biconnected components, Canonical", b1);
+  core::PrintPanel(std::cout, "8e", "Biconnected components, Measured", b2);
+  core::PrintPanel(std::cout, "8f", "Biconnected components, Generated", b3);
+
+  // Shape check: per Section 4.4, biconnectivity behaves alike everywhere
+  // except Mesh/Random/Waxman, whose final ball has almost no cut
+  // vertices. Compare final bicomp count per node.
+  auto final_per_node = [](const metrics::Series& s) {
+    return s.empty() ? 0.0 : s.y.back() / s.x.back();
+  };
+  std::printf("# Shape check: final biconnected components per ball node\n");
+  for (const auto& s : b1) {
+    std::printf("#   %-8s %.3f\n", s.name.c_str(), final_per_node(s));
+  }
+  for (const auto& s : b2) {
+    std::printf("#   %-8s %.3f\n", s.name.c_str(), final_per_node(s));
+  }
+  for (const auto& s : b3) {
+    std::printf("#   %-8s %.3f\n", s.name.c_str(), final_per_node(s));
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 9 (Appendix B): attack tolerance (a-c) and error tolerance (d-f)
+// -- average path length of the largest surviving component as nodes are
+// removed in decreasing-degree order (attack) or uniformly (error).
+//
+// Paper shape: error curves are flat-ish for every topology; attack
+// curves are *peaked* for the measured networks, PLRG, and Tiers.
+// Following the paper, the RL topology is attacked on its core.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/report.h"
+#include "graph/components.h"
+#include "metrics/tolerance.h"
+
+int main() {
+  using namespace topogen;
+  const core::RosterOptions ro = bench::Roster();
+  std::printf("# Figure 9: attack and error tolerance (scale=%s)\n",
+              bench::ScaleName().c_str());
+
+  metrics::ToleranceOptions opts;
+  opts.path_samples = bench::ScaleName() == "small" ? 64 : 128;
+
+  auto attack = [&](const std::string& name, const graph::Graph& g) {
+    metrics::Series s = metrics::AttackTolerance(g, opts);
+    s.name = name + ".att";
+    return s;
+  };
+  auto error = [&](const std::string& name, const graph::Graph& g) {
+    metrics::Series s = metrics::ErrorTolerance(g, opts);
+    s.name = name + ".err";
+    return s;
+  };
+
+  const core::RlArtifacts rl = core::MakeRl(ro);
+  const graph::Subgraph rl_core = graph::CoreGraph(rl.topology.graph);
+  const core::Topology as = core::MakeAs(ro);
+  const core::Topology plrg = core::MakePlrg(ro);
+
+  std::vector<metrics::Series> a1, a2, a3, e1, e2, e3;
+  for (const core::Topology& t : core::CanonicalRoster(ro)) {
+    a1.push_back(attack(t.name, t.graph));
+    e1.push_back(error(t.name, t.graph));
+  }
+  a2 = {attack("RL.core", rl_core.graph), attack("AS", as.graph),
+        attack("PLRG", plrg.graph)};
+  e2 = {error("RL.core", rl_core.graph), error("AS", as.graph),
+        error("PLRG", plrg.graph)};
+  for (const core::Topology& t :
+       {core::MakeTransitStub(ro), core::MakeTiers(ro),
+        core::MakeWaxman(ro)}) {
+    a3.push_back(attack(t.name, t.graph));
+    e3.push_back(error(t.name, t.graph));
+  }
+
+  core::PrintPanel(std::cout, "9a", "Attack tolerance, Canonical", a1);
+  core::PrintPanel(std::cout, "9b", "Attack tolerance, Measured", a2);
+  core::PrintPanel(std::cout, "9c", "Attack tolerance, Generated", a3);
+  core::PrintPanel(std::cout, "9d", "Error tolerance, Canonical", e1);
+  core::PrintPanel(std::cout, "9e", "Error tolerance, Measured", e2);
+  core::PrintPanel(std::cout, "9f", "Error tolerance, Generated", e3);
+
+  // Shape check: peakedness = max/mean of the attack curve; the paper
+  // calls out AS, RL, PLRG (and Tiers) as peaked.
+  auto peakedness = [](const metrics::Series& s) {
+    if (s.empty()) return 0.0;
+    double max = *std::max_element(s.y.begin(), s.y.end());
+    double mean = 0;
+    for (double y : s.y) mean += y;
+    mean /= static_cast<double>(s.size());
+    return max / mean;
+  };
+  std::printf("# Shape check: attack peakedness (max/mean; paper: AS, RL, "
+              "PLRG, Tiers peaked)\n");
+  for (const auto* group : {&a1, &a2, &a3}) {
+    for (const auto& s : *group) {
+      std::printf("#   %-10s %.2f\n", s.name.c_str(), peakedness(s));
+    }
+  }
+  return 0;
+}

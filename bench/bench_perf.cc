@@ -1,0 +1,122 @@
+// Micro-performance benchmarks (google-benchmark) for the library's hot
+// paths: generation, BFS, balanced bisection, spanning-tree distortion,
+// and link-value accumulation. These are engineering benchmarks, not
+// paper figures -- they size the cost of the figure harness.
+#include <benchmark/benchmark.h>
+
+#include "gen/canonical.h"
+#include "gen/plrg.h"
+#include "gen/tiers.h"
+#include "gen/transit_stub.h"
+#include "gen/waxman.h"
+#include "graph/bfs.h"
+#include "graph/partition.h"
+#include "graph/trees.h"
+#include "hierarchy/link_value.h"
+#include "metrics/expansion.h"
+
+namespace {
+
+using namespace topogen;
+
+void BM_GeneratePlrg(benchmark::State& state) {
+  for (auto _ : state) {
+    graph::Rng rng(1);
+    gen::PlrgParams p;
+    p.n = static_cast<graph::NodeId>(state.range(0));
+    benchmark::DoNotOptimize(gen::Plrg(p, rng).num_edges());
+  }
+}
+BENCHMARK(BM_GeneratePlrg)->Arg(2000)->Arg(10000);
+
+void BM_GenerateTransitStub(benchmark::State& state) {
+  for (auto _ : state) {
+    graph::Rng rng(1);
+    benchmark::DoNotOptimize(gen::TransitStub({}, rng).num_edges());
+  }
+}
+BENCHMARK(BM_GenerateTransitStub);
+
+void BM_GenerateTiers(benchmark::State& state) {
+  for (auto _ : state) {
+    graph::Rng rng(1);
+    benchmark::DoNotOptimize(gen::Tiers({}, rng).num_edges());
+  }
+}
+BENCHMARK(BM_GenerateTiers);
+
+void BM_GenerateWaxman(benchmark::State& state) {
+  for (auto _ : state) {
+    graph::Rng rng(1);
+    gen::WaxmanParams p;
+    p.n = 2000;
+    p.alpha = 0.0125;
+    benchmark::DoNotOptimize(gen::Waxman(p, rng).num_edges());
+  }
+}
+BENCHMARK(BM_GenerateWaxman);
+
+void BM_Bfs(benchmark::State& state) {
+  graph::Rng rng(2);
+  gen::PlrgParams p;
+  p.n = static_cast<graph::NodeId>(state.range(0));
+  const graph::Graph g = gen::Plrg(p, rng);
+  graph::NodeId src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::BfsDistances(g, src));
+    src = (src + 17) % g.num_nodes();
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_Bfs)->Arg(10000)->Arg(50000);
+
+void BM_BalancedBisection(benchmark::State& state) {
+  const auto side = static_cast<unsigned>(state.range(0));
+  const graph::Graph g = gen::Mesh(side, side);
+  for (auto _ : state) {
+    graph::Rng rng(3);
+    benchmark::DoNotOptimize(graph::BalancedMinCut(g, rng));
+  }
+}
+BENCHMARK(BM_BalancedBisection)->Arg(16)->Arg(48)->Arg(96);
+
+void BM_BestDistortion(benchmark::State& state) {
+  graph::Rng grng(4);
+  const graph::Graph g =
+      gen::ErdosRenyi(static_cast<graph::NodeId>(state.range(0)),
+                      8.0 / static_cast<double>(state.range(0)), grng);
+  for (auto _ : state) {
+    graph::Rng rng(5);
+    benchmark::DoNotOptimize(graph::BestDistortion(g, rng, 32));
+  }
+}
+BENCHMARK(BM_BestDistortion)->Arg(500)->Arg(2000);
+
+void BM_Expansion(benchmark::State& state) {
+  graph::Rng rng(6);
+  gen::PlrgParams p;
+  p.n = 8000;
+  const graph::Graph g = gen::Plrg(p, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        metrics::Expansion(g, {.max_sources = 200}).size());
+  }
+}
+BENCHMARK(BM_Expansion);
+
+void BM_LinkValues(benchmark::State& state) {
+  graph::Rng rng(7);
+  gen::PlrgParams p;
+  p.n = static_cast<graph::NodeId>(state.range(0));
+  const graph::Graph g = gen::Plrg(p, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hierarchy::ComputeLinkValues(g, {.max_sources = 300}).value.size());
+  }
+  state.SetLabel(g.Summary());
+}
+BENCHMARK(BM_LinkValues)->Arg(1000)->Arg(4000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// Panel builder shared by the three Figure 2 benches (expansion,
+// resilience, distortion). Figure 2 is a 4x3 grid: rows = metric, columns
+// = {canonical, measured, generated, degree-based}. Each bench emits one
+// row's four panels.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/report.h"
+#include "metrics/distortion.h"
+#include "metrics/expansion.h"
+#include "metrics/resilience.h"
+
+namespace topogen::bench {
+
+enum class BasicMetric { kExpansion, kResilience, kDistortion };
+
+inline const char* Name(BasicMetric m) {
+  switch (m) {
+    case BasicMetric::kExpansion:
+      return "Expansion";
+    case BasicMetric::kResilience:
+      return "Resilience";
+    case BasicMetric::kDistortion:
+      return "Distortion";
+  }
+  return "?";
+}
+
+inline metrics::Series Compute(BasicMetric m, const core::Topology& t,
+                               bool use_policy) {
+  core::SuiteOptions so = Suite();
+  const auto& g = t.graph;
+  metrics::Series s;
+  if (use_policy) {
+    switch (m) {
+      case BasicMetric::kExpansion:
+        s = metrics::PolicyExpansion(g, t.relationship, so.expansion);
+        break;
+      case BasicMetric::kResilience:
+        s = metrics::PolicyResilience(g, t.relationship, so.ball);
+        break;
+      case BasicMetric::kDistortion:
+        s = metrics::PolicyDistortion(g, t.relationship, so.ball);
+        break;
+    }
+    s.name = t.name + "(Policy)";
+  } else {
+    switch (m) {
+      case BasicMetric::kExpansion:
+        s = metrics::Expansion(g, so.expansion);
+        break;
+      case BasicMetric::kResilience:
+        s = metrics::Resilience(g, so.ball);
+        break;
+      case BasicMetric::kDistortion:
+        s = metrics::Distortion(g, so.ball);
+        break;
+    }
+    s.name = t.name;
+  }
+  return s;
+}
+
+// Emits the four Figure 2 panels for one metric row. `panel_ids` names the
+// paper's sub-figures, e.g. {"2a", "2d", "2g", "2j"} for expansion.
+inline void EmitFigure2Row(BasicMetric m, const char* id_canonical,
+                           const char* id_measured, const char* id_generated,
+                           const char* id_degree_based) {
+  const core::RosterOptions ro = Roster();
+  std::printf("# Figure 2 row: %s (scale=%s)\n", Name(m),
+              ScaleName().c_str());
+
+  std::vector<metrics::Series> canonical;
+  for (const core::Topology& t : core::CanonicalRoster(ro)) {
+    canonical.push_back(Compute(m, t, false));
+  }
+  core::PrintPanel(std::cout, id_canonical,
+                   std::string(Name(m)) + ", Canonical", canonical);
+
+  std::vector<metrics::Series> measured;
+  {
+    const core::RlArtifacts rl = core::MakeRl(ro);
+    measured.push_back(Compute(m, rl.topology, false));
+    measured.push_back(Compute(m, rl.topology, true));
+    const core::Topology as = core::MakeAs(ro);
+    measured.push_back(Compute(m, as, false));
+    measured.push_back(Compute(m, as, true));
+  }
+  core::PrintPanel(std::cout, id_measured,
+                   std::string(Name(m)) + ", Measured", measured);
+
+  std::vector<metrics::Series> generated;
+  for (const core::Topology& t : core::GeneratedRoster(ro)) {
+    generated.push_back(Compute(m, t, false));
+  }
+  core::PrintPanel(std::cout, id_generated,
+                   std::string(Name(m)) + ", Generated", generated);
+
+  std::vector<metrics::Series> degree_based;
+  for (const core::Topology& t : core::DegreeBasedRoster(ro)) {
+    degree_based.push_back(Compute(m, t, false));
+  }
+  core::PrintPanel(std::cout, id_degree_based,
+                   std::string(Name(m)) + ", Degree-Based Generators",
+                   degree_based);
+}
+
+}  // namespace topogen::bench

@@ -1,0 +1,74 @@
+// compare_generators: the paper's Question #1 as a program.
+//
+// "Which generated networks most closely model the large-scale structure
+// of the Internet?" -- build the synthetic AS graph and a topology from
+// each generator family, measure all of them, and rank the generators by
+// how many of the three qualitative axes they share with the measured
+// graph. The output reproduces the paper's conclusion: the degree-based
+// family matches on all three axes, the structural family does not.
+//
+// Usage: compare_generators [as_nodes]   (default 2500)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/roster.h"
+#include "core/suite.h"
+
+int main(int argc, char** argv) {
+  using namespace topogen;
+  core::RosterOptions ro;
+  ro.as_nodes = argc > 1 ? static_cast<graph::NodeId>(
+                               std::strtoul(argv[1], nullptr, 10))
+                         : 2500;
+  ro.plrg_nodes = 2 * ro.as_nodes;
+  ro.degree_based_nodes = 2 * ro.as_nodes;
+
+  core::SuiteOptions so;
+  so.ball.max_centers = 12;
+  so.ball.big_ball_centers = 4;
+
+  const core::Topology as = core::MakeAs(ro);
+  const core::BasicMetrics reference = core::RunBasicMetrics(as, so);
+  std::printf("reference (synthetic AS, %u nodes): %s\n\n",
+              as.graph.num_nodes(), reference.signature.ToString().c_str());
+
+  struct Scored {
+    std::string name;
+    std::string family;
+    std::string signature;
+    int score;
+  };
+  std::vector<Scored> board;
+  auto enter = [&](const core::Topology& t, const char* family) {
+    const core::BasicMetrics m = core::RunBasicMetrics(t, so);
+    int score = 0;
+    score += m.signature.expansion == reference.signature.expansion;
+    score += m.signature.resilience == reference.signature.resilience;
+    score += m.signature.distortion == reference.signature.distortion;
+    board.push_back({t.name, family, m.signature.ToString(), score});
+  };
+
+  enter(core::MakeWaxman(ro), "random");
+  enter(core::MakeTransitStub(ro), "structural");
+  enter(core::MakeTiers(ro), "structural");
+  enter(core::MakePlrg(ro), "degree-based");
+  enter(core::MakeBa(ro), "degree-based");
+  enter(core::MakeBrite(ro), "degree-based");
+  enter(core::MakeBt(ro), "degree-based");
+  enter(core::MakeInet(ro), "degree-based");
+
+  std::printf("%-8s %-14s %-10s %s\n", "name", "family", "signature",
+              "axes matching the measured AS graph");
+  for (const Scored& s : board) {
+    std::printf("%-8s %-14s %-10s %d/3\n", s.name.c_str(), s.family.c_str(),
+                s.signature.c_str(), s.score);
+  }
+
+  std::printf("\nPaper conclusion (Section 4.4): the degree-based "
+              "generators match on all three axes;\nTransit-Stub misses "
+              "resilience, Tiers misses expansion, Waxman misses "
+              "distortion.\n");
+  return 0;
+}

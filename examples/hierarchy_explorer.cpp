@@ -1,0 +1,81 @@
+// hierarchy_explorer: the paper's Question #2 as a program.
+//
+// "Do the degree-based generators produce networks with hierarchy and, if
+// so, how?" -- compute link values (Section 5) for a chosen topology,
+// print its backbone (the top-valued links with the degrees of their
+// endpoints), its hierarchy class, and the link-value/degree correlation
+// that reveals *where* the hierarchy comes from: degree (PLRG, AS) or
+// deliberate construction (Tree, TS, Tiers, RL).
+//
+// Usage: hierarchy_explorer [tree|mesh|random|ts|tiers|waxman|plrg|as]
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <string>
+
+#include "core/roster.h"
+#include "hierarchy/link_value.h"
+
+int main(int argc, char** argv) {
+  using namespace topogen;
+  const std::string which = argc > 1 ? argv[1] : "plrg";
+  core::RosterOptions ro;
+  ro.as_nodes = 2000;
+  ro.plrg_nodes = 4000;
+
+  core::Topology t;
+  if (which == "tree") {
+    t = core::MakeTree(ro);
+  } else if (which == "mesh") {
+    t = core::MakeMesh(ro);
+  } else if (which == "random") {
+    t = core::MakeRandom(ro);
+  } else if (which == "ts") {
+    t = core::MakeTransitStub(ro);
+  } else if (which == "tiers") {
+    t = core::MakeTiers(ro);
+  } else if (which == "waxman") {
+    t = core::MakeWaxman(ro);
+  } else if (which == "as") {
+    t = core::MakeAs(ro);
+  } else if (which == "plrg") {
+    t = core::MakePlrg(ro);
+  } else {
+    std::fprintf(stderr,
+                 "unknown topology '%s' (want tree|mesh|random|ts|tiers|"
+                 "waxman|plrg|as)\n",
+                 which.c_str());
+    return 2;
+  }
+
+  std::printf("topology: %s (%s)\n", t.name.c_str(),
+              t.graph.Summary().c_str());
+
+  const hierarchy::LinkValueResult r =
+      hierarchy::ComputeLinkValues(t.graph, {.max_sources = 1000});
+
+  // The backbone: top-valued links.
+  std::vector<graph::EdgeId> order(r.value.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](graph::EdgeId a, graph::EdgeId b) {
+    return r.value[a] > r.value[b];
+  });
+  const double n = static_cast<double>(t.graph.num_nodes());
+  std::printf("\ntop backbone links (value/N, endpoint degrees):\n");
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, order.size()); ++i) {
+    const graph::Edge& e = t.graph.edges()[order[i]];
+    std::printf("  %.4f  deg(%zu, %zu)\n", r.value[order[i]] / n,
+                t.graph.degree(e.u), t.graph.degree(e.v));
+  }
+
+  std::printf("\nhierarchy class: %s\n",
+              hierarchy::ToString(hierarchy::ClassifyHierarchy(r)));
+  std::printf("link-value vs min-degree correlation: Pearson %.3f, "
+              "Spearman %.3f\n",
+              r.DegreeCorrelation(t.graph),
+              r.DegreeRankCorrelation(t.graph));
+  std::printf("\nReading (paper Section 5.2): high correlation means the\n"
+              "backbone emerges from the degree distribution; low means it\n"
+              "was placed there by construction.\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// make_topology: a command-line topology generator.
+//
+// The downstream-user tool: emit any of the library's topologies as an
+// edge list (one "u v" pair per line, '#'-prefixed header) for use in
+// simulators. Structural generators accept their headline parameters.
+//
+// Usage:
+//   make_topology <kind> [options] > edges.txt
+//
+// Kinds and options:
+//   tree   [k depth]              complete k-ary tree
+//   mesh   [rows cols]            rectangular grid
+//   linear [n]                    path graph
+//   random [n p]                  Erdos-Renyi G(n, p), largest component
+//   waxman [n alpha beta]         Waxman random graph
+//   ts     [domains tnodes stubs snodes]   Transit-Stub
+//   tiers  [mans lans wan man lan]         Tiers
+//   plrg   [n beta]               power-law random graph
+//   ba     [n m]                  Barabasi-Albert
+//   glp    [n]                    Bu-Towsley GLP ("BT")
+//   inet   [n beta]               Inet-style
+//   as     [n]                    synthetic measured-AS stand-in
+//   seed=<uint64>                 anywhere in the argument list
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gen/ba.h"
+#include "gen/canonical.h"
+#include "gen/inet.h"
+#include "gen/measured.h"
+#include "gen/plrg.h"
+#include "gen/tiers.h"
+#include "gen/transit_stub.h"
+#include "gen/waxman.h"
+
+namespace {
+
+using namespace topogen;
+
+void Emit(const graph::Graph& g, const std::string& description) {
+  std::printf("# topogen edge list: %s\n", description.c_str());
+  std::printf("# nodes %u edges %zu avg_degree %.3f\n", g.num_nodes(),
+              g.num_edges(), g.average_degree());
+  for (const graph::Edge& e : g.edges()) {
+    std::printf("%u %u\n", e.u, e.v);
+  }
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: make_topology "
+               "<tree|mesh|linear|random|waxman|ts|tiers|plrg|ba|glp|inet|"
+               "as> [params...] [seed=N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string kind = argv[1];
+  std::vector<double> args;
+  std::uint64_t seed = 1;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "seed=", 5) == 0) {
+      seed = std::strtoull(argv[i] + 5, nullptr, 10);
+    } else {
+      args.push_back(std::strtod(argv[i], nullptr));
+    }
+  }
+  auto arg = [&](std::size_t i, double fallback) {
+    return i < args.size() ? args[i] : fallback;
+  };
+  graph::Rng rng(seed);
+
+  if (kind == "tree") {
+    const unsigned k = static_cast<unsigned>(arg(0, 3));
+    const unsigned d = static_cast<unsigned>(arg(1, 6));
+    Emit(gen::KaryTree(k, d), "tree k=" + std::to_string(k) +
+                                  " depth=" + std::to_string(d));
+  } else if (kind == "mesh") {
+    const unsigned r = static_cast<unsigned>(arg(0, 30));
+    const unsigned c = static_cast<unsigned>(arg(1, 30));
+    Emit(gen::Mesh(r, c),
+         "mesh " + std::to_string(r) + "x" + std::to_string(c));
+  } else if (kind == "linear") {
+    Emit(gen::Linear(static_cast<graph::NodeId>(arg(0, 1000))), "linear");
+  } else if (kind == "random") {
+    const auto n = static_cast<graph::NodeId>(arg(0, 5050));
+    const double p = arg(1, 0.0008);
+    Emit(gen::ErdosRenyi(n, p, rng), "erdos-renyi");
+  } else if (kind == "waxman") {
+    gen::WaxmanParams p;
+    p.n = static_cast<graph::NodeId>(arg(0, 5000));
+    p.alpha = arg(1, 0.005);
+    p.beta = arg(2, 0.30);
+    Emit(gen::Waxman(p, rng), "waxman");
+  } else if (kind == "ts") {
+    gen::TransitStubParams p;
+    p.num_transit_domains = static_cast<unsigned>(arg(0, 6));
+    p.nodes_per_transit_domain = static_cast<unsigned>(arg(1, 6));
+    p.stubs_per_transit_node = static_cast<unsigned>(arg(2, 3));
+    p.nodes_per_stub_domain = static_cast<unsigned>(arg(3, 9));
+    Emit(gen::TransitStub(p, rng), "transit-stub");
+  } else if (kind == "tiers") {
+    gen::TiersParams p;
+    p.mans_per_wan = static_cast<unsigned>(arg(0, 50));
+    p.lans_per_man = static_cast<unsigned>(arg(1, 10));
+    p.nodes_per_wan = static_cast<unsigned>(arg(2, 500));
+    p.nodes_per_man = static_cast<unsigned>(arg(3, 40));
+    p.nodes_per_lan = static_cast<unsigned>(arg(4, 5));
+    Emit(gen::Tiers(p, rng), "tiers");
+  } else if (kind == "plrg") {
+    gen::PlrgParams p;
+    p.n = static_cast<graph::NodeId>(arg(0, 10000));
+    p.exponent = arg(1, 2.246);
+    Emit(gen::Plrg(p, rng), "plrg beta=" + std::to_string(p.exponent));
+  } else if (kind == "ba") {
+    gen::BaParams p;
+    p.n = static_cast<graph::NodeId>(arg(0, 10000));
+    p.m = static_cast<unsigned>(arg(1, 2));
+    Emit(gen::BarabasiAlbert(p, rng), "barabasi-albert");
+  } else if (kind == "glp") {
+    gen::GlpParams p;
+    p.n = static_cast<graph::NodeId>(arg(0, 10000));
+    Emit(gen::BuTowsleyGlp(p, rng), "bu-towsley glp");
+  } else if (kind == "inet") {
+    gen::InetParams p;
+    p.n = static_cast<graph::NodeId>(arg(0, 10000));
+    p.exponent = arg(1, 2.22);
+    Emit(gen::Inet(p, rng), "inet-style");
+  } else if (kind == "as") {
+    gen::MeasuredAsParams p;
+    p.n = static_cast<graph::NodeId>(arg(0, 4000));
+    const gen::AsTopology as = gen::MeasuredAs(p, rng);
+    Emit(as.graph, "synthetic AS stand-in");
+  } else {
+    return Usage();
+  }
+  return 0;
+}

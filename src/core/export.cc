@@ -1,0 +1,72 @@
+#include "core/export.h"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace topogen::core {
+
+namespace {
+
+std::ofstream OpenOrThrow(const std::filesystem::path& path) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("ExportFigure: cannot open " + path.string());
+  }
+  return os;
+}
+
+}  // namespace
+
+void ExportFigure(const std::string& dir, const std::string& figure_id,
+                  const std::string& title,
+                  const std::vector<metrics::Series>& curves, bool log_x,
+                  bool log_y) {
+  const std::filesystem::path base(dir);
+  std::filesystem::create_directories(base);
+
+  // Data: gnuplot "index" blocks (two blank lines between curves).
+  {
+    std::ofstream os = OpenOrThrow(base / (figure_id + ".dat"));
+    for (const metrics::Series& s : curves) {
+      os << "# " << s.name << "\n";
+      for (std::size_t i = 0; i < s.size(); ++i) {
+        os << s.x[i] << " " << s.y[i] << "\n";
+      }
+      os << "\n\n";
+    }
+  }
+  // Script.
+  {
+    std::ofstream os = OpenOrThrow(base / (figure_id + ".gp"));
+    os << "set title '" << title << "'\n";
+    os << "set key outside right\n";
+    if (log_x) os << "set logscale x\n";
+    if (log_y) os << "set logscale y\n";
+    os << "set terminal pngcairo size 900,600\n";
+    os << "set output '" << figure_id << ".png'\n";
+    os << "plot";
+    for (std::size_t i = 0; i < curves.size(); ++i) {
+      if (i > 0) os << ",";
+      os << " '" << figure_id << ".dat' index " << i
+         << " with linespoints title '" << curves[i].name << "'";
+    }
+    os << "\n";
+  }
+}
+
+void ExportCsv(const std::string& path,
+               const std::vector<metrics::Series>& curves) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("ExportCsv: cannot open " + path);
+  }
+  os << "curve,x,y\n";
+  for (const metrics::Series& s : curves) {
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      os << s.name << "," << s.x[i] << "," << s.y[i] << "\n";
+    }
+  }
+}
+
+}  // namespace topogen::core

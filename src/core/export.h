@@ -1,0 +1,26 @@
+// File export for figure data: .dat series files plus a gnuplot script
+// per figure, so every bench's panels can be turned into actual plots.
+// Benches write here when the TOPOGEN_OUTDIR environment variable is set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/series.h"
+
+namespace topogen::core {
+
+// One figure's worth of curves: writes
+//   <dir>/<figure_id>.dat   (gnuplot index-separated data blocks)
+//   <dir>/<figure_id>.gp    (a plot script referencing the .dat)
+// Creates <dir> if needed; throws std::runtime_error on I/O failure.
+void ExportFigure(const std::string& dir, const std::string& figure_id,
+                  const std::string& title,
+                  const std::vector<metrics::Series>& curves,
+                  bool log_x = false, bool log_y = false);
+
+// Plain CSV: header "curve,x,y", one row per point.
+void ExportCsv(const std::string& path,
+               const std::vector<metrics::Series>& curves);
+
+}  // namespace topogen::core

@@ -1,0 +1,56 @@
+#include "core/report.h"
+
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+
+#include "core/export.h"
+
+namespace topogen::core {
+
+void PrintPanel(std::ostream& os, const std::string& figure_id,
+                const std::string& title,
+                const std::vector<metrics::Series>& curves) {
+  // With TOPOGEN_OUTDIR set, every panel any bench prints is also written
+  // as a .dat + gnuplot script, ready to render.
+  if (const char* outdir = std::getenv("TOPOGEN_OUTDIR")) {
+    ExportFigure(outdir, "fig" + figure_id, title, curves);
+  }
+  os << "# panel " << figure_id << " " << title << "\n";
+  for (const metrics::Series& s : curves) {
+    os << "# curve " << s.name << "\n";
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      os << Num(s.x[i], 6) << " " << Num(s.y[i], 6) << "\n";
+    }
+    os << "\n";
+  }
+  os << "\n";
+}
+
+namespace {
+constexpr int kColumnWidth = 14;
+}
+
+void PrintTableHeader(std::ostream& os,
+                      const std::vector<std::string>& columns) {
+  for (const std::string& c : columns) {
+    os << std::left << std::setw(kColumnWidth) << c;
+  }
+  os << "\n";
+  os << std::string(columns.size() * kColumnWidth, '-') << "\n";
+}
+
+void PrintTableRow(std::ostream& os, const std::vector<std::string>& cells) {
+  for (const std::string& c : cells) {
+    os << std::left << std::setw(kColumnWidth) << c;
+  }
+  os << "\n";
+}
+
+std::string Num(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+}  // namespace topogen::core

@@ -1,0 +1,32 @@
+// Figure/table output: the bench harness prints every panel as labeled
+// (x, y) rows -- the exact data behind the paper's plots -- plus
+// human-readable qualitative summaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "metrics/series.h"
+
+namespace topogen::core {
+
+// Prints one figure panel:
+//   # panel <figure-id> <title>
+//   # curve <name>
+//   x y
+//   ...
+// Blank line between curves, two between panels (gnuplot "index" format).
+void PrintPanel(std::ostream& os, const std::string& figure_id,
+                const std::string& title,
+                const std::vector<metrics::Series>& curves);
+
+// Fixed-width table row helper for Figure-1-style rosters.
+void PrintTableHeader(std::ostream& os,
+                      const std::vector<std::string>& columns);
+void PrintTableRow(std::ostream& os, const std::vector<std::string>& cells);
+
+// Formats a double with trailing-zero trimming ("2.53", "0.0008").
+std::string Num(double v, int precision = 4);
+
+}  // namespace topogen::core

@@ -1,0 +1,155 @@
+#include "core/roster.h"
+
+#include "gen/ba.h"
+#include "gen/brite.h"
+#include "gen/canonical.h"
+#include "gen/inet.h"
+#include "gen/plrg.h"
+#include "gen/tiers.h"
+#include "gen/transit_stub.h"
+#include "gen/waxman.h"
+
+namespace topogen::core {
+
+using graph::Rng;
+
+namespace {
+
+Rng SeedFor(const RosterOptions& options, std::uint64_t salt) {
+  return Rng(graph::SplitMix64(options.seed) ^ salt);
+}
+
+}  // namespace
+
+Topology MakeTree(const RosterOptions&) {
+  return {"Tree", Category::kCanonical, gen::KaryTree(3, 6), {},
+          "k=3, D=6 (1093 nodes)"};
+}
+
+Topology MakeMesh(const RosterOptions&) {
+  return {"Mesh", Category::kCanonical, gen::Mesh(30, 30), {}, "30x30 grid"};
+}
+
+Topology MakeRandom(const RosterOptions& options) {
+  Rng rng = SeedFor(options, 0x01);
+  return {"Random", Category::kCanonical,
+          gen::ErdosRenyi(5050, 0.0008, rng), {},
+          "G(5050, 0.0008), largest component"};
+}
+
+Topology MakePlrg(const RosterOptions& options) {
+  Rng rng = SeedFor(options, 0x02);
+  gen::PlrgParams p;
+  p.n = options.plrg_nodes;
+  p.exponent = 2.246;
+  return {"PLRG", Category::kDegreeBased, gen::Plrg(p, rng), {},
+          "beta=2.246"};
+}
+
+Topology MakeTransitStub(const RosterOptions& options) {
+  Rng rng = SeedFor(options, 0x03);
+  gen::TransitStubParams p;  // defaults are the paper's 1008-node instance
+  return {"TS", Category::kStructural, gen::TransitStub(p, rng), {},
+          "3 0 0 / 6 0.55 / 6 0.32 / 9 0.248"};
+}
+
+Topology MakeTiers(const RosterOptions& options) {
+  Rng rng = SeedFor(options, 0x04);
+  gen::TiersParams p;  // defaults are the paper's 5000-node instance
+  return {"Tiers", Category::kStructural, gen::Tiers(p, rng), {},
+          "1 50 10 / 500 40 5 / 20 20 1 / 20 1"};
+}
+
+Topology MakeWaxman(const RosterOptions& options) {
+  Rng rng = SeedFor(options, 0x05);
+  gen::WaxmanParams p;  // defaults are the paper's 5000-node instance
+  return {"Waxman", Category::kRandom, gen::Waxman(p, rng), {},
+          "5000 0.005 0.30"};
+}
+
+Topology MakeBa(const RosterOptions& options) {
+  Rng rng = SeedFor(options, 0x06);
+  gen::BaParams p;
+  p.n = options.degree_based_nodes;
+  return {"B-A", Category::kDegreeBased, gen::BarabasiAlbert(p, rng), {},
+          "m=2"};
+}
+
+Topology MakeBrite(const RosterOptions& options) {
+  Rng rng = SeedFor(options, 0x07);
+  gen::BriteParams p;
+  p.n = options.degree_based_nodes;
+  return {"Brite", Category::kDegreeBased, gen::Brite(p, rng), {},
+          "m=2, heavy-tailed placement"};
+}
+
+Topology MakeBt(const RosterOptions& options) {
+  Rng rng = SeedFor(options, 0x08);
+  gen::GlpParams p;
+  p.n = options.degree_based_nodes;
+  return {"BT", Category::kDegreeBased, gen::BuTowsleyGlp(p, rng), {},
+          "GLP m=1 p=0.45 beta=0.64"};
+}
+
+Topology MakeInet(const RosterOptions& options) {
+  Rng rng = SeedFor(options, 0x09);
+  gen::InetParams p;
+  p.n = options.degree_based_nodes;
+  return {"Inet", Category::kDegreeBased, gen::Inet(p, rng), {},
+          "beta=2.22"};
+}
+
+Topology MakeAs(const RosterOptions& options) {
+  Rng rng = SeedFor(options, 0x0a);
+  gen::MeasuredAsParams p;
+  p.n = options.as_nodes;
+  gen::AsTopology as = gen::MeasuredAs(p, rng);
+  return {"AS", Category::kMeasured, std::move(as.graph),
+          std::move(as.relationship),
+          "synthetic stand-in for route-views May 2001"};
+}
+
+RlArtifacts MakeRl(const RosterOptions& options) {
+  Rng rng = SeedFor(options, 0x0b);
+  gen::MeasuredRlParams p;
+  p.as_params.n = options.as_nodes;
+  p.expansion_ratio = options.rl_expansion_ratio;
+  gen::RlTopology rl = gen::MeasuredRl(p, rng);
+  std::vector<policy::Relationship> rel = policy::AnnotateRouterLinks(
+      rl.graph, rl.as_of, rl.as_topology.graph, rl.as_topology.relationship);
+  RlArtifacts out;
+  out.topology = {"RL", Category::kMeasured, std::move(rl.graph),
+                  std::move(rel),
+                  "synthetic stand-in for SCAN/Mercator May 2001"};
+  out.as_of = std::move(rl.as_of);
+  return out;
+}
+
+std::vector<Topology> CanonicalRoster(const RosterOptions& options) {
+  std::vector<Topology> r;
+  r.push_back(MakeTree(options));
+  r.push_back(MakeMesh(options));
+  r.push_back(MakeRandom(options));
+  return r;
+}
+
+std::vector<Topology> GeneratedRoster(const RosterOptions& options) {
+  std::vector<Topology> r;
+  r.push_back(MakeTransitStub(options));
+  r.push_back(MakeTiers(options));
+  r.push_back(MakeWaxman(options));
+  r.push_back(MakePlrg(options));
+  return r;
+}
+
+std::vector<Topology> DegreeBasedRoster(const RosterOptions& options) {
+  std::vector<Topology> r;
+  r.push_back(MakeBa(options));
+  r.push_back(MakeBrite(options));
+  r.push_back(MakeBt(options));
+  r.push_back(MakeInet(options));
+  r.push_back(MakePlrg(options));
+  return r;
+}
+
+}  // namespace topogen::core

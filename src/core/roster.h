@@ -1,0 +1,61 @@
+// The paper's topology roster (Figure 1), reproducible at a configurable
+// scale.
+//
+// Each factory builds one named instance with the paper's parameters. The
+// two measured topologies are synthetic stand-ins (see gen/measured.h and
+// DESIGN.md §4); `scale` shrinks the expensive instances so the full
+// figure suite runs in minutes -- every claim the paper makes is about
+// curve *shapes*, which are scale-robust (tests/roster_test.cc checks
+// this for expansion and resilience).
+#pragma once
+
+#include <vector>
+
+#include "core/topology.h"
+#include "gen/measured.h"
+#include "policy/paths.h"
+
+namespace topogen::core {
+
+struct RosterOptions {
+  std::uint64_t seed = 42;
+  // Nodes for the synthetic AS graph (paper: 10941). Everything that
+  // derives from it (RL) scales along.
+  graph::NodeId as_nodes = 4000;
+  double rl_expansion_ratio = 6.0;  // RL nodes per AS node (paper: ~17)
+  graph::NodeId plrg_nodes = 10000; // pre-largest-component (paper: 10000)
+  graph::NodeId degree_based_nodes = 8000;  // BA/Brite/BT/Inet instances
+};
+
+// Canonical networks (Figure 1's last block).
+Topology MakeTree(const RosterOptions& options = {});
+Topology MakeMesh(const RosterOptions& options = {});
+Topology MakeRandom(const RosterOptions& options = {});
+
+// Generators (Figure 1's middle block).
+Topology MakePlrg(const RosterOptions& options = {});
+Topology MakeTransitStub(const RosterOptions& options = {});
+Topology MakeTiers(const RosterOptions& options = {});
+Topology MakeWaxman(const RosterOptions& options = {});
+
+// Degree-based variants (Figure 2j-l / Appendix D).
+Topology MakeBa(const RosterOptions& options = {});
+Topology MakeBrite(const RosterOptions& options = {});
+Topology MakeBt(const RosterOptions& options = {});
+Topology MakeInet(const RosterOptions& options = {});
+
+// Measured stand-ins (Figure 1's first block), with policy annotations.
+Topology MakeAs(const RosterOptions& options = {});
+// The RL topology carries its AS overlay so policy links can be annotated.
+struct RlArtifacts {
+  Topology topology;
+  std::vector<std::uint32_t> as_of;
+};
+RlArtifacts MakeRl(const RosterOptions& options = {});
+
+// Convenience groupings matching the figure panels.
+std::vector<Topology> CanonicalRoster(const RosterOptions& options = {});
+std::vector<Topology> GeneratedRoster(const RosterOptions& options = {});
+std::vector<Topology> DegreeBasedRoster(const RosterOptions& options = {});
+
+}  // namespace topogen::core

@@ -1,0 +1,41 @@
+#include "core/suite.h"
+
+#include <stdexcept>
+
+namespace topogen::core {
+
+BasicMetrics RunBasicMetrics(const Topology& topology,
+                             const SuiteOptions& options) {
+  BasicMetrics out;
+  const graph::Graph& g = topology.graph;
+  if (options.use_policy) {
+    if (!topology.has_policy()) {
+      throw std::invalid_argument("RunBasicMetrics: topology '" +
+                                  topology.name +
+                                  "' has no policy annotation");
+    }
+    out.expansion =
+        metrics::PolicyExpansion(g, topology.relationship, options.expansion);
+    out.resilience =
+        metrics::PolicyResilience(g, topology.relationship, options.ball);
+    out.distortion =
+        metrics::PolicyDistortion(g, topology.relationship, options.ball);
+  } else {
+    out.expansion = metrics::Expansion(g, options.expansion);
+    out.resilience = metrics::Resilience(g, options.ball);
+    out.distortion = metrics::Distortion(g, options.ball);
+  }
+  out.expansion.name = topology.name;
+  out.resilience.name = topology.name;
+  out.distortion.name = topology.name;
+  if (options.use_policy) {
+    out.expansion.name += "(Policy)";
+    out.resilience.name += "(Policy)";
+    out.distortion.name += "(Policy)";
+  }
+  out.signature = metrics::Classify(out.expansion, out.resilience,
+                                    out.distortion, options.classifier);
+  return out;
+}
+
+}  // namespace topogen::core

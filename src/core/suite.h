@@ -1,0 +1,33 @@
+// The comparison suite: runs the paper's three basic metrics on a topology
+// and derives the Section 4.4 Low/High signature. This is the paper's core
+// experimental loop, shared by benches, examples, and integration tests.
+#pragma once
+
+#include "core/topology.h"
+#include "metrics/ball.h"
+#include "metrics/classification.h"
+#include "metrics/distortion.h"
+#include "metrics/expansion.h"
+#include "metrics/resilience.h"
+
+namespace topogen::core {
+
+struct SuiteOptions {
+  metrics::BallGrowingOptions ball;
+  metrics::ExpansionOptions expansion;
+  metrics::ClassifierOptions classifier;
+  // Evaluate the policy-routed variant (requires topology.has_policy()).
+  bool use_policy = false;
+};
+
+struct BasicMetrics {
+  metrics::Series expansion;
+  metrics::Series resilience;
+  metrics::Series distortion;
+  metrics::LhSignature signature;
+};
+
+BasicMetrics RunBasicMetrics(const Topology& topology,
+                             const SuiteOptions& options = {});
+
+}  // namespace topogen::core

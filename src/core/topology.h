@@ -1,0 +1,29 @@
+// A named topology instance: the unit every experiment operates on.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "policy/relationships.h"
+
+namespace topogen::core {
+
+// Paper's taxonomy (Section 3.1).
+enum class Category { kMeasured, kStructural, kDegreeBased, kRandom, kCanonical };
+
+struct Topology {
+  std::string name;
+  Category category = Category::kCanonical;
+  graph::Graph graph;
+  // Link relationships for policy routing; empty when the topology has no
+  // policy annotation (everything except the measured graphs by default).
+  std::vector<policy::Relationship> relationship;
+  // Free-form parameter description, mirroring Figure 1's Comment column.
+  std::string comment;
+
+  bool has_policy() const { return !relationship.empty(); }
+};
+
+}  // namespace topogen::core

@@ -1,0 +1,210 @@
+#include "gen/ba.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/components.h"
+
+namespace topogen::gen {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::Rng;
+
+namespace {
+
+// Growth-process state shared by the three preferential models. Tracks live
+// degrees, an edge set (the models forbid duplicate links), and a stub list
+// for O(1) degree-proportional sampling. Removals (rewiring) leave stale
+// stubs that are filtered by rejection and periodically compacted.
+class Growth {
+ public:
+  explicit Growth(NodeId capacity) : degree_(capacity, 0),
+                                     stub_count_(capacity, 0) {}
+
+  void AddNode(NodeId v) { max_node_ = std::max<std::uint64_t>(max_node_, v + 1ull); }
+
+  bool HasEdge(NodeId u, NodeId v) const {
+    return edge_keys_.contains(Key(u, v));
+  }
+
+  void AddEdge(NodeId u, NodeId v) {
+    edge_keys_.insert(Key(u, v));
+    edges_.push_back({u, v});
+    Bump(u);
+    Bump(v);
+  }
+
+  // Removes a uniformly random edge and returns it.
+  graph::Edge RemoveRandomEdge(Rng& rng) {
+    const std::size_t idx = rng.NextIndex(edges_.size());
+    const graph::Edge e = edges_[idx];
+    edges_[idx] = edges_.back();
+    edges_.pop_back();
+    edge_keys_.erase(Key(e.u, e.v));
+    --degree_[e.u];
+    --degree_[e.v];
+    stale_ += 2;
+    MaybeCompact();
+    return e;
+  }
+
+  // Node sampled with probability proportional to degree (beta = 0) or to
+  // (degree - beta) for the GLP preference. Returns kInvalidNode when no
+  // node has positive weight.
+  NodeId PickPreferential(Rng& rng, double beta = 0.0) {
+    for (int attempt = 0; attempt < 4096; ++attempt) {
+      if (stubs_.empty()) break;
+      const NodeId cand = stubs_[rng.NextIndex(stubs_.size())];
+      // Correct for stale stubs, then apply the GLP shift.
+      const double weight =
+          (static_cast<double>(degree_[cand]) - beta) /
+          static_cast<double>(stub_count_[cand]);
+      if (weight > 0.0 && rng.NextBool(std::min(1.0, weight))) return cand;
+    }
+    return graph::kInvalidNode;
+  }
+
+  std::size_t num_edges() const { return edges_.size(); }
+  const std::vector<graph::Edge>& edges() const { return edges_; }
+  std::uint32_t degree(NodeId v) const { return degree_[v]; }
+
+ private:
+  static std::uint64_t Key(NodeId u, NodeId v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+
+  void Bump(NodeId v) {
+    ++degree_[v];
+    ++stub_count_[v];
+    stubs_.push_back(v);
+  }
+
+  void MaybeCompact() {
+    if (stale_ * 2 < stubs_.size()) return;
+    stubs_.clear();
+    std::fill(stub_count_.begin(), stub_count_.end(), 0);
+    for (const graph::Edge& e : edges_) {
+      for (NodeId v : {e.u, e.v}) {
+        ++stub_count_[v];
+        stubs_.push_back(v);
+      }
+    }
+    stale_ = 0;
+  }
+
+  std::vector<std::uint32_t> degree_;
+  std::vector<std::uint32_t> stub_count_;
+  std::vector<NodeId> stubs_;
+  std::vector<graph::Edge> edges_;
+  std::unordered_set<std::uint64_t> edge_keys_;
+  std::size_t stale_ = 0;
+  std::uint64_t max_node_ = 0;
+};
+
+// Seed ring of m0 nodes; every preferential model needs a nonempty start
+// with positive degrees.
+void SeedRing(Growth& growth, unsigned m0) {
+  for (NodeId v = 0; v < m0; ++v) growth.AddNode(v);
+  if (m0 == 2) {
+    growth.AddEdge(0, 1);
+    return;
+  }
+  for (NodeId v = 0; v < m0; ++v) {
+    growth.AddEdge(v, static_cast<NodeId>((v + 1) % m0));
+  }
+}
+
+// Attaches `m` preferential links from `v` to distinct existing targets.
+void AttachPreferential(Growth& growth, NodeId v, unsigned m, Rng& rng,
+                        double beta = 0.0) {
+  for (unsigned i = 0; i < m; ++i) {
+    NodeId target = graph::kInvalidNode;
+    for (int attempt = 0; attempt < 512; ++attempt) {
+      const NodeId cand = growth.PickPreferential(rng, beta);
+      if (cand != graph::kInvalidNode && cand != v &&
+          !growth.HasEdge(v, cand)) {
+        target = cand;
+        break;
+      }
+    }
+    if (target == graph::kInvalidNode) return;  // saturated; give up quietly
+    growth.AddEdge(v, target);
+  }
+}
+
+Graph Finish(const Growth& growth, NodeId n) {
+  GraphBuilder b(n);
+  for (const graph::Edge& e : growth.edges()) b.AddEdge(e.u, e.v);
+  Graph g = std::move(b).Build();
+  return graph::LargestComponent(g).graph;
+}
+
+}  // namespace
+
+Graph BarabasiAlbert(const BaParams& params, Rng& rng) {
+  const unsigned m0 = std::max({params.m0, params.m, 2u});
+  Growth growth(params.n);
+  SeedRing(growth, m0);
+  for (NodeId v = m0; v < params.n; ++v) {
+    growth.AddNode(v);
+    AttachPreferential(growth, v, params.m, rng);
+  }
+  return Finish(growth, params.n);
+}
+
+Graph ExtendedBarabasiAlbert(const ExtendedBaParams& params, Rng& rng) {
+  const unsigned m0 = std::max({params.m0, params.m, 2u});
+  Growth growth(params.n);
+  SeedRing(growth, m0);
+  NodeId next = m0;
+  while (next < params.n) {
+    const double roll = rng.NextDouble();
+    if (roll < params.p_add_links) {
+      // m new links between existing nodes, both ends preferential.
+      for (unsigned i = 0; i < params.m; ++i) {
+        const NodeId u = growth.PickPreferential(rng);
+        if (u == graph::kInvalidNode) break;
+        AttachPreferential(growth, u, 1, rng);
+      }
+    } else if (roll < params.p_add_links + params.q_rewire &&
+               growth.num_edges() > 1) {
+      // Rewire m links: detach one endpoint, reattach preferentially.
+      for (unsigned i = 0; i < params.m; ++i) {
+        const graph::Edge e = growth.RemoveRandomEdge(rng);
+        AttachPreferential(growth, e.u, 1, rng);
+      }
+    } else {
+      growth.AddNode(next);
+      AttachPreferential(growth, next, params.m, rng);
+      ++next;
+    }
+  }
+  return Finish(growth, params.n);
+}
+
+Graph BuTowsleyGlp(const GlpParams& params, Rng& rng) {
+  const unsigned m0 = std::max({params.m0, params.m, 2u});
+  Growth growth(params.n);
+  SeedRing(growth, m0);
+  NodeId next = m0;
+  while (next < params.n) {
+    if (rng.NextBool(params.p_add_links)) {
+      for (unsigned i = 0; i < params.m; ++i) {
+        const NodeId u = growth.PickPreferential(rng, params.beta);
+        if (u == graph::kInvalidNode) break;
+        AttachPreferential(growth, u, 1, rng, params.beta);
+      }
+    } else {
+      growth.AddNode(next);
+      AttachPreferential(growth, next, params.m, rng, params.beta);
+      ++next;
+    }
+  }
+  return Finish(growth, params.n);
+}
+
+}  // namespace topogen::gen

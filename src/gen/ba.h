@@ -1,0 +1,52 @@
+// Preferential-attachment generators: Barabasi-Albert [4], the
+// Albert-Barabasi extension with link addition and rewiring [2], and the
+// Bu-Towsley GLP model [8] (the paper's "BT").
+//
+// All three grow the graph incrementally and wire new links with
+// probability proportional to (a function of) current node degree; they
+// differ in the extra events mixed into the growth process:
+//
+//   * BA: every step adds a node with m preferential links.
+//   * Extended BA: with probability p, add m links between existing nodes;
+//     with probability q, rewire m links; otherwise add a node.
+//   * GLP ("BT"): like extended BA but with the generalized linear
+//     preference Pi(i) ~ (d_i - beta_glp), beta_glp < 1, which lets the
+//     model match both the power-law exponent and the clustering of the
+//     measured AS graph.
+#pragma once
+
+#include "graph/graph.h"
+#include "graph/rng.h"
+
+namespace topogen::gen {
+
+struct BaParams {
+  graph::NodeId n = 10000;
+  unsigned m = 2;   // links added per new node
+  unsigned m0 = 3;  // seed ring size (>= m, >= 2)
+};
+
+graph::Graph BarabasiAlbert(const BaParams& params, graph::Rng& rng);
+
+struct ExtendedBaParams {
+  graph::NodeId n = 10000;
+  unsigned m = 2;
+  unsigned m0 = 3;
+  double p_add_links = 0.25;  // probability of a pure link-addition step
+  double q_rewire = 0.10;     // probability of a rewiring step
+};
+
+graph::Graph ExtendedBarabasiAlbert(const ExtendedBaParams& params,
+                                    graph::Rng& rng);
+
+struct GlpParams {
+  graph::NodeId n = 10000;
+  unsigned m = 1;       // links per event
+  unsigned m0 = 10;     // seed ring size
+  double p_add_links = 0.45;  // probability an event adds links, not a node
+  double beta = 0.64;   // generalized linear preference shift (< 1)
+};
+
+graph::Graph BuTowsleyGlp(const GlpParams& params, graph::Rng& rng);
+
+}  // namespace topogen::gen

@@ -1,0 +1,68 @@
+#include "gen/brite.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "graph/components.h"
+
+namespace topogen::gen {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::Rng;
+
+Graph Brite(const BriteParams& params, Rng& rng) {
+  const NodeId n = params.n;
+  const unsigned m = std::max(1u, params.m);
+  const std::vector<Point> pts =
+      params.placement == BritePlacement::kHeavyTailed
+          ? HeavyTailPoints(n, params.placement_grid, rng)
+          : UniformPoints(n, rng);
+
+  std::vector<std::uint32_t> degree(n, 0);
+  std::vector<NodeId> stubs;
+  std::vector<graph::Edge> edges;
+  std::unordered_set<std::uint64_t> keys;
+  auto key = [](NodeId u, NodeId v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  };
+  auto add_edge = [&](NodeId u, NodeId v) {
+    keys.insert(key(u, v));
+    edges.push_back({u, v});
+    ++degree[u];
+    ++degree[v];
+    stubs.push_back(u);
+    stubs.push_back(v);
+  };
+
+  // Seed: a small ring so every early node has degree.
+  const NodeId m0 = std::min<NodeId>(n, std::max<NodeId>(m + 1, 3));
+  for (NodeId v = 0; v < m0; ++v) add_edge(v, (v + 1) % m0);
+
+  const double scale = params.waxman_beta * std::sqrt(2.0);
+  for (NodeId v = m0; v < n; ++v) {
+    unsigned placed = 0;
+    for (int attempt = 0; attempt < 4096 && placed < m; ++attempt) {
+      const NodeId cand = stubs[rng.NextIndex(stubs.size())];
+      if (cand == v || keys.contains(key(v, cand))) continue;
+      if (params.geographic_bias) {
+        // Damp the preferential choice by the Waxman distance factor; the
+        // alpha knob rescales acceptance, not density, in this role.
+        const double w = std::exp(-Distance(pts[v], pts[cand]) / scale);
+        if (!rng.NextBool(std::min(1.0, params.waxman_alpha + w))) continue;
+      }
+      add_edge(v, cand);
+      ++placed;
+    }
+  }
+
+  GraphBuilder b(n);
+  for (const graph::Edge& e : edges) b.AddEdge(e.u, e.v);
+  Graph g = std::move(b).Build();
+  return graph::LargestComponent(g).graph;
+}
+
+}  // namespace topogen::gen

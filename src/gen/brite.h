@@ -1,0 +1,33 @@
+// BRITE-style generator (Medina, Lakhina, Matta, Byers [28]; the paper's
+// "Brite version 1.0").
+//
+// BRITE marries Barabasi-Albert incremental growth with plane placement:
+// nodes land on the unit square either uniformly or with heavy-tailed
+// clustering, and each arriving node wires m links to existing nodes with
+// probability proportional to degree, optionally damped by the Waxman
+// distance factor ("geographic bias"). The paper ran BRITE with
+// heavy-tailed placement and did not explore the bias, so that is our
+// default too.
+#pragma once
+
+#include "gen/geometry.h"
+#include "graph/graph.h"
+#include "graph/rng.h"
+
+namespace topogen::gen {
+
+enum class BritePlacement { kRandom, kHeavyTailed };
+
+struct BriteParams {
+  graph::NodeId n = 10000;
+  unsigned m = 2;  // links per arriving node
+  BritePlacement placement = BritePlacement::kHeavyTailed;
+  unsigned placement_grid = 32;  // cells per side for heavy-tailed placement
+  bool geographic_bias = false;  // weigh targets by the Waxman factor
+  double waxman_alpha = 0.15;    // only used with geographic_bias
+  double waxman_beta = 0.2;
+};
+
+graph::Graph Brite(const BriteParams& params, graph::Rng& rng);
+
+}  // namespace topogen::gen

@@ -1,0 +1,115 @@
+#include "gen/canonical.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/components.h"
+
+namespace topogen::gen {
+
+using graph::Edge;
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::Rng;
+
+Graph KaryTree(unsigned k, unsigned depth) {
+  if (k == 0) throw std::invalid_argument("KaryTree: k must be >= 1");
+  // Level sizes k^0, k^1, ..., k^depth; children of node i are contiguous.
+  std::uint64_t total = 0, level = 1;
+  for (unsigned d = 0; d <= depth; ++d) {
+    total += level;
+    level *= k;
+  }
+  GraphBuilder b(static_cast<NodeId>(total));
+  // In the breadth-first labeling of a complete k-ary tree, node i's
+  // children are k*i + 1 .. k*i + k.
+  for (std::uint64_t i = 0; i < total; ++i) {
+    for (unsigned c = 1; c <= k; ++c) {
+      const std::uint64_t child = k * i + c;
+      if (child < total) {
+        b.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(child));
+      }
+    }
+  }
+  return std::move(b).Build();
+}
+
+Graph Mesh(unsigned rows, unsigned cols) {
+  GraphBuilder b(static_cast<NodeId>(rows) * cols);
+  auto id = [cols](unsigned r, unsigned c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (unsigned r = 0; r < rows; ++r) {
+    for (unsigned c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.AddEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return std::move(b).Build();
+}
+
+Graph Linear(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId i = 0; i + 1 < n; ++i) b.AddEdge(i, i + 1);
+  return std::move(b).Build();
+}
+
+Graph Complete(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) b.AddEdge(i, j);
+  }
+  return std::move(b).Build();
+}
+
+Graph Ring(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < n; ++i) b.AddEdge(i, (i + 1) % n);
+  return std::move(b).Build();
+}
+
+Graph ErdosRenyi(NodeId n, double p, Rng& rng,
+                 bool keep_largest_component) {
+  GraphBuilder b(n);
+  if (p > 0.0) {
+    // Geometric skipping (Batagelj-Brandes): O(n + m) instead of O(n^2).
+    const double log1mp = std::log1p(-p);
+    std::int64_t v = 1, w = -1;
+    while (v < static_cast<std::int64_t>(n)) {
+      const double r = rng.NextDouble();
+      w += 1 + static_cast<std::int64_t>(std::floor(std::log1p(-r) / log1mp));
+      while (w >= v && v < static_cast<std::int64_t>(n)) {
+        w -= v;
+        ++v;
+      }
+      if (v < static_cast<std::int64_t>(n)) {
+        b.AddEdge(static_cast<NodeId>(v), static_cast<NodeId>(w));
+      }
+    }
+  }
+  Graph g = std::move(b).Build();
+  return keep_largest_component ? LargestComponent(g).graph : g;
+}
+
+Graph ErdosRenyiGnm(NodeId n, std::size_t m, Rng& rng,
+                    bool keep_largest_component) {
+  GraphBuilder b(n);
+  std::unordered_set<std::uint64_t> seen;
+  const std::size_t max_edges =
+      static_cast<std::size_t>(n) * (n - 1) / 2;
+  m = std::min(m, max_edges);
+  while (seen.size() < m) {
+    NodeId u = static_cast<NodeId>(rng.NextIndex(n));
+    NodeId v = static_cast<NodeId>(rng.NextIndex(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    if (seen.insert(key).second) b.AddEdge(u, v);
+  }
+  Graph g = std::move(b).Build();
+  return keep_largest_component ? LargestComponent(g).graph : g;
+}
+
+}  // namespace topogen::gen

@@ -1,0 +1,44 @@
+// Canonical calibration networks (paper Section 3.1.3).
+//
+// The paper anchors its metric methodology on networks whose large-scale
+// structure is known analytically: the k-ary Tree, the rectangular Mesh,
+// the Erdos-Renyi Random graph, plus the Complete graph and Linear chain
+// used in the Section 3.2.1 summary table. The Figure 1 instances are
+// Tree(k=3, depth=6) with 1093 nodes, a 30x30 Mesh, and a Random graph
+// with 5018 nodes at link probability 0.0008.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/rng.h"
+
+namespace topogen::gen {
+
+// Complete k-ary tree with the given depth (root at depth 0). Node count is
+// (k^(depth+1) - 1) / (k - 1); k = 3, depth = 6 gives the paper's 1093.
+graph::Graph KaryTree(unsigned k, unsigned depth);
+
+// rows x cols rectangular grid ("Mesh"); 30x30 in the paper.
+graph::Graph Mesh(unsigned rows, unsigned cols);
+
+// Path graph on n nodes ("Linear chain").
+graph::Graph Linear(graph::NodeId n);
+
+// Complete graph on n nodes.
+graph::Graph Complete(graph::NodeId n);
+
+// Cycle on n nodes (not in the paper's table; used for tests).
+graph::Graph Ring(graph::NodeId n);
+
+// Erdos-Renyi G(n, p). When keep_largest_component is true (the paper's
+// convention for possibly-disconnected generators) only the largest
+// connected component is returned.
+graph::Graph ErdosRenyi(graph::NodeId n, double p, graph::Rng& rng,
+                        bool keep_largest_component = true);
+
+// Erdos-Renyi G(n, m): exactly m distinct random edges.
+graph::Graph ErdosRenyiGnm(graph::NodeId n, std::size_t m, graph::Rng& rng,
+                           bool keep_largest_component = true);
+
+}  // namespace topogen::gen

@@ -1,0 +1,327 @@
+#include "gen/degree_seq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/components.h"
+
+namespace topogen::gen {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::Rng;
+
+std::vector<std::uint32_t> SamplePowerLawDegrees(
+    const PowerLawDegreeParams& params, Rng& rng) {
+  const std::uint32_t lo = std::max<std::uint32_t>(1, params.min_degree);
+  const std::uint32_t hi =
+      params.max_degree == 0 ? std::max(lo, params.n - 1)
+                             : std::max(lo, params.max_degree);
+  // Inverse-CDF table over [lo, hi].
+  std::vector<double> cdf(hi - lo + 1);
+  double total = 0.0;
+  for (std::uint32_t k = lo; k <= hi; ++k) {
+    total += std::pow(static_cast<double>(k), -params.exponent);
+    cdf[k - lo] = total;
+  }
+  std::vector<std::uint32_t> degrees(params.n);
+  for (std::uint32_t& d : degrees) {
+    const double u = rng.NextDouble() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    d = lo + static_cast<std::uint32_t>(it - cdf.begin());
+  }
+  // Make the stub count even.
+  if ((std::accumulate(degrees.begin(), degrees.end(), std::uint64_t{0}) &
+       1) != 0) {
+    ++degrees[rng.NextIndex(degrees.size())];
+  }
+  return degrees;
+}
+
+std::vector<std::uint32_t> AclDegreeSequence(NodeId n, double exponent) {
+  // Bisect e^alpha so sum_k floor(e^alpha / k^beta) lands on n.
+  auto count_nodes = [&](double ealpha) {
+    std::uint64_t total = 0;
+    for (std::uint32_t k = 1;; ++k) {
+      const auto at_k = static_cast<std::uint64_t>(
+          ealpha / std::pow(static_cast<double>(k), exponent));
+      if (at_k == 0) break;
+      total += at_k;
+      if (total > 4ull * n) break;  // early out, clearly too large
+    }
+    return total;
+  };
+  double lo = 1.0, hi = 16.0 * static_cast<double>(n);
+  for (int it = 0; it < 80; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (count_nodes(mid) < n ? lo : hi) = mid;
+  }
+  const double ealpha = 0.5 * (lo + hi);
+  std::vector<std::uint32_t> degrees;
+  degrees.reserve(n);
+  // Emit largest degrees first so truncation to exactly n nodes (the
+  // floors rarely sum to n on the nose) trims only degree-1 nodes.
+  const auto kmax = static_cast<std::uint32_t>(
+      std::pow(ealpha, 1.0 / exponent));
+  for (std::uint32_t k = kmax; k >= 1; --k) {
+    const auto at_k = static_cast<std::uint64_t>(
+        ealpha / std::pow(static_cast<double>(k), exponent));
+    for (std::uint64_t i = 0; i < at_k && degrees.size() < n; ++i) {
+      degrees.push_back(k);
+    }
+    if (k == 1) break;
+  }
+  while (degrees.size() < n) degrees.push_back(1);
+  // Even stub total.
+  std::uint64_t sum = std::accumulate(degrees.begin(), degrees.end(),
+                                      std::uint64_t{0});
+  if ((sum & 1) != 0) ++degrees.back();
+  return degrees;
+}
+
+double PowerLawMeanDegree(double exponent, std::uint32_t min_degree,
+                          std::uint32_t max_degree) {
+  double mass = 0.0, mean = 0.0;
+  for (std::uint32_t k = std::max<std::uint32_t>(1, min_degree);
+       k <= max_degree; ++k) {
+    const double p = std::pow(static_cast<double>(k), -exponent);
+    mass += p;
+    mean += p * k;
+  }
+  return mass == 0.0 ? 0.0 : mean / mass;
+}
+
+double CalibrateExponent(double target_mean_degree, std::uint32_t min_degree,
+                         std::uint32_t max_degree) {
+  // Mean degree decreases monotonically in the exponent; bisect.
+  double lo = 1.05, hi = 5.0;
+  if (PowerLawMeanDegree(lo, min_degree, max_degree) < target_mean_degree) {
+    return lo;  // target unreachable even at the heaviest tail
+  }
+  for (int it = 0; it < 60; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (PowerLawMeanDegree(mid, min_degree, max_degree) >
+        target_mean_degree) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+namespace {
+
+// PLRG: one entry per stub, shuffled, consecutive entries matched.
+void WirePlrg(std::span<const std::uint32_t> degrees, GraphBuilder& b,
+              Rng& rng) {
+  std::vector<NodeId> stubs;
+  for (NodeId v = 0; v < degrees.size(); ++v) {
+    for (std::uint32_t i = 0; i < degrees[v]; ++i) stubs.push_back(v);
+  }
+  std::shuffle(stubs.begin(), stubs.end(), rng.engine());
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    b.AddEdge(stubs[i], stubs[i + 1]);
+  }
+}
+
+// Uniform over *nodes* with unsatisfied degree, per Palmer-Steffen.
+void WireRandomNodePairs(std::span<const std::uint32_t> degrees,
+                         GraphBuilder& b, Rng& rng) {
+  std::vector<std::uint32_t> remaining(degrees.begin(), degrees.end());
+  std::vector<NodeId> open;
+  for (NodeId v = 0; v < degrees.size(); ++v) {
+    if (remaining[v] > 0) open.push_back(v);
+  }
+  auto drop = [&](std::size_t idx) {
+    open[idx] = open.back();
+    open.pop_back();
+  };
+  while (open.size() >= 2) {
+    const std::size_t ia = rng.NextIndex(open.size());
+    std::size_t ib = rng.NextIndex(open.size() - 1);
+    if (ib >= ia) ++ib;
+    const NodeId a = open[ia], c = open[ib];
+    b.AddEdge(a, c);
+    // Decrement and compact; handle the larger index first so the swap in
+    // drop() cannot invalidate the smaller one.
+    const std::size_t hi_idx = std::max(ia, ib);
+    const std::size_t lo_idx = std::min(ia, ib);
+    if (--remaining[open[hi_idx]] == 0) drop(hi_idx);
+    if (--remaining[open[lo_idx]] == 0) drop(lo_idx);
+  }
+}
+
+enum class PartnerRule { kAssignedDegree, kUnsatisfiedDegree, kUniform };
+
+// Highest-degree-first wiring with a pluggable partner-selection rule.
+void WireHighestFirst(std::span<const std::uint32_t> degrees, GraphBuilder& b,
+                      Rng& rng, PartnerRule rule) {
+  const NodeId n = static_cast<NodeId>(degrees.size());
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId c) {
+    return degrees[a] > degrees[c];
+  });
+  std::vector<std::uint32_t> remaining(degrees.begin(), degrees.end());
+
+  // Stub pool for proportional sampling via rejection. For the uniform
+  // rule, a plain open-node list.
+  std::vector<NodeId> pool;
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint32_t copies =
+        rule == PartnerRule::kUniform ? (remaining[v] > 0 ? 1 : 0)
+                                      : degrees[v];
+    for (std::uint32_t i = 0; i < copies; ++i) pool.push_back(v);
+  }
+
+  auto pick_partner = [&](NodeId self) -> NodeId {
+    for (int attempt = 0; attempt < 256; ++attempt) {
+      if (pool.empty()) break;
+      const std::size_t idx = rng.NextIndex(pool.size());
+      const NodeId cand = pool[idx];
+      if (cand == self || remaining[cand] == 0) {
+        // Lazy cleanup keeps rejection sampling near O(1).
+        if (remaining[cand] == 0) {
+          pool[idx] = pool.back();
+          pool.pop_back();
+        }
+        continue;
+      }
+      if (rule == PartnerRule::kUnsatisfiedDegree) {
+        // Accept proportionally to unsatisfied/assigned.
+        const double accept = static_cast<double>(remaining[cand]) /
+                              static_cast<double>(degrees[cand]);
+        if (!rng.NextBool(accept)) continue;
+      }
+      return cand;
+    }
+    // Fallback: linear scan for any open partner.
+    for (NodeId v = 0; v < n; ++v) {
+      if (v != self && remaining[v] > 0) return v;
+    }
+    return graph::kInvalidNode;
+  };
+
+  for (NodeId u : order) {
+    while (remaining[u] > 0) {
+      const NodeId partner = pick_partner(u);
+      if (partner == graph::kInvalidNode) return;  // odd leftover stub
+      b.AddEdge(u, partner);
+      --remaining[u];
+      --remaining[partner];
+    }
+  }
+}
+
+// Appendix D.1's deterministic method.
+void WireDeterministic(std::span<const std::uint32_t> degrees,
+                       GraphBuilder& b) {
+  const NodeId n = static_cast<NodeId>(degrees.size());
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId c) {
+    return degrees[a] > degrees[c];
+  });
+  std::vector<std::uint32_t> remaining(degrees.begin(), degrees.end());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const NodeId u = order[i];
+    for (std::size_t j = i + 1; j < order.size() && remaining[u] > 0; ++j) {
+      const NodeId v = order[j];
+      if (remaining[v] == 0) continue;
+      b.AddEdge(u, v);
+      --remaining[u];
+      --remaining[v];
+    }
+  }
+}
+
+}  // namespace
+
+Graph ConnectDegreeSequence(std::span<const std::uint32_t> degrees,
+                            ConnectMethod method, Rng& rng,
+                            bool keep_largest_component) {
+  GraphBuilder b(static_cast<NodeId>(degrees.size()));
+  switch (method) {
+    case ConnectMethod::kPlrgMatching:
+      WirePlrg(degrees, b, rng);
+      break;
+    case ConnectMethod::kRandomNodePairs:
+      WireRandomNodePairs(degrees, b, rng);
+      break;
+    case ConnectMethod::kProportionalHighestFirst:
+      WireHighestFirst(degrees, b, rng, PartnerRule::kAssignedDegree);
+      break;
+    case ConnectMethod::kUnsatisfiedProportionalHighestFirst:
+      WireHighestFirst(degrees, b, rng, PartnerRule::kUnsatisfiedDegree);
+      break;
+    case ConnectMethod::kUniformHighestFirst:
+      WireHighestFirst(degrees, b, rng, PartnerRule::kUniform);
+      break;
+    case ConnectMethod::kDeterministicHighestFirst:
+      WireDeterministic(degrees, b);
+      break;
+  }
+  Graph g = std::move(b).Build();
+  return keep_largest_component ? graph::LargestComponent(g).graph : g;
+}
+
+std::vector<std::uint32_t> DegreeSequenceOf(const Graph& g) {
+  std::vector<std::uint32_t> degrees(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    degrees[v] = static_cast<std::uint32_t>(g.degree(v));
+  }
+  return degrees;
+}
+
+Graph ReconnectWithPlrg(const Graph& g, Rng& rng) {
+  const std::vector<std::uint32_t> degrees = DegreeSequenceOf(g);
+  return ConnectDegreeSequence(degrees, ConnectMethod::kPlrgMatching, rng);
+}
+
+Graph DegreePreservingRewire(const Graph& g, Rng& rng,
+                             double swaps_per_edge) {
+  std::vector<graph::Edge> edges = g.edges();
+  if (edges.size() < 2) return g;
+  // Mutable edge-key set for duplicate detection.
+  std::unordered_set<std::uint64_t> keys;
+  auto key = [](NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  };
+  for (const graph::Edge& e : edges) keys.insert(key(e.u, e.v));
+
+  const auto target_swaps =
+      static_cast<std::size_t>(swaps_per_edge * edges.size());
+  std::size_t done = 0;
+  // Cap attempts: dense or tiny graphs may not admit many swaps.
+  for (std::size_t attempt = 0;
+       attempt < 20 * target_swaps + 100 && done < target_swaps;
+       ++attempt) {
+    const std::size_t i = rng.NextIndex(edges.size());
+    std::size_t j = rng.NextIndex(edges.size() - 1);
+    if (j >= i) ++j;
+    graph::Edge& e1 = edges[i];
+    graph::Edge& e2 = edges[j];
+    // Two swap orientations; pick one at random for detailed balance.
+    NodeId a = e1.u, b = e1.v, c = e2.u, d = e2.v;
+    if (rng.NextBool(0.5)) std::swap(c, d);
+    // Proposed: (a,d), (c,b).
+    if (a == d || c == b) continue;
+    if (keys.contains(key(a, d)) || keys.contains(key(c, b))) continue;
+    keys.erase(key(e1.u, e1.v));
+    keys.erase(key(e2.u, e2.v));
+    e1 = {a, d};
+    e2 = {c, b};
+    keys.insert(key(a, d));
+    keys.insert(key(c, b));
+    ++done;
+  }
+  return Graph::FromEdges(g.num_nodes(), std::move(edges));
+}
+
+}  // namespace topogen::gen

@@ -1,0 +1,98 @@
+// Power-law degree sequences and the node-connectivity methods of
+// Appendix D.1.
+//
+// The paper's central degree-based generator, PLRG [1], separates *what
+// degrees nodes get* from *how stubs are wired together*. Appendix D.1
+// shows the choice of wiring barely matters as long as it is random-ish,
+// and that re-wiring any degree sequence with the PLRG method (Figure 13)
+// reproduces the original graph's large-scale metrics. This module holds
+// both halves: degree sampling/calibration and the family of connectivity
+// methods.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/rng.h"
+
+namespace topogen::gen {
+
+struct PowerLawDegreeParams {
+  graph::NodeId n = 10000;
+  double exponent = 2.246;       // beta: P(deg = k) proportional to k^-beta
+  std::uint32_t min_degree = 1;
+  std::uint32_t max_degree = 0;  // 0 means n - 1
+};
+
+// I.i.d. degrees from the (truncated) discrete power law; the sum is made
+// even by bumping one node, so every stub can be matched.
+std::vector<std::uint32_t> SamplePowerLawDegrees(
+    const PowerLawDegreeParams& params, graph::Rng& rng);
+
+// The exact Aiello-Chung-Lu construction [1]: the number of nodes of
+// degree k is floor(e^alpha / k^beta), with alpha chosen so the total is
+// as close to n as the floor steps allow (the ACL model's natural
+// maximum degree is e^(alpha/beta), far below n). Deterministic, unlike
+// the i.i.d. sampler; returned largest-degree-first.
+std::vector<std::uint32_t> AclDegreeSequence(graph::NodeId n,
+                                             double exponent);
+
+// Expected degree of the truncated power law.
+double PowerLawMeanDegree(double exponent, std::uint32_t min_degree,
+                          std::uint32_t max_degree);
+
+// Exponent beta such that the truncated power law on [min_degree,
+// max_degree] has the requested mean degree; used to calibrate synthetic
+// "measured" graphs against Figure 1's (N, avg degree) pairs.
+double CalibrateExponent(double target_mean_degree, std::uint32_t min_degree,
+                         std::uint32_t max_degree);
+
+// How stubs are wired together (Appendix D.1's roster).
+enum class ConnectMethod {
+  // PLRG [1]: make deg(v) clones of v, match clone pairs uniformly.
+  kPlrgMatching,
+  // Palmer-Steffen [31]: pick two nodes with unsatisfied degree uniformly
+  // at random (per node, not per stub).
+  kRandomNodePairs,
+  // Highest-degree node first; partners chosen proportional to assigned
+  // degree among nodes with unsatisfied degree.
+  kProportionalHighestFirst,
+  // Highest-degree node first; partners proportional to *unsatisfied*
+  // degree.
+  kUnsatisfiedProportionalHighestFirst,
+  // Highest-degree node first; partners uniform among unsatisfied nodes.
+  kUniformHighestFirst,
+  // The deterministic variant: each unsatisfied node, in decreasing degree
+  // order, links once to every lower-degree node in decreasing order.
+  // Appendix D.1 reports this produces graphs quite UNLIKE the Internet.
+  kDeterministicHighestFirst,
+};
+
+// Wires the degree sequence with the chosen method. Self-loops and
+// duplicate links are dropped (paper footnote 6); when
+// keep_largest_component is set (the default and the paper's convention)
+// only the largest connected component is returned.
+graph::Graph ConnectDegreeSequence(std::span<const std::uint32_t> degrees,
+                                   ConnectMethod method, graph::Rng& rng,
+                                   bool keep_largest_component = true);
+
+// Degree sequence of an existing graph.
+std::vector<std::uint32_t> DegreeSequenceOf(const graph::Graph& g);
+
+// Figure 13's "modified" graphs: take g's degree sequence and rewire it
+// with the PLRG method.
+graph::Graph ReconnectWithPlrg(const graph::Graph& g, graph::Rng& rng);
+
+// Maslov-Sneppen degree-preserving rewiring: repeatedly pick two edges
+// (a,b), (c,d) and swap endpoints to (a,d), (c,b) when that creates no
+// self-loop or duplicate. Every node keeps its exact degree while all
+// other structure randomizes -- the sharpest version of the paper's
+// thesis experiment ("is the large-scale structure explained by the
+// degree sequence alone?"). `swaps_per_edge` successful swaps per edge
+// suffice to mix (2-3 is customary).
+graph::Graph DegreePreservingRewire(const graph::Graph& g, graph::Rng& rng,
+                                    double swaps_per_edge = 3.0);
+
+}  // namespace topogen::gen

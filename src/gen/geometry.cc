@@ -1,0 +1,69 @@
+#include "gen/geometry.h"
+
+#include <limits>
+
+namespace topogen::gen {
+
+std::vector<Point> HeavyTailPoints(std::size_t n, unsigned grid,
+                                   graph::Rng& rng) {
+  // Bounded-Pareto cell masses (shape 1, truncated at grid^2).
+  const std::size_t cells = static_cast<std::size_t>(grid) * grid;
+  std::vector<double> mass(cells);
+  double total = 0.0;
+  for (double& m : mass) {
+    // Inverse-CDF sampling of Pareto(shape=1) truncated to [1, cells].
+    const double u = rng.NextDouble();
+    const double hi = static_cast<double>(cells);
+    m = 1.0 / (1.0 - u * (1.0 - 1.0 / hi));
+    total += m;
+  }
+  std::vector<Point> pts(n);
+  for (Point& p : pts) {
+    // Roulette-wheel cell choice.
+    double pick = rng.NextDouble() * total;
+    std::size_t cell = 0;
+    while (cell + 1 < cells && pick > mass[cell]) {
+      pick -= mass[cell];
+      ++cell;
+    }
+    const double cx = static_cast<double>(cell % grid);
+    const double cy = static_cast<double>(cell / grid);
+    p.x = (cx + rng.NextDouble()) / grid;
+    p.y = (cy + rng.NextDouble()) / grid;
+  }
+  return pts;
+}
+
+std::vector<std::size_t> EuclideanMst(const std::vector<Point>& pts) {
+  const std::size_t n = pts.size();
+  std::vector<std::size_t> parent(n, 0);
+  if (n == 0) return parent;
+  std::vector<double> best(n, std::numeric_limits<double>::infinity());
+  std::vector<bool> in_tree(n, false);
+  best[0] = 0.0;
+  for (std::size_t iter = 0; iter < n; ++iter) {
+    // Cheapest fringe vertex.
+    std::size_t u = n;
+    double ub = std::numeric_limits<double>::infinity();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!in_tree[v] && best[v] < ub) {
+        ub = best[v];
+        u = v;
+      }
+    }
+    if (u == n) break;
+    in_tree[u] = true;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!in_tree[v]) {
+        const double d = Distance(pts[u], pts[v]);
+        if (d < best[v]) {
+          best[v] = d;
+          parent[v] = u;
+        }
+      }
+    }
+  }
+  return parent;
+}
+
+}  // namespace topogen::gen

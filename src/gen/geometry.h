@@ -1,0 +1,45 @@
+// Plane-placement helpers shared by the geometric generators (Waxman,
+// Tiers, BRITE-style placement).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "graph/rng.h"
+
+namespace topogen::gen {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+inline double Distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+// n points uniform in the unit square.
+inline std::vector<Point> UniformPoints(std::size_t n, graph::Rng& rng) {
+  std::vector<Point> pts(n);
+  for (Point& p : pts) {
+    p.x = rng.NextDouble();
+    p.y = rng.NextDouble();
+  }
+  return pts;
+}
+
+// n points with heavy-tailed clustering (BRITE's "heavy-tailed" placement):
+// the unit square is divided into cells and each point picks a cell with
+// probability proportional to a bounded-Pareto mass, then lands uniformly
+// inside it. High-mass cells become dense clusters.
+std::vector<Point> HeavyTailPoints(std::size_t n, unsigned grid,
+                                   graph::Rng& rng);
+
+// Euclidean minimum spanning tree over `pts` via Prim's algorithm
+// (O(n^2), fine for the network sizes Tiers uses). Returns parent indices;
+// parent[0] == 0.
+std::vector<std::size_t> EuclideanMst(const std::vector<Point>& pts);
+
+}  // namespace topogen::gen

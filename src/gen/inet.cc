@@ -1,0 +1,107 @@
+#include "gen/inet.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "gen/degree_seq.h"
+#include "graph/components.h"
+
+namespace topogen::gen {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::Rng;
+
+Graph Inet(const InetParams& params, Rng& rng) {
+  PowerLawDegreeParams dp;
+  dp.n = params.n;
+  dp.exponent = params.exponent;
+  dp.min_degree = params.min_degree;
+  dp.max_degree = params.max_degree;
+  const std::vector<std::uint32_t> degrees = SamplePowerLawDegrees(dp, rng);
+  const NodeId n = params.n;
+
+  std::vector<std::uint32_t> remaining(degrees.begin(), degrees.end());
+  GraphBuilder b(n);
+  std::unordered_set<std::uint64_t> keys;
+  auto key = [](NodeId u, NodeId v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  };
+  auto connect = [&](NodeId u, NodeId v) {
+    if (u == v || keys.contains(key(u, v))) return false;
+    keys.insert(key(u, v));
+    b.AddEdge(u, v);
+    if (remaining[u] > 0) --remaining[u];
+    if (remaining[v] > 0) --remaining[v];
+    return true;
+  };
+
+  // Stub pool over in-tree nodes for proportional attachment; entries are
+  // (node repeated per target-degree unit), filtered by rejection on
+  // remaining capacity.
+  std::vector<NodeId> pool;
+  auto pick_proportional = [&](NodeId self) -> NodeId {
+    for (int attempt = 0; attempt < 1024; ++attempt) {
+      if (pool.empty()) break;
+      const std::size_t idx = rng.NextIndex(pool.size());
+      const NodeId cand = pool[idx];
+      if (remaining[cand] == 0) {
+        pool[idx] = pool.back();
+        pool.pop_back();
+        continue;
+      }
+      if (cand != self) return cand;
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (v != self && remaining[v] > 0) return v;
+    }
+    return graph::kInvalidNode;
+  };
+  auto enter_pool = [&](NodeId v) {
+    for (std::uint32_t i = 0; i < degrees[v]; ++i) pool.push_back(v);
+  };
+
+  // Phase 1: spanning tree over degree >= 2 nodes, in random order.
+  std::vector<NodeId> core;
+  std::vector<NodeId> leaves;
+  for (NodeId v = 0; v < n; ++v) {
+    (degrees[v] >= 2 ? core : leaves).push_back(v);
+  }
+  std::shuffle(core.begin(), core.end(), rng.engine());
+  for (std::size_t i = 0; i < core.size(); ++i) {
+    const NodeId v = core[i];
+    if (i > 0) {
+      const NodeId target = pick_proportional(v);
+      if (target != graph::kInvalidNode) connect(v, target);
+    }
+    enter_pool(v);
+  }
+
+  // Phase 2: degree-1 nodes attach proportionally to the tree.
+  for (NodeId v : leaves) {
+    const NodeId target = pick_proportional(v);
+    if (target != graph::kInvalidNode) connect(v, target);
+  }
+
+  // Phase 3: satisfy leftover stubs in decreasing degree order.
+  std::vector<NodeId> order(core);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId c) {
+    return degrees[a] > degrees[c];
+  });
+  for (NodeId u : order) {
+    int stall = 0;
+    while (remaining[u] > 0 && stall < 64) {
+      const NodeId target = pick_proportional(u);
+      if (target == graph::kInvalidNode) break;
+      if (!connect(u, target)) ++stall;  // duplicate; try another partner
+    }
+  }
+
+  Graph g = std::move(b).Build();
+  return graph::LargestComponent(g).graph;
+}
+
+}  // namespace topogen::gen

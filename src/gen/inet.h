@@ -1,0 +1,30 @@
+// Inet-style generator (Jin, Chen, Jamin [24]; paper Appendix D).
+//
+// Inet first draws a power-law degree sequence, then wires it in three
+// ordered phases rather than by uniform stub matching:
+//
+//   1. a spanning tree over the nodes of degree >= 2, grown by attaching
+//      each node to an in-tree node with probability proportional to its
+//      (target) degree,
+//   2. degree-1 nodes attach to tree nodes with proportional probability,
+//   3. remaining free stubs are satisfied in decreasing degree order with
+//      proportional partner choice.
+//
+// Appendix D.1 finds its large-scale metrics indistinguishable from PLRG.
+#pragma once
+
+#include "graph/graph.h"
+#include "graph/rng.h"
+
+namespace topogen::gen {
+
+struct InetParams {
+  graph::NodeId n = 10000;
+  double exponent = 2.22;
+  std::uint32_t min_degree = 1;
+  std::uint32_t max_degree = 0;  // 0 means n - 1
+};
+
+graph::Graph Inet(const InetParams& params, graph::Rng& rng);
+
+}  // namespace topogen::gen

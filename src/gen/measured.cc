@@ -1,0 +1,177 @@
+#include "gen/measured.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "gen/degree_seq.h"
+#include "graph/components.h"
+
+namespace topogen::gen {
+
+using graph::Edge;
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::Rng;
+
+AsTopology MeasuredAs(const MeasuredAsParams& params, Rng& rng) {
+  const NodeId n = params.n;
+  const std::uint32_t kmax =
+      params.max_degree != 0 ? params.max_degree
+                             : std::max<std::uint32_t>(8, n / 4);
+  // Triangle enrichment adds edges later; aim the degree sequence slightly
+  // below the target so the final graph lands on it.
+  const double base_mean =
+      params.average_degree / (1.0 + params.triangle_fraction);
+  PowerLawDegreeParams dp;
+  dp.n = n;
+  dp.exponent = CalibrateExponent(base_mean, 1, kmax);
+  dp.min_degree = 1;
+  dp.max_degree = kmax;
+  const std::vector<std::uint32_t> degrees = SamplePowerLawDegrees(dp, rng);
+  Graph g = ConnectDegreeSequence(degrees, ConnectMethod::kPlrgMatching, rng,
+                                  /*keep_largest_component=*/true);
+
+  // Close triads around multi-degree nodes: real AS graphs have far more
+  // triangles than a random-matching graph with the same degrees [8].
+  const auto extra_target = static_cast<std::size_t>(
+      params.triangle_fraction * static_cast<double>(g.num_edges()));
+  std::vector<Edge> edges = g.edges();
+  std::size_t added = 0;
+  for (std::size_t attempt = 0; attempt < 20 * extra_target + 16 &&
+                                added < extra_target;
+       ++attempt) {
+    const NodeId w = static_cast<NodeId>(rng.NextIndex(g.num_nodes()));
+    const auto nbrs = g.neighbors(w);
+    if (nbrs.size() < 2) continue;
+    const NodeId u = nbrs[rng.NextIndex(nbrs.size())];
+    const NodeId v = nbrs[rng.NextIndex(nbrs.size())];
+    if (u == v || g.has_edge(u, v)) continue;
+    edges.push_back({u, v});
+    ++added;
+  }
+  // Duplicates across the enrichment pass are collapsed by FromEdges.
+  AsTopology out;
+  out.graph = Graph::FromEdges(g.num_nodes(), std::move(edges));
+  out.relationship = policy::InferRelationshipsByDegree(out.graph);
+  return out;
+}
+
+RlTopology MeasuredRl(const MeasuredRlParams& params, Rng& rng) {
+  RlTopology out;
+  out.as_topology = MeasuredAs(params.as_params, rng);
+  const Graph& as_graph = out.as_topology.graph;
+  const NodeId num_as = as_graph.num_nodes();
+
+  // Pod sizes: proportional to AS degree (heavy-tailed, per [41]), summing
+  // to expansion_ratio * num_as routers.
+  const double total_routers =
+      params.expansion_ratio * static_cast<double>(num_as);
+  double weight_sum = 0.0;
+  for (NodeId a = 0; a < num_as; ++a) {
+    weight_sum += static_cast<double>(as_graph.degree(a));
+  }
+  std::vector<std::uint32_t> pod_size(num_as), core_size(num_as);
+  for (NodeId a = 0; a < num_as; ++a) {
+    const double share =
+        static_cast<double>(as_graph.degree(a)) / weight_sum;
+    pod_size[a] = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(std::lround(share * total_routers)));
+    core_size[a] = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(
+               std::lround(params.core_fraction * pod_size[a])));
+  }
+
+  // Router id layout: pod a owns a contiguous block, core routers first.
+  std::vector<NodeId> pod_base(num_as + 1, 0);
+  for (NodeId a = 0; a < num_as; ++a) {
+    pod_base[a + 1] = pod_base[a] + pod_size[a];
+  }
+  const NodeId total = pod_base[num_as];
+  GraphBuilder b(total);
+  out.as_of.assign(total, 0);
+
+  for (NodeId a = 0; a < num_as; ++a) {
+    const NodeId base = pod_base[a];
+    const std::uint32_t core = core_size[a];
+    for (std::uint32_t r = 0; r < pod_size[a]; ++r) {
+      out.as_of[base + r] = a;
+    }
+    // Connected core with preferential internal wiring: real ISP
+    // backbones concentrate onto a few internal hubs, and that intra-pod
+    // skew is what keeps the RL core's link-value distribution
+    // hierarchical rather than flat. Each router joins by attaching to an
+    // existing router chosen proportionally to degree; extra links up to
+    // the target density keep one preferential endpoint.
+    std::vector<NodeId> stubs;  // local preferential pool for this pod
+    auto add_core_edge = [&](std::uint32_t r1, std::uint32_t r2) {
+      b.AddEdge(base + r1, base + r2);
+      stubs.push_back(r1);
+      stubs.push_back(r2);
+    };
+    for (std::uint32_t r = 1; r < core; ++r) {
+      const auto target = static_cast<std::uint32_t>(
+          r == 1 ? 0 : stubs[rng.NextIndex(stubs.size())]);
+      add_core_edge(r, target);
+    }
+    if (core >= 3) {
+      const auto target_edges = static_cast<std::size_t>(
+          params.core_avg_degree * core / 2.0);
+      for (std::size_t e = core - 1; e < target_edges; ++e) {
+        const auto u = static_cast<std::uint32_t>(rng.NextIndex(core));
+        const auto v = static_cast<std::uint32_t>(
+            stubs[rng.NextIndex(stubs.size())]);
+        if (u != v) add_core_edge(u, v);
+      }
+    }
+    // Access routers hang off core routers with a single link. The choice
+    // is Zipf-skewed: a few core routers act as aggregation hubs with
+    // large access fan-out, which is what gives real router-level maps
+    // their heavy-tailed degree distribution (Appendix A) *without*
+    // tying the backbone to high-degree nodes -- an aggregation hub's
+    // links are access links of value ~1, so the RL graph keeps the low
+    // value/degree correlation of Section 5.2.
+    std::vector<double> zipf_cdf(core);
+    double zipf_total = 0.0;
+    for (std::uint32_t r = 0; r < core; ++r) {
+      zipf_total += 1.0 / static_cast<double>(r + 1);
+      zipf_cdf[r] = zipf_total;
+    }
+    for (std::uint32_t r = core; r < pod_size[a]; ++r) {
+      const double pick = rng.NextDouble() * zipf_total;
+      const auto it =
+          std::lower_bound(zipf_cdf.begin(), zipf_cdf.end(), pick);
+      const auto hub =
+          static_cast<NodeId>(it - zipf_cdf.begin());
+      b.AddEdge(base + r, base + hub);
+    }
+  }
+
+  // Each AS adjacency becomes one or more border-router links between
+  // random core routers of the two pods. Large AS pairs interconnect at
+  // several peering points in the real Internet; modeling that matters
+  // for policy-routed link values -- a single border link per top-tier
+  // adjacency would funnel all valley-free transit through one router
+  // pair and overstate the top of the link-value distribution.
+  for (const Edge& e : as_graph.edges()) {
+    const std::size_t min_deg =
+        std::min(as_graph.degree(e.u), as_graph.degree(e.v));
+    const std::size_t parallel = std::min<std::size_t>(
+        6, 1 + min_deg / params.border_links_degree_step);
+    for (std::size_t k = 0; k < parallel; ++k) {
+      const NodeId u = pod_base[e.u] +
+                       static_cast<NodeId>(rng.NextIndex(core_size[e.u]));
+      const NodeId v = pod_base[e.v] +
+                       static_cast<NodeId>(rng.NextIndex(core_size[e.v]));
+      b.AddEdge(u, v);
+    }
+  }
+
+  // The AS graph is connected (largest component) and every pod is
+  // internally connected, so the RL graph is connected by construction.
+  out.graph = std::move(b).Build();
+  return out;
+}
+
+}  // namespace topogen::gen

@@ -1,0 +1,69 @@
+// Synthetic stand-ins for the paper's two measured topologies.
+//
+// The paper measures (a) the AS graph extracted from the route-views BGP
+// table (May 2001: 10,941 nodes, average degree 4.13) and (b) the SCAN /
+// Mercator router-level (RL) graph (May 2001: 170,589 nodes, average
+// degree 2.53, roughly 17x the AS graph). Neither raw dataset is available
+// offline, so we build calibrated synthetic equivalents (see DESIGN.md §4):
+//
+//   * MeasuredAs: a heavy-tailed degree sequence calibrated to the
+//     (N, avg-degree) pair from Figure 1, wired with random (PLRG-style)
+//     matching, lightly triangle-enriched so its clustering behaves like
+//     the real AS graph (Bu-Towsley [8]), with provider-customer
+//     orientation assigned by degree order (Gao-style [18]).
+//
+//   * MeasuredRl: each AS expands into a router-level "pod" -- a connected
+//     random core plus degree-1 access routers, with pod sizes heavy-tailed
+//     in the AS's degree (Tangmunarunkit et al. [41]: AS size tracks AS
+//     degree) -- and inter-AS adjacencies become border-router links. The
+//     pod construction puts the RL graph's hierarchy in *deliberate
+//     structure* rather than in the degree of individual routers, matching
+//     the paper's Section 5.2 observation that RL link values correlate
+//     weakly with degree while AS link values correlate strongly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/rng.h"
+#include "policy/relationships.h"
+
+namespace topogen::gen {
+
+struct MeasuredAsParams {
+  graph::NodeId n = 4000;          // nodes before largest-component pass
+  double average_degree = 4.13;    // Figure 1's AS row
+  double triangle_fraction = 0.04; // extra closed triads, as a share of m
+  std::uint32_t max_degree = 0;    // 0: n/4 cap, AS-graph-like
+};
+
+// AS-level topology plus the provider-customer annotation the policy
+// engine consumes. relationship[e] orients canonical edge e.
+struct AsTopology {
+  graph::Graph graph;
+  std::vector<policy::Relationship> relationship;  // parallel to edges()
+};
+
+AsTopology MeasuredAs(const MeasuredAsParams& params, graph::Rng& rng);
+
+struct MeasuredRlParams {
+  MeasuredAsParams as_params;   // the underlying AS model
+  double expansion_ratio = 6.0; // target RL nodes per AS node (paper: ~17)
+  double core_fraction = 0.35;  // share of each pod that is core routers
+  double core_avg_degree = 3.0; // density of each pod's core
+  // Every `step` of the smaller endpoint's AS degree adds a parallel
+  // border link between a pod pair (capped at 4): big AS pairs peer at
+  // multiple exchange points.
+  std::size_t border_links_degree_step = 12;
+};
+
+struct RlTopology {
+  graph::Graph graph;                 // router-level graph
+  std::vector<std::uint32_t> as_of;   // router -> AS id (overlay mapping)
+  AsTopology as_topology;             // the AS graph it was grown from
+};
+
+RlTopology MeasuredRl(const MeasuredRlParams& params, graph::Rng& rng);
+
+}  // namespace topogen::gen

@@ -1,0 +1,27 @@
+#include "gen/small_world.h"
+
+#include "graph/components.h"
+
+namespace topogen::gen {
+
+graph::Graph SmallWorld(const SmallWorldParams& params, graph::Rng& rng) {
+  const graph::NodeId n = params.n;
+  const unsigned half = std::max(1u, params.k / 2);
+  graph::GraphBuilder b(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    for (unsigned j = 1; j <= half; ++j) {
+      graph::NodeId target = (v + j) % n;
+      if (rng.NextBool(params.rewire_p)) {
+        // Rewire the far endpoint uniformly; self-loops and duplicates
+        // are dropped by the builder, matching Watts-Strogatz's "with
+        // duplicates forbidden" in expectation at these densities.
+        target = static_cast<graph::NodeId>(rng.NextIndex(n));
+      }
+      b.AddEdge(v, target);
+    }
+  }
+  graph::Graph g = std::move(b).Build();
+  return graph::LargestComponent(g).graph;
+}
+
+}  // namespace topogen::gen

@@ -1,0 +1,26 @@
+// Watts-Strogatz small-world generator [46].
+//
+// Referenced by the paper's related-work discussion: many real-world
+// networks are "small-world" -- high clustering with short paths. Start
+// from a ring lattice where every node links to its k nearest neighbors,
+// then rewire each link with probability p to a uniformly random
+// endpoint. p = 0 is the lattice (high clustering, long paths); p = 1
+// approaches a random graph; small p gives the small-world regime.
+// Included as an extension: it lets the suite contrast the Internet's
+// heavy-tailed hierarchy with the *other* classic real-world model.
+#pragma once
+
+#include "graph/graph.h"
+#include "graph/rng.h"
+
+namespace topogen::gen {
+
+struct SmallWorldParams {
+  graph::NodeId n = 1000;
+  unsigned k = 4;          // lattice neighbors per node (even, >= 2)
+  double rewire_p = 0.05;  // per-link rewiring probability
+};
+
+graph::Graph SmallWorld(const SmallWorldParams& params, graph::Rng& rng);
+
+}  // namespace topogen::gen

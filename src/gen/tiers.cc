@@ -1,0 +1,141 @@
+#include "gen/tiers.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "gen/geometry.h"
+
+namespace topogen::gen {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::Rng;
+
+namespace {
+
+// Lays a geometric network over the given node ids: Euclidean MST plus the
+// `redundancy` shortest non-tree pairs, following Tiers' "add links in
+// order of increasing inter-node Euclidean distance". Returns the node
+// placements so inter-tier attachments can respect geography -- attaching
+// child networks to *nearby* parent nodes is what preserves Tiers'
+// mesh-like expansion (random attachment would create small-world
+// shortcuts across the WAN).
+std::vector<Point> AddGeometricNetwork(GraphBuilder& b,
+                                       const std::vector<NodeId>& nodes,
+                                       unsigned redundancy, Rng& rng) {
+  const std::size_t n = nodes.size();
+  if (n <= 1) return std::vector<Point>(n);
+  const std::vector<Point> pts = UniformPoints(n, rng);
+  const std::vector<std::size_t> parent = EuclideanMst(pts);
+  std::vector<std::uint8_t> in_mst;
+  in_mst.assign(n * n, 0);
+  for (std::size_t i = 1; i < n; ++i) {
+    b.AddEdge(nodes[i], nodes[parent[i]]);
+    in_mst[i * n + parent[i]] = in_mst[parent[i] * n + i] = 1;
+  }
+  if (redundancy == 0) return pts;
+  // All non-tree pairs sorted by distance; take the shortest `redundancy`.
+  std::vector<std::pair<double, std::pair<std::size_t, std::size_t>>> pairs;
+  pairs.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (!in_mst[i * n + j]) {
+        pairs.push_back({Distance(pts[i], pts[j]), {i, j}});
+      }
+    }
+  }
+  const std::size_t take = std::min<std::size_t>(redundancy, pairs.size());
+  std::partial_sort(pairs.begin(), pairs.begin() + take, pairs.end());
+  for (std::size_t k = 0; k < take; ++k) {
+    b.AddEdge(nodes[pairs[k].second.first], nodes[pairs[k].second.second]);
+  }
+  return pts;
+}
+
+// Indices of the `count` nodes nearest to `anchor`.
+std::vector<std::size_t> NearestTo(const std::vector<Point>& pts,
+                                   const Point& anchor, unsigned count) {
+  std::vector<std::size_t> idx(pts.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  const auto take = std::min<std::size_t>(count, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + take, idx.end(),
+                    [&](std::size_t a, std::size_t c) {
+                      return Distance(pts[a], anchor) <
+                             Distance(pts[c], anchor);
+                    });
+  idx.resize(take);
+  return idx;
+}
+
+}  // namespace
+
+graph::Graph Tiers(const TiersParams& p, Rng& rng) {
+  const unsigned wans = std::max(1u, p.num_wans);
+  const NodeId total =
+      wans * (p.nodes_per_wan +
+              p.mans_per_wan * (p.nodes_per_man +
+                                p.lans_per_man * p.nodes_per_lan));
+  GraphBuilder b(total);
+  NodeId next = 0;
+  auto take_block = [&](unsigned count) {
+    std::vector<NodeId> block(count);
+    for (unsigned i = 0; i < count; ++i) block[i] = next++;
+    return block;
+  };
+
+  for (unsigned w = 0; w < wans; ++w) {
+    const std::vector<NodeId> wan = take_block(p.nodes_per_wan);
+    const std::vector<Point> wan_pts =
+        AddGeometricNetwork(b, wan, p.wan_redundancy, rng);
+
+    for (unsigned m = 0; m < p.mans_per_wan; ++m) {
+      const std::vector<NodeId> man = take_block(p.nodes_per_man);
+      const std::vector<Point> man_pts =
+          AddGeometricNetwork(b, man, p.man_redundancy, rng);
+      // MAN-to-WAN internetwork links: the MAN anchors at a point of the
+      // WAN plane and its gateways connect to the nearest WAN nodes.
+      const unsigned links = std::max(1u, p.man_wan_redundancy);
+      if (!wan.empty() && !man.empty()) {
+        if (p.geographic_attachment) {
+          const Point anchor{rng.NextDouble(), rng.NextDouble()};
+          const auto gateways = NearestTo(wan_pts, anchor, links);
+          for (std::size_t e = 0; e < gateways.size(); ++e) {
+            b.AddEdge(man[e == 0 ? 0 : rng.NextIndex(man.size())],
+                      wan[gateways[e]]);
+          }
+        } else {
+          for (unsigned e = 0; e < links; ++e) {
+            b.AddEdge(man[e == 0 ? 0 : rng.NextIndex(man.size())],
+                      wan[rng.NextIndex(wan.size())]);
+          }
+        }
+      }
+
+      for (unsigned l = 0; l < p.lans_per_man; ++l) {
+        const std::vector<NodeId> lan = take_block(p.nodes_per_lan);
+        // Star topology around the hub (first node).
+        for (std::size_t i = 1; i < lan.size(); ++i) {
+          b.AddEdge(lan[0], lan[i]);
+        }
+        // LAN-to-MAN internetwork links from the hub to nearby MAN nodes.
+        const unsigned up = std::max(1u, p.lan_man_redundancy);
+        if (!man.empty()) {
+          if (p.geographic_attachment) {
+            const Point anchor{rng.NextDouble(), rng.NextDouble()};
+            for (const std::size_t g : NearestTo(man_pts, anchor, up)) {
+              b.AddEdge(lan[0], man[g]);
+            }
+          } else {
+            for (unsigned e = 0; e < up; ++e) {
+              b.AddEdge(lan[0], man[rng.NextIndex(man.size())]);
+            }
+          }
+        }
+      }
+    }
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace topogen::gen

@@ -1,0 +1,48 @@
+// Tiers structural generator (Doar [14]; paper Section 3.1.2).
+//
+// Three tiers: one WAN, several MANs per WAN, several LANs per MAN. WAN
+// and MAN networks are laid out on a plane, connected by a Euclidean
+// minimum spanning tree, then reinforced with the R shortest non-tree
+// links ("additional links in order of increasing inter-node Euclidean
+// distance"). LANs are stars. Each child network attaches to its parent
+// with `internetwork redundancy` links.
+//
+// The paper's headline instance, in Appendix C order (#WAN, #MAN/WAN,
+// #LAN/MAN, nodes/WAN, nodes/MAN, nodes/LAN, RW, RM, RL, RMW, RLM), is
+// 1 50 10 500 40 5 / 20 20 1 / 20 1 -- 5000 nodes at average degree 2.83.
+// The redundancy figures are "extra links per network": Appendix C's
+// roster (e.g. the 10500-node, avg-degree-2.12 row) is only consistent
+// with that reading.
+#pragma once
+
+#include "graph/graph.h"
+#include "graph/rng.h"
+
+namespace topogen::gen {
+
+struct TiersParams {
+  unsigned num_wans = 1;  // the published tool supports exactly 1
+  unsigned mans_per_wan = 50;
+  unsigned lans_per_man = 10;
+  unsigned nodes_per_wan = 500;
+  unsigned nodes_per_man = 40;
+  unsigned nodes_per_lan = 5;  // includes the star hub
+  unsigned wan_redundancy = 20;   // RW: extra intra-WAN links beyond the MST
+  unsigned man_redundancy = 20;   // RM: extra intra-MAN links beyond the MST
+  unsigned lan_redundancy = 1;    // RL: kept for interface parity; a star
+                                  // has no shorter alternative, so extra
+                                  // LAN links are hub-leaf duplicates and
+                                  // vanish in the simple graph
+  unsigned man_wan_redundancy = 20;  // RMW: links from each MAN to the WAN
+  unsigned lan_man_redundancy = 1;   // RLM: links from each LAN to its MAN
+  // Attach child networks to geographically *nearby* parent nodes (true,
+  // the faithful behaviour) or to uniformly random ones (false). Random
+  // attachment turns the inter-tier links into small-world shortcuts and
+  // flips Tiers' expansion from Mesh-like to exponential -- the ablation
+  // bench_ablation_tiers quantifies this.
+  bool geographic_attachment = true;
+};
+
+graph::Graph Tiers(const TiersParams& params, graph::Rng& rng);
+
+}  // namespace topogen::gen

@@ -1,0 +1,133 @@
+#include "gen/transit_stub.h"
+
+#include <vector>
+
+namespace topogen::gen {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::Rng;
+
+namespace {
+
+// Adds a connected random graph over the given node ids. Like GT-ITM, the
+// G(n, p) draw is retried until connected so the edge density stays at p
+// (laying a spanning tree underneath would inflate it); a final repair
+// pass stitches components together if every retry fails.
+void AddConnectedRandom(GraphBuilder& b, const std::vector<NodeId>& nodes,
+                        double p, Rng& rng) {
+  const std::size_t n = nodes.size();
+  if (n <= 1) return;
+  std::vector<std::pair<std::size_t, std::size_t>> local;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    local.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (rng.NextBool(p)) local.push_back({i, j});
+      }
+    }
+    // Union-find connectivity check on the local index space.
+    std::vector<std::size_t> parent(n);
+    for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+    auto find = [&](std::size_t x) {
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    std::size_t components = n;
+    for (auto [i, j] : local) {
+      const std::size_t ri = find(i), rj = find(j);
+      if (ri != rj) {
+        parent[ri] = rj;
+        --components;
+      }
+    }
+    if (components == 1) break;
+    if (attempt == 199) {
+      // Repair: link each component root to a node outside it.
+      for (std::size_t i = 1; i < n; ++i) {
+        if (find(i) != find(0)) {
+          const std::size_t j = rng.NextIndex(i);
+          local.push_back({j, i});
+          parent[find(i)] = find(j);
+        }
+      }
+    }
+  }
+  for (auto [i, j] : local) b.AddEdge(nodes[i], nodes[j]);
+}
+
+}  // namespace
+
+graph::Graph TransitStub(const TransitStubParams& params, Rng& rng) {
+  const unsigned t_domains = params.num_transit_domains;
+  const unsigned t_nodes = params.nodes_per_transit_domain;
+  const unsigned s_per_node = params.stubs_per_transit_node;
+  const unsigned s_nodes = params.nodes_per_stub_domain;
+
+  const NodeId total_transit = t_domains * t_nodes;
+  const NodeId total_stub_domains = total_transit * s_per_node;
+  const NodeId total = total_transit + total_stub_domains * s_nodes;
+  GraphBuilder b(total);
+
+  // Transit nodes occupy ids [0, total_transit); domain d owns the block
+  // [d*t_nodes, (d+1)*t_nodes).
+  std::vector<std::vector<NodeId>> transit(t_domains);
+  for (unsigned d = 0; d < t_domains; ++d) {
+    for (unsigned i = 0; i < t_nodes; ++i) {
+      transit[d].push_back(d * t_nodes + i);
+    }
+    AddConnectedRandom(b, transit[d], params.transit_edge_prob, rng);
+  }
+
+  // Top-level domain graph: connected random graph over domain indices;
+  // each domain-level edge becomes one link between random member nodes.
+  std::vector<std::pair<unsigned, unsigned>> domain_edges;
+  for (unsigned d = 1; d < t_domains; ++d) {
+    domain_edges.push_back({d, static_cast<unsigned>(rng.NextIndex(d))});
+  }
+  for (unsigned i = 0; i < t_domains; ++i) {
+    for (unsigned j = i + 1; j < t_domains; ++j) {
+      if (rng.NextBool(params.transit_domain_edge_prob)) {
+        domain_edges.push_back({i, j});
+      }
+    }
+  }
+  for (auto [i, j] : domain_edges) {
+    b.AddEdge(transit[i][rng.NextIndex(t_nodes)],
+              transit[j][rng.NextIndex(t_nodes)]);
+  }
+
+  // Stub domains: s_per_node per transit node, each a connected random
+  // graph hung off its sponsor by one edge.
+  std::vector<std::vector<NodeId>> stubs;
+  stubs.reserve(total_stub_domains);
+  NodeId next = total_transit;
+  for (NodeId tn = 0; tn < total_transit; ++tn) {
+    for (unsigned s = 0; s < s_per_node; ++s) {
+      std::vector<NodeId> stub(s_nodes);
+      for (unsigned i = 0; i < s_nodes; ++i) stub[i] = next++;
+      AddConnectedRandom(b, stub, params.stub_edge_prob, rng);
+      b.AddEdge(tn, stub[rng.NextIndex(s_nodes)]);
+      stubs.push_back(std::move(stub));
+    }
+  }
+
+  // Extra transit-to-stub shortcuts: random stub node to random transit
+  // node in a different attachment.
+  for (unsigned e = 0; e < params.extra_transit_stub_edges; ++e) {
+    const auto& stub = stubs[rng.NextIndex(stubs.size())];
+    b.AddEdge(stub[rng.NextIndex(s_nodes)],
+              static_cast<NodeId>(rng.NextIndex(total_transit)));
+  }
+  // Extra stub-to-stub shortcuts.
+  for (unsigned e = 0; e < params.extra_stub_stub_edges; ++e) {
+    const std::size_t a = rng.NextIndex(stubs.size());
+    std::size_t c = rng.NextIndex(stubs.size());
+    if (a == c) c = (c + 1) % stubs.size();
+    b.AddEdge(stubs[a][rng.NextIndex(s_nodes)],
+              stubs[c][rng.NextIndex(s_nodes)]);
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace topogen::gen

@@ -1,0 +1,40 @@
+// Transit-Stub structural generator (Calvert, Doar, Zegura [10];
+// paper Section 3.1.2).
+//
+// A two-level hierarchy: a connected random graph of transit domains, each
+// domain itself a connected random graph of transit nodes; every transit
+// node sponsors several stub domains (connected random graphs) attached by
+// a single stub-to-transit edge; optional extra transit-to-stub and
+// stub-to-stub edges add shortcut redundancy.
+//
+// The paper's headline instance "3 0 0 6 0.55 6 0.32 9 0.248" reads, in
+// GT-ITM parameter order: 3 stubs per transit node, 0 extra transit-stub
+// edges, 0 extra stub-stub edges, 6 transit domains with inter-domain edge
+// probability 0.55, 6 nodes per transit domain with intra-domain edge
+// probability 0.32, and 9 nodes per stub domain with edge probability
+// 0.248 -- 1008 nodes in total.
+#pragma once
+
+#include "graph/graph.h"
+#include "graph/rng.h"
+
+namespace topogen::gen {
+
+struct TransitStubParams {
+  unsigned stubs_per_transit_node = 3;
+  unsigned extra_transit_stub_edges = 0;
+  unsigned extra_stub_stub_edges = 0;
+  unsigned num_transit_domains = 6;
+  double transit_domain_edge_prob = 0.55;  // between transit domains
+  unsigned nodes_per_transit_domain = 6;
+  double transit_edge_prob = 0.32;  // within a transit domain
+  unsigned nodes_per_stub_domain = 9;
+  double stub_edge_prob = 0.248;  // within a stub domain
+};
+
+// Like GT-ITM, every random subgraph is forced connected: a random spanning
+// tree is laid down first, then each remaining pair is linked with the
+// stated probability.
+graph::Graph TransitStub(const TransitStubParams& params, graph::Rng& rng);
+
+}  // namespace topogen::gen

@@ -1,0 +1,26 @@
+#include "gen/waxman.h"
+
+#include <cmath>
+
+#include "graph/components.h"
+
+namespace topogen::gen {
+
+graph::Graph Waxman(const WaxmanParams& params, graph::Rng& rng) {
+  const graph::NodeId n = params.n;
+  const std::vector<Point> pts = UniformPoints(n, rng);
+  const double scale = params.beta * std::sqrt(2.0);  // beta * L, L = max dist
+
+  graph::GraphBuilder b(n);
+  for (graph::NodeId i = 0; i < n; ++i) {
+    for (graph::NodeId j = i + 1; j < n; ++j) {
+      const double p =
+          params.alpha * std::exp(-Distance(pts[i], pts[j]) / scale);
+      if (rng.NextBool(p)) b.AddEdge(i, j);
+    }
+  }
+  graph::Graph g = std::move(b).Build();
+  return params.keep_largest_component ? graph::LargestComponent(g).graph : g;
+}
+
+}  // namespace topogen::gen

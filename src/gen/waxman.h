@@ -1,0 +1,29 @@
+// Waxman random-graph generator [47] (paper Section 3.1.2).
+//
+// Nodes land uniformly on the unit square; each pair (u, v) gets a link
+// with probability alpha * exp(-d(u,v) / (beta * L)), where L is the
+// maximum possible distance. Alpha scales overall density; beta controls
+// geographic bias (small beta strongly favors short links and, at extreme
+// settings, drives the largest component toward a Euclidean MST -- the
+// regime Section 4.4 discusses).
+//
+// The paper's headline instance is n=5000, alpha=0.005, beta=0.30
+// (avg degree 7.22 after keeping the largest component).
+#pragma once
+
+#include "gen/geometry.h"
+#include "graph/graph.h"
+#include "graph/rng.h"
+
+namespace topogen::gen {
+
+struct WaxmanParams {
+  graph::NodeId n = 5000;
+  double alpha = 0.005;
+  double beta = 0.30;
+  bool keep_largest_component = true;
+};
+
+graph::Graph Waxman(const WaxmanParams& params, graph::Rng& rng);
+
+}  // namespace topogen::gen

@@ -1,0 +1,122 @@
+#include "graph/bfs.h"
+
+#include <algorithm>
+
+namespace topogen::graph {
+
+std::vector<Dist> BfsDistances(const Graph& g, NodeId src, Dist max_depth) {
+  std::vector<Dist> dist(g.num_nodes(), kUnreachable);
+  if (src >= g.num_nodes()) return dist;
+  std::vector<NodeId> queue;
+  queue.reserve(g.num_nodes());
+  dist[src] = 0;
+  queue.push_back(src);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    const Dist du = dist[u];
+    if (du >= max_depth) continue;
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = du + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> Ball(const Graph& g, NodeId center, Dist radius) {
+  std::vector<NodeId> ball;
+  if (center >= g.num_nodes()) return ball;
+  std::vector<Dist> dist(g.num_nodes(), kUnreachable);
+  dist[center] = 0;
+  ball.push_back(center);
+  for (std::size_t head = 0; head < ball.size(); ++head) {
+    const NodeId u = ball[head];
+    const Dist du = dist[u];
+    if (du >= radius) continue;
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = du + 1;
+        ball.push_back(v);
+      }
+    }
+  }
+  return ball;
+}
+
+std::vector<std::size_t> ReachableCounts(const Graph& g, NodeId src,
+                                         Dist max_depth) {
+  std::vector<std::size_t> counts;
+  if (src >= g.num_nodes()) return counts;
+  const std::vector<Dist> dist = BfsDistances(g, src, max_depth);
+  Dist ecc = 0;
+  std::size_t reached = 0;
+  for (Dist d : dist) {
+    if (d != kUnreachable) {
+      ++reached;
+      ecc = std::max(ecc, d);
+    }
+  }
+  counts.assign(static_cast<std::size_t>(ecc) + 1, 0);
+  for (Dist d : dist) {
+    if (d != kUnreachable) ++counts[d];
+  }
+  // Convert per-level counts into cumulative reachable-set sizes.
+  for (std::size_t h = 1; h < counts.size(); ++h) counts[h] += counts[h - 1];
+  return counts;
+}
+
+ShortestPathDag BuildShortestPathDag(const Graph& g, NodeId src) {
+  ShortestPathDag dag;
+  dag.dist.assign(g.num_nodes(), kUnreachable);
+  dag.sigma.assign(g.num_nodes(), 0.0);
+  dag.order.clear();
+  if (src >= g.num_nodes()) return dag;
+  dag.dist[src] = 0;
+  dag.sigma[src] = 1.0;
+  dag.order.push_back(src);
+  for (std::size_t head = 0; head < dag.order.size(); ++head) {
+    const NodeId u = dag.order[head];
+    const Dist du = dag.dist[u];
+    for (NodeId v : g.neighbors(u)) {
+      if (dag.dist[v] == kUnreachable) {
+        dag.dist[v] = du + 1;
+        dag.order.push_back(v);
+      }
+      if (dag.dist[v] == du + 1) dag.sigma[v] += dag.sigma[u];
+    }
+  }
+  return dag;
+}
+
+Dist Eccentricity(const Graph& g, NodeId src) {
+  const std::vector<Dist> dist = BfsDistances(g, src);
+  Dist ecc = 0;
+  for (Dist d : dist) {
+    if (d != kUnreachable) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+double AveragePathLength(const Graph& g, std::size_t samples) {
+  const NodeId n = g.num_nodes();
+  if (n < 2) return 0.0;
+  const std::size_t use = std::min<std::size_t>(samples, n);
+  // Deterministic spread: every ceil(n/use)-th node.
+  const std::size_t stride = (n + use - 1) / use;
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (NodeId src = 0; src < n; src += static_cast<NodeId>(stride)) {
+    const std::vector<Dist> dist = BfsDistances(g, src);
+    for (NodeId v = 0; v < n; ++v) {
+      if (v != src && dist[v] != kUnreachable) {
+        total += dist[v];
+        ++pairs;
+      }
+    }
+  }
+  return pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
+}
+
+}  // namespace topogen::graph

@@ -1,0 +1,60 @@
+// Breadth-first search primitives.
+//
+// BFS is the workhorse of every ball-growing metric in the paper
+// (Section 3.2.1): balls of radius h are exactly truncated-BFS frontiers.
+// This header provides plain distance BFS, truncated BFS, ball extraction,
+// and shortest-path counting (the sigma values used by the hierarchy
+// analysis in Section 5).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace topogen::graph {
+
+using Dist = std::uint32_t;
+inline constexpr Dist kUnreachable = std::numeric_limits<Dist>::max();
+
+// Hop distances from src to every node; kUnreachable where disconnected.
+// If max_depth is given, nodes farther than max_depth are left unreachable.
+std::vector<Dist> BfsDistances(const Graph& g, NodeId src,
+                               Dist max_depth = kUnreachable);
+
+// Nodes whose hop distance from center is <= radius, in BFS (distance)
+// order; center itself is first. This is the paper's "ball of radius h".
+std::vector<NodeId> Ball(const Graph& g, NodeId center, Dist radius);
+
+// Per-radius reachable-set sizes: result[h] = number of nodes within h hops
+// of src (result[0] == 1), up to max radius (graph eccentricity of src or
+// max_depth, whichever is smaller). Used by the expansion metric.
+std::vector<std::size_t> ReachableCounts(const Graph& g, NodeId src,
+                                         Dist max_depth = kUnreachable);
+
+// Shortest-path DAG from a source: distances, number of shortest paths
+// sigma, and for every node the list of DAG predecessors (neighbors one hop
+// closer to the source). Sigma is tracked in double precision because path
+// counts overflow 64-bit integers on expander-like graphs.
+struct ShortestPathDag {
+  std::vector<Dist> dist;
+  std::vector<double> sigma;
+  // Nodes in non-decreasing distance order (BFS order), excluding
+  // unreachable nodes. Useful for forward/backward sweeps.
+  std::vector<NodeId> order;
+};
+
+ShortestPathDag BuildShortestPathDag(const Graph& g, NodeId src);
+
+// Eccentricity of src (max finite distance), or 0 for isolated nodes.
+// Requires the graph to be connected for a meaningful "diameter" reading.
+Dist Eccentricity(const Graph& g, NodeId src);
+
+// Average pairwise shortest-path length over reachable pairs, estimated
+// from BFS at `samples` deterministically-spread sources (all nodes when
+// samples >= n). Pairs in different components are ignored.
+double AveragePathLength(const Graph& g, std::size_t samples = 256);
+
+}  // namespace topogen::graph

@@ -1,0 +1,188 @@
+#include "graph/components.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/bfs.h"
+
+namespace topogen::graph {
+
+ComponentInfo ConnectedComponents(const Graph& g) {
+  ComponentInfo info;
+  info.component_of.assign(g.num_nodes(), 0xffffffffu);
+  std::vector<NodeId> queue;
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (info.component_of[start] != 0xffffffffu) continue;
+    const auto comp = static_cast<std::uint32_t>(info.count++);
+    std::size_t size = 0;
+    queue.clear();
+    queue.push_back(start);
+    info.component_of[start] = comp;
+    while (!queue.empty()) {
+      const NodeId u = queue.back();
+      queue.pop_back();
+      ++size;
+      for (NodeId v : g.neighbors(u)) {
+        if (info.component_of[v] == 0xffffffffu) {
+          info.component_of[v] = comp;
+          queue.push_back(v);
+        }
+      }
+    }
+    info.sizes.push_back(size);
+  }
+  return info;
+}
+
+bool IsConnected(const Graph& g) {
+  if (g.num_nodes() == 0) return true;
+  return ConnectedComponents(g).count == 1;
+}
+
+Subgraph LargestComponent(const Graph& g) {
+  const ComponentInfo info = ConnectedComponents(g);
+  if (info.count <= 1) {
+    std::vector<NodeId> all(g.num_nodes());
+    std::iota(all.begin(), all.end(), 0);
+    return InducedSubgraph(g, all);
+  }
+  const std::size_t best =
+      static_cast<std::size_t>(std::max_element(info.sizes.begin(),
+                                                info.sizes.end()) -
+                               info.sizes.begin());
+  std::vector<NodeId> nodes;
+  nodes.reserve(info.sizes[best]);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (info.component_of[v] == best) nodes.push_back(v);
+  }
+  return InducedSubgraph(g, nodes);
+}
+
+namespace {
+
+// Shared iterative DFS for biconnectivity. Visits every component, tracking
+// discovery and low-link values; reports biconnected components through the
+// tree-edge condition low[child] >= disc[parent].
+struct BiconnectivityResult {
+  std::size_t biconnected_components = 0;
+  std::size_t articulation_points = 0;
+};
+
+BiconnectivityResult RunBiconnectivity(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  BiconnectivityResult out;
+  std::vector<Dist> disc(n, 0), low(n, 0);
+  std::vector<bool> visited(n, false), is_cut(n, false);
+  // DFS frame: node, index into its adjacency, parent edge id.
+  struct Frame {
+    NodeId node;
+    std::size_t next_neighbor;
+    EdgeId parent_edge;
+  };
+  std::vector<Frame> stack;
+  // Edge stack drives component counting: every time a component closes we
+  // pop its edges. Edges are pushed when first traversed in either
+  // direction; a per-edge flag prevents double pushes.
+  std::vector<EdgeId> edge_stack;
+  std::vector<bool> edge_seen(g.num_edges(), false);
+  Dist timer = 0;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    visited[root] = true;
+    disc[root] = low[root] = ++timer;
+    stack.push_back({root, 0, kInvalidEdge});
+    std::size_t root_children = 0;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const NodeId u = f.node;
+      const auto nbrs = g.neighbors(u);
+      const auto eids = g.incident_edges(u);
+      if (f.next_neighbor < nbrs.size()) {
+        const std::size_t i = f.next_neighbor++;
+        const NodeId v = nbrs[i];
+        const EdgeId e = eids[i];
+        if (e == f.parent_edge) continue;
+        if (!edge_seen[e]) {
+          edge_seen[e] = true;
+          edge_stack.push_back(e);
+        }
+        if (!visited[v]) {
+          visited[v] = true;
+          disc[v] = low[v] = ++timer;
+          if (u == root) ++root_children;
+          stack.push_back({v, 0, e});
+        } else {
+          low[u] = std::min(low[u], disc[v]);
+        }
+      } else {
+        const EdgeId up_edge = f.parent_edge;
+        stack.pop_back();
+        if (!stack.empty()) {
+          Frame& pf = stack.back();
+          const NodeId p = pf.node;
+          low[p] = std::min(low[p], low[u]);
+          if (low[u] >= disc[p]) {
+            // Close the biconnected component rooted at tree edge (p, u).
+            ++out.biconnected_components;
+            while (!edge_stack.empty() && edge_stack.back() != up_edge) {
+              edge_stack.pop_back();
+            }
+            if (!edge_stack.empty()) edge_stack.pop_back();
+            if (p != root && !is_cut[p]) {
+              is_cut[p] = true;
+              ++out.articulation_points;
+            }
+          }
+        }
+      }
+    }
+    if (root_children >= 2 && !is_cut[root]) {
+      is_cut[root] = true;
+      ++out.articulation_points;
+    }
+    edge_stack.clear();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t CountBiconnectedComponents(const Graph& g) {
+  return RunBiconnectivity(g).biconnected_components;
+}
+
+std::size_t CountArticulationPoints(const Graph& g) {
+  return RunBiconnectivity(g).articulation_points;
+}
+
+Subgraph CoreGraph(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::size_t> deg(n);
+  std::vector<bool> removed(n, false);
+  std::vector<NodeId> queue;
+  for (NodeId v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    if (deg[v] <= 1) {
+      removed[v] = true;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    const NodeId u = queue.back();
+    queue.pop_back();
+    for (NodeId v : g.neighbors(u)) {
+      if (!removed[v] && --deg[v] <= 1) {
+        removed[v] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  std::vector<NodeId> survivors;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!removed[v]) survivors.push_back(v);
+  }
+  return InducedSubgraph(g, survivors);
+}
+
+}  // namespace topogen::graph

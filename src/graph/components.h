@@ -1,0 +1,48 @@
+// Connectivity analysis: connected components, largest component
+// extraction, biconnected components, and degree-1 core pruning.
+//
+// The paper (footnote 6) analyzes the largest connected component of
+// generators that may emit disconnected graphs (PLRG, Waxman at extreme
+// parameters); Appendix B's biconnectivity metric counts biconnected
+// components within balls; footnote 29 computes link values on the "core"
+// topology obtained by recursively removing degree-1 nodes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace topogen::graph {
+
+struct ComponentInfo {
+  // component_of[v] in [0, count).
+  std::vector<std::uint32_t> component_of;
+  std::size_t count = 0;
+  // Node count per component id.
+  std::vector<std::size_t> sizes;
+};
+
+ComponentInfo ConnectedComponents(const Graph& g);
+
+bool IsConnected(const Graph& g);
+
+// The induced subgraph on the largest connected component (ties broken by
+// lowest component id). The mapping back to the input graph's ids is
+// returned in Subgraph::original_id.
+Subgraph LargestComponent(const Graph& g);
+
+// Number of biconnected components (maximal subgraphs with no cut vertex),
+// counting bridges as biconnected components of a single edge. Isolated
+// nodes contribute none. Iterative Hopcroft-Tarjan.
+std::size_t CountBiconnectedComponents(const Graph& g);
+
+// Number of articulation points (cut vertices).
+std::size_t CountArticulationPoints(const Graph& g);
+
+// The "core" of a topology: recursively strip nodes of degree <= 1 until
+// none remain (paper footnote 29, used for RL link values). Returns the
+// induced subgraph on the surviving nodes.
+Subgraph CoreGraph(const Graph& g);
+
+}  // namespace topogen::graph

@@ -1,0 +1,134 @@
+#include "graph/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace topogen::graph {
+namespace {
+
+void MultiplyAdjacency(const Graph& g, const std::vector<double>& x,
+                       std::vector<double>& y) {
+  y.assign(g.num_nodes(), 0.0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    double sum = 0.0;
+    for (NodeId v : g.neighbors(u)) sum += x[v];
+    y[u] = sum;
+  }
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  return std::inner_product(a.begin(), a.end(), b.begin(), 0.0);
+}
+
+double Norm(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
+
+// Eigenvalues of a symmetric tridiagonal matrix (diagonal alpha, first
+// off-diagonal beta) via cyclic Jacobi on the dense form. Sizes here are
+// at most a couple hundred, so O(k^3) is immaterial.
+std::vector<double> TridiagonalEigenvalues(std::vector<double> alpha,
+                                           std::vector<double> beta) {
+  const std::size_t k = alpha.size();
+  std::vector<double> a(k * k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    a[i * k + i] = alpha[i];
+    if (i + 1 < k) {
+      a[i * k + (i + 1)] = beta[i];
+      a[(i + 1) * k + i] = beta[i];
+    }
+  }
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < k; ++p) {
+      for (std::size_t q = p + 1; q < k; ++q) off += a[p * k + q] * a[p * k + q];
+    }
+    if (off < 1e-20) break;
+    for (std::size_t p = 0; p < k; ++p) {
+      for (std::size_t q = p + 1; q < k; ++q) {
+        const double apq = a[p * k + q];
+        if (std::abs(apq) < 1e-15) continue;
+        const double app = a[p * k + p];
+        const double aqq = a[q * k + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = std::copysign(1.0, theta) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t i = 0; i < k; ++i) {
+          const double aip = a[i * k + p];
+          const double aiq = a[i * k + q];
+          a[i * k + p] = c * aip - s * aiq;
+          a[i * k + q] = s * aip + c * aiq;
+        }
+        for (std::size_t i = 0; i < k; ++i) {
+          const double api = a[p * k + i];
+          const double aqi = a[q * k + i];
+          a[p * k + i] = c * api - s * aqi;
+          a[q * k + i] = s * api + c * aqi;
+        }
+      }
+    }
+  }
+  std::vector<double> eig(k);
+  for (std::size_t i = 0; i < k; ++i) eig[i] = a[i * k + i];
+  std::sort(eig.begin(), eig.end(), std::greater<>());
+  return eig;
+}
+
+}  // namespace
+
+std::vector<double> TopEigenvalues(const Graph& g, std::size_t k, Rng& rng) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0 || k == 0) return {};
+  // Lanczos needs some slack beyond k for the Ritz values to converge.
+  const std::size_t steps = std::min(n, k + 32);
+
+  std::vector<std::vector<double>> basis;  // orthonormal Lanczos vectors
+  std::vector<double> alpha, beta;
+  std::vector<double> v(n), w(n);
+  for (double& x : v) x = rng.NextDouble() - 0.5;
+  const double nv = Norm(v);
+  for (double& x : v) x /= nv;
+  basis.push_back(v);
+
+  for (std::size_t j = 0; j < steps; ++j) {
+    MultiplyAdjacency(g, basis[j], w);
+    const double a = Dot(w, basis[j]);
+    alpha.push_back(a);
+    // w -= a * v_j (+ b_{j-1} * v_{j-1} folded into the reorthogonalization)
+    for (std::size_t i = 0; i < n; ++i) w[i] -= a * basis[j][i];
+    // Full reorthogonalization against every previous Lanczos vector; this
+    // is what keeps repeated eigenvalues honest at these sizes.
+    for (const auto& q : basis) {
+      const double proj = Dot(w, q);
+      for (std::size_t i = 0; i < n; ++i) w[i] -= proj * q[i];
+    }
+    const double b = Norm(w);
+    if (b < 1e-10 || j + 1 == steps) break;
+    beta.push_back(b);
+    for (double& x : w) x /= b;
+    basis.push_back(w);
+  }
+  std::vector<double> ritz = TridiagonalEigenvalues(alpha, beta);
+  if (ritz.size() > k) ritz.resize(k);
+  return ritz;
+}
+
+double SpectralRadius(const Graph& g, Rng& rng, int iterations) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) return 0.0;
+  std::vector<double> v(n), w(n);
+  for (double& x : v) x = rng.NextDouble() + 0.1;
+  double lambda = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    MultiplyAdjacency(g, v, w);
+    const double nw = Norm(w);
+    if (nw == 0.0) return 0.0;  // empty graph or zero vector
+    for (std::size_t i = 0; i < n; ++i) w[i] /= nw;
+    lambda = nw;
+    std::swap(v, w);
+  }
+  return lambda;
+}
+
+}  // namespace topogen::graph

@@ -1,0 +1,30 @@
+// Adjacency-spectrum extraction.
+//
+// Faloutsos et al. [17] observed that the sorted eigenvalues of the
+// Internet's adjacency matrix follow a power law versus rank, and the
+// paper's Appendix B (Figure 7a-c) compares that spectrum across
+// topologies. We extract the top-k eigenvalues of the (symmetric)
+// adjacency matrix with the Lanczos iteration, using full
+// reorthogonalization for numerical robustness at the modest k the plots
+// need, and a Jacobi solve of the small tridiagonal system.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/rng.h"
+
+namespace topogen::graph {
+
+// Largest `k` eigenvalues of g's adjacency matrix, sorted descending.
+// Returns fewer values when the Krylov space exhausts (k > n or the graph
+// is highly degenerate). Accuracy is what the figure needs: a few digits
+// on the leading eigenvalues.
+std::vector<double> TopEigenvalues(const Graph& g, std::size_t k, Rng& rng);
+
+// Spectral radius estimate (largest eigenvalue) via power iteration; a
+// cheaper path when only the top value is needed.
+double SpectralRadius(const Graph& g, Rng& rng, int iterations = 200);
+
+}  // namespace topogen::graph

@@ -1,0 +1,130 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace topogen::graph {
+
+Graph Graph::FromEdges(NodeId num_nodes, std::vector<Edge> edges) {
+  // Canonicalize endpoints and drop self-loops.
+  std::vector<Edge> clean;
+  clean.reserve(edges.size());
+  for (Edge e : edges) {
+    if (e.u == e.v) continue;
+    if (e.u >= num_nodes || e.v >= num_nodes) {
+      throw std::out_of_range("Graph::FromEdges: endpoint out of range");
+    }
+    if (e.u > e.v) std::swap(e.u, e.v);
+    clean.push_back(e);
+  }
+  std::sort(clean.begin(), clean.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  clean.erase(std::unique(clean.begin(), clean.end()), clean.end());
+
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.edges_ = std::move(clean);
+
+  // Degree counting pass, then CSR fill.
+  g.offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  for (const Edge& e : g.edges_) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (NodeId i = 0; i < num_nodes; ++i) g.offsets_[i + 1] += g.offsets_[i];
+
+  g.adjacency_.resize(2 * g.edges_.size());
+  g.adjacent_edge_.resize(2 * g.edges_.size());
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId id = 0; id < g.edges_.size(); ++id) {
+    const Edge& e = g.edges_[id];
+    g.adjacency_[cursor[e.u]] = e.v;
+    g.adjacent_edge_[cursor[e.u]++] = id;
+    g.adjacency_[cursor[e.v]] = e.u;
+    g.adjacent_edge_[cursor[e.v]++] = id;
+  }
+  // Neighbor lists come out sorted because edges were sorted by (u, v) and
+  // each node's slots are filled in edge order -- true for the 'u' side, but
+  // the 'v' side interleaves, so sort each list (keeping edge ids aligned).
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    const std::size_t lo = g.offsets_[u];
+    const std::size_t hi = g.offsets_[u + 1];
+    // Sort (neighbor, edge id) pairs by neighbor.
+    std::vector<std::pair<NodeId, EdgeId>> tmp;
+    tmp.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      tmp.emplace_back(g.adjacency_[i], g.adjacent_edge_[i]);
+    }
+    std::sort(tmp.begin(), tmp.end());
+    for (std::size_t i = lo; i < hi; ++i) {
+      g.adjacency_[i] = tmp[i - lo].first;
+      g.adjacent_edge_[i] = tmp[i - lo].second;
+    }
+  }
+  return g;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  return edge_id(u, v) != kInvalidEdge;
+}
+
+EdgeId Graph::edge_id(NodeId u, NodeId v) const {
+  if (u >= num_nodes_ || v >= num_nodes_ || u == v) return kInvalidEdge;
+  // Search the smaller adjacency list.
+  if (degree(u) > degree(v)) std::swap(u, v);
+  auto nb = neighbors(u);
+  auto it = std::lower_bound(nb.begin(), nb.end(), v);
+  if (it == nb.end() || *it != v) return kInvalidEdge;
+  return incident_edges(u)[static_cast<std::size_t>(it - nb.begin())];
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t best = 0;
+  for (NodeId u = 0; u < num_nodes_; ++u) best = std::max(best, degree(u));
+  return best;
+}
+
+std::size_t Graph::count_degree(std::size_t d) const {
+  std::size_t count = 0;
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    if (degree(u) == d) ++count;
+  }
+  return count;
+}
+
+std::string Graph::Summary() const {
+  std::ostringstream os;
+  os << "n=" << num_nodes_ << " m=" << num_edges()
+     << " avg_deg=" << average_degree();
+  return os.str();
+}
+
+Graph GraphBuilder::Build() && {
+  return Graph::FromEdges(num_nodes_, std::move(edges_));
+}
+
+Subgraph InducedSubgraph(const Graph& g, std::span<const NodeId> nodes) {
+  std::vector<NodeId> remap(g.num_nodes(), kInvalidNode);
+  Subgraph out;
+  out.original_id.assign(nodes.begin(), nodes.end());
+  for (NodeId i = 0; i < nodes.size(); ++i) {
+    assert(remap[nodes[i]] == kInvalidNode && "duplicate node in subset");
+    remap[nodes[i]] = i;
+  }
+  std::vector<Edge> edges;
+  for (NodeId orig : nodes) {
+    const NodeId nu = remap[orig];
+    for (NodeId nb : g.neighbors(orig)) {
+      const NodeId nv = remap[nb];
+      if (nv != kInvalidNode && nu < nv) edges.push_back({nu, nv});
+    }
+  }
+  out.graph = Graph::FromEdges(static_cast<NodeId>(nodes.size()),
+                               std::move(edges));
+  return out;
+}
+
+}  // namespace topogen::graph

@@ -1,0 +1,145 @@
+// Core immutable undirected graph type.
+//
+// All topologies in this library — measured, generated, and canonical — are
+// represented as simple undirected graphs (no self-loops, no parallel
+// edges). The paper explicitly discards self-loops and duplicate links
+// produced by generators such as PLRG (footnote 6), so deduplication is
+// built into construction.
+//
+// Storage is CSR (compressed sparse row): a node's neighbors live in one
+// contiguous, sorted span, which keeps BFS — the workhorse of every
+// ball-growing metric — cache friendly. Each adjacency entry also carries
+// the index of the corresponding canonical edge so per-edge quantities
+// (link values, cut membership) can be accumulated without hashing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace topogen::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+// Canonical undirected edge with u < v.
+struct Edge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  // Empty graph.
+  Graph() = default;
+
+  // Builds a simple graph on `num_nodes` nodes from an arbitrary edge list.
+  // Self-loops are dropped; parallel edges are collapsed; endpoint order is
+  // canonicalized. Endpoints must be < num_nodes.
+  static Graph FromEdges(NodeId num_nodes, std::vector<Edge> edges);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  // 2m / n; 0 for the empty graph.
+  double average_degree() const {
+    return num_nodes_ == 0 ? 0.0
+                           : 2.0 * static_cast<double>(edges_.size()) /
+                                 static_cast<double>(num_nodes_);
+  }
+
+  std::size_t degree(NodeId u) const {
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  // Sorted neighbor list of u.
+  std::span<const NodeId> neighbors(NodeId u) const {
+    return {adjacency_.data() + offsets_[u], degree(u)};
+  }
+
+  // Edge ids parallel to neighbors(u): incident_edges(u)[i] is the id of the
+  // canonical edge {u, neighbors(u)[i]}.
+  std::span<const EdgeId> incident_edges(NodeId u) const {
+    return {adjacent_edge_.data() + offsets_[u], degree(u)};
+  }
+
+  // Canonical edge list; edge id e refers to edges()[e].
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  // True iff {u, v} is an edge. O(log degree).
+  bool has_edge(NodeId u, NodeId v) const;
+
+  // Edge id of {u, v}, or kInvalidEdge. O(log degree).
+  EdgeId edge_id(NodeId u, NodeId v) const;
+
+  // For edge e incident to node x, the opposite endpoint.
+  NodeId opposite(EdgeId e, NodeId x) const {
+    const Edge& ed = edges_[e];
+    return ed.u == x ? ed.v : ed.u;
+  }
+
+  // Largest node degree; 0 for the empty graph.
+  std::size_t max_degree() const;
+
+  // Number of nodes with the given degree.
+  std::size_t count_degree(std::size_t d) const;
+
+  // Human-readable one-line summary ("n=1008 m=1402 avg_deg=2.78").
+  std::string Summary() const;
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<std::size_t> offsets_;   // size num_nodes_ + 1
+  std::vector<NodeId> adjacency_;      // size 2m, sorted per node
+  std::vector<EdgeId> adjacent_edge_;  // parallel to adjacency_
+  std::vector<Edge> edges_;            // canonical edges, u < v
+};
+
+// Incremental edge-list builder. Generators add edges freely (duplicates and
+// self-loops allowed); Build() canonicalizes into a simple Graph.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId num_nodes = 0) : num_nodes_(num_nodes) {}
+
+  // Appends a fresh node and returns its id.
+  NodeId AddNode() { return num_nodes_++; }
+
+  // Ensures ids [0, n) exist.
+  void EnsureNodes(NodeId n) {
+    if (n > num_nodes_) num_nodes_ = n;
+  }
+
+  // Records an undirected edge; self-loops and duplicates are silently
+  // dropped at Build() time, mirroring the paper's treatment of PLRG output.
+  void AddEdge(NodeId u, NodeId v) { edges_.push_back({u, v}); }
+
+  NodeId num_nodes() const { return num_nodes_; }
+  std::size_t num_recorded_edges() const { return edges_.size(); }
+
+  Graph Build() &&;
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<Edge> edges_;
+};
+
+// The induced subgraph on `nodes` plus the mapping from new ids back to the
+// ids in the parent graph (original_id[i] is the parent id of new node i).
+struct Subgraph {
+  Graph graph;
+  std::vector<NodeId> original_id;
+};
+
+// Induces the subgraph of g on the given node set. Duplicate entries in
+// `nodes` are an error (checked in debug builds only).
+Subgraph InducedSubgraph(const Graph& g, std::span<const NodeId> nodes);
+
+}  // namespace topogen::graph

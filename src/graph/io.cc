@@ -1,0 +1,70 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace topogen::graph {
+
+void WriteEdgeList(std::ostream& os, const Graph& g) {
+  os << "# topogen edge list\n";
+  os << "# nodes " << g.num_nodes() << " edges " << g.num_edges() << "\n";
+  for (const Edge& e : g.edges()) {
+    os << e.u << " " << e.v << "\n";
+  }
+}
+
+void WriteEdgeListFile(const std::string& path, const Graph& g) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("WriteEdgeListFile: cannot open " + path);
+  }
+  WriteEdgeList(os, g);
+}
+
+Graph ReadEdgeList(std::istream& is) {
+  std::vector<Edge> edges;
+  NodeId num_nodes = 0;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Honor a "# nodes N ..." header so isolated trailing nodes
+      // round-trip.
+      std::istringstream header(line);
+      std::string hash, word;
+      header >> hash >> word;
+      if (word == "nodes") {
+        std::uint64_t n = 0;
+        if (header >> n) {
+          num_nodes = std::max<NodeId>(num_nodes, static_cast<NodeId>(n));
+        }
+      }
+      continue;
+    }
+    std::istringstream row(line);
+    std::uint64_t u = 0, v = 0;
+    if (!(row >> u >> v)) {
+      throw std::runtime_error("ReadEdgeList: malformed line " +
+                               std::to_string(line_number) + ": '" + line +
+                               "'");
+    }
+    edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v)});
+    num_nodes = std::max<NodeId>(
+        num_nodes, static_cast<NodeId>(std::max(u, v) + 1));
+  }
+  return Graph::FromEdges(num_nodes, std::move(edges));
+}
+
+Graph ReadEdgeListFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("ReadEdgeListFile: cannot open " + path);
+  }
+  return ReadEdgeList(is);
+}
+
+}  // namespace topogen::graph

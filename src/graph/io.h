@@ -1,0 +1,24 @@
+// Edge-list file I/O.
+//
+// The interchange format the `make_topology` CLI writes and the
+// `measure_topology` example reads: optional '#' comment lines, then one
+// "u v" pair of nonnegative integers per line. Node count is
+// 1 + max(node id) unless a "# nodes N ..." header raises it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace topogen::graph {
+
+// Writes g as an edge list (with a summary header).
+void WriteEdgeList(std::ostream& os, const Graph& g);
+void WriteEdgeListFile(const std::string& path, const Graph& g);
+
+// Parses an edge list; throws std::runtime_error on malformed input.
+Graph ReadEdgeList(std::istream& is);
+Graph ReadEdgeListFile(const std::string& path);
+
+}  // namespace topogen::graph

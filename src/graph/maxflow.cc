@@ -1,0 +1,109 @@
+#include "graph/maxflow.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace topogen::graph {
+
+namespace {
+constexpr std::int32_t kBigCapacity = 1 << 29;
+}
+
+UnitMaxFlow::UnitMaxFlow(const Graph& g) : num_nodes_(g.num_nodes()) {
+  // One extra slot for the SolveToSet super-sink.
+  arcs_.resize(static_cast<std::size_t>(num_nodes_) + 1);
+  level_.resize(arcs_.size());
+  iter_.resize(arcs_.size());
+  for (const Edge& e : g.edges()) {
+    const auto ru = static_cast<std::uint32_t>(arcs_[e.v].size());
+    const auto rv = static_cast<std::uint32_t>(arcs_[e.u].size());
+    arcs_[e.u].push_back({e.v, ru, 1});
+    arcs_[e.v].push_back({e.u, rv, 1});
+  }
+  base_arc_count_.resize(arcs_.size());
+  for (std::size_t v = 0; v < arcs_.size(); ++v) {
+    base_arc_count_[v] = arcs_[v].size();
+  }
+}
+
+void UnitMaxFlow::ResetCapacities() {
+  for (std::size_t v = 0; v < arcs_.size(); ++v) {
+    arcs_[v].resize(base_arc_count_[v]);  // drop super-sink arcs
+    for (Arc& a : arcs_[v]) a.cap = 1;    // undirected unit edges
+  }
+}
+
+bool UnitMaxFlow::BuildLevels(NodeId s, NodeId t) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::vector<NodeId> queue{s};
+  level_[s] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    for (const Arc& a : arcs_[u]) {
+      if (a.cap > 0 && level_[a.to] < 0) {
+        level_[a.to] = level_[u] + 1;
+        queue.push_back(a.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+std::int64_t UnitMaxFlow::Augment(NodeId v, NodeId t, std::int64_t limit) {
+  if (v == t || limit == 0) return limit;
+  for (std::uint32_t& i = iter_[v]; i < arcs_[v].size(); ++i) {
+    Arc& a = arcs_[v][i];
+    if (a.cap <= 0 || level_[a.to] != level_[v] + 1) continue;
+    const std::int64_t pushed =
+        Augment(a.to, t, std::min<std::int64_t>(limit, a.cap));
+    if (pushed > 0) {
+      a.cap -= static_cast<std::int32_t>(pushed);
+      arcs_[a.to][a.rev].cap += static_cast<std::int32_t>(pushed);
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+std::uint64_t UnitMaxFlow::Solve(NodeId s, NodeId t) {
+  if (s >= num_nodes_ || t > num_nodes_ || s == t) return 0;
+  ResetCapacities();
+  std::uint64_t flow = 0;
+  while (BuildLevels(s, t)) {
+    std::fill(iter_.begin(), iter_.end(), 0);
+    while (true) {
+      const std::int64_t pushed =
+          Augment(s, t, std::numeric_limits<std::int64_t>::max());
+      if (pushed == 0) break;
+      flow += static_cast<std::uint64_t>(pushed);
+    }
+  }
+  return flow;
+}
+
+std::uint64_t UnitMaxFlow::SolveToSet(NodeId s,
+                                      std::span<const NodeId> sinks) {
+  if (s >= num_nodes_ || sinks.empty()) return 0;
+  ResetCapacities();
+  const NodeId super = num_nodes_;
+  for (const NodeId v : sinks) {
+    if (v >= num_nodes_ || v == s) continue;
+    const auto rv = static_cast<std::uint32_t>(arcs_[super].size());
+    const auto rs = static_cast<std::uint32_t>(arcs_[v].size());
+    arcs_[v].push_back({super, rv, kBigCapacity});
+    arcs_[super].push_back({v, rs, 0});
+  }
+  std::uint64_t flow = 0;
+  while (BuildLevels(s, super)) {
+    std::fill(iter_.begin(), iter_.end(), 0);
+    while (true) {
+      const std::int64_t pushed =
+          Augment(s, super, std::numeric_limits<std::int64_t>::max());
+      if (pushed == 0) break;
+      flow += static_cast<std::uint64_t>(pushed);
+    }
+  }
+  return flow;
+}
+
+}  // namespace topogen::graph

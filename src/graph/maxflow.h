@@ -1,0 +1,53 @@
+// Unit-capacity maximum flow (Dinic's algorithm).
+//
+// Two uses: the paper's footnote-22 "expected max-flow between the center
+// of a ball and any node on the surface of the ball" metric, and exact
+// s-t min-cut cross-checks for the balanced-bisection heuristics in the
+// test suite. Edges of the undirected input graph become capacity-1
+// arcs in both directions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace topogen::graph {
+
+// Reusable Dinic solver over a fixed graph; Solve() can be called for
+// many (source, sink) pairs without rebuilding adjacency.
+class UnitMaxFlow {
+ public:
+  explicit UnitMaxFlow(const Graph& g);
+
+  // Maximum s-t flow (equivalently, by Menger, the number of edge-disjoint
+  // s-t paths, and the s-t min cut). Returns 0 when s == t or either is
+  // out of range.
+  std::uint64_t Solve(NodeId s, NodeId t);
+
+  // Max flow from s to a *set* of sinks (adds an implicit super-sink with
+  // infinite capacity from each). Used for the center-to-surface metric.
+  std::uint64_t SolveToSet(NodeId s, std::span<const NodeId> sinks);
+
+ private:
+  struct Arc {
+    NodeId to;
+    std::uint32_t rev;  // index of the reverse arc in arcs_[to]
+    std::int32_t cap;
+  };
+
+  bool BuildLevels(NodeId s, NodeId t);
+  std::int64_t Augment(NodeId v, NodeId t, std::int64_t limit);
+  void ResetCapacities();
+
+  NodeId num_nodes_;
+  std::vector<std::vector<Arc>> arcs_;
+  std::vector<std::int32_t> level_;
+  std::vector<std::uint32_t> iter_;
+  // Arcs added for SolveToSet's super-sink are appended and removed per
+  // call; the base arc counts let ResetCapacities restore the graph.
+  std::vector<std::size_t> base_arc_count_;
+};
+
+}  // namespace topogen::graph

@@ -1,0 +1,306 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <queue>
+#include <unordered_map>
+
+namespace topogen::graph {
+namespace {
+
+// Weighted working graph used through the multilevel hierarchy. Node and
+// edge weights start at 1 and grow as matchings collapse vertices.
+struct LevelGraph {
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> adj;
+  std::vector<std::uint32_t> node_weight;
+
+  std::size_t size() const { return node_weight.size(); }
+  std::uint64_t total_weight() const {
+    return std::accumulate(node_weight.begin(), node_weight.end(),
+                           std::uint64_t{0});
+  }
+};
+
+LevelGraph FromGraph(const Graph& g) {
+  LevelGraph lg;
+  lg.adj.resize(g.num_nodes());
+  lg.node_weight.assign(g.num_nodes(), 1);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    lg.adj[u].reserve(g.degree(u));
+    for (NodeId v : g.neighbors(u)) lg.adj[u].push_back({v, 1});
+  }
+  return lg;
+}
+
+// Heavy-edge matching coarsening. Returns the coarse graph and fills
+// coarse_of (fine node -> coarse node).
+LevelGraph Coarsen(const LevelGraph& fine, Rng& rng,
+                   std::vector<std::uint32_t>& coarse_of) {
+  const std::size_t n = fine.size();
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+
+  constexpr std::uint32_t kUnmatched = 0xffffffffu;
+  std::vector<std::uint32_t> match(n, kUnmatched);
+  for (std::uint32_t u : order) {
+    if (match[u] != kUnmatched) continue;
+    std::uint32_t best = kUnmatched;
+    std::uint32_t best_w = 0;
+    for (auto [v, w] : fine.adj[u]) {
+      if (match[v] == kUnmatched && w > best_w) {
+        best = v;
+        best_w = w;
+      }
+    }
+    if (best != kUnmatched) {
+      match[u] = best;
+      match[best] = u;
+    } else {
+      match[u] = u;  // stays alone
+    }
+  }
+
+  coarse_of.assign(n, kUnmatched);
+  std::uint32_t next = 0;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    if (coarse_of[u] != kUnmatched) continue;
+    coarse_of[u] = next;
+    if (match[u] != u) coarse_of[match[u]] = next;
+    ++next;
+  }
+
+  LevelGraph coarse;
+  coarse.adj.resize(next);
+  coarse.node_weight.assign(next, 0);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    coarse.node_weight[coarse_of[u]] += fine.node_weight[u];
+  }
+  // Merge adjacency; a small local map per coarse node keeps this linear in
+  // the number of fine edges.
+  std::unordered_map<std::uint32_t, std::uint32_t> acc;
+  std::vector<bool> done(next, false);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    const std::uint32_t cu = coarse_of[u];
+    if (done[cu]) continue;
+    acc.clear();
+    auto absorb = [&](std::uint32_t fine_node) {
+      for (auto [v, w] : fine.adj[fine_node]) {
+        const std::uint32_t cv = coarse_of[v];
+        if (cv != cu) acc[cv] += w;
+      }
+    };
+    absorb(u);
+    if (match[u] != u) absorb(match[u]);
+    coarse.adj[cu].assign(acc.begin(), acc.end());
+    done[cu] = true;
+  }
+  return coarse;
+}
+
+std::uint64_t CutWeight(const LevelGraph& g,
+                        const std::vector<std::uint8_t>& side) {
+  std::uint64_t cut = 0;
+  for (std::size_t u = 0; u < g.size(); ++u) {
+    for (auto [v, w] : g.adj[u]) {
+      if (u < v && side[u] != side[v]) cut += w;
+    }
+  }
+  return cut;
+}
+
+// Greedy graph growing: grow side 1 from a random seed, always absorbing
+// the frontier vertex with the highest gain, until the grown side holds
+// roughly half the weight.
+std::vector<std::uint8_t> GrowInitialPartition(const LevelGraph& g, Rng& rng,
+                                               double min_side_fraction) {
+  const std::size_t n = g.size();
+  const std::uint64_t total = g.total_weight();
+  const auto target = static_cast<std::uint64_t>(
+      static_cast<double>(total) * 0.5);
+  // Never let rounding relax the constraint to "a side may be empty".
+  const std::uint64_t min_side = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(total) *
+                                    min_side_fraction));
+
+  std::vector<std::uint8_t> side(n, 0);
+  std::vector<std::int64_t> gain(n, 0);
+  std::vector<std::uint8_t> in_frontier(n, 0);
+  // Max-heap of (gain, node) with lazy invalidation.
+  std::priority_queue<std::pair<std::int64_t, std::uint32_t>> heap;
+
+  const auto seed = static_cast<std::uint32_t>(rng.NextIndex(n));
+  std::uint64_t grown = 0;
+  auto absorb = [&](std::uint32_t u) {
+    side[u] = 1;
+    grown += g.node_weight[u];
+    for (auto [v, w] : g.adj[u]) {
+      if (side[v] == 1) continue;
+      gain[v] += 2 * static_cast<std::int64_t>(w);
+      in_frontier[v] = 1;
+      heap.push({gain[v], v});
+    }
+  };
+  // Gain of absorbing v = (edges into grown side) - (edges staying outside);
+  // initialize as -deg and bump by 2w per grown neighbor.
+  for (std::size_t v = 0; v < n; ++v) {
+    std::int64_t dw = 0;
+    for (auto [nb, w] : g.adj[v]) {
+      (void)nb;
+      dw += w;
+    }
+    gain[v] = -dw;
+  }
+  absorb(seed);
+  while (grown < std::max(target, min_side) && !heap.empty()) {
+    auto [gval, u] = heap.top();
+    heap.pop();
+    if (side[u] == 1 || gval != gain[u]) continue;  // stale entry
+    absorb(u);
+  }
+  // Disconnected coarse graphs can exhaust the frontier early; top up with
+  // arbitrary remaining vertices to restore balance.
+  for (std::size_t v = 0; v < n && grown < min_side; ++v) {
+    if (side[v] == 0) {
+      side[v] = 1;
+      grown += g.node_weight[v];
+    }
+  }
+  return side;
+}
+
+// One Fiduccia-Mattheyses pass with rollback to the best prefix of moves.
+// Returns true if the cut improved.
+bool FmPass(const LevelGraph& g, std::vector<std::uint8_t>& side,
+            std::uint64_t& cut, double min_side_fraction) {
+  const std::size_t n = g.size();
+  const std::uint64_t total = g.total_weight();
+  const std::uint64_t min_side = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(total) *
+                                    min_side_fraction));
+
+  std::uint64_t side_weight[2] = {0, 0};
+  for (std::size_t v = 0; v < n; ++v) side_weight[side[v]] += g.node_weight[v];
+
+  // gain(v) = external weight - internal weight.
+  std::vector<std::int64_t> gain(n, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (auto [v, w] : g.adj[u]) {
+      gain[u] += side[u] != side[v] ? static_cast<std::int64_t>(w)
+                                    : -static_cast<std::int64_t>(w);
+    }
+  }
+  std::priority_queue<std::pair<std::int64_t, std::uint32_t>> heap;
+  for (std::uint32_t v = 0; v < n; ++v) heap.push({gain[v], v});
+
+  std::vector<std::uint8_t> locked(n, 0);
+  std::vector<std::uint32_t> moves;
+  moves.reserve(n);
+  std::int64_t running = 0, best_delta = 0;
+  std::size_t best_prefix = 0;
+
+  while (!heap.empty()) {
+    auto [gval, u] = heap.top();
+    heap.pop();
+    if (locked[u] || gval != gain[u]) continue;
+    const std::uint8_t from = side[u];
+    if (side_weight[from] < g.node_weight[u] + min_side) continue;  // balance
+    // Apply the move.
+    locked[u] = 1;
+    side[u] = 1 - from;
+    side_weight[from] -= g.node_weight[u];
+    side_weight[1 - from] += g.node_weight[u];
+    running += gain[u];
+    gain[u] = -gain[u];
+    for (auto [v, w] : g.adj[u]) {
+      if (locked[v]) continue;
+      // u switched sides: edges to v flip internal/external status.
+      gain[v] += side[v] == side[u] ? -2 * static_cast<std::int64_t>(w)
+                                    : 2 * static_cast<std::int64_t>(w);
+      heap.push({gain[v], v});
+    }
+    moves.push_back(u);
+    if (running > best_delta) {
+      best_delta = running;
+      best_prefix = moves.size();
+    }
+    // A full FM pass tries every vertex, but on large levels restricting to
+    // a generous cap keeps refinement near-linear without hurting quality.
+    if (moves.size() >= n) break;
+  }
+  // Roll back moves beyond the best prefix.
+  for (std::size_t i = moves.size(); i > best_prefix; --i) {
+    const std::uint32_t u = moves[i - 1];
+    side[u] = 1 - side[u];
+  }
+  if (best_delta > 0) {
+    cut -= static_cast<std::uint64_t>(best_delta);
+    return true;
+  }
+  return false;
+}
+
+BisectionResult RunOnce(const Graph& g, Rng& rng,
+                        const BisectionOptions& options) {
+  // Build the multilevel hierarchy.
+  std::vector<LevelGraph> levels;
+  std::vector<std::vector<std::uint32_t>> mappings;  // fine -> coarse
+  levels.push_back(FromGraph(g));
+  while (levels.back().size() > options.coarsest_size) {
+    std::vector<std::uint32_t> coarse_of;
+    LevelGraph coarse = Coarsen(levels.back(), rng, coarse_of);
+    if (coarse.size() >= levels.back().size() * 95 / 100) break;  // stalled
+    levels.push_back(std::move(coarse));
+    mappings.push_back(std::move(coarse_of));
+  }
+
+  std::vector<std::uint8_t> side =
+      GrowInitialPartition(levels.back(), rng, options.min_side_fraction);
+  std::uint64_t cut = CutWeight(levels.back(), side);
+  for (int p = 0; p < options.refinement_passes; ++p) {
+    if (!FmPass(levels.back(), side, cut, options.min_side_fraction)) break;
+  }
+
+  // Uncoarsen with refinement at every level.
+  for (std::size_t level = levels.size() - 1; level-- > 0;) {
+    const std::vector<std::uint32_t>& map = mappings[level];
+    std::vector<std::uint8_t> fine_side(levels[level].size());
+    for (std::size_t v = 0; v < fine_side.size(); ++v) {
+      fine_side[v] = side[map[v]];
+    }
+    side = std::move(fine_side);
+    cut = CutWeight(levels[level], side);
+    for (int p = 0; p < options.refinement_passes; ++p) {
+      if (!FmPass(levels[level], side, cut, options.min_side_fraction)) break;
+    }
+  }
+
+  BisectionResult result;
+  result.cut = cut;
+  result.side = std::move(side);
+  return result;
+}
+
+}  // namespace
+
+BisectionResult BalancedBisection(const Graph& g, Rng& rng,
+                                  const BisectionOptions& options) {
+  BisectionResult best;
+  if (g.num_nodes() < 2) {
+    best.side.assign(g.num_nodes(), 0);
+    return best;
+  }
+  for (int trial = 0; trial < std::max(1, options.num_trials); ++trial) {
+    BisectionResult r = RunOnce(g, rng, options);
+    if (trial == 0 || r.cut < best.cut) best = std::move(r);
+  }
+  return best;
+}
+
+std::uint64_t BalancedMinCut(const Graph& g, Rng& rng,
+                             const BisectionOptions& options) {
+  return BalancedBisection(g, rng, options).cut;
+}
+
+}  // namespace topogen::graph

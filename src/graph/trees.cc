@@ -1,0 +1,250 @@
+#include "graph/trees.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/bfs.h"
+
+namespace topogen::graph {
+
+SpanningTree BfsTree(const Graph& g, NodeId root) {
+  SpanningTree t;
+  t.root = root;
+  t.parent.assign(g.num_nodes(), kInvalidNode);
+  t.depth.assign(g.num_nodes(), kUnreachable);
+  if (root >= g.num_nodes()) return t;
+  t.parent[root] = root;
+  t.depth[root] = 0;
+  std::vector<NodeId> queue{root};
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    for (NodeId v : g.neighbors(u)) {
+      if (t.parent[v] == kInvalidNode) {
+        t.parent[v] = u;
+        t.depth[v] = t.depth[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return t;
+}
+
+namespace {
+
+// Re-roots the subtree containing new_root (parent-vector representation)
+// so that new_root becomes the subtree's root.
+void RerootTree(std::vector<NodeId>& parent, NodeId new_root) {
+  NodeId cur = new_root;
+  NodeId prev = new_root;  // will become cur's new parent
+  while (parent[cur] != cur) {
+    const NodeId next = parent[cur];
+    parent[cur] = prev;
+    prev = cur;
+    cur = next;
+  }
+  parent[cur] = prev;          // old root points down the reversed path
+  parent[new_root] = new_root;
+}
+
+void RecomputeDepths(const std::vector<NodeId>& parent, NodeId root,
+                     std::vector<Dist>& depth) {
+  // Children lists from the parent vector, then BFS from the root.
+  std::vector<std::vector<NodeId>> children(parent.size());
+  for (NodeId v = 0; v < parent.size(); ++v) {
+    if (parent[v] != kInvalidNode && parent[v] != v) {
+      children[parent[v]].push_back(v);
+    }
+  }
+  std::fill(depth.begin(), depth.end(), kUnreachable);
+  depth[root] = 0;
+  std::vector<NodeId> queue{root};
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    for (NodeId c : children[u]) {
+      depth[c] = depth[u] + 1;
+      queue.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+SpanningTree DecompositionTree(const Graph& g, NodeId root, Rng& rng) {
+  SpanningTree t;
+  t.root = root;
+  t.parent.assign(g.num_nodes(), kInvalidNode);
+  t.depth.assign(g.num_nodes(), kUnreachable);
+  if (root >= g.num_nodes()) return t;
+
+  // Phase 1: carve the component into random-radius clusters, each with an
+  // internal BFS tree rooted at its center.
+  const std::vector<NodeId> component = Ball(g, root, kUnreachable - 1);
+  std::vector<std::uint32_t> cluster_of(g.num_nodes(), 0xffffffffu);
+  std::vector<NodeId> centers;
+  std::vector<NodeId> pending(component.rbegin(), component.rend());
+  std::vector<NodeId> frontier;
+  while (!pending.empty()) {
+    // Random unassigned seed (first cluster is seeded at the root so the
+    // final tree is rooted there).
+    NodeId center = kInvalidNode;
+    if (centers.empty()) {
+      center = root;
+    } else {
+      const std::size_t pick = rng.NextIndex(pending.size());
+      std::swap(pending[pick], pending.back());
+      while (!pending.empty() &&
+             cluster_of[pending.back()] != 0xffffffffu) {
+        pending.pop_back();
+      }
+      if (pending.empty()) break;
+      center = pending.back();
+    }
+    const auto cluster_id = static_cast<std::uint32_t>(centers.size());
+    centers.push_back(center);
+    // Geometric radius: small clusters dominate, occasional large ones.
+    Dist radius = 1;
+    while (rng.NextBool(0.5) && radius < 6) ++radius;
+    // Truncated BFS over unassigned nodes only.
+    cluster_of[center] = cluster_id;
+    t.parent[center] = center;
+    t.depth[center] = 0;
+    frontier.assign(1, center);
+    for (std::size_t head = 0; head < frontier.size(); ++head) {
+      const NodeId u = frontier[head];
+      if (t.depth[u] >= radius) continue;
+      for (NodeId v : g.neighbors(u)) {
+        if (cluster_of[v] == 0xffffffffu) {
+          cluster_of[v] = cluster_id;
+          t.parent[v] = u;
+          t.depth[v] = t.depth[u] + 1;
+          frontier.push_back(v);
+        }
+      }
+    }
+  }
+
+  // Phase 2: stitch cluster trees together. BFS over the cluster graph from
+  // the root's cluster; each newly reached cluster is re-rooted at the
+  // endpoint of the connecting graph edge and hung below the other side.
+  const std::size_t num_clusters = centers.size();
+  if (num_clusters > 1) {
+    std::vector<std::vector<std::pair<std::uint32_t, Edge>>> cluster_adj(
+        num_clusters);
+    for (const Edge& e : g.edges()) {
+      const std::uint32_t cu = cluster_of[e.u];
+      const std::uint32_t cv = cluster_of[e.v];
+      if (cu == 0xffffffffu || cv == 0xffffffffu || cu == cv) continue;
+      cluster_adj[cu].push_back({cv, e});
+      cluster_adj[cv].push_back({cu, {e.v, e.u}});
+    }
+    std::vector<std::uint8_t> attached(num_clusters, 0);
+    attached[0] = 1;
+    std::vector<std::uint32_t> queue{0};
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::uint32_t cu = queue[head];
+      for (const auto& [cv, edge] : cluster_adj[cu]) {
+        if (attached[cv]) continue;
+        attached[cv] = 1;
+        // edge.u lives in cu, edge.v in cv.
+        RerootTree(t.parent, edge.v);
+        t.parent[edge.v] = edge.u;
+        queue.push_back(cv);
+      }
+    }
+  }
+  RecomputeDepths(t.parent, root, t.depth);
+  return t;
+}
+
+Dist TreeDistance(const SpanningTree& tree, NodeId u, NodeId v) {
+  if (tree.depth[u] == kUnreachable || tree.depth[v] == kUnreachable) {
+    return kUnreachable;
+  }
+  Dist steps = 0;
+  while (u != v) {
+    if (tree.depth[u] >= tree.depth[v]) {
+      u = tree.parent[u];
+      ++steps;
+    } else {
+      v = tree.parent[v];
+      ++steps;
+    }
+  }
+  return steps;
+}
+
+double TreeDistortion(const Graph& g, const SpanningTree& tree) {
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (const Edge& e : g.edges()) {
+    const Dist d = TreeDistance(tree, e.u, e.v);
+    if (d == kUnreachable) continue;
+    total += d;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+NodeId ApproxBetweennessCenter(const Graph& g, std::size_t samples,
+                               Rng& rng) {
+  const NodeId n = g.num_nodes();
+  if (n == 0) return kInvalidNode;
+  std::vector<double> centrality(n, 0.0);
+  std::vector<double> delta(n, 0.0);
+  const std::size_t use = std::min<std::size_t>(samples, n);
+  std::vector<NodeId> sources(n);
+  std::iota(sources.begin(), sources.end(), 0);
+  if (use < n) std::shuffle(sources.begin(), sources.end(), rng.engine());
+  for (std::size_t i = 0; i < use; ++i) {
+    const NodeId s = sources[i];
+    const ShortestPathDag dag = BuildShortestPathDag(g, s);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    // Brandes backward accumulation.
+    for (std::size_t j = dag.order.size(); j-- > 0;) {
+      const NodeId w = dag.order[j];
+      for (NodeId v : g.neighbors(w)) {
+        if (dag.dist[v] != kUnreachable && dag.dist[v] + 1 == dag.dist[w]) {
+          delta[v] += dag.sigma[v] / dag.sigma[w] * (1.0 + delta[w]);
+        }
+      }
+      if (w != s) centrality[w] += delta[w];
+    }
+  }
+  return static_cast<NodeId>(
+      std::max_element(centrality.begin(), centrality.end()) -
+      centrality.begin());
+}
+
+double BestDistortion(const Graph& g, Rng& rng, std::size_t center_samples) {
+  if (g.num_edges() == 0) return 0.0;
+  const NodeId center = ApproxBetweennessCenter(g, center_samples, rng);
+
+  std::vector<NodeId> roots{center};
+  // Highest-degree nodes are natural hubs for BFS trees on power-law
+  // graphs; add the top two if distinct from the center.
+  NodeId best_deg = 0, second_deg = 0;
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    if (g.degree(v) > g.degree(best_deg)) {
+      second_deg = best_deg;
+      best_deg = v;
+    } else if (g.degree(v) > g.degree(second_deg) || second_deg == best_deg) {
+      second_deg = v;
+    }
+  }
+  for (NodeId r : {best_deg, second_deg}) {
+    if (std::find(roots.begin(), roots.end(), r) == roots.end()) {
+      roots.push_back(r);
+    }
+  }
+
+  double best = std::numeric_limits<double>::infinity();
+  for (NodeId r : roots) {
+    best = std::min(best, TreeDistortion(g, BfsTree(g, r)));
+  }
+  for (int trial = 0; trial < 2; ++trial) {
+    best = std::min(best, TreeDistortion(g, DecompositionTree(g, center, rng)));
+  }
+  return best;
+}
+
+}  // namespace topogen::graph

@@ -1,0 +1,60 @@
+// Spanning trees and tree-distance machinery for the distortion metric.
+//
+// Distortion (Section 3.2.1, after Hu's optimum communication spanning
+// trees [22]) of a spanning tree T of G is the average T-distance between
+// the endpoints of G's edges; the distortion of G is the minimum over
+// spanning trees. That minimum is NP-hard, so, like the paper (footnotes
+// 14-15), we take the best over a family of heuristic trees:
+//
+//   * BFS trees rooted at an (approximate) betweenness center of the graph,
+//   * BFS trees rooted at the highest-degree nodes,
+//   * a Bartal-flavored recursive ball-decomposition tree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bfs.h"
+#include "graph/graph.h"
+#include "graph/rng.h"
+
+namespace topogen::graph {
+
+// Rooted spanning tree of the component containing root, as a parent
+// vector: parent[root] == root; nodes outside the component keep
+// kInvalidNode. depth[] is the hop distance from the root.
+struct SpanningTree {
+  NodeId root = kInvalidNode;
+  std::vector<NodeId> parent;
+  std::vector<Dist> depth;
+};
+
+SpanningTree BfsTree(const Graph& g, NodeId root);
+
+// Bartal-style decomposition tree: repeatedly carve random-radius balls
+// out of the graph, build BFS trees inside each, then stitch cluster trees
+// together along original graph edges. Still a spanning tree of G (it only
+// uses G's edges), but its shape follows a hierarchical decomposition
+// rather than a single-source BFS.
+SpanningTree DecompositionTree(const Graph& g, NodeId root, Rng& rng);
+
+// Average tree distance between the endpoints of each edge of g, computed
+// on the given spanning tree. Edges with an endpoint outside the tree's
+// component are skipped; returns 0 if no edge qualifies.
+double TreeDistortion(const Graph& g, const SpanningTree& tree);
+
+// Tree distance between u and v via naive LCA walk (fine for the low
+// diameters of ball subgraphs).
+Dist TreeDistance(const SpanningTree& tree, NodeId u, NodeId v);
+
+// Node maximizing Brandes betweenness estimated from `samples` sources
+// (exact when samples >= n). The paper's footnote 14 picks "the node
+// through which the highest number of pairs traverse" as the ball center.
+NodeId ApproxBetweennessCenter(const Graph& g, std::size_t samples, Rng& rng);
+
+// Best (lowest) distortion over the heuristic tree family described above.
+// The graph should be connected; disconnected input is handled by scoring
+// only the component of each candidate root.
+double BestDistortion(const Graph& g, Rng& rng, std::size_t center_samples = 64);
+
+}  // namespace topogen::graph

@@ -1,0 +1,35 @@
+// Vertex cover approximations.
+//
+// Two uses in the paper: Appendix B plots the size of a vertex cover of
+// ball subgraphs, and Section 5 defines a link's value as the minimum
+// *weighted* vertex cover of the bipartite graph formed by the link's
+// traversal set (computed with "well-known approximation algorithms" [30]).
+//
+// Both problems are NP-hard in general; we provide the classic
+// 2-approximations: maximal matching for the unweighted case and the
+// Bar-Yehuda-Even local-ratio scheme for arbitrary node weights, each
+// followed by a redundant-vertex pruning pass that only ever improves the
+// cover.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace topogen::graph {
+
+// Approximate minimum vertex cover size of g (2-approximation via maximal
+// matching, improved by degree-greedy and pruning; the smaller result
+// wins). Returns 0 for edgeless graphs.
+std::size_t ApproxVertexCoverSize(const Graph& g);
+
+// Approximate minimum weighted vertex cover of an explicit edge list over
+// nodes 0..num_nodes-1 with the given nonnegative weights (local-ratio
+// 2-approximation + pruning). Returns the total weight of the cover.
+double ApproxWeightedVertexCover(std::size_t num_nodes,
+                                 std::span<const Edge> edges,
+                                 std::span<const double> weight);
+
+}  // namespace topogen::graph

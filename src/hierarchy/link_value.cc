@@ -1,0 +1,393 @@
+#include "hierarchy/link_value.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "graph/bfs.h"
+#include "graph/rng.h"
+#include "policy/paths.h"
+
+namespace topogen::hierarchy {
+
+using graph::Dist;
+using graph::EdgeId;
+using graph::Graph;
+using graph::kUnreachable;
+using graph::NodeId;
+
+namespace {
+
+// Fixed-width bitset rows (one per node or per automaton state) used for
+// exact DAG-descendant counting.
+class BitRows {
+ public:
+  BitRows(std::size_t rows, std::size_t bits)
+      : words_((bits + 63) / 64), data_(rows * words_, 0) {}
+
+  std::uint64_t* row(std::size_t r) { return data_.data() + r * words_; }
+
+  void SetBit(std::size_t r, std::size_t bit) {
+    row(r)[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+  }
+  void OrInto(std::size_t dst, std::size_t src) {
+    std::uint64_t* d = row(dst);
+    const std::uint64_t* s = row(src);
+    for (std::size_t w = 0; w < words_; ++w) d[w] |= s[w];
+  }
+  std::size_t Popcount(std::size_t r) {
+    const std::uint64_t* d = row(r);
+    std::size_t total = 0;
+    for (std::size_t w = 0; w < words_; ++w) {
+      total += static_cast<std::size_t>(std::popcount(d[w]));
+    }
+    return total;
+  }
+  void ClearRow(std::size_t r) {
+    std::memset(row(r), 0, words_ * sizeof(std::uint64_t));
+  }
+
+ private:
+  std::size_t words_;
+  std::vector<std::uint64_t> data_;
+};
+
+std::vector<NodeId> PickSources(NodeId n, std::size_t max_sources,
+                                std::uint64_t seed) {
+  std::vector<NodeId> sources(n);
+  std::iota(sources.begin(), sources.end(), 0);
+  if (max_sources == 0 || max_sources >= n) return sources;
+  graph::Rng rng(seed);
+  std::shuffle(sources.begin(), sources.end(), rng.engine());
+  sources.resize(max_sources);
+  return sources;
+}
+
+}  // namespace
+
+metrics::Series LinkValueResult::RankDistribution() const {
+  metrics::Series s;
+  s.name = "link-value-rank";
+  if (value.empty() || num_nodes == 0) return s;
+  std::vector<double> sorted(value);
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const double m = static_cast<double>(sorted.size());
+  const double n = static_cast<double>(num_nodes);
+  for (std::size_t rank = 0; rank < sorted.size(); ++rank) {
+    s.Add(static_cast<double>(rank + 1) / m, sorted[rank] / n);
+  }
+  return s;
+}
+
+double LinkValueResult::DegreeCorrelation(const Graph& g) const {
+  const std::size_t m = value.size();
+  if (m < 2) return 0.0;
+  double mean_v = 0, mean_d = 0;
+  std::vector<double> mind(m);
+  for (EdgeId e = 0; e < m; ++e) {
+    mind[e] = static_cast<double>(
+        std::min(g.degree(g.edges()[e].u), g.degree(g.edges()[e].v)));
+    mean_v += value[e];
+    mean_d += mind[e];
+  }
+  mean_v /= static_cast<double>(m);
+  mean_d /= static_cast<double>(m);
+  double cov = 0, var_v = 0, var_d = 0;
+  for (EdgeId e = 0; e < m; ++e) {
+    const double dv = value[e] - mean_v;
+    const double dd = mind[e] - mean_d;
+    cov += dv * dd;
+    var_v += dv * dv;
+    var_d += dd * dd;
+  }
+  if (var_v <= 0 || var_d <= 0) return 0.0;
+  return cov / std::sqrt(var_v * var_d);
+}
+
+double LinkValueResult::DegreeRankCorrelation(const Graph& g) const {
+  const std::size_t m = value.size();
+  if (m < 2) return 0.0;
+  // Fractional ranks (ties get the mean rank of their block).
+  auto ranks_of = [m](const std::vector<double>& xs) {
+    std::vector<std::size_t> idx(m);
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+    std::vector<double> rank(m);
+    std::size_t i = 0;
+    while (i < m) {
+      std::size_t j = i;
+      while (j + 1 < m && xs[idx[j + 1]] == xs[idx[i]]) ++j;
+      const double mean_rank = 0.5 * (static_cast<double>(i) +
+                                      static_cast<double>(j));
+      for (std::size_t k = i; k <= j; ++k) rank[idx[k]] = mean_rank;
+      i = j + 1;
+    }
+    return rank;
+  };
+  std::vector<double> mind(m);
+  for (EdgeId e = 0; e < m; ++e) {
+    mind[e] = static_cast<double>(
+        std::min(g.degree(g.edges()[e].u), g.degree(g.edges()[e].v)));
+  }
+  const std::vector<double> rv = ranks_of(value);
+  const std::vector<double> rd = ranks_of(mind);
+  double mean_v = 0, mean_d = 0;
+  for (std::size_t e = 0; e < m; ++e) {
+    mean_v += rv[e];
+    mean_d += rd[e];
+  }
+  mean_v /= static_cast<double>(m);
+  mean_d /= static_cast<double>(m);
+  double cov = 0, var_v = 0, var_d = 0;
+  for (std::size_t e = 0; e < m; ++e) {
+    const double dv = rv[e] - mean_v;
+    const double dd = rd[e] - mean_d;
+    cov += dv * dd;
+    var_v += dv * dv;
+    var_d += dd * dd;
+  }
+  if (var_v <= 0 || var_d <= 0) return 0.0;
+  return cov / std::sqrt(var_v * var_d);
+}
+
+LinkValueResult ComputeLinkValues(const Graph& g,
+                                  const LinkValueOptions& options) {
+  const NodeId n = g.num_nodes();
+  const std::size_t m = g.num_edges();
+  LinkValueResult out;
+  out.num_nodes = n;
+  out.value.assign(m, 0.0);
+  if (n == 0 || m == 0) return out;
+
+  const std::vector<NodeId> sources =
+      PickSources(n, options.max_sources, options.seed);
+  std::vector<double> mass_u(m, 0.0), mass_v(m, 0.0);
+  BitRows reach(n, n);
+  std::vector<double> delta(n);
+  std::vector<std::uint8_t> dirty(n, 0);
+
+  for (const NodeId src : sources) {
+    const graph::ShortestPathDag dag = graph::BuildShortestPathDag(g, src);
+    // Descendant bitsets, farthest nodes first.
+    for (std::size_t i = dag.order.size(); i-- > 0;) {
+      const NodeId y = dag.order[i];
+      if (dirty[y]) reach.ClearRow(y);
+      dirty[y] = 1;
+      reach.SetBit(y, y);
+      for (const NodeId z : g.neighbors(y)) {
+        if (dag.dist[z] != kUnreachable && dag.dist[z] == dag.dist[y] + 1) {
+          reach.OrInto(y, z);
+        }
+      }
+    }
+    // Brandes backward accumulation with per-edge contributions.
+    std::fill(delta.begin(), delta.end(), 0.0);
+    for (std::size_t i = dag.order.size(); i-- > 0;) {
+      const NodeId y = dag.order[i];
+      if (y == src) continue;
+      const double through = 1.0 + delta[y];
+      const std::size_t targets = reach.Popcount(y);
+      const auto nbrs = g.neighbors(y);
+      const auto eids = g.incident_edges(y);
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        const NodeId x = nbrs[k];
+        if (dag.dist[x] == kUnreachable || dag.dist[x] + 1 != dag.dist[y]) {
+          continue;  // not a DAG predecessor
+        }
+        const double c = dag.sigma[x] / dag.sigma[y] * through;
+        delta[x] += c;
+        // W(src, l) = delta_edge / |targets through l|; the source sits on
+        // x's side of the link (x is strictly closer to src).
+        const double w = c / static_cast<double>(targets);
+        const EdgeId e = eids[k];
+        if (g.edges()[e].u == x) {
+          mass_u[e] += w;
+        } else {
+          mass_v[e] += w;
+        }
+      }
+    }
+  }
+
+  const double scale =
+      static_cast<double>(n) / static_cast<double>(sources.size());
+  for (EdgeId e = 0; e < m; ++e) {
+    out.value[e] = scale * std::min(mass_u[e], mass_v[e]);
+  }
+  return out;
+}
+
+LinkValueResult ComputePolicyLinkValues(
+    const Graph& g, std::span<const policy::Relationship> rel,
+    const LinkValueOptions& options) {
+  const NodeId n = g.num_nodes();
+  const std::size_t m = g.num_edges();
+  LinkValueResult out;
+  out.num_nodes = n;
+  out.value.assign(m, 0.0);
+  if (n == 0 || m == 0) return out;
+
+  const std::vector<NodeId> sources =
+      PickSources(n, options.max_sources, options.seed);
+  std::vector<double> mass_u(m, 0.0), mass_v(m, 0.0);
+  // One bitset row and one sigma/delta slot per automaton state (2 per
+  // node; phase in the LSB of the state index).
+  BitRows reach(2 * static_cast<std::size_t>(n), n);
+  std::vector<double> sigma(2 * static_cast<std::size_t>(n));
+  std::vector<double> delta(2 * static_cast<std::size_t>(n));
+  std::vector<double> sigma_pol(n);
+  std::vector<std::uint8_t> dirty(2 * static_cast<std::size_t>(n), 0);
+  auto state_of = [](NodeId v, unsigned phase) {
+    return (static_cast<std::size_t>(v) << 1) | phase;
+  };
+
+  for (const NodeId src : sources) {
+    const policy::PolicyBfs bfs = policy::RunPolicyBfs(g, rel, src);
+    auto dist_of = [&](NodeId v, unsigned phase) {
+      return phase == policy::kPhaseUp ? bfs.dist_up[v] : bfs.dist_down[v];
+    };
+    // Forward sigma over the state DAG.
+    for (const std::uint64_t packed : bfs.order) {
+      sigma[packed] = 0.0;
+    }
+    sigma[state_of(src, policy::kPhaseUp)] = 1.0;
+    for (const std::uint64_t packed : bfs.order) {
+      const NodeId u = static_cast<NodeId>(packed >> 1);
+      const auto phase = static_cast<unsigned>(packed & 1);
+      const Dist du = dist_of(u, phase);
+      const auto nbrs = g.neighbors(u);
+      const auto eids = g.incident_edges(u);
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        const policy::Traversal t =
+            policy::TraversalFrom(g, rel, eids[k], u);
+        unsigned next_phase;
+        if (!policy::PolicyStep(phase, t, next_phase)) continue;
+        if (dist_of(nbrs[k], next_phase) == du + 1) {
+          sigma[state_of(nbrs[k], next_phase)] += sigma[packed];
+        }
+      }
+    }
+    // Per-node policy path counts (across optimal states).
+    for (const std::uint64_t packed : bfs.order) {
+      const NodeId v = static_cast<NodeId>(packed >> 1);
+      sigma_pol[v] = 0.0;
+    }
+    for (const std::uint64_t packed : bfs.order) {
+      const NodeId v = static_cast<NodeId>(packed >> 1);
+      const auto phase = static_cast<unsigned>(packed & 1);
+      const Dist best = std::min(bfs.dist_up[v], bfs.dist_down[v]);
+      if (dist_of(v, phase) == best) sigma_pol[v] += sigma[packed];
+    }
+
+    // Backward pass: descendant bitsets (seeded at optimal states) and the
+    // generalized Brandes dependency with per-target termination mass.
+    for (std::size_t i = bfs.order.size(); i-- > 0;) {
+      const std::uint64_t packed = bfs.order[i];
+      const NodeId y = static_cast<NodeId>(packed >> 1);
+      const auto phase = static_cast<unsigned>(packed & 1);
+      if (dirty[packed]) reach.ClearRow(packed);
+      dirty[packed] = 1;
+      delta[packed] = 0.0;
+      if (dist_of(y, phase) == std::min(bfs.dist_up[y], bfs.dist_down[y])) {
+        reach.SetBit(packed, y);
+      }
+      const Dist dy = dist_of(y, phase);
+      const auto nbrs = g.neighbors(y);
+      const auto eids = g.incident_edges(y);
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        const policy::Traversal t =
+            policy::TraversalFrom(g, rel, eids[k], y);
+        unsigned next_phase;
+        if (!policy::PolicyStep(phase, t, next_phase)) continue;
+        if (dist_of(nbrs[k], next_phase) == dy + 1) {
+          reach.OrInto(packed, state_of(nbrs[k], next_phase));
+        }
+      }
+    }
+    for (std::size_t i = bfs.order.size(); i-- > 0;) {
+      const std::uint64_t packed = bfs.order[i];
+      const NodeId y = static_cast<NodeId>(packed >> 1);
+      const auto phase = static_cast<unsigned>(packed & 1);
+      if (y == src && phase == policy::kPhaseUp) continue;
+      const Dist dy = dist_of(y, phase);
+      const bool optimal =
+          dy == std::min(bfs.dist_up[y], bfs.dist_down[y]);
+      const double term =
+          optimal && sigma_pol[y] > 0 ? sigma[packed] / sigma_pol[y] : 0.0;
+      const double through = term + delta[packed];
+      if (through <= 0.0) continue;
+      const std::size_t targets = reach.Popcount(packed);
+      if (targets == 0) continue;
+      // Predecessors: states (x, px) with an allowed transition into this
+      // state at distance dy - 1.
+      const auto nbrs = g.neighbors(y);
+      const auto eids = g.incident_edges(y);
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        const NodeId x = nbrs[k];
+        const policy::Traversal t_from_x =
+            policy::TraversalFrom(g, rel, eids[k], x);
+        for (unsigned px : {policy::kPhaseUp, policy::kPhaseDown}) {
+          unsigned landed;
+          if (!policy::PolicyStep(px, t_from_x, landed) || landed != phase) {
+            continue;
+          }
+          if (dist_of(x, px) == kUnreachable || dist_of(x, px) + 1 != dy) {
+            continue;
+          }
+          const std::size_t sx = state_of(x, px);
+          const double c = sigma[sx] / sigma[packed] * through;
+          delta[sx] += c;
+          const double w = c / static_cast<double>(targets);
+          const EdgeId e = eids[k];
+          if (g.edges()[e].u == x) {
+            mass_u[e] += w;
+          } else {
+            mass_v[e] += w;
+          }
+        }
+      }
+    }
+  }
+
+  const double scale =
+      static_cast<double>(n) / static_cast<double>(sources.size());
+  for (EdgeId e = 0; e < m; ++e) {
+    out.value[e] = scale * std::min(mass_u[e], mass_v[e]);
+  }
+  return out;
+}
+
+HierarchyClass ClassifyHierarchy(const LinkValueResult& result,
+                                 const HierarchyClassOptions& options) {
+  if (result.value.empty() || result.num_nodes == 0) {
+    return HierarchyClass::kLoose;
+  }
+  const double n = static_cast<double>(result.num_nodes);
+  std::vector<double> sorted(result.value);
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const double top = sorted.front() / n;
+  const double near_top = sorted[sorted.size() / 100] / n;  // 1st pctile
+  const double median = sorted[sorted.size() / 2] / n;
+  if (near_top > 0.0 && median / near_top >= options.loose_flatness) {
+    return HierarchyClass::kLoose;
+  }
+  if (top >= options.strict_top_value) return HierarchyClass::kStrict;
+  return HierarchyClass::kModerate;
+}
+
+const char* ToString(HierarchyClass c) {
+  switch (c) {
+    case HierarchyClass::kStrict:
+      return "strict";
+    case HierarchyClass::kModerate:
+      return "moderate";
+    case HierarchyClass::kLoose:
+      return "loose";
+  }
+  return "?";
+}
+
+}  // namespace topogen::hierarchy

@@ -1,0 +1,102 @@
+// Link values: the paper's measure of hierarchy (Section 5).
+//
+// A link's *traversal set* is the set of node pairs whose shortest-path
+// traffic crosses it, weighted by the fraction of each pair's equal-cost
+// shortest paths that use the link. The link's *value* is the minimum
+// weighted vertex cover of the bipartite graph this traversal set forms,
+// with each node weighted by its average pair weight W(u,l) (paper's
+// footnote 27). Backbone links cover many pairs on both sides and get
+// high values; access links always have value ~1.
+//
+// Exact computation is infeasible (the paper itself used approximation
+// algorithms [30] and pruned the RL graph to its degree->=2 core,
+// footnote 29). Our estimator:
+//
+//   1. For every source u, build the shortest-path DAG; compute, for every
+//      link l in the DAG, delta(u,l) = sum over targets v of w(u,v,l)
+//      (Brandes edge dependency) and cnt(u,l) = number of targets routed
+//      through l (exact DAG-descendant counting with bitsets). Then
+//      W(u,l) = delta / cnt, the paper's bipartite node weight.
+//   2. Each source belongs to exactly one side of l (the endpoint it is
+//      strictly closer to; equidistant sources never route through l).
+//      Accumulate W(u,l) into that side's mass.
+//   3. value(l) = min(side mass at u-endpoint, side mass at v-endpoint) --
+//      the exact minimum weighted vertex cover of a complete bipartite
+//      graph, and a natural upper-bound approximation for ours. It
+//      reproduces the two calibration cases the paper quotes: access
+//      links get exactly 1, and a tree's root link gets min(|A|, |B|).
+//
+// The policy variant runs the same accumulation on the valley-free
+// product automaton so only policy-compliant shortest paths contribute.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "metrics/series.h"
+#include "policy/relationships.h"
+
+namespace topogen::hierarchy {
+
+struct LinkValueOptions {
+  // Sources used for the accumulation; all nodes when >= n. Link-value
+  // analysis is the one place the paper subsamples *graphs* rather than
+  // sources (RL -> core), so default to exact.
+  std::size_t max_sources = 0;  // 0 = all nodes
+  std::uint64_t seed = 23;
+};
+
+struct LinkValueResult {
+  // Raw (unnormalized) link values, parallel to graph.edges().
+  std::vector<double> value;
+  graph::NodeId num_nodes = 0;
+
+  // Figure 3/4 series: x = rank / m (descending by value), y = value / N.
+  metrics::Series RankDistribution() const;
+
+  // Figure 5: Pearson correlation between a link's value and the lower
+  // degree of its endpoints.
+  double DegreeCorrelation(const graph::Graph& g) const;
+
+  // Spearman (rank) companion to DegreeCorrelation. Link values span four
+  // orders of magnitude, so Pearson is dominated by a handful of backbone
+  // links; the rank correlation reads the monotone trend the paper's
+  // Section 5.2 argues from ("the only links that have high values are the
+  // ones that connect two nodes with high degrees").
+  double DegreeRankCorrelation(const graph::Graph& g) const;
+};
+
+LinkValueResult ComputeLinkValues(const graph::Graph& g,
+                                  const LinkValueOptions& options = {});
+
+LinkValueResult ComputePolicyLinkValues(
+    const graph::Graph& g, std::span<const policy::Relationship> rel,
+    const LinkValueOptions& options = {});
+
+// Section 5.1's strict / moderate / loose grouping, decided from the
+// normalized distribution: strict hierarchies have very high top values
+// (Tree/TS/Tiers reach 0.25+); loose ones spread value across most links
+// (Mesh/Random/Waxman); everything between is moderate (AS/RL/PLRG).
+enum class HierarchyClass { kStrict, kModerate, kLoose };
+
+// Decision order matters: looseness (a flat distribution) is tested first
+// because a Random graph's *top* value can rival a strict hierarchy's
+// (Figure 3a shows Random starting near 0.2) -- what distinguishes it is
+// that the *bulk* of links carry comparable value. Flatness is measured
+// scale-free, as the ratio of the median link value to the 1st-percentile
+// (near-top) link value: loose graphs keep most links within a factor of
+// a few of the backbone (Mesh ~0.4, Random ~0.5, Waxman ~0.55), while
+// hierarchical graphs of either kind collapse the median orders of
+// magnitude below it (Tree ~0.01, PLRG ~0.03, AS ~0.05).
+struct HierarchyClassOptions {
+  double strict_top_value = 0.25;  // normalized top value at or above this
+  double loose_flatness = 0.25;    // median / 1st-percentile link value
+};
+
+HierarchyClass ClassifyHierarchy(const LinkValueResult& result,
+                                 const HierarchyClassOptions& options = {});
+
+const char* ToString(HierarchyClass c);
+
+}  // namespace topogen::hierarchy

@@ -1,0 +1,136 @@
+#include "metrics/ball.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "policy/policy_ball.h"
+
+namespace topogen::metrics {
+
+using graph::Dist;
+using graph::Graph;
+using graph::kUnreachable;
+using graph::NodeId;
+using graph::Rng;
+
+std::vector<NodeId> SampleCenters(const Graph& g, std::size_t max_centers,
+                                  std::uint64_t seed) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> centers;
+  if (n == 0) return centers;
+  if (n <= max_centers) {
+    centers.resize(n);
+    std::iota(centers.begin(), centers.end(), 0);
+    return centers;
+  }
+  // Random sample without replacement (partial Fisher-Yates).
+  Rng rng(seed);
+  std::vector<NodeId> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  for (std::size_t i = 0; i < max_centers; ++i) {
+    const std::size_t j = i + rng.NextIndex(n - i);
+    std::swap(all[i], all[j]);
+    centers.push_back(all[i]);
+  }
+  return centers;
+}
+
+namespace {
+
+struct RadiusBin {
+  double sum_size = 0.0;
+  double sum_value = 0.0;
+  std::size_t count = 0;
+};
+
+Series BinsToSeries(const std::vector<RadiusBin>& bins) {
+  Series s;
+  for (const RadiusBin& bin : bins) {
+    if (bin.count == 0) continue;
+    s.Add(bin.sum_size / static_cast<double>(bin.count),
+          bin.sum_value / static_cast<double>(bin.count));
+  }
+  return s;
+}
+
+}  // namespace
+
+Series BallGrowingSeries(const Graph& g, const BallGrowingOptions& options,
+                         const BallMetric& metric) {
+  const std::vector<NodeId> centers =
+      SampleCenters(g, options.max_centers, options.seed);
+  std::vector<RadiusBin> bins(static_cast<std::size_t>(options.max_radius) + 1);
+  Rng rng(graph::SplitMix64(options.seed) ^ 0x9e3779b9u);
+
+  for (std::size_t ci = 0; ci < centers.size(); ++ci) {
+    const NodeId center = centers[ci];
+    // One BFS; balls of every radius are prefixes of the distance order.
+    const std::vector<Dist> dist = BfsDistances(g, center);
+    std::vector<NodeId> order;
+    order.reserve(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (dist[v] != kUnreachable) order.push_back(v);
+    }
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+      return dist[a] < dist[b];
+    });
+    Dist max_r = 0;
+    for (NodeId v : order) max_r = std::max(max_r, dist[v]);
+    max_r = std::min<Dist>(max_r, options.max_radius);
+
+    std::size_t prefix = 0;
+    for (Dist r = 1; r <= max_r; ++r) {
+      while (prefix < order.size() && dist[order[prefix]] <= r) ++prefix;
+      if (prefix > options.max_ball_nodes) break;
+      if (prefix > options.big_ball_threshold &&
+          ci >= options.big_ball_centers) {
+        break;  // large balls run on a reduced center set
+      }
+      const graph::Subgraph ball = graph::InducedSubgraph(
+          g, std::span<const NodeId>(order.data(), prefix));
+      const double value = metric(ball.graph, rng);
+      if (std::isnan(value)) continue;
+      bins[r].sum_size += static_cast<double>(prefix);
+      bins[r].sum_value += value;
+      ++bins[r].count;
+      if (prefix == order.size()) break;  // ball swallowed the component
+    }
+  }
+  return BinsToSeries(bins);
+}
+
+Series PolicyBallGrowingSeries(const Graph& g,
+                               std::span<const policy::Relationship> rel,
+                               const BallGrowingOptions& options,
+                               const BallMetric& metric) {
+  const std::vector<NodeId> centers =
+      SampleCenters(g, options.max_centers, options.seed);
+  std::vector<RadiusBin> bins(static_cast<std::size_t>(options.max_radius) + 1);
+  Rng rng(graph::SplitMix64(options.seed) ^ 0x51c6e573u);
+
+  for (std::size_t ci = 0; ci < centers.size(); ++ci) {
+    const NodeId center = centers[ci];
+    std::size_t last_size = 0;
+    for (Dist r = 1; r <= options.max_radius; ++r) {
+      const policy::PolicyBall ball = policy::GrowPolicyBall(g, rel, center, r);
+      const std::size_t size = ball.subgraph.graph.num_nodes();
+      if (size > options.max_ball_nodes) break;
+      if (size > options.big_ball_threshold &&
+          ci >= options.big_ball_centers) {
+        break;
+      }
+      const double value = metric(ball.subgraph.graph, rng);
+      if (!std::isnan(value)) {
+        bins[r].sum_size += static_cast<double>(size);
+        bins[r].sum_value += value;
+        ++bins[r].count;
+      }
+      if (size == last_size) break;  // policy ball stopped growing
+      last_size = size;
+    }
+  }
+  return BinsToSeries(bins);
+}
+
+}  // namespace topogen::metrics

@@ -1,0 +1,63 @@
+// Ball-growing framework (paper Section 3.2.1, footnotes 12 and 14).
+//
+// Every scale-sensitive metric in the paper is evaluated on "balls": the
+// subgraph induced by all nodes within h hops of a center. For each
+// sampled center and each radius we hand the induced subgraph to a metric
+// functional, then average both the ball sizes and the metric values of
+// all balls with the same radius. The result is a Series keyed either by
+// radius (expansion-style) or by mean ball size (resilience/distortion
+// style), which is how graphs of very different sizes become comparable.
+//
+// Cost control mirrors the paper: all centers are used for small balls,
+// progressively fewer for large ones ("for larger subgraphs, we repeated
+// the computation for [fewer] randomly chosen nodes, in order to keep
+// computation times reasonable").
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/bfs.h"
+#include "graph/graph.h"
+#include "graph/rng.h"
+#include "metrics/series.h"
+#include "policy/relationships.h"
+
+namespace topogen::metrics {
+
+struct BallGrowingOptions {
+  std::size_t max_centers = 24;
+  graph::Dist max_radius = 48;
+  // Balls above this node count are skipped entirely.
+  std::size_t max_ball_nodes = 60000;
+  // Balls above big_ball_threshold nodes only run on the first
+  // big_ball_centers centers.
+  std::size_t big_ball_threshold = 4000;
+  std::size_t big_ball_centers = 6;
+  std::uint64_t seed = 7;
+};
+
+// A metric evaluated on one ball subgraph. Returning NaN skips the sample.
+using BallMetric = std::function<double(const graph::Graph& ball,
+                                        graph::Rng& rng)>;
+
+// Deterministically sampled, well-spread ball centers.
+std::vector<graph::NodeId> SampleCenters(const graph::Graph& g,
+                                         std::size_t max_centers,
+                                         std::uint64_t seed);
+
+// Series keyed by mean ball size: x = average node count of the balls of
+// each radius, y = average metric value. The first point is radius 1.
+Series BallGrowingSeries(const graph::Graph& g,
+                         const BallGrowingOptions& options,
+                         const BallMetric& metric);
+
+// Policy variant: balls are policy-induced (Appendix E) using the given
+// link relationships.
+Series PolicyBallGrowingSeries(const graph::Graph& g,
+                               std::span<const policy::Relationship> rel,
+                               const BallGrowingOptions& options,
+                               const BallMetric& metric);
+
+}  // namespace topogen::metrics

@@ -1,0 +1,93 @@
+#include "metrics/ball_extras.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/bfs.h"
+#include "graph/maxflow.h"
+
+namespace topogen::metrics {
+
+Series BallAveragePathSeries(const graph::Graph& g,
+                             const BallGrowingOptions& options) {
+  Series s = BallGrowingSeries(
+      g, options, [](const graph::Graph& ball, graph::Rng&) {
+        if (ball.num_nodes() < 2) {
+          return std::numeric_limits<double>::quiet_NaN();
+        }
+        return graph::AveragePathLength(ball, 64);
+      });
+  s.name = "ball-average-path";
+  return s;
+}
+
+Series BallMaxFlowSeries(const graph::Graph& g,
+                         const BallGrowingOptions& options) {
+  Series s = BallGrowingSeries(
+      g, options, [](const graph::Graph& ball, graph::Rng& rng) {
+        // InducedSubgraph preserves the BFS-distance order, so local node
+        // 0 is the ball's center and the surface is the farthest layer.
+        const graph::NodeId n = ball.num_nodes();
+        if (n < 2) return std::numeric_limits<double>::quiet_NaN();
+        const std::vector<graph::Dist> dist = graph::BfsDistances(ball, 0);
+        graph::Dist radius = 0;
+        for (const graph::Dist d : dist) {
+          if (d != graph::kUnreachable) radius = std::max(radius, d);
+        }
+        std::vector<graph::NodeId> surface;
+        for (graph::NodeId v = 0; v < n; ++v) {
+          if (dist[v] == radius && radius > 0) surface.push_back(v);
+        }
+        if (surface.empty()) {
+          return std::numeric_limits<double>::quiet_NaN();
+        }
+        // Average flow to a handful of sampled surface nodes.
+        graph::UnitMaxFlow solver(ball);
+        const std::size_t samples =
+            std::min<std::size_t>(6, surface.size());
+        double total = 0.0;
+        for (std::size_t i = 0; i < samples; ++i) {
+          const graph::NodeId t =
+              surface[rng.NextIndex(surface.size())];
+          total += static_cast<double>(solver.Solve(0, t));
+        }
+        return total / static_cast<double>(samples);
+      });
+  s.name = "ball-maxflow";
+  return s;
+}
+
+Series HopPlot(const graph::Graph& g, const ExpansionOptions& options) {
+  const Series expansion = Expansion(g, options);
+  Series s;
+  s.name = "hop-plot";
+  const double n = static_cast<double>(g.num_nodes());
+  for (std::size_t i = 0; i < expansion.size(); ++i) {
+    s.Add(expansion.x[i], n * n * expansion.y[i]);
+  }
+  return s;
+}
+
+double HopPlotExponent(const graph::Graph& g,
+                       const ExpansionOptions& options) {
+  const Series plot = HopPlot(g, options);
+  const double n = static_cast<double>(g.num_nodes());
+  // Growth regime: below 80% of all pairs.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < plot.size(); ++i) {
+    if (plot.y[i] <= 0 || plot.y[i] > 0.8 * n * n) continue;
+    const double lx = std::log(plot.x[i]);
+    const double ly = std::log(plot.y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++count;
+  }
+  if (count < 2) return 0.0;
+  const double denom = count * sxx - sx * sx;
+  return std::abs(denom) < 1e-12 ? 0.0 : (count * sxy - sx * sy) / denom;
+}
+
+}  // namespace topogen::metrics

@@ -1,0 +1,43 @@
+// The paper's footnote-22 auxiliary ball metrics and the Faloutsos
+// hop-plot.
+//
+// Footnote 22: "we also tested many others (of our own devising),
+// including the average path length between any two nodes in a ball of
+// size n, and the expected max-flow between the center of a ball of size
+// n and any node on the surface of the ball. These metrics, too, do not
+// contradict our findings but do not add to them either." Both are
+// implemented here so that claim can be checked, plus the hop-plot
+// exponent of Faloutsos et al. [17] that Medina et al. [29] used.
+#pragma once
+
+#include "graph/graph.h"
+#include "metrics/ball.h"
+#include "metrics/expansion.h"
+#include "metrics/series.h"
+
+namespace topogen::metrics {
+
+// x = mean ball size, y = average pairwise shortest-path length within
+// the ball.
+Series BallAveragePathSeries(const graph::Graph& g,
+                             const BallGrowingOptions& options = {});
+
+// x = mean ball size, y = expected unit-capacity max-flow from the ball's
+// center to a node on its surface (sampled surface nodes). By Menger this
+// is the expected number of edge-disjoint center-surface paths -- a
+// resilience-flavored quantity.
+Series BallMaxFlowSeries(const graph::Graph& g,
+                         const BallGrowingOptions& options = {});
+
+// Hop-plot: x = h, y = number of node pairs within h hops (ordered pairs,
+// including self-pairs, matching [17]). Computed from the expansion
+// series: P(h) = n * (n * E(h)).
+Series HopPlot(const graph::Graph& g, const ExpansionOptions& options = {});
+
+// Log-log slope of the hop-plot in its growth regime (below saturation);
+// the Faloutsos "hop-plot exponent". Returns 0 when fewer than two
+// usable points exist.
+double HopPlotExponent(const graph::Graph& g,
+                       const ExpansionOptions& options = {});
+
+}  // namespace topogen::metrics

@@ -1,0 +1,74 @@
+#include "metrics/classification.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace topogen::metrics {
+
+namespace {
+
+
+}  // namespace
+
+Level ClassifyExpansion(const Series& expansion,
+                        const ClassifierOptions& options) {
+  // Successive growth ratios E(h+1)/E(h) within the growth regime (below
+  // the cap). An exponential expander sustains a ratio near its branching
+  // factor all the way to saturation; a polynomial (mesh-like) expander's
+  // ratio decays toward 1 (for E ~ h^2 the ratio is ((h+1)/h)^2). The tail
+  // of the ratio sequence is therefore the discriminator.
+  std::vector<double> ratios;
+  for (std::size_t i = 1; i < expansion.size(); ++i) {
+    if (expansion.y[i] <= 0 || expansion.y[i] > options.expansion_cap ||
+        expansion.y[i - 1] <= 0) {
+      continue;
+    }
+    ratios.push_back(expansion.y[i] / expansion.y[i - 1]);
+  }
+  // A graph that swallows half its nodes within a couple of hops expands
+  // as fast as expansion can be measured.
+  if (ratios.size() < 2) return Level::kHigh;
+  const double tail =
+      0.5 * (ratios[ratios.size() - 1] + ratios[ratios.size() - 2]);
+  return tail >= options.expansion_tail_ratio ? Level::kHigh : Level::kLow;
+}
+
+Level ClassifyResilience(const Series& resilience,
+                         const ClassifierOptions& options) {
+  if (resilience.empty()) return Level::kLow;
+  const double max_r =
+      *std::max_element(resilience.y.begin(), resilience.y.end());
+  if (max_r <= options.resilience_floor) return Level::kLow;
+  // Magnitude rule: a low-resilience topology's cut stays O(1) no matter
+  // how large its balls grow (Tree = 1, Transit-Stub a small constant),
+  // while every "high" topology's cut clears log2(n) comfortably (Mesh
+  // ~ sqrt(n); Tiers saturates at its WAN redundancy but far above the
+  // bar; Random ~ k*n). A slope rule is tempting but fails on Tiers,
+  // whose curve climbs early and then flattens -- dragging a global
+  // log-log fit toward zero despite an unmistakably resilient graph.
+  const double bar = options.resilience_magnitude *
+                     std::log2(std::max(4.0, resilience.x.back()));
+  return max_r >= bar ? Level::kHigh : Level::kLow;
+}
+
+Level ClassifyDistortion(const Series& distortion,
+                         const ClassifierOptions& options) {
+  if (distortion.empty()) return Level::kLow;
+  const double final_n = distortion.x.back();
+  const double final_d = distortion.y.back();
+  if (final_n < 4.0) return Level::kLow;
+  const double threshold =
+      options.distortion_fraction * std::log2(final_n);
+  return final_d >= threshold ? Level::kHigh : Level::kLow;
+}
+
+LhSignature Classify(const Series& expansion, const Series& resilience,
+                     const Series& distortion,
+                     const ClassifierOptions& options) {
+  return {ClassifyExpansion(expansion, options),
+          ClassifyResilience(resilience, options),
+          ClassifyDistortion(distortion, options)};
+}
+
+}  // namespace topogen::metrics

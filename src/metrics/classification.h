@@ -1,0 +1,66 @@
+// Qualitative low/high classification (paper Sections 3.2.1 and 4.4).
+//
+// The paper's headline result is a table of Low/High labels per topology
+// and metric: Mesh = LHH, Random = HHH, Tree = HLL, the measured graphs
+// and PLRG = HHL ("like [the] complete graph!"), Tiers = LHL, TS = HLL,
+// Waxman = HHH. The paper assigns the labels by eyeballing curve shapes;
+// we encode the same judgements as explicit, documented decision rules so
+// the classification is reproducible:
+//
+//   * Expansion: look at the successive growth ratios E(h+1)/E(h) in the
+//     regime below 0.5. An exponential expander sustains its ratio (the
+//     branching factor) until saturation; a mesh-like expander's ratio
+//     decays toward 1. High iff the tail of the ratio sequence stays at or
+//     above `expansion_tail_ratio`.
+//   * Resilience: High iff R ever clears both `resilience_floor` and
+//     `resilience_magnitude` * log2(n_final) (a mesh's sqrt(n) and Tiers'
+//     redundancy-bounded plateau count as High; a tree's or Transit-
+//     Stub's small constant does not).
+//   * Distortion: Low iff the final D stays below `distortion_fraction`
+//     of log2(final ball size) -- the "O(log n) vs bounded" distinction
+//     behind Figure 2(c,f,i).
+#pragma once
+
+#include <string>
+
+#include "metrics/series.h"
+
+namespace topogen::metrics {
+
+enum class Level { kLow, kHigh };
+
+inline char ToChar(Level level) { return level == Level::kHigh ? 'H' : 'L'; }
+
+struct ClassifierOptions {
+  double expansion_cap = 0.5;        // use E(h) ratios only below this
+  double expansion_tail_ratio = 1.45;
+  double resilience_magnitude = 1.0;  // of log2(n_final)
+  double resilience_floor = 2.5;      // max R must exceed this for High
+  double distortion_fraction = 0.40; // of log2(n_final)
+};
+
+// num_nodes is the full graph's node count (expansion saturates at 1).
+Level ClassifyExpansion(const Series& expansion,
+                        const ClassifierOptions& options = {});
+Level ClassifyResilience(const Series& resilience,
+                         const ClassifierOptions& options = {});
+Level ClassifyDistortion(const Series& distortion,
+                         const ClassifierOptions& options = {});
+
+struct LhSignature {
+  Level expansion = Level::kLow;
+  Level resilience = Level::kLow;
+  Level distortion = Level::kLow;
+
+  // "HHL"-style string, the paper's table notation.
+  std::string ToString() const {
+    return {ToChar(expansion), ToChar(resilience), ToChar(distortion)};
+  }
+  friend bool operator==(const LhSignature&, const LhSignature&) = default;
+};
+
+LhSignature Classify(const Series& expansion, const Series& resilience,
+                     const Series& distortion,
+                     const ClassifierOptions& options = {});
+
+}  // namespace topogen::metrics

@@ -1,0 +1,37 @@
+#include "metrics/clustering.h"
+
+#include <algorithm>
+
+namespace topogen::metrics {
+
+double ClusteringCoefficient(const graph::Graph& g) {
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    if (nbrs.size() < 2) continue;
+    std::size_t closed = 0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (g.has_edge(nbrs[i], nbrs[j])) ++closed;
+      }
+    }
+    const double pairs =
+        static_cast<double>(nbrs.size()) * (nbrs.size() - 1) / 2.0;
+    total += static_cast<double>(closed) / pairs;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+Series ClusteringSeries(const graph::Graph& g,
+                        const BallGrowingOptions& options) {
+  Series s = BallGrowingSeries(g, options,
+                               [](const graph::Graph& ball, graph::Rng&) {
+                                 return ClusteringCoefficient(ball);
+                               });
+  s.name = "clustering";
+  return s;
+}
+
+}  // namespace topogen::metrics

@@ -1,0 +1,25 @@
+// Clustering coefficient (Watts-Strogatz [46], Bu-Towsley [8]; paper
+// Figure 10 and the Section 4.4 closing discussion).
+//
+// The clustering coefficient of a node with degree >= 2 is the fraction
+// of its neighbor pairs that are themselves adjacent; the graph's
+// coefficient is the average over such nodes. The paper evaluates it both
+// on whole graphs (where PLRG differs from the AS graph -- a *local*
+// property PLRG misses) and under ball-growing (where PLRG tracks the AS
+// graph).
+#pragma once
+
+#include "graph/graph.h"
+#include "metrics/ball.h"
+#include "metrics/series.h"
+
+namespace topogen::metrics {
+
+// Average clustering coefficient over nodes of degree >= 2 (0 if none).
+double ClusteringCoefficient(const graph::Graph& g);
+
+// x = mean ball size, y = mean clustering coefficient of the ball.
+Series ClusteringSeries(const graph::Graph& g,
+                        const BallGrowingOptions& options = {});
+
+}  // namespace topogen::metrics

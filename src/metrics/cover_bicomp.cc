@@ -1,0 +1,29 @@
+#include "metrics/cover_bicomp.h"
+
+#include "graph/components.h"
+#include "graph/vertex_cover.h"
+
+namespace topogen::metrics {
+
+Series VertexCoverSeries(const graph::Graph& g,
+                         const BallGrowingOptions& options) {
+  Series s = BallGrowingSeries(g, options,
+                               [](const graph::Graph& ball, graph::Rng&) {
+                                 return static_cast<double>(
+                                     graph::ApproxVertexCoverSize(ball));
+                               });
+  s.name = "vertex-cover";
+  return s;
+}
+
+Series BiconnectivitySeries(const graph::Graph& g,
+                            const BallGrowingOptions& options) {
+  Series s = BallGrowingSeries(
+      g, options, [](const graph::Graph& ball, graph::Rng&) {
+        return static_cast<double>(graph::CountBiconnectedComponents(ball));
+      });
+  s.name = "biconnectivity";
+  return s;
+}
+
+}  // namespace topogen::metrics

@@ -1,0 +1,22 @@
+// Vertex cover and biconnectivity ball metrics (paper Figure 8).
+//
+// Both are thin ball-growing wrappers: the approximate minimum vertex
+// cover size of each ball subgraph (Figure 8a-c) and the number of
+// biconnected components within each ball (Figure 8d-f, after [50]).
+#pragma once
+
+#include "graph/graph.h"
+#include "metrics/ball.h"
+#include "metrics/series.h"
+
+namespace topogen::metrics {
+
+// x = mean ball size, y = mean approximate vertex-cover size.
+Series VertexCoverSeries(const graph::Graph& g,
+                         const BallGrowingOptions& options = {});
+
+// x = mean ball size, y = mean number of biconnected components.
+Series BiconnectivitySeries(const graph::Graph& g,
+                            const BallGrowingOptions& options = {});
+
+}  // namespace topogen::metrics

@@ -1,0 +1,92 @@
+#include "metrics/degree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace topogen::metrics {
+
+Series DegreeCcdf(const graph::Graph& g) {
+  Series s;
+  s.name = "degree-ccdf";
+  std::map<std::size_t, std::size_t> histogram;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    ++histogram[g.degree(v)];
+  }
+  const double n = static_cast<double>(g.num_nodes());
+  std::size_t at_least = g.num_nodes();
+  for (const auto& [degree, count] : histogram) {
+    if (degree > 0) {
+      s.Add(static_cast<double>(degree),
+            static_cast<double>(at_least) / n);
+    }
+    at_least -= count;
+  }
+  return s;
+}
+
+double FitPowerLawExponent(const graph::Graph& g) {
+  const Series ccdf = DegreeCcdf(g);
+  if (ccdf.size() < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < ccdf.size(); ++i) {
+    if (ccdf.x[i] <= 0 || ccdf.y[i] <= 0) continue;
+    const double lx = std::log(ccdf.x[i]);
+    const double ly = std::log(ccdf.y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++count;
+  }
+  if (count < 2) return 0.0;
+  const double denom = count * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return 0.0;
+  const double slope = (count * sxy - sx * sy) / denom;
+  return 1.0 - slope;  // CCDF slope is -(beta - 1)
+}
+
+Series DegreeRank(const graph::Graph& g) {
+  Series s;
+  s.name = "degree-rank";
+  std::vector<std::size_t> degrees(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    degrees[v] = g.degree(v);
+  }
+  std::sort(degrees.begin(), degrees.end(), std::greater<>());
+  for (std::size_t rank = 0; rank < degrees.size(); ++rank) {
+    if (degrees[rank] == 0) break;  // isolated tail is off the log axis
+    s.Add(static_cast<double>(rank + 1), static_cast<double>(degrees[rank]));
+  }
+  return s;
+}
+
+double DegreeRankExponent(const graph::Graph& g) {
+  const Series s = DegreeRank(g);
+  if (s.size() < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const auto count = static_cast<double>(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double lx = std::log(s.x[i]);
+    const double ly = std::log(s.y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double denom = count * sxx - sx * sx;
+  return std::abs(denom) < 1e-12 ? 0.0 : (count * sxy - sx * sy) / denom;
+}
+
+bool LooksHeavyTailed(const graph::Graph& g, double spread) {
+  if (g.num_nodes() == 0 || g.average_degree() == 0.0) return false;
+  const double ratio =
+      static_cast<double>(g.max_degree()) / g.average_degree();
+  if (ratio < spread) return false;
+  // The fitted exponent of a genuinely heavy tail lands in a sane band.
+  const double beta = FitPowerLawExponent(g);
+  return beta > 1.2 && beta < 4.5;
+}
+
+}  // namespace topogen::metrics

@@ -1,0 +1,40 @@
+// Degree-distribution metrics (Faloutsos et al. [17]; paper Appendix A).
+//
+// Figure 6 plots the complementary cumulative degree distribution (CCDF)
+// of every topology; only PLRG-family generators reproduce the measured
+// graphs' heavy tail. We also fit the power-law exponent on the CCDF
+// (least squares on log-log), which the paper's roster (Figure 1 /
+// Appendix C) quotes per PLRG instance.
+#pragma once
+
+#include "graph/graph.h"
+#include "metrics/series.h"
+
+namespace topogen::metrics {
+
+// x = degree k, y = fraction of nodes with degree >= k; one row per
+// distinct degree present in the graph.
+Series DegreeCcdf(const graph::Graph& g);
+
+// Least-squares slope of log(CCDF) vs log(k). For P(deg = k) ~ k^-beta the
+// CCDF decays as k^-(beta-1), so the returned estimate is slope' = 1 -
+// slope, i.e. an estimate of beta itself. Returns 0 for degenerate
+// (sub-2-point) distributions.
+double FitPowerLawExponent(const graph::Graph& g);
+
+// Faloutsos' second power law, the "degree rank" plot Medina et al. [29]
+// used as their discriminator: x = rank (1-based, descending by degree),
+// y = degree.
+Series DegreeRank(const graph::Graph& g);
+
+// Log-log slope of the degree-rank plot (the rank exponent "R" of [17];
+// about -0.8 for the 1998 AS snapshots). Returns 0 when degenerate.
+double DegreeRankExponent(const graph::Graph& g);
+
+// True when the CCDF is heavy-tailed in the qualitative sense the paper
+// uses: the maximum degree is at least `spread` times the average degree
+// AND the log-log CCDF is roughly linear over its upper range. Canonical
+// and structural generators fail the spread test.
+bool LooksHeavyTailed(const graph::Graph& g, double spread = 10.0);
+
+}  // namespace topogen::metrics

@@ -1,0 +1,33 @@
+#include "metrics/distortion.h"
+
+#include "graph/trees.h"
+
+namespace topogen::metrics {
+
+namespace {
+
+double BallDistortion(const graph::Graph& ball, graph::Rng& rng) {
+  if (ball.num_edges() == 0) return std::numeric_limits<double>::quiet_NaN();
+  // Betweenness-center sampling shrinks with ball size to keep the
+  // all-pairs flavor of footnote 14 affordable on big balls.
+  const std::size_t samples = ball.num_nodes() <= 512 ? ball.num_nodes() : 48;
+  return graph::BestDistortion(ball, rng, samples);
+}
+
+}  // namespace
+
+Series Distortion(const graph::Graph& g, const BallGrowingOptions& options) {
+  Series s = BallGrowingSeries(g, options, BallDistortion);
+  s.name = "distortion";
+  return s;
+}
+
+Series PolicyDistortion(const graph::Graph& g,
+                        std::span<const policy::Relationship> rel,
+                        const BallGrowingOptions& options) {
+  Series s = PolicyBallGrowingSeries(g, rel, options, BallDistortion);
+  s.name = "distortion-policy";
+  return s;
+}
+
+}  // namespace topogen::metrics

@@ -1,0 +1,26 @@
+// Distortion D(n) (paper Section 3.2.1, after Hu [22]).
+//
+// D(n) is the average, over n-node balls, of the best spanning-tree
+// distortion found by the heuristics in graph/trees.h. Trees have D = 1;
+// meshes and random graphs have D ~ log n. Low distortion plus high
+// resilience is the "tree-like but resilient" signature of the measured
+// Internet graphs.
+#pragma once
+
+#include <span>
+
+#include "graph/graph.h"
+#include "metrics/ball.h"
+#include "metrics/series.h"
+#include "policy/relationships.h"
+
+namespace topogen::metrics {
+
+// x = mean ball size n, y = mean best-tree distortion of the ball.
+Series Distortion(const graph::Graph& g, const BallGrowingOptions& options = {});
+
+Series PolicyDistortion(const graph::Graph& g,
+                        std::span<const policy::Relationship> rel,
+                        const BallGrowingOptions& options = {});
+
+}  // namespace topogen::metrics

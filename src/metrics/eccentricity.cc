@@ -1,0 +1,43 @@
+#include "metrics/eccentricity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "graph/bfs.h"
+#include "metrics/ball.h"
+
+namespace topogen::metrics {
+
+Series EccentricityDistribution(const graph::Graph& g,
+                                const EccentricityOptions& options) {
+  Series s;
+  s.name = "eccentricity";
+  if (g.num_nodes() == 0) return s;
+  const std::vector<graph::NodeId> sources =
+      SampleCenters(g, options.max_sources, options.seed);
+  std::vector<double> ecc;
+  ecc.reserve(sources.size());
+  double mean = 0.0;
+  for (const graph::NodeId src : sources) {
+    const auto e = static_cast<double>(graph::Eccentricity(g, src));
+    if (e > 0) {
+      ecc.push_back(e);
+      mean += e;
+    }
+  }
+  if (ecc.empty()) return s;
+  mean /= static_cast<double>(ecc.size());
+
+  std::map<long, std::size_t> bins;
+  for (double e : ecc) {
+    ++bins[std::lround(e / mean / options.bin_width)];
+  }
+  for (const auto& [bin, count] : bins) {
+    s.Add(static_cast<double>(bin) * options.bin_width,
+          static_cast<double>(count) / static_cast<double>(ecc.size()));
+  }
+  return s;
+}
+
+}  // namespace topogen::metrics

@@ -1,0 +1,26 @@
+// Node-diameter (eccentricity) distribution (Zegura et al. [50]; paper
+// Figure 7d-f).
+//
+// For each node, its eccentricity is the hop distance to the farthest
+// node. The figure plots the distribution of eccentricities normalized by
+// their mean: most topologies produce a bell-ish curve around 1.0, the
+// Tree a one-sided curve.
+#pragma once
+
+#include "graph/graph.h"
+#include "metrics/series.h"
+
+namespace topogen::metrics {
+
+struct EccentricityOptions {
+  std::size_t max_sources = 1500;  // nodes sampled; all when >= n
+  double bin_width = 0.05;         // bins on the normalized axis
+  std::uint64_t seed = 17;
+};
+
+// x = eccentricity / mean eccentricity (bin center), y = fraction of
+// sampled nodes in the bin.
+Series EccentricityDistribution(const graph::Graph& g,
+                                const EccentricityOptions& options = {});
+
+}  // namespace topogen::metrics

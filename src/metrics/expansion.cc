@@ -1,0 +1,63 @@
+#include "metrics/expansion.h"
+
+#include <algorithm>
+
+#include "graph/bfs.h"
+#include "metrics/ball.h"
+#include "policy/policy_ball.h"
+
+namespace topogen::metrics {
+
+namespace {
+
+// Shared accumulation: per-source cumulative reachable counts, averaged
+// per radius and normalized by n.
+template <typename CountsFn>
+Series AccumulateExpansion(const graph::Graph& g, std::size_t max_sources,
+                           std::uint64_t seed, CountsFn counts_of) {
+  Series s;
+  const graph::NodeId n = g.num_nodes();
+  if (n == 0) return s;
+  const std::vector<graph::NodeId> sources =
+      SampleCenters(g, max_sources, seed);
+  // Collect first, then average: sources whose eccentricity is below the
+  // global maximum stay saturated at their final reachable count for
+  // larger radii, so E(h) is monotone as it should be.
+  std::vector<std::vector<std::size_t>> all;
+  all.reserve(sources.size());
+  std::size_t max_len = 0;
+  for (const graph::NodeId src : sources) {
+    all.push_back(counts_of(src));
+    max_len = std::max(max_len, all.back().size());
+  }
+  for (std::size_t h = 1; h < max_len; ++h) {
+    double sum = 0.0;
+    for (const auto& counts : all) {
+      sum += static_cast<double>(h < counts.size() ? counts[h]
+                                                   : counts.back());
+    }
+    s.Add(static_cast<double>(h),
+          sum / static_cast<double>(all.size()) / static_cast<double>(n));
+  }
+  return s;
+}
+
+}  // namespace
+
+Series Expansion(const graph::Graph& g, const ExpansionOptions& options) {
+  return AccumulateExpansion(
+      g, options.max_sources, options.seed,
+      [&](graph::NodeId src) { return graph::ReachableCounts(g, src); });
+}
+
+Series PolicyExpansion(const graph::Graph& g,
+                       std::span<const policy::Relationship> rel,
+                       const ExpansionOptions& options) {
+  return AccumulateExpansion(g, options.max_sources, options.seed,
+                             [&](graph::NodeId src) {
+                               return policy::PolicyReachableCounts(g, rel,
+                                                                    src);
+                             });
+}
+
+}  // namespace topogen::metrics

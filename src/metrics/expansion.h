@@ -1,0 +1,33 @@
+// Expansion E(h) (paper Section 3.2.1, after Phillips et al. [35]).
+//
+// E(h) is the average fraction of the graph's nodes within h hops of a
+// node. Trees and random graphs expand exponentially (E(h) ~ k^h / N),
+// meshes polynomially (E(h) ~ h^2 / N) -- the distinction that separates
+// Tiers and Mesh from everything else in Figure 2.
+#pragma once
+
+#include <span>
+
+#include "graph/graph.h"
+#include "metrics/series.h"
+#include "policy/relationships.h"
+
+namespace topogen::metrics {
+
+struct ExpansionOptions {
+  // BFS sources averaged over; all nodes when >= n.
+  std::size_t max_sources = 2000;
+  std::uint64_t seed = 11;
+};
+
+// x = ball radius h (1, 2, ...), y = E(h) in (0, 1]. The series ends at
+// the sampled graph eccentricity.
+Series Expansion(const graph::Graph& g, const ExpansionOptions& options = {});
+
+// Policy-induced expansion (Appendix E): reachability counts follow
+// valley-free policy distances instead of hop distances.
+Series PolicyExpansion(const graph::Graph& g,
+                       std::span<const policy::Relationship> rel,
+                       const ExpansionOptions& options = {});
+
+}  // namespace topogen::metrics

@@ -1,0 +1,29 @@
+#include "metrics/laplacian.h"
+
+#include <vector>
+
+namespace topogen::metrics {
+
+std::size_t Eigenvalue1MultiplicityLowerBound(const graph::Graph& g) {
+  // Count, for each node, its pendant (degree-1) neighbors; each fan of
+  // p pendants contributes p - 1.
+  std::vector<std::uint32_t> pendant_fan(g.num_nodes(), 0);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) == 1) {
+      ++pendant_fan[g.neighbors(v)[0]];
+    }
+  }
+  std::size_t multiplicity = 0;
+  for (const std::uint32_t fan : pendant_fan) {
+    if (fan > 1) multiplicity += fan - 1;
+  }
+  return multiplicity;
+}
+
+double Eigenvalue1Fraction(const graph::Graph& g) {
+  if (g.num_nodes() == 0) return 0.0;
+  return static_cast<double>(Eigenvalue1MultiplicityLowerBound(g)) /
+         static_cast<double>(g.num_nodes());
+}
+
+}  // namespace topogen::metrics

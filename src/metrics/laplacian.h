@@ -1,0 +1,30 @@
+// Normalized-Laplacian spectral metrics (Vukadinovic, Huang, Erlebach
+// [45]; paper Section 2).
+//
+// Vukadinovic et al. analyze the spectrum of the normalized Laplacian and
+// find that the *multiplicity of eigenvalue 1* differentiates AS graphs
+// from grids and random trees. The paper notes this "reflects purely
+// local properties of the graph (the number of degree 1 nodes, the
+// number of nodes attached to degree 1 nodes etc.)" -- complementary to
+// its own large-scale focus, and consistent with its findings. We expose
+// the combinatorial lower bound on that multiplicity (duplicate pendant
+// structure), which is the quantity their analysis traces to.
+#pragma once
+
+#include "graph/graph.h"
+#include "metrics/series.h"
+
+namespace topogen::metrics {
+
+// Lower bound on the multiplicity of eigenvalue 1 of the normalized
+// Laplacian via pendant duplication: every set of p > 1 degree-1 nodes
+// sharing one neighbor contributes p - 1 independent eigenvectors with
+// eigenvalue exactly 1 (differences of pendant indicator vectors).
+std::size_t Eigenvalue1MultiplicityLowerBound(const graph::Graph& g);
+
+// The same quantity normalized by node count -- the "spectral weight" of
+// eigenvalue 1 that separates AS-like graphs (large: many stub fans)
+// from grids (zero) and balanced trees (moderate).
+double Eigenvalue1Fraction(const graph::Graph& g);
+
+}  // namespace topogen::metrics

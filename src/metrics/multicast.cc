@@ -1,0 +1,78 @@
+#include "metrics/multicast.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/trees.h"
+
+namespace topogen::metrics {
+
+std::size_t MulticastTreeLinks(const graph::Graph& g, graph::NodeId source,
+                               std::span<const graph::NodeId> receivers) {
+  const graph::SpanningTree tree = graph::BfsTree(g, source);
+  std::vector<std::uint8_t> in_tree(g.num_nodes(), 0);
+  in_tree[source] = 1;
+  std::size_t links = 0;
+  for (const graph::NodeId r : receivers) {
+    if (r >= g.num_nodes() || tree.parent[r] == graph::kInvalidNode) {
+      continue;  // unreachable receiver
+    }
+    // Walk up until we merge with the already-built tree.
+    graph::NodeId cur = r;
+    while (!in_tree[cur]) {
+      in_tree[cur] = 1;
+      ++links;
+      cur = tree.parent[cur];
+    }
+  }
+  return links;
+}
+
+Series MulticastScaling(const graph::Graph& g,
+                        const MulticastOptions& options) {
+  Series s;
+  s.name = "multicast-scaling";
+  const graph::NodeId n = g.num_nodes();
+  if (n < 4) return s;
+  graph::Rng rng(options.seed);
+  const std::size_t cap =
+      std::min<std::size_t>(options.max_receivers, n - 1);
+  for (std::size_t m = 1; m <= cap; m *= 2) {
+    double total = 0.0;
+    for (std::size_t trial = 0; trial < options.trials_per_size; ++trial) {
+      const auto source = static_cast<graph::NodeId>(rng.NextIndex(n));
+      std::vector<graph::NodeId> receivers(m);
+      for (graph::NodeId& r : receivers) {
+        r = static_cast<graph::NodeId>(rng.NextIndex(n));
+      }
+      total += static_cast<double>(MulticastTreeLinks(g, source, receivers));
+    }
+    s.Add(static_cast<double>(m),
+          total / static_cast<double>(options.trials_per_size));
+  }
+  return s;
+}
+
+double MulticastScalingExponent(const graph::Graph& g,
+                                const MulticastOptions& options) {
+  const Series s = MulticastScaling(g, options);
+  if (s.size() < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s.y[i] <= 0) continue;
+    const double lx = std::log(s.x[i]);
+    const double ly = std::log(s.y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++count;
+  }
+  if (count < 2) return 0.0;
+  const double denom = count * sxx - sx * sx;
+  return std::abs(denom) < 1e-12 ? 0.0 : (count * sxy - sx * sy) / denom;
+}
+
+}  // namespace topogen::metrics

@@ -1,0 +1,40 @@
+// Multicast tree scaling (Phillips, Shenker, Tangmunarunkit [35]).
+//
+// The paper's expansion metric descends from the Chuang-Sirbu multicast
+// scaling work: graphs with exponential neighborhood growth approximately
+// obey L(m) ~ m^0.8, where L(m) is the number of links in a shortest-path
+// multicast tree reaching m random receivers. Implemented as an extension
+// experiment: it ties the abstract expansion classification back to a
+// concrete protocol-cost consequence.
+#pragma once
+
+#include "graph/graph.h"
+#include "graph/rng.h"
+#include "metrics/series.h"
+
+namespace topogen::metrics {
+
+struct MulticastOptions {
+  // Receiver-set sizes measured, log-spaced up to max_receivers.
+  std::size_t max_receivers = 512;
+  std::size_t trials_per_size = 8;
+  std::uint64_t seed = 29;
+};
+
+// Number of links in the shortest-path tree from `source` to `receivers`
+// (union of the BFS-tree paths, each receiver routed along its BFS
+// parent chain).
+std::size_t MulticastTreeLinks(const graph::Graph& g, graph::NodeId source,
+                               std::span<const graph::NodeId> receivers);
+
+// x = receiver count m, y = mean multicast tree links L(m) over random
+// sources/receiver sets.
+Series MulticastScaling(const graph::Graph& g,
+                        const MulticastOptions& options = {});
+
+// Log-log slope of L(m): the Chuang-Sirbu exponent (~0.8 on
+// Internet-like topologies).
+double MulticastScalingExponent(const graph::Graph& g,
+                                const MulticastOptions& options = {});
+
+}  // namespace topogen::metrics

@@ -1,0 +1,34 @@
+#include "metrics/resilience.h"
+
+#include "graph/partition.h"
+
+namespace topogen::metrics {
+
+namespace {
+
+double BallMinCut(const graph::Graph& ball, graph::Rng& rng) {
+  if (ball.num_nodes() < 2) return std::numeric_limits<double>::quiet_NaN();
+  graph::BisectionOptions opts;
+  // Two multilevel trials per ball: the series averages over many balls,
+  // which smooths heuristic noise better than extra per-ball trials.
+  opts.num_trials = 2;
+  return static_cast<double>(graph::BalancedMinCut(ball, rng, opts));
+}
+
+}  // namespace
+
+Series Resilience(const graph::Graph& g, const BallGrowingOptions& options) {
+  Series s = BallGrowingSeries(g, options, BallMinCut);
+  s.name = "resilience";
+  return s;
+}
+
+Series PolicyResilience(const graph::Graph& g,
+                        std::span<const policy::Relationship> rel,
+                        const BallGrowingOptions& options) {
+  Series s = PolicyBallGrowingSeries(g, rel, options, BallMinCut);
+  s.name = "resilience-policy";
+  return s;
+}
+
+}  // namespace topogen::metrics

@@ -1,0 +1,28 @@
+// Resilience R(n) (paper Section 3.2.1).
+//
+// R(n) is the average minimum cut-set size for a balanced bi-partition of
+// n-node balls. Trees have R = 1, meshes R ~ sqrt(n), random graphs
+// R ~ k*n -- the axis that separates Transit-Stub (tree-like) from the
+// measured and degree-based graphs in Figure 2.
+#pragma once
+
+#include <span>
+
+#include "graph/graph.h"
+#include "metrics/ball.h"
+#include "metrics/series.h"
+#include "policy/relationships.h"
+
+namespace topogen::metrics {
+
+// x = mean ball size n, y = mean balanced min-cut of the ball.
+Series Resilience(const graph::Graph& g, const BallGrowingOptions& options = {});
+
+// Policy-induced variant: cuts are computed on policy balls, whose link
+// set excludes policy-noncompliant edges (this is why Figure 2(e) shows
+// RL(Policy) losing nearly half its resilience).
+Series PolicyResilience(const graph::Graph& g,
+                        std::span<const policy::Relationship> rel,
+                        const BallGrowingOptions& options = {});
+
+}  // namespace topogen::metrics

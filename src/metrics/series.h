@@ -1,0 +1,24 @@
+// A plotted data series: the (x, y) rows behind every figure panel.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace topogen::metrics {
+
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+
+  void Add(double xv, double yv) {
+    x.push_back(xv);
+    y.push_back(yv);
+  }
+  std::size_t size() const { return x.size(); }
+  bool empty() const { return x.empty(); }
+
+  double back_y() const { return y.back(); }
+};
+
+}  // namespace topogen::metrics

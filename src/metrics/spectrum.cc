@@ -1,0 +1,42 @@
+#include "metrics/spectrum.h"
+
+#include <cmath>
+
+#include "graph/eigen.h"
+#include "graph/rng.h"
+
+namespace topogen::metrics {
+
+Series EigenvalueRank(const graph::Graph& g, const SpectrumOptions& options) {
+  Series s;
+  s.name = "eigenvalue-rank";
+  graph::Rng rng(options.seed);
+  const std::vector<double> eig =
+      graph::TopEigenvalues(g, options.top_k, rng);
+  std::size_t rank = 1;
+  for (double value : eig) {
+    if (value <= 1e-9) break;  // sorted descending; the rest are <= 0
+    s.Add(static_cast<double>(rank++), value);
+  }
+  return s;
+}
+
+double EigenvaluePowerLawSlope(const graph::Graph& g,
+                               const SpectrumOptions& options) {
+  const Series s = EigenvalueRank(g, options);
+  if (s.size() < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const auto count = static_cast<double>(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double lx = std::log(s.x[i]);
+    const double ly = std::log(s.y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double denom = count * sxx - sx * sx;
+  return std::abs(denom) < 1e-12 ? 0.0 : (count * sxy - sx * sy) / denom;
+}
+
+}  // namespace topogen::metrics

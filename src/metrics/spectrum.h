@@ -1,0 +1,30 @@
+// Eigenvalue-vs-rank metric (Faloutsos et al. [17]; paper Figure 7a-c).
+//
+// The sorted positive eigenvalues of the adjacency matrix, plotted against
+// their rank on log-log axes. A power-law eigenvalue spectrum is a
+// signature of the AS graph that, among the generators, only the PLRG
+// family reproduces (Section 4.4).
+#pragma once
+
+#include "graph/graph.h"
+#include "metrics/series.h"
+
+namespace topogen::metrics {
+
+struct SpectrumOptions {
+  std::size_t top_k = 64;
+  std::uint64_t seed = 13;
+};
+
+// x = rank (1-based), y = eigenvalue; only positive eigenvalues are kept
+// (the figure's log axis cannot show the rest).
+Series EigenvalueRank(const graph::Graph& g,
+                      const SpectrumOptions& options = {});
+
+// Least-squares slope of log(eigenvalue) vs log(rank); the AS graph's
+// spectrum follows a power law, so its slope is distinctly negative and
+// stable. Returns 0 when fewer than 2 positive eigenvalues exist.
+double EigenvaluePowerLawSlope(const graph::Graph& g,
+                               const SpectrumOptions& options = {});
+
+}  // namespace topogen::metrics

@@ -1,0 +1,67 @@
+#include "metrics/tolerance.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/bfs.h"
+#include "graph/components.h"
+#include "graph/rng.h"
+
+namespace topogen::metrics {
+
+namespace {
+
+// Removal order -> tolerance curve. At each step the next slice of the
+// order is dropped, the largest surviving component extracted, and its
+// average path length sampled.
+Series ToleranceCurve(const graph::Graph& g,
+                      const std::vector<graph::NodeId>& removal_order,
+                      const ToleranceOptions& options,
+                      const char* name) {
+  Series s;
+  s.name = name;
+  const graph::NodeId n = g.num_nodes();
+  if (n == 0) return s;
+  std::vector<std::uint8_t> removed(n, 0);
+  std::size_t removed_count = 0;
+
+  for (double f = 0.0; f <= options.max_fraction + 1e-9; f += options.step) {
+    const auto target = static_cast<std::size_t>(f * n);
+    while (removed_count < target && removed_count < removal_order.size()) {
+      removed[removal_order[removed_count++]] = 1;
+    }
+    std::vector<graph::NodeId> survivors;
+    survivors.reserve(n - removed_count);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (!removed[v]) survivors.push_back(v);
+    }
+    if (survivors.size() < 2) break;
+    const graph::Subgraph sub = graph::InducedSubgraph(g, survivors);
+    const graph::Subgraph largest = graph::LargestComponent(sub.graph);
+    s.Add(f, graph::AveragePathLength(largest.graph, options.path_samples));
+  }
+  return s;
+}
+
+}  // namespace
+
+Series AttackTolerance(const graph::Graph& g,
+                       const ToleranceOptions& options) {
+  std::vector<graph::NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](graph::NodeId a, graph::NodeId b) {
+                     return g.degree(a) > g.degree(b);
+                   });
+  return ToleranceCurve(g, order, options, "attack");
+}
+
+Series ErrorTolerance(const graph::Graph& g, const ToleranceOptions& options) {
+  std::vector<graph::NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), 0);
+  graph::Rng rng(options.seed);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  return ToleranceCurve(g, order, options, "error");
+}
+
+}  // namespace topogen::metrics

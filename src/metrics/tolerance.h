@@ -1,0 +1,29 @@
+// Attack and error tolerance (Albert, Jeong, Barabasi [3]; paper Figure 9).
+//
+// Remove an increasing fraction f of nodes -- in decreasing degree order
+// ("attack") or uniformly at random ("error") -- and track the average
+// pairwise shortest-path length of the surviving largest component.
+// Measured and PLRG graphs show the signature *peaked* attack curve: the
+// hubs go first, path lengths balloon, then the graph shatters into
+// pieces so small that paths shorten again.
+#pragma once
+
+#include "graph/graph.h"
+#include "metrics/series.h"
+
+namespace topogen::metrics {
+
+struct ToleranceOptions {
+  double max_fraction = 0.20;
+  double step = 0.01;
+  std::size_t path_samples = 128;  // BFS sources for the path-length probe
+  std::uint64_t seed = 19;
+};
+
+// x = removed fraction f, y = average path length in the largest component.
+Series AttackTolerance(const graph::Graph& g,
+                       const ToleranceOptions& options = {});
+Series ErrorTolerance(const graph::Graph& g,
+                      const ToleranceOptions& options = {});
+
+}  // namespace topogen::metrics

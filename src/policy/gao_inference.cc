@@ -1,0 +1,94 @@
+#include "policy/gao_inference.h"
+
+#include <algorithm>
+
+namespace topogen::policy {
+
+std::vector<Relationship> InferRelationshipsFromPaths(
+    const graph::Graph& g,
+    std::span<const std::vector<graph::NodeId>> paths,
+    const GaoOptions& options) {
+  const std::size_t m = g.num_edges();
+  // Votes that canonical edge e's u-endpoint is the provider / customer,
+  // and appearances of e as a path's top edge.
+  std::vector<std::uint32_t> u_provider(m, 0), u_customer(m, 0);
+  std::vector<std::uint32_t> top_edge(m, 0), transit_edge(m, 0);
+  std::vector<std::uint32_t> interior_top_edge(m, 0);
+
+  for (const std::vector<graph::NodeId>& path : paths) {
+    if (path.size() < 2) continue;
+    // Top provider: the highest-degree AS on the path.
+    std::size_t top = 0;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      if (g.degree(path[i]) > g.degree(path[top])) top = i;
+    }
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const graph::EdgeId e = g.edge_id(path[i], path[i + 1]);
+      if (e == graph::kInvalidEdge) continue;  // stale path
+      const bool u_is_left = g.edges()[e].u == path[i];
+      // Uphill: path[i+1] provides for path[i]. Downhill: path[i] does.
+      const bool left_provides = i + 1 > top;  // downhill segment
+      if ((left_provides && u_is_left) || (!left_provides && !u_is_left)) {
+        ++u_provider[e];
+      } else {
+        ++u_customer[e];
+      }
+      // Peer detection bookkeeping: the single edge spanning the top of
+      // the path (entered at top-1, left at top) is a candidate peer
+      // crossing; every other position is transit evidence.
+      if (i + 1 == top || i == top) {
+        ++top_edge[e];
+        // Interior apex usage: the path continues on both sides of the
+        // edge, i.e. traffic is transiting between the two endpoints'
+        // customer cones -- the defining behaviour of a peering.
+        if (i > 0 && i + 2 < path.size()) ++interior_top_edge[e];
+      } else {
+        ++transit_edge[e];
+      }
+    }
+  }
+
+  // Fall back to the degree heuristic for unseen edges.
+  std::vector<Relationship> rel = InferRelationshipsByDegree(g);
+  for (graph::EdgeId e = 0; e < m; ++e) {
+    const std::uint32_t total = u_provider[e] + u_customer[e];
+    if (total == 0) continue;  // unseen: keep degree fallback
+    // Apex-only edges with interior (through-traffic) usage are peer
+    // links: they carry traffic between both endpoints' customer cones
+    // but never provide transit below the apex. Tested before the
+    // sibling rule because apex-position bookkeeping can split direction
+    // votes. Terminal apex edges (a stub hanging directly off a path's
+    // top provider) are NOT peers -- the interior-usage requirement is
+    // what separates the two.
+    const double du = static_cast<double>(g.degree(g.edges()[e].u));
+    const double dv = static_cast<double>(g.degree(g.edges()[e].v));
+    const bool comparable =
+        std::max(du, dv) <= options.peer_degree_ratio * std::min(du, dv);
+    if (transit_edge[e] == 0 && interior_top_edge[e] > 0 && comparable) {
+      rel[e] = Relationship::kPeerPeer;
+      continue;
+    }
+    const std::uint32_t minority = std::min(u_provider[e], u_customer[e]);
+    if (static_cast<double>(minority) >
+        options.sibling_vote_fraction * static_cast<double>(total)) {
+      rel[e] = Relationship::kSiblingSibling;
+      continue;
+    }
+    rel[e] = u_provider[e] >= u_customer[e]
+                 ? Relationship::kProviderCustomer
+                 : Relationship::kCustomerProvider;
+  }
+  return rel;
+}
+
+double RelationshipAgreement(std::span<const Relationship> truth,
+                             std::span<const Relationship> inferred) {
+  if (truth.empty() || truth.size() != inferred.size()) return 0.0;
+  std::size_t match = 0;
+  for (std::size_t e = 0; e < truth.size(); ++e) {
+    match += truth[e] == inferred[e];
+  }
+  return static_cast<double>(match) / static_cast<double>(truth.size());
+}
+
+}  // namespace topogen::policy

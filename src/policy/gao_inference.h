@@ -1,0 +1,52 @@
+// AS relationship inference from routing paths (Gao [18]).
+//
+// The paper annotates the measured AS graph by running Gao's algorithm
+// over BGP table paths. We implement the same algorithm over simulated
+// path advertisements (valley-free paths extracted from an annotated
+// graph), which lets the library (a) reproduce the paper's tooling
+// end-to-end and (b) quantify inference accuracy against ground truth --
+// something the paper could not do on real data.
+//
+// Algorithm (Gao's basic heuristic): every BGP path is valley-free, so it
+// climbs to a unique "top provider" and descends. For each observed path,
+// take the highest-degree AS as the top; every edge before it gives a
+// customer->provider vote, every edge after a provider->customer vote.
+// Edges with votes in both directions above a tolerance become siblings;
+// edges that only ever appear AT the top of paths (never providing
+// transit below it) become peers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "policy/relationships.h"
+
+namespace topogen::policy {
+
+struct GaoOptions {
+  // An edge with minority-direction votes above this fraction of its
+  // total votes is classified sibling-sibling (mutual transit).
+  double sibling_vote_fraction = 0.25;
+  // Peer candidates must additionally have endpoint degrees within this
+  // ratio (Gao's phase-3 comparability test): a customer edge hanging
+  // directly off a path's top provider also shows apex-only usage, but
+  // its endpoint degrees are lopsided.
+  double peer_degree_ratio = 1.5;
+};
+
+// Infers one relationship per canonical edge of g from the given paths
+// (each a node sequence, as ExtractPolicyPath returns). Edges never seen
+// in any path fall back to the degree heuristic.
+std::vector<Relationship> InferRelationshipsFromPaths(
+    const graph::Graph& g,
+    std::span<const std::vector<graph::NodeId>> paths,
+    const GaoOptions& options = {});
+
+// Fraction of edges whose inferred relationship matches `truth`
+// (orientation-sensitive for provider-customer edges). Helper for
+// validation experiments.
+double RelationshipAgreement(std::span<const Relationship> truth,
+                             std::span<const Relationship> inferred);
+
+}  // namespace topogen::policy

@@ -1,0 +1,181 @@
+#include "policy/paths.h"
+
+#include <algorithm>
+
+namespace topogen::policy {
+
+using graph::Dist;
+using graph::EdgeId;
+using graph::Graph;
+using graph::kUnreachable;
+using graph::NodeId;
+
+namespace {
+constexpr unsigned kUp = kPhaseUp;
+constexpr unsigned kDown = kPhaseDown;
+}  // namespace
+
+bool PolicyStep(unsigned phase, Traversal t, unsigned& next_phase) {
+  if (phase == kUp) {
+    switch (t) {
+      case Traversal::kUp:
+      case Traversal::kSibling:
+        next_phase = kUp;
+        return true;
+      case Traversal::kPeer:
+      case Traversal::kDown:
+        next_phase = kDown;
+        return true;
+    }
+  } else {
+    switch (t) {
+      case Traversal::kDown:
+      case Traversal::kSibling:
+        next_phase = kDown;
+        return true;
+      case Traversal::kUp:
+      case Traversal::kPeer:
+        return false;
+    }
+  }
+  return false;
+}
+
+PolicyBfs RunPolicyBfs(const Graph& g, std::span<const Relationship> rel,
+                       NodeId src, Dist max_depth) {
+  PolicyBfs out;
+  out.dist_up.assign(g.num_nodes(), kUnreachable);
+  out.dist_down.assign(g.num_nodes(), kUnreachable);
+  if (src >= g.num_nodes()) return out;
+  auto dist_of = [&](NodeId v, unsigned phase) -> Dist& {
+    return phase == kUp ? out.dist_up[v] : out.dist_down[v];
+  };
+  out.dist_up[src] = 0;
+  out.order.push_back(static_cast<std::uint64_t>(src) << 1 | kUp);
+  for (std::size_t head = 0; head < out.order.size(); ++head) {
+    const NodeId u = static_cast<NodeId>(out.order[head] >> 1);
+    const unsigned phase = static_cast<unsigned>(out.order[head] & 1);
+    const Dist du = dist_of(u, phase);
+    if (du >= max_depth) continue;
+    const auto nbrs = g.neighbors(u);
+    const auto eids = g.incident_edges(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const Traversal t = TraversalFrom(g, rel, eids[i], u);
+      unsigned next_phase;
+      if (!PolicyStep(phase, t, next_phase)) continue;
+      Dist& dv = dist_of(nbrs[i], next_phase);
+      if (dv == kUnreachable) {
+        dv = du + 1;
+        out.order.push_back(static_cast<std::uint64_t>(nbrs[i]) << 1 |
+                            next_phase);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Dist> PolicyDistances(const Graph& g,
+                                  std::span<const Relationship> rel,
+                                  NodeId src, Dist max_depth) {
+  const PolicyBfs bfs = RunPolicyBfs(g, rel, src, max_depth);
+  std::vector<Dist> dist(g.num_nodes(), kUnreachable);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    dist[v] = std::min(bfs.dist_up[v], bfs.dist_down[v]);
+  }
+  return dist;
+}
+
+std::vector<NodeId> ExtractPolicyPath(const Graph& g,
+                                      std::span<const Relationship> rel,
+                                      NodeId src, NodeId dst) {
+  std::vector<NodeId> path;
+  if (src >= g.num_nodes() || dst >= g.num_nodes()) return path;
+  if (src == dst) return {src};
+  const PolicyBfs bfs = RunPolicyBfs(g, rel, src);
+  auto dist_of = [&](NodeId v, unsigned phase) {
+    return phase == kUp ? bfs.dist_up[v] : bfs.dist_down[v];
+  };
+  const Dist best = std::min(bfs.dist_up[dst], bfs.dist_down[dst]);
+  if (best == kUnreachable) return path;
+
+  // Walk the state DAG backwards from dst's optimal state.
+  NodeId v = dst;
+  unsigned phase = bfs.dist_up[dst] == best ? kUp : kDown;
+  path.push_back(dst);
+  while (v != src || phase != kUp) {
+    const Dist dv = dist_of(v, phase);
+    bool stepped = false;
+    const auto nbrs = g.neighbors(v);
+    const auto eids = g.incident_edges(v);
+    for (std::size_t i = 0; i < nbrs.size() && !stepped; ++i) {
+      const NodeId x = nbrs[i];
+      const Traversal t = TraversalFrom(g, rel, eids[i], x);
+      for (const unsigned px : {kUp, kDown}) {
+        unsigned landed;
+        if (!PolicyStep(px, t, landed) || landed != phase) continue;
+        if (dist_of(x, px) != kUnreachable && dist_of(x, px) + 1 == dv) {
+          path.push_back(x);
+          v = x;
+          phase = px;
+          stepped = true;
+          break;
+        }
+      }
+    }
+    if (!stepped) return {};  // should not happen on a consistent BFS
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double AveragePolicyPathLength(const Graph& g,
+                               std::span<const Relationship> rel,
+                               std::size_t samples) {
+  const NodeId n = g.num_nodes();
+  if (n < 2) return 0.0;
+  const std::size_t use = std::min<std::size_t>(samples, n);
+  const std::size_t stride = (n + use - 1) / use;
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (NodeId src = 0; src < n; src += static_cast<NodeId>(stride)) {
+    const std::vector<Dist> dist = PolicyDistances(g, rel, src);
+    for (NodeId v = 0; v < n; ++v) {
+      if (v != src && dist[v] != kUnreachable) {
+        total += dist[v];
+        ++pairs;
+      }
+    }
+  }
+  return pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
+}
+
+std::vector<Relationship> AnnotateRouterLinks(
+    const Graph& rl, std::span<const std::uint32_t> as_of,
+    const Graph& as_graph, std::span<const Relationship> as_rel) {
+  std::vector<Relationship> rel(rl.num_edges(),
+                                Relationship::kSiblingSibling);
+  for (EdgeId e = 0; e < rl.num_edges(); ++e) {
+    const graph::Edge& ed = rl.edges()[e];
+    const std::uint32_t au = as_of[ed.u];
+    const std::uint32_t av = as_of[ed.v];
+    if (au == av) continue;  // intra-AS: sibling
+    const EdgeId as_edge = as_graph.edge_id(au, av);
+    if (as_edge == graph::kInvalidEdge) continue;  // overlay gap: sibling
+    const Relationship r = as_rel[as_edge];
+    // Reorient: as_rel is expressed for the canonical AS edge (min AS id
+    // first); the router edge's canonical orientation may differ.
+    const bool same_orientation = as_graph.edges()[as_edge].u == au;
+    if (r == Relationship::kPeerPeer) {
+      rel[e] = r;
+    } else if (same_orientation) {
+      rel[e] = r;
+    } else {
+      rel[e] = r == Relationship::kProviderCustomer
+                   ? Relationship::kCustomerProvider
+                   : Relationship::kProviderCustomer;
+    }
+  }
+  return rel;
+}
+
+}  // namespace topogen::policy

@@ -1,0 +1,89 @@
+// Valley-free ("policy") shortest paths.
+//
+// The paper's policy model (Section 3.2.1): the policy path between two
+// nodes is the shortest path that never violates provider-customer
+// relationships -- once a path steps down from a provider to a customer
+// (or across a peer link), it may never climb back up. Formally a valid
+// path is (up | sibling)* (peer)? (down | sibling)*.
+//
+// We compute policy distances with a BFS over the product of the graph and
+// the two-state valley-free automaton:
+//
+//   phase UP (still ascending):  may take up, sibling (stay UP) or
+//                                peer, down (switch to DOWN)
+//   phase DOWN (descending):     may take down, sibling only
+//
+// Policy distances are symmetric (reversing a valley-free path yields a
+// valley-free path), >= plain shortest-path distances, and possibly
+// infinite even on a connected graph (two customers of disjoint provider
+// trees with no peering may be policy-unreachable).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/bfs.h"
+#include "graph/graph.h"
+#include "policy/relationships.h"
+
+namespace topogen::policy {
+
+// The valley-free automaton's phases.
+inline constexpr unsigned kPhaseUp = 0;
+inline constexpr unsigned kPhaseDown = 1;
+
+// One automaton step: whether a traversal of class t is allowed from
+// `phase`, and which phase it lands in. The transition table implements
+// (up | sibling)* (peer | down) (down | sibling)*.
+bool PolicyStep(unsigned phase, Traversal t, unsigned& next_phase);
+
+// Policy distance from src to every node (kUnreachable where no
+// valley-free path exists or beyond max_depth).
+std::vector<graph::Dist> PolicyDistances(
+    const graph::Graph& g, std::span<const Relationship> rel,
+    graph::NodeId src, graph::Dist max_depth = graph::kUnreachable);
+
+// Per-state policy BFS: distances to states (node, phase); phase 0 = UP,
+// phase 1 = DOWN. dist_up[v] / dist_down[v]; the policy distance of v is
+// the min of the two. Exposed so the ball and hierarchy engines can walk
+// the shortest-policy-path DAG.
+struct PolicyBfs {
+  std::vector<graph::Dist> dist_up;
+  std::vector<graph::Dist> dist_down;
+  // (node, phase) pairs in BFS order; phase packed in the LSB.
+  std::vector<std::uint64_t> order;
+
+  graph::Dist DistanceTo(graph::NodeId v) const {
+    return std::min(dist_up[v], dist_down[v]);
+  }
+};
+
+PolicyBfs RunPolicyBfs(const graph::Graph& g, std::span<const Relationship> rel,
+                       graph::NodeId src,
+                       graph::Dist max_depth = graph::kUnreachable);
+
+// One shortest valley-free path from src to dst as a node sequence
+// (src first), or empty when dst is policy-unreachable. Used to simulate
+// BGP path advertisements for relationship inference.
+std::vector<graph::NodeId> ExtractPolicyPath(
+    const graph::Graph& g, std::span<const Relationship> rel,
+    graph::NodeId src, graph::NodeId dst);
+
+// Average policy path length over policy-reachable pairs, sampled at
+// `samples` sources. The paper's path-inflation work [42] reports policy
+// paths run a little longer than shortest paths; this is the knob our
+// tests use to check that.
+double AveragePolicyPathLength(const graph::Graph& g,
+                               std::span<const Relationship> rel,
+                               std::size_t samples = 128);
+
+// Annotates a router-level graph from its AS overlay: intra-AS links are
+// sibling links (free transit inside an AS); inter-AS links inherit the AS
+// edge's relationship. This folds the paper's two-stage RL policy-path
+// method (AS-level policy path, then router paths within the AS sequence)
+// into a single automaton run on the router graph.
+std::vector<Relationship> AnnotateRouterLinks(
+    const graph::Graph& rl, std::span<const std::uint32_t> as_of,
+    const graph::Graph& as_graph, std::span<const Relationship> as_rel);
+
+}  // namespace topogen::policy

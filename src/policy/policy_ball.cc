@@ -1,0 +1,100 @@
+#include "policy/policy_ball.h"
+
+#include <algorithm>
+
+namespace topogen::policy {
+
+using graph::Dist;
+using graph::Edge;
+using graph::EdgeId;
+using graph::Graph;
+using graph::kUnreachable;
+using graph::NodeId;
+
+PolicyBall GrowPolicyBall(const Graph& g, std::span<const Relationship> rel,
+                          NodeId center, Dist radius) {
+  PolicyBall out;
+  const PolicyBfs bfs = RunPolicyBfs(g, rel, center, radius);
+
+  // "Useful" states lie on some shortest policy path from the center to a
+  // node inside the ball. Seed with every state that realizes a node's
+  // policy distance, then propagate backwards through the state DAG
+  // (processing states in reverse BFS order guarantees successors are
+  // settled first).
+  const NodeId n = g.num_nodes();
+  std::vector<std::uint8_t> useful_up(n, 0), useful_down(n, 0);
+  auto dist_of = [&](NodeId v, unsigned phase) {
+    return phase == 0 ? bfs.dist_up[v] : bfs.dist_down[v];
+  };
+  auto useful_of = [&](NodeId v,
+                       unsigned phase) -> std::uint8_t& {
+    return phase == 0 ? useful_up[v] : useful_down[v];
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    const Dist best = std::min(bfs.dist_up[v], bfs.dist_down[v]);
+    if (best > radius) continue;
+    if (bfs.dist_up[v] == best) useful_up[v] = 1;
+    if (bfs.dist_down[v] == best) useful_down[v] = 1;
+  }
+
+  std::vector<std::uint8_t> edge_included(g.num_edges(), 0);
+  std::vector<std::uint8_t> node_included(n, 0);
+  for (std::size_t i = bfs.order.size(); i-- > 0;) {
+    const NodeId u = static_cast<NodeId>(bfs.order[i] >> 1);
+    const unsigned phase = static_cast<unsigned>(bfs.order[i] & 1);
+    const Dist du = dist_of(u, phase);
+    const auto nbrs = g.neighbors(u);
+    const auto eids = g.incident_edges(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const Traversal t = TraversalFrom(g, rel, eids[k], u);
+      // Re-run the automaton step (cheap) to find the successor phase.
+      unsigned next_phase;
+      if (!PolicyStep(phase, t, next_phase)) continue;
+      const NodeId v = nbrs[k];
+      if (dist_of(v, next_phase) != du + 1) continue;  // not a DAG edge
+      if (!useful_of(v, next_phase)) continue;
+      useful_of(u, phase) = 1;
+      edge_included[eids[k]] = 1;
+      node_included[u] = 1;
+      node_included[v] = 1;
+    }
+  }
+  node_included[center] = 1;
+
+  // Remap the included nodes and build the subgraph over included edges.
+  std::vector<NodeId> remap(n, graph::kInvalidNode);
+  for (NodeId v = 0; v < n; ++v) {
+    if (node_included[v]) {
+      remap[v] = static_cast<NodeId>(out.subgraph.original_id.size());
+      out.subgraph.original_id.push_back(v);
+      out.policy_dist.push_back(std::min(bfs.dist_up[v], bfs.dist_down[v]));
+    }
+  }
+  std::vector<Edge> edges;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (edge_included[e]) {
+      edges.push_back({remap[g.edges()[e].u], remap[g.edges()[e].v]});
+    }
+  }
+  out.subgraph.graph = Graph::FromEdges(
+      static_cast<NodeId>(out.subgraph.original_id.size()), std::move(edges));
+  return out;
+}
+
+std::vector<std::size_t> PolicyReachableCounts(
+    const Graph& g, std::span<const Relationship> rel, NodeId src,
+    Dist max_depth) {
+  const std::vector<Dist> dist = PolicyDistances(g, rel, src, max_depth);
+  Dist ecc = 0;
+  for (Dist d : dist) {
+    if (d != kUnreachable) ecc = std::max(ecc, d);
+  }
+  std::vector<std::size_t> counts(static_cast<std::size_t>(ecc) + 1, 0);
+  for (Dist d : dist) {
+    if (d != kUnreachable) ++counts[d];
+  }
+  for (std::size_t h = 1; h < counts.size(); ++h) counts[h] += counts[h - 1];
+  return counts;
+}
+
+}  // namespace topogen::policy

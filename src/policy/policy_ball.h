@@ -1,0 +1,38 @@
+// Policy-induced ball growing (paper Appendix E).
+//
+// A policy ball of radius h around a center contains every node whose
+// *policy* path from the center is at most h, and only the links that lie
+// on policy-compliant shortest paths to those nodes. This is the
+// subgraph the paper feeds to its metrics for the AS(Policy) and
+// RL(Policy) curves.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "policy/paths.h"
+#include "policy/relationships.h"
+
+namespace topogen::policy {
+
+struct PolicyBall {
+  // The induced policy subgraph; original_id maps back to parent ids.
+  graph::Subgraph subgraph;
+  // Policy distance of each subgraph node from the center (parallel to
+  // subgraph.original_id).
+  std::vector<graph::Dist> policy_dist;
+};
+
+PolicyBall GrowPolicyBall(const graph::Graph& g,
+                          std::span<const Relationship> rel,
+                          graph::NodeId center, graph::Dist radius);
+
+// Per-radius policy reachable-set sizes from src: result[h] = number of
+// nodes whose policy distance is <= h (the policy analogue of
+// graph::ReachableCounts, used for the Expansion(Policy) curves).
+std::vector<std::size_t> PolicyReachableCounts(
+    const graph::Graph& g, std::span<const Relationship> rel,
+    graph::NodeId src, graph::Dist max_depth = graph::kUnreachable);
+
+}  // namespace topogen::policy

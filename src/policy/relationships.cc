@@ -1,0 +1,25 @@
+#include "policy/relationships.h"
+
+#include <algorithm>
+
+namespace topogen::policy {
+
+std::vector<Relationship> InferRelationshipsByDegree(const graph::Graph& g,
+                                                     double peer_ratio) {
+  std::vector<Relationship> rel(g.num_edges());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const graph::Edge& ed = g.edges()[e];
+    const double du = static_cast<double>(g.degree(ed.u));
+    const double dv = static_cast<double>(g.degree(ed.v));
+    if (std::max(du, dv) <= peer_ratio * std::min(du, dv)) {
+      rel[e] = Relationship::kPeerPeer;
+    } else if (du > dv) {
+      rel[e] = Relationship::kProviderCustomer;
+    } else {
+      rel[e] = Relationship::kCustomerProvider;
+    }
+  }
+  return rel;
+}
+
+}  // namespace topogen::policy

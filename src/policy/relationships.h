@@ -1,0 +1,53 @@
+// AS business relationships (paper Section 3.2.1 and Appendix E).
+//
+// Policy ("valley-free") routing is defined over edges annotated with the
+// commercial relationship between their endpoints: provider-customer,
+// peer-peer, or sibling-sibling (Gao [18]). The paper infers these
+// annotations from BGP data; our synthetic AS model assigns them by degree
+// order, which is exactly the heuristic core of Gao's algorithm (the
+// higher-degree AS of an edge is, overwhelmingly, the provider).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace topogen::policy {
+
+enum class Relationship : std::uint8_t {
+  kProviderCustomer,  // edges()[e].u is the provider of edges()[e].v
+  kCustomerProvider,  // edges()[e].u is the customer of edges()[e].v
+  kPeerPeer,
+  kSiblingSibling,    // mutual transit (also used for intra-AS router links)
+};
+
+// Gao-style degree heuristic: for each edge the higher-degree endpoint is
+// the provider; endpoints whose degrees are within peer_ratio of each
+// other peer. Returns one annotation per canonical edge of g.
+std::vector<Relationship> InferRelationshipsByDegree(const graph::Graph& g,
+                                                     double peer_ratio = 1.25);
+
+// Direction of edge e when traversed from `from`: the traversal class the
+// valley-free automaton consumes.
+enum class Traversal : std::uint8_t { kUp, kDown, kPeer, kSibling };
+
+inline Traversal TraversalFrom(const graph::Graph& g,
+                               std::span<const Relationship> rel,
+                               graph::EdgeId e, graph::NodeId from) {
+  switch (rel[e]) {
+    case Relationship::kPeerPeer:
+      return Traversal::kPeer;
+    case Relationship::kSiblingSibling:
+      return Traversal::kSibling;
+    case Relationship::kProviderCustomer:
+      // u is provider: going u -> v descends, v -> u ascends.
+      return g.edges()[e].u == from ? Traversal::kDown : Traversal::kUp;
+    case Relationship::kCustomerProvider:
+      return g.edges()[e].u == from ? Traversal::kUp : Traversal::kDown;
+  }
+  return Traversal::kSibling;  // unreachable; placate the compiler
+}
+
+}  // namespace topogen::policy

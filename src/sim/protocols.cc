@@ -1,0 +1,168 @@
+#include "sim/protocols.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/bfs.h"
+#include "graph/trees.h"
+#include "metrics/multicast.h"
+#include "sim/weighted_paths.h"
+
+namespace topogen::sim {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::Rng;
+
+metrics::Series FloodSpread(const Graph& g, const FloodOptions& options) {
+  metrics::Series s;
+  s.name = "flood-spread";
+  const NodeId n = g.num_nodes();
+  if (n < 2) return s;
+  Rng rng(options.seed);
+  // Reach deciles, averaged across trials.
+  constexpr int kDeciles = 10;
+  std::vector<double> decile_time(kDeciles, 0.0);
+  std::size_t valid_trials = 0;
+  for (std::size_t trial = 0; trial < options.trials; ++trial) {
+    const auto src = static_cast<NodeId>(rng.NextIndex(n));
+    const std::vector<double> weight =
+        SampleLinkWeights(g, WeightModel::kExponential, rng);
+    const WeightedPathResult paths = WeightedShortestPaths(g, weight, src);
+    std::vector<double> arrivals;
+    arrivals.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+      if (!std::isinf(paths.distance[v])) arrivals.push_back(paths.distance[v]);
+    }
+    if (arrivals.size() < 2) continue;
+    std::sort(arrivals.begin(), arrivals.end());
+    for (int d = 1; d <= kDeciles; ++d) {
+      const std::size_t index = std::min(
+          arrivals.size() - 1, arrivals.size() * d / kDeciles);
+      decile_time[d - 1] += arrivals[index];
+    }
+    ++valid_trials;
+  }
+  if (valid_trials == 0) return s;
+  for (int d = 1; d <= kDeciles; ++d) {
+    s.Add(decile_time[d - 1] / static_cast<double>(valid_trials),
+          static_cast<double>(d) / kDeciles);
+  }
+  // Reorder into (time, fraction) with time on x: already so; ensure
+  // monotone x (deciles of the same averaged run are sorted).
+  return s;
+}
+
+MulticastStateResult MulticastState(const Graph& g,
+                                    const MulticastStateOptions& options) {
+  MulticastStateResult out;
+  out.routers_with_state.name = "multicast-state-routers";
+  out.max_state.name = "multicast-state-max";
+  const NodeId n = g.num_nodes();
+  if (n < 4) return out;
+  Rng rng(options.seed);
+  const std::size_t cap =
+      std::min<std::size_t>(options.max_receivers, n - 1);
+  for (std::size_t m = 2; m <= cap; m *= 2) {
+    double routers_sum = 0.0, max_sum = 0.0;
+    for (std::size_t trial = 0; trial < options.trials_per_size; ++trial) {
+      const auto src = static_cast<NodeId>(rng.NextIndex(n));
+      const graph::SpanningTree tree = graph::BfsTree(g, src);
+      // Mark on-tree nodes by walking each receiver's parent chain; count
+      // per-node children in the multicast tree = forwarding entries.
+      std::vector<std::uint16_t> entries(n, 0);
+      std::vector<std::uint8_t> on_tree(n, 0);
+      on_tree[src] = 1;
+      for (std::size_t r = 0; r < m; ++r) {
+        NodeId cur = static_cast<NodeId>(rng.NextIndex(n));
+        if (tree.parent[cur] == graph::kInvalidNode) continue;
+        while (!on_tree[cur]) {
+          on_tree[cur] = 1;
+          ++entries[tree.parent[cur]];
+          cur = tree.parent[cur];
+        }
+      }
+      std::size_t with_state = 0;
+      std::uint16_t max_entries = 0;
+      for (NodeId v = 0; v < n; ++v) {
+        if (entries[v] > 0) ++with_state;
+        max_entries = std::max(max_entries, entries[v]);
+      }
+      routers_sum += static_cast<double>(with_state);
+      max_sum += static_cast<double>(max_entries);
+    }
+    const auto trials = static_cast<double>(options.trials_per_size);
+    out.routers_with_state.Add(static_cast<double>(m), routers_sum / trials);
+    out.max_state.Add(static_cast<double>(m), max_sum / trials);
+  }
+  return out;
+}
+
+FailoverResult FailoverStretch(const Graph& g,
+                               const FailoverOptions& options) {
+  FailoverResult out;
+  out.stretch.name = "failover-stretch";
+  out.disconnected.name = "failover-disconnected";
+  const NodeId n = g.num_nodes();
+  if (n < 2 || g.num_edges() == 0) return out;
+  Rng rng(options.seed);
+
+  // Fixed sample of pairs with their pre-failure distances.
+  struct Pair {
+    NodeId s, t;
+    graph::Dist before;
+  };
+  std::vector<Pair> pairs;
+  for (std::size_t i = 0; i < options.path_samples * 3 &&
+                          pairs.size() < options.path_samples;
+       ++i) {
+    const auto s = static_cast<NodeId>(rng.NextIndex(n));
+    const auto t = static_cast<NodeId>(rng.NextIndex(n));
+    if (s == t) continue;
+    const auto dist = graph::BfsDistances(g, s);
+    if (dist[t] == graph::kUnreachable) continue;
+    pairs.push_back({s, t, dist[t]});
+  }
+  if (pairs.empty()) return out;
+
+  // Progressive failure: one random permutation of edges, failed in
+  // prefix order so each fraction extends the previous.
+  std::vector<graph::EdgeId> order(g.num_edges());
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+
+  for (double f = options.step; f <= options.max_link_failure_fraction + 1e-9;
+       f += options.step) {
+    const auto failed_count =
+        static_cast<std::size_t>(f * static_cast<double>(g.num_edges()));
+    std::vector<std::uint8_t> failed(g.num_edges(), 0);
+    for (std::size_t i = 0; i < failed_count; ++i) failed[order[i]] = 1;
+    // Surviving graph.
+    std::vector<graph::Edge> edges;
+    for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (!failed[e]) edges.push_back(g.edges()[e]);
+    }
+    const Graph survivor = Graph::FromEdges(n, std::move(edges));
+    double stretch_sum = 0.0;
+    std::size_t connected = 0, lost = 0;
+    for (const Pair& p : pairs) {
+      const auto dist = graph::BfsDistances(survivor, p.s);
+      if (dist[p.t] == graph::kUnreachable) {
+        ++lost;
+      } else {
+        stretch_sum += static_cast<double>(dist[p.t]) /
+                       static_cast<double>(p.before);
+        ++connected;
+      }
+    }
+    out.stretch.Add(f, connected == 0
+                           ? 0.0
+                           : stretch_sum / static_cast<double>(connected));
+    out.disconnected.Add(
+        f, static_cast<double>(lost) / static_cast<double>(pairs.size()));
+  }
+  return out;
+}
+
+}  // namespace topogen::sim

@@ -1,0 +1,71 @@
+// Protocol-performance experiments over topologies.
+//
+// The paper's premise is that large-scale structure, not local detail,
+// drives protocol *scaling* (Section 1). These experiments make that
+// concrete, one per related-work thread the paper cites:
+//
+//   * FloodSpread   -- epidemic/flooding reach over time with exponential
+//                      per-link delays: the dynamic face of expansion.
+//   * MulticastState -- Wong & Katz [48]: how much forwarding state
+//                      multicast trees deposit on routers, and how
+//                      unevenly, as the receiver set grows.
+//   * FailoverStretch -- path stretch and disconnection under random link
+//                      failures: the dynamic face of resilience.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/rng.h"
+#include "metrics/series.h"
+
+namespace topogen::sim {
+
+struct FloodOptions {
+  std::size_t trials = 16;  // (source, delay-draw) repetitions
+  std::uint64_t seed = 31;
+};
+
+// x = time (exponential unit-rate link delays), y = mean fraction of
+// nodes reached by a flood started at a random source. Reported at the
+// deciles of reach (0.1 .. 1.0) averaged over trials.
+metrics::Series FloodSpread(const graph::Graph& g,
+                            const FloodOptions& options = {});
+
+struct MulticastStateOptions {
+  std::size_t max_receivers = 256;
+  std::size_t trials_per_size = 8;
+  std::uint64_t seed = 37;
+};
+
+struct MulticastStateResult {
+  // x = receiver count m, y = mean number of routers holding forwarding
+  // state (on-tree, non-leaf-of-tree routers).
+  metrics::Series routers_with_state;
+  // x = receiver count m, y = max state entries (tree children) at any
+  // single router -- the hot-spot measure that differs across topologies.
+  metrics::Series max_state;
+};
+
+MulticastStateResult MulticastState(const graph::Graph& g,
+                                    const MulticastStateOptions& options = {});
+
+struct FailoverOptions {
+  double max_link_failure_fraction = 0.20;
+  double step = 0.04;
+  std::size_t path_samples = 96;  // sampled (source, dest) pairs
+  std::uint64_t seed = 41;
+};
+
+struct FailoverResult {
+  // x = failed link fraction, y = mean stretch (post/pre hops) over pairs
+  // still connected.
+  metrics::Series stretch;
+  // x = failed link fraction, y = fraction of sampled pairs disconnected.
+  metrics::Series disconnected;
+};
+
+FailoverResult FailoverStretch(const graph::Graph& g,
+                               const FailoverOptions& options = {});
+
+}  // namespace topogen::sim

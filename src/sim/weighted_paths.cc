@@ -1,0 +1,97 @@
+#include "sim/weighted_paths.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace topogen::sim {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::Rng;
+
+std::vector<double> SampleLinkWeights(const Graph& g, WeightModel model,
+                                      Rng& rng) {
+  std::vector<double> weight(g.num_edges(), 1.0);
+  switch (model) {
+    case WeightModel::kUnit:
+      break;
+    case WeightModel::kUniform:
+      for (double& w : weight) w = rng.NextDouble();
+      break;
+    case WeightModel::kExponential:
+      for (double& w : weight) {
+        w = -std::log(1.0 - rng.NextDouble());
+      }
+      break;
+  }
+  return weight;
+}
+
+WeightedPathResult WeightedShortestPaths(const Graph& g,
+                                         std::span<const double> weight,
+                                         NodeId src) {
+  const NodeId n = g.num_nodes();
+  WeightedPathResult out;
+  out.distance.assign(n, std::numeric_limits<double>::infinity());
+  out.hops.assign(n, 0);
+  out.parent.assign(n, graph::kInvalidNode);
+  if (src >= n) return out;
+
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  out.distance[src] = 0.0;
+  out.parent[src] = src;
+  heap.push({0.0, src});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > out.distance[u]) continue;  // stale
+    const auto nbrs = g.neighbors(u);
+    const auto eids = g.incident_edges(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      const double nd = d + weight[eids[i]];
+      if (nd < out.distance[v]) {
+        out.distance[v] = nd;
+        out.hops[v] = out.hops[u] + 1;
+        out.parent[v] = u;
+        heap.push({nd, v});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> HopCountDistribution(const Graph& g, WeightModel model,
+                                         std::size_t sources, Rng& rng) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::size_t> histogram;
+  std::size_t pairs = 0;
+  const std::size_t use = std::min<std::size_t>(sources, n);
+  for (std::size_t i = 0; i < use; ++i) {
+    const auto src = static_cast<NodeId>(rng.NextIndex(n));
+    // Fresh weights per source: the model is an ensemble over weight
+    // draws, not one fixed weighting.
+    const std::vector<double> weight = SampleLinkWeights(g, model, rng);
+    const WeightedPathResult paths = WeightedShortestPaths(g, weight, src);
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == src || std::isinf(paths.distance[v])) continue;
+      if (paths.hops[v] >= histogram.size()) {
+        histogram.resize(paths.hops[v] + 1, 0);
+      }
+      ++histogram[paths.hops[v]];
+      ++pairs;
+    }
+  }
+  std::vector<double> out(histogram.size(), 0.0);
+  for (std::size_t h = 0; h < histogram.size(); ++h) {
+    out[h] = pairs == 0 ? 0.0
+                        : static_cast<double>(histogram[h]) /
+                              static_cast<double>(pairs);
+  }
+  return out;
+}
+
+}  // namespace topogen::sim

@@ -1,0 +1,47 @@
+// Weighted shortest paths with random link weights (Dijkstra).
+//
+// The substrate for the protocol-performance experiments in src/sim. Van
+// Mieghem et al. [44] (paper Section 2) model the Internet's hop-count
+// distribution as the hop count of shortest paths in a random graph with
+// uniformly or exponentially distributed link weights; a message flooding
+// a network with exponential per-link delays reaches nodes in exactly the
+// order of these weighted distances.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/rng.h"
+
+namespace topogen::sim {
+
+enum class WeightModel {
+  kUnit,         // every link weight 1 (plain BFS distances)
+  kUniform,      // U(0, 1)
+  kExponential,  // Exp(1)
+};
+
+// One independent weight per canonical edge.
+std::vector<double> SampleLinkWeights(const graph::Graph& g,
+                                      WeightModel model, graph::Rng& rng);
+
+struct WeightedPathResult {
+  std::vector<double> distance;       // weighted distance; +inf unreachable
+  std::vector<std::uint32_t> hops;    // hop count of the min-weight path
+  std::vector<graph::NodeId> parent;  // predecessor on that path
+};
+
+// Dijkstra from src under the given per-edge weights.
+WeightedPathResult WeightedShortestPaths(const graph::Graph& g,
+                                         std::span<const double> weight,
+                                         graph::NodeId src);
+
+// Hop-count histogram of min-weight paths from sampled sources:
+// result[h] = fraction of sampled reachable pairs whose min-weight path
+// has h hops.
+std::vector<double> HopCountDistribution(const graph::Graph& g,
+                                         WeightModel model,
+                                         std::size_t sources,
+                                         graph::Rng& rng);
+
+}  // namespace topogen::sim

@@ -1,0 +1,82 @@
+#include "metrics/ball_extras.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/canonical.h"
+#include "gen/plrg.h"
+
+namespace topogen::metrics {
+namespace {
+
+using graph::Graph;
+using graph::Rng;
+
+BallGrowingOptions FastBalls() {
+  BallGrowingOptions o;
+  o.max_centers = 6;
+  o.big_ball_centers = 3;
+  return o;
+}
+
+TEST(BallAveragePathTest, GrowsWithBallSize) {
+  const Series s = BallAveragePathSeries(gen::Mesh(14, 14), FastBalls());
+  ASSERT_GT(s.size(), 3u);
+  EXPECT_GT(s.y.back(), s.y.front());
+  // Average path within a ball of radius r is at most 2r; radius grows
+  // one per series point.
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_LE(s.y[i], 2.0 * static_cast<double>(i + 1));
+  }
+}
+
+TEST(BallAveragePathTest, CompleteGraphIsOne) {
+  const Series s = BallAveragePathSeries(gen::Complete(20), FastBalls());
+  ASSERT_FALSE(s.empty());
+  EXPECT_NEAR(s.y[0], 1.0, 1e-9);
+}
+
+TEST(BallMaxFlowTest, TreeIsAlwaysOne) {
+  // Every center-surface pair in a tree has exactly one path.
+  const Series s = BallMaxFlowSeries(gen::KaryTree(3, 5), FastBalls());
+  ASSERT_FALSE(s.empty());
+  for (double y : s.y) EXPECT_NEAR(y, 1.0, 1e-9);
+}
+
+TEST(BallMaxFlowTest, RandomGraphExceedsTree) {
+  Rng rng(1);
+  const Graph g = gen::ErdosRenyi(800, 0.008, rng);
+  const Series random_flow = BallMaxFlowSeries(g, FastBalls());
+  ASSERT_FALSE(random_flow.empty());
+  // The footnote-22 claim: consistent with resilience -- random graphs
+  // offer multiple disjoint center-surface paths once balls are sizable.
+  EXPECT_GT(random_flow.y.back(), 1.2);
+}
+
+TEST(HopPlotTest, MatchesExpansionScaling) {
+  const Graph g = gen::Mesh(10, 10);
+  const Series expansion = Expansion(g);
+  const Series plot = HopPlot(g);
+  ASSERT_EQ(expansion.size(), plot.size());
+  const double n = static_cast<double>(g.num_nodes());
+  for (std::size_t i = 0; i < plot.size(); ++i) {
+    EXPECT_NEAR(plot.y[i], n * n * expansion.y[i], 1e-6);
+  }
+}
+
+TEST(HopPlotExponentTest, MeshIsNearTwoRandomIsLarger) {
+  // P(h) ~ h^2 for a mesh; an expander's hop plot rises much faster.
+  const double mesh = HopPlotExponent(gen::Mesh(30, 30));
+  EXPECT_NEAR(mesh, 2.0, 0.6);
+  Rng rng(2);
+  gen::PlrgParams p;
+  p.n = 3000;
+  const double plrg = HopPlotExponent(gen::Plrg(p, rng));
+  EXPECT_GT(plrg, mesh + 0.8);
+}
+
+TEST(HopPlotExponentTest, LinearChainIsNearOne) {
+  EXPECT_NEAR(HopPlotExponent(gen::Linear(400)), 1.0, 0.35);
+}
+
+}  // namespace
+}  // namespace topogen::metrics

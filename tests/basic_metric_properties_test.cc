@@ -1,0 +1,126 @@
+// Property tests for the three basic metric series themselves (the
+// classification tests check derived labels; these check the raw curves).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/canonical.h"
+#include "gen/plrg.h"
+#include "metrics/distortion.h"
+#include "metrics/expansion.h"
+#include "metrics/resilience.h"
+
+namespace topogen::metrics {
+namespace {
+
+using graph::Graph;
+using graph::Rng;
+
+BallGrowingOptions FastBalls() {
+  BallGrowingOptions o;
+  o.max_centers = 6;
+  o.big_ball_centers = 3;
+  return o;
+}
+
+class MetricPropertySweep : public ::testing::TestWithParam<int> {
+ protected:
+  Graph MakeGraph() const {
+    switch (GetParam()) {
+      case 0:
+        return gen::KaryTree(3, 5);
+      case 1:
+        return gen::Mesh(16, 16);
+      case 2: {
+        Rng rng(1);
+        return gen::ErdosRenyi(1200, 4.0 / 1200, rng);
+      }
+      default: {
+        Rng rng(2);
+        gen::PlrgParams p;
+        p.n = 1500;
+        return gen::Plrg(p, rng);
+      }
+    }
+  }
+};
+
+TEST_P(MetricPropertySweep, ExpansionIsMonotoneAndNormalized) {
+  const Graph g = MakeGraph();
+  const Series e = Expansion(g, {.max_sources = 400});
+  ASSERT_FALSE(e.empty());
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    EXPECT_GT(e.y[i], 0.0);
+    EXPECT_LE(e.y[i], 1.0 + 1e-12);
+    if (i > 0) EXPECT_GE(e.y[i], e.y[i - 1] - 1e-12);
+    EXPECT_DOUBLE_EQ(e.x[i], static_cast<double>(i + 1));
+  }
+  EXPECT_NEAR(e.y.back(), 1.0, 1e-9);  // connected graphs saturate
+}
+
+TEST_P(MetricPropertySweep, ResilienceSizesGrowAndCutsAreSane) {
+  const Graph g = MakeGraph();
+  const Series r = Resilience(g, FastBalls());
+  ASSERT_FALSE(r.empty());
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    EXPECT_GE(r.y[i], 1.0 - 1e-9);  // connected balls need >= 1 cut edge
+    EXPECT_LE(r.y[i], static_cast<double>(g.num_edges()));
+    if (i > 0) EXPECT_GT(r.x[i], r.x[i - 1]);  // mean ball size grows
+  }
+}
+
+TEST_P(MetricPropertySweep, DistortionBoundedByBallDiameter) {
+  const Graph g = MakeGraph();
+  const Series d = Distortion(g, FastBalls());
+  ASSERT_FALSE(d.empty());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_GE(d.y[i], 1.0 - 1e-9);  // a spanning tree stretches >= 1
+    // A ball of radius i+1 has diameter <= 2(i+1); a BFS tree from the
+    // center stretches any edge at most that far.
+    EXPECT_LE(d.y[i], 2.0 * static_cast<double>(i + 1) + 1e-9);
+  }
+}
+
+TEST_P(MetricPropertySweep, SeriesAreDeterministic) {
+  const Graph g = MakeGraph();
+  const Series a = Resilience(g, FastBalls());
+  const Series b = Resilience(g, FastBalls());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.y[i], b.y[i]);
+  }
+}
+
+std::string SweepName(const ::testing::TestParamInfo<int>& info) {
+  static const char* const kNames[] = {"Tree", "Mesh", "Random", "Plrg"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, MetricPropertySweep,
+                         ::testing::Range(0, 4), SweepName);
+
+TEST(ResilienceTest, TreeStaysNearOne) {
+  const Series r = Resilience(gen::KaryTree(3, 5), FastBalls());
+  ASSERT_FALSE(r.empty());
+  for (double y : r.y) EXPECT_LE(y, 3.0);
+}
+
+TEST(DistortionTest, TreeIsExactlyOneEverywhere) {
+  const Series d = Distortion(gen::KaryTree(3, 5), FastBalls());
+  ASSERT_FALSE(d.empty());
+  for (double y : d.y) EXPECT_DOUBLE_EQ(y, 1.0);
+}
+
+TEST(ResilienceTest, RandomOutgrowsMeshOutgrowsTree) {
+  Rng rng(3);
+  const Series tree = Resilience(gen::KaryTree(3, 5), FastBalls());
+  const Series mesh = Resilience(gen::Mesh(16, 16), FastBalls());
+  const Series random =
+      Resilience(gen::ErdosRenyi(900, 8.0 / 900, rng), FastBalls());
+  // Compare final values: kn >> sqrt(n) >> 1 (Section 3.2.1's scaling).
+  EXPECT_GT(random.y.back(), mesh.y.back());
+  EXPECT_GT(mesh.y.back(), tree.y.back());
+}
+
+}  // namespace
+}  // namespace topogen::metrics

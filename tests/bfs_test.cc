@@ -1,0 +1,125 @@
+#include "graph/bfs.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/canonical.h"
+#include "graph/rng.h"
+
+namespace topogen::graph {
+namespace {
+
+Graph PathGraph(NodeId n) { return gen::Linear(n); }
+
+TEST(BfsTest, DistancesOnPath) {
+  const Graph g = PathGraph(5);
+  const std::vector<Dist> d = BfsDistances(g, 0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(BfsTest, DistancesRespectMaxDepth) {
+  const Graph g = PathGraph(10);
+  const std::vector<Dist> d = BfsDistances(g, 0, 3);
+  EXPECT_EQ(d[3], 3u);
+  EXPECT_EQ(d[4], kUnreachable);
+}
+
+TEST(BfsTest, UnreachableAcrossComponents) {
+  const Graph g = Graph::FromEdges(4, {{0, 1}, {2, 3}});
+  const std::vector<Dist> d = BfsDistances(g, 0);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], kUnreachable);
+}
+
+TEST(BallTest, RadiusZeroIsCenterOnly) {
+  const Graph g = PathGraph(5);
+  EXPECT_EQ(Ball(g, 2, 0).size(), 1u);
+}
+
+TEST(BallTest, GrowsSymmetricallyOnPath) {
+  const Graph g = PathGraph(9);
+  const auto ball = Ball(g, 4, 2);
+  EXPECT_EQ(ball.size(), 5u);  // 2,3,4,5,6
+}
+
+TEST(BallTest, SaturatesAtComponent) {
+  const Graph g = PathGraph(5);
+  EXPECT_EQ(Ball(g, 0, 100).size(), 5u);
+}
+
+TEST(ReachableCountsTest, PathCounts) {
+  const Graph g = PathGraph(5);
+  const auto counts = ReachableCounts(g, 0);
+  ASSERT_EQ(counts.size(), 5u);
+  for (std::size_t h = 0; h < 5; ++h) EXPECT_EQ(counts[h], h + 1);
+}
+
+TEST(ReachableCountsTest, TreeGrowsExponentially) {
+  const Graph g = gen::KaryTree(2, 6);  // 127 nodes
+  const auto counts = ReachableCounts(g, 0);
+  // From the root: 1, 3, 7, 15, ... (1 + 2 + 4 + ...).
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 3u);
+  EXPECT_EQ(counts[2], 7u);
+  EXPECT_EQ(counts[6], 127u);
+}
+
+TEST(ShortestPathDagTest, SigmaCountsParallelRoutes) {
+  // 4-cycle: two shortest paths from 0 to 2.
+  const Graph g = gen::Ring(4);
+  const ShortestPathDag dag = BuildShortestPathDag(g, 0);
+  EXPECT_DOUBLE_EQ(dag.sigma[0], 1.0);
+  EXPECT_DOUBLE_EQ(dag.sigma[1], 1.0);
+  EXPECT_DOUBLE_EQ(dag.sigma[3], 1.0);
+  EXPECT_DOUBLE_EQ(dag.sigma[2], 2.0);
+}
+
+TEST(ShortestPathDagTest, OrderIsByDistance) {
+  const Graph g = gen::KaryTree(2, 4);
+  const ShortestPathDag dag = BuildShortestPathDag(g, 0);
+  for (std::size_t i = 1; i < dag.order.size(); ++i) {
+    EXPECT_LE(dag.dist[dag.order[i - 1]], dag.dist[dag.order[i]]);
+  }
+}
+
+TEST(ShortestPathDagTest, GridSigmaIsBinomial) {
+  // On a grid, the number of shortest paths to the diagonal (r, r) node is
+  // binomial(2r, r).
+  const Graph g = gen::Mesh(4, 4);
+  const ShortestPathDag dag = BuildShortestPathDag(g, 0);
+  EXPECT_DOUBLE_EQ(dag.sigma[1 * 4 + 1], 2.0);   // (1,1): 2 paths
+  EXPECT_DOUBLE_EQ(dag.sigma[2 * 4 + 2], 6.0);   // (2,2): C(4,2)
+  EXPECT_DOUBLE_EQ(dag.sigma[3 * 4 + 3], 20.0);  // (3,3): C(6,3)
+}
+
+TEST(EccentricityTest, PathEndpointsAndCenter) {
+  const Graph g = PathGraph(9);
+  EXPECT_EQ(Eccentricity(g, 0), 8u);
+  EXPECT_EQ(Eccentricity(g, 4), 4u);
+}
+
+TEST(EccentricityTest, IsolatedNodeIsZero) {
+  const Graph g = Graph::FromEdges(3, {{0, 1}});
+  EXPECT_EQ(Eccentricity(g, 2), 0u);
+}
+
+TEST(AveragePathLengthTest, PathGraphExact) {
+  // Average pairwise distance on a path of n nodes is (n+1)/3.
+  const Graph g = PathGraph(7);
+  EXPECT_NEAR(AveragePathLength(g, 1000), 8.0 / 3.0, 1e-9);
+}
+
+TEST(AveragePathLengthTest, CompleteGraphIsOne) {
+  const Graph g = gen::Complete(8);
+  EXPECT_DOUBLE_EQ(AveragePathLength(g, 1000), 1.0);
+}
+
+TEST(AveragePathLengthTest, SampledApproximatesExact) {
+  Rng rng(5);
+  const Graph g = gen::ErdosRenyi(400, 0.02, rng);
+  const double exact = AveragePathLength(g, g.num_nodes());
+  const double sampled = AveragePathLength(g, 64);
+  EXPECT_NEAR(sampled, exact, 0.25);
+}
+
+}  // namespace
+}  // namespace topogen::graph

@@ -1,0 +1,128 @@
+#include "gen/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.h"
+
+namespace topogen::gen {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::Rng;
+
+TEST(KaryTreeTest, PaperInstanceHas1093Nodes) {
+  const Graph g = KaryTree(3, 6);
+  EXPECT_EQ(g.num_nodes(), 1093u);
+  EXPECT_EQ(g.num_edges(), 1092u);
+  EXPECT_NEAR(g.average_degree(), 2.0, 0.01);  // Figure 1: 2.00
+  EXPECT_TRUE(graph::IsConnected(g));
+}
+
+TEST(KaryTreeTest, DegreesAreTreeLike) {
+  const Graph g = KaryTree(3, 3);  // 40 nodes
+  EXPECT_EQ(g.degree(0), 3u);                  // root
+  EXPECT_EQ(g.degree(1), 4u);                  // internal: parent + 3
+  EXPECT_EQ(g.degree(g.num_nodes() - 1), 1u);  // leaf
+}
+
+TEST(KaryTreeTest, BinaryDepthOne) {
+  const Graph g = KaryTree(2, 1);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(KaryTreeTest, UnaryIsPath) {
+  const Graph g = KaryTree(1, 5);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(KaryTreeTest, ZeroKThrows) {
+  EXPECT_THROW(KaryTree(0, 3), std::invalid_argument);
+}
+
+TEST(MeshTest, PaperInstance) {
+  const Graph g = Mesh(30, 30);
+  EXPECT_EQ(g.num_nodes(), 900u);
+  EXPECT_EQ(g.num_edges(), 2u * 30u * 29u);
+  EXPECT_NEAR(g.average_degree(), 3.87, 0.01);  // Figure 1: 3.87
+  EXPECT_TRUE(graph::IsConnected(g));
+}
+
+TEST(MeshTest, CornerAndInteriorDegrees) {
+  const Graph g = Mesh(5, 5);
+  EXPECT_EQ(g.degree(0), 2u);       // corner
+  EXPECT_EQ(g.degree(2), 3u);       // border
+  EXPECT_EQ(g.degree(12), 4u);      // interior
+}
+
+TEST(MeshTest, SingleRowIsPath) {
+  const Graph g = Mesh(1, 10);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(LinearTest, Basics) {
+  const Graph g = Linear(10);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(5), 2u);
+}
+
+TEST(CompleteTest, Basics) {
+  const Graph g = Complete(10);
+  EXPECT_EQ(g.num_edges(), 45u);
+  EXPECT_EQ(g.max_degree(), 9u);
+}
+
+TEST(RingTest, AllDegreeTwo) {
+  const Graph g = Ring(12);
+  EXPECT_EQ(g.num_edges(), 12u);
+  EXPECT_EQ(g.count_degree(2), 12u);
+}
+
+TEST(ErdosRenyiTest, PaperInstanceMatchesFigure1) {
+  Rng rng(7);
+  const Graph g = ErdosRenyi(5050, 0.0008, rng);
+  // Figure 1: 5018 nodes, average degree 4.18 after largest component.
+  EXPECT_NEAR(static_cast<double>(g.num_nodes()), 5018.0, 120.0);
+  EXPECT_NEAR(g.average_degree(), 4.18, 0.35);
+  EXPECT_TRUE(graph::IsConnected(g));
+}
+
+TEST(ErdosRenyiTest, EdgeCountConcentrates) {
+  Rng rng(9);
+  const Graph g = ErdosRenyi(1000, 0.01, rng, false);
+  const double expected = 0.01 * 1000 * 999 / 2;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 350.0);
+}
+
+TEST(ErdosRenyiTest, ZeroProbabilityIsEdgeless) {
+  Rng rng(11);
+  const Graph g = ErdosRenyi(50, 0.0, rng, false);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(ErdosRenyiTest, DeterministicForSeed) {
+  Rng a(13), b(13);
+  const Graph g1 = ErdosRenyi(200, 0.02, a);
+  const Graph g2 = ErdosRenyi(200, 0.02, b);
+  EXPECT_EQ(g1.num_edges(), g2.num_edges());
+  EXPECT_EQ(g1.edges(), g2.edges());
+}
+
+TEST(ErdosRenyiGnmTest, ExactEdgeCount) {
+  Rng rng(15);
+  const Graph g = ErdosRenyiGnm(100, 300, rng, false);
+  EXPECT_EQ(g.num_edges(), 300u);
+}
+
+TEST(ErdosRenyiGnmTest, CapsAtCompleteGraph) {
+  Rng rng(17);
+  const Graph g = ErdosRenyiGnm(6, 1000, rng, false);
+  EXPECT_EQ(g.num_edges(), 15u);
+}
+
+}  // namespace
+}  // namespace topogen::gen

@@ -1,0 +1,123 @@
+#include "metrics/classification.h"
+
+#include <gtest/gtest.h>
+
+#include "core/suite.h"
+#include "gen/canonical.h"
+#include "metrics/distortion.h"
+#include "metrics/expansion.h"
+#include "metrics/resilience.h"
+
+namespace topogen::metrics {
+namespace {
+
+using graph::Graph;
+
+// Reduced ball budget so unit tests stay fast; the full-scale table is
+// exercised by roster_suite_test.cc and bench_fig2_classification.
+BallGrowingOptions FastBalls() {
+  BallGrowingOptions o;
+  o.max_centers = 8;
+  o.big_ball_centers = 3;
+  return o;
+}
+
+LhSignature SignatureOf(const Graph& g) {
+  const Series e = Expansion(g, {.max_sources = 500});
+  const Series r = Resilience(g, FastBalls());
+  const Series d = Distortion(g, FastBalls());
+  return Classify(e, r, d);
+}
+
+TEST(ClassificationTest, TreeIsHLL) {
+  EXPECT_EQ(SignatureOf(gen::KaryTree(3, 6)).ToString(), "HLL");
+}
+
+TEST(ClassificationTest, MeshIsLHH) {
+  EXPECT_EQ(SignatureOf(gen::Mesh(30, 30)).ToString(), "LHH");
+}
+
+TEST(ClassificationTest, RandomIsHHH) {
+  graph::Rng rng(1);
+  EXPECT_EQ(SignatureOf(gen::ErdosRenyi(3000, 4.2 / 3000, rng)).ToString(),
+            "HHH");
+}
+
+TEST(ClassificationTest, LinearChainIsLLL) {
+  // Section 3.2.1's summary table: the chain is low on all three.
+  EXPECT_EQ(SignatureOf(gen::Linear(600)).ToString(), "LLL");
+}
+
+TEST(ClassificationTest, CompleteGraphIsHHL) {
+  // The paper's standout observation: only the complete graph shares the
+  // measured Internet's HHL signature.
+  EXPECT_EQ(SignatureOf(gen::Complete(64)).ToString(), "HHL");
+}
+
+TEST(ClassifyExpansionTest, SyntheticExponentialSeries) {
+  Series s;
+  for (int h = 1; h <= 12; ++h) {
+    s.Add(h, std::min(1.0, 1e-4 * std::pow(2.5, h)));
+  }
+  EXPECT_EQ(ClassifyExpansion(s), Level::kHigh);
+}
+
+TEST(ClassifyExpansionTest, SyntheticQuadraticSeries) {
+  Series s;
+  for (int h = 1; h <= 40; ++h) {
+    s.Add(h, std::min(1.0, 2.0 * h * h / 2000.0));
+  }
+  EXPECT_EQ(ClassifyExpansion(s), Level::kLow);
+}
+
+TEST(ClassifyExpansionTest, InstantExpanderIsHigh) {
+  Series s;
+  s.Add(1, 1.0);
+  EXPECT_EQ(ClassifyExpansion(s), Level::kHigh);
+}
+
+TEST(ClassifyResilienceTest, FlatSeriesIsLow) {
+  Series s;
+  for (double n : {10.0, 100.0, 1000.0}) s.Add(n, 1.0);
+  EXPECT_EQ(ClassifyResilience(s), Level::kLow);
+}
+
+TEST(ClassifyResilienceTest, SqrtGrowthIsHigh) {
+  Series s;
+  for (double n : {16.0, 64.0, 256.0, 1024.0, 4096.0}) {
+    s.Add(n, std::sqrt(n));
+  }
+  EXPECT_EQ(ClassifyResilience(s), Level::kHigh);
+}
+
+TEST(ClassifyResilienceTest, LinearGrowthIsHigh) {
+  Series s;
+  for (double n : {16.0, 64.0, 256.0, 1024.0}) s.Add(n, 0.5 * n);
+  EXPECT_EQ(ClassifyResilience(s), Level::kHigh);
+}
+
+TEST(ClassifyDistortionTest, ConstantOneIsLow) {
+  Series s;
+  for (double n : {10.0, 100.0, 1000.0}) s.Add(n, 1.0);
+  EXPECT_EQ(ClassifyDistortion(s), Level::kLow);
+}
+
+TEST(ClassifyDistortionTest, LogGrowthIsHigh) {
+  Series s;
+  for (double n : {16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0}) {
+    s.Add(n, 0.55 * std::log2(n));
+  }
+  EXPECT_EQ(ClassifyDistortion(s), Level::kHigh);
+}
+
+TEST(ClassifyDistortionTest, EmptySeriesIsLow) {
+  EXPECT_EQ(ClassifyDistortion(Series{}), Level::kLow);
+}
+
+TEST(SignatureTest, ToStringFormat) {
+  LhSignature sig{Level::kHigh, Level::kHigh, Level::kLow};
+  EXPECT_EQ(sig.ToString(), "HHL");
+}
+
+}  // namespace
+}  // namespace topogen::metrics

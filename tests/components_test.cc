@@ -1,0 +1,116 @@
+#include "graph/components.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/canonical.h"
+
+namespace topogen::graph {
+namespace {
+
+TEST(ComponentsTest, SingleComponent) {
+  const Graph g = gen::Ring(5);
+  const ComponentInfo info = ConnectedComponents(g);
+  EXPECT_EQ(info.count, 1u);
+  EXPECT_EQ(info.sizes[0], 5u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(ComponentsTest, CountsIsolatedNodes) {
+  const Graph g = Graph::FromEdges(5, {{0, 1}});
+  const ComponentInfo info = ConnectedComponents(g);
+  EXPECT_EQ(info.count, 4u);  // {0,1}, {2}, {3}, {4}
+  EXPECT_FALSE(IsConnected(g));
+}
+
+TEST(ComponentsTest, EmptyGraphIsConnected) {
+  EXPECT_TRUE(IsConnected(Graph{}));
+}
+
+TEST(LargestComponentTest, PicksBiggest) {
+  // Components: {0,1,2} triangle and {3,4} edge.
+  const Graph g = Graph::FromEdges(5, {{0, 1}, {1, 2}, {0, 2}, {3, 4}});
+  const Subgraph big = LargestComponent(g);
+  EXPECT_EQ(big.graph.num_nodes(), 3u);
+  EXPECT_EQ(big.graph.num_edges(), 3u);
+}
+
+TEST(LargestComponentTest, ConnectedGraphIsUnchanged) {
+  const Graph g = gen::Ring(6);
+  const Subgraph big = LargestComponent(g);
+  EXPECT_EQ(big.graph.num_nodes(), 6u);
+  EXPECT_EQ(big.original_id.size(), 6u);
+}
+
+TEST(BiconnectivityTest, TreeHasOneComponentPerEdge) {
+  const Graph g = gen::KaryTree(2, 3);  // 15 nodes, 14 edges, all bridges
+  EXPECT_EQ(CountBiconnectedComponents(g), g.num_edges());
+}
+
+TEST(BiconnectivityTest, CycleIsOneComponent) {
+  EXPECT_EQ(CountBiconnectedComponents(gen::Ring(8)), 1u);
+}
+
+TEST(BiconnectivityTest, TwoTrianglesSharingAVertex) {
+  const Graph g = Graph::FromEdges(
+      5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}});
+  EXPECT_EQ(CountBiconnectedComponents(g), 2u);
+  EXPECT_EQ(CountArticulationPoints(g), 1u);  // node 2
+}
+
+TEST(BiconnectivityTest, BarbellGraph) {
+  // Triangle - bridge - triangle: 3 biconnected components.
+  const Graph g = Graph::FromEdges(6, {{0, 1},
+                                       {1, 2},
+                                       {0, 2},
+                                       {2, 3},
+                                       {3, 4},
+                                       {4, 5},
+                                       {3, 5}});
+  EXPECT_EQ(CountBiconnectedComponents(g), 3u);
+  EXPECT_EQ(CountArticulationPoints(g), 2u);  // nodes 2 and 3
+}
+
+TEST(BiconnectivityTest, PathArticulationPoints) {
+  const Graph g = gen::Linear(5);
+  EXPECT_EQ(CountArticulationPoints(g), 3u);  // all interior nodes
+  EXPECT_EQ(CountBiconnectedComponents(g), 4u);
+}
+
+TEST(BiconnectivityTest, CompleteGraphHasNoCutVertex) {
+  const Graph g = gen::Complete(6);
+  EXPECT_EQ(CountArticulationPoints(g), 0u);
+  EXPECT_EQ(CountBiconnectedComponents(g), 1u);
+}
+
+TEST(BiconnectivityTest, DisconnectedGraphSumsComponents) {
+  // Two disjoint cycles.
+  GraphBuilder b(8);
+  for (NodeId i = 0; i < 4; ++i) b.AddEdge(i, (i + 1) % 4);
+  for (NodeId i = 0; i < 4; ++i) b.AddEdge(4 + i, 4 + (i + 1) % 4);
+  const Graph g = std::move(b).Build();
+  EXPECT_EQ(CountBiconnectedComponents(g), 2u);
+}
+
+TEST(CoreGraphTest, TreeCollapsesCompletely) {
+  const Graph g = gen::KaryTree(3, 4);
+  const Subgraph core = CoreGraph(g);
+  EXPECT_EQ(core.graph.num_nodes(), 0u);
+}
+
+TEST(CoreGraphTest, CycleSurvives) {
+  const Graph g = gen::Ring(7);
+  const Subgraph core = CoreGraph(g);
+  EXPECT_EQ(core.graph.num_nodes(), 7u);
+}
+
+TEST(CoreGraphTest, PendantChainIsPruned) {
+  // Cycle 0-1-2-3 with a chain 3-4-5 hanging off.
+  const Graph g = Graph::FromEdges(
+      6, {{0, 1}, {1, 2}, {2, 3}, {0, 3}, {3, 4}, {4, 5}});
+  const Subgraph core = CoreGraph(g);
+  EXPECT_EQ(core.graph.num_nodes(), 4u);
+  EXPECT_EQ(core.graph.num_edges(), 4u);
+}
+
+}  // namespace
+}  // namespace topogen::graph

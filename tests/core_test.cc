@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "core/report.h"
+#include "core/roster.h"
+#include "core/suite.h"
+
+namespace topogen::core {
+namespace {
+
+RosterOptions Tiny() {
+  RosterOptions ro;
+  ro.seed = 9;
+  ro.as_nodes = 500;
+  ro.rl_expansion_ratio = 3.0;
+  ro.plrg_nodes = 1200;
+  ro.degree_based_nodes = 1000;
+  return ro;
+}
+
+TEST(RosterTest, DeterministicForSeed) {
+  const RosterOptions ro = Tiny();
+  const Topology a = MakePlrg(ro);
+  const Topology b = MakePlrg(ro);
+  EXPECT_EQ(a.graph.edges(), b.graph.edges());
+}
+
+TEST(RosterTest, DifferentSeedsDiffer) {
+  RosterOptions a = Tiny(), b = Tiny();
+  b.seed = 10;
+  EXPECT_NE(MakePlrg(a).graph.edges(), MakePlrg(b).graph.edges());
+}
+
+TEST(RosterTest, GeneratorsGetIndependentStreams) {
+  // Changing one factory's salt must not perturb another's output; build
+  // order must not matter either.
+  const RosterOptions ro = Tiny();
+  const Topology waxman_first = MakeWaxman(ro);
+  MakeTiers(ro);  // interleave another construction
+  const Topology waxman_second = MakeWaxman(ro);
+  EXPECT_EQ(waxman_first.graph.edges(), waxman_second.graph.edges());
+}
+
+TEST(RosterTest, CategoriesAreLabeled) {
+  const RosterOptions ro = Tiny();
+  EXPECT_EQ(MakeTree(ro).category, Category::kCanonical);
+  EXPECT_EQ(MakeTransitStub(ro).category, Category::kStructural);
+  EXPECT_EQ(MakePlrg(ro).category, Category::kDegreeBased);
+  EXPECT_EQ(MakeWaxman(ro).category, Category::kRandom);
+  EXPECT_EQ(MakeAs(ro).category, Category::kMeasured);
+}
+
+TEST(RosterTest, MeasuredTopologiesCarryPolicy) {
+  const RosterOptions ro = Tiny();
+  const Topology as = MakeAs(ro);
+  EXPECT_TRUE(as.has_policy());
+  EXPECT_EQ(as.relationship.size(), as.graph.num_edges());
+  const RlArtifacts rl = MakeRl(ro);
+  EXPECT_TRUE(rl.topology.has_policy());
+  EXPECT_EQ(rl.as_of.size(), rl.topology.graph.num_nodes());
+  EXPECT_FALSE(MakePlrg(ro).has_policy());
+}
+
+TEST(SuiteTest, PolicyWithoutAnnotationThrows) {
+  const RosterOptions ro = Tiny();
+  const Topology plrg = MakePlrg(ro);
+  SuiteOptions so;
+  so.use_policy = true;
+  EXPECT_THROW(RunBasicMetrics(plrg, so), std::invalid_argument);
+}
+
+TEST(SuiteTest, SeriesAreNamedAfterTopology) {
+  const RosterOptions ro = Tiny();
+  SuiteOptions so;
+  so.ball.max_centers = 4;
+  const Topology as = MakeAs(ro);
+  const BasicMetrics plain = RunBasicMetrics(as, so);
+  EXPECT_EQ(plain.expansion.name, "AS");
+  so.use_policy = true;
+  const BasicMetrics policy = RunBasicMetrics(as, so);
+  EXPECT_EQ(policy.expansion.name, "AS(Policy)");
+  // Policy expansion is never faster than plain expansion.
+  const std::size_t common =
+      std::min(plain.expansion.size(), policy.expansion.size());
+  for (std::size_t i = 0; i + 1 < common; ++i) {
+    EXPECT_LE(policy.expansion.y[i], plain.expansion.y[i] + 1e-9)
+        << "radius " << plain.expansion.x[i];
+  }
+}
+
+TEST(ReportTest, PanelExportsWhenOutdirSet) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "topogen_panel_export";
+  std::filesystem::remove_all(dir);
+  ::setenv("TOPOGEN_OUTDIR", dir.c_str(), 1);
+  metrics::Series s;
+  s.name = "c";
+  s.Add(1, 1);
+  std::ostringstream os;
+  PrintPanel(os, "test1", "Title", {s});
+  ::unsetenv("TOPOGEN_OUTDIR");
+  EXPECT_TRUE(std::filesystem::exists(dir / "figtest1.dat"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "figtest1.gp"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ReportTest, NoExportWithoutOutdir) {
+  ::unsetenv("TOPOGEN_OUTDIR");
+  metrics::Series s;
+  s.Add(1, 1);
+  std::ostringstream os;
+  PrintPanel(os, "test2", "Title", {s});
+  EXPECT_NE(os.str().find("# panel test2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace topogen::core

@@ -1,0 +1,162 @@
+// Edge cases and option-surface tests across modules: the paths ordinary
+// usage doesn't hit but a library must still get right.
+#include <gtest/gtest.h>
+
+#include "gen/canonical.h"
+#include "gen/waxman.h"
+#include "graph/bfs.h"
+#include "graph/partition.h"
+#include "graph/trees.h"
+#include "metrics/ball.h"
+#include "metrics/classification.h"
+#include "metrics/expansion.h"
+
+namespace topogen {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::Rng;
+
+TEST(BfsEdgeCases, MaxDepthZeroReachesOnlySource) {
+  const Graph g = gen::Ring(8);
+  const auto d = graph::BfsDistances(g, 3, 0);
+  for (NodeId v = 0; v < 8; ++v) {
+    if (v == 3) {
+      EXPECT_EQ(d[v], 0u);
+    } else {
+      EXPECT_EQ(d[v], graph::kUnreachable);
+    }
+  }
+}
+
+TEST(BfsEdgeCases, OutOfRangeSourceYieldsNothing) {
+  const Graph g = gen::Ring(4);
+  const auto d = graph::BfsDistances(g, 99);
+  for (const auto x : d) EXPECT_EQ(x, graph::kUnreachable);
+  EXPECT_TRUE(graph::Ball(g, 99, 2).empty());
+}
+
+TEST(BfsEdgeCases, SingleNodeGraph) {
+  const Graph g = Graph::FromEdges(1, {});
+  EXPECT_EQ(graph::Eccentricity(g, 0), 0u);
+  EXPECT_EQ(graph::ReachableCounts(g, 0).size(), 1u);
+  EXPECT_DOUBLE_EQ(graph::AveragePathLength(g), 0.0);
+}
+
+TEST(PartitionOptions, SingleTrialIsDeterministic) {
+  const Graph g = gen::Mesh(10, 10);
+  graph::BisectionOptions opts;
+  opts.num_trials = 1;
+  Rng a(5), b(5);
+  EXPECT_EQ(graph::BalancedMinCut(g, a, opts),
+            graph::BalancedMinCut(g, b, opts));
+}
+
+TEST(PartitionOptions, StricterBalanceNeverCheapens) {
+  // A tighter balance constraint shrinks the feasible set, so the best
+  // cut can only stay equal or grow (modulo heuristic noise: average over
+  // trials and allow a whisker).
+  const Graph g = gen::KaryTree(2, 8);  // 511 nodes
+  graph::BisectionOptions loose;
+  loose.min_side_fraction = 1.0 / 3.0;
+  graph::BisectionOptions tight;
+  tight.min_side_fraction = 0.49;
+  Rng a(7), b(7);
+  const auto loose_cut = graph::BalancedMinCut(g, a, loose);
+  const auto tight_cut = graph::BalancedMinCut(g, b, tight);
+  EXPECT_GE(tight_cut + 1, loose_cut);
+  // A complete binary tree always admits a one-edge cut under the loose
+  // rule (a 255-of-511 subtree); the heuristic must find something small.
+  EXPECT_LE(loose_cut, 2u);
+}
+
+TEST(PartitionOptions, NoCoarseningStillWorks) {
+  const Graph g = gen::Ring(40);
+  graph::BisectionOptions opts;
+  opts.coarsest_size = 1000;  // hierarchy is a single level
+  Rng rng(9);
+  EXPECT_EQ(graph::BalancedMinCut(g, rng, opts), 2u);
+}
+
+TEST(TreesEdgeCases, BfsTreeOnDisconnectedGraphCoversComponentOnly) {
+  const Graph g = Graph::FromEdges(5, {{0, 1}, {2, 3}});
+  const graph::SpanningTree t = graph::BfsTree(g, 0);
+  EXPECT_NE(t.parent[1], graph::kInvalidNode);
+  EXPECT_EQ(t.parent[2], graph::kInvalidNode);
+  EXPECT_EQ(graph::TreeDistance(t, 0, 2), graph::kUnreachable);
+}
+
+TEST(TreesEdgeCases, DistortionOfDisconnectedScoresCoveredEdges) {
+  Rng rng(11);
+  const Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  // Distortion from component {0,1,2}: the other component's edges are
+  // skipped, not crashed on.
+  const double d = graph::BestDistortion(g, rng);
+  EXPECT_GE(d, 1.0 - 1e-12);
+}
+
+TEST(WaxmanOptions, KeepAllComponents) {
+  Rng rng(13);
+  gen::WaxmanParams p{1500, 0.004, 0.08, /*keep_largest_component=*/false};
+  const Graph g = gen::Waxman(p, rng);
+  EXPECT_EQ(g.num_nodes(), 1500u);  // nothing dropped
+}
+
+TEST(BallGrowingOptions, MaxRadiusTruncates) {
+  const Graph g = gen::Linear(200);
+  metrics::BallGrowingOptions opts;
+  opts.max_centers = 4;
+  opts.max_radius = 5;
+  const metrics::Series s = metrics::BallGrowingSeries(
+      g, opts, [](const Graph& ball, Rng&) {
+        return static_cast<double>(ball.num_nodes());
+      });
+  ASSERT_FALSE(s.empty());
+  EXPECT_LE(s.size(), 5u);
+  EXPECT_LE(s.x.back(), 11.0);  // radius 5 on a path: at most 11 nodes
+}
+
+TEST(BallGrowingOptions, MaxBallNodesSkipsBigBalls) {
+  const Graph g = gen::Mesh(20, 20);
+  metrics::BallGrowingOptions opts;
+  opts.max_centers = 4;
+  opts.max_ball_nodes = 50;
+  const metrics::Series s = metrics::BallGrowingSeries(
+      g, opts, [](const Graph& ball, Rng&) {
+        return static_cast<double>(ball.num_nodes());
+      });
+  for (const double x : s.x) EXPECT_LE(x, 50.0);
+}
+
+TEST(ClassifierOptions, TailRatioThresholdFlipsExpansion) {
+  // The same series reads High under a permissive threshold and Low under
+  // an impossible one -- the knob actually routes through.
+  metrics::Series e;
+  for (int h = 1; h <= 10; ++h) {
+    e.Add(h, std::min(1.0, 1e-3 * std::pow(1.8, h)));
+  }
+  metrics::ClassifierOptions permissive;
+  permissive.expansion_tail_ratio = 1.3;
+  metrics::ClassifierOptions impossible;
+  impossible.expansion_tail_ratio = 99.0;
+  EXPECT_EQ(metrics::ClassifyExpansion(e, permissive),
+            metrics::Level::kHigh);
+  EXPECT_EQ(metrics::ClassifyExpansion(e, impossible), metrics::Level::kLow);
+}
+
+TEST(ExpansionOptions, SourceSubsamplingStaysClose) {
+  Rng rng(15);
+  const Graph g = gen::ErdosRenyi(1500, 4.0 / 1500, rng);
+  const metrics::Series full = metrics::Expansion(g, {.max_sources = 5000});
+  const metrics::Series sampled =
+      metrics::Expansion(g, {.max_sources = 100, .seed = 3});
+  const std::size_t common = std::min(full.size(), sampled.size());
+  ASSERT_GT(common, 3u);
+  for (std::size_t i = 0; i + 1 < common; ++i) {
+    EXPECT_NEAR(sampled.y[i], full.y[i], 0.25 * full.y[i] + 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace topogen

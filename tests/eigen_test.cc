@@ -1,0 +1,86 @@
+#include "graph/eigen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "gen/canonical.h"
+
+namespace topogen::graph {
+namespace {
+
+TEST(SpectralRadiusTest, CompleteGraph) {
+  Rng rng(1);
+  // K_n adjacency has top eigenvalue n - 1.
+  EXPECT_NEAR(SpectralRadius(gen::Complete(9), rng), 8.0, 1e-6);
+}
+
+TEST(SpectralRadiusTest, Star) {
+  GraphBuilder b(10);
+  for (NodeId i = 1; i < 10; ++i) b.AddEdge(0, i);
+  Rng rng(2);
+  // Star K_{1,k} has top eigenvalue sqrt(k).
+  EXPECT_NEAR(SpectralRadius(std::move(b).Build(), rng), 3.0, 1e-6);
+}
+
+TEST(SpectralRadiusTest, Cycle) {
+  Rng rng(3);
+  EXPECT_NEAR(SpectralRadius(gen::Ring(12), rng), 2.0, 1e-4);
+}
+
+TEST(TopEigenvaluesTest, PathSpectrum) {
+  // Path P_n eigenvalues: 2 cos(k pi / (n+1)), k = 1..n.
+  const unsigned n = 7;
+  Rng rng(4);
+  const std::vector<double> eig = TopEigenvalues(gen::Linear(n), n, rng);
+  ASSERT_GE(eig.size(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    const double expected =
+        2.0 * std::cos((k + 1) * std::numbers::pi / (n + 1));
+    EXPECT_NEAR(eig[k], expected, 1e-6) << "rank " << k;
+  }
+}
+
+TEST(TopEigenvaluesTest, CompleteGraphMultiplicity) {
+  // K_5: eigenvalues 4, -1, -1, -1, -1.
+  Rng rng(5);
+  const std::vector<double> eig = TopEigenvalues(gen::Complete(5), 5, rng);
+  ASSERT_GE(eig.size(), 2u);
+  EXPECT_NEAR(eig[0], 4.0, 1e-6);
+  EXPECT_NEAR(eig[1], -1.0, 1e-5);
+}
+
+TEST(TopEigenvaluesTest, SortedDescending) {
+  Rng rng(6);
+  const std::vector<double> eig =
+      TopEigenvalues(gen::Mesh(6, 6), 12, rng);
+  for (std::size_t i = 1; i < eig.size(); ++i) {
+    EXPECT_GE(eig[i - 1], eig[i] - 1e-9);
+  }
+}
+
+TEST(TopEigenvaluesTest, MeshTopValue) {
+  // Grid P_a x P_b top eigenvalue: 2cos(pi/(a+1)) + 2cos(pi/(b+1)).
+  Rng rng(7);
+  const std::vector<double> eig = TopEigenvalues(gen::Mesh(5, 5), 4, rng);
+  const double expected = 4.0 * std::cos(std::numbers::pi / 6.0);
+  ASSERT_FALSE(eig.empty());
+  EXPECT_NEAR(eig[0], expected, 1e-5);
+}
+
+TEST(TopEigenvaluesTest, EmptyGraph) {
+  Rng rng(8);
+  EXPECT_TRUE(TopEigenvalues(Graph{}, 4, rng).empty());
+}
+
+TEST(TopEigenvaluesTest, RandomGraphTopMatchesPowerIteration) {
+  Rng grng(9), e1(10), e2(11);
+  const Graph g = gen::ErdosRenyi(200, 0.05, grng);
+  const std::vector<double> eig = TopEigenvalues(g, 8, e1);
+  ASSERT_FALSE(eig.empty());
+  EXPECT_NEAR(eig[0], SpectralRadius(g, e2, 500), 0.05);
+}
+
+}  // namespace
+}  // namespace topogen::graph

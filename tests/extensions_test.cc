@@ -1,0 +1,156 @@
+// Tests for the extension modules: small-world generator, edge-list I/O,
+// and multicast tree scaling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "gen/canonical.h"
+#include "gen/plrg.h"
+#include "gen/small_world.h"
+#include "graph/components.h"
+#include "graph/io.h"
+#include "metrics/clustering.h"
+#include "metrics/multicast.h"
+
+namespace topogen {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::Rng;
+
+TEST(SmallWorldTest, ZeroRewireIsLattice) {
+  Rng rng(1);
+  const Graph g = gen::SmallWorld({.n = 100, .k = 4, .rewire_p = 0.0}, rng);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.num_edges(), 200u);
+  EXPECT_EQ(g.count_degree(4), 100u);
+  // Ring lattice with k=4 closes triangles: C = 0.5 exactly.
+  EXPECT_NEAR(metrics::ClusteringCoefficient(g), 0.5, 1e-9);
+}
+
+TEST(SmallWorldTest, SmallRewireKeepsClusteringShortensPaths) {
+  Rng a(2), b(2);
+  const Graph lattice =
+      gen::SmallWorld({.n = 600, .k = 6, .rewire_p = 0.0}, a);
+  const Graph rewired =
+      gen::SmallWorld({.n = 600, .k = 6, .rewire_p = 0.05}, b);
+  // The Watts-Strogatz signature: paths collapse, clustering survives.
+  EXPECT_LT(graph::AveragePathLength(rewired, 200),
+            0.6 * graph::AveragePathLength(lattice, 200));
+  EXPECT_GT(metrics::ClusteringCoefficient(rewired),
+            0.5 * metrics::ClusteringCoefficient(lattice));
+}
+
+TEST(SmallWorldTest, FullRewireIsRandomish) {
+  Rng rng(3);
+  const Graph g = gen::SmallWorld({.n = 800, .k = 6, .rewire_p = 1.0}, rng);
+  EXPECT_LT(metrics::ClusteringCoefficient(g), 0.05);
+}
+
+TEST(EdgeListIoTest, RoundTrip) {
+  Rng rng(4);
+  gen::PlrgParams p;
+  p.n = 300;
+  const Graph original = gen::Plrg(p, rng);
+  std::stringstream buffer;
+  graph::WriteEdgeList(buffer, original);
+  const Graph loaded = graph::ReadEdgeList(buffer);
+  EXPECT_EQ(loaded.num_nodes(), original.num_nodes());
+  EXPECT_EQ(loaded.edges(), original.edges());
+}
+
+TEST(EdgeListIoTest, HeaderPreservesIsolatedNodes) {
+  std::stringstream buffer;
+  buffer << "# nodes 10 edges 1\n0 1\n";
+  const Graph g = graph::ReadEdgeList(buffer);
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(EdgeListIoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream buffer;
+  buffer << "# a comment\n\n0 1\n# another\n1 2\n";
+  const Graph g = graph::ReadEdgeList(buffer);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(EdgeListIoTest, MalformedLineThrows) {
+  std::stringstream buffer;
+  buffer << "0 1\nbogus line\n";
+  EXPECT_THROW(graph::ReadEdgeList(buffer), std::runtime_error);
+}
+
+TEST(EdgeListIoTest, FileRoundTrip) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "topogen_io_test.edges";
+  const Graph g = gen::Mesh(6, 6);
+  graph::WriteEdgeListFile(path.string(), g);
+  const Graph loaded = graph::ReadEdgeListFile(path.string());
+  EXPECT_EQ(loaded.edges(), g.edges());
+  std::filesystem::remove(path);
+}
+
+TEST(EdgeListIoTest, MissingFileThrows) {
+  EXPECT_THROW(graph::ReadEdgeListFile("/nonexistent/nowhere.edges"),
+               std::runtime_error);
+}
+
+TEST(MulticastTest, SingleReceiverUsesPathLength) {
+  const Graph g = gen::Linear(10);
+  const std::vector<NodeId> receivers{9};
+  EXPECT_EQ(metrics::MulticastTreeLinks(g, 0, receivers), 9u);
+}
+
+TEST(MulticastTest, SharedPrefixCountedOnce) {
+  // Star of paths: receivers behind a shared chain reuse its links.
+  //   0 - 1 - 2 - {3, 4}
+  const Graph g = Graph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {2, 4}});
+  const std::vector<NodeId> receivers{3, 4};
+  EXPECT_EQ(metrics::MulticastTreeLinks(g, 0, receivers), 4u);
+}
+
+TEST(MulticastTest, DuplicateReceiversCountOnce) {
+  const Graph g = gen::Linear(6);
+  const std::vector<NodeId> receivers{5, 5, 5};
+  EXPECT_EQ(metrics::MulticastTreeLinks(g, 0, receivers), 5u);
+}
+
+TEST(MulticastTest, AllNodesGivesSpanningTree) {
+  const Graph g = gen::Mesh(5, 5);
+  std::vector<NodeId> receivers;
+  for (NodeId v = 1; v < g.num_nodes(); ++v) receivers.push_back(v);
+  EXPECT_EQ(metrics::MulticastTreeLinks(g, 0, receivers),
+            g.num_nodes() - 1u);
+}
+
+TEST(MulticastTest, ScalingExponentNearChuangSirbuOnPlrg) {
+  Rng rng(5);
+  gen::PlrgParams p;
+  p.n = 4000;
+  const Graph g = gen::Plrg(p, rng);
+  const double k = metrics::MulticastScalingExponent(g);
+  // Phillips et al.: ~0.8 for Internet-like graphs; generous band.
+  EXPECT_GT(k, 0.55);
+  EXPECT_LT(k, 0.95);
+}
+
+TEST(MulticastTest, ScalingIsSublinear) {
+  Rng rng(6);
+  const Graph g = gen::ErdosRenyi(2000, 0.003, rng);
+  const metrics::Series s = metrics::MulticastScaling(g);
+  ASSERT_GT(s.size(), 3u);
+  // L(m) grows, but slower than m.
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    EXPECT_GE(s.y[i], s.y[i - 1] * 0.95);
+  }
+  const double k = metrics::MulticastScalingExponent(g);
+  EXPECT_LT(k, 1.0);
+  EXPECT_GT(k, 0.3);
+}
+
+}  // namespace
+}  // namespace topogen

@@ -1,0 +1,123 @@
+// Property sweep: invariants every roster generator must satisfy,
+// instantiated per generator with TEST_P. These are the contracts the
+// metrics and benches rely on without checking: simple graphs (no
+// self-loops/duplicates -- structural, from Graph's construction, but
+// verified through the adjacency), determinism under a fixed seed,
+// single-component output where promised, and sane degree accounting.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "core/roster.h"
+#include "graph/components.h"
+#include "metrics/degree.h"
+
+namespace topogen::core {
+namespace {
+
+struct GeneratorCase {
+  std::string name;
+  std::function<Topology(const RosterOptions&)> make;
+  bool connected;     // factory promises a connected graph
+  bool heavy_tailed;  // degree CCDF should be heavy-tailed
+};
+
+RosterOptions Tiny() {
+  RosterOptions ro;
+  ro.seed = 77;
+  ro.as_nodes = 700;
+  ro.rl_expansion_ratio = 3.0;
+  ro.plrg_nodes = 1500;
+  ro.degree_based_nodes = 1200;
+  return ro;
+}
+
+class GeneratorInvariants : public ::testing::TestWithParam<GeneratorCase> {};
+
+TEST_P(GeneratorInvariants, SimpleGraph) {
+  const Topology t = GetParam().make(Tiny());
+  const graph::Graph& g = t.graph;
+  ASSERT_GT(g.num_nodes(), 0u);
+  for (const graph::Edge& e : g.edges()) {
+    EXPECT_NE(e.u, e.v) << "self-loop";
+    EXPECT_LT(e.u, e.v) << "non-canonical edge";
+  }
+  // Adjacency is duplicate-free (sorted, strictly increasing).
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 1; i < nbrs.size(); ++i) {
+      EXPECT_LT(nbrs[i - 1], nbrs[i]) << "duplicate adjacency at " << v;
+    }
+  }
+}
+
+TEST_P(GeneratorInvariants, DegreeSumMatchesEdges) {
+  const Topology t = GetParam().make(Tiny());
+  std::size_t degree_sum = 0;
+  for (graph::NodeId v = 0; v < t.graph.num_nodes(); ++v) {
+    degree_sum += t.graph.degree(v);
+  }
+  EXPECT_EQ(degree_sum, 2 * t.graph.num_edges());
+}
+
+TEST_P(GeneratorInvariants, Deterministic) {
+  const Topology a = GetParam().make(Tiny());
+  const Topology b = GetParam().make(Tiny());
+  EXPECT_EQ(a.graph.num_nodes(), b.graph.num_nodes());
+  EXPECT_EQ(a.graph.edges(), b.graph.edges());
+}
+
+TEST_P(GeneratorInvariants, ConnectivityAsPromised) {
+  const GeneratorCase& c = GetParam();
+  if (!c.connected) return;
+  EXPECT_TRUE(graph::IsConnected(c.make(Tiny()).graph)) << c.name;
+}
+
+TEST_P(GeneratorInvariants, TailShapeAsPromised) {
+  const GeneratorCase& c = GetParam();
+  const Topology t = c.make(Tiny());
+  EXPECT_EQ(metrics::LooksHeavyTailed(t.graph), c.heavy_tailed) << c.name;
+}
+
+TEST_P(GeneratorInvariants, DegreeRankExponentIsNegative) {
+  const Topology t = GetParam().make(Tiny());
+  EXPECT_LE(metrics::DegreeRankExponent(t.graph), 0.0);
+}
+
+std::vector<GeneratorCase> AllGenerators() {
+  return {
+      {"Tree", [](const RosterOptions& ro) { return MakeTree(ro); }, true,
+       false},
+      {"Mesh", [](const RosterOptions& ro) { return MakeMesh(ro); }, true,
+       false},
+      {"Random", [](const RosterOptions& ro) { return MakeRandom(ro); },
+       true, false},
+      {"TS", [](const RosterOptions& ro) { return MakeTransitStub(ro); },
+       true, false},
+      {"Tiers", [](const RosterOptions& ro) { return MakeTiers(ro); }, true,
+       false},
+      {"Waxman", [](const RosterOptions& ro) { return MakeWaxman(ro); },
+       true, false},
+      {"PLRG", [](const RosterOptions& ro) { return MakePlrg(ro); }, true,
+       true},
+      {"BA", [](const RosterOptions& ro) { return MakeBa(ro); }, true, true},
+      {"Brite", [](const RosterOptions& ro) { return MakeBrite(ro); }, true,
+       true},
+      {"BT", [](const RosterOptions& ro) { return MakeBt(ro); }, true, true},
+      {"Inet", [](const RosterOptions& ro) { return MakeInet(ro); }, true,
+       true},
+      {"AS", [](const RosterOptions& ro) { return MakeAs(ro); }, true, true},
+      {"RL", [](const RosterOptions& ro) { return MakeRl(ro).topology; },
+       true, true},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Roster, GeneratorInvariants, ::testing::ValuesIn(AllGenerators()),
+    [](const ::testing::TestParamInfo<GeneratorCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace topogen::core

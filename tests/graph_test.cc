@@ -1,0 +1,140 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace topogen::graph {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 0.0);
+}
+
+TEST(GraphTest, SingleEdge) {
+  const Graph g = Graph::FromEdges(2, {{0, 1}});
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_DOUBLE_EQ(g.average_degree(), 1.0);
+}
+
+TEST(GraphTest, DropsSelfLoops) {
+  const Graph g = Graph::FromEdges(3, {{0, 0}, {1, 1}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(GraphTest, CollapsesParallelEdges) {
+  const Graph g = Graph::FromEdges(3, {{0, 1}, {1, 0}, {0, 1}, {1, 2}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(GraphTest, CanonicalEdgeOrientation) {
+  const Graph g = Graph::FromEdges(4, {{3, 1}, {2, 0}});
+  for (const Edge& e : g.edges()) {
+    EXPECT_LT(e.u, e.v);
+  }
+}
+
+TEST(GraphTest, NeighborsAreSorted) {
+  const Graph g = Graph::FromEdges(5, {{2, 4}, {2, 0}, {2, 3}, {2, 1}});
+  const auto nbrs = g.neighbors(2);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs.size(), 4u);
+}
+
+TEST(GraphTest, EdgeIdRoundTrip) {
+  const Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edges()[e];
+    EXPECT_EQ(g.edge_id(ed.u, ed.v), e);
+    EXPECT_EQ(g.edge_id(ed.v, ed.u), e);
+  }
+  EXPECT_EQ(g.edge_id(0, 2), kInvalidEdge);
+  EXPECT_EQ(g.edge_id(0, 0), kInvalidEdge);
+}
+
+TEST(GraphTest, IncidentEdgesMatchNeighbors) {
+  const Graph g = Graph::FromEdges(5, {{0, 1}, {0, 2}, {0, 3}, {3, 4}});
+  const auto nbrs = g.neighbors(0);
+  const auto eids = g.incident_edges(0);
+  ASSERT_EQ(nbrs.size(), eids.size());
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    EXPECT_EQ(g.opposite(eids[i], 0), nbrs[i]);
+  }
+}
+
+TEST(GraphTest, OutOfRangeEndpointThrows) {
+  EXPECT_THROW(Graph::FromEdges(2, {{0, 2}}), std::out_of_range);
+}
+
+TEST(GraphTest, MaxDegreeAndCount) {
+  // Star on 5 nodes: center degree 4, leaves degree 1.
+  const Graph g = Graph::FromEdges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_EQ(g.count_degree(1), 4u);
+  EXPECT_EQ(g.count_degree(4), 1u);
+  EXPECT_EQ(g.count_degree(2), 0u);
+}
+
+TEST(GraphBuilderTest, AddNodeAssignsSequentialIds) {
+  GraphBuilder b;
+  EXPECT_EQ(b.AddNode(), 0u);
+  EXPECT_EQ(b.AddNode(), 1u);
+  b.EnsureNodes(5);
+  EXPECT_EQ(b.AddNode(), 5u);
+  EXPECT_EQ(b.num_nodes(), 6u);
+}
+
+TEST(GraphBuilderTest, BuildDedups) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  b.AddEdge(2, 2);
+  b.AddEdge(1, 2);
+  const Graph g = std::move(b).Build();
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(SubgraphTest, InducedKeepsInternalEdges) {
+  // Path 0-1-2-3-4; induce {1,2,3}.
+  const Graph g =
+      Graph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const std::vector<NodeId> keep{1, 2, 3};
+  const Subgraph sub = InducedSubgraph(g, keep);
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 2u);
+  EXPECT_EQ(sub.original_id, keep);
+}
+
+TEST(SubgraphTest, InducedOnDisjointSetHasNoEdges) {
+  const Graph g = Graph::FromEdges(4, {{0, 1}, {2, 3}});
+  const std::vector<NodeId> keep{0, 2};
+  const Subgraph sub = InducedSubgraph(g, keep);
+  EXPECT_EQ(sub.graph.num_edges(), 0u);
+}
+
+TEST(SubgraphTest, InducedFullSetIsIsomorphic) {
+  const Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  const std::vector<NodeId> keep{0, 1, 2, 3};
+  const Subgraph sub = InducedSubgraph(g, keep);
+  EXPECT_EQ(sub.graph.num_edges(), g.num_edges());
+}
+
+TEST(GraphTest, SummaryMentionsCounts) {
+  const Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}});
+  const std::string s = g.Summary();
+  EXPECT_NE(s.find("n=3"), std::string::npos);
+  EXPECT_NE(s.find("m=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace topogen::graph

@@ -1,0 +1,171 @@
+// Tests for the small infrastructure pieces: Rng determinism, geometry
+// helpers, the report writers, and the Series container.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/report.h"
+#include "gen/geometry.h"
+#include "graph/rng.h"
+#include "metrics/series.h"
+
+namespace topogen {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  graph::Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextIndex(1000), b.NextIndex(1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  graph::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.NextIndex(1 << 30) == b.NextIndex(1 << 30);
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextIndexInRange) {
+  graph::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextIndex(17), 17u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  graph::Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  graph::Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.NextBool(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  graph::Rng parent(13);
+  graph::Rng child = parent.Fork();
+  // The child must not replay the parent's stream.
+  graph::Rng reference(13);
+  reference.NextIndex(100);  // consume the draw Fork() took
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    same += child.NextIndex(1 << 30) == reference.NextIndex(1 << 30);
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(SplitMixTest, AvalanchesNearbySeeds) {
+  // Neighbouring seeds must map to very different states.
+  const std::uint64_t a = graph::SplitMix64(1);
+  const std::uint64_t b = graph::SplitMix64(2);
+  int differing_bits = 0;
+  for (std::uint64_t diff = a ^ b; diff != 0; diff >>= 1) {
+    differing_bits += static_cast<int>(diff & 1);
+  }
+  EXPECT_GT(differing_bits, 16);
+}
+
+TEST(GeometryTest, DistanceBasics) {
+  EXPECT_DOUBLE_EQ(gen::Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(gen::Distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(GeometryTest, UniformPointsInUnitSquare) {
+  graph::Rng rng(1);
+  for (const gen::Point& p : gen::UniformPoints(500, rng)) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 1.0);
+  }
+}
+
+TEST(GeometryTest, HeavyTailPointsCluster) {
+  graph::Rng rng(2);
+  const auto pts = gen::HeavyTailPoints(2000, 8, rng);
+  ASSERT_EQ(pts.size(), 2000u);
+  // Count per-cell occupancy; heavy-tailed placement must produce at
+  // least one cell far above the uniform expectation of 2000/64.
+  std::vector<int> cell(64, 0);
+  for (const gen::Point& p : pts) {
+    const int cx = std::min(7, static_cast<int>(p.x * 8));
+    const int cy = std::min(7, static_cast<int>(p.y * 8));
+    ++cell[cy * 8 + cx];
+  }
+  EXPECT_GT(*std::max_element(cell.begin(), cell.end()), 3 * 2000 / 64);
+}
+
+TEST(GeometryTest, EuclideanMstIsConnectedAndShortish) {
+  graph::Rng rng(3);
+  const auto pts = gen::UniformPoints(200, rng);
+  const auto parent = gen::EuclideanMst(pts);
+  ASSERT_EQ(parent.size(), 200u);
+  EXPECT_EQ(parent[0], 0u);
+  // Every node reaches the root.
+  for (std::size_t v = 0; v < parent.size(); ++v) {
+    std::size_t cur = v, steps = 0;
+    while (cur != 0) {
+      cur = parent[cur];
+      ASSERT_LT(++steps, parent.size());
+    }
+  }
+  // Total MST length for n uniform points is ~0.65*sqrt(n).
+  double total = 0;
+  for (std::size_t v = 1; v < parent.size(); ++v) {
+    total += gen::Distance(pts[v], pts[parent[v]]);
+  }
+  EXPECT_LT(total, 1.3 * std::sqrt(200.0));
+  EXPECT_GT(total, 0.3 * std::sqrt(200.0));
+}
+
+TEST(SeriesTest, AddAndAccess) {
+  metrics::Series s;
+  EXPECT_TRUE(s.empty());
+  s.Add(1.0, 2.0);
+  s.Add(3.0, 4.0);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.back_y(), 4.0);
+}
+
+TEST(ReportTest, NumTrimsPrecision) {
+  EXPECT_EQ(core::Num(2.5), "2.5");
+  EXPECT_EQ(core::Num(2.0), "2");
+  EXPECT_EQ(core::Num(0.0008), "0.0008");
+  EXPECT_EQ(core::Num(1234.5678, 6), "1234.57");
+}
+
+TEST(ReportTest, PanelFormat) {
+  metrics::Series s;
+  s.name = "curveA";
+  s.Add(1, 0.5);
+  std::ostringstream os;
+  core::PrintPanel(os, "2a", "Expansion, Canonical", {s});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# panel 2a Expansion, Canonical"), std::string::npos);
+  EXPECT_NE(out.find("# curve curveA"), std::string::npos);
+  EXPECT_NE(out.find("1 0.5"), std::string::npos);
+}
+
+TEST(ReportTest, TableAlignment) {
+  std::ostringstream os;
+  core::PrintTableHeader(os, {"A", "B"});
+  core::PrintTableRow(os, {"x", "y"});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("A"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace topogen

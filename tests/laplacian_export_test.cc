@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/export.h"
+#include "gen/canonical.h"
+#include "gen/measured.h"
+#include "gen/plrg.h"
+#include "metrics/laplacian.h"
+
+namespace topogen {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::Rng;
+
+TEST(LaplacianTest, GridHasNoEigenvalue1Mass) {
+  // No degree-1 nodes at all.
+  EXPECT_EQ(metrics::Eigenvalue1MultiplicityLowerBound(gen::Mesh(10, 10)),
+            0u);
+}
+
+TEST(LaplacianTest, StarIsMaximal) {
+  // k pendants on one hub: multiplicity k - 1.
+  graph::GraphBuilder b(9);
+  for (NodeId i = 1; i < 9; ++i) b.AddEdge(0, i);
+  EXPECT_EQ(metrics::Eigenvalue1MultiplicityLowerBound(std::move(b).Build()),
+            7u);
+}
+
+TEST(LaplacianTest, TreeLeafFans) {
+  // Complete ternary tree: each bottom-level internal node fans 3 leaves,
+  // contributing 2 apiece.
+  const Graph g = gen::KaryTree(3, 3);  // 27 leaves under 9 parents
+  EXPECT_EQ(metrics::Eigenvalue1MultiplicityLowerBound(g), 9u * 2u);
+}
+
+TEST(LaplacianTest, PathHasIsolatedPendants) {
+  // Two endpoints with distinct neighbors: no fan of size > 1.
+  EXPECT_EQ(metrics::Eigenvalue1MultiplicityLowerBound(gen::Linear(10)), 0u);
+}
+
+TEST(LaplacianTest, AsGraphBeatsGridAndTree) {
+  // Vukadinovic et al.: eigenvalue-1 mass separates AS graphs from grids
+  // and random trees. Our stand-in's stub fans give it a large fraction.
+  Rng rng(1);
+  gen::MeasuredAsParams p;
+  p.n = 2000;
+  const Graph as = gen::MeasuredAs(p, rng).graph;
+  const double as_fraction = metrics::Eigenvalue1Fraction(as);
+  EXPECT_GT(as_fraction, 0.03);
+  EXPECT_GT(as_fraction, metrics::Eigenvalue1Fraction(gen::Mesh(30, 30)));
+}
+
+TEST(ExportTest, FigureFilesWritten) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "topogen_export_test";
+  std::filesystem::remove_all(dir);
+  metrics::Series s;
+  s.name = "curve1";
+  s.Add(1, 2);
+  s.Add(3, 4);
+  core::ExportFigure(dir.string(), "figX", "a title", {s}, true, false);
+  EXPECT_TRUE(std::filesystem::exists(dir / "figX.dat"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "figX.gp"));
+  std::ifstream gp(dir / "figX.gp");
+  std::stringstream content;
+  content << gp.rdbuf();
+  EXPECT_NE(content.str().find("set logscale x"), std::string::npos);
+  EXPECT_NE(content.str().find("index 0"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ExportTest, CsvFormat) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "topogen_export_test.csv";
+  metrics::Series a, b;
+  a.name = "a";
+  a.Add(1, 10);
+  b.name = "b";
+  b.Add(2, 20);
+  core::ExportCsv(path.string(), {a, b});
+  std::ifstream is(path);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "curve,x,y");
+  std::getline(is, line);
+  EXPECT_EQ(line, "a,1,10");
+  std::getline(is, line);
+  EXPECT_EQ(line, "b,2,20");
+  std::filesystem::remove(path);
+}
+
+TEST(ExportTest, BadDirectoryThrows) {
+  metrics::Series s;
+  s.Add(1, 1);
+  EXPECT_THROW(
+      core::ExportCsv("/nonexistent_dir_zzz/file.csv", {s}),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace topogen

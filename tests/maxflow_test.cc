@@ -1,0 +1,109 @@
+#include "graph/maxflow.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/canonical.h"
+#include "graph/partition.h"
+#include "graph/rng.h"
+
+namespace topogen::graph {
+namespace {
+
+TEST(MaxFlowTest, PathHasFlowOne) {
+  UnitMaxFlow f(gen::Linear(6));
+  EXPECT_EQ(f.Solve(0, 5), 1u);
+}
+
+TEST(MaxFlowTest, CycleHasFlowTwo) {
+  UnitMaxFlow f(gen::Ring(8));
+  EXPECT_EQ(f.Solve(0, 4), 2u);
+  EXPECT_EQ(f.Solve(1, 2), 2u);
+}
+
+TEST(MaxFlowTest, CompleteGraphFlowIsDegree) {
+  // K_n: n-1 edge-disjoint paths between any pair.
+  UnitMaxFlow f(gen::Complete(7));
+  EXPECT_EQ(f.Solve(0, 6), 6u);
+}
+
+TEST(MaxFlowTest, GridCornerToCorner) {
+  // Corner degree bounds the flow at 2.
+  UnitMaxFlow f(gen::Mesh(5, 5));
+  EXPECT_EQ(f.Solve(0, 24), 2u);
+}
+
+TEST(MaxFlowTest, DisconnectedIsZero) {
+  const Graph g = Graph::FromEdges(4, {{0, 1}, {2, 3}});
+  UnitMaxFlow f(g);
+  EXPECT_EQ(f.Solve(0, 2), 0u);
+}
+
+TEST(MaxFlowTest, SameNodeIsZero) {
+  UnitMaxFlow f(gen::Ring(5));
+  EXPECT_EQ(f.Solve(3, 3), 0u);
+}
+
+TEST(MaxFlowTest, SolverIsReusable) {
+  UnitMaxFlow f(gen::Ring(10));
+  EXPECT_EQ(f.Solve(0, 5), 2u);
+  EXPECT_EQ(f.Solve(0, 5), 2u);  // capacities reset between calls
+  EXPECT_EQ(f.Solve(2, 7), 2u);
+}
+
+TEST(MaxFlowTest, FlowIsSymmetric) {
+  Rng rng(1);
+  const Graph g = gen::ErdosRenyi(120, 0.06, rng);
+  UnitMaxFlow f(g);
+  for (NodeId u = 0; u < 10; ++u) {
+    const NodeId v = g.num_nodes() - 1 - u;
+    if (u != v) {
+      EXPECT_EQ(f.Solve(u, v), f.Solve(v, u)) << u << "-" << v;
+    }
+  }
+}
+
+TEST(MaxFlowTest, BoundedByMinDegree) {
+  Rng rng(2);
+  const Graph g = gen::ErdosRenyi(200, 0.04, rng);
+  UnitMaxFlow f(g);
+  for (NodeId u = 1; u < 20; ++u) {
+    const std::uint64_t flow = f.Solve(0, u);
+    EXPECT_LE(flow, std::min(g.degree(0), g.degree(u)));
+  }
+}
+
+TEST(MaxFlowTest, SolveToSetAtLeastSingleSink) {
+  Rng rng(3);
+  const Graph g = gen::ErdosRenyi(100, 0.08, rng);
+  UnitMaxFlow f(g);
+  const std::vector<NodeId> sinks{10, 20, 30};
+  const std::uint64_t set_flow = f.SolveToSet(0, sinks);
+  for (const NodeId t : sinks) {
+    EXPECT_GE(set_flow, f.Solve(0, t));
+  }
+  // And bounded by the source degree.
+  EXPECT_LE(set_flow, g.degree(0));
+}
+
+TEST(MaxFlowTest, StMinCutNeverBelowBalancedCutHeuristicSanity) {
+  // The balanced bisection's cut separates every cross pair, so for any
+  // pair split by the heuristic's partition, max-flow (= s-t min cut)
+  // is at most the heuristic's cut value. This cross-validates both.
+  Rng rng(4);
+  const Graph g = gen::Mesh(8, 8);
+  Rng prng(5);
+  const BisectionResult bisection = BalancedBisection(g, prng);
+  UnitMaxFlow f(g);
+  // Find one node on each side.
+  NodeId a = kInvalidNode, b = kInvalidNode;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (bisection.side[v] == 0 && a == kInvalidNode) a = v;
+    if (bisection.side[v] == 1 && b == kInvalidNode) b = v;
+  }
+  ASSERT_NE(a, kInvalidNode);
+  ASSERT_NE(b, kInvalidNode);
+  EXPECT_LE(f.Solve(a, b), bisection.cut);
+}
+
+}  // namespace
+}  // namespace topogen::graph

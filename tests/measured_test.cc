@@ -1,0 +1,121 @@
+#include "gen/measured.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.h"
+#include "metrics/clustering.h"
+#include "metrics/degree.h"
+
+namespace topogen::gen {
+namespace {
+
+using graph::Graph;
+using graph::Rng;
+
+TEST(MeasuredAsTest, CalibratedToFigure1) {
+  Rng rng(1);
+  MeasuredAsParams p;
+  p.n = 3000;
+  const AsTopology as = MeasuredAs(p, rng);
+  // Figure 1's AS row: average degree 4.13. Largest-component extraction
+  // and triangle enrichment both nudge it, so allow a band.
+  EXPECT_NEAR(as.graph.average_degree(), 4.13, 0.6);
+  EXPECT_TRUE(graph::IsConnected(as.graph));
+  EXPECT_TRUE(metrics::LooksHeavyTailed(as.graph));
+  EXPECT_EQ(as.relationship.size(), as.graph.num_edges());
+}
+
+TEST(MeasuredAsTest, TriangleEnrichmentRaisesClustering) {
+  Rng a(2), b(2);
+  MeasuredAsParams plain;
+  plain.n = 3000;
+  plain.triangle_fraction = 0.0;
+  MeasuredAsParams enriched = plain;
+  enriched.triangle_fraction = 0.08;
+  const double c0 = metrics::ClusteringCoefficient(MeasuredAs(plain, a).graph);
+  const double c1 =
+      metrics::ClusteringCoefficient(MeasuredAs(enriched, b).graph);
+  EXPECT_GT(c1, c0);
+}
+
+TEST(MeasuredAsTest, RelationshipsFollowDegreeOrder) {
+  Rng rng(3);
+  MeasuredAsParams p;
+  p.n = 2000;
+  const AsTopology as = MeasuredAs(p, rng);
+  for (graph::EdgeId e = 0; e < as.graph.num_edges(); ++e) {
+    const graph::Edge& ed = as.graph.edges()[e];
+    const auto du = as.graph.degree(ed.u);
+    const auto dv = as.graph.degree(ed.v);
+    switch (as.relationship[e]) {
+      case policy::Relationship::kProviderCustomer:
+        EXPECT_GT(du, dv);
+        break;
+      case policy::Relationship::kCustomerProvider:
+        EXPECT_GT(dv, du);
+        break;
+      default:
+        break;  // peers: degrees within the ratio band
+    }
+  }
+}
+
+TEST(MeasuredRlTest, ScaleAndShape) {
+  Rng rng(4);
+  MeasuredRlParams p;
+  p.as_params.n = 800;
+  p.expansion_ratio = 6.0;
+  const RlTopology rl = MeasuredRl(p, rng);
+  const auto num_as = rl.as_topology.graph.num_nodes();
+  // Router count tracks the expansion ratio.
+  EXPECT_NEAR(static_cast<double>(rl.graph.num_nodes()),
+              6.0 * static_cast<double>(num_as),
+              0.3 * 6.0 * static_cast<double>(num_as));
+  // Figure 1's RL row: average degree 2.53.
+  EXPECT_NEAR(rl.graph.average_degree(), 2.53, 0.5);
+  EXPECT_TRUE(graph::IsConnected(rl.graph));
+}
+
+TEST(MeasuredRlTest, OverlayMappingIsConsistent) {
+  Rng rng(5);
+  MeasuredRlParams p;
+  p.as_params.n = 500;
+  const RlTopology rl = MeasuredRl(p, rng);
+  ASSERT_EQ(rl.as_of.size(), rl.graph.num_nodes());
+  const auto num_as = rl.as_topology.graph.num_nodes();
+  std::vector<bool> seen(num_as, false);
+  for (auto a : rl.as_of) {
+    ASSERT_LT(a, num_as);
+    seen[a] = true;
+  }
+  // Every AS owns at least one router.
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(MeasuredRlTest, InterAsLinksMatchAsAdjacency) {
+  Rng rng(6);
+  MeasuredRlParams p;
+  p.as_params.n = 400;
+  const RlTopology rl = MeasuredRl(p, rng);
+  for (const graph::Edge& e : rl.graph.edges()) {
+    const auto au = rl.as_of[e.u];
+    const auto av = rl.as_of[e.v];
+    if (au != av) {
+      EXPECT_TRUE(rl.as_topology.graph.has_edge(au, av))
+          << "border link between non-adjacent ASes";
+    }
+  }
+}
+
+TEST(MeasuredRlTest, ManyAccessRouters) {
+  Rng rng(7);
+  MeasuredRlParams p;
+  p.as_params.n = 600;
+  const RlTopology rl = MeasuredRl(p, rng);
+  // The RL graph's avg degree 2.53 comes from a large degree-1 population.
+  EXPECT_GT(rl.graph.count_degree(1),
+            rl.graph.num_nodes() / 3);
+}
+
+}  // namespace
+}  // namespace topogen::gen

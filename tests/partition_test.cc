@@ -1,0 +1,133 @@
+#include "graph/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/canonical.h"
+#include "graph/rng.h"
+
+namespace topogen::graph {
+namespace {
+
+std::uint64_t Cut(const Graph& g, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return BalancedMinCut(g, rng);
+}
+
+// Verifies the reported cut matches the returned sides and that balance
+// holds.
+void CheckConsistent(const Graph& g, const BisectionResult& r,
+                     double min_fraction = 1.0 / 3.0) {
+  std::uint64_t cut = 0;
+  for (const Edge& e : g.edges()) {
+    if (r.side[e.u] != r.side[e.v]) ++cut;
+  }
+  EXPECT_EQ(cut, r.cut);
+  std::size_t side1 = 0;
+  for (auto s : r.side) side1 += s;
+  const auto n = static_cast<double>(g.num_nodes());
+  EXPECT_GE(side1, static_cast<std::size_t>(min_fraction * n) - 1);
+  EXPECT_GE(g.num_nodes() - side1,
+            static_cast<std::size_t>(min_fraction * n) - 1);
+}
+
+TEST(PartitionTest, TinyGraphs) {
+  Rng rng(1);
+  EXPECT_EQ(BalancedMinCut(Graph{}, rng), 0u);
+  EXPECT_EQ(BalancedMinCut(Graph::FromEdges(1, {}), rng), 0u);
+  EXPECT_EQ(BalancedMinCut(Graph::FromEdges(2, {{0, 1}}), rng), 1u);
+}
+
+TEST(PartitionTest, PathHasCutOne) {
+  EXPECT_EQ(Cut(gen::Linear(64)), 1u);
+}
+
+TEST(PartitionTest, CycleHasCutTwo) {
+  EXPECT_EQ(Cut(gen::Ring(64)), 2u);
+}
+
+TEST(PartitionTest, BalancedTreeHasSmallCut) {
+  // A complete binary tree of depth 7 (255 nodes) has a subtree holding
+  // 127/255 of the weight: cut 1 is reachable under the 1/3 balance rule.
+  EXPECT_LE(Cut(gen::KaryTree(2, 7)), 2u);
+}
+
+TEST(PartitionTest, TernaryTreeHasSmallCut) {
+  EXPECT_LE(Cut(gen::KaryTree(3, 5)), 3u);
+}
+
+TEST(PartitionTest, MeshCutIsAboutSideLength) {
+  // A k x k grid's balanced min cut is ~k (a straight slice).
+  const std::uint64_t cut = Cut(gen::Mesh(16, 16));
+  EXPECT_GE(cut, 14u);
+  EXPECT_LE(cut, 24u);
+}
+
+TEST(PartitionTest, CompleteGraphCutIsQuadratic) {
+  // Best bisection of K_12 under the 1/3 rule: 4 vs 8 -> 32 cut edges.
+  const std::uint64_t cut = Cut(gen::Complete(12));
+  EXPECT_GE(cut, 32u);
+  EXPECT_LE(cut, 36u);  // exact half split
+}
+
+TEST(PartitionTest, TwoCliquesJoinedByBridge) {
+  GraphBuilder b(16);
+  for (NodeId i = 0; i < 8; ++i) {
+    for (NodeId j = i + 1; j < 8; ++j) {
+      b.AddEdge(i, j);
+      b.AddEdge(8 + i, 8 + j);
+    }
+  }
+  b.AddEdge(0, 8);
+  const Graph g = std::move(b).Build();
+  EXPECT_EQ(Cut(g), 1u);
+}
+
+TEST(PartitionTest, RandomGraphCutGrowsLinearly) {
+  Rng rng(3);
+  const Graph small = gen::ErdosRenyi(200, 0.04, rng);
+  const Graph large = gen::ErdosRenyi(800, 0.01, rng);
+  // Both have average degree ~8; the larger graph's bisection should cut
+  // roughly 4x as many edges.
+  const double ratio = static_cast<double>(Cut(large)) /
+                       static_cast<double>(Cut(small));
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 8.0);
+}
+
+TEST(PartitionTest, ResultIsInternallyConsistent) {
+  Rng rng(7);
+  const Graph g = gen::ErdosRenyi(300, 0.03, rng);
+  Rng prng(9);
+  const BisectionResult r = BalancedBisection(g, prng);
+  CheckConsistent(g, r);
+}
+
+TEST(PartitionTest, MeshResultIsInternallyConsistent) {
+  Rng prng(11);
+  const Graph g = gen::Mesh(20, 20);
+  const BisectionResult r = BalancedBisection(g, prng);
+  CheckConsistent(g, r);
+}
+
+TEST(PartitionTest, DeterministicForFixedSeed) {
+  const Graph g = gen::Mesh(12, 12);
+  Rng a(42), b(42);
+  EXPECT_EQ(BalancedMinCut(g, a), BalancedMinCut(g, b));
+}
+
+class PartitionSweepTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PartitionSweepTest, GridCutScalesWithSide) {
+  const unsigned k = GetParam();
+  const std::uint64_t cut = Cut(gen::Mesh(k, k), k);
+  // A straight slice cuts exactly k edges; allow heuristic slack upward
+  // and diagonal-ish cuts slightly below.
+  EXPECT_GE(cut, static_cast<std::uint64_t>(k) * 8 / 10);
+  EXPECT_LE(cut, static_cast<std::uint64_t>(k) * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, PartitionSweepTest,
+                         ::testing::Values(8u, 12u, 16u, 24u, 32u));
+
+}  // namespace
+}  // namespace topogen::graph

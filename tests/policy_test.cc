@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include "gen/measured.h"
+#include "graph/bfs.h"
+#include "policy/paths.h"
+#include "policy/policy_ball.h"
+#include "policy/relationships.h"
+
+namespace topogen::policy {
+namespace {
+
+using graph::Dist;
+using graph::Graph;
+using graph::kUnreachable;
+using graph::NodeId;
+using graph::Rng;
+
+// A small two-provider hierarchy (paper Appendix E's Figure 15 in spirit):
+//
+//        P0 ------ P1        (peer-peer)
+//       /  \      /  .
+//      C2   C3  C4    C5     (customers)
+//      |
+//      D6                    (customer of C2)
+//
+// Edge list with explicit relationships.
+struct Annotated {
+  Graph g;
+  std::vector<Relationship> rel;
+};
+
+Annotated TwoProviderHierarchy() {
+  Annotated a;
+  a.g = Graph::FromEdges(7, {{0, 1},
+                             {0, 2},
+                             {0, 3},
+                             {1, 4},
+                             {1, 5},
+                             {2, 6}});
+  a.rel.assign(a.g.num_edges(), Relationship::kProviderCustomer);
+  // Canonical edges are sorted: (0,1), (0,2), (0,3), (1,4), (1,5), (2,6).
+  a.rel[a.g.edge_id(0, 1)] = Relationship::kPeerPeer;
+  return a;
+}
+
+TEST(PolicyStepTest, TransitionTable) {
+  unsigned next;
+  EXPECT_TRUE(PolicyStep(kPhaseUp, Traversal::kUp, next));
+  EXPECT_EQ(next, kPhaseUp);
+  EXPECT_TRUE(PolicyStep(kPhaseUp, Traversal::kPeer, next));
+  EXPECT_EQ(next, kPhaseDown);
+  EXPECT_TRUE(PolicyStep(kPhaseUp, Traversal::kDown, next));
+  EXPECT_EQ(next, kPhaseDown);
+  EXPECT_TRUE(PolicyStep(kPhaseUp, Traversal::kSibling, next));
+  EXPECT_EQ(next, kPhaseUp);
+  EXPECT_TRUE(PolicyStep(kPhaseDown, Traversal::kDown, next));
+  EXPECT_EQ(next, kPhaseDown);
+  EXPECT_TRUE(PolicyStep(kPhaseDown, Traversal::kSibling, next));
+  EXPECT_EQ(next, kPhaseDown);
+  EXPECT_FALSE(PolicyStep(kPhaseDown, Traversal::kUp, next));
+  EXPECT_FALSE(PolicyStep(kPhaseDown, Traversal::kPeer, next));
+}
+
+TEST(TraversalFromTest, OrientationFollowsCanonicalEdge) {
+  const Annotated a = TwoProviderHierarchy();
+  const graph::EdgeId e = a.g.edge_id(0, 2);  // P0 provider of C2
+  EXPECT_EQ(TraversalFrom(a.g, a.rel, e, 0), Traversal::kDown);
+  EXPECT_EQ(TraversalFrom(a.g, a.rel, e, 2), Traversal::kUp);
+  const graph::EdgeId peer = a.g.edge_id(0, 1);
+  EXPECT_EQ(TraversalFrom(a.g, a.rel, peer, 0), Traversal::kPeer);
+  EXPECT_EQ(TraversalFrom(a.g, a.rel, peer, 1), Traversal::kPeer);
+}
+
+TEST(PolicyDistancesTest, ValleyFreePathsExist) {
+  const Annotated a = TwoProviderHierarchy();
+  const auto d = PolicyDistances(a.g, a.rel, 2);  // from C2
+  EXPECT_EQ(d[2], 0u);
+  EXPECT_EQ(d[0], 1u);   // up to provider
+  EXPECT_EQ(d[3], 2u);   // up, down to sibling customer
+  EXPECT_EQ(d[6], 1u);   // down to own customer
+  EXPECT_EQ(d[1], 2u);   // up, peer
+  EXPECT_EQ(d[4], 3u);   // up, peer, down
+}
+
+TEST(PolicyDistancesTest, ValleyPathsAreForbidden) {
+  // C2 -> P0 -> C3 is fine, but C3 -> P0 -> P1 via peer after down... Build
+  // a graph where the only hop-shortest path has a valley: two providers
+  // with a shared customer but no peering.
+  //
+  //   P0    P1
+  //     \  /
+  //      C2
+  Graph g = Graph::FromEdges(3, {{0, 2}, {1, 2}});
+  std::vector<Relationship> rel(2, Relationship::kProviderCustomer);
+  const auto d = PolicyDistances(g, rel, 0);
+  EXPECT_EQ(d[2], 1u);
+  // P0 -> C2 -> P1 climbs after descending: forbidden.
+  EXPECT_EQ(d[1], kUnreachable);
+}
+
+TEST(PolicyDistancesTest, PeerOnlyOnceAtApex) {
+  // Chain of peers: A -peer- B -peer- C. Valley-free allows exactly one
+  // peer edge, so A cannot reach C.
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}});
+  std::vector<Relationship> rel(2, Relationship::kPeerPeer);
+  const auto d = PolicyDistances(g, rel, 0);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], kUnreachable);
+}
+
+TEST(PolicyDistancesTest, SiblingsAreTransparent) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}});
+  std::vector<Relationship> rel(2, Relationship::kSiblingSibling);
+  const auto d = PolicyDistances(g, rel, 0);
+  EXPECT_EQ(d[2], 2u);
+}
+
+TEST(PolicyDistancesTest, AtLeastShortestPath) {
+  Rng rng(1);
+  gen::MeasuredAsParams p;
+  p.n = 600;
+  const gen::AsTopology as = gen::MeasuredAs(p, rng);
+  const auto plain = graph::BfsDistances(as.graph, 0);
+  const auto policy = PolicyDistances(as.graph, as.relationship, 0);
+  for (NodeId v = 0; v < as.graph.num_nodes(); ++v) {
+    if (policy[v] != kUnreachable) {
+      EXPECT_GE(policy[v], plain[v]);
+    }
+  }
+}
+
+TEST(PolicyDistancesTest, SymmetricOnAnnotatedAsGraph) {
+  Rng rng(2);
+  gen::MeasuredAsParams p;
+  p.n = 300;
+  const gen::AsTopology as = gen::MeasuredAs(p, rng);
+  // Valley-free reversibility: d_pol(u, v) == d_pol(v, u).
+  for (NodeId u : {NodeId{0}, NodeId{17}, NodeId{101}}) {
+    const auto from_u = PolicyDistances(as.graph, as.relationship, u);
+    for (NodeId v : {NodeId{5}, NodeId{42}, NodeId{201}}) {
+      const auto from_v = PolicyDistances(as.graph, as.relationship, v);
+      EXPECT_EQ(from_u[v], from_v[u]) << u << " <-> " << v;
+    }
+  }
+}
+
+TEST(PolicyPathLengthTest, InflatesAveragePath) {
+  // [42]: policy routing inflates paths. Compare averages over the SAME
+  // pair set (policy-reachable pairs) -- the unrestricted policy average
+  // can come out *shorter* because long-haul pairs drop out of
+  // reachability, which is exactly the subtlety this test pins down.
+  Rng rng(3);
+  gen::MeasuredAsParams p;
+  p.n = 800;
+  const gen::AsTopology as = gen::MeasuredAs(p, rng);
+  double plain_total = 0, policy_total = 0;
+  std::size_t pairs = 0;
+  for (NodeId src = 0; src < as.graph.num_nodes(); src += 13) {
+    const auto dp = graph::BfsDistances(as.graph, src);
+    const auto dq = PolicyDistances(as.graph, as.relationship, src);
+    for (NodeId v = 0; v < as.graph.num_nodes(); ++v) {
+      if (v == src || dq[v] == kUnreachable) continue;
+      EXPECT_GE(dq[v], dp[v]);
+      plain_total += dp[v];
+      policy_total += dq[v];
+      ++pairs;
+    }
+  }
+  ASSERT_GT(pairs, 0u);
+  EXPECT_GE(policy_total, plain_total);
+  // And the inflation is real, not degenerate equality everywhere.
+  EXPECT_GT(policy_total, plain_total * 1.0005);
+}
+
+TEST(InferRelationshipsTest, HubIsProvider) {
+  // Star: center 0 with 6 leaves -> center is everyone's provider.
+  graph::GraphBuilder b(7);
+  for (NodeId i = 1; i < 7; ++i) b.AddEdge(0, i);
+  const Graph g = std::move(b).Build();
+  const auto rel = InferRelationshipsByDegree(g);
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    // Canonical edges are (0, leaf): u = 0 is the higher-degree provider.
+    EXPECT_EQ(rel[e], Relationship::kProviderCustomer);
+  }
+}
+
+TEST(InferRelationshipsTest, EqualDegreesPeer) {
+  const Graph g = Graph::FromEdges(2, {{0, 1}});
+  const auto rel = InferRelationshipsByDegree(g);
+  EXPECT_EQ(rel[0], Relationship::kPeerPeer);
+}
+
+TEST(PolicyBallTest, RadiusLimitsMembership) {
+  const Annotated a = TwoProviderHierarchy();
+  const PolicyBall ball = GrowPolicyBall(a.g, a.rel, 2, 1);
+  // C2's radius-1 policy ball: C2, P0, D6.
+  EXPECT_EQ(ball.subgraph.graph.num_nodes(), 3u);
+}
+
+TEST(PolicyBallTest, ExcludesNonCompliantLinks) {
+  // Two providers sharing customer C2, no peering. From P0, the policy
+  // ball of radius 2 must not include P1 or the C2-P1 link.
+  Graph g = Graph::FromEdges(3, {{0, 2}, {1, 2}});
+  std::vector<Relationship> rel(2, Relationship::kProviderCustomer);
+  const PolicyBall ball = GrowPolicyBall(g, rel, 0, 2);
+  EXPECT_EQ(ball.subgraph.graph.num_nodes(), 2u);
+  EXPECT_EQ(ball.subgraph.graph.num_edges(), 1u);
+}
+
+TEST(PolicyBallTest, MatchesPlainBallWhenAllSiblings) {
+  Rng rng(5);
+  const Graph g = gen::MeasuredAs({.n = 300}, rng).graph;
+  const std::vector<Relationship> rel(g.num_edges(),
+                                      Relationship::kSiblingSibling);
+  for (const NodeId center : {NodeId{0}, NodeId{11}}) {
+    for (const Dist r : {Dist{1}, Dist{2}, Dist{3}}) {
+      const PolicyBall pb = GrowPolicyBall(g, rel, center, r);
+      EXPECT_EQ(pb.subgraph.graph.num_nodes(),
+                graph::Ball(g, center, r).size())
+          << "center " << center << " radius " << r;
+    }
+  }
+}
+
+TEST(PolicyBallTest, DistancesAreStoredPerNode) {
+  const Annotated a = TwoProviderHierarchy();
+  const PolicyBall ball = GrowPolicyBall(a.g, a.rel, 2, 3);
+  for (std::size_t i = 0; i < ball.subgraph.original_id.size(); ++i) {
+    if (ball.subgraph.original_id[i] == 2) {
+      EXPECT_EQ(ball.policy_dist[i], 0u);
+    }
+    EXPECT_LE(ball.policy_dist[i], 3u);
+  }
+}
+
+TEST(AnnotateRouterLinksTest, IntraAsIsSibling) {
+  Rng rng(6);
+  gen::MeasuredRlParams p;
+  p.as_params.n = 300;
+  const gen::RlTopology rl = gen::MeasuredRl(p, rng);
+  const auto rel = AnnotateRouterLinks(rl.graph, rl.as_of,
+                                       rl.as_topology.graph,
+                                       rl.as_topology.relationship);
+  for (graph::EdgeId e = 0; e < rl.graph.num_edges(); ++e) {
+    const graph::Edge& ed = rl.graph.edges()[e];
+    if (rl.as_of[ed.u] == rl.as_of[ed.v]) {
+      EXPECT_EQ(rel[e], Relationship::kSiblingSibling);
+    } else {
+      EXPECT_NE(rel[e], Relationship::kSiblingSibling);
+    }
+  }
+}
+
+TEST(AnnotateRouterLinksTest, OrientationTracksAsRelationship) {
+  Rng rng(7);
+  gen::MeasuredRlParams p;
+  p.as_params.n = 300;
+  const gen::RlTopology rl = gen::MeasuredRl(p, rng);
+  const auto rel = AnnotateRouterLinks(rl.graph, rl.as_of,
+                                       rl.as_topology.graph,
+                                       rl.as_topology.relationship);
+  for (graph::EdgeId e = 0; e < rl.graph.num_edges(); ++e) {
+    const graph::Edge& ed = rl.graph.edges()[e];
+    const auto au = rl.as_of[ed.u], av = rl.as_of[ed.v];
+    if (au == av) continue;
+    // The traversal class seen from router ed.u must equal the class seen
+    // from AS au on the AS edge.
+    const graph::EdgeId ase = rl.as_topology.graph.edge_id(au, av);
+    ASSERT_NE(ase, graph::kInvalidEdge);
+    const Traversal router_view = TraversalFrom(rl.graph, rel, e, ed.u);
+    const Traversal as_view = TraversalFrom(
+        rl.as_topology.graph, rl.as_topology.relationship, ase, au);
+    EXPECT_EQ(router_view, as_view);
+  }
+}
+
+}  // namespace
+}  // namespace topogen::policy

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "gen/canonical.h"
+#include "gen/degree_seq.h"
+#include "gen/measured.h"
+#include "graph/components.h"
+#include "metrics/clustering.h"
+#include "metrics/degree.h"
+
+namespace topogen::gen {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::Rng;
+
+TEST(AclDegreeSequenceTest, ExactNodeCountAndEvenSum) {
+  for (const NodeId n : {1000u, 5000u, 10000u}) {
+    const auto degrees = AclDegreeSequence(n, 2.246);
+    EXPECT_EQ(degrees.size(), n);
+    const auto sum =
+        std::accumulate(degrees.begin(), degrees.end(), std::uint64_t{0});
+    EXPECT_EQ(sum % 2, 0u);
+  }
+}
+
+TEST(AclDegreeSequenceTest, CountsFollowTheFloorLaw) {
+  const NodeId n = 8000;
+  const double beta = 2.246;
+  const auto degrees = AclDegreeSequence(n, beta);
+  // Degree-k node count ratio: count(1)/count(2) should be ~2^beta.
+  std::size_t ones = 0, twos = 0;
+  for (const auto d : degrees) {
+    ones += d == 1;
+    twos += d == 2;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / static_cast<double>(twos),
+              std::pow(2.0, beta), 0.4);
+}
+
+TEST(AclDegreeSequenceTest, NaturalMaxDegreeIsSmall) {
+  // ACL's kmax = e^(alpha/beta) ~ n^(1/beta): far below n - 1.
+  const auto degrees = AclDegreeSequence(10000, 2.246);
+  EXPECT_LT(degrees.front(), 200u);
+  EXPECT_GT(degrees.front(), 20u);
+  // Largest first.
+  EXPECT_GE(degrees.front(), degrees.back());
+}
+
+TEST(AclDegreeSequenceTest, WiresIntoAHeavyTailedGraph) {
+  Rng rng(1);
+  const auto degrees = AclDegreeSequence(6000, 2.246);
+  const Graph g =
+      ConnectDegreeSequence(degrees, ConnectMethod::kPlrgMatching, rng);
+  EXPECT_TRUE(graph::IsConnected(g));
+  EXPECT_TRUE(metrics::LooksHeavyTailed(g));
+}
+
+TEST(RewireTest, PreservesEveryDegreeExactly) {
+  Rng grng(2), rrng(3);
+  MeasuredAsParams p;
+  p.n = 1200;
+  const Graph g = MeasuredAs(p, grng).graph;
+  const Graph rewired = DegreePreservingRewire(g, rrng);
+  ASSERT_EQ(rewired.num_nodes(), g.num_nodes());
+  ASSERT_EQ(rewired.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(rewired.degree(v), g.degree(v)) << "node " << v;
+  }
+}
+
+TEST(RewireTest, ActuallyRandomizes) {
+  Rng grng(4), rrng(5);
+  MeasuredAsParams p;
+  p.n = 1200;
+  const Graph g = MeasuredAs(p, grng).graph;
+  const Graph rewired = DegreePreservingRewire(g, rrng);
+  // Count surviving original edges; with 3 swaps/edge nearly all move.
+  std::size_t shared = 0;
+  for (const graph::Edge& e : g.edges()) {
+    shared += rewired.has_edge(e.u, e.v);
+  }
+  EXPECT_LT(static_cast<double>(shared) /
+                static_cast<double>(g.num_edges()),
+            0.35);
+}
+
+TEST(RewireTest, DestroysTriangleEnrichment) {
+  // The AS stand-in's clustering is deliberately planted; rewiring keeps
+  // degrees but erases it -- exactly the "local vs global" separation the
+  // paper's Section 1 argues with.
+  Rng grng(6), rrng(7);
+  MeasuredAsParams p;
+  p.n = 1500;
+  p.triangle_fraction = 0.08;
+  const Graph g = MeasuredAs(p, grng).graph;
+  const Graph rewired = DegreePreservingRewire(g, rrng);
+  EXPECT_LT(metrics::ClusteringCoefficient(rewired),
+            0.5 * metrics::ClusteringCoefficient(g));
+}
+
+TEST(RewireTest, CompleteGraphIsAFixedPoint) {
+  // No legal swap exists in K_n: every candidate edge already present.
+  Rng rng(8);
+  const Graph g = gen::Complete(8);
+  const Graph rewired = DegreePreservingRewire(g, rng);
+  EXPECT_EQ(rewired.edges(), g.edges());
+}
+
+TEST(RewireTest, TinyGraphsPassThrough) {
+  Rng rng(9);
+  const Graph single = Graph::FromEdges(2, {{0, 1}});
+  EXPECT_EQ(DegreePreservingRewire(single, rng).num_edges(), 1u);
+}
+
+}  // namespace
+}  // namespace topogen::gen

@@ -1,0 +1,124 @@
+// Integration tests: the paper's headline results, end to end, at reduced
+// scale. These are the qualitative claims of Sections 4 and 5:
+//
+//   Section 4.4 L/H table      -> SignatureTable test
+//   "policy does not change it" -> PolicySignature test
+//   Figure 2(j-l)               -> DegreeBasedVariants test
+//   Section 5.1 groupings       -> HierarchyGroups test
+//   Section 5.2 correlation     -> CorrelationOrdering test
+#include <gtest/gtest.h>
+
+#include "core/roster.h"
+#include "core/suite.h"
+#include "hierarchy/link_value.h"
+
+namespace topogen::core {
+namespace {
+
+RosterOptions SmallScale() {
+  RosterOptions ro;
+  ro.seed = 42;
+  ro.as_nodes = 2500;
+  ro.rl_expansion_ratio = 5.0;
+  ro.plrg_nodes = 6000;
+  ro.degree_based_nodes = 4000;
+  return ro;
+}
+
+SuiteOptions FastSuite() {
+  SuiteOptions so;
+  so.ball.max_centers = 10;
+  so.ball.big_ball_centers = 3;
+  so.expansion.max_sources = 600;
+  return so;
+}
+
+std::string SigOf(const Topology& t, bool use_policy = false) {
+  SuiteOptions so = FastSuite();
+  so.use_policy = use_policy;
+  return RunBasicMetrics(t, so).signature.ToString();
+}
+
+TEST(RosterSuiteTest, SignatureTable) {
+  const RosterOptions ro = SmallScale();
+  EXPECT_EQ(SigOf(MakeTree(ro)), "HLL");
+  EXPECT_EQ(SigOf(MakeMesh(ro)), "LHH");
+  EXPECT_EQ(SigOf(MakeRandom(ro)), "HHH");
+  EXPECT_EQ(SigOf(MakeTransitStub(ro)), "HLL");  // "like Tree"
+  EXPECT_EQ(SigOf(MakeTiers(ro)), "LHL");        // "no counterpart"
+  EXPECT_EQ(SigOf(MakeWaxman(ro)), "HHH");       // "like Random"
+  EXPECT_EQ(SigOf(MakePlrg(ro)), "HHL");         // "like complete graph!"
+  EXPECT_EQ(SigOf(MakeAs(ro)), "HHL");
+  EXPECT_EQ(SigOf(MakeRl(ro).topology), "HHL");
+}
+
+TEST(RosterSuiteTest, PolicyDoesNotChangeTheClassification) {
+  const RosterOptions ro = SmallScale();
+  EXPECT_EQ(SigOf(MakeAs(ro), /*use_policy=*/true), "HHL");
+  EXPECT_EQ(SigOf(MakeRl(ro).topology, /*use_policy=*/true), "HHL");
+}
+
+TEST(RosterSuiteTest, DegreeBasedVariantsAllMatchMeasured) {
+  // Figure 2(j-l): B-A, Brite, BT, Inet all classify with PLRG.
+  const RosterOptions ro = SmallScale();
+  for (const Topology& t : DegreeBasedRoster(ro)) {
+    EXPECT_EQ(SigOf(t), "HHL") << t.name;
+  }
+}
+
+TEST(RosterSuiteTest, HierarchyGroups) {
+  const RosterOptions ro = SmallScale();
+  const hierarchy::LinkValueOptions lv{.max_sources = 900, .seed = 7};
+  auto class_of = [&](const Topology& t) {
+    return hierarchy::ClassifyHierarchy(
+        hierarchy::ComputeLinkValues(t.graph, lv));
+  };
+  // Section 5.1: Tree/TS/Tiers strict; AS/PLRG moderate; Mesh/Random/
+  // Waxman loose.
+  EXPECT_EQ(class_of(MakeTree(ro)), hierarchy::HierarchyClass::kStrict);
+  EXPECT_EQ(class_of(MakeTransitStub(ro)),
+            hierarchy::HierarchyClass::kStrict);
+  EXPECT_EQ(class_of(MakeTiers(ro)), hierarchy::HierarchyClass::kStrict);
+  EXPECT_EQ(class_of(MakeMesh(ro)), hierarchy::HierarchyClass::kLoose);
+  EXPECT_EQ(class_of(MakeRandom(ro)), hierarchy::HierarchyClass::kLoose);
+  EXPECT_EQ(class_of(MakeWaxman(ro)), hierarchy::HierarchyClass::kLoose);
+  EXPECT_EQ(class_of(MakePlrg(ro)), hierarchy::HierarchyClass::kModerate);
+  EXPECT_EQ(class_of(MakeAs(ro)), hierarchy::HierarchyClass::kModerate);
+}
+
+TEST(RosterSuiteTest, CorrelationOrdering) {
+  // Section 5.2 / Figure 5: PLRG's link-value-degree correlation tops the
+  // chart; the Tree's is the lowest; the AS graph correlates more
+  // strongly than the RL graph (degree-driven vs constructed hierarchy).
+  const RosterOptions ro = SmallScale();
+  const hierarchy::LinkValueOptions lv{.max_sources = 900, .seed = 9};
+  auto corr_of = [&](const Topology& t) {
+    return hierarchy::ComputeLinkValues(t.graph, lv).DegreeCorrelation(
+        t.graph);
+  };
+  const double tree = corr_of(MakeTree(ro));
+  const double plrg = corr_of(MakePlrg(ro));
+  const double as = corr_of(MakeAs(ro));
+  EXPECT_GT(plrg, tree);
+  EXPECT_GT(as, tree);
+}
+
+TEST(RosterSuiteTest, ScaleRobustness) {
+  // DESIGN.md's justification for running below paper scale: the
+  // signature is invariant under halving the AS model size.
+  RosterOptions small = SmallScale();
+  small.as_nodes = 1200;
+  RosterOptions large = SmallScale();
+  large.as_nodes = 2500;
+  EXPECT_EQ(SigOf(MakeAs(small)), SigOf(MakeAs(large)));
+}
+
+TEST(RosterSuiteTest, RosterGroupingsAreComplete) {
+  const RosterOptions ro = SmallScale();
+  EXPECT_EQ(CanonicalRoster(ro).size(), 3u);
+  EXPECT_EQ(GeneratedRoster(ro).size(), 4u);
+  EXPECT_EQ(DegreeBasedRoster(ro).size(), 5u);
+}
+
+}  // namespace
+}  // namespace topogen::core

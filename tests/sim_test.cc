@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/canonical.h"
+#include "gen/plrg.h"
+#include "graph/bfs.h"
+#include "sim/protocols.h"
+#include "sim/weighted_paths.h"
+
+namespace topogen::sim {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::Rng;
+
+TEST(WeightedPathsTest, UnitWeightsMatchBfs) {
+  const Graph g = gen::Mesh(6, 6);
+  Rng rng(1);
+  const auto weight = SampleLinkWeights(g, WeightModel::kUnit, rng);
+  const WeightedPathResult r = WeightedShortestPaths(g, weight, 0);
+  const auto bfs = graph::BfsDistances(g, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(r.distance[v], static_cast<double>(bfs[v]));
+    EXPECT_EQ(r.hops[v], bfs[v]);
+  }
+}
+
+TEST(WeightedPathsTest, ParentsFormShortestPathTree) {
+  Rng rng(2);
+  const Graph g = gen::ErdosRenyi(200, 0.04, rng);
+  const auto weight = SampleLinkWeights(g, WeightModel::kUniform, rng);
+  const WeightedPathResult r = WeightedShortestPaths(g, weight, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (std::isinf(r.distance[v]) || v == 0) continue;
+    const NodeId p = r.parent[v];
+    ASSERT_NE(p, graph::kInvalidNode);
+    const graph::EdgeId e = g.edge_id(p, v);
+    ASSERT_NE(e, graph::kInvalidEdge);
+    EXPECT_NEAR(r.distance[v], r.distance[p] + weight[e], 1e-12);
+  }
+}
+
+TEST(WeightedPathsTest, WeightedHopsAtLeastBfsHops) {
+  Rng rng(3);
+  const Graph g = gen::ErdosRenyi(300, 0.03, rng);
+  const auto weight = SampleLinkWeights(g, WeightModel::kExponential, rng);
+  const WeightedPathResult r = WeightedShortestPaths(g, weight, 0);
+  const auto bfs = graph::BfsDistances(g, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (bfs[v] == graph::kUnreachable) continue;
+    EXPECT_GE(r.hops[v], bfs[v]) << "weighted route shorter than BFS?";
+  }
+}
+
+TEST(WeightModelTest, ExponentialMeanIsOne) {
+  const Graph g = gen::Complete(60);  // ~1770 samples
+  Rng rng(4);
+  const auto w = SampleLinkWeights(g, WeightModel::kExponential, rng);
+  double mean = 0;
+  for (double x : w) mean += x;
+  mean /= static_cast<double>(w.size());
+  EXPECT_NEAR(mean, 1.0, 0.1);
+}
+
+TEST(HopCountDistributionTest, SumsToOne) {
+  Rng rng(5);
+  const Graph g = gen::ErdosRenyi(400, 0.02, rng);
+  const auto dist = HopCountDistribution(g, WeightModel::kExponential, 16,
+                                         rng);
+  double total = 0;
+  for (double p : dist) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(HopCountDistributionTest, WeightedPathsAreLonger) {
+  // Van Mieghem's setup: weighted routing takes more hops on average than
+  // hop-count routing (it detours over cheap links).
+  Rng a(6), b(6);
+  const Graph g = gen::ErdosRenyi(500, 0.015, a);
+  const auto unit = HopCountDistribution(g, WeightModel::kUnit, 16, b);
+  const auto expw =
+      HopCountDistribution(g, WeightModel::kExponential, 16, b);
+  auto mean_of = [](const std::vector<double>& d) {
+    double m = 0;
+    for (std::size_t h = 0; h < d.size(); ++h) {
+      m += static_cast<double>(h) * d[h];
+    }
+    return m;
+  };
+  EXPECT_GE(mean_of(expw), mean_of(unit));
+}
+
+TEST(FloodSpreadTest, ReachesEveryoneAndIsMonotone) {
+  Rng rng(7);
+  gen::PlrgParams p;
+  p.n = 1500;
+  const Graph g = gen::Plrg(p, rng);
+  const metrics::Series s = FloodSpread(g, {.trials = 8, .seed = 8});
+  ASSERT_EQ(s.size(), 10u);
+  EXPECT_NEAR(s.y.back(), 1.0, 1e-9);
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    EXPECT_GE(s.x[i], s.x[i - 1] - 1e-12) << "decile times must be sorted";
+  }
+}
+
+TEST(FloodSpreadTest, ExpanderFloodsFasterThanChain) {
+  Rng a(9), b(9);
+  const Graph expander = gen::ErdosRenyi(600, 0.012, a);
+  const Graph chain = gen::Linear(600);
+  const metrics::Series fast = FloodSpread(expander, {.trials = 8});
+  const metrics::Series slow = FloodSpread(chain, {.trials = 8});
+  ASSERT_FALSE(fast.empty());
+  ASSERT_FALSE(slow.empty());
+  // Time to reach 90%: an expander is far quicker.
+  EXPECT_LT(fast.x[8], 0.5 * slow.x[8]);
+  (void)b;
+}
+
+TEST(MulticastStateTest, StateGrowsWithReceivers) {
+  Rng rng(10);
+  gen::PlrgParams p;
+  p.n = 2000;
+  const Graph g = gen::Plrg(p, rng);
+  const MulticastStateResult r = MulticastState(g);
+  ASSERT_GT(r.routers_with_state.size(), 3u);
+  EXPECT_GT(r.routers_with_state.y.back(), r.routers_with_state.y.front());
+  // State never exceeds the node count.
+  for (double y : r.routers_with_state.y) {
+    EXPECT_LE(y, static_cast<double>(g.num_nodes()));
+  }
+}
+
+TEST(MulticastStateTest, HubTopologyConcentratesState) {
+  // Wong-Katz qualitative finding: state concentration differs across
+  // topologies. A PLRG funnels multicast state into hubs; a mesh spreads
+  // it.
+  Rng rng(11);
+  gen::PlrgParams p;
+  p.n = 900;
+  const Graph plrg = gen::Plrg(p, rng);
+  const Graph mesh = gen::Mesh(30, 30);
+  const MulticastStateResult hub = MulticastState(plrg);
+  const MulticastStateResult flat = MulticastState(mesh);
+  ASSERT_FALSE(hub.max_state.empty());
+  ASSERT_FALSE(flat.max_state.empty());
+  EXPECT_GT(hub.max_state.y.back(), 1.8 * flat.max_state.y.back());
+}
+
+TEST(FailoverTest, StretchAtLeastOneAndDisconnectionGrows) {
+  Rng rng(12);
+  const Graph g = gen::ErdosRenyi(800, 0.006, rng);
+  const FailoverResult r = FailoverStretch(g);
+  ASSERT_FALSE(r.stretch.empty());
+  for (double y : r.stretch.y) {
+    if (y > 0) {
+      EXPECT_GE(y, 1.0 - 1e-9);
+    }
+  }
+  // Disconnection is (weakly) monotone under nested failure sets.
+  for (std::size_t i = 1; i < r.disconnected.size(); ++i) {
+    EXPECT_GE(r.disconnected.y[i], r.disconnected.y[i - 1] - 1e-12);
+  }
+}
+
+TEST(FailoverTest, TreeDisconnectsRandomSurvives) {
+  Rng rng(14);
+  const Graph tree = gen::KaryTree(3, 6);
+  const Graph random = gen::ErdosRenyi(1100, 4.0 / 1100, rng);
+  const FailoverResult t = FailoverStretch(tree, {.seed = 13});
+  const FailoverResult r = FailoverStretch(random, {.seed = 13});
+  ASSERT_FALSE(t.disconnected.empty());
+  ASSERT_FALSE(r.disconnected.empty());
+  // Every failed tree link cuts pairs immediately; the random graph
+  // barely notices the first failure slice and ends far less broken.
+  EXPECT_GT(t.disconnected.y.front(), 0.01);
+  EXPECT_GT(t.disconnected.y.front(), r.disconnected.y.front() + 0.01);
+  EXPECT_GT(t.disconnected.y.back(), r.disconnected.y.back());
+}
+
+}  // namespace
+}  // namespace topogen::sim

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "gen/tiers.h"
+#include "gen/transit_stub.h"
+#include "gen/waxman.h"
+#include "graph/bfs.h"
+#include "graph/components.h"
+
+namespace topogen::gen {
+namespace {
+
+using graph::Graph;
+using graph::Rng;
+
+TEST(WaxmanTest, PaperInstanceMatchesFigure1) {
+  Rng rng(1);
+  WaxmanParams p;  // 5000 / 0.005 / 0.30
+  const Graph g = Waxman(p, rng);
+  // Figure 1: 5000 nodes at average degree 7.22 (largest component).
+  EXPECT_GT(g.num_nodes(), 4900u);
+  EXPECT_NEAR(g.average_degree(), 7.22, 1.6);  // textbook Waxman runs denser
+  EXPECT_TRUE(graph::IsConnected(g));
+}
+
+TEST(WaxmanTest, AlphaScalesDensity) {
+  Rng a(2), b(2);
+  WaxmanParams lo{1000, 0.005, 0.3, false};
+  WaxmanParams hi{1000, 0.02, 0.3, false};
+  const double dlo = Waxman(lo, a).average_degree();
+  const double dhi = Waxman(hi, b).average_degree();
+  EXPECT_NEAR(dhi / dlo, 4.0, 1.2);
+}
+
+TEST(WaxmanTest, ExtremeGeographicBiasFragments) {
+  // Section 4.4: tiny beta kills long links and connectivity; the largest
+  // component of the raw graph shrinks well below n.
+  Rng rng(3);
+  WaxmanParams p{3000, 0.05, 0.02, true};
+  const Graph g = Waxman(p, rng);
+  EXPECT_LT(g.num_nodes(), 2500u);
+}
+
+TEST(TransitStubTest, PaperInstanceHas1008Nodes) {
+  Rng rng(4);
+  TransitStubParams p;  // paper defaults
+  const Graph g = TransitStub(p, rng);
+  EXPECT_EQ(g.num_nodes(), 1008u);
+  EXPECT_TRUE(graph::IsConnected(g));
+  // Figure 1: average degree 2.78.
+  EXPECT_NEAR(g.average_degree(), 2.78, 0.45);
+}
+
+TEST(TransitStubTest, NodeCountFormula) {
+  Rng rng(5);
+  TransitStubParams p;
+  p.num_transit_domains = 2;
+  p.nodes_per_transit_domain = 4;
+  p.stubs_per_transit_node = 2;
+  p.nodes_per_stub_domain = 5;
+  const Graph g = TransitStub(p, rng);
+  EXPECT_EQ(g.num_nodes(), 2u * 4u + 2u * 4u * 2u * 5u);  // 88
+}
+
+TEST(TransitStubTest, ExtraEdgesIncreaseDensity) {
+  Rng a(6), b(6);
+  TransitStubParams base;
+  TransitStubParams extra = base;
+  extra.extra_transit_stub_edges = 50;
+  extra.extra_stub_stub_edges = 100;
+  const double d0 = TransitStub(base, a).average_degree();
+  const double d1 = TransitStub(extra, b).average_degree();
+  EXPECT_GT(d1, d0 + 0.2);
+}
+
+TEST(TransitStubTest, StubsHangOffTransit) {
+  // With no extra edges, removing the transit nodes disconnects every stub
+  // domain: transit nodes are cut vertices.
+  Rng rng(7);
+  TransitStubParams p;
+  p.extra_transit_stub_edges = 0;
+  p.extra_stub_stub_edges = 0;
+  const Graph g = TransitStub(p, rng);
+  const std::size_t cuts = graph::CountArticulationPoints(g);
+  // Every one of the 36 transit nodes sponsors 3 stubs via single edges.
+  EXPECT_GE(cuts, 36u);
+}
+
+TEST(TiersTest, PaperInstanceHas5000Nodes) {
+  Rng rng(8);
+  TiersParams p;  // paper defaults
+  const Graph g = Tiers(p, rng);
+  EXPECT_EQ(g.num_nodes(), 5000u);
+  EXPECT_TRUE(graph::IsConnected(g));
+  // Figure 1: average degree 2.83.
+  EXPECT_NEAR(g.average_degree(), 2.83, 0.3);
+}
+
+TEST(TiersTest, AppendixCRosterInstance) {
+  // The 10500-node, avg-degree-2.12 row: 1 100 0 / 500 100 - / 6 6 - / 3 -.
+  Rng rng(9);
+  TiersParams p;
+  p.mans_per_wan = 100;
+  p.lans_per_man = 0;
+  p.nodes_per_wan = 500;
+  p.nodes_per_man = 100;
+  p.wan_redundancy = 6;
+  p.man_redundancy = 6;
+  p.man_wan_redundancy = 3;
+  const Graph g = Tiers(p, rng);
+  EXPECT_EQ(g.num_nodes(), 10500u);
+  EXPECT_NEAR(g.average_degree(), 2.12, 0.2);
+}
+
+TEST(TiersTest, LanNodesAreDegreeOne) {
+  Rng rng(10);
+  TiersParams p;
+  p.mans_per_wan = 4;
+  p.lans_per_man = 3;
+  p.nodes_per_wan = 20;
+  p.nodes_per_man = 10;
+  p.nodes_per_lan = 6;
+  p.wan_redundancy = 2;
+  p.man_redundancy = 2;
+  const Graph g = Tiers(p, rng);
+  // Each LAN contributes nodes_per_lan - 1 = 5 leaves.
+  EXPECT_GE(g.count_degree(1), 4u * 3u * 5u);
+}
+
+TEST(TiersTest, RedundancyAddsExactEdges) {
+  Rng a(11), b(11);
+  TiersParams none;
+  none.mans_per_wan = 2;
+  none.lans_per_man = 0;
+  none.nodes_per_wan = 50;
+  none.nodes_per_man = 30;
+  none.wan_redundancy = 0;
+  none.man_redundancy = 0;
+  none.man_wan_redundancy = 1;
+  TiersParams some = none;
+  some.wan_redundancy = 10;
+  some.man_redundancy = 5;
+  const Graph g0 = Tiers(none, a);
+  const Graph g1 = Tiers(some, b);
+  EXPECT_EQ(g1.num_edges(), g0.num_edges() + 10u + 2u * 5u);
+}
+
+TEST(TiersTest, LowExpansionSignature) {
+  // Tiers is the one generator with Mesh-like expansion (Figure 2g): its
+  // WAN/MAN layers are geometric. Check the diameter is far above
+  // random-graph scale.
+  Rng rng(12);
+  TiersParams p;
+  const Graph g = Tiers(p, rng);
+  EXPECT_GT(graph::Eccentricity(g, 0), 12u);
+}
+
+}  // namespace
+}  // namespace topogen::gen
