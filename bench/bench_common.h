@@ -11,21 +11,26 @@
 //   full    - paper-sized where feasible (AS at 10941 nodes etc.)
 #pragma once
 
-#include <cstdlib>
 #include <string>
 
 #include "core/roster.h"
 #include "core/suite.h"
 #include "hierarchy/link_value.h"
+#include "obs/obs.h"
 
 namespace topogen::bench {
 
-inline std::string ScaleName() {
-  const char* env = std::getenv("TOPOGEN_SCALE");
-  return env == nullptr ? "default" : env;
+inline const std::string& ScaleName() {
+  // Resolved once per process by obs::Env (alongside TOPOGEN_TRACE etc.),
+  // not re-read from the environment on every call.
+  return obs::Env::Get().scale();
 }
 
 inline core::RosterOptions Roster() {
+  // One process-wide span covering the whole bench run; it opens on the
+  // first Roster() call and closes at exit, so the trace timeline has a
+  // top-level bar the per-phase spans nest under.
+  static obs::Span run_span("bench.run", "bench");
   core::RosterOptions ro;
   ro.seed = 42;
   const std::string scale = ScaleName();
@@ -45,6 +50,7 @@ inline core::RosterOptions Roster() {
     ro.plrg_nodes = 10000;
     ro.degree_based_nodes = 8000;
   }
+  core::RecordRunConfiguration(ro);
   return ro;
 }
 

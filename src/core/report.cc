@@ -1,10 +1,11 @@
 #include "core/report.h"
 
-#include <cstdlib>
+#include <cmath>
 #include <iomanip>
 #include <sstream>
 
 #include "core/export.h"
+#include "obs/obs.h"
 
 namespace topogen::core {
 
@@ -12,10 +13,14 @@ void PrintPanel(std::ostream& os, const std::string& figure_id,
                 const std::string& title,
                 const std::vector<metrics::Series>& curves) {
   // With TOPOGEN_OUTDIR set, every panel any bench prints is also written
-  // as a .dat + gnuplot script, ready to render.
-  if (const char* outdir = std::getenv("TOPOGEN_OUTDIR")) {
-    ExportFigure(outdir, "fig" + figure_id, title, curves);
+  // as a .dat + gnuplot script, ready to render. The directory comes from
+  // the resolve-once obs::Env, not a per-call getenv.
+  const obs::Env& env = obs::Env::Get();
+  if (env.outdir_set()) {
+    ExportFigure(env.outdir(), "fig" + figure_id, title, curves);
+    obs::Manifest::AddFigure(figure_id, title);
   }
+  TOPOGEN_COUNT("report.panels_printed");
   os << "# panel " << figure_id << " " << title << "\n";
   for (const metrics::Series& s : curves) {
     os << "# curve " << s.name << "\n";
@@ -50,7 +55,26 @@ void PrintTableRow(std::ostream& os, const std::vector<std::string>& cells) {
 std::string Num(double v, int precision) {
   std::ostringstream ss;
   ss << std::setprecision(precision) << v;
-  return ss.str();
+  std::string s = ss.str();
+  // Default formatting keeps `precision` significant digits but falls
+  // back to scientific notation for small magnitudes, which breaks the
+  // column-aligned tables (gnuplot copes, humans scanning cells do not).
+  // Re-render those values fixed-point with the same significant digits.
+  if (s.find('e') == std::string::npos && s.find('E') == std::string::npos) {
+    return s;
+  }
+  const int magnitude =
+      static_cast<int>(std::floor(std::log10(std::fabs(v))));
+  const int decimals =
+      std::min(60, std::max(0, precision - 1 - magnitude));
+  std::ostringstream fixed;
+  fixed << std::fixed << std::setprecision(decimals) << v;
+  std::string f = fixed.str();
+  if (f.find('.') != std::string::npos) {
+    while (!f.empty() && f.back() == '0') f.pop_back();
+    if (!f.empty() && f.back() == '.') f.pop_back();
+  }
+  return f;
 }
 
 }  // namespace topogen::core

@@ -8,6 +8,7 @@
 #include "gen/tiers.h"
 #include "gen/transit_stub.h"
 #include "gen/waxman.h"
+#include "obs/obs.h"
 
 namespace topogen::core {
 
@@ -19,97 +20,136 @@ Rng SeedFor(const RosterOptions& options, std::uint64_t salt) {
   return Rng(graph::SplitMix64(options.seed) ^ salt);
 }
 
+// Every roster factory funnels its product through here so the run
+// manifest lists the exact instance (name, size, parameter comment) each
+// figure was computed from.
+Topology Finish(obs::Span& span, Topology t) {
+  obs::Manifest::AddTopology(t.name, t.graph.num_nodes(), t.graph.num_edges(),
+                             t.comment);
+  span.Arg("nodes", static_cast<std::uint64_t>(t.graph.num_nodes()))
+      .Arg("edges", static_cast<std::uint64_t>(t.graph.num_edges()));
+  TOPOGEN_COUNT("roster.topologies_built");
+  return t;
+}
+
 }  // namespace
 
+void RecordRunConfiguration(const RosterOptions& options) {
+  obs::RosterConfig rc;
+  rc.seed = options.seed;
+  rc.as_nodes = options.as_nodes;
+  rc.rl_expansion_ratio = options.rl_expansion_ratio;
+  rc.plrg_nodes = options.plrg_nodes;
+  rc.degree_based_nodes = options.degree_based_nodes;
+  obs::Manifest::SetRoster(rc);
+  obs::Manifest::SetTool(obs::ProcessName());
+}
+
 Topology MakeTree(const RosterOptions&) {
-  return {"Tree", Category::kCanonical, gen::KaryTree(3, 6), {},
-          "k=3, D=6 (1093 nodes)"};
+  obs::Span span("roster.Tree", "roster");
+  return Finish(span, {"Tree", Category::kCanonical, gen::KaryTree(3, 6), {},
+                       "k=3, D=6 (1093 nodes)"});
 }
 
 Topology MakeMesh(const RosterOptions&) {
-  return {"Mesh", Category::kCanonical, gen::Mesh(30, 30), {}, "30x30 grid"};
+  obs::Span span("roster.Mesh", "roster");
+  return Finish(span,
+                {"Mesh", Category::kCanonical, gen::Mesh(30, 30), {},
+                 "30x30 grid"});
 }
 
 Topology MakeRandom(const RosterOptions& options) {
+  obs::Span span("roster.Random", "roster");
   Rng rng = SeedFor(options, 0x01);
-  return {"Random", Category::kCanonical,
-          gen::ErdosRenyi(5050, 0.0008, rng), {},
-          "G(5050, 0.0008), largest component"};
+  return Finish(span, {"Random", Category::kCanonical,
+                       gen::ErdosRenyi(5050, 0.0008, rng), {},
+                       "G(5050, 0.0008), largest component"});
 }
 
 Topology MakePlrg(const RosterOptions& options) {
+  obs::Span span("roster.PLRG", "roster");
   Rng rng = SeedFor(options, 0x02);
   gen::PlrgParams p;
   p.n = options.plrg_nodes;
   p.exponent = 2.246;
-  return {"PLRG", Category::kDegreeBased, gen::Plrg(p, rng), {},
-          "beta=2.246"};
+  return Finish(span, {"PLRG", Category::kDegreeBased, gen::Plrg(p, rng), {},
+                       "beta=2.246"});
 }
 
 Topology MakeTransitStub(const RosterOptions& options) {
+  obs::Span span("roster.TS", "roster");
   Rng rng = SeedFor(options, 0x03);
   gen::TransitStubParams p;  // defaults are the paper's 1008-node instance
-  return {"TS", Category::kStructural, gen::TransitStub(p, rng), {},
-          "3 0 0 / 6 0.55 / 6 0.32 / 9 0.248"};
+  return Finish(span, {"TS", Category::kStructural, gen::TransitStub(p, rng),
+                       {}, "3 0 0 / 6 0.55 / 6 0.32 / 9 0.248"});
 }
 
 Topology MakeTiers(const RosterOptions& options) {
+  obs::Span span("roster.Tiers", "roster");
   Rng rng = SeedFor(options, 0x04);
   gen::TiersParams p;  // defaults are the paper's 5000-node instance
-  return {"Tiers", Category::kStructural, gen::Tiers(p, rng), {},
-          "1 50 10 / 500 40 5 / 20 20 1 / 20 1"};
+  return Finish(span, {"Tiers", Category::kStructural, gen::Tiers(p, rng), {},
+                       "1 50 10 / 500 40 5 / 20 20 1 / 20 1"});
 }
 
 Topology MakeWaxman(const RosterOptions& options) {
+  obs::Span span("roster.Waxman", "roster");
   Rng rng = SeedFor(options, 0x05);
   gen::WaxmanParams p;  // defaults are the paper's 5000-node instance
-  return {"Waxman", Category::kRandom, gen::Waxman(p, rng), {},
-          "5000 0.005 0.30"};
+  return Finish(span, {"Waxman", Category::kRandom, gen::Waxman(p, rng), {},
+                       "5000 0.005 0.30"});
 }
 
 Topology MakeBa(const RosterOptions& options) {
+  obs::Span span("roster.B-A", "roster");
   Rng rng = SeedFor(options, 0x06);
   gen::BaParams p;
   p.n = options.degree_based_nodes;
-  return {"B-A", Category::kDegreeBased, gen::BarabasiAlbert(p, rng), {},
-          "m=2"};
+  return Finish(span, {"B-A", Category::kDegreeBased,
+                       gen::BarabasiAlbert(p, rng), {}, "m=2"});
 }
 
 Topology MakeBrite(const RosterOptions& options) {
+  obs::Span span("roster.Brite", "roster");
   Rng rng = SeedFor(options, 0x07);
   gen::BriteParams p;
   p.n = options.degree_based_nodes;
-  return {"Brite", Category::kDegreeBased, gen::Brite(p, rng), {},
-          "m=2, heavy-tailed placement"};
+  return Finish(span, {"Brite", Category::kDegreeBased, gen::Brite(p, rng),
+                       {}, "m=2, heavy-tailed placement"});
 }
 
 Topology MakeBt(const RosterOptions& options) {
+  obs::Span span("roster.BT", "roster");
   Rng rng = SeedFor(options, 0x08);
   gen::GlpParams p;
   p.n = options.degree_based_nodes;
-  return {"BT", Category::kDegreeBased, gen::BuTowsleyGlp(p, rng), {},
-          "GLP m=1 p=0.45 beta=0.64"};
+  return Finish(span, {"BT", Category::kDegreeBased,
+                       gen::BuTowsleyGlp(p, rng), {},
+                       "GLP m=1 p=0.45 beta=0.64"});
 }
 
 Topology MakeInet(const RosterOptions& options) {
+  obs::Span span("roster.Inet", "roster");
   Rng rng = SeedFor(options, 0x09);
   gen::InetParams p;
   p.n = options.degree_based_nodes;
-  return {"Inet", Category::kDegreeBased, gen::Inet(p, rng), {},
-          "beta=2.22"};
+  return Finish(span, {"Inet", Category::kDegreeBased, gen::Inet(p, rng), {},
+                       "beta=2.22"});
 }
 
 Topology MakeAs(const RosterOptions& options) {
+  obs::Span span("roster.AS", "roster");
   Rng rng = SeedFor(options, 0x0a);
   gen::MeasuredAsParams p;
   p.n = options.as_nodes;
   gen::AsTopology as = gen::MeasuredAs(p, rng);
-  return {"AS", Category::kMeasured, std::move(as.graph),
-          std::move(as.relationship),
-          "synthetic stand-in for route-views May 2001"};
+  return Finish(span, {"AS", Category::kMeasured, std::move(as.graph),
+                       std::move(as.relationship),
+                       "synthetic stand-in for route-views May 2001"});
 }
 
 RlArtifacts MakeRl(const RosterOptions& options) {
+  obs::Span span("roster.RL", "roster");
   Rng rng = SeedFor(options, 0x0b);
   gen::MeasuredRlParams p;
   p.as_params.n = options.as_nodes;
@@ -118,9 +158,9 @@ RlArtifacts MakeRl(const RosterOptions& options) {
   std::vector<policy::Relationship> rel = policy::AnnotateRouterLinks(
       rl.graph, rl.as_of, rl.as_topology.graph, rl.as_topology.relationship);
   RlArtifacts out;
-  out.topology = {"RL", Category::kMeasured, std::move(rl.graph),
-                  std::move(rel),
-                  "synthetic stand-in for SCAN/Mercator May 2001"};
+  out.topology = Finish(
+      span, {"RL", Category::kMeasured, std::move(rl.graph), std::move(rel),
+             "synthetic stand-in for SCAN/Mercator May 2001"});
   out.as_of = std::move(rl.as_of);
   return out;
 }

@@ -27,6 +27,12 @@ struct RosterOptions {
   graph::NodeId degree_based_nodes = 8000;  // BA/Brite/BT/Inet instances
 };
 
+// Records the roster configuration (seed, scale knobs) into the run
+// manifest, so figures written under TOPOGEN_OUTDIR can be traced back to
+// the exact options that produced them. No-op unless TOPOGEN_OUTDIR is
+// set. The bench harness calls this from bench::Roster().
+void RecordRunConfiguration(const RosterOptions& options);
+
 // Canonical networks (Figure 1's last block).
 Topology MakeTree(const RosterOptions& options = {});
 Topology MakeMesh(const RosterOptions& options = {});

@@ -2,10 +2,15 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace topogen::core {
 
 BasicMetrics RunBasicMetrics(const Topology& topology,
                              const SuiteOptions& options) {
+  obs::Span suite_span("suite.basic_metrics", "core");
+  suite_span.Arg("topology", topology.name)
+      .Arg("policy", static_cast<std::uint64_t>(options.use_policy ? 1 : 0));
   BasicMetrics out;
   const graph::Graph& g = topology.graph;
   if (options.use_policy) {
@@ -14,16 +19,40 @@ BasicMetrics RunBasicMetrics(const Topology& topology,
                                   topology.name +
                                   "' has no policy annotation");
     }
-    out.expansion =
-        metrics::PolicyExpansion(g, topology.relationship, options.expansion);
-    out.resilience =
-        metrics::PolicyResilience(g, topology.relationship, options.ball);
-    out.distortion =
-        metrics::PolicyDistortion(g, topology.relationship, options.ball);
+    {
+      obs::Span span("suite.expansion", "core");
+      span.Arg("topology", topology.name);
+      out.expansion = metrics::PolicyExpansion(g, topology.relationship,
+                                               options.expansion);
+    }
+    {
+      obs::Span span("suite.resilience", "core");
+      span.Arg("topology", topology.name);
+      out.resilience =
+          metrics::PolicyResilience(g, topology.relationship, options.ball);
+    }
+    {
+      obs::Span span("suite.distortion", "core");
+      span.Arg("topology", topology.name);
+      out.distortion =
+          metrics::PolicyDistortion(g, topology.relationship, options.ball);
+    }
   } else {
-    out.expansion = metrics::Expansion(g, options.expansion);
-    out.resilience = metrics::Resilience(g, options.ball);
-    out.distortion = metrics::Distortion(g, options.ball);
+    {
+      obs::Span span("suite.expansion", "core");
+      span.Arg("topology", topology.name);
+      out.expansion = metrics::Expansion(g, options.expansion);
+    }
+    {
+      obs::Span span("suite.resilience", "core");
+      span.Arg("topology", topology.name);
+      out.resilience = metrics::Resilience(g, options.ball);
+    }
+    {
+      obs::Span span("suite.distortion", "core");
+      span.Arg("topology", topology.name);
+      out.distortion = metrics::Distortion(g, options.ball);
+    }
   }
   out.expansion.name = topology.name;
   out.resilience.name = topology.name;
@@ -35,6 +64,7 @@ BasicMetrics RunBasicMetrics(const Topology& topology,
   }
   out.signature = metrics::Classify(out.expansion, out.resilience,
                                     out.distortion, options.classifier);
+  TOPOGEN_COUNT("suite.topologies_measured");
   return out;
 }
 

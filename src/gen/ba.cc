@@ -1,5 +1,7 @@
 #include "gen/ba.h"
 
+#include "gen/gen_obs.h"
+
 #include <algorithm>
 #include <unordered_set>
 #include <vector>
@@ -146,6 +148,7 @@ Graph Finish(const Growth& growth, NodeId n) {
 }  // namespace
 
 Graph BarabasiAlbert(const BaParams& params, Rng& rng) {
+  obs::Span span("gen.ba", "gen");
   const unsigned m0 = std::max({params.m0, params.m, 2u});
   Growth growth(params.n);
   SeedRing(growth, m0);
@@ -153,10 +156,11 @@ Graph BarabasiAlbert(const BaParams& params, Rng& rng) {
     growth.AddNode(v);
     AttachPreferential(growth, v, params.m, rng);
   }
-  return Finish(growth, params.n);
+  return RecordGenerated(span, Finish(growth, params.n));
 }
 
 Graph ExtendedBarabasiAlbert(const ExtendedBaParams& params, Rng& rng) {
+  obs::Span span("gen.ba_extended", "gen");
   const unsigned m0 = std::max({params.m0, params.m, 2u});
   Growth growth(params.n);
   SeedRing(growth, m0);
@@ -183,10 +187,11 @@ Graph ExtendedBarabasiAlbert(const ExtendedBaParams& params, Rng& rng) {
       ++next;
     }
   }
-  return Finish(growth, params.n);
+  return RecordGenerated(span, Finish(growth, params.n));
 }
 
 Graph BuTowsleyGlp(const GlpParams& params, Rng& rng) {
+  obs::Span span("gen.glp", "gen");
   const unsigned m0 = std::max({params.m0, params.m, 2u});
   Growth growth(params.n);
   SeedRing(growth, m0);
@@ -204,7 +209,7 @@ Graph BuTowsleyGlp(const GlpParams& params, Rng& rng) {
       ++next;
     }
   }
-  return Finish(growth, params.n);
+  return RecordGenerated(span, Finish(growth, params.n));
 }
 
 }  // namespace topogen::gen

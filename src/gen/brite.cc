@@ -1,5 +1,7 @@
 #include "gen/brite.h"
 
+#include "gen/gen_obs.h"
+
 #include <algorithm>
 #include <cmath>
 #include <unordered_set>
@@ -14,6 +16,7 @@ using graph::NodeId;
 using graph::Rng;
 
 Graph Brite(const BriteParams& params, Rng& rng) {
+  obs::Span span("gen.brite", "gen");
   const NodeId n = params.n;
   const unsigned m = std::max(1u, params.m);
   const std::vector<Point> pts =
@@ -62,7 +65,7 @@ Graph Brite(const BriteParams& params, Rng& rng) {
   GraphBuilder b(n);
   for (const graph::Edge& e : edges) b.AddEdge(e.u, e.v);
   Graph g = std::move(b).Build();
-  return graph::LargestComponent(g).graph;
+  return RecordGenerated(span, graph::LargestComponent(g).graph);
 }
 
 }  // namespace topogen::gen

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "gen/gen_obs.h"
 #include "graph/components.h"
 
 namespace topogen::gen {
@@ -15,6 +16,7 @@ using graph::NodeId;
 using graph::Rng;
 
 Graph KaryTree(unsigned k, unsigned depth) {
+  obs::Span span("gen.kary_tree", "gen");
   if (k == 0) throw std::invalid_argument("KaryTree: k must be >= 1");
   // Level sizes k^0, k^1, ..., k^depth; children of node i are contiguous.
   std::uint64_t total = 0, level = 1;
@@ -33,10 +35,11 @@ Graph KaryTree(unsigned k, unsigned depth) {
       }
     }
   }
-  return std::move(b).Build();
+  return RecordGenerated(span, std::move(b).Build());
 }
 
 Graph Mesh(unsigned rows, unsigned cols) {
+  obs::Span span("gen.mesh", "gen");
   GraphBuilder b(static_cast<NodeId>(rows) * cols);
   auto id = [cols](unsigned r, unsigned c) {
     return static_cast<NodeId>(r * cols + c);
@@ -47,31 +50,35 @@ Graph Mesh(unsigned rows, unsigned cols) {
       if (r + 1 < rows) b.AddEdge(id(r, c), id(r + 1, c));
     }
   }
-  return std::move(b).Build();
+  return RecordGenerated(span, std::move(b).Build());
 }
 
 Graph Linear(NodeId n) {
+  obs::Span span("gen.linear", "gen");
   GraphBuilder b(n);
   for (NodeId i = 0; i + 1 < n; ++i) b.AddEdge(i, i + 1);
-  return std::move(b).Build();
+  return RecordGenerated(span, std::move(b).Build());
 }
 
 Graph Complete(NodeId n) {
+  obs::Span span("gen.complete", "gen");
   GraphBuilder b(n);
   for (NodeId i = 0; i < n; ++i) {
     for (NodeId j = i + 1; j < n; ++j) b.AddEdge(i, j);
   }
-  return std::move(b).Build();
+  return RecordGenerated(span, std::move(b).Build());
 }
 
 Graph Ring(NodeId n) {
+  obs::Span span("gen.ring", "gen");
   GraphBuilder b(n);
   for (NodeId i = 0; i < n; ++i) b.AddEdge(i, (i + 1) % n);
-  return std::move(b).Build();
+  return RecordGenerated(span, std::move(b).Build());
 }
 
 Graph ErdosRenyi(NodeId n, double p, Rng& rng,
                  bool keep_largest_component) {
+  obs::Span span("gen.erdos_renyi", "gen");
   GraphBuilder b(n);
   if (p > 0.0) {
     // Geometric skipping (Batagelj-Brandes): O(n + m) instead of O(n^2).
@@ -90,11 +97,13 @@ Graph ErdosRenyi(NodeId n, double p, Rng& rng,
     }
   }
   Graph g = std::move(b).Build();
-  return keep_largest_component ? LargestComponent(g).graph : g;
+  return RecordGenerated(
+      span, keep_largest_component ? LargestComponent(g).graph : std::move(g));
 }
 
 Graph ErdosRenyiGnm(NodeId n, std::size_t m, Rng& rng,
                     bool keep_largest_component) {
+  obs::Span span("gen.erdos_renyi_gnm", "gen");
   GraphBuilder b(n);
   std::unordered_set<std::uint64_t> seen;
   const std::size_t max_edges =
@@ -109,7 +118,8 @@ Graph ErdosRenyiGnm(NodeId n, std::size_t m, Rng& rng,
     if (seen.insert(key).second) b.AddEdge(u, v);
   }
   Graph g = std::move(b).Build();
-  return keep_largest_component ? LargestComponent(g).graph : g;
+  return RecordGenerated(
+      span, keep_largest_component ? LargestComponent(g).graph : std::move(g));
 }
 
 }  // namespace topogen::gen

@@ -1,5 +1,7 @@
 #include "gen/degree_seq.h"
 
+#include "gen/gen_obs.h"
+
 #include <algorithm>
 #include <cmath>
 #include <numeric>
@@ -245,6 +247,7 @@ void WireDeterministic(std::span<const std::uint32_t> degrees,
 Graph ConnectDegreeSequence(std::span<const std::uint32_t> degrees,
                             ConnectMethod method, Rng& rng,
                             bool keep_largest_component) {
+  obs::Span span("gen.connect_degree_sequence", "gen");
   GraphBuilder b(static_cast<NodeId>(degrees.size()));
   switch (method) {
     case ConnectMethod::kPlrgMatching:
@@ -267,7 +270,9 @@ Graph ConnectDegreeSequence(std::span<const std::uint32_t> degrees,
       break;
   }
   Graph g = std::move(b).Build();
-  return keep_largest_component ? graph::LargestComponent(g).graph : g;
+  return RecordGenerated(span, keep_largest_component
+                                   ? graph::LargestComponent(g).graph
+                                   : std::move(g));
 }
 
 std::vector<std::uint32_t> DegreeSequenceOf(const Graph& g) {

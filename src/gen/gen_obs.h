@@ -1,0 +1,26 @@
+// Shared instrumentation shim for generator entry points: every public
+// factory opens an obs::Span and funnels its product through
+// RecordGenerated so "edges generated" style counters and per-generator
+// phase timings exist for any run, regardless of which bench drives it.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "obs/obs.h"
+
+namespace topogen::gen {
+
+// Stamps a finished generator product: bumps the shared gen counters and
+// attaches node/edge counts to the generator's span. Near-free when
+// observability is off (one flag load per counter, a Graph move).
+inline graph::Graph RecordGenerated(obs::Span& span, graph::Graph g) {
+  TOPOGEN_COUNT("gen.graphs_built");
+  TOPOGEN_COUNT_N("gen.nodes_generated", g.num_nodes());
+  TOPOGEN_COUNT_N("gen.edges_generated", g.num_edges());
+  span.Arg("nodes", static_cast<std::uint64_t>(g.num_nodes()))
+      .Arg("edges", static_cast<std::uint64_t>(g.num_edges()));
+  return g;
+}
+
+}  // namespace topogen::gen

@@ -1,5 +1,7 @@
 #include "gen/inet.h"
 
+#include "gen/gen_obs.h"
+
 #include <algorithm>
 #include <numeric>
 #include <unordered_set>
@@ -15,6 +17,7 @@ using graph::NodeId;
 using graph::Rng;
 
 Graph Inet(const InetParams& params, Rng& rng) {
+  obs::Span span("gen.inet", "gen");
   PowerLawDegreeParams dp;
   dp.n = params.n;
   dp.exponent = params.exponent;
@@ -101,7 +104,7 @@ Graph Inet(const InetParams& params, Rng& rng) {
   }
 
   Graph g = std::move(b).Build();
-  return graph::LargestComponent(g).graph;
+  return RecordGenerated(span, graph::LargestComponent(g).graph);
 }
 
 }  // namespace topogen::gen

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "gen/degree_seq.h"
+#include "gen/gen_obs.h"
 #include "graph/components.h"
 
 namespace topogen::gen {
@@ -16,6 +17,7 @@ using graph::NodeId;
 using graph::Rng;
 
 AsTopology MeasuredAs(const MeasuredAsParams& params, Rng& rng) {
+  obs::Span span("gen.measured_as", "gen");
   const NodeId n = params.n;
   const std::uint32_t kmax =
       params.max_degree != 0 ? params.max_degree
@@ -55,10 +57,16 @@ AsTopology MeasuredAs(const MeasuredAsParams& params, Rng& rng) {
   AsTopology out;
   out.graph = Graph::FromEdges(g.num_nodes(), std::move(edges));
   out.relationship = policy::InferRelationshipsByDegree(out.graph);
+  TOPOGEN_COUNT("gen.graphs_built");
+  TOPOGEN_COUNT_N("gen.nodes_generated", out.graph.num_nodes());
+  TOPOGEN_COUNT_N("gen.edges_generated", out.graph.num_edges());
+  span.Arg("nodes", static_cast<std::uint64_t>(out.graph.num_nodes()))
+      .Arg("edges", static_cast<std::uint64_t>(out.graph.num_edges()));
   return out;
 }
 
 RlTopology MeasuredRl(const MeasuredRlParams& params, Rng& rng) {
+  obs::Span span("gen.measured_rl", "gen");
   RlTopology out;
   out.as_topology = MeasuredAs(params.as_params, rng);
   const Graph& as_graph = out.as_topology.graph;
@@ -171,6 +179,11 @@ RlTopology MeasuredRl(const MeasuredRlParams& params, Rng& rng) {
   // The AS graph is connected (largest component) and every pod is
   // internally connected, so the RL graph is connected by construction.
   out.graph = std::move(b).Build();
+  TOPOGEN_COUNT("gen.graphs_built");
+  TOPOGEN_COUNT_N("gen.nodes_generated", out.graph.num_nodes());
+  TOPOGEN_COUNT_N("gen.edges_generated", out.graph.num_edges());
+  span.Arg("nodes", static_cast<std::uint64_t>(out.graph.num_nodes()))
+      .Arg("edges", static_cast<std::uint64_t>(out.graph.num_edges()));
   return out;
 }
 

@@ -1,16 +1,20 @@
 #include "gen/plrg.h"
 
+#include "gen/gen_obs.h"
+
 namespace topogen::gen {
 
 graph::Graph Plrg(const PlrgParams& params, graph::Rng& rng) {
+  obs::Span span("gen.plrg", "gen");
   PowerLawDegreeParams dp;
   dp.n = params.n;
   dp.exponent = params.exponent;
   dp.min_degree = params.min_degree;
   dp.max_degree = params.max_degree;
   const std::vector<std::uint32_t> degrees = SamplePowerLawDegrees(dp, rng);
-  return ConnectDegreeSequence(degrees, ConnectMethod::kPlrgMatching, rng,
-                               /*keep_largest_component=*/true);
+  return RecordGenerated(
+      span, ConnectDegreeSequence(degrees, ConnectMethod::kPlrgMatching, rng,
+                                  /*keep_largest_component=*/true));
 }
 
 }  // namespace topogen::gen

@@ -1,10 +1,13 @@
 #include "gen/small_world.h"
 
+#include "gen/gen_obs.h"
+
 #include "graph/components.h"
 
 namespace topogen::gen {
 
 graph::Graph SmallWorld(const SmallWorldParams& params, graph::Rng& rng) {
+  obs::Span span("gen.small_world", "gen");
   const graph::NodeId n = params.n;
   const unsigned half = std::max(1u, params.k / 2);
   graph::GraphBuilder b(n);
@@ -21,7 +24,7 @@ graph::Graph SmallWorld(const SmallWorldParams& params, graph::Rng& rng) {
     }
   }
   graph::Graph g = std::move(b).Build();
-  return graph::LargestComponent(g).graph;
+  return RecordGenerated(span, graph::LargestComponent(g).graph);
 }
 
 }  // namespace topogen::gen

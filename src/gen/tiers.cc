@@ -4,6 +4,7 @@
 #include <numeric>
 #include <vector>
 
+#include "gen/gen_obs.h"
 #include "gen/geometry.h"
 
 namespace topogen::gen {
@@ -71,6 +72,7 @@ std::vector<std::size_t> NearestTo(const std::vector<Point>& pts,
 }  // namespace
 
 graph::Graph Tiers(const TiersParams& p, Rng& rng) {
+  obs::Span span("gen.tiers", "gen");
   const unsigned wans = std::max(1u, p.num_wans);
   const NodeId total =
       wans * (p.nodes_per_wan +
@@ -135,7 +137,7 @@ graph::Graph Tiers(const TiersParams& p, Rng& rng) {
       }
     }
   }
-  return std::move(b).Build();
+  return RecordGenerated(span, std::move(b).Build());
 }
 
 }  // namespace topogen::gen

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "gen/gen_obs.h"
+
 namespace topogen::gen {
 
 using graph::GraphBuilder;
@@ -59,6 +61,7 @@ void AddConnectedRandom(GraphBuilder& b, const std::vector<NodeId>& nodes,
 }  // namespace
 
 graph::Graph TransitStub(const TransitStubParams& params, Rng& rng) {
+  obs::Span span("gen.transit_stub", "gen");
   const unsigned t_domains = params.num_transit_domains;
   const unsigned t_nodes = params.nodes_per_transit_domain;
   const unsigned s_per_node = params.stubs_per_transit_node;
@@ -127,7 +130,7 @@ graph::Graph TransitStub(const TransitStubParams& params, Rng& rng) {
     b.AddEdge(stubs[a][rng.NextIndex(s_nodes)],
               stubs[c][rng.NextIndex(s_nodes)]);
   }
-  return std::move(b).Build();
+  return RecordGenerated(span, std::move(b).Build());
 }
 
 }  // namespace topogen::gen

@@ -2,11 +2,13 @@
 
 #include <cmath>
 
+#include "gen/gen_obs.h"
 #include "graph/components.h"
 
 namespace topogen::gen {
 
 graph::Graph Waxman(const WaxmanParams& params, graph::Rng& rng) {
+  obs::Span span("gen.waxman", "gen");
   const graph::NodeId n = params.n;
   const std::vector<Point> pts = UniformPoints(n, rng);
   const double scale = params.beta * std::sqrt(2.0);  // beta * L, L = max dist
@@ -20,7 +22,9 @@ graph::Graph Waxman(const WaxmanParams& params, graph::Rng& rng) {
     }
   }
   graph::Graph g = std::move(b).Build();
-  return params.keep_largest_component ? graph::LargestComponent(g).graph : g;
+  return RecordGenerated(span, params.keep_largest_component
+                                   ? graph::LargestComponent(g).graph
+                                   : std::move(g));
 }
 
 }  // namespace topogen::gen

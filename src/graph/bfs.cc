@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "obs/stats.h"
+
 namespace topogen::graph {
 
 std::vector<Dist> BfsDistances(const Graph& g, NodeId src, Dist max_depth) {
+  TOPOGEN_COUNT("graph.bfs_runs");
   std::vector<Dist> dist(g.num_nodes(), kUnreachable);
   if (src >= g.num_nodes()) return dist;
   std::vector<NodeId> queue;
@@ -26,6 +29,7 @@ std::vector<Dist> BfsDistances(const Graph& g, NodeId src, Dist max_depth) {
 }
 
 std::vector<NodeId> Ball(const Graph& g, NodeId center, Dist radius) {
+  TOPOGEN_COUNT("graph.ball_runs");
   std::vector<NodeId> ball;
   if (center >= g.num_nodes()) return ball;
   std::vector<Dist> dist(g.num_nodes(), kUnreachable);
@@ -68,6 +72,7 @@ std::vector<std::size_t> ReachableCounts(const Graph& g, NodeId src,
 }
 
 ShortestPathDag BuildShortestPathDag(const Graph& g, NodeId src) {
+  TOPOGEN_COUNT("graph.sp_dag_runs");
   ShortestPathDag dag;
   dag.dist.assign(g.num_nodes(), kUnreachable);
   dag.sigma.assign(g.num_nodes(), 0.0);

@@ -6,6 +6,8 @@
 #include <queue>
 #include <unordered_map>
 
+#include "obs/obs.h"
+
 namespace topogen::graph {
 namespace {
 
@@ -174,6 +176,7 @@ std::vector<std::uint8_t> GrowInitialPartition(const LevelGraph& g, Rng& rng,
 // Returns true if the cut improved.
 bool FmPass(const LevelGraph& g, std::vector<std::uint8_t>& side,
             std::uint64_t& cut, double min_side_fraction) {
+  TOPOGEN_COUNT("graph.fm_refinement_passes");
   const std::size_t n = g.size();
   const std::uint64_t total = g.total_weight();
   const std::uint64_t min_side = std::max<std::uint64_t>(
@@ -243,6 +246,7 @@ bool FmPass(const LevelGraph& g, std::vector<std::uint8_t>& side,
 
 BisectionResult RunOnce(const Graph& g, Rng& rng,
                         const BisectionOptions& options) {
+  TOPOGEN_COUNT("graph.bisection_trials");
   // Build the multilevel hierarchy.
   std::vector<LevelGraph> levels;
   std::vector<std::vector<std::uint32_t>> mappings;  // fine -> coarse
@@ -286,6 +290,8 @@ BisectionResult RunOnce(const Graph& g, Rng& rng,
 
 BisectionResult BalancedBisection(const Graph& g, Rng& rng,
                                   const BisectionOptions& options) {
+  obs::Span span("graph.bisection", "graph");
+  span.Arg("nodes", static_cast<std::uint64_t>(g.num_nodes()));
   BisectionResult best;
   if (g.num_nodes() < 2) {
     best.side.assign(g.num_nodes(), 0);

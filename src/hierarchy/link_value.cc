@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "graph/bfs.h"
+#include "obs/obs.h"
 #include "graph/rng.h"
 #include "policy/paths.h"
 
@@ -155,6 +156,7 @@ double LinkValueResult::DegreeRankCorrelation(const Graph& g) const {
 
 LinkValueResult ComputeLinkValues(const Graph& g,
                                   const LinkValueOptions& options) {
+  obs::Span span("hierarchy.link_values", "hierarchy");
   const NodeId n = g.num_nodes();
   const std::size_t m = g.num_edges();
   LinkValueResult out;
@@ -169,7 +171,10 @@ LinkValueResult ComputeLinkValues(const Graph& g,
   std::vector<double> delta(n);
   std::vector<std::uint8_t> dirty(n, 0);
 
+  span.Arg("nodes", static_cast<std::uint64_t>(n))
+      .Arg("sources", static_cast<std::uint64_t>(sources.size()));
   for (const NodeId src : sources) {
+    TOPOGEN_COUNT("hierarchy.sources_processed");
     const graph::ShortestPathDag dag = graph::BuildShortestPathDag(g, src);
     // Descendant bitsets, farthest nodes first.
     for (std::size_t i = dag.order.size(); i-- > 0;) {
@@ -223,6 +228,7 @@ LinkValueResult ComputeLinkValues(const Graph& g,
 LinkValueResult ComputePolicyLinkValues(
     const Graph& g, std::span<const policy::Relationship> rel,
     const LinkValueOptions& options) {
+  obs::Span span("hierarchy.policy_link_values", "hierarchy");
   const NodeId n = g.num_nodes();
   const std::size_t m = g.num_edges();
   LinkValueResult out;
@@ -244,7 +250,10 @@ LinkValueResult ComputePolicyLinkValues(
     return (static_cast<std::size_t>(v) << 1) | phase;
   };
 
+  span.Arg("nodes", static_cast<std::uint64_t>(n))
+      .Arg("sources", static_cast<std::uint64_t>(sources.size()));
   for (const NodeId src : sources) {
+    TOPOGEN_COUNT("hierarchy.sources_processed");
     const policy::PolicyBfs bfs = policy::RunPolicyBfs(g, rel, src);
     auto dist_of = [&](NodeId v, unsigned phase) {
       return phase == policy::kPhaseUp ? bfs.dist_up[v] : bfs.dist_down[v];

@@ -1,6 +1,7 @@
 #include "metrics/distortion.h"
 
 #include "graph/trees.h"
+#include "obs/obs.h"
 
 namespace topogen::metrics {
 
@@ -17,6 +18,8 @@ double BallDistortion(const graph::Graph& ball, graph::Rng& rng) {
 }  // namespace
 
 Series Distortion(const graph::Graph& g, const BallGrowingOptions& options) {
+  obs::Span span("metrics.distortion", "metrics");
+  span.Arg("nodes", static_cast<std::uint64_t>(g.num_nodes()));
   Series s = BallGrowingSeries(g, options, BallDistortion);
   s.name = "distortion";
   return s;
@@ -25,6 +28,8 @@ Series Distortion(const graph::Graph& g, const BallGrowingOptions& options) {
 Series PolicyDistortion(const graph::Graph& g,
                         std::span<const policy::Relationship> rel,
                         const BallGrowingOptions& options) {
+  obs::Span span("metrics.policy_distortion", "metrics");
+  span.Arg("nodes", static_cast<std::uint64_t>(g.num_nodes()));
   Series s = PolicyBallGrowingSeries(g, rel, options, BallDistortion);
   s.name = "distortion-policy";
   return s;

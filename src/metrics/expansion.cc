@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/bfs.h"
+#include "obs/obs.h"
 #include "metrics/ball.h"
 #include "policy/policy_ball.h"
 
@@ -45,6 +46,8 @@ Series AccumulateExpansion(const graph::Graph& g, std::size_t max_sources,
 }  // namespace
 
 Series Expansion(const graph::Graph& g, const ExpansionOptions& options) {
+  obs::Span span("metrics.expansion", "metrics");
+  span.Arg("nodes", static_cast<std::uint64_t>(g.num_nodes()));
   return AccumulateExpansion(
       g, options.max_sources, options.seed,
       [&](graph::NodeId src) { return graph::ReachableCounts(g, src); });
@@ -53,6 +56,8 @@ Series Expansion(const graph::Graph& g, const ExpansionOptions& options) {
 Series PolicyExpansion(const graph::Graph& g,
                        std::span<const policy::Relationship> rel,
                        const ExpansionOptions& options) {
+  obs::Span span("metrics.policy_expansion", "metrics");
+  span.Arg("nodes", static_cast<std::uint64_t>(g.num_nodes()));
   return AccumulateExpansion(g, options.max_sources, options.seed,
                              [&](graph::NodeId src) {
                                return policy::PolicyReachableCounts(g, rel,

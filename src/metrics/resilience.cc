@@ -1,6 +1,7 @@
 #include "metrics/resilience.h"
 
 #include "graph/partition.h"
+#include "obs/obs.h"
 
 namespace topogen::metrics {
 
@@ -18,6 +19,8 @@ double BallMinCut(const graph::Graph& ball, graph::Rng& rng) {
 }  // namespace
 
 Series Resilience(const graph::Graph& g, const BallGrowingOptions& options) {
+  obs::Span span("metrics.resilience", "metrics");
+  span.Arg("nodes", static_cast<std::uint64_t>(g.num_nodes()));
   Series s = BallGrowingSeries(g, options, BallMinCut);
   s.name = "resilience";
   return s;
@@ -26,6 +29,8 @@ Series Resilience(const graph::Graph& g, const BallGrowingOptions& options) {
 Series PolicyResilience(const graph::Graph& g,
                         std::span<const policy::Relationship> rel,
                         const BallGrowingOptions& options) {
+  obs::Span span("metrics.policy_resilience", "metrics");
+  span.Arg("nodes", static_cast<std::uint64_t>(g.num_nodes()));
   Series s = PolicyBallGrowingSeries(g, rel, options, BallMinCut);
   s.name = "resilience-policy";
   return s;

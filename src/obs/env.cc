@@ -1,0 +1,93 @@
+#include "obs/env.h"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+namespace topogen::obs {
+
+namespace detail {
+
+std::atomic<int> g_flags{kFlagsUnresolved};
+
+int ResolveFlags() {
+  const Env& env = Env::Get();
+  int f = 0;
+  if (env.trace_enabled()) f |= kTraceBit;
+  if (env.stats_enabled()) f |= kStatsBit;
+  if (env.outdir_set()) f |= kManifestBit;
+  g_flags.store(f, std::memory_order_relaxed);
+  return f;
+}
+
+}  // namespace detail
+
+namespace {
+
+std::string EnvOr(const char* name, const char* fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : v;
+}
+
+std::mutex& EnvMutex() {
+  static std::mutex m;
+  return m;
+}
+
+Env*& EnvSlot() {
+  static Env* slot = nullptr;
+  return slot;
+}
+
+// The clock anchor for every trace timestamp in this process.
+std::chrono::steady_clock::time_point Epoch() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+}  // namespace
+
+Env::Env()
+    : scale_(EnvOr("TOPOGEN_SCALE", "default")),
+      outdir_(EnvOr("TOPOGEN_OUTDIR", "")),
+      trace_path_(EnvOr("TOPOGEN_TRACE", "")),
+      stats_path_(EnvOr("TOPOGEN_STATS", "")) {
+  Epoch();  // pin the trace epoch no later than first configuration use
+}
+
+const Env& Env::Get() {
+  std::lock_guard<std::mutex> lock(EnvMutex());
+  Env*& slot = EnvSlot();
+  if (slot == nullptr) slot = new Env();  // leaked: outlives all singletons
+  return *slot;
+}
+
+void Env::ResetForTesting() {
+  {
+    std::lock_guard<std::mutex> lock(EnvMutex());
+    Env*& slot = EnvSlot();
+    delete slot;
+    slot = new Env();
+  }
+  detail::ResolveFlags();
+}
+
+const std::string& ProcessName() {
+  static const std::string name = [] {
+    std::ifstream comm("/proc/self/comm");
+    std::string n;
+    if (comm.is_open()) std::getline(comm, n);
+    return n.empty() ? std::string("topogen") : n;
+  }();
+  return name;
+}
+
+std::int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - Epoch())
+      .count();
+}
+
+}  // namespace topogen::obs

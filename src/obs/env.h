@@ -1,0 +1,78 @@
+// Process-wide observability configuration, resolved from the environment
+// exactly once (PR: previously every PrintPanel call re-ran getenv).
+//
+//   TOPOGEN_SCALE   small | default | full   (figure harness sizing)
+//   TOPOGEN_TRACE   <file>   write a Chrome trace_event JSON at exit
+//   TOPOGEN_STATS   <file>   write counter/gauge/timer dump at exit
+//                            ("-" = text to stderr; "x.json" = JSON only;
+//                            otherwise text at <file> + JSON at <file>.json)
+//   TOPOGEN_OUTDIR  <dir>    figure export dir; also gets manifest.json
+//
+// The hot-path question "is any of this on?" must cost one relaxed atomic
+// load so instrumented kernels (BFS, generators) stay at native speed when
+// observability is off -- see bench_perf.cc BM_Bfs / BM_GeneratePlrg.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+namespace topogen::obs {
+
+class Env {
+ public:
+  // Resolved once on first use; later changes to the environment are
+  // invisible until ResetForTesting().
+  static const Env& Get();
+
+  // Re-reads the environment variables. Test-only: real binaries rely on
+  // the resolve-once guarantee.
+  static void ResetForTesting();
+
+  const std::string& scale() const { return scale_; }
+  const std::string& outdir() const { return outdir_; }
+  const std::string& trace_path() const { return trace_path_; }
+  const std::string& stats_path() const { return stats_path_; }
+
+  bool trace_enabled() const { return !trace_path_.empty(); }
+  bool stats_enabled() const { return !stats_path_.empty(); }
+  bool outdir_set() const { return !outdir_.empty(); }
+
+ private:
+  Env();
+
+  std::string scale_;
+  std::string outdir_;
+  std::string trace_path_;
+  std::string stats_path_;
+};
+
+namespace detail {
+// Bitmask of enabled subsystems; kFlagsUnresolved until Env is read.
+inline constexpr int kTraceBit = 1;
+inline constexpr int kStatsBit = 2;
+inline constexpr int kManifestBit = 4;
+inline constexpr int kFlagsUnresolved = -1;
+extern std::atomic<int> g_flags;
+int ResolveFlags();
+
+inline int Flags() {
+  const int f = g_flags.load(std::memory_order_relaxed);
+  return f == kFlagsUnresolved ? ResolveFlags() : f;
+}
+}  // namespace detail
+
+// Cheap enabled-checks for instrumentation call sites.
+inline bool TraceEnabled() { return (detail::Flags() & detail::kTraceBit) != 0; }
+inline bool StatsEnabled() { return (detail::Flags() & detail::kStatsBit) != 0; }
+inline bool ManifestEnabled() {
+  return (detail::Flags() & detail::kManifestBit) != 0;
+}
+inline bool AnyEnabled() { return detail::Flags() != 0; }
+
+// Short process name ("bench_fig2_expansion"), from /proc/self/comm.
+const std::string& ProcessName();
+
+// Microseconds since the process-wide observability epoch (first Env use).
+std::int64_t NowMicros();
+
+}  // namespace topogen::obs

@@ -1,0 +1,226 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace topogen::obs {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> Run() {
+    std::optional<Json> v = ParseValue();
+    if (!v) return std::nullopt;
+    SkipWs();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* w) {
+    const std::size_t len = std::strlen(w);
+    if (text_.substr(pos_, len) == w) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Json> ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return std::nullopt;
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        std::optional<std::string> s = ParseString();
+        if (!s) return std::nullopt;
+        return Json(std::move(*s));
+      }
+      case 't':
+        return ConsumeWord("true") ? std::optional<Json>(Json(true))
+                                   : std::nullopt;
+      case 'f':
+        return ConsumeWord("false") ? std::optional<Json>(Json(false))
+                                    : std::nullopt;
+      case 'n':
+        return ConsumeWord("null") ? std::optional<Json>(Json())
+                                   : std::nullopt;
+      default:
+        return ParseNumber();
+    }
+  }
+
+  std::optional<Json> ParseNumber() {
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) return std::nullopt;
+    pos_ += static_cast<std::size_t>(end - begin);
+    if (!std::isfinite(v)) return std::nullopt;
+    return Json(v);
+  }
+
+  std::optional<std::string> ParseString() {
+    if (!Consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return std::nullopt;
+          }
+          // UTF-8 encode the BMP code point (no surrogate pairing; the
+          // emitters only escape control characters).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Json> ParseArray() {
+    if (!Consume('[')) return std::nullopt;
+    Json::Array arr;
+    SkipWs();
+    if (Consume(']')) return Json(std::move(arr));
+    while (true) {
+      std::optional<Json> v = ParseValue();
+      if (!v) return std::nullopt;
+      arr.push_back(std::move(*v));
+      if (Consume(']')) return Json(std::move(arr));
+      if (!Consume(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<Json> ParseObject() {
+    if (!Consume('{')) return std::nullopt;
+    Json::Object obj;
+    SkipWs();
+    if (Consume('}')) return Json(std::move(obj));
+    while (true) {
+      SkipWs();
+      std::optional<std::string> key = ParseString();
+      if (!key) return std::nullopt;
+      if (!Consume(':')) return std::nullopt;
+      std::optional<Json> v = ParseValue();
+      if (!v) return std::nullopt;
+      obj.emplace_back(std::move(*key), std::move(*v));
+      if (Consume('}')) return Json(std::move(obj));
+      if (!Consume(',')) return std::nullopt;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::Parse(std::string_view text) {
+  return Parser(text).Run();
+}
+
+const Json* Json::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  if (ec != std::errc()) return "0";
+  return std::string(buf, end);
+}
+
+}  // namespace topogen::obs

@@ -1,0 +1,68 @@
+// Minimal JSON support for the observability subsystem: an escaping
+// writer helper used by the trace/stats/manifest emitters, and a small
+// recursive-descent parser used by tests and the ctest smoke validator to
+// prove the emitted artifacts actually parse.
+//
+// This is deliberately tiny (objects keep insertion order, numbers are
+// doubles) -- it is a measurement tool, not a general JSON library.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace topogen::obs {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : type_(Type::kNull) {}
+  explicit Json(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit Json(double d) : type_(Type::kNumber), num_(d) {}
+  explicit Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  explicit Json(Array a) : type_(Type::kArray), arr_(std::move(a)) {}
+  explicit Json(Object o) : type_(Type::kObject), obj_(std::move(o)) {}
+
+  // Returns std::nullopt on any syntax error or trailing garbage.
+  static std::optional<Json> Parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return num_; }
+  const std::string& AsString() const { return str_; }
+  const Array& AsArray() const { return arr_; }
+  const Object& AsObject() const { return obj_; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Json* Find(std::string_view key) const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+// JSON string escaping (no surrounding quotes).
+std::string JsonEscape(std::string_view s);
+
+// Shortest round-trip decimal form of a double ("4", "15.6", "2.5e-07");
+// re-parsing with strtod yields the identical bits, which is what the
+// manifest round-trip guarantee rests on.
+std::string JsonNumber(double v);
+
+}  // namespace topogen::obs

@@ -1,0 +1,203 @@
+#include "obs/manifest.h"
+
+#include <unistd.h>
+
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "obs/env.h"
+#include "obs/json.h"
+#include "obs/stats.h"
+
+namespace topogen::obs {
+
+namespace {
+
+std::string Hostname() {
+  char buf[256] = {0};
+  if (::gethostname(buf, sizeof buf - 1) != 0) return "unknown";
+  return buf;
+}
+
+std::string CompilerVersion() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+struct TopologyEntry {
+  std::string name;
+  std::uint64_t nodes;
+  std::uint64_t edges;
+  std::string params;
+};
+
+struct FigureEntry {
+  std::string id;
+  std::string title;
+};
+
+struct State {
+  std::mutex mutex;
+  bool armed = false;  // anything recorded => write at exit
+  std::string tool;
+  std::optional<RosterConfig> roster;
+  std::vector<TopologyEntry> topologies;
+  std::vector<FigureEntry> figures;
+
+  State() { Env::Get(); }
+  ~State() {
+    const Env& env = Env::Get();
+    bool write;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      write = armed && env.outdir_set();
+    }
+    if (write) {
+      Manifest::WriteTo(
+          (std::filesystem::path(env.outdir()) / "manifest.json").string());
+    }
+  }
+
+  static State& Get() {
+    static State s;
+    return s;
+  }
+};
+
+}  // namespace
+
+void Manifest::SetTool(std::string_view name) {
+  if (!ManifestEnabled()) return;
+  State& s = State::Get();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.tool = name;
+  s.armed = true;
+}
+
+void Manifest::SetRoster(const RosterConfig& roster) {
+  if (!ManifestEnabled()) return;
+  State& s = State::Get();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.roster = roster;
+  s.armed = true;
+}
+
+void Manifest::AddTopology(std::string_view name, std::uint64_t nodes,
+                           std::uint64_t edges, std::string_view params) {
+  if (!ManifestEnabled()) return;
+  State& s = State::Get();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (TopologyEntry& t : s.topologies) {
+    if (t.name == name) {
+      t = {std::string(name), nodes, edges, std::string(params)};
+      s.armed = true;
+      return;
+    }
+  }
+  s.topologies.push_back(
+      {std::string(name), nodes, edges, std::string(params)});
+  s.armed = true;
+}
+
+void Manifest::AddFigure(std::string_view figure_id, std::string_view title) {
+  if (!ManifestEnabled()) return;
+  State& s = State::Get();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (FigureEntry& f : s.figures) {
+    if (f.id == figure_id) {
+      f.title = title;
+      return;
+    }
+  }
+  s.figures.push_back({std::string(figure_id), std::string(title)});
+  s.armed = true;
+}
+
+bool Manifest::WriteTo(const std::string& path) {
+  State& s = State::Get();
+  const Env& env = Env::Get();
+  std::error_code ec;
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::ofstream os(path);
+  if (!os.is_open()) return false;
+
+  std::lock_guard<std::mutex> lock(s.mutex);
+  os << "{\n";
+  os << "  \"schema\": \"topogen-manifest/1\",\n";
+  os << "  \"tool\": \""
+     << JsonEscape(s.tool.empty() ? ProcessName() : s.tool) << "\",\n";
+  os << "  \"scale\": \"" << JsonEscape(env.scale()) << "\",\n";
+  os << "  \"created_unix\": " << static_cast<long long>(std::time(nullptr))
+     << ",\n";
+  os << "  \"hostname\": \"" << JsonEscape(Hostname()) << "\",\n";
+  os << "  \"compiler\": \"" << JsonEscape(CompilerVersion()) << "\",\n";
+  os << "  \"wall_time_s\": "
+     << JsonNumber(static_cast<double>(NowMicros()) / 1e6) << ",\n";
+  const MemoryUsage mu = ReadMemoryUsage();
+  os << "  \"peak_rss_kb\": " << mu.peak_rss_kb << ",\n";
+  if (s.roster) {
+    os << "  \"roster\": {\n";
+    os << "    \"seed\": " << s.roster->seed << ",\n";
+    os << "    \"as_nodes\": " << s.roster->as_nodes << ",\n";
+    os << "    \"rl_expansion_ratio\": "
+       << JsonNumber(s.roster->rl_expansion_ratio) << ",\n";
+    os << "    \"plrg_nodes\": " << s.roster->plrg_nodes << ",\n";
+    os << "    \"degree_based_nodes\": " << s.roster->degree_based_nodes
+       << "\n  },\n";
+  }
+  os << "  \"topologies\": [";
+  bool first = true;
+  for (const TopologyEntry& t : s.topologies) {
+    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << JsonEscape(t.name)
+       << "\", \"nodes\": " << t.nodes << ", \"edges\": " << t.edges
+       << ", \"params\": \"" << JsonEscape(t.params) << "\"}";
+    first = false;
+  }
+  os << "\n  ],\n  \"figures\": [";
+  first = true;
+  for (const FigureEntry& f : s.figures) {
+    os << (first ? "\n" : ",\n") << "    {\"id\": \"" << JsonEscape(f.id)
+       << "\", \"title\": \"" << JsonEscape(f.title) << "\"}";
+    first = false;
+  }
+  os << "\n  ],\n  \"phases\": [";
+  first = true;
+  for (const TimerSnapshot& t : Stats::TimerSnapshots()) {
+    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << JsonEscape(t.name)
+       << "\", \"count\": " << t.count << ", \"total_ms\": "
+       << JsonNumber(static_cast<double>(t.total_ns) / 1e6) << "}";
+    first = false;
+  }
+  os << "\n  ],\n  \"counters\": {";
+  first = true;
+  for (const auto& [name, v] : Stats::CounterSnapshot()) {
+    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+       << "\": " << v;
+    first = false;
+  }
+  os << "\n  }\n}\n";
+  return os.good();
+}
+
+void Manifest::ResetForTesting() {
+  State& s = State::Get();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.armed = false;
+  s.tool.clear();
+  s.roster.reset();
+  s.topologies.clear();
+  s.figures.clear();
+}
+
+}  // namespace topogen::obs

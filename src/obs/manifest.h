@@ -1,0 +1,43 @@
+// Run manifest: whenever TOPOGEN_OUTDIR is set, the process writes
+// <outdir>/manifest.json at exit stamping the figures it produced with the
+// exact configuration that made them -- seed + roster options, the
+// node/edge counts of every topology built, the figures emitted, per-phase
+// durations, and host/compiler provenance. A figure found on disk can
+// always be traced back to its run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace topogen::obs {
+
+// Mirror of core::RosterOptions (obs sits below core in the layering, so
+// core converts; tests round-trip through this struct).
+struct RosterConfig {
+  std::uint64_t seed = 0;
+  std::uint64_t as_nodes = 0;
+  double rl_expansion_ratio = 0.0;
+  std::uint64_t plrg_nodes = 0;
+  std::uint64_t degree_based_nodes = 0;
+};
+
+class Manifest {
+ public:
+  // All recorders are no-ops unless ManifestEnabled() (TOPOGEN_OUTDIR set).
+  static void SetTool(std::string_view name);
+  static void SetRoster(const RosterConfig& roster);
+  // Re-registering a topology name overwrites its entry (benches rebuild
+  // rosters per panel).
+  static void AddTopology(std::string_view name, std::uint64_t nodes,
+                          std::uint64_t edges, std::string_view params);
+  static void AddFigure(std::string_view figure_id, std::string_view title);
+
+  // Explicit write, used by tests; the process-exit hook writes to
+  // <Env::outdir()>/manifest.json when anything was recorded.
+  static bool WriteTo(const std::string& path);
+
+  static void ResetForTesting();
+};
+
+}  // namespace topogen::obs

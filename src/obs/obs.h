@@ -1,0 +1,8 @@
+// Umbrella header for instrumented layers: spans, counters, manifest.
+// See docs/OBSERVABILITY.md for the env vars and output schemas.
+#pragma once
+
+#include "obs/env.h"
+#include "obs/manifest.h"
+#include "obs/stats.h"
+#include "obs/trace.h"

@@ -1,0 +1,219 @@
+#include "obs/stats.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace topogen::obs {
+
+namespace {
+
+struct TimerCell {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> total_ns{0};
+};
+
+// std::map keeps node addresses stable, so returned references survive
+// later registrations.
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Counter, std::less<>> counters;
+  std::map<std::string, Gauge, std::less<>> gauges;
+  std::map<std::string, TimerCell, std::less<>> timers;
+
+  Registry() { Env::Get(); }  // constructed after Env => destroyed before
+  ~Registry() { Stats::WriteConfigured(); }
+
+  static Registry& Get() {
+    static Registry r;
+    return r;
+  }
+};
+
+template <typename Map>
+auto& GetSlot(Map& map, std::mutex& mutex, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+MemoryUsage ReadMemoryUsage() {
+  MemoryUsage mu;
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    long* slot = nullptr;
+    if (line.rfind("VmRSS:", 0) == 0) slot = &mu.rss_kb;
+    if (line.rfind("VmHWM:", 0) == 0) slot = &mu.peak_rss_kb;
+    if (slot != nullptr) {
+      std::sscanf(line.c_str() + line.find(':') + 1, "%ld", slot);
+    }
+  }
+  return mu;
+}
+
+Counter& Stats::GetCounter(std::string_view name) {
+  Registry& r = Registry::Get();
+  return GetSlot(r.counters, r.mutex, name);
+}
+
+Gauge& Stats::GetGauge(std::string_view name) {
+  Registry& r = Registry::Get();
+  return GetSlot(r.gauges, r.mutex, name);
+}
+
+void Stats::AddTimerSample(std::string_view name, std::uint64_t ns) {
+  Registry& r = Registry::Get();
+  TimerCell& cell = GetSlot(r.timers, r.mutex, name);
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  cell.total_ns.fetch_add(ns, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Stats::CounterSnapshot() {
+  Registry& r = Registry::Get();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(r.counters.size());
+  for (const auto& [name, c] : r.counters) out.emplace_back(name, c.value());
+  return out;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> Stats::GaugeSnapshot() {
+  Registry& r = Registry::Get();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(r.gauges.size());
+  for (const auto& [name, g] : r.gauges) out.emplace_back(name, g.value());
+  return out;
+}
+
+std::vector<TimerSnapshot> Stats::TimerSnapshots() {
+  Registry& r = Registry::Get();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<TimerSnapshot> out;
+  out.reserve(r.timers.size());
+  for (const auto& [name, cell] : r.timers) {
+    out.push_back({name, cell.count.load(std::memory_order_relaxed),
+                   cell.total_ns.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+void Stats::DumpText(std::ostream& os) {
+  const MemoryUsage mu = ReadMemoryUsage();
+  os << "# topogen stats (" << ProcessName() << ")\n";
+  os << "wall_time_s " << static_cast<double>(NowMicros()) / 1e6 << "\n";
+  if (mu.rss_kb >= 0) os << "rss_kb " << mu.rss_kb << "\n";
+  if (mu.peak_rss_kb >= 0) os << "peak_rss_kb " << mu.peak_rss_kb << "\n";
+  os << "\n[counters]\n";
+  for (const auto& [name, v] : CounterSnapshot()) {
+    os << name << " " << v << "\n";
+  }
+  os << "\n[gauges]\n";
+  for (const auto& [name, v] : GaugeSnapshot()) {
+    os << name << " " << v << "\n";
+  }
+  os << "\n[timers]  (count  total_ms  mean_ms)\n";
+  for (const TimerSnapshot& t : TimerSnapshots()) {
+    const double total_ms = static_cast<double>(t.total_ns) / 1e6;
+    const double mean_ms =
+        t.count == 0 ? 0.0 : total_ms / static_cast<double>(t.count);
+    os << t.name << " " << t.count << " " << total_ms << " " << mean_ms
+       << "\n";
+  }
+}
+
+void Stats::DumpJson(std::ostream& os) {
+  const MemoryUsage mu = ReadMemoryUsage();
+  os << "{\n";
+  os << "  \"tool\": \"" << JsonEscape(ProcessName()) << "\",\n";
+  os << "  \"wall_time_s\": "
+     << JsonNumber(static_cast<double>(NowMicros()) / 1e6) << ",\n";
+  os << "  \"rss_kb\": " << mu.rss_kb << ",\n";
+  os << "  \"peak_rss_kb\": " << mu.peak_rss_kb << ",\n";
+  os << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : CounterSnapshot()) {
+    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+       << "\": " << v;
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : GaugeSnapshot()) {
+    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+       << "\": " << v;
+    first = false;
+  }
+  os << "\n  },\n  \"timers\": [";
+  first = true;
+  for (const TimerSnapshot& t : TimerSnapshots()) {
+    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << JsonEscape(t.name)
+       << "\", \"count\": " << t.count << ", \"total_ms\": "
+       << JsonNumber(static_cast<double>(t.total_ns) / 1e6) << "}";
+    first = false;
+  }
+  os << "\n  ]\n}\n";
+}
+
+bool Stats::WriteConfigured() {
+  const Env& env = Env::Get();
+  if (!env.stats_enabled()) return true;
+  const std::string& path = env.stats_path();
+  if (path == "-") {
+    DumpText(std::cerr);
+    return true;
+  }
+  const bool json_only =
+      path.size() > 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  if (json_only) {
+    std::ofstream os(path);
+    if (!os.is_open()) return false;
+    DumpJson(os);
+    return os.good();
+  }
+  bool ok = true;
+  {
+    std::ofstream os(path);
+    ok = os.is_open();
+    if (ok) {
+      DumpText(os);
+      ok = os.good();
+    }
+  }
+  {
+    std::ofstream os(path + ".json");
+    if (!os.is_open()) return false;
+    DumpJson(os);
+    ok = ok && os.good();
+  }
+  return ok;
+}
+
+void Stats::ResetForTesting() {
+  Registry& r = Registry::Get();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& [name, c] : r.counters) {
+    c.value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, g] : r.gauges) {
+    g.value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, cell] : r.timers) {
+    cell.count.store(0, std::memory_order_relaxed);
+    cell.total_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace topogen::obs

@@ -1,0 +1,105 @@
+// Process-wide stats registry: named monotonic counters, gauges, and
+// timer aggregates (fed by obs::Span). Dumped at process exit when
+// TOPOGEN_STATS is set -- plain text for eyeballs, JSON for tooling.
+//
+// Counter bumps are relaxed atomic adds, safe under concurrent use from
+// metric workers; call sites guard with the TOPOGEN_COUNT* macros so a
+// disabled run pays one flag load per bump site and registers nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/env.h"
+
+namespace topogen::obs {
+
+class Counter {
+ public:
+  void Add(std::uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Stats;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  // Keep the largest value seen ("high-water mark" gauges).
+  void Max(std::int64_t v) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Stats;
+  std::atomic<std::int64_t> value_{0};
+};
+
+struct TimerSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+};
+
+// VmRSS / VmHWM from /proc/self/status, in kB (-1 when unreadable).
+struct MemoryUsage {
+  long rss_kb = -1;
+  long peak_rss_kb = -1;
+};
+MemoryUsage ReadMemoryUsage();
+
+class Stats {
+ public:
+  // Registered objects live for the rest of the process; call sites cache
+  // the reference in a function-local static.
+  static Counter& GetCounter(std::string_view name);
+  static Gauge& GetGauge(std::string_view name);
+
+  // One finished span of `ns` nanoseconds under `name` (thread-safe).
+  static void AddTimerSample(std::string_view name, std::uint64_t ns);
+
+  static std::vector<std::pair<std::string, std::uint64_t>> CounterSnapshot();
+  static std::vector<std::pair<std::string, std::int64_t>> GaugeSnapshot();
+  static std::vector<TimerSnapshot> TimerSnapshots();
+
+  static void DumpText(std::ostream& os);
+  static void DumpJson(std::ostream& os);
+
+  // Writes the dump(s) described by Env::stats_path() right now (the same
+  // thing the process-exit hook does). Returns false on I/O failure.
+  static bool WriteConfigured();
+
+  // Zeroes every registered value (registrations stay).
+  static void ResetForTesting();
+};
+
+// Guarded bump macros: one relaxed flag load when observability is off.
+#define TOPOGEN_COUNT_N(name, n)                                     \
+  do {                                                               \
+    if (::topogen::obs::AnyEnabled()) {                              \
+      static ::topogen::obs::Counter& topogen_counter_ =             \
+          ::topogen::obs::Stats::GetCounter(name);                   \
+      topogen_counter_.Add(n);                                       \
+    }                                                                \
+  } while (0)
+#define TOPOGEN_COUNT(name) TOPOGEN_COUNT_N(name, 1)
+
+}  // namespace topogen::obs

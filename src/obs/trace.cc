@@ -1,0 +1,139 @@
+#include "obs/trace.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <fstream>
+#include <mutex>
+
+#include "obs/json.h"
+#include "obs/stats.h"
+
+namespace topogen::obs {
+
+namespace {
+
+int ThreadId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+struct Tracer::Impl {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+};
+
+Tracer::Tracer() : impl_(new Impl) {
+  // Touch the singletons this one uses at shutdown, pinning destruction
+  // order: Env and Stats are constructed first, so they die last.
+  Env::Get();
+  Stats::GetCounter("obs.trace_events");
+}
+
+Tracer::~Tracer() {
+  WriteConfigured();
+  delete impl_;
+}
+
+Tracer& Tracer::Get() {
+  static Tracer t;
+  return t;
+}
+
+void Tracer::Record(TraceEvent event) {
+  TOPOGEN_COUNT("obs.trace_events");
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->events.push_back(std::move(event));
+}
+
+bool Tracer::WriteConfigured() {
+  const Env& env = Env::Get();
+  if (!env.trace_enabled()) return true;
+  std::ofstream os(env.trace_path());
+  if (!os.is_open()) return false;
+  const long pid = static_cast<long>(::getpid());
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  os << "{\"ph\": \"M\", \"pid\": " << pid
+     << ", \"name\": \"process_name\", \"args\": {\"name\": \""
+     << JsonEscape(ProcessName()) << "\"}}";
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const TraceEvent& e : impl_->events) {
+    os << ",\n{\"name\": \"" << JsonEscape(e.name) << "\", \"cat\": \""
+       << JsonEscape(e.category) << "\", \"ph\": \"X\", \"ts\": " << e.ts_us
+       << ", \"dur\": " << e.dur_us << ", \"pid\": " << pid
+       << ", \"tid\": " << e.tid;
+    if (!e.args.empty()) {
+      os << ", \"args\": {";
+      bool first = true;
+      for (const auto& [k, v] : e.args) {
+        if (!first) os << ", ";
+        os << "\"" << JsonEscape(k) << "\": " << v;
+        first = false;
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+  return os.good();
+}
+
+std::size_t Tracer::EventCountForTesting() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->events.size();
+}
+
+void Tracer::DiscardForTesting() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->events.clear();
+}
+
+bool Tracer::FlushForTesting() {
+  const bool ok = WriteConfigured();
+  DiscardForTesting();
+  return ok;
+}
+
+Span& Span::Arg(const char* key, std::string_view value) {
+  if (active_) args_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+  return *this;
+}
+
+Span& Span::Arg(const char* key, std::uint64_t value) {
+  if (active_) args_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+Span& Span::Arg(const char* key, double value) {
+  if (active_) args_.emplace_back(key, JsonNumber(value));
+  return *this;
+}
+
+void Span::Begin() {
+  // Ensure the sinks this span touches at End() outlive it even when End()
+  // runs during static destruction (e.g. the bench-wide run span).
+  Tracer::Get();
+  Stats::GetCounter("obs.spans");
+  active_ = true;
+  start_us_ = NowMicros();
+}
+
+void Span::End() {
+  if (!active_) return;
+  active_ = false;
+  const std::int64_t end_us = NowMicros();
+  const std::string name =
+      name_lit_ != nullptr ? std::string(name_lit_) : name_dyn_;
+  Stats::GetCounter("obs.spans").Increment();
+  Stats::AddTimerSample(name,
+                        static_cast<std::uint64_t>(end_us - start_us_) * 1000);
+  if (TraceEnabled()) {
+    Tracer::Get().Record({name, category_, start_us_, end_us - start_us_,
+                          ThreadId(), std::move(args_)});
+  }
+}
+
+}  // namespace topogen::obs

@@ -1,0 +1,92 @@
+// Scoped phase tracing. obs::Span is an RAII guard that records one
+// Chrome trace_event "complete" (ph:"X") event; the process-wide Tracer
+// buffers events and writes TOPOGEN_TRACE as a JSON file loadable in
+// about:tracing or https://ui.perfetto.dev at process exit.
+//
+// Every finished span also feeds a Stats timer under its name, which is
+// where the manifest's per-phase durations come from -- so spans stay
+// active whenever any of trace/stats/manifest is configured, and cost one
+// relaxed flag load when all are off.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/env.h"
+
+namespace topogen::obs {
+
+struct TraceEvent {
+  std::string name;
+  const char* category;
+  std::int64_t ts_us;   // microseconds since the process trace epoch
+  std::int64_t dur_us;
+  int tid;
+  // Pre-serialized JSON values keyed by arg name ("\"Tree\"", "42").
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class Tracer {
+ public:
+  static Tracer& Get();
+
+  void Record(TraceEvent event);
+
+  // Writes the buffered events as Chrome trace JSON. Returns false on I/O
+  // failure; a run with no trace path configured is a success no-op.
+  bool WriteConfigured();
+
+  std::size_t EventCountForTesting();
+  void DiscardForTesting();
+  // Write to Env's current trace path and clear the buffer.
+  bool FlushForTesting();
+
+ private:
+  Tracer();
+  ~Tracer();
+  struct Impl;
+  Impl* impl_;
+};
+
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "topogen")
+      : name_lit_(name), category_(category) {
+    if (AnyEnabled()) Begin();
+  }
+  Span(std::string name, const char* category = "topogen")
+      : name_lit_(nullptr), name_dyn_(std::move(name)), category_(category) {
+    if (AnyEnabled()) Begin();
+  }
+  ~Span() { End(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Attach a key/value pair shown in the trace viewer. No-ops when the
+  // span is inactive, so callers may pass cheaply-built values only.
+  Span& Arg(const char* key, std::string_view value);
+  Span& Arg(const char* key, std::uint64_t value);
+  Span& Arg(const char* key, double value);
+
+  // Close the span before scope exit (idempotent; the destructor becomes a
+  // no-op afterwards).
+  void End();
+
+  bool active() const { return active_; }
+
+ private:
+  void Begin();
+
+  const char* name_lit_;
+  std::string name_dyn_;
+  const char* category_;
+  std::int64_t start_us_ = 0;
+  bool active_ = false;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+}  // namespace topogen::obs

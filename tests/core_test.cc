@@ -7,6 +7,7 @@
 #include "core/report.h"
 #include "core/roster.h"
 #include "core/suite.h"
+#include "obs/env.h"
 
 namespace topogen::core {
 namespace {
@@ -96,12 +97,14 @@ TEST(ReportTest, PanelExportsWhenOutdirSet) {
       std::filesystem::temp_directory_path() / "topogen_panel_export";
   std::filesystem::remove_all(dir);
   ::setenv("TOPOGEN_OUTDIR", dir.c_str(), 1);
+  obs::Env::ResetForTesting();  // env is resolved once; re-resolve after setenv
   metrics::Series s;
   s.name = "c";
   s.Add(1, 1);
   std::ostringstream os;
   PrintPanel(os, "test1", "Title", {s});
   ::unsetenv("TOPOGEN_OUTDIR");
+  obs::Env::ResetForTesting();
   EXPECT_TRUE(std::filesystem::exists(dir / "figtest1.dat"));
   EXPECT_TRUE(std::filesystem::exists(dir / "figtest1.gp"));
   std::filesystem::remove_all(dir);
@@ -109,6 +112,7 @@ TEST(ReportTest, PanelExportsWhenOutdirSet) {
 
 TEST(ReportTest, NoExportWithoutOutdir) {
   ::unsetenv("TOPOGEN_OUTDIR");
+  obs::Env::ResetForTesting();
   metrics::Series s;
   s.Add(1, 1);
   std::ostringstream os;

@@ -145,6 +145,17 @@ TEST(ReportTest, NumTrimsPrecision) {
   EXPECT_EQ(core::Num(1234.5678, 6), "1234.57");
 }
 
+TEST(ReportTest, NumStaysFixedPointForSmallMagnitudes) {
+  // Values the default ostream formatting would render in scientific
+  // notation must come out fixed-point so table columns stay readable.
+  EXPECT_EQ(core::Num(0.0000123, 6), "0.0000123");
+  EXPECT_EQ(core::Num(0.00001, 6), "0.00001");
+  EXPECT_EQ(core::Num(2.5e-7, 3), "0.00000025");
+  EXPECT_EQ(core::Num(1.5e7, 6), "15000000");
+  EXPECT_EQ(core::Num(-0.0000123, 6), "-0.0000123");
+  EXPECT_EQ(core::Num(0.0, 6), "0");
+}
+
 TEST(ReportTest, PanelFormat) {
   metrics::Series s;
   s.name = "curveA";

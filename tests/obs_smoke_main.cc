@@ -1,0 +1,149 @@
+// End-to-end smoke check for the observability stack: runs one real bench
+// binary at TOPOGEN_SCALE=small with TOPOGEN_TRACE / TOPOGEN_STATS /
+// TOPOGEN_OUTDIR all set, then validates that the three artifacts exist,
+// parse, and carry the expected content:
+//
+//   trace.json    - Chrome trace JSON whose bench.run span covers >= 90%
+//                   of the traced wall time
+//   stats.txt(.json) - counter dump with nonzero BFS and edge counters
+//   manifest.json - roster config + at least one topology entry
+//
+// Usage: obs_smoke <bench-binary> <scratch-dir>
+// Registered in tests/CMakeLists.txt as the `obs_smoke` ctest case.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace fs = std::filesystem;
+using topogen::obs::Json;
+
+namespace {
+
+int g_failures = 0;
+
+void Fail(const std::string& what) {
+  std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+  ++g_failures;
+}
+
+void Check(bool ok, const std::string& what) {
+  if (!ok) Fail(what);
+}
+
+std::optional<Json> ParseFile(const fs::path& p) {
+  std::ifstream is(p);
+  if (!is.is_open()) {
+    Fail("missing artifact: " + p.string());
+    return std::nullopt;
+  }
+  std::stringstream ss;
+  ss << is.rdbuf();
+  std::optional<Json> doc = Json::Parse(ss.str());
+  if (!doc.has_value()) Fail("artifact is not valid JSON: " + p.string());
+  return doc;
+}
+
+double CounterValue(const Json& stats, const std::string& name) {
+  const Json* counters = stats.Find("counters");
+  if (counters == nullptr) return -1.0;
+  const Json* c = counters->Find(name);
+  return c == nullptr || !c->is_number() ? -1.0 : c->AsDouble();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <bench-binary> <scratch-dir>\n", argv[0]);
+    return 2;
+  }
+  const fs::path bench = argv[1];
+  const fs::path dir = argv[2];
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir, ec);
+
+  const fs::path trace = dir / "trace.json";
+  const fs::path stats = dir / "stats.txt";
+  const std::string cmd = "TOPOGEN_SCALE=small TOPOGEN_TRACE='" +
+                          trace.string() + "' TOPOGEN_STATS='" +
+                          stats.string() + "' TOPOGEN_OUTDIR='" +
+                          dir.string() + "' '" + bench.string() + "' > '" +
+                          (dir / "bench.out").string() + "' 2>&1";
+  const int rc = std::system(cmd.c_str());
+  if (rc != 0) {
+    Fail("bench run exited nonzero (" + std::to_string(rc) + "): " + cmd);
+    return 1;
+  }
+
+  // --- trace.json: valid Chrome trace, bench.run covers the run ---
+  if (const auto doc = ParseFile(trace)) {
+    const Json* events = doc->Find("traceEvents");
+    if (events == nullptr || !events->is_array() || events->AsArray().empty()) {
+      Fail("trace.json has no traceEvents");
+    } else {
+      double min_ts = 1e300, max_end = -1e300, run_dur = -1.0;
+      std::size_t spans = 0;
+      for (const Json& e : events->AsArray()) {
+        const Json* ph = e.Find("ph");
+        if (ph == nullptr || ph->AsString() != "X") continue;
+        ++spans;
+        const double ts = e.Find("ts")->AsDouble();
+        const double dur = e.Find("dur")->AsDouble();
+        min_ts = std::min(min_ts, ts);
+        max_end = std::max(max_end, ts + dur);
+        if (e.Find("name")->AsString() == "bench.run") run_dur = dur;
+      }
+      Check(spans > 0, "trace.json has no complete (ph:X) span events");
+      Check(run_dur >= 0.0, "trace.json has no bench.run span");
+      const double extent = max_end - min_ts;
+      if (run_dur >= 0.0 && extent > 0.0 && run_dur < 0.9 * extent) {
+        Fail("bench.run covers " + std::to_string(run_dur / extent) +
+             " of the trace extent, want >= 0.9");
+      }
+    }
+  }
+
+  // --- stats.txt.json: nonzero work counters ---
+  if (const auto doc = ParseFile(fs::path(stats.string() + ".json"))) {
+    Check(CounterValue(*doc, "graph.bfs_runs") > 0.0,
+          "stats: graph.bfs_runs is zero or missing");
+    Check(CounterValue(*doc, "gen.edges_generated") > 0.0,
+          "stats: gen.edges_generated is zero or missing");
+    Check(CounterValue(*doc, "obs.spans") > 0.0,
+          "stats: obs.spans is zero or missing");
+  }
+  Check(fs::exists(stats), "missing text stats dump: " + stats.string());
+
+  // --- manifest.json: roster config + topology inventory ---
+  if (const auto doc = ParseFile(dir / "manifest.json")) {
+    const Json* roster = doc->Find("roster");
+    if (roster == nullptr) {
+      Fail("manifest.json has no roster object");
+    } else {
+      Check(roster->Find("seed") != nullptr, "manifest roster has no seed");
+      Check(roster->Find("rl_expansion_ratio") != nullptr,
+            "manifest roster has no rl_expansion_ratio");
+    }
+    const Json* topologies = doc->Find("topologies");
+    Check(topologies != nullptr && topologies->is_array() &&
+              !topologies->AsArray().empty(),
+          "manifest.json lists no topologies");
+    const Json* scale = doc->Find("scale");
+    Check(scale != nullptr && scale->AsString() == "small",
+          "manifest.json scale is not 'small'");
+  }
+
+  if (g_failures == 0) {
+    std::printf("obs smoke OK: trace + stats + manifest all valid\n");
+    return 0;
+  }
+  return 1;
+}

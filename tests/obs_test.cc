@@ -1,0 +1,377 @@
+// Tests for the observability subsystem (src/obs): resolve-once env
+// config, span nesting and early close, counter thread-safety, trace and
+// stats emission validity, and the manifest's exact RosterOptions
+// round-trip.
+//
+// Every test that flips TOPOGEN_* environment variables goes through
+// ObsEnvTest, whose TearDown restores the all-unset default so the rest
+// of the binary keeps running with observability off.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/roster.h"
+#include "obs/json.h"
+#include "obs/obs.h"
+
+namespace topogen::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFile(const fs::path& p) {
+  std::ifstream is(p);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+class ObsEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "topogen_obs_test";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    ClearEnv();
+  }
+
+  void TearDown() override {
+    ClearEnv();
+    fs::remove_all(dir_);
+  }
+
+  // Unsets every TOPOGEN_* variable, re-resolves Env, and clears all
+  // recorded observability state.
+  void ClearEnv() {
+    ::unsetenv("TOPOGEN_SCALE");
+    ::unsetenv("TOPOGEN_TRACE");
+    ::unsetenv("TOPOGEN_STATS");
+    ::unsetenv("TOPOGEN_OUTDIR");
+    Env::ResetForTesting();
+    Tracer::Get().DiscardForTesting();
+    Stats::ResetForTesting();
+    Manifest::ResetForTesting();
+  }
+
+  void SetEnv(const char* name, const std::string& value) {
+    ::setenv(name, value.c_str(), 1);
+    Env::ResetForTesting();
+  }
+
+  fs::path dir_;
+};
+
+// --- Env -------------------------------------------------------------
+
+TEST_F(ObsEnvTest, ResolvesOnceUntilReset) {
+  SetEnv("TOPOGEN_SCALE", "small");
+  EXPECT_EQ(Env::Get().scale(), "small");
+  // Later environment changes are invisible until an explicit re-resolve.
+  ::setenv("TOPOGEN_SCALE", "full", 1);
+  EXPECT_EQ(Env::Get().scale(), "small");
+  Env::ResetForTesting();
+  EXPECT_EQ(Env::Get().scale(), "full");
+}
+
+TEST_F(ObsEnvTest, DefaultsWhenUnset) {
+  EXPECT_EQ(Env::Get().scale(), "default");
+  EXPECT_FALSE(Env::Get().trace_enabled());
+  EXPECT_FALSE(Env::Get().stats_enabled());
+  EXPECT_FALSE(Env::Get().outdir_set());
+  EXPECT_FALSE(AnyEnabled());
+}
+
+TEST_F(ObsEnvTest, FlagsTrackEnv) {
+  SetEnv("TOPOGEN_TRACE", (dir_ / "t.json").string());
+  EXPECT_TRUE(TraceEnabled());
+  EXPECT_FALSE(StatsEnabled());
+  EXPECT_TRUE(AnyEnabled());
+  SetEnv("TOPOGEN_STATS", (dir_ / "s.txt").string());
+  EXPECT_TRUE(StatsEnabled());
+  SetEnv("TOPOGEN_OUTDIR", dir_.string());
+  EXPECT_TRUE(ManifestEnabled());
+}
+
+// --- Spans -----------------------------------------------------------
+
+TEST_F(ObsEnvTest, SpansInactiveWhenDisabled) {
+  Span span("test.disabled_span");
+  EXPECT_FALSE(span.active());
+  span.Arg("k", std::uint64_t{1});  // must be safe on an inactive span
+  span.End();
+  EXPECT_EQ(Tracer::Get().EventCountForTesting(), 0u);
+}
+
+TEST_F(ObsEnvTest, SpansNestAndClose) {
+  SetEnv("TOPOGEN_TRACE", (dir_ / "t.json").string());
+  {
+    Span outer("test.outer");
+    EXPECT_TRUE(outer.active());
+    {
+      Span inner("test.inner");
+      EXPECT_TRUE(inner.active());
+    }
+    // Inner closed, outer still open: exactly one event so far.
+    EXPECT_EQ(Tracer::Get().EventCountForTesting(), 1u);
+    EXPECT_TRUE(outer.active());
+  }
+  EXPECT_EQ(Tracer::Get().EventCountForTesting(), 2u);
+}
+
+TEST_F(ObsEnvTest, SpanClosesOnEarlyReturn) {
+  SetEnv("TOPOGEN_TRACE", (dir_ / "t.json").string());
+  const auto work = [](bool bail) {
+    Span span("test.early_return");
+    if (bail) return;  // destructor must still record the span
+    span.Arg("reached", std::uint64_t{1});
+  };
+  work(true);
+  EXPECT_EQ(Tracer::Get().EventCountForTesting(), 1u);
+}
+
+TEST_F(ObsEnvTest, ExplicitEndIsIdempotent) {
+  SetEnv("TOPOGEN_TRACE", (dir_ / "t.json").string());
+  {
+    Span span("test.end_twice");
+    span.End();
+    EXPECT_FALSE(span.active());
+    span.End();  // second close is a no-op; destructor adds nothing either
+  }
+  EXPECT_EQ(Tracer::Get().EventCountForTesting(), 1u);
+}
+
+TEST_F(ObsEnvTest, SpansFeedTimerAggregates) {
+  // Stats-only configuration: no trace buffering, but finished spans must
+  // still show up as timer samples (the manifest's phase durations).
+  SetEnv("TOPOGEN_STATS", (dir_ / "s.txt").string());
+  { Span span("test.timed_phase"); }
+  { Span span("test.timed_phase"); }
+  EXPECT_EQ(Tracer::Get().EventCountForTesting(), 0u);
+  bool found = false;
+  for (const TimerSnapshot& t : Stats::TimerSnapshots()) {
+    if (t.name == "test.timed_phase") {
+      found = true;
+      EXPECT_EQ(t.count, 2u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- Counters --------------------------------------------------------
+
+TEST_F(ObsEnvTest, CountMacroDisabledRegistersNothing) {
+  TOPOGEN_COUNT("test.never_registered");
+  for (const auto& [name, v] : Stats::CounterSnapshot()) {
+    EXPECT_NE(name, "test.never_registered");
+  }
+}
+
+TEST_F(ObsEnvTest, ConcurrentCounterBumpsAreExact) {
+  SetEnv("TOPOGEN_STATS", (dir_ / "s.txt").string());
+  constexpr int kThreads = 8;
+  constexpr int kBumpsPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kBumpsPerThread; ++i) {
+        TOPOGEN_COUNT("test.concurrent");
+        TOPOGEN_COUNT_N("test.concurrent_n", 3);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(Stats::GetCounter("test.concurrent").value(),
+            static_cast<std::uint64_t>(kThreads) * kBumpsPerThread);
+  EXPECT_EQ(Stats::GetCounter("test.concurrent_n").value(),
+            static_cast<std::uint64_t>(kThreads) * kBumpsPerThread * 3);
+}
+
+TEST_F(ObsEnvTest, GaugeMaxKeepsHighWaterMark) {
+  SetEnv("TOPOGEN_STATS", (dir_ / "s.txt").string());
+  Gauge& g = Stats::GetGauge("test.hwm");
+  g.Max(5);
+  g.Max(3);
+  EXPECT_EQ(g.value(), 5);
+  g.Max(9);
+  EXPECT_EQ(g.value(), 9);
+}
+
+// --- Emission --------------------------------------------------------
+
+TEST_F(ObsEnvTest, TraceOutputIsValidChromeTraceJson) {
+  const fs::path trace = dir_ / "t.json";
+  SetEnv("TOPOGEN_TRACE", trace.string());
+  {
+    Span span("test.emit \"quoted\\name\"");
+    span.Arg("topology", std::string_view("PL\"RG"))
+        .Arg("nodes", std::uint64_t{10000})
+        .Arg("ratio", 15.6);
+  }
+  ASSERT_TRUE(Tracer::Get().FlushForTesting());
+  const std::optional<Json> doc = Json::Parse(ReadFile(trace));
+  ASSERT_TRUE(doc.has_value());
+  const Json* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // Metadata event + the span.
+  ASSERT_EQ(events->AsArray().size(), 2u);
+  const Json& meta = events->AsArray()[0];
+  EXPECT_EQ(meta.Find("ph")->AsString(), "M");
+  const Json& span_ev = events->AsArray()[1];
+  EXPECT_EQ(span_ev.Find("ph")->AsString(), "X");
+  EXPECT_EQ(span_ev.Find("name")->AsString(), "test.emit \"quoted\\name\"");
+  EXPECT_GE(span_ev.Find("dur")->AsDouble(), 0.0);
+  const Json* args = span_ev.Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->Find("topology")->AsString(), "PL\"RG");
+  EXPECT_EQ(args->Find("nodes")->AsDouble(), 10000.0);
+  EXPECT_EQ(args->Find("ratio")->AsDouble(), 15.6);
+}
+
+TEST_F(ObsEnvTest, StatsDumpJsonParses) {
+  SetEnv("TOPOGEN_STATS", (dir_ / "s.txt").string());
+  TOPOGEN_COUNT_N("test.parse_me", 7);
+  { Span span("test.parse_phase"); }
+  std::ostringstream os;
+  Stats::DumpJson(os);
+  const std::optional<Json> doc = Json::Parse(os.str());
+  ASSERT_TRUE(doc.has_value());
+  const Json* counters = doc->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->Find("test.parse_me")->AsDouble(), 7.0);
+  ASSERT_NE(doc->Find("timers"), nullptr);
+  ASSERT_NE(doc->Find("wall_time_s"), nullptr);
+}
+
+TEST_F(ObsEnvTest, StatsPathSemantics) {
+  // Plain path: text at <path>, JSON alongside at <path>.json.
+  const fs::path text = dir_ / "stats.txt";
+  SetEnv("TOPOGEN_STATS", text.string());
+  TOPOGEN_COUNT("test.path_semantics");
+  ASSERT_TRUE(Stats::WriteConfigured());
+  EXPECT_TRUE(fs::exists(text));
+  EXPECT_TRUE(fs::exists(dir_ / "stats.txt.json"));
+  EXPECT_NE(ReadFile(text).find("test.path_semantics"), std::string::npos);
+  ASSERT_TRUE(Json::Parse(ReadFile(dir_ / "stats.txt.json")).has_value());
+
+  // *.json path: JSON only.
+  const fs::path json_only = dir_ / "only.json";
+  SetEnv("TOPOGEN_STATS", json_only.string());
+  ASSERT_TRUE(Stats::WriteConfigured());
+  EXPECT_TRUE(fs::exists(json_only));
+  EXPECT_FALSE(fs::exists(dir_ / "only.json.json"));
+  ASSERT_TRUE(Json::Parse(ReadFile(json_only)).has_value());
+}
+
+TEST_F(ObsEnvTest, NoArtifactsWhenEnvUnset) {
+  // All TOPOGEN_* unset (fixture default): instrumentation must leave no
+  // trace -- no buffered events, no registered names, no files written.
+  { Span span("test.ghost"); }
+  TOPOGEN_COUNT("test.ghost_counter");
+  EXPECT_EQ(Tracer::Get().EventCountForTesting(), 0u);
+  for (const auto& [name, v] : Stats::CounterSnapshot()) {
+    EXPECT_NE(name, "test.ghost_counter");
+  }
+  for (const TimerSnapshot& t : Stats::TimerSnapshots()) {
+    EXPECT_NE(t.name, "test.ghost");
+  }
+  EXPECT_TRUE(Tracer::Get().WriteConfigured());  // success no-op
+  EXPECT_TRUE(Stats::WriteConfigured());         // success no-op
+  EXPECT_TRUE(fs::is_empty(dir_));
+}
+
+// --- Manifest --------------------------------------------------------
+
+TEST_F(ObsEnvTest, ManifestRoundTripsRosterOptions) {
+  SetEnv("TOPOGEN_OUTDIR", dir_.string());
+  core::RosterOptions ro;
+  ro.seed = 0x00DEADBEEFCAFEull;
+  ro.as_nodes = 10941;
+  ro.rl_expansion_ratio = 15.6;  // not exactly representable in binary
+  ro.plrg_nodes = 9973;
+  ro.degree_based_nodes = 8191;
+  core::RecordRunConfiguration(ro);
+
+  const fs::path path = dir_ / "manifest.json";
+  ASSERT_TRUE(Manifest::WriteTo(path.string()));
+  const std::optional<Json> doc = Json::Parse(ReadFile(path));
+  ASSERT_TRUE(doc.has_value());
+  const Json* roster = doc->Find("roster");
+  ASSERT_NE(roster, nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(roster->Find("seed")->AsDouble()),
+            ro.seed);
+  EXPECT_EQ(static_cast<std::uint64_t>(roster->Find("as_nodes")->AsDouble()),
+            ro.as_nodes);
+  // Exact: JsonNumber emits the shortest round-trip form, so the re-parsed
+  // double must be bit-identical, not just close.
+  EXPECT_EQ(roster->Find("rl_expansion_ratio")->AsDouble(),
+            ro.rl_expansion_ratio);
+  EXPECT_EQ(
+      static_cast<std::uint64_t>(roster->Find("plrg_nodes")->AsDouble()),
+      ro.plrg_nodes);
+  EXPECT_EQ(static_cast<std::uint64_t>(
+                roster->Find("degree_based_nodes")->AsDouble()),
+            ro.degree_based_nodes);
+  EXPECT_EQ(doc->Find("schema")->AsString(), "topogen-manifest/1");
+}
+
+TEST_F(ObsEnvTest, ManifestRecordsTopologiesAndFigures) {
+  SetEnv("TOPOGEN_OUTDIR", dir_.string());
+  Manifest::AddTopology("Tree", 1093, 1092, "k=3, D=6");
+  Manifest::AddTopology("Tree", 1093, 1092, "k=3, D=6");  // overwrite, no dup
+  Manifest::AddFigure("2a", "Expansion, Canonical");
+  const fs::path path = dir_ / "manifest.json";
+  ASSERT_TRUE(Manifest::WriteTo(path.string()));
+  const std::optional<Json> doc = Json::Parse(ReadFile(path));
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->Find("topologies")->AsArray().size(), 1u);
+  const Json& tree = doc->Find("topologies")->AsArray()[0];
+  EXPECT_EQ(tree.Find("name")->AsString(), "Tree");
+  EXPECT_EQ(tree.Find("nodes")->AsDouble(), 1093.0);
+  ASSERT_EQ(doc->Find("figures")->AsArray().size(), 1u);
+  EXPECT_EQ(doc->Find("figures")->AsArray()[0].Find("id")->AsString(), "2a");
+}
+
+TEST_F(ObsEnvTest, ManifestRecordersNoOpWithoutOutdir) {
+  Manifest::AddTopology("Ghost", 1, 1, "");
+  Manifest::AddFigure("9z", "Ghost");
+  SetEnv("TOPOGEN_OUTDIR", dir_.string());  // enable only for the write
+  const fs::path path = dir_ / "manifest.json";
+  ASSERT_TRUE(Manifest::WriteTo(path.string()));
+  const std::optional<Json> doc = Json::Parse(ReadFile(path));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE(doc->Find("topologies")->AsArray().empty());
+  EXPECT_TRUE(doc->Find("figures")->AsArray().empty());
+}
+
+// --- Json ------------------------------------------------------------
+
+TEST(ObsJsonTest, ParsesEscapesAndRejectsGarbage) {
+  const auto doc = Json::Parse(
+      R"({"s": "a\"b\\cA", "n": -2.5e-3, "a": [true, false, null]})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->Find("s")->AsString(), "a\"b\\cA");
+  EXPECT_EQ(doc->Find("n")->AsDouble(), -2.5e-3);
+  ASSERT_EQ(doc->Find("a")->AsArray().size(), 3u);
+  EXPECT_TRUE(doc->Find("a")->AsArray()[2].is_null());
+  EXPECT_FALSE(Json::Parse("{").has_value());
+  EXPECT_FALSE(Json::Parse("{} trailing").has_value());
+  EXPECT_FALSE(Json::Parse("{\"k\": }").has_value());
+}
+
+TEST(ObsJsonTest, JsonNumberRoundTripsExactly) {
+  for (const double v : {15.6, 0.1, 1.0 / 3.0, 2.5e-7, 1e300, -0.0008}) {
+    const std::string s = JsonNumber(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+}
+
+}  // namespace
+}  // namespace topogen::obs
