@@ -6,6 +6,7 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/report.h"
@@ -26,16 +27,45 @@ int main() {
 
   std::printf("# Section 4.4 table: Low/High classification (scale=%s)\n",
               bench::ScaleName().c_str());
+
+  // Build the whole roster first, then fan the suite out across the
+  // parallel engine (one task per topology row; TOPOGEN_THREADS workers)
+  // and print the table in roster order from the gathered results.
+  std::vector<core::Topology> topologies;
+  for (core::Topology& t : core::CanonicalRoster(ro)) {
+    topologies.push_back(std::move(t));
+  }
+  for (core::Topology& t : core::GeneratedRoster(ro)) {
+    topologies.push_back(std::move(t));
+  }
+  for (core::Topology& t : core::DegreeBasedRoster(ro)) {
+    topologies.push_back(std::move(t));
+  }
+  topologies.push_back(core::MakeAs(ro));
+  topologies.push_back(core::MakeRl(ro).topology);
+
+  std::vector<core::SuiteJob> jobs;
+  std::vector<std::string> names;
+  for (const core::Topology& t : topologies) {
+    core::SuiteOptions opts = so;
+    jobs.push_back({&t, opts});
+    names.push_back(t.name);
+    if (t.has_policy()) {
+      opts.use_policy = true;
+      jobs.push_back({&t, opts});
+      names.push_back(t.name + "(Policy)");
+    }
+  }
+  const std::vector<core::BasicMetrics> results =
+      core::RunBasicMetricsBatch(jobs);
+
   core::PrintTableHeader(std::cout, {"Topology", "Expansion", "Resilience",
                                      "Distortion", "Signature", "Paper",
                                      "Match"});
   int matches = 0, total = 0;
-  auto row = [&](const core::Topology& t, bool use_policy) {
-    core::SuiteOptions opts = so;
-    opts.use_policy = use_policy;
-    const core::BasicMetrics m = core::RunBasicMetrics(t, opts);
-    const std::string name = use_policy ? t.name + "(Policy)" : t.name;
-    const std::string sig = m.signature.ToString();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const std::string& name = names[i];
+    const std::string sig = results[i].signature.ToString();
     const auto it = paper.find(name);
     const std::string expect = it == paper.end() ? "-" : it->second;
     const bool ok = expect == "-" || expect == sig;
@@ -45,17 +75,7 @@ int main() {
         std::cout,
         {name, std::string(1, sig[0]), std::string(1, sig[1]),
          std::string(1, sig[2]), sig, expect, ok ? "yes" : "NO"});
-  };
-
-  for (const core::Topology& t : core::CanonicalRoster(ro)) row(t, false);
-  for (const core::Topology& t : core::GeneratedRoster(ro)) row(t, false);
-  for (const core::Topology& t : core::DegreeBasedRoster(ro)) row(t, false);
-  const core::Topology as = core::MakeAs(ro);
-  row(as, false);
-  row(as, true);
-  const core::RlArtifacts rl = core::MakeRl(ro);
-  row(rl.topology, false);
-  row(rl.topology, true);
+  }
 
   std::printf("\n# %d/%d signatures match the paper's table\n", matches,
               total);

@@ -4,6 +4,8 @@
 // paper figures -- they size the cost of the figure harness.
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "gen/canonical.h"
 #include "gen/plrg.h"
 #include "gen/tiers.h"
@@ -13,11 +15,28 @@
 #include "graph/partition.h"
 #include "graph/trees.h"
 #include "hierarchy/link_value.h"
+#include "metrics/ball.h"
 #include "metrics/expansion.h"
+#include "metrics/resilience.h"
+#include "parallel/pool.h"
 
 namespace {
 
 using namespace topogen;
+
+// Thread counts for the parallel-kernel benchmarks: serial reference,
+// two lanes, and whatever the host offers.
+int HostThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void ThreadArgs(benchmark::internal::Benchmark* b) {
+  b->ArgName("threads");
+  b->Arg(1);
+  if (HostThreads() >= 2) b->Arg(2);
+  if (HostThreads() > 2) b->Arg(HostThreads());
+}
 
 void BM_GeneratePlrg(benchmark::State& state) {
   for (auto _ : state) {
@@ -116,6 +135,60 @@ void BM_LinkValues(benchmark::State& state) {
   state.SetLabel(g.Summary());
 }
 BENCHMARK(BM_LinkValues)->Arg(1000)->Arg(4000);
+
+// Parallel-engine variants: the same kernels at threads = {1, 2, host}.
+// The determinism contract (docs/PARALLELISM.md) makes these directly
+// comparable -- every thread count computes bit-identical results, so
+// the only difference being measured is wall-clock.
+
+void BM_LinkValuesThreads(benchmark::State& state) {
+  parallel::Pool::SetThreadCountForTesting(
+      static_cast<int>(state.range(0)));
+  graph::Rng rng(7);
+  gen::PlrgParams p;
+  p.n = 4000;
+  const graph::Graph g = gen::Plrg(p, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hierarchy::ComputeLinkValues(g, {.max_sources = 300}).value.size());
+  }
+  state.SetLabel(g.Summary());
+  parallel::Pool::SetThreadCountForTesting(0);
+}
+BENCHMARK(BM_LinkValuesThreads)->Apply(ThreadArgs);
+
+void BM_BallResilienceThreads(benchmark::State& state) {
+  parallel::Pool::SetThreadCountForTesting(
+      static_cast<int>(state.range(0)));
+  graph::Rng rng(8);
+  gen::PlrgParams p;
+  p.n = 8000;
+  const graph::Graph g = gen::Plrg(p, rng);
+  metrics::BallGrowingOptions opts;
+  opts.max_centers = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::Resilience(g, opts).size());
+  }
+  state.SetLabel(g.Summary());
+  parallel::Pool::SetThreadCountForTesting(0);
+}
+BENCHMARK(BM_BallResilienceThreads)->Apply(ThreadArgs);
+
+void BM_ExpansionThreads(benchmark::State& state) {
+  parallel::Pool::SetThreadCountForTesting(
+      static_cast<int>(state.range(0)));
+  graph::Rng rng(6);
+  gen::PlrgParams p;
+  p.n = 8000;
+  const graph::Graph g = gen::Plrg(p, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        metrics::Expansion(g, {.max_sources = 200}).size());
+  }
+  state.SetLabel(g.Summary());
+  parallel::Pool::SetThreadCountForTesting(0);
+}
+BENCHMARK(BM_ExpansionThreads)->Apply(ThreadArgs);
 
 }  // namespace
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "obs/obs.h"
+#include "parallel/parallel_for.h"
 
 namespace topogen::core {
 
@@ -66,6 +67,17 @@ BasicMetrics RunBasicMetrics(const Topology& topology,
                                     out.distortion, options.classifier);
   TOPOGEN_COUNT("suite.topologies_measured");
   return out;
+}
+
+std::vector<BasicMetrics> RunBasicMetricsBatch(
+    std::span<const SuiteJob> jobs) {
+  obs::Span span("suite.batch", "core");
+  span.Arg("jobs", static_cast<std::uint64_t>(jobs.size()));
+  std::vector<BasicMetrics> results(jobs.size());
+  parallel::ParallelForEach(jobs.size(), [&](std::size_t i) {
+    results[i] = RunBasicMetrics(*jobs[i].topology, jobs[i].options);
+  });
+  return results;
 }
 
 }  // namespace topogen::core

@@ -3,6 +3,9 @@
 // experimental loop, shared by benches, examples, and integration tests.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "core/topology.h"
 #include "metrics/ball.h"
 #include "metrics/classification.h"
@@ -29,5 +32,21 @@ struct BasicMetrics {
 
 BasicMetrics RunBasicMetrics(const Topology& topology,
                              const SuiteOptions& options = {});
+
+// One suite entry: a topology plus the options to measure it with
+// (benches measure the same topology twice, plain and policy).
+struct SuiteJob {
+  const Topology* topology = nullptr;
+  SuiteOptions options;
+};
+
+// Fans the jobs out across the parallel engine (docs/PARALLELISM.md),
+// one task per topology; results land in input order. Every job computes
+// exactly what RunBasicMetrics would: per-topology results are written
+// to independent slots and the metric kernels below each job run
+// serially when nested in the fan-out, so the batch is bit-identical to
+// the sequential loop at every TOPOGEN_THREADS value. Exceptions (e.g. a
+// policy job on an unannotated topology) propagate to the caller.
+std::vector<BasicMetrics> RunBasicMetricsBatch(std::span<const SuiteJob> jobs);
 
 }  // namespace topogen::core

@@ -20,6 +20,17 @@ constexpr std::uint64_t SplitMix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+// Derive the seed of an independent RNG stream from (seed, stream index).
+// Parallel kernels give every work item (ball center, source chunk, ...)
+// its own stream keyed by the item's *logical* index, so the draws an item
+// sees never depend on which thread ran it or on how much randomness its
+// predecessors consumed -- the heart of the determinism contract in
+// docs/PARALLELISM.md. Two splitmix rounds keep nearby (seed, stream)
+// pairs decorrelated.
+constexpr std::uint64_t DeriveStream(std::uint64_t seed, std::uint64_t stream) {
+  return SplitMix64(SplitMix64(seed) ^ SplitMix64(~stream));
+}
+
 // Deterministic RNG with convenience draws used across the library.
 class Rng {
  public:

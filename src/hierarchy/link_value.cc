@@ -9,6 +9,7 @@
 #include "graph/bfs.h"
 #include "obs/obs.h"
 #include "graph/rng.h"
+#include "parallel/parallel_for.h"
 #include "policy/paths.h"
 
 namespace topogen::hierarchy {
@@ -64,6 +65,31 @@ std::vector<NodeId> PickSources(NodeId n, std::size_t max_sources,
   std::shuffle(sources.begin(), sources.end(), rng.engine());
   sources.resize(max_sources);
   return sources;
+}
+
+// Per-chunk accumulator for the side masses (one slot per edge). Chunks
+// fold left-to-right in chunk order (parallel_for.h), so the summation
+// order -- and every floating-point rounding -- depends only on the
+// chunk plan, never on the thread count.
+struct SideMasses {
+  std::vector<double> u, v;
+
+  explicit SideMasses(std::size_t edges) : u(edges, 0.0), v(edges, 0.0) {}
+
+  static void Fold(SideMasses& acc, SideMasses&& next) {
+    for (std::size_t e = 0; e < acc.u.size(); ++e) {
+      acc.u[e] += next.u[e];
+      acc.v[e] += next.v[e];
+    }
+  }
+};
+
+// Source chunking: >= 24 sources per chunk keeps the per-chunk scratch
+// (descendant bitsets, O(n^2) bits) amortized across enough BFS DAGs,
+// and <= 32 chunks bounds the transient memory in mass partials.
+parallel::ChunkPlan SourcePlan(std::size_t num_sources) {
+  return parallel::PlanChunks(num_sources, /*min_grain=*/24,
+                              /*max_chunks=*/32);
 }
 
 }  // namespace
@@ -166,61 +192,71 @@ LinkValueResult ComputeLinkValues(const Graph& g,
 
   const std::vector<NodeId> sources =
       PickSources(n, options.max_sources, options.seed);
-  std::vector<double> mass_u(m, 0.0), mass_v(m, 0.0);
-  BitRows reach(n, n);
-  std::vector<double> delta(n);
-  std::vector<std::uint8_t> dirty(n, 0);
+  const parallel::ChunkPlan plan = SourcePlan(sources.size());
 
   span.Arg("nodes", static_cast<std::uint64_t>(n))
-      .Arg("sources", static_cast<std::uint64_t>(sources.size()));
-  for (const NodeId src : sources) {
-    TOPOGEN_COUNT("hierarchy.sources_processed");
-    const graph::ShortestPathDag dag = graph::BuildShortestPathDag(g, src);
-    // Descendant bitsets, farthest nodes first.
-    for (std::size_t i = dag.order.size(); i-- > 0;) {
-      const NodeId y = dag.order[i];
-      if (dirty[y]) reach.ClearRow(y);
-      dirty[y] = 1;
-      reach.SetBit(y, y);
-      for (const NodeId z : g.neighbors(y)) {
-        if (dag.dist[z] != kUnreachable && dag.dist[z] == dag.dist[y] + 1) {
-          reach.OrInto(y, z);
+      .Arg("sources", static_cast<std::uint64_t>(sources.size()))
+      .Arg("chunks", static_cast<std::uint64_t>(plan.chunks));
+  // Per-source accumulation is embarrassingly parallel: each chunk of
+  // sources owns its scratch (bitsets, delta) and its SideMasses partial.
+  auto map = [&](std::size_t, std::size_t first, std::size_t last) {
+    SideMasses masses(m);
+    BitRows reach(n, n);
+    std::vector<double> delta(n);
+    std::vector<std::uint8_t> dirty(n, 0);
+    for (std::size_t si = first; si < last; ++si) {
+      const NodeId src = sources[si];
+      TOPOGEN_COUNT("hierarchy.sources_processed");
+      const graph::ShortestPathDag dag = graph::BuildShortestPathDag(g, src);
+      // Descendant bitsets, farthest nodes first.
+      for (std::size_t i = dag.order.size(); i-- > 0;) {
+        const NodeId y = dag.order[i];
+        if (dirty[y]) reach.ClearRow(y);
+        dirty[y] = 1;
+        reach.SetBit(y, y);
+        for (const NodeId z : g.neighbors(y)) {
+          if (dag.dist[z] != kUnreachable && dag.dist[z] == dag.dist[y] + 1) {
+            reach.OrInto(y, z);
+          }
+        }
+      }
+      // Brandes backward accumulation with per-edge contributions.
+      std::fill(delta.begin(), delta.end(), 0.0);
+      for (std::size_t i = dag.order.size(); i-- > 0;) {
+        const NodeId y = dag.order[i];
+        if (y == src) continue;
+        const double through = 1.0 + delta[y];
+        const std::size_t targets = reach.Popcount(y);
+        const auto nbrs = g.neighbors(y);
+        const auto eids = g.incident_edges(y);
+        for (std::size_t k = 0; k < nbrs.size(); ++k) {
+          const NodeId x = nbrs[k];
+          if (dag.dist[x] == kUnreachable || dag.dist[x] + 1 != dag.dist[y]) {
+            continue;  // not a DAG predecessor
+          }
+          const double c = dag.sigma[x] / dag.sigma[y] * through;
+          delta[x] += c;
+          // W(src, l) = delta_edge / |targets through l|; the source sits
+          // on x's side of the link (x is strictly closer to src).
+          const double w = c / static_cast<double>(targets);
+          const EdgeId e = eids[k];
+          if (g.edges()[e].u == x) {
+            masses.u[e] += w;
+          } else {
+            masses.v[e] += w;
+          }
         }
       }
     }
-    // Brandes backward accumulation with per-edge contributions.
-    std::fill(delta.begin(), delta.end(), 0.0);
-    for (std::size_t i = dag.order.size(); i-- > 0;) {
-      const NodeId y = dag.order[i];
-      if (y == src) continue;
-      const double through = 1.0 + delta[y];
-      const std::size_t targets = reach.Popcount(y);
-      const auto nbrs = g.neighbors(y);
-      const auto eids = g.incident_edges(y);
-      for (std::size_t k = 0; k < nbrs.size(); ++k) {
-        const NodeId x = nbrs[k];
-        if (dag.dist[x] == kUnreachable || dag.dist[x] + 1 != dag.dist[y]) {
-          continue;  // not a DAG predecessor
-        }
-        const double c = dag.sigma[x] / dag.sigma[y] * through;
-        delta[x] += c;
-        // W(src, l) = delta_edge / |targets through l|; the source sits on
-        // x's side of the link (x is strictly closer to src).
-        const double w = c / static_cast<double>(targets);
-        const EdgeId e = eids[k];
-        if (g.edges()[e].u == x) {
-          mass_u[e] += w;
-        } else {
-          mass_v[e] += w;
-        }
-      }
-    }
-  }
+    return masses;
+  };
+  const SideMasses total =
+      *parallel::ParallelReduce<SideMasses>(plan, map, SideMasses::Fold);
 
   const double scale =
       static_cast<double>(n) / static_cast<double>(sources.size());
   for (EdgeId e = 0; e < m; ++e) {
-    out.value[e] = scale * std::min(mass_u[e], mass_v[e]);
+    out.value[e] = scale * std::min(total.u[e], total.v[e]);
   }
   return out;
 }
@@ -238,133 +274,143 @@ LinkValueResult ComputePolicyLinkValues(
 
   const std::vector<NodeId> sources =
       PickSources(n, options.max_sources, options.seed);
-  std::vector<double> mass_u(m, 0.0), mass_v(m, 0.0);
-  // One bitset row and one sigma/delta slot per automaton state (2 per
-  // node; phase in the LSB of the state index).
-  BitRows reach(2 * static_cast<std::size_t>(n), n);
-  std::vector<double> sigma(2 * static_cast<std::size_t>(n));
-  std::vector<double> delta(2 * static_cast<std::size_t>(n));
-  std::vector<double> sigma_pol(n);
-  std::vector<std::uint8_t> dirty(2 * static_cast<std::size_t>(n), 0);
+  const parallel::ChunkPlan plan = SourcePlan(sources.size());
   auto state_of = [](NodeId v, unsigned phase) {
     return (static_cast<std::size_t>(v) << 1) | phase;
   };
 
   span.Arg("nodes", static_cast<std::uint64_t>(n))
-      .Arg("sources", static_cast<std::uint64_t>(sources.size()));
-  for (const NodeId src : sources) {
-    TOPOGEN_COUNT("hierarchy.sources_processed");
-    const policy::PolicyBfs bfs = policy::RunPolicyBfs(g, rel, src);
-    auto dist_of = [&](NodeId v, unsigned phase) {
-      return phase == policy::kPhaseUp ? bfs.dist_up[v] : bfs.dist_down[v];
-    };
-    // Forward sigma over the state DAG.
-    for (const std::uint64_t packed : bfs.order) {
-      sigma[packed] = 0.0;
-    }
-    sigma[state_of(src, policy::kPhaseUp)] = 1.0;
-    for (const std::uint64_t packed : bfs.order) {
-      const NodeId u = static_cast<NodeId>(packed >> 1);
-      const auto phase = static_cast<unsigned>(packed & 1);
-      const Dist du = dist_of(u, phase);
-      const auto nbrs = g.neighbors(u);
-      const auto eids = g.incident_edges(u);
-      for (std::size_t k = 0; k < nbrs.size(); ++k) {
-        const policy::Traversal t =
-            policy::TraversalFrom(g, rel, eids[k], u);
-        unsigned next_phase;
-        if (!policy::PolicyStep(phase, t, next_phase)) continue;
-        if (dist_of(nbrs[k], next_phase) == du + 1) {
-          sigma[state_of(nbrs[k], next_phase)] += sigma[packed];
+      .Arg("sources", static_cast<std::uint64_t>(sources.size()))
+      .Arg("chunks", static_cast<std::uint64_t>(plan.chunks));
+  auto map = [&](std::size_t, std::size_t first, std::size_t last) {
+    SideMasses masses(m);
+    // One bitset row and one sigma/delta slot per automaton state (2 per
+    // node; phase in the LSB of the state index).
+    BitRows reach(2 * static_cast<std::size_t>(n), n);
+    std::vector<double> sigma(2 * static_cast<std::size_t>(n));
+    std::vector<double> delta(2 * static_cast<std::size_t>(n));
+    std::vector<double> sigma_pol(n);
+    std::vector<std::uint8_t> dirty(2 * static_cast<std::size_t>(n), 0);
+    for (std::size_t si = first; si < last; ++si) {
+      const NodeId src = sources[si];
+      TOPOGEN_COUNT("hierarchy.sources_processed");
+      const policy::PolicyBfs bfs = policy::RunPolicyBfs(g, rel, src);
+      auto dist_of = [&](NodeId v, unsigned phase) {
+        return phase == policy::kPhaseUp ? bfs.dist_up[v] : bfs.dist_down[v];
+      };
+      // Forward sigma over the state DAG.
+      for (const std::uint64_t packed : bfs.order) {
+        sigma[packed] = 0.0;
+      }
+      sigma[state_of(src, policy::kPhaseUp)] = 1.0;
+      for (const std::uint64_t packed : bfs.order) {
+        const NodeId u = static_cast<NodeId>(packed >> 1);
+        const auto phase = static_cast<unsigned>(packed & 1);
+        const Dist du = dist_of(u, phase);
+        const auto nbrs = g.neighbors(u);
+        const auto eids = g.incident_edges(u);
+        for (std::size_t k = 0; k < nbrs.size(); ++k) {
+          const policy::Traversal t =
+              policy::TraversalFrom(g, rel, eids[k], u);
+          unsigned next_phase;
+          if (!policy::PolicyStep(phase, t, next_phase)) continue;
+          if (dist_of(nbrs[k], next_phase) == du + 1) {
+            sigma[state_of(nbrs[k], next_phase)] += sigma[packed];
+          }
         }
       }
-    }
-    // Per-node policy path counts (across optimal states).
-    for (const std::uint64_t packed : bfs.order) {
-      const NodeId v = static_cast<NodeId>(packed >> 1);
-      sigma_pol[v] = 0.0;
-    }
-    for (const std::uint64_t packed : bfs.order) {
-      const NodeId v = static_cast<NodeId>(packed >> 1);
-      const auto phase = static_cast<unsigned>(packed & 1);
-      const Dist best = std::min(bfs.dist_up[v], bfs.dist_down[v]);
-      if (dist_of(v, phase) == best) sigma_pol[v] += sigma[packed];
-    }
+      // Per-node policy path counts (across optimal states).
+      for (const std::uint64_t packed : bfs.order) {
+        const NodeId v = static_cast<NodeId>(packed >> 1);
+        sigma_pol[v] = 0.0;
+      }
+      for (const std::uint64_t packed : bfs.order) {
+        const NodeId v = static_cast<NodeId>(packed >> 1);
+        const auto phase = static_cast<unsigned>(packed & 1);
+        const Dist best = std::min(bfs.dist_up[v], bfs.dist_down[v]);
+        if (dist_of(v, phase) == best) sigma_pol[v] += sigma[packed];
+      }
 
-    // Backward pass: descendant bitsets (seeded at optimal states) and the
-    // generalized Brandes dependency with per-target termination mass.
-    for (std::size_t i = bfs.order.size(); i-- > 0;) {
-      const std::uint64_t packed = bfs.order[i];
-      const NodeId y = static_cast<NodeId>(packed >> 1);
-      const auto phase = static_cast<unsigned>(packed & 1);
-      if (dirty[packed]) reach.ClearRow(packed);
-      dirty[packed] = 1;
-      delta[packed] = 0.0;
-      if (dist_of(y, phase) == std::min(bfs.dist_up[y], bfs.dist_down[y])) {
-        reach.SetBit(packed, y);
-      }
-      const Dist dy = dist_of(y, phase);
-      const auto nbrs = g.neighbors(y);
-      const auto eids = g.incident_edges(y);
-      for (std::size_t k = 0; k < nbrs.size(); ++k) {
-        const policy::Traversal t =
-            policy::TraversalFrom(g, rel, eids[k], y);
-        unsigned next_phase;
-        if (!policy::PolicyStep(phase, t, next_phase)) continue;
-        if (dist_of(nbrs[k], next_phase) == dy + 1) {
-          reach.OrInto(packed, state_of(nbrs[k], next_phase));
+      // Backward pass: descendant bitsets (seeded at optimal states) and
+      // the generalized Brandes dependency with per-target termination
+      // mass.
+      for (std::size_t i = bfs.order.size(); i-- > 0;) {
+        const std::uint64_t packed = bfs.order[i];
+        const NodeId y = static_cast<NodeId>(packed >> 1);
+        const auto phase = static_cast<unsigned>(packed & 1);
+        if (dirty[packed]) reach.ClearRow(packed);
+        dirty[packed] = 1;
+        delta[packed] = 0.0;
+        if (dist_of(y, phase) == std::min(bfs.dist_up[y], bfs.dist_down[y])) {
+          reach.SetBit(packed, y);
         }
-      }
-    }
-    for (std::size_t i = bfs.order.size(); i-- > 0;) {
-      const std::uint64_t packed = bfs.order[i];
-      const NodeId y = static_cast<NodeId>(packed >> 1);
-      const auto phase = static_cast<unsigned>(packed & 1);
-      if (y == src && phase == policy::kPhaseUp) continue;
-      const Dist dy = dist_of(y, phase);
-      const bool optimal =
-          dy == std::min(bfs.dist_up[y], bfs.dist_down[y]);
-      const double term =
-          optimal && sigma_pol[y] > 0 ? sigma[packed] / sigma_pol[y] : 0.0;
-      const double through = term + delta[packed];
-      if (through <= 0.0) continue;
-      const std::size_t targets = reach.Popcount(packed);
-      if (targets == 0) continue;
-      // Predecessors: states (x, px) with an allowed transition into this
-      // state at distance dy - 1.
-      const auto nbrs = g.neighbors(y);
-      const auto eids = g.incident_edges(y);
-      for (std::size_t k = 0; k < nbrs.size(); ++k) {
-        const NodeId x = nbrs[k];
-        const policy::Traversal t_from_x =
-            policy::TraversalFrom(g, rel, eids[k], x);
-        for (unsigned px : {policy::kPhaseUp, policy::kPhaseDown}) {
-          unsigned landed;
-          if (!policy::PolicyStep(px, t_from_x, landed) || landed != phase) {
-            continue;
-          }
-          if (dist_of(x, px) == kUnreachable || dist_of(x, px) + 1 != dy) {
-            continue;
-          }
-          const std::size_t sx = state_of(x, px);
-          const double c = sigma[sx] / sigma[packed] * through;
-          delta[sx] += c;
-          const double w = c / static_cast<double>(targets);
-          const EdgeId e = eids[k];
-          if (g.edges()[e].u == x) {
-            mass_u[e] += w;
-          } else {
-            mass_v[e] += w;
+        const Dist dy = dist_of(y, phase);
+        const auto nbrs = g.neighbors(y);
+        const auto eids = g.incident_edges(y);
+        for (std::size_t k = 0; k < nbrs.size(); ++k) {
+          const policy::Traversal t =
+              policy::TraversalFrom(g, rel, eids[k], y);
+          unsigned next_phase;
+          if (!policy::PolicyStep(phase, t, next_phase)) continue;
+          if (dist_of(nbrs[k], next_phase) == dy + 1) {
+            reach.OrInto(packed, state_of(nbrs[k], next_phase));
           }
         }
       }
+      for (std::size_t i = bfs.order.size(); i-- > 0;) {
+        const std::uint64_t packed = bfs.order[i];
+        const NodeId y = static_cast<NodeId>(packed >> 1);
+        const auto phase = static_cast<unsigned>(packed & 1);
+        if (y == src && phase == policy::kPhaseUp) continue;
+        const Dist dy = dist_of(y, phase);
+        const bool optimal =
+            dy == std::min(bfs.dist_up[y], bfs.dist_down[y]);
+        const double term =
+            optimal && sigma_pol[y] > 0 ? sigma[packed] / sigma_pol[y] : 0.0;
+        const double through = term + delta[packed];
+        if (through <= 0.0) continue;
+        const std::size_t targets = reach.Popcount(packed);
+        if (targets == 0) continue;
+        // Predecessors: states (x, px) with an allowed transition into
+        // this state at distance dy - 1.
+        const auto nbrs = g.neighbors(y);
+        const auto eids = g.incident_edges(y);
+        for (std::size_t k = 0; k < nbrs.size(); ++k) {
+          const NodeId x = nbrs[k];
+          const policy::Traversal t_from_x =
+              policy::TraversalFrom(g, rel, eids[k], x);
+          for (unsigned px : {policy::kPhaseUp, policy::kPhaseDown}) {
+            unsigned landed;
+            if (!policy::PolicyStep(px, t_from_x, landed) ||
+                landed != phase) {
+              continue;
+            }
+            if (dist_of(x, px) == kUnreachable || dist_of(x, px) + 1 != dy) {
+              continue;
+            }
+            const std::size_t sx = state_of(x, px);
+            const double c = sigma[sx] / sigma[packed] * through;
+            delta[sx] += c;
+            const double w = c / static_cast<double>(targets);
+            const EdgeId e = eids[k];
+            if (g.edges()[e].u == x) {
+              masses.u[e] += w;
+            } else {
+              masses.v[e] += w;
+            }
+          }
+        }
+      }
     }
-  }
+    return masses;
+  };
+  const SideMasses total =
+      *parallel::ParallelReduce<SideMasses>(plan, map, SideMasses::Fold);
 
   const double scale =
       static_cast<double>(n) / static_cast<double>(sources.size());
   for (EdgeId e = 0; e < m; ++e) {
-    out.value[e] = scale * std::min(mass_u[e], mass_v[e]);
+    out.value[e] = scale * std::min(total.u[e], total.v[e]);
   }
   return out;
 }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 
+#include "parallel/parallel_for.h"
 #include "policy/policy_ball.h"
 
 namespace topogen::metrics {
@@ -54,19 +56,63 @@ Series BinsToSeries(const std::vector<RadiusBin>& bins) {
   return s;
 }
 
+void FoldBins(std::vector<RadiusBin>& acc, std::vector<RadiusBin>&& next) {
+  for (std::size_t r = 0; r < acc.size(); ++r) {
+    acc[r].sum_size += next[r].sum_size;
+    acc[r].sum_value += next[r].sum_value;
+    acc[r].count += next[r].count;
+  }
+}
+
+// One chunk per center: each center is a full BFS plus a metric
+// evaluation per radius, heavyweight enough to schedule individually.
+// Partial bins fold in center order, so the per-radius sums associate
+// identically at every thread count.
+parallel::ChunkPlan CenterPlan(std::size_t num_centers) {
+  return parallel::PlanChunks(num_centers, /*min_grain=*/1,
+                              /*max_chunks=*/num_centers);
+}
+
+// Everything a center's evaluation may depend on is decided *before*
+// dispatch: the center id, whether this center participates in big balls
+// (a fixed property of its index -- a center must never observe how many
+// balls other centers grew past big_ball_threshold), and its private RNG
+// stream derived from (seed, center index). See docs/PARALLELISM.md.
+struct CenterTask {
+  graph::NodeId center = 0;
+  bool allow_big = false;
+  std::uint64_t rng_seed = 0;
+};
+
+std::vector<CenterTask> PlanCenters(const graph::Graph& g,
+                                    const BallGrowingOptions& options,
+                                    std::uint64_t stream_salt) {
+  const std::vector<graph::NodeId> centers =
+      SampleCenters(g, options.max_centers, options.seed);
+  std::vector<CenterTask> tasks(centers.size());
+  for (std::size_t ci = 0; ci < centers.size(); ++ci) {
+    tasks[ci].center = centers[ci];
+    tasks[ci].allow_big = ci < options.big_ball_centers;
+    tasks[ci].rng_seed =
+        graph::DeriveStream(options.seed ^ stream_salt, ci);
+  }
+  return tasks;
+}
+
 }  // namespace
 
 Series BallGrowingSeries(const Graph& g, const BallGrowingOptions& options,
                          const BallMetric& metric) {
-  const std::vector<NodeId> centers =
-      SampleCenters(g, options.max_centers, options.seed);
-  std::vector<RadiusBin> bins(static_cast<std::size_t>(options.max_radius) + 1);
-  Rng rng(graph::SplitMix64(options.seed) ^ 0x9e3779b9u);
+  const std::vector<CenterTask> tasks =
+      PlanCenters(g, options, /*stream_salt=*/0x9e3779b9u);
+  const std::size_t num_bins = static_cast<std::size_t>(options.max_radius) + 1;
 
-  for (std::size_t ci = 0; ci < centers.size(); ++ci) {
-    const NodeId center = centers[ci];
+  auto map = [&](std::size_t ci, std::size_t, std::size_t) {
+    const CenterTask& task = tasks[ci];
+    std::vector<RadiusBin> bins(num_bins);
+    Rng rng(task.rng_seed);
     // One BFS; balls of every radius are prefixes of the distance order.
-    const std::vector<Dist> dist = BfsDistances(g, center);
+    const std::vector<Dist> dist = BfsDistances(g, task.center);
     std::vector<NodeId> order;
     order.reserve(g.num_nodes());
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -83,8 +129,7 @@ Series BallGrowingSeries(const Graph& g, const BallGrowingOptions& options,
     for (Dist r = 1; r <= max_r; ++r) {
       while (prefix < order.size() && dist[order[prefix]] <= r) ++prefix;
       if (prefix > options.max_ball_nodes) break;
-      if (prefix > options.big_ball_threshold &&
-          ci >= options.big_ball_centers) {
+      if (prefix > options.big_ball_threshold && !task.allow_big) {
         break;  // large balls run on a reduced center set
       }
       const graph::Subgraph ball = graph::InducedSubgraph(
@@ -96,28 +141,34 @@ Series BallGrowingSeries(const Graph& g, const BallGrowingOptions& options,
       ++bins[r].count;
       if (prefix == order.size()) break;  // ball swallowed the component
     }
-  }
-  return BinsToSeries(bins);
+    return bins;
+  };
+  std::optional<std::vector<RadiusBin>> total =
+      parallel::ParallelReduce<std::vector<RadiusBin>>(
+          CenterPlan(tasks.size()), map, FoldBins);
+  if (!total) total.emplace(num_bins);
+  return BinsToSeries(*total);
 }
 
 Series PolicyBallGrowingSeries(const Graph& g,
                                std::span<const policy::Relationship> rel,
                                const BallGrowingOptions& options,
                                const BallMetric& metric) {
-  const std::vector<NodeId> centers =
-      SampleCenters(g, options.max_centers, options.seed);
-  std::vector<RadiusBin> bins(static_cast<std::size_t>(options.max_radius) + 1);
-  Rng rng(graph::SplitMix64(options.seed) ^ 0x51c6e573u);
+  const std::vector<CenterTask> tasks =
+      PlanCenters(g, options, /*stream_salt=*/0x51c6e573u);
+  const std::size_t num_bins = static_cast<std::size_t>(options.max_radius) + 1;
 
-  for (std::size_t ci = 0; ci < centers.size(); ++ci) {
-    const NodeId center = centers[ci];
+  auto map = [&](std::size_t ci, std::size_t, std::size_t) {
+    const CenterTask& task = tasks[ci];
+    std::vector<RadiusBin> bins(num_bins);
+    Rng rng(task.rng_seed);
     std::size_t last_size = 0;
     for (Dist r = 1; r <= options.max_radius; ++r) {
-      const policy::PolicyBall ball = policy::GrowPolicyBall(g, rel, center, r);
+      const policy::PolicyBall ball =
+          policy::GrowPolicyBall(g, rel, task.center, r);
       const std::size_t size = ball.subgraph.graph.num_nodes();
       if (size > options.max_ball_nodes) break;
-      if (size > options.big_ball_threshold &&
-          ci >= options.big_ball_centers) {
+      if (size > options.big_ball_threshold && !task.allow_big) {
         break;
       }
       const double value = metric(ball.subgraph.graph, rng);
@@ -129,8 +180,13 @@ Series PolicyBallGrowingSeries(const Graph& g,
       if (size == last_size) break;  // policy ball stopped growing
       last_size = size;
     }
-  }
-  return BinsToSeries(bins);
+    return bins;
+  };
+  std::optional<std::vector<RadiusBin>> total =
+      parallel::ParallelReduce<std::vector<RadiusBin>>(
+          CenterPlan(tasks.size()), map, FoldBins);
+  if (!total) total.emplace(num_bins);
+  return BinsToSeries(*total);
 }
 
 }  // namespace topogen::metrics

@@ -12,6 +12,13 @@
 // progressively fewer for large ones ("for larger subgraphs, we repeated
 // the computation for [fewer] randomly chosen nodes, in order to keep
 // computation times reasonable").
+//
+// Centers are evaluated in parallel (one task per center, see
+// docs/PARALLELISM.md) under the engine's determinism contract: each
+// center gets a private RNG stream derived from (seed, center index),
+// and whether a center participates in big balls is a fixed property of
+// its index decided before dispatch -- so the series is bit-identical at
+// every TOPOGEN_THREADS value, and independent of execution order.
 #pragma once
 
 #include <functional>

@@ -5,6 +5,7 @@
 #include "graph/bfs.h"
 #include "obs/obs.h"
 #include "metrics/ball.h"
+#include "parallel/parallel_for.h"
 #include "policy/policy_ball.h"
 
 namespace topogen::metrics {
@@ -23,14 +24,20 @@ Series AccumulateExpansion(const graph::Graph& g, std::size_t max_sources,
       SampleCenters(g, max_sources, seed);
   // Collect first, then average: sources whose eccentricity is below the
   // global maximum stay saturated at their final reachable count for
-  // larger radii, so E(h) is monotone as it should be.
-  std::vector<std::vector<std::size_t>> all;
-  all.reserve(sources.size());
+  // larger radii, so E(h) is monotone as it should be. Every source
+  // writes its own slot, so the parallel fan-out is trivially
+  // deterministic; the averaging below stays serial and ordered.
+  std::vector<std::vector<std::size_t>> all(sources.size());
+  parallel::ParallelFor(
+      parallel::PlanChunks(sources.size(), /*min_grain=*/8,
+                           /*max_chunks=*/64),
+      [&](std::size_t, std::size_t first, std::size_t last) {
+        for (std::size_t i = first; i < last; ++i) {
+          all[i] = counts_of(sources[i]);
+        }
+      });
   std::size_t max_len = 0;
-  for (const graph::NodeId src : sources) {
-    all.push_back(counts_of(src));
-    max_len = std::max(max_len, all.back().size());
-  }
+  for (const auto& counts : all) max_len = std::max(max_len, counts.size());
   for (std::size_t h = 1; h < max_len; ++h) {
     double sum = 0.0;
     for (const auto& counts : all) {

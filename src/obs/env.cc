@@ -31,6 +31,15 @@ std::string EnvOr(const char* name, const char* fallback) {
   return v == nullptr ? fallback : v;
 }
 
+int EnvInt(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || parsed < 0 || parsed > 4096) return 0;
+  return static_cast<int>(parsed);
+}
+
 std::mutex& EnvMutex() {
   static std::mutex m;
   return m;
@@ -53,7 +62,8 @@ Env::Env()
     : scale_(EnvOr("TOPOGEN_SCALE", "default")),
       outdir_(EnvOr("TOPOGEN_OUTDIR", "")),
       trace_path_(EnvOr("TOPOGEN_TRACE", "")),
-      stats_path_(EnvOr("TOPOGEN_STATS", "")) {
+      stats_path_(EnvOr("TOPOGEN_STATS", "")),
+      threads_override_(EnvInt("TOPOGEN_THREADS")) {
   Epoch();  // pin the trace epoch no later than first configuration use
 }
 

@@ -7,6 +7,9 @@
 //                            ("-" = text to stderr; "x.json" = JSON only;
 //                            otherwise text at <file> + JSON at <file>.json)
 //   TOPOGEN_OUTDIR  <dir>    figure export dir; also gets manifest.json
+//   TOPOGEN_THREADS <n>      worker threads for the parallel engine
+//                            (unset/0 = hardware concurrency, 1 = serial;
+//                            see docs/PARALLELISM.md)
 //
 // The hot-path question "is any of this on?" must cost one relaxed atomic
 // load so instrumented kernels (BFS, generators) stay at native speed when
@@ -33,6 +36,12 @@ class Env {
   const std::string& trace_path() const { return trace_path_; }
   const std::string& stats_path() const { return stats_path_; }
 
+  // TOPOGEN_THREADS as written: 0 means "auto" (pick hardware
+  // concurrency); >= 1 is an explicit worker count. Unparsable or
+  // negative values fall back to 0. The parallel pool owns the
+  // auto-resolution; this is just the configured value.
+  int threads_override() const { return threads_override_; }
+
   bool trace_enabled() const { return !trace_path_.empty(); }
   bool stats_enabled() const { return !stats_path_.empty(); }
   bool outdir_set() const { return !outdir_.empty(); }
@@ -44,6 +53,7 @@ class Env {
   std::string outdir_;
   std::string trace_path_;
   std::string stats_path_;
+  int threads_override_ = 0;
 };
 
 namespace detail {

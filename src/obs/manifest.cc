@@ -7,6 +7,7 @@
 #include <fstream>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "obs/env.h"
@@ -49,6 +50,7 @@ struct State {
   std::mutex mutex;
   bool armed = false;  // anything recorded => write at exit
   std::string tool;
+  int threads = 0;  // 0 = the run never started the parallel pool
   std::optional<RosterConfig> roster;
   std::vector<TopologyEntry> topologies;
   std::vector<FigureEntry> figures;
@@ -81,6 +83,13 @@ void Manifest::SetTool(std::string_view name) {
   std::lock_guard<std::mutex> lock(s.mutex);
   s.tool = name;
   s.armed = true;
+}
+
+void Manifest::SetThreads(int threads) {
+  if (!ManifestEnabled()) return;
+  State& s = State::Get();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.threads = threads;
 }
 
 void Manifest::SetRoster(const RosterConfig& roster) {
@@ -146,6 +155,15 @@ bool Manifest::WriteTo(const std::string& path) {
      << JsonNumber(static_cast<double>(NowMicros()) / 1e6) << ",\n";
   const MemoryUsage mu = ReadMemoryUsage();
   os << "  \"peak_rss_kb\": " << mu.peak_rss_kb << ",\n";
+  // If the pool never ran, record the count it would have used (the same
+  // TOPOGEN_THREADS -> hardware-concurrency resolution the pool applies).
+  int threads = s.threads;
+  if (threads == 0) threads = env.threads_override();
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  os << "  \"threads\": " << threads << ",\n";
   if (s.roster) {
     os << "  \"roster\": {\n";
     os << "    \"seed\": " << s.roster->seed << ",\n";
@@ -195,6 +213,7 @@ void Manifest::ResetForTesting() {
   std::lock_guard<std::mutex> lock(s.mutex);
   s.armed = false;
   s.tool.clear();
+  s.threads = 0;
   s.roster.reset();
   s.topologies.clear();
   s.figures.clear();

@@ -27,6 +27,11 @@ class Manifest {
   // All recorders are no-ops unless ManifestEnabled() (TOPOGEN_OUTDIR set).
   static void SetTool(std::string_view name);
   static void SetRoster(const RosterConfig& roster);
+  // Effective parallel worker count (parallel::Pool reports it on
+  // construction). Unlike the other recorders this does not arm the
+  // manifest by itself: a run that only ever touched the thread pool has
+  // produced nothing worth stamping.
+  static void SetThreads(int threads);
   // Re-registering a topology name overwrites its entry (benches rebuild
   // rosters per panel).
   static void AddTopology(std::string_view name, std::uint64_t nodes,

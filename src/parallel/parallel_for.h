@@ -1,0 +1,108 @@
+// ParallelFor / ParallelReduce: the deterministic data-parallel API the
+// metric kernels are written against (docs/PARALLELISM.md).
+//
+// The hard contract: results are bit-identical to serial execution
+// regardless of thread count. Three rules enforce it:
+//
+//   1. Fixed chunking. A range [0, n) is split into chunks whose count
+//      and boundaries depend only on n (and the per-call-site grain) --
+//      never on the thread count or on scheduling. PlanChunks is the
+//      single source of truth.
+//   2. Per-chunk partials, ordered reduction. Each chunk writes its own
+//      partial slot; the caller folds the slots left-to-right in chunk
+//      order after the region quiesces. No atomics-on-doubles, no
+//      combine-on-completion: floating-point accumulation order is a
+//      pure function of the chunk plan.
+//   3. Per-item RNG streams. Kernels that draw randomness derive a
+//      stream per logical item from (seed, item index) with
+//      graph::DeriveStream, so no item ever observes how much randomness
+//      other items consumed.
+//
+// Serial execution (TOPOGEN_THREADS=1) runs the same chunked code path
+// inline, so "serial" is not a second implementation -- it is the same
+// plan executed by one lane.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "parallel/pool.h"
+
+namespace topogen::parallel {
+
+// Deterministic split of [0, n) into near-equal chunks. The defaults are
+// tuned for per-source/per-center graph kernels: at least `min_grain`
+// items per chunk (so tiny inputs stay in one chunk and match the
+// pre-parallel serial accumulation exactly), at most `max_chunks` chunks
+// (bounding both scheduling overhead and the memory held in per-chunk
+// partials).
+struct ChunkPlan {
+  std::size_t n = 0;
+  std::size_t chunks = 0;
+
+  std::size_t begin(std::size_t chunk) const {
+    const std::size_t base = n / chunks;
+    const std::size_t rem = n % chunks;
+    return chunk * base + (chunk < rem ? chunk : rem);
+  }
+  std::size_t end(std::size_t chunk) const { return begin(chunk + 1); }
+};
+
+inline ChunkPlan PlanChunks(std::size_t n, std::size_t min_grain = 16,
+                            std::size_t max_chunks = 32) {
+  ChunkPlan plan;
+  plan.n = n;
+  if (n == 0) return plan;
+  if (min_grain == 0) min_grain = 1;
+  std::size_t chunks = n / min_grain;
+  if (chunks < 1) chunks = 1;
+  if (chunks > max_chunks) chunks = max_chunks;
+  plan.chunks = chunks;
+  return plan;
+}
+
+// Runs body(chunk_index, begin, end) over the plan's chunks. The body
+// must only write state owned by its items (slot-per-item writes are the
+// canonical pattern); cross-chunk accumulation belongs in ParallelReduce.
+template <typename Body>
+void ParallelFor(const ChunkPlan& plan, Body&& body) {
+  if (plan.chunks == 0) return;
+  Pool::Get().Run(plan.chunks, [&](std::size_t chunk) {
+    body(chunk, plan.begin(chunk), plan.end(chunk));
+  });
+}
+
+// Convenience overload: one chunk per index in [0, n) (per-topology
+// fan-out and other coarse loops where every item is heavyweight).
+template <typename Body>
+void ParallelForEach(std::size_t n, Body&& body) {
+  if (n == 0) return;
+  Pool::Get().Run(n, [&](std::size_t index) { body(index); });
+}
+
+// Maps each chunk to a Partial, then folds the partials in ascending
+// chunk order on the calling thread:
+//
+//   Partial map(chunk_index, begin, end);
+//   void fold(Partial& accumulator, Partial&& next);
+//
+// Returns nullopt when the plan is empty. The fold order (and therefore
+// every floating-point rounding) is fixed by the plan alone.
+template <typename Partial, typename Map, typename Fold>
+std::optional<Partial> ParallelReduce(const ChunkPlan& plan, Map&& map,
+                                      Fold&& fold) {
+  if (plan.chunks == 0) return std::nullopt;
+  std::vector<std::optional<Partial>> partials(plan.chunks);
+  Pool::Get().Run(plan.chunks, [&](std::size_t chunk) {
+    partials[chunk].emplace(map(chunk, plan.begin(chunk), plan.end(chunk)));
+  });
+  Partial acc = std::move(*partials[0]);
+  for (std::size_t chunk = 1; chunk < plan.chunks; ++chunk) {
+    fold(acc, std::move(*partials[chunk]));
+  }
+  return acc;
+}
+
+}  // namespace topogen::parallel

@@ -1,0 +1,232 @@
+#include "parallel/pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace topogen::parallel {
+
+namespace {
+
+// Depth of chunk bodies on this thread's stack; > 0 routes nested
+// parallel regions to the inline serial path.
+thread_local int t_region_depth = 0;
+
+struct DepthGuard {
+  DepthGuard() { ++t_region_depth; }
+  ~DepthGuard() { --t_region_depth; }
+};
+
+int ResolveThreadCount(int requested) {
+  int n = requested;
+  if (n <= 0) n = obs::Env::Get().threads_override();
+  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
+  if (n <= 0) n = 1;
+  return n;
+}
+
+// One in-flight chunked region. Lane l owns chunks l, l + lanes,
+// l + 2*lanes, ...; cursor[l] is the next *position* within that
+// arithmetic sequence, popped with fetch_add by the owner or a thief.
+struct Region {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t num_chunks = 0;
+  int lanes = 0;
+  std::vector<std::atomic<std::size_t>> cursor;
+  std::atomic<std::size_t> completed{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  Region(const std::function<void(std::size_t)>& f, std::size_t chunks,
+         int lane_count)
+      : fn(&f), num_chunks(chunks), lanes(lane_count), cursor(lane_count) {
+    for (auto& c : cursor) c.store(0, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace
+
+struct Pool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_cv;   // workers wait for a new region
+  std::condition_variable done_cv;   // the caller waits for quiescence
+  Region* region = nullptr;          // guarded by mutex
+  std::uint64_t generation = 0;      // bumped per region, guarded by mutex
+  int active_workers = 0;            // workers inside the current region
+  bool stopping = false;
+  std::vector<std::thread> workers;
+
+  // Drains the region from `home_lane`: own lane first, then steal from
+  // the other lanes round-robin. Returns through counters only.
+  void WorkOn(Region& r, int home_lane) {
+    std::size_t executed = 0;
+    std::size_t stolen = 0;
+    auto run_chunk = [&](std::size_t chunk, bool was_steal) {
+      {
+        DepthGuard depth;
+        try {
+          (*r.fn)(chunk);
+        } catch (...) {
+          bool expected = false;
+          if (r.failed.compare_exchange_strong(expected, true)) {
+            std::lock_guard<std::mutex> lock(r.error_mutex);
+            r.error = std::current_exception();
+          }
+        }
+      }
+      r.completed.fetch_add(1);
+      ++executed;
+      if (was_steal) ++stolen;
+    };
+    for (int off = 0; off < r.lanes; ++off) {
+      const int lane = (home_lane + off) % r.lanes;
+      while (!r.failed.load(std::memory_order_relaxed)) {
+        const std::size_t pos = r.cursor[lane].fetch_add(1);
+        const std::size_t chunk =
+            static_cast<std::size_t>(lane) +
+            pos * static_cast<std::size_t>(r.lanes);
+        if (chunk >= r.num_chunks) break;
+        run_chunk(chunk, off != 0);
+      }
+    }
+    if (executed > 0) TOPOGEN_COUNT_N("parallel.tasks", executed);
+    if (stolen > 0) TOPOGEN_COUNT_N("parallel.steals", stolen);
+  }
+
+  void WorkerLoop(int lane) {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      Region* r = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_cv.wait(lock, [&] {
+          return stopping || generation != seen_generation;
+        });
+        if (stopping) return;
+        seen_generation = generation;
+        r = region;
+        if (r == nullptr) continue;  // woke after the region retired
+        ++active_workers;
+      }
+      WorkOn(*r, lane);
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        --active_workers;
+      }
+      done_cv.notify_all();
+    }
+  }
+};
+
+Pool::Pool(int threads) : threads_(ResolveThreadCount(threads)) {
+  impl_ = threads_ > 1 ? new Impl : nullptr;
+  if (impl_ != nullptr) {
+    impl_->workers.reserve(static_cast<std::size_t>(threads_ - 1));
+    // The caller of Run() is lane 0; workers take lanes 1..threads-1.
+    for (int lane = 1; lane < threads_; ++lane) {
+      impl_->workers.emplace_back(
+          [this, lane] { impl_->WorkerLoop(lane); });
+    }
+  }
+  if (obs::AnyEnabled()) {
+    obs::Stats::GetGauge("parallel.threads").Set(threads_);
+  }
+  obs::Manifest::SetThreads(threads_);
+}
+
+Pool::~Pool() {
+  if (impl_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+void Pool::SerialRun(std::size_t num_chunks,
+                     const std::function<void(std::size_t)>& fn) {
+  DepthGuard depth;
+  for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) fn(chunk);
+  if (num_chunks > 0) TOPOGEN_COUNT_N("parallel.tasks", num_chunks);
+}
+
+void Pool::Run(std::size_t num_chunks,
+               const std::function<void(std::size_t)>& fn) {
+  if (num_chunks == 0) return;
+  TOPOGEN_COUNT("parallel.regions");
+  if (impl_ == nullptr || num_chunks == 1 || InRegion()) {
+    // Serial fallback and nested regions: same chunks, same order, same
+    // code path -- this is what makes TOPOGEN_THREADS=1 the reference
+    // execution the determinism tests compare against.
+    SerialRun(num_chunks, fn);
+    return;
+  }
+  obs::Span span("parallel.region", "parallel");
+  span.Arg("chunks", static_cast<std::uint64_t>(num_chunks))
+      .Arg("threads", static_cast<std::uint64_t>(threads_));
+
+  Region r(fn, num_chunks, threads_);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->region = &r;
+    ++impl_->generation;
+  }
+  impl_->work_cv.notify_all();
+  impl_->WorkOn(r, /*home_lane=*/0);
+  {
+    // Retire the region under the lock: a worker can only enter it (and
+    // bump active_workers) while `region` is set, so once the predicate
+    // holds and we null the pointer no thread can touch `r` again.
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->done_cv.wait(lock, [&] {
+      return impl_->active_workers == 0 &&
+             (r.completed.load() == num_chunks || r.failed.load());
+    });
+    impl_->region = nullptr;
+  }
+  if (r.failed.load()) {
+    std::lock_guard<std::mutex> lock(r.error_mutex);
+    if (r.error) std::rethrow_exception(r.error);
+  }
+}
+
+bool Pool::InRegion() { return t_region_depth > 0; }
+
+namespace {
+
+std::mutex& SingletonMutex() {
+  static std::mutex m;
+  return m;
+}
+
+Pool*& SingletonSlot() {
+  static Pool* slot = nullptr;
+  return slot;
+}
+
+}  // namespace
+
+Pool& Pool::Get() {
+  std::lock_guard<std::mutex> lock(SingletonMutex());
+  Pool*& slot = SingletonSlot();
+  if (slot == nullptr) slot = new Pool(0);
+  return *slot;
+}
+
+void Pool::SetThreadCountForTesting(int threads) {
+  std::lock_guard<std::mutex> lock(SingletonMutex());
+  Pool*& slot = SingletonSlot();
+  delete slot;
+  slot = new Pool(threads);
+}
+
+}  // namespace topogen::parallel

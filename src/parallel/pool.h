@@ -1,0 +1,70 @@
+// Work-stealing thread pool behind the deterministic parallel engine
+// (docs/PARALLELISM.md). The pool executes *chunked regions*: a region is
+// `num_chunks` indexed tasks, chunk c is homed on lane `c % lanes`, every
+// lane is drained front-to-back by its owner thread, and idle threads
+// steal from other lanes' fronts. Chunk->lane homing is fixed, so which
+// thread *executes* a chunk never changes what the chunk *computes* --
+// determinism lives one level up, in parallel_for.h's fixed chunk
+// boundaries, per-chunk partial slots, and ordered reduction.
+//
+// Sizing: TOPOGEN_THREADS (resolved once via obs::Env). Unset or 0 picks
+// std::thread::hardware_concurrency(); 1 runs every region inline on the
+// caller with zero worker threads -- the exact serial fallback, through
+// the same chunking code path. Nested regions (a parallel kernel called
+// from inside another region's chunk) always run inline on the calling
+// worker, which keeps the pool deadlock-free without a re-entrant
+// scheduler.
+//
+// Observability: each parallel region opens a `parallel.region` span and
+// the pool maintains `parallel.regions` / `parallel.tasks` /
+// `parallel.steals` counters plus a `parallel.threads` gauge; the
+// effective thread count is stamped into the run manifest.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace topogen::parallel {
+
+class Pool {
+ public:
+  // The process-wide pool, created on first use and sized from
+  // TOPOGEN_THREADS. Never destroyed (worker threads outlive all users).
+  static Pool& Get();
+
+  // Total execution lanes, including the caller's (so 1 = serial).
+  int threads() const { return threads_; }
+
+  // Runs fn(chunk_index) for every chunk_index in [0, num_chunks),
+  // blocking until all chunks finished. Chunks may run on any thread and
+  // in any order; each runs exactly once. If one or more chunk bodies
+  // throw, the region still quiesces (remaining unclaimed chunks are
+  // abandoned) and the first exception is rethrown on the caller.
+  // Re-entrant calls (from inside a chunk) run inline and serially.
+  void Run(std::size_t num_chunks, const std::function<void(std::size_t)>& fn);
+
+  // True while the current thread is executing a chunk body; used to
+  // route nested parallel regions to the inline serial path.
+  static bool InRegion();
+
+  // Tears the pool down and rebuilds it with `threads` lanes (0 = re-read
+  // the environment). Test/bench only: callers must guarantee no region
+  // is in flight. Lets one process benchmark threads={1,2,N}.
+  static void SetThreadCountForTesting(int threads);
+
+ private:
+  explicit Pool(int threads);
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  void SerialRun(std::size_t num_chunks,
+                 const std::function<void(std::size_t)>& fn);
+
+  int threads_;
+  struct Impl;
+  Impl* impl_;  // null when threads_ == 1 (no workers at all)
+};
+
+}  // namespace topogen::parallel

