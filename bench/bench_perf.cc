@@ -2,9 +2,25 @@
 // paths: generation, BFS, balanced bisection, spanning-tree distortion,
 // and link-value accumulation. These are engineering benchmarks, not
 // paper figures -- they size the cost of the figure harness.
+//
+// Besides the console table, every run writes a machine-readable
+// BENCH.json (schema topogen-bench/1) next to the working directory --
+// override the path with TOPOGEN_BENCH_JSON. Each record carries the
+// kernel id, graph family, node count, thread count, ns/op, and the
+// bytes the BFS engine allocated per op (graph.bfs_alloc_bytes delta;
+// ~0 in steady state is the zero-allocation contract, see
+// docs/PERFORMANCE.md). CI smoke-validates the file and archives it;
+// BENCH_PR3.json in the repo root pins the numbers this schema shipped
+// with.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "gen/canonical.h"
 #include "gen/plrg.h"
@@ -18,7 +34,19 @@
 #include "metrics/ball.h"
 #include "metrics/expansion.h"
 #include "metrics/resilience.h"
+#include "obs/stats.h"
 #include "parallel/pool.h"
+
+// The in-place kernel benchmarks only exist on trees that have the
+// epoch-stamped workspace. Gating on the header lets this exact file be
+// dropped into an older checkout to produce baseline numbers for an A/B
+// comparison (the wrapper benchmarks compile everywhere).
+#if __has_include("graph/bfs_scratch.h")
+#include "graph/bfs_scratch.h"
+#define TOPOGEN_BENCH_HAVE_BFS_SCRATCH 1
+#else
+#define TOPOGEN_BENCH_HAVE_BFS_SCRATCH 0
+#endif
 
 namespace {
 
@@ -38,6 +66,147 @@ void ThreadArgs(benchmark::internal::Benchmark* b) {
   if (HostThreads() > 2) b->Arg(HostThreads());
 }
 
+// --- BENCH.json support ------------------------------------------------
+
+// Kernel id and graph family per benchmark (keyed by the name before the
+// first '/'). Kept next to the benchmarks so a new one is a one-line
+// addition.
+struct BenchMeta {
+  const char* kernel;
+  const char* family;
+};
+
+const BenchMeta* MetaFor(const std::string& base_name) {
+  static const std::pair<const char*, BenchMeta> kTable[] = {
+      {"BM_GeneratePlrg", {"generate", "plrg"}},
+      {"BM_GenerateTransitStub", {"generate", "transit-stub"}},
+      {"BM_GenerateTiers", {"generate", "tiers"}},
+      {"BM_GenerateWaxman", {"generate", "waxman"}},
+      {"BM_Bfs", {"bfs_distances", "plrg"}},
+      {"BM_BfsDistancesInto", {"bfs_distances_into", "plrg"}},
+      {"BM_Ball", {"ball", "plrg"}},
+      {"BM_BallInto", {"ball_into", "plrg"}},
+      {"BM_ReachableCounts", {"reachable_counts", "plrg"}},
+      {"BM_ReachableCountsInto", {"reachable_counts_into", "plrg"}},
+      {"BM_ShortestPathDag", {"sp_dag", "plrg"}},
+      {"BM_ShortestPathDagInto", {"sp_dag_into", "plrg"}},
+      {"BM_AveragePathLength", {"avg_path_length", "plrg"}},
+      {"BM_Eccentricity", {"eccentricity", "plrg"}},
+      {"BM_BfsDense", {"bfs_distances", "erdos-renyi-dense"}},
+      {"BM_BalancedBisection", {"bisection", "mesh"}},
+      {"BM_BestDistortion", {"distortion", "erdos-renyi"}},
+      {"BM_Expansion", {"expansion", "plrg"}},
+      {"BM_ExpansionThreads", {"expansion", "plrg"}},
+      {"BM_LinkValues", {"link_value", "plrg"}},
+      {"BM_LinkValuesThreads", {"link_value", "plrg"}},
+      {"BM_BallResilienceThreads", {"ball_resilience", "plrg"}},
+  };
+  for (const auto& [name, meta] : kTable) {
+    if (base_name == name) return &meta;
+  }
+  return nullptr;
+}
+
+struct BenchRecord {
+  std::string name;
+  std::string kernel;
+  std::string family;
+  std::int64_t n = 0;
+  std::int64_t threads = 1;
+  double ns_per_op = 0.0;
+  double bytes_alloc_per_op = 0.0;
+};
+
+std::uint64_t BfsBytesNow() {
+  return obs::Stats::GetCounter("graph.bfs_alloc_bytes").value();
+}
+
+// Publishes the per-op BFS-engine allocation volume for the timed loop
+// that started at `bytes_before`. kAvgIterations divides by iterations,
+// so a steady-state kernel reports ~0 (only warm-up growth remains).
+void ReportBfsBytes(benchmark::State& state, std::uint64_t bytes_before) {
+  state.counters["bfs_bytes"] =
+      benchmark::Counter(static_cast<double>(BfsBytesNow() - bytes_before),
+                         benchmark::Counter::kAvgIterations);
+}
+
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      BenchRecord rec;
+      rec.name = run.benchmark_name();
+      const std::string base = rec.name.substr(0, rec.name.find('/'));
+      if (const BenchMeta* meta = MetaFor(base)) {
+        rec.kernel = meta->kernel;
+        rec.family = meta->family;
+      } else {
+        rec.kernel = base.rfind("BM_", 0) == 0 ? base.substr(3) : base;
+      }
+      const std::size_t tpos = rec.name.find("/threads:");
+      if (tpos != std::string::npos) {
+        rec.threads = std::atoll(rec.name.c_str() + tpos + 9);
+      }
+      if (auto it = run.counters.find("n"); it != run.counters.end()) {
+        rec.n = static_cast<std::int64_t>(it->second.value);
+      }
+      if (auto it = run.counters.find("bfs_bytes");
+          it != run.counters.end()) {
+        rec.bytes_alloc_per_op = it->second.value;
+      }
+      // Runs report in their declared time unit; normalize to ns.
+      double to_ns = 1.0;
+      switch (run.time_unit) {
+        case benchmark::kNanosecond:
+          to_ns = 1.0;
+          break;
+        case benchmark::kMicrosecond:
+          to_ns = 1e3;
+          break;
+        case benchmark::kMillisecond:
+          to_ns = 1e6;
+          break;
+        case benchmark::kSecond:
+          to_ns = 1e9;
+          break;
+      }
+      rec.ns_per_op = run.GetAdjustedRealTime() * to_ns;
+      records_.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  bool WriteJson(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os.is_open()) return false;
+    os << "{\n  \"schema\": \"topogen-bench/1\",\n";
+    os << "  \"created_unix\": " << static_cast<long long>(std::time(nullptr))
+       << ",\n";
+    os << "  \"host_threads\": " << HostThreads() << ",\n";
+    os << "  \"results\": [";
+    bool first = true;
+    for (const BenchRecord& r : records_) {
+      os << (first ? "\n" : ",\n");
+      os << "    {\"name\": \"" << r.name << "\", \"kernel\": \"" << r.kernel
+         << "\", \"family\": \"" << r.family << "\", \"n\": " << r.n
+         << ", \"threads\": " << r.threads << ", \"ns_per_op\": "
+         << r.ns_per_op << ", \"bytes_alloc_per_op\": "
+         << r.bytes_alloc_per_op << "}";
+      first = false;
+    }
+    os << "\n  ]\n}\n";
+    return os.good();
+  }
+
+  bool empty() const { return records_.empty(); }
+
+ private:
+  std::vector<BenchRecord> records_;
+};
+
+// --- generation -------------------------------------------------------
+
 void BM_GeneratePlrg(benchmark::State& state) {
   for (auto _ : state) {
     graph::Rng rng(1);
@@ -45,6 +214,7 @@ void BM_GeneratePlrg(benchmark::State& state) {
     p.n = static_cast<graph::NodeId>(state.range(0));
     benchmark::DoNotOptimize(gen::Plrg(p, rng).num_edges());
   }
+  state.counters["n"] = static_cast<double>(state.range(0));
 }
 BENCHMARK(BM_GeneratePlrg)->Arg(2000)->Arg(10000);
 
@@ -72,22 +242,199 @@ void BM_GenerateWaxman(benchmark::State& state) {
     p.alpha = 0.0125;
     benchmark::DoNotOptimize(gen::Waxman(p, rng).num_edges());
   }
+  state.counters["n"] = 2000;
 }
 BENCHMARK(BM_GenerateWaxman);
 
-void BM_Bfs(benchmark::State& state) {
-  graph::Rng rng(2);
+// --- BFS kernels ------------------------------------------------------
+
+graph::Graph MakeBenchPlrg(graph::NodeId n, std::uint64_t seed) {
+  graph::Rng rng(seed);
   gen::PlrgParams p;
-  p.n = static_cast<graph::NodeId>(state.range(0));
-  const graph::Graph g = gen::Plrg(p, rng);
+  p.n = n;
+  return gen::Plrg(p, rng);
+}
+
+void BM_Bfs(benchmark::State& state) {
+  const graph::Graph g =
+      MakeBenchPlrg(static_cast<graph::NodeId>(state.range(0)), 2);
   graph::NodeId src = 0;
+  const std::uint64_t bytes = BfsBytesNow();
   for (auto _ : state) {
     benchmark::DoNotOptimize(graph::BfsDistances(g, src));
     src = (src + 17) % g.num_nodes();
   }
   state.SetItemsProcessed(state.iterations() * g.num_edges());
+  state.counters["n"] = static_cast<double>(g.num_nodes());
+  ReportBfsBytes(state, bytes);
 }
 BENCHMARK(BM_Bfs)->Arg(10000)->Arg(50000);
+
+#if TOPOGEN_BENCH_HAVE_BFS_SCRATCH
+void BM_BfsDistancesInto(benchmark::State& state) {
+  const graph::Graph g =
+      MakeBenchPlrg(static_cast<graph::NodeId>(state.range(0)), 2);
+  graph::BfsScratchLease scratch = graph::AcquireBfsScratch();
+  graph::NodeId src = 0;
+  const std::uint64_t bytes = BfsBytesNow();
+  for (auto _ : state) {
+    graph::BfsDistancesInto(g, src, *scratch);
+    benchmark::DoNotOptimize(scratch->reached());
+    src = (src + 17) % g.num_nodes();
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+  state.counters["n"] = static_cast<double>(g.num_nodes());
+  ReportBfsBytes(state, bytes);
+}
+BENCHMARK(BM_BfsDistancesInto)->Arg(10000)->Arg(50000);
+#endif  // TOPOGEN_BENCH_HAVE_BFS_SCRATCH
+
+// Dense regime: the direction-optimizing crossover flips to bottom-up on
+// the core levels (the golden tests pin the flip; this times it). Uses
+// the wrapper API so the baseline tree runs the same benchmark.
+void BM_BfsDense(benchmark::State& state) {
+  graph::Rng rng(11);
+  const graph::Graph g = gen::ErdosRenyi(
+      static_cast<graph::NodeId>(state.range(0)),
+      64.0 / static_cast<double>(state.range(0)), rng);
+  graph::NodeId src = 0;
+  const std::uint64_t bytes = BfsBytesNow();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::BfsDistances(g, src));
+    src = (src + 17) % g.num_nodes();
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+  state.counters["n"] = static_cast<double>(g.num_nodes());
+  ReportBfsBytes(state, bytes);
+}
+BENCHMARK(BM_BfsDense)->Arg(4000);
+
+// Radius-h balls on a 50k-node graph: the old engine paid an O(n)
+// distance fill per ball; the epoch reset makes this O(|ball|).
+void BM_Ball(benchmark::State& state) {
+  const graph::Graph g = MakeBenchPlrg(50000, 2);
+  const auto radius = static_cast<graph::Dist>(state.range(0));
+  graph::NodeId center = 0;
+  const std::uint64_t bytes = BfsBytesNow();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::Ball(g, center, radius).size());
+    center = (center + 17) % g.num_nodes();
+  }
+  state.counters["n"] = static_cast<double>(g.num_nodes());
+  ReportBfsBytes(state, bytes);
+}
+BENCHMARK(BM_Ball)->ArgName("radius")->Arg(2)->Arg(4);
+
+#if TOPOGEN_BENCH_HAVE_BFS_SCRATCH
+void BM_BallInto(benchmark::State& state) {
+  const graph::Graph g = MakeBenchPlrg(50000, 2);
+  const auto radius = static_cast<graph::Dist>(state.range(0));
+  graph::BfsScratchLease scratch = graph::AcquireBfsScratch();
+  graph::NodeId center = 0;
+  const std::uint64_t bytes = BfsBytesNow();
+  for (auto _ : state) {
+    graph::BallInto(g, center, radius, *scratch);
+    benchmark::DoNotOptimize(scratch->reached());
+    center = (center + 17) % g.num_nodes();
+  }
+  state.counters["n"] = static_cast<double>(g.num_nodes());
+  ReportBfsBytes(state, bytes);
+}
+BENCHMARK(BM_BallInto)->ArgName("radius")->Arg(2)->Arg(4);
+#endif  // TOPOGEN_BENCH_HAVE_BFS_SCRATCH
+
+void BM_ReachableCounts(benchmark::State& state) {
+  const graph::Graph g =
+      MakeBenchPlrg(static_cast<graph::NodeId>(state.range(0)), 2);
+  graph::NodeId src = 0;
+  const std::uint64_t bytes = BfsBytesNow();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::ReachableCounts(g, src).size());
+    src = (src + 17) % g.num_nodes();
+  }
+  state.counters["n"] = static_cast<double>(g.num_nodes());
+  ReportBfsBytes(state, bytes);
+}
+BENCHMARK(BM_ReachableCounts)->Arg(10000);
+
+#if TOPOGEN_BENCH_HAVE_BFS_SCRATCH
+void BM_ReachableCountsInto(benchmark::State& state) {
+  const graph::Graph g =
+      MakeBenchPlrg(static_cast<graph::NodeId>(state.range(0)), 2);
+  graph::BfsScratchLease scratch = graph::AcquireBfsScratch();
+  std::vector<std::size_t> counts;
+  graph::NodeId src = 0;
+  const std::uint64_t bytes = BfsBytesNow();
+  for (auto _ : state) {
+    graph::ReachableCountsInto(g, src, *scratch, counts);
+    benchmark::DoNotOptimize(counts.size());
+    src = (src + 17) % g.num_nodes();
+  }
+  state.counters["n"] = static_cast<double>(g.num_nodes());
+  ReportBfsBytes(state, bytes);
+}
+BENCHMARK(BM_ReachableCountsInto)->Arg(10000);
+#endif  // TOPOGEN_BENCH_HAVE_BFS_SCRATCH
+
+void BM_ShortestPathDag(benchmark::State& state) {
+  const graph::Graph g =
+      MakeBenchPlrg(static_cast<graph::NodeId>(state.range(0)), 2);
+  graph::NodeId src = 0;
+  const std::uint64_t bytes = BfsBytesNow();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::BuildShortestPathDag(g, src).order.size());
+    src = (src + 17) % g.num_nodes();
+  }
+  state.counters["n"] = static_cast<double>(g.num_nodes());
+  ReportBfsBytes(state, bytes);
+}
+BENCHMARK(BM_ShortestPathDag)->Arg(10000);
+
+#if TOPOGEN_BENCH_HAVE_BFS_SCRATCH
+void BM_ShortestPathDagInto(benchmark::State& state) {
+  const graph::Graph g =
+      MakeBenchPlrg(static_cast<graph::NodeId>(state.range(0)), 2);
+  graph::BfsScratchLease scratch = graph::AcquireBfsScratch();
+  graph::NodeId src = 0;
+  const std::uint64_t bytes = BfsBytesNow();
+  for (auto _ : state) {
+    graph::BuildShortestPathDagInto(g, src, *scratch);
+    benchmark::DoNotOptimize(scratch->reached());
+    src = (src + 17) % g.num_nodes();
+  }
+  state.counters["n"] = static_cast<double>(g.num_nodes());
+  ReportBfsBytes(state, bytes);
+}
+BENCHMARK(BM_ShortestPathDagInto)->Arg(10000);
+#endif  // TOPOGEN_BENCH_HAVE_BFS_SCRATCH
+
+void BM_AveragePathLength(benchmark::State& state) {
+  const graph::Graph g =
+      MakeBenchPlrg(static_cast<graph::NodeId>(state.range(0)), 2);
+  const std::uint64_t bytes = BfsBytesNow();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::AveragePathLength(g, 64));
+  }
+  state.counters["n"] = static_cast<double>(g.num_nodes());
+  ReportBfsBytes(state, bytes);
+}
+BENCHMARK(BM_AveragePathLength)->Arg(10000);
+
+void BM_Eccentricity(benchmark::State& state) {
+  const graph::Graph g =
+      MakeBenchPlrg(static_cast<graph::NodeId>(state.range(0)), 2);
+  graph::NodeId src = 0;
+  const std::uint64_t bytes = BfsBytesNow();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::Eccentricity(g, src));
+    src = (src + 17) % g.num_nodes();
+  }
+  state.counters["n"] = static_cast<double>(g.num_nodes());
+  ReportBfsBytes(state, bytes);
+}
+BENCHMARK(BM_Eccentricity)->Arg(10000);
+
+// --- composite kernels ------------------------------------------------
 
 void BM_BalancedBisection(benchmark::State& state) {
   const auto side = static_cast<unsigned>(state.range(0));
@@ -96,6 +443,7 @@ void BM_BalancedBisection(benchmark::State& state) {
     graph::Rng rng(3);
     benchmark::DoNotOptimize(graph::BalancedMinCut(g, rng));
   }
+  state.counters["n"] = static_cast<double>(g.num_nodes());
 }
 BENCHMARK(BM_BalancedBisection)->Arg(16)->Arg(48)->Arg(96);
 
@@ -108,31 +456,33 @@ void BM_BestDistortion(benchmark::State& state) {
     graph::Rng rng(5);
     benchmark::DoNotOptimize(graph::BestDistortion(g, rng, 32));
   }
+  state.counters["n"] = static_cast<double>(g.num_nodes());
 }
 BENCHMARK(BM_BestDistortion)->Arg(500)->Arg(2000);
 
 void BM_Expansion(benchmark::State& state) {
-  graph::Rng rng(6);
-  gen::PlrgParams p;
-  p.n = 8000;
-  const graph::Graph g = gen::Plrg(p, rng);
+  const graph::Graph g = MakeBenchPlrg(8000, 6);
+  const std::uint64_t bytes = BfsBytesNow();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         metrics::Expansion(g, {.max_sources = 200}).size());
   }
+  state.counters["n"] = static_cast<double>(g.num_nodes());
+  ReportBfsBytes(state, bytes);
 }
 BENCHMARK(BM_Expansion);
 
 void BM_LinkValues(benchmark::State& state) {
-  graph::Rng rng(7);
-  gen::PlrgParams p;
-  p.n = static_cast<graph::NodeId>(state.range(0));
-  const graph::Graph g = gen::Plrg(p, rng);
+  const graph::Graph g =
+      MakeBenchPlrg(static_cast<graph::NodeId>(state.range(0)), 7);
+  const std::uint64_t bytes = BfsBytesNow();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         hierarchy::ComputeLinkValues(g, {.max_sources = 300}).value.size());
   }
   state.SetLabel(g.Summary());
+  state.counters["n"] = static_cast<double>(g.num_nodes());
+  ReportBfsBytes(state, bytes);
 }
 BENCHMARK(BM_LinkValues)->Arg(1000)->Arg(4000);
 
@@ -144,15 +494,15 @@ BENCHMARK(BM_LinkValues)->Arg(1000)->Arg(4000);
 void BM_LinkValuesThreads(benchmark::State& state) {
   parallel::Pool::SetThreadCountForTesting(
       static_cast<int>(state.range(0)));
-  graph::Rng rng(7);
-  gen::PlrgParams p;
-  p.n = 4000;
-  const graph::Graph g = gen::Plrg(p, rng);
+  const graph::Graph g = MakeBenchPlrg(4000, 7);
+  const std::uint64_t bytes = BfsBytesNow();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         hierarchy::ComputeLinkValues(g, {.max_sources = 300}).value.size());
   }
   state.SetLabel(g.Summary());
+  state.counters["n"] = static_cast<double>(g.num_nodes());
+  ReportBfsBytes(state, bytes);
   parallel::Pool::SetThreadCountForTesting(0);
 }
 BENCHMARK(BM_LinkValuesThreads)->Apply(ThreadArgs);
@@ -160,16 +510,16 @@ BENCHMARK(BM_LinkValuesThreads)->Apply(ThreadArgs);
 void BM_BallResilienceThreads(benchmark::State& state) {
   parallel::Pool::SetThreadCountForTesting(
       static_cast<int>(state.range(0)));
-  graph::Rng rng(8);
-  gen::PlrgParams p;
-  p.n = 8000;
-  const graph::Graph g = gen::Plrg(p, rng);
+  const graph::Graph g = MakeBenchPlrg(8000, 8);
   metrics::BallGrowingOptions opts;
   opts.max_centers = 16;
+  const std::uint64_t bytes = BfsBytesNow();
   for (auto _ : state) {
     benchmark::DoNotOptimize(metrics::Resilience(g, opts).size());
   }
   state.SetLabel(g.Summary());
+  state.counters["n"] = static_cast<double>(g.num_nodes());
+  ReportBfsBytes(state, bytes);
   parallel::Pool::SetThreadCountForTesting(0);
 }
 BENCHMARK(BM_BallResilienceThreads)->Apply(ThreadArgs);
@@ -177,19 +527,31 @@ BENCHMARK(BM_BallResilienceThreads)->Apply(ThreadArgs);
 void BM_ExpansionThreads(benchmark::State& state) {
   parallel::Pool::SetThreadCountForTesting(
       static_cast<int>(state.range(0)));
-  graph::Rng rng(6);
-  gen::PlrgParams p;
-  p.n = 8000;
-  const graph::Graph g = gen::Plrg(p, rng);
+  const graph::Graph g = MakeBenchPlrg(8000, 6);
+  const std::uint64_t bytes = BfsBytesNow();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         metrics::Expansion(g, {.max_sources = 200}).size());
   }
   state.SetLabel(g.Summary());
+  state.counters["n"] = static_cast<double>(g.num_nodes());
+  ReportBfsBytes(state, bytes);
   parallel::Pool::SetThreadCountForTesting(0);
 }
 BENCHMARK(BM_ExpansionThreads)->Apply(ThreadArgs);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!reporter.empty()) {
+    const char* path = std::getenv("TOPOGEN_BENCH_JSON");
+    reporter.WriteJson(path != nullptr && *path != '\0' ? path
+                                                        : "BENCH.json");
+  }
+  return 0;
+}

@@ -2,106 +2,261 @@
 
 #include <algorithm>
 
+#include "graph/bfs_scratch.h"
 #include "obs/stats.h"
 
 namespace topogen::graph {
 
-std::vector<Dist> BfsDistances(const Graph& g, NodeId src, Dist max_depth) {
-  TOPOGEN_COUNT("graph.bfs_runs");
-  std::vector<Dist> dist(g.num_nodes(), kUnreachable);
-  if (src >= g.num_nodes()) return dist;
-  std::vector<NodeId> queue;
-  queue.reserve(g.num_nodes());
-  dist[src] = 0;
-  queue.push_back(src);
-  for (std::size_t head = 0; head < queue.size(); ++head) {
-    const NodeId u = queue[head];
-    const Dist du = dist[u];
-    if (du >= max_depth) continue;
-    for (NodeId v : g.neighbors(u)) {
-      if (dist[v] == kUnreachable) {
-        dist[v] = du + 1;
-        queue.push_back(v);
+namespace {
+
+// Direction-optimization crossover (after Beamer et al.,
+// "Direction-Optimizing Breadth-First Search", adapted with an explicit
+// cost model -- docs/PERFORMANCE.md). Expanding a frontier top-down
+// scans exactly frontier_edges endpoints. Scanning it bottom-up visits
+// every unvisited node and probes its neighbors until one lands on the
+// frontier; with frontier_edges of the graph's 2m endpoints on the
+// frontier, that's ~2m/frontier_edges probes per node, plus the O(n)
+// range scan itself. Bottom-up wins only when
+//
+//   frontier_edges > kBottomUpMargin * (unvisited * 2m / frontier_edges + n)
+//
+// i.e. on dense levels where the frontier holds most remaining edges
+// (Erdos-Renyi cores, complete graphs), and never on sparse power-law
+// tails where the O(n) scan would swamp the saved edge probes. Every
+// input is a pure function of (graph, source), so the flip is identical
+// at every thread count. The evaluation itself (a degree sum over the
+// frontier) only runs once the frontier holds at least n /
+// kBottomUpFrontierGate nodes -- smaller frontiers can't win.
+constexpr std::uint64_t kBottomUpMargin = 2;
+constexpr std::size_t kBottomUpFrontierGate = 32;
+
+// Allocation accounting is unconditional (not TOPOGEN_COUNT-gated):
+// growth events are rare by design -- a handful per thread lifetime --
+// and the zero-allocation regression tests and BENCH.json need the
+// counters without any TOPOGEN_* environment set.
+obs::Counter& AllocCounter() {
+  static obs::Counter& c = obs::Stats::GetCounter("graph.bfs_alloc");
+  return c;
+}
+obs::Counter& AllocBytesCounter() {
+  static obs::Counter& c = obs::Stats::GetCounter("graph.bfs_alloc_bytes");
+  return c;
+}
+obs::Counter& BottomUpStepsCounter() {
+  static obs::Counter& c = obs::Stats::GetCounter("graph.bfs_bottomup_steps");
+  return c;
+}
+
+}  // namespace
+
+namespace detail {
+
+struct BfsEngine {
+  enum class Mode {
+    // Hybrid frontier step; order() only sorted by distance.
+    kDirectionOptimizing,
+    // Pure top-down; order() is the historical queue discovery order.
+    kExactOrder,
+  };
+
+  static void Begin(BfsScratch& s, const Graph& g, bool want_sigma) {
+    const std::size_t n = g.num_nodes();
+    s.n_ = n;
+    std::uint64_t grown_bytes = 0;
+    if (s.mark_.size() < n) {
+      grown_bytes += static_cast<std::uint64_t>(n - s.mark_.size()) *
+                     (sizeof(std::uint64_t) + sizeof(NodeId));
+      s.mark_.resize(n, 0);
+      s.order_.reserve(n);
+    }
+    if (want_sigma && s.sigma_.size() < n) {
+      grown_bytes += static_cast<std::uint64_t>(n - s.sigma_.size()) *
+                     sizeof(double);
+      s.sigma_.resize(n);
+    }
+    if (grown_bytes > 0) {
+      AllocCounter().Increment();
+      AllocBytesCounter().Add(grown_bytes);
+    }
+    ++s.epoch_;
+    if (s.epoch_ == 0) {  // epoch wrapped: every mark is ambiguous once
+      std::fill(s.mark_.begin(), s.mark_.end(), 0u);
+      s.epoch_ = 1;
+    }
+    s.order_.clear();
+    s.level_counts_.clear();
+    s.sum_depths_ = 0;
+  }
+
+  static void Sweep(const Graph& g, NodeId src, BfsScratch& s,
+                    Dist max_depth, Mode mode, bool with_sigma) {
+    TOPOGEN_COUNT("graph.bfs_runs");
+    Begin(s, g, with_sigma);
+    const std::size_t n = g.num_nodes();
+    if (src >= n) return;
+
+    // Marks from any earlier epoch compare strictly below `tag`, so the
+    // unvisited test is a single 64-bit compare.
+    const std::uint64_t tag = static_cast<std::uint64_t>(s.epoch_) << 32;
+    auto visit = [&](NodeId v, Dist d) {
+      s.mark_[v] = tag | d;
+      s.order_.push_back(v);
+    };
+
+    visit(src, 0);
+    if (with_sigma) s.sigma_[src] = 1.0;
+    s.level_counts_.push_back(1);
+
+    std::size_t level_begin = 0;
+    Dist depth = 0;
+    bool bottom_up = false;
+    std::uint64_t bottom_up_levels = 0;
+    while (level_begin < s.order_.size() && depth < max_depth) {
+      const std::size_t level_end = s.order_.size();
+      bottom_up = false;
+      if (mode == Mode::kDirectionOptimizing &&
+          level_end - level_begin >= n / kBottomUpFrontierGate) {
+        // Cost model above. The degree sum is batched here instead of
+        // accumulated per discovery: it keeps the discovery loops tight,
+        // and scanning the frontier's CSR offsets right before expansion
+        // warms them anyway.
+        std::uint64_t frontier_edges = 0;
+        for (std::size_t i = level_begin; i < level_end; ++i) {
+          frontier_edges += g.degree(s.order_[i]);
+        }
+        const std::uint64_t unvisited = n - level_end;
+        const std::uint64_t endpoints = 2 * g.num_edges();
+        bottom_up = frontier_edges * frontier_edges >
+                    kBottomUpMargin *
+                        (unvisited * endpoints + n * frontier_edges);
+      }
+      if (bottom_up) {
+        // Bottom-up: every unvisited node searches its neighbors for a
+        // parent on the current frontier and stops at the first hit --
+        // on dense levels this touches far fewer edges than expanding
+        // the frontier. Frontier membership is the O(1) stamp+depth
+        // test, so no bitmap needs zeroing.
+        ++bottom_up_levels;
+        const std::uint64_t frontier_mark = tag | depth;
+        for (NodeId v = 0; v < n; ++v) {
+          if (s.mark_[v] >= tag) continue;  // already visited
+          for (const NodeId u : g.neighbors(v)) {
+            if (s.mark_[u] == frontier_mark) {
+              visit(v, depth + 1);
+              break;
+            }
+          }
+        }
+      } else if (with_sigma) {
+        const std::uint64_t next_mark = tag | (depth + 1);
+        for (std::size_t i = level_begin; i < level_end; ++i) {
+          const NodeId u = s.order_[i];
+          // sigma_[u] is final here: contributions only flow from level
+          // d to level d+1, and all of u's predecessors precede u.
+          const double su = s.sigma_[u];
+          for (const NodeId v : g.neighbors(u)) {
+            const std::uint64_t m = s.mark_[v];
+            if (m < tag) {
+              visit(v, depth + 1);
+              s.sigma_[v] = su;  // first predecessor: 0.0 + su exactly
+            } else if (m == next_mark) {
+              s.sigma_[v] += su;
+            }
+          }
+        }
+      } else {
+        for (std::size_t i = level_begin; i < level_end; ++i) {
+          for (const NodeId v : g.neighbors(s.order_[i])) {
+            if (s.mark_[v] < tag) visit(v, depth + 1);
+          }
+        }
+      }
+      level_begin = level_end;
+      ++depth;
+      if (s.order_.size() > level_end) {
+        const std::size_t count = s.order_.size() - level_end;
+        s.level_counts_.push_back(count);
+        s.sum_depths_ += static_cast<std::uint64_t>(depth) * count;
       }
     }
+    if (bottom_up_levels > 0) BottomUpStepsCounter().Add(bottom_up_levels);
   }
+};
+
+}  // namespace detail
+
+using Mode = detail::BfsEngine::Mode;
+
+void BfsDistancesInto(const Graph& g, NodeId src, BfsScratch& scratch,
+                      Dist max_depth) {
+  detail::BfsEngine::Sweep(g, src, scratch, max_depth,
+                           Mode::kDirectionOptimizing, /*with_sigma=*/false);
+}
+
+void BallInto(const Graph& g, NodeId center, Dist radius,
+              BfsScratch& scratch) {
+  TOPOGEN_COUNT("graph.ball_runs");
+  detail::BfsEngine::Sweep(g, center, scratch, radius, Mode::kExactOrder,
+                           /*with_sigma=*/false);
+}
+
+void ReachableCountsInto(const Graph& g, NodeId src, BfsScratch& scratch,
+                         std::vector<std::size_t>& counts, Dist max_depth) {
+  BfsDistancesInto(g, src, scratch, max_depth);
+  const std::span<const std::size_t> levels = scratch.level_counts();
+  counts.assign(levels.begin(), levels.end());
+  for (std::size_t h = 1; h < counts.size(); ++h) counts[h] += counts[h - 1];
+}
+
+void BuildShortestPathDagInto(const Graph& g, NodeId src,
+                              BfsScratch& scratch) {
+  TOPOGEN_COUNT("graph.sp_dag_runs");
+  detail::BfsEngine::Sweep(g, src, scratch, kUnreachable, Mode::kExactOrder,
+                           /*with_sigma=*/true);
+}
+
+std::vector<Dist> BfsDistances(const Graph& g, NodeId src, Dist max_depth) {
+  BfsScratchLease scratch = AcquireBfsScratch();
+  BfsDistancesInto(g, src, *scratch, max_depth);
+  std::vector<Dist> dist(g.num_nodes(), kUnreachable);
+  for (const NodeId v : scratch->order()) dist[v] = scratch->dist(v);
   return dist;
 }
 
 std::vector<NodeId> Ball(const Graph& g, NodeId center, Dist radius) {
-  TOPOGEN_COUNT("graph.ball_runs");
-  std::vector<NodeId> ball;
-  if (center >= g.num_nodes()) return ball;
-  std::vector<Dist> dist(g.num_nodes(), kUnreachable);
-  dist[center] = 0;
-  ball.push_back(center);
-  for (std::size_t head = 0; head < ball.size(); ++head) {
-    const NodeId u = ball[head];
-    const Dist du = dist[u];
-    if (du >= radius) continue;
-    for (NodeId v : g.neighbors(u)) {
-      if (dist[v] == kUnreachable) {
-        dist[v] = du + 1;
-        ball.push_back(v);
-      }
-    }
-  }
-  return ball;
+  BfsScratchLease scratch = AcquireBfsScratch();
+  BallInto(g, center, radius, *scratch);
+  const std::span<const NodeId> order = scratch->order();
+  return {order.begin(), order.end()};
 }
 
 std::vector<std::size_t> ReachableCounts(const Graph& g, NodeId src,
                                          Dist max_depth) {
+  BfsScratchLease scratch = AcquireBfsScratch();
   std::vector<std::size_t> counts;
-  if (src >= g.num_nodes()) return counts;
-  const std::vector<Dist> dist = BfsDistances(g, src, max_depth);
-  Dist ecc = 0;
-  std::size_t reached = 0;
-  for (Dist d : dist) {
-    if (d != kUnreachable) {
-      ++reached;
-      ecc = std::max(ecc, d);
-    }
-  }
-  counts.assign(static_cast<std::size_t>(ecc) + 1, 0);
-  for (Dist d : dist) {
-    if (d != kUnreachable) ++counts[d];
-  }
-  // Convert per-level counts into cumulative reachable-set sizes.
-  for (std::size_t h = 1; h < counts.size(); ++h) counts[h] += counts[h - 1];
+  ReachableCountsInto(g, src, *scratch, counts, max_depth);
   return counts;
 }
 
 ShortestPathDag BuildShortestPathDag(const Graph& g, NodeId src) {
-  TOPOGEN_COUNT("graph.sp_dag_runs");
+  BfsScratchLease scratch = AcquireBfsScratch();
+  BuildShortestPathDagInto(g, src, *scratch);
   ShortestPathDag dag;
   dag.dist.assign(g.num_nodes(), kUnreachable);
   dag.sigma.assign(g.num_nodes(), 0.0);
-  dag.order.clear();
-  if (src >= g.num_nodes()) return dag;
-  dag.dist[src] = 0;
-  dag.sigma[src] = 1.0;
-  dag.order.push_back(src);
-  for (std::size_t head = 0; head < dag.order.size(); ++head) {
-    const NodeId u = dag.order[head];
-    const Dist du = dag.dist[u];
-    for (NodeId v : g.neighbors(u)) {
-      if (dag.dist[v] == kUnreachable) {
-        dag.dist[v] = du + 1;
-        dag.order.push_back(v);
-      }
-      if (dag.dist[v] == du + 1) dag.sigma[v] += dag.sigma[u];
-    }
+  const std::span<const NodeId> order = scratch->order();
+  dag.order.assign(order.begin(), order.end());
+  for (const NodeId v : order) {
+    dag.dist[v] = scratch->dist(v);
+    dag.sigma[v] = scratch->sigma(v);
   }
   return dag;
 }
 
 Dist Eccentricity(const Graph& g, NodeId src) {
-  const std::vector<Dist> dist = BfsDistances(g, src);
-  Dist ecc = 0;
-  for (Dist d : dist) {
-    if (d != kUnreachable) ecc = std::max(ecc, d);
-  }
-  return ecc;
+  BfsScratchLease scratch = AcquireBfsScratch();
+  BfsDistancesInto(g, src, *scratch);
+  return scratch->eccentricity();
 }
 
 double AveragePathLength(const Graph& g, std::size_t samples) {
@@ -110,16 +265,15 @@ double AveragePathLength(const Graph& g, std::size_t samples) {
   const std::size_t use = std::min<std::size_t>(samples, n);
   // Deterministic spread: every ceil(n/use)-th node.
   const std::size_t stride = (n + use - 1) / use;
+  BfsScratchLease scratch = AcquireBfsScratch();
   double total = 0.0;
   std::size_t pairs = 0;
   for (NodeId src = 0; src < n; src += static_cast<NodeId>(stride)) {
-    const std::vector<Dist> dist = BfsDistances(g, src);
-    for (NodeId v = 0; v < n; ++v) {
-      if (v != src && dist[v] != kUnreachable) {
-        total += dist[v];
-        ++pairs;
-      }
-    }
+    BfsDistancesInto(g, src, *scratch);
+    // Integer depth sums stay exact in double, so this equals the
+    // historical per-node accumulation bit-for-bit.
+    total += static_cast<double>(scratch->sum_depths());
+    pairs += scratch->reached() - 1;
   }
   return pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
 }

@@ -5,6 +5,20 @@
 // This header provides plain distance BFS, truncated BFS, ball extraction,
 // and shortest-path counting (the sigma values used by the hierarchy
 // analysis in Section 5).
+//
+// Two API layers (docs/PERFORMANCE.md):
+//
+//   * In-place kernels (*Into) run on a pooled, epoch-stamped BfsScratch
+//     workspace and allocate nothing in steady state. Hot metric loops
+//     (thousands of sweeps per graph) use these. Distance-only sweeps are
+//     direction-optimizing: the frontier step flips between top-down edge
+//     expansion and bottom-up parent search on dense levels, with a
+//     crossover decided purely by frontier/unexplored edge counts so
+//     results stay bit-identical at every TOPOGEN_THREADS.
+//   * The original value-returning functions below are thin wrappers that
+//     lease a workspace and materialize the result; their outputs are
+//     unchanged down to the byte (including Ball()'s discovery order and
+//     the DAG's sigma roundings, which feed figure outputs).
 #pragma once
 
 #include <cstdint>
@@ -16,8 +30,40 @@
 
 namespace topogen::graph {
 
+class BfsScratch;  // epoch-stamped pooled workspace (graph/bfs_scratch.h)
+
 using Dist = std::uint32_t;
 inline constexpr Dist kUnreachable = std::numeric_limits<Dist>::max();
+
+// --- in-place kernels (zero allocation in steady state) ---
+//
+// Results live in `scratch` (dist/order/level_counts/sigma accessors)
+// until the next kernel call on the same workspace.
+
+// Direction-optimizing distance sweep; defines dist(), level_counts(),
+// reached(), sum_depths(), eccentricity(). order() carries the visited
+// set in non-decreasing distance order only.
+void BfsDistancesInto(const Graph& g, NodeId src, BfsScratch& scratch,
+                      Dist max_depth = kUnreachable);
+
+// Truncated BFS; scratch.order() is the ball in exact discovery order
+// (center first), byte-identical to the historical Ball() contract.
+void BallInto(const Graph& g, NodeId center, Dist radius,
+              BfsScratch& scratch);
+
+// Distance sweep plus cumulative per-radius reachable-set sizes written
+// into `counts` (reusing its capacity); counts[h] = nodes within h hops.
+void ReachableCountsInto(const Graph& g, NodeId src, BfsScratch& scratch,
+                         std::vector<std::size_t>& counts,
+                         Dist max_depth = kUnreachable);
+
+// Shortest-path DAG sweep: dist(), sigma(), and order() in exact
+// discovery order (sigma summation order is part of the figure-output
+// contract, so this kernel never runs bottom-up).
+void BuildShortestPathDagInto(const Graph& g, NodeId src,
+                              BfsScratch& scratch);
+
+// --- value-returning wrappers over the kernels above ---
 
 // Hop distances from src to every node; kUnreachable where disconnected.
 // If max_depth is given, nodes farther than max_depth are left unreachable.

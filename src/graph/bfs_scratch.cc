@@ -1,0 +1,19 @@
+#include "graph/bfs_scratch.h"
+
+#include "obs/manifest.h"
+
+namespace topogen::graph {
+
+BfsScratchLease AcquireBfsScratch() {
+  // Stamp the engine identity into the run manifest once per process, so
+  // any figure produced by this binary records which traversal substrate
+  // made it (non-arming, like the thread count).
+  static const bool stamped = [] {
+    obs::Manifest::SetBfsEngine("epoch-scratch+direction-optimizing/1");
+    return true;
+  }();
+  (void)stamped;
+  return parallel::ScratchPool<BfsScratch>::Acquire();
+}
+
+}  // namespace topogen::graph

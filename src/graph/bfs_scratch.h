@@ -1,0 +1,104 @@
+// Epoch-stamped BFS workspace (docs/PERFORMANCE.md).
+//
+// Every ball-growing metric in the paper reduces to thousands of
+// per-source BFS sweeps; allocating and zero-filling O(n) dist/queue
+// buffers per sweep was the hottest allocation site in the codebase. A
+// BfsScratch owns those buffers once and resets them in O(1) per sweep
+// with a generation counter: a slot's distance is valid only when its
+// stamp equals the workspace's current epoch, so "clearing" the
+// workspace is a single epoch increment. Buffers grow monotonically to
+// the largest graph a thread has seen and are then reused allocation-free
+// (the `graph.bfs_alloc` counter stays flat in steady state).
+//
+// Workspaces are handed out by the per-lane scratch pools
+// (parallel/scratch_pool.h): acquire a lease, run one of the *Into
+// kernels from bfs.h, and read results through the accessors below until
+// the next kernel call on the same workspace. Nested kernels acquire a
+// second lease rather than clobbering the outer sweep's results.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/bfs.h"
+#include "parallel/scratch_pool.h"
+
+namespace topogen::graph {
+
+namespace detail {
+struct BfsEngine;
+}  // namespace detail
+
+class BfsScratch {
+ public:
+  BfsScratch() = default;
+  BfsScratch(const BfsScratch&) = delete;
+  BfsScratch& operator=(const BfsScratch&) = delete;
+
+  // --- results of the last kernel run on this workspace ---
+
+  // Number of nodes of the swept graph.
+  std::size_t size() const { return n_; }
+
+  // A node's mark packs (epoch << 32 | dist); it is valid only when its
+  // epoch half matches the workspace's current epoch, so the visited
+  // test and the distance read are a single 64-bit load.
+  bool visited(NodeId v) const {
+    return (mark_[v] >> 32) == epoch_;
+  }
+
+  // Hop distance from the sweep's source; kUnreachable when unvisited.
+  Dist dist(NodeId v) const {
+    const std::uint64_t m = mark_[v];
+    return (m >> 32) == epoch_ ? static_cast<Dist>(m) : kUnreachable;
+  }
+
+  // Shortest-path count (BuildShortestPathDagInto only); 0 when unvisited.
+  double sigma(NodeId v) const { return visited(v) ? sigma_[v] : 0.0; }
+
+  // Unchecked sigma read for hot loops that already established
+  // visited(v) (e.g. Brandes sweeps walking order() and DAG edges).
+  double sigma_visited(NodeId v) const { return sigma_[v]; }
+
+  // Visited nodes. For the exact-order kernels (BallInto,
+  // BuildShortestPathDagInto) this is the historical top-down discovery
+  // order; the direction-optimizing kernels only guarantee
+  // non-decreasing distance.
+  std::span<const NodeId> order() const { return order_; }
+
+  // level_counts()[h] = number of nodes at exactly h hops (level 0 is the
+  // source). Empty when the source was out of range.
+  std::span<const std::size_t> level_counts() const { return level_counts_; }
+
+  std::size_t reached() const { return order_.size(); }
+
+  // Max finite distance reached (0 for isolated/invalid sources).
+  Dist eccentricity() const {
+    return level_counts_.empty()
+               ? 0
+               : static_cast<Dist>(level_counts_.size() - 1);
+  }
+
+  // Sum of dist(v) over visited nodes, exact in 64-bit.
+  std::uint64_t sum_depths() const { return sum_depths_; }
+
+ private:
+  friend struct detail::BfsEngine;
+
+  std::size_t n_ = 0;
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint64_t> mark_;  // (epoch << 32 | dist) per node
+  std::vector<double> sigma_;  // sized lazily, DAG sweeps only
+  std::vector<NodeId> order_;
+  std::vector<std::size_t> level_counts_;
+  std::uint64_t sum_depths_ = 0;
+};
+
+using BfsScratchLease = parallel::ScratchPool<BfsScratch>::Lease;
+
+// Leases a workspace from the current thread's pool and (once per
+// process) stamps the engine identity into the run manifest.
+BfsScratchLease AcquireBfsScratch();
+
+}  // namespace topogen::graph

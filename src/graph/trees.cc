@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "graph/bfs.h"
+#include "graph/bfs_scratch.h"
 
 namespace topogen::graph {
 
@@ -195,19 +196,28 @@ NodeId ApproxBetweennessCenter(const Graph& g, std::size_t samples,
   std::vector<NodeId> sources(n);
   std::iota(sources.begin(), sources.end(), 0);
   if (use < n) std::shuffle(sources.begin(), sources.end(), rng.engine());
+  BfsScratchLease scratch = AcquireBfsScratch();
   for (std::size_t i = 0; i < use; ++i) {
     const NodeId s = sources[i];
-    const ShortestPathDag dag = BuildShortestPathDag(g, s);
+    BuildShortestPathDagInto(g, s, *scratch);
+    const BfsScratch& dag = *scratch;
     std::fill(delta.begin(), delta.end(), 0.0);
-    // Brandes backward accumulation.
-    for (std::size_t j = dag.order.size(); j-- > 0;) {
-      const NodeId w = dag.order[j];
+    // Brandes backward accumulation. dist() folds the historical
+    // dist != kUnreachable guard into one compare: an unvisited v reads
+    // kUnreachable, which wraps to 0 under + 1 and dw >= 1 here (the
+    // source -- the only dw == 0 node, with no predecessors and no
+    // centrality of its own -- is skipped).
+    for (std::size_t j = dag.order().size(); j-- > 0;) {
+      const NodeId w = dag.order()[j];
+      const Dist dw = dag.dist(w);
+      if (dw == 0) continue;
       for (NodeId v : g.neighbors(w)) {
-        if (dag.dist[v] != kUnreachable && dag.dist[v] + 1 == dag.dist[w]) {
-          delta[v] += dag.sigma[v] / dag.sigma[w] * (1.0 + delta[w]);
+        if (dag.dist(v) + 1 == dw) {
+          delta[v] += dag.sigma_visited(v) / dag.sigma_visited(w) *
+                      (1.0 + delta[w]);
         }
       }
-      if (w != s) centrality[w] += delta[w];
+      centrality[w] += delta[w];
     }
   }
   return static_cast<NodeId>(

@@ -7,9 +7,11 @@
 #include <numeric>
 
 #include "graph/bfs.h"
+#include "graph/bfs_scratch.h"
 #include "obs/obs.h"
 #include "graph/rng.h"
 #include "parallel/parallel_for.h"
+#include "parallel/scratch_pool.h"
 #include "policy/paths.h"
 
 namespace topogen::hierarchy {
@@ -26,8 +28,20 @@ namespace {
 // exact DAG-descendant counting.
 class BitRows {
  public:
-  BitRows(std::size_t rows, std::size_t bits)
-      : words_((bits + 63) / 64), data_(rows * words_, 0) {}
+  BitRows() = default;
+
+  // Resizes to the requested shape; returns true when the backing store
+  // was reallocated (and therefore zeroed -- callers must reset their
+  // dirty-row bookkeeping). Same-shape calls keep the old bits so pooled
+  // reuse stays allocation-free and the lazy ClearRow path handles them.
+  bool Ensure(std::size_t rows, std::size_t bits) {
+    const std::size_t words = (bits + 63) / 64;
+    if (rows == rows_ && words == words_) return false;
+    rows_ = rows;
+    words_ = words;
+    data_.assign(rows * words, 0);
+    return true;
+  }
 
   std::uint64_t* row(std::size_t r) { return data_.data() + r * words_; }
 
@@ -52,8 +66,45 @@ class BitRows {
   }
 
  private:
-  std::size_t words_;
+  std::size_t rows_ = 0;
+  std::size_t words_ = 0;
   std::vector<std::uint64_t> data_;
+};
+
+// Per-lane scratch for the plain link-value kernel, pooled across chunks
+// and calls (parallel/scratch_pool.h). `dirty` rides along with `reach`:
+// rows left dirty by an earlier source -- including a source from a
+// previous call on a same-sized graph -- are lazily cleared right before
+// their next use, exactly the mechanism the per-chunk version used
+// across sources within one chunk.
+struct LinkValueScratch {
+  BitRows reach;
+  std::vector<double> delta;
+  std::vector<std::uint8_t> dirty;
+
+  void Ensure(std::size_t n) {
+    if (reach.Ensure(n, n)) dirty.assign(n, 0);
+    delta.resize(n);
+  }
+};
+
+// Policy-variant scratch: one row/slot per automaton state (2 per node,
+// phase in the LSB), plus the pooled product-automaton BFS itself.
+struct PolicyLinkScratch {
+  BitRows reach;
+  std::vector<double> sigma;
+  std::vector<double> delta;
+  std::vector<double> sigma_pol;
+  std::vector<std::uint8_t> dirty;
+  policy::PolicyBfs bfs;
+
+  void Ensure(std::size_t n) {
+    const std::size_t states = 2 * n;
+    if (reach.Ensure(states, n)) dirty.assign(states, 0);
+    sigma.resize(states);
+    delta.resize(states);
+    sigma_pol.resize(n);
+  }
 };
 
 std::vector<NodeId> PickSources(NodeId n, std::size_t max_sources,
@@ -201,40 +252,51 @@ LinkValueResult ComputeLinkValues(const Graph& g,
   // sources owns its scratch (bitsets, delta) and its SideMasses partial.
   auto map = [&](std::size_t, std::size_t first, std::size_t last) {
     SideMasses masses(m);
-    BitRows reach(n, n);
-    std::vector<double> delta(n);
-    std::vector<std::uint8_t> dirty(n, 0);
+    auto scratch = parallel::ScratchPool<LinkValueScratch>::Acquire();
+    scratch->Ensure(n);
+    BitRows& reach = scratch->reach;
+    std::vector<double>& delta = scratch->delta;
+    std::vector<std::uint8_t>& dirty = scratch->dirty;
+    graph::BfsScratchLease bfs = graph::AcquireBfsScratch();
     for (std::size_t si = first; si < last; ++si) {
       const NodeId src = sources[si];
       TOPOGEN_COUNT("hierarchy.sources_processed");
-      const graph::ShortestPathDag dag = graph::BuildShortestPathDag(g, src);
-      // Descendant bitsets, farthest nodes first.
-      for (std::size_t i = dag.order.size(); i-- > 0;) {
-        const NodeId y = dag.order[i];
+      graph::BuildShortestPathDagInto(g, src, *bfs);
+      const graph::BfsScratch& dag = *bfs;
+      const std::span<const NodeId> order = dag.order();
+      // Descendant bitsets, farthest nodes first. dist() folds the
+      // historical dist != kUnreachable guard into one compare:
+      // unvisited reads kUnreachable, which can never equal dy + 1 for a
+      // real level (dy < n << kUnreachable).
+      for (std::size_t i = order.size(); i-- > 0;) {
+        const NodeId y = order[i];
         if (dirty[y]) reach.ClearRow(y);
         dirty[y] = 1;
         reach.SetBit(y, y);
+        const Dist dy = dag.dist(y);
         for (const NodeId z : g.neighbors(y)) {
-          if (dag.dist[z] != kUnreachable && dag.dist[z] == dag.dist[y] + 1) {
+          if (dag.dist(z) == dy + 1) {
             reach.OrInto(y, z);
           }
         }
       }
       // Brandes backward accumulation with per-edge contributions.
       std::fill(delta.begin(), delta.end(), 0.0);
-      for (std::size_t i = dag.order.size(); i-- > 0;) {
-        const NodeId y = dag.order[i];
+      for (std::size_t i = order.size(); i-- > 0;) {
+        const NodeId y = order[i];
         if (y == src) continue;
         const double through = 1.0 + delta[y];
         const std::size_t targets = reach.Popcount(y);
+        const Dist dy = dag.dist(y);
         const auto nbrs = g.neighbors(y);
         const auto eids = g.incident_edges(y);
         for (std::size_t k = 0; k < nbrs.size(); ++k) {
           const NodeId x = nbrs[k];
-          if (dag.dist[x] == kUnreachable || dag.dist[x] + 1 != dag.dist[y]) {
-            continue;  // not a DAG predecessor
-          }
-          const double c = dag.sigma[x] / dag.sigma[y] * through;
+          // Not a DAG predecessor. Single-compare form: unvisited x reads
+          // kUnreachable, which wraps to 0 under + 1 and dy >= 1 here
+          // (the source was skipped above).
+          if (dag.dist(x) + 1 != dy) continue;
+          const double c = dag.sigma_visited(x) / dag.sigma_visited(y) * through;
           delta[x] += c;
           // W(src, l) = delta_edge / |targets through l|; the source sits
           // on x's side of the link (x is strictly closer to src).
@@ -285,16 +347,19 @@ LinkValueResult ComputePolicyLinkValues(
   auto map = [&](std::size_t, std::size_t first, std::size_t last) {
     SideMasses masses(m);
     // One bitset row and one sigma/delta slot per automaton state (2 per
-    // node; phase in the LSB of the state index).
-    BitRows reach(2 * static_cast<std::size_t>(n), n);
-    std::vector<double> sigma(2 * static_cast<std::size_t>(n));
-    std::vector<double> delta(2 * static_cast<std::size_t>(n));
-    std::vector<double> sigma_pol(n);
-    std::vector<std::uint8_t> dirty(2 * static_cast<std::size_t>(n), 0);
+    // node; phase in the LSB of the state index), pooled per lane.
+    auto scratch = parallel::ScratchPool<PolicyLinkScratch>::Acquire();
+    scratch->Ensure(n);
+    BitRows& reach = scratch->reach;
+    std::vector<double>& sigma = scratch->sigma;
+    std::vector<double>& delta = scratch->delta;
+    std::vector<double>& sigma_pol = scratch->sigma_pol;
+    std::vector<std::uint8_t>& dirty = scratch->dirty;
     for (std::size_t si = first; si < last; ++si) {
       const NodeId src = sources[si];
       TOPOGEN_COUNT("hierarchy.sources_processed");
-      const policy::PolicyBfs bfs = policy::RunPolicyBfs(g, rel, src);
+      policy::RunPolicyBfsInto(g, rel, src, kUnreachable, scratch->bfs);
+      const policy::PolicyBfs& bfs = scratch->bfs;
       auto dist_of = [&](NodeId v, unsigned phase) {
         return phase == policy::kPhaseUp ? bfs.dist_up[v] : bfs.dist_down[v];
       };

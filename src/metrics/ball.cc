@@ -5,6 +5,7 @@
 #include <numeric>
 #include <optional>
 
+#include "graph/bfs_scratch.h"
 #include "parallel/parallel_for.h"
 #include "policy/policy_ball.h"
 
@@ -112,22 +113,27 @@ Series BallGrowingSeries(const Graph& g, const BallGrowingOptions& options,
     std::vector<RadiusBin> bins(num_bins);
     Rng rng(task.rng_seed);
     // One BFS; balls of every radius are prefixes of the distance order.
-    const std::vector<Dist> dist = BfsDistances(g, task.center);
+    // The lease is held across the metric() calls below -- nested sweeps
+    // (resilience, max-flow) draw a second workspace from the pool, so
+    // this one's distances stay valid for the whole center.
+    graph::BfsScratchLease scratch = graph::AcquireBfsScratch();
+    graph::BfsDistancesInto(g, task.center, *scratch);
+    const graph::BfsScratch& bfs = *scratch;
     std::vector<NodeId> order;
     order.reserve(g.num_nodes());
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      if (dist[v] != kUnreachable) order.push_back(v);
+      if (bfs.visited(v)) order.push_back(v);
     }
     std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
-      return dist[a] < dist[b];
+      return bfs.dist(a) < bfs.dist(b);
     });
     Dist max_r = 0;
-    for (NodeId v : order) max_r = std::max(max_r, dist[v]);
+    for (NodeId v : order) max_r = std::max(max_r, bfs.dist(v));
     max_r = std::min<Dist>(max_r, options.max_radius);
 
     std::size_t prefix = 0;
     for (Dist r = 1; r <= max_r; ++r) {
-      while (prefix < order.size() && dist[order[prefix]] <= r) ++prefix;
+      while (prefix < order.size() && bfs.dist(order[prefix]) <= r) ++prefix;
       if (prefix > options.max_ball_nodes) break;
       if (prefix > options.big_ball_threshold && !task.allow_big) {
         break;  // large balls run on a reduced center set

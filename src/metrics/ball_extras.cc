@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/bfs.h"
+#include "graph/bfs_scratch.h"
 #include "graph/maxflow.h"
 
 namespace topogen::metrics {
@@ -29,14 +30,14 @@ Series BallMaxFlowSeries(const graph::Graph& g,
         // 0 is the ball's center and the surface is the farthest layer.
         const graph::NodeId n = ball.num_nodes();
         if (n < 2) return std::numeric_limits<double>::quiet_NaN();
-        const std::vector<graph::Dist> dist = graph::BfsDistances(ball, 0);
-        graph::Dist radius = 0;
-        for (const graph::Dist d : dist) {
-          if (d != graph::kUnreachable) radius = std::max(radius, d);
-        }
+        // Nested sweep inside BallGrowingSeries: the pool hands this
+        // metric its own workspace, distinct from the outer ball BFS.
+        graph::BfsScratchLease scratch = graph::AcquireBfsScratch();
+        graph::BfsDistancesInto(ball, 0, *scratch);
+        const graph::Dist radius = scratch->eccentricity();
         std::vector<graph::NodeId> surface;
         for (graph::NodeId v = 0; v < n; ++v) {
-          if (dist[v] == radius && radius > 0) surface.push_back(v);
+          if (scratch->dist(v) == radius && radius > 0) surface.push_back(v);
         }
         if (surface.empty()) {
           return std::numeric_limits<double>::quiet_NaN();

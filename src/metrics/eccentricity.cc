@@ -5,7 +5,9 @@
 #include <map>
 
 #include "graph/bfs.h"
+#include "graph/bfs_scratch.h"
 #include "metrics/ball.h"
+#include "parallel/parallel_for.h"
 
 namespace topogen::metrics {
 
@@ -16,11 +18,24 @@ Series EccentricityDistribution(const graph::Graph& g,
   if (g.num_nodes() == 0) return s;
   const std::vector<graph::NodeId> sources =
       SampleCenters(g, options.max_sources, options.seed);
+  // Every source writes its own slot (order-independent fan-out); the
+  // binning below stays serial. Each chunk leases one BFS workspace and
+  // reuses it across its sources.
+  std::vector<double> ecc_of(sources.size());
+  parallel::ParallelFor(
+      parallel::PlanChunks(sources.size(), /*min_grain=*/8,
+                           /*max_chunks=*/64),
+      [&](std::size_t, std::size_t first, std::size_t last) {
+        graph::BfsScratchLease scratch = graph::AcquireBfsScratch();
+        for (std::size_t i = first; i < last; ++i) {
+          graph::BfsDistancesInto(g, sources[i], *scratch);
+          ecc_of[i] = static_cast<double>(scratch->eccentricity());
+        }
+      });
   std::vector<double> ecc;
   ecc.reserve(sources.size());
   double mean = 0.0;
-  for (const graph::NodeId src : sources) {
-    const auto e = static_cast<double>(graph::Eccentricity(g, src));
+  for (const double e : ecc_of) {
     if (e > 0) {
       ecc.push_back(e);
       mean += e;

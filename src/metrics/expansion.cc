@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/bfs.h"
+#include "graph/bfs_scratch.h"
 #include "obs/obs.h"
 #include "metrics/ball.h"
 #include "parallel/parallel_for.h"
@@ -26,14 +27,16 @@ Series AccumulateExpansion(const graph::Graph& g, std::size_t max_sources,
   // global maximum stay saturated at their final reachable count for
   // larger radii, so E(h) is monotone as it should be. Every source
   // writes its own slot, so the parallel fan-out is trivially
-  // deterministic; the averaging below stays serial and ordered.
+  // deterministic; the averaging below stays serial and ordered. One BFS
+  // workspace is leased per chunk and reused across all of its sources.
   std::vector<std::vector<std::size_t>> all(sources.size());
   parallel::ParallelFor(
       parallel::PlanChunks(sources.size(), /*min_grain=*/8,
                            /*max_chunks=*/64),
       [&](std::size_t, std::size_t first, std::size_t last) {
+        graph::BfsScratchLease scratch = graph::AcquireBfsScratch();
         for (std::size_t i = first; i < last; ++i) {
-          all[i] = counts_of(sources[i]);
+          counts_of(sources[i], *scratch, all[i]);
         }
       });
   std::size_t max_len = 0;
@@ -57,7 +60,10 @@ Series Expansion(const graph::Graph& g, const ExpansionOptions& options) {
   span.Arg("nodes", static_cast<std::uint64_t>(g.num_nodes()));
   return AccumulateExpansion(
       g, options.max_sources, options.seed,
-      [&](graph::NodeId src) { return graph::ReachableCounts(g, src); });
+      [&](graph::NodeId src, graph::BfsScratch& scratch,
+          std::vector<std::size_t>& counts) {
+        graph::ReachableCountsInto(g, src, scratch, counts);
+      });
 }
 
 Series PolicyExpansion(const graph::Graph& g,
@@ -65,11 +71,14 @@ Series PolicyExpansion(const graph::Graph& g,
                        const ExpansionOptions& options) {
   obs::Span span("metrics.policy_expansion", "metrics");
   span.Arg("nodes", static_cast<std::uint64_t>(g.num_nodes()));
-  return AccumulateExpansion(g, options.max_sources, options.seed,
-                             [&](graph::NodeId src) {
-                               return policy::PolicyReachableCounts(g, rel,
-                                                                    src);
-                             });
+  return AccumulateExpansion(
+      g, options.max_sources, options.seed,
+      [&](graph::NodeId src, graph::BfsScratch&,
+          std::vector<std::size_t>& counts) {
+        // Policy sweeps run on their own pooled PolicyBfs workspace (the
+        // up/down distance pair does not fit the plain BFS scratch).
+        counts = policy::PolicyReachableCounts(g, rel, src);
+      });
 }
 
 }  // namespace topogen::metrics

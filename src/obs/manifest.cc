@@ -51,6 +51,7 @@ struct State {
   bool armed = false;  // anything recorded => write at exit
   std::string tool;
   int threads = 0;  // 0 = the run never started the parallel pool
+  std::string bfs_engine;  // empty = the run never ran a BFS kernel
   std::optional<RosterConfig> roster;
   std::vector<TopologyEntry> topologies;
   std::vector<FigureEntry> figures;
@@ -90,6 +91,13 @@ void Manifest::SetThreads(int threads) {
   State& s = State::Get();
   std::lock_guard<std::mutex> lock(s.mutex);
   s.threads = threads;
+}
+
+void Manifest::SetBfsEngine(std::string_view engine) {
+  if (!ManifestEnabled()) return;
+  State& s = State::Get();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.bfs_engine = engine;
 }
 
 void Manifest::SetRoster(const RosterConfig& roster) {
@@ -164,6 +172,9 @@ bool Manifest::WriteTo(const std::string& path) {
     threads = hw > 0 ? static_cast<int>(hw) : 1;
   }
   os << "  \"threads\": " << threads << ",\n";
+  if (!s.bfs_engine.empty()) {
+    os << "  \"bfs_engine\": \"" << JsonEscape(s.bfs_engine) << "\",\n";
+  }
   if (s.roster) {
     os << "  \"roster\": {\n";
     os << "    \"seed\": " << s.roster->seed << ",\n";
@@ -214,6 +225,7 @@ void Manifest::ResetForTesting() {
   s.armed = false;
   s.tool.clear();
   s.threads = 0;
+  s.bfs_engine.clear();
   s.roster.reset();
   s.topologies.clear();
   s.figures.clear();

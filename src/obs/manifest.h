@@ -32,6 +32,9 @@ class Manifest {
   // manifest by itself: a run that only ever touched the thread pool has
   // produced nothing worth stamping.
   static void SetThreads(int threads);
+  // BFS traversal-substrate identity (graph::AcquireBfsScratch stamps it
+  // on first use). Non-arming, like SetThreads.
+  static void SetBfsEngine(std::string_view engine);
   // Re-registering a topology name overwrites its entry (benches rebuild
   // rosters per panel).
   static void AddTopology(std::string_view name, std::uint64_t nodes,

@@ -19,6 +19,12 @@
 // the pool maintains `parallel.regions` / `parallel.tasks` /
 // `parallel.steals` counters plus a `parallel.threads` gauge; the
 // effective thread count is stamped into the run manifest.
+//
+// Scratch reuse: pool workers are long-lived, so per-lane scratch pools
+// (parallel/scratch_pool.h) keep their free lists warm across regions --
+// a kernel chunk that leases a BFS workspace on lane 3 hands it back to
+// lane 3's free list, and the next region's chunk on that lane reuses
+// the same allocation.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,86 @@
+// Per-lane scratch pools for kernel workspaces (docs/PARALLELISM.md,
+// docs/PERFORMANCE.md).
+//
+// The deterministic engine dispatches metric kernels per-source/per-center
+// across pool lanes; the kernels need O(n) workspaces (BFS distance
+// stamps, Brandes bitsets, policy automaton state) that must NOT be
+// allocated per call -- that allocation was the hottest site in the
+// codebase. ScratchPool<T> gives every OS thread (a pool lane, the
+// Run() caller, or any external thread) a private free list of T
+// workspaces:
+//
+//   * Acquire() pops a workspace from the current thread's free list,
+//     default-constructing one only on that thread's first use. Pool
+//     worker threads are long-lived (pool.h), so a lane warms up once
+//     and then reuses the same workspace across every chunk of every
+//     region it ever executes.
+//   * The Lease returns the workspace to the free list on destruction.
+//     Nested kernels (a ball metric running BFS inside a ball-growing
+//     sweep that still needs its outer distances) simply Acquire() again
+//     and get a *different* workspace; the per-thread pool depth matches
+//     the deepest kernel nesting, typically 2-3.
+//
+// Thread-privacy is what keeps this deterministic and race-free: no
+// workspace is ever visible to two threads, so pooling cannot leak
+// scheduling order into results. Determinism therefore rests entirely on
+// the kernels being pure functions of their inputs -- a leased workspace
+// may hold stale bytes from a previous chunk, and kernels must treat it
+// as uninitialized (epoch stamps, explicit per-sweep resets).
+//
+// A Lease must be released on the thread that acquired it (stack scope
+// inside a chunk body guarantees this).
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace topogen::parallel {
+
+template <typename T>
+class ScratchPool {
+ public:
+  class Lease {
+   public:
+    Lease() : obj_(ScratchPool::Pop()) {}
+    ~Lease() {
+      if (obj_ != nullptr) ScratchPool::Push(std::move(obj_));
+    }
+
+    Lease(Lease&& other) noexcept = default;
+    Lease(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    T& operator*() const { return *obj_; }
+    T* operator->() const { return obj_.get(); }
+
+   private:
+    std::unique_ptr<T> obj_;
+  };
+
+  static Lease Acquire() { return Lease(); }
+
+  // Number of idle workspaces parked on this thread (test introspection).
+  static std::size_t IdleCountForTesting() { return FreeList().size(); }
+
+ private:
+  static std::vector<std::unique_ptr<T>>& FreeList() {
+    static thread_local std::vector<std::unique_ptr<T>> list;
+    return list;
+  }
+
+  static std::unique_ptr<T> Pop() {
+    auto& list = FreeList();
+    if (list.empty()) return std::make_unique<T>();
+    std::unique_ptr<T> obj = std::move(list.back());
+    list.pop_back();
+    return obj;
+  }
+
+  static void Push(std::unique_ptr<T> obj) {
+    FreeList().push_back(std::move(obj));
+  }
+};
+
+}  // namespace topogen::parallel

@@ -44,9 +44,16 @@ bool PolicyStep(unsigned phase, Traversal t, unsigned& next_phase) {
 PolicyBfs RunPolicyBfs(const Graph& g, std::span<const Relationship> rel,
                        NodeId src, Dist max_depth) {
   PolicyBfs out;
+  RunPolicyBfsInto(g, rel, src, max_depth, out);
+  return out;
+}
+
+void RunPolicyBfsInto(const Graph& g, std::span<const Relationship> rel,
+                      NodeId src, Dist max_depth, PolicyBfs& out) {
   out.dist_up.assign(g.num_nodes(), kUnreachable);
   out.dist_down.assign(g.num_nodes(), kUnreachable);
-  if (src >= g.num_nodes()) return out;
+  out.order.clear();
+  if (src >= g.num_nodes()) return;
   auto dist_of = [&](NodeId v, unsigned phase) -> Dist& {
     return phase == kUp ? out.dist_up[v] : out.dist_down[v];
   };
@@ -71,7 +78,6 @@ PolicyBfs RunPolicyBfs(const Graph& g, std::span<const Relationship> rel,
       }
     }
   }
-  return out;
 }
 
 std::vector<Dist> PolicyDistances(const Graph& g,

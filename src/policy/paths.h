@@ -62,6 +62,13 @@ PolicyBfs RunPolicyBfs(const graph::Graph& g, std::span<const Relationship> rel,
                        graph::NodeId src,
                        graph::Dist max_depth = graph::kUnreachable);
 
+// In-place variant: overwrites `out`, reusing its buffer capacity so a
+// caller sweeping many sources (policy expansion, policy balls, the
+// policy hierarchy kernel) allocates at most once per thread.
+void RunPolicyBfsInto(const graph::Graph& g, std::span<const Relationship> rel,
+                      graph::NodeId src, graph::Dist max_depth,
+                      PolicyBfs& out);
+
 // One shortest valley-free path from src to dst as a node sequence
 // (src first), or empty when dst is policy-unreachable. Used to simulate
 // BGP path advertisements for relationship inference.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "parallel/scratch_pool.h"
+
 namespace topogen::policy {
 
 using graph::Dist;
@@ -14,7 +16,12 @@ using graph::NodeId;
 PolicyBall GrowPolicyBall(const Graph& g, std::span<const Relationship> rel,
                           NodeId center, Dist radius) {
   PolicyBall out;
-  const PolicyBfs bfs = RunPolicyBfs(g, rel, center, radius);
+  // Pool the product-automaton BFS state: policy balls are grown radius
+  // by radius from the same centers, so the up/down distance arrays are
+  // hot enough to keep per lane.
+  auto lease = parallel::ScratchPool<PolicyBfs>::Acquire();
+  PolicyBfs& bfs = *lease;
+  RunPolicyBfsInto(g, rel, center, radius, bfs);
 
   // "Useful" states lie on some shortest policy path from the center to a
   // node inside the ball. Seed with every state that realizes a node's
@@ -84,14 +91,18 @@ PolicyBall GrowPolicyBall(const Graph& g, std::span<const Relationship> rel,
 std::vector<std::size_t> PolicyReachableCounts(
     const Graph& g, std::span<const Relationship> rel, NodeId src,
     Dist max_depth) {
-  const std::vector<Dist> dist = PolicyDistances(g, rel, src, max_depth);
-  Dist ecc = 0;
-  for (Dist d : dist) {
-    if (d != kUnreachable) ecc = std::max(ecc, d);
-  }
-  std::vector<std::size_t> counts(static_cast<std::size_t>(ecc) + 1, 0);
-  for (Dist d : dist) {
-    if (d != kUnreachable) ++counts[d];
+  // Single fused sweep: run the product-automaton BFS on a pooled
+  // workspace and bin min(dist_up, dist_down) per level directly, instead
+  // of materializing a distance vector and re-scanning it twice.
+  auto lease = parallel::ScratchPool<PolicyBfs>::Acquire();
+  PolicyBfs& bfs = *lease;
+  RunPolicyBfsInto(g, rel, src, max_depth, bfs);
+  std::vector<std::size_t> counts(1, 0);  // counts[0] covers radius 0
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const Dist d = std::min(bfs.dist_up[v], bfs.dist_down[v]);
+    if (d == kUnreachable) continue;
+    if (counts.size() <= d) counts.resize(static_cast<std::size_t>(d) + 1, 0);
+    ++counts[d];
   }
   for (std::size_t h = 1; h < counts.size(); ++h) counts[h] += counts[h - 1];
   return counts;

@@ -1,0 +1,365 @@
+// Golden equivalence suite for the epoch-stamped BFS engine
+// (docs/PERFORMANCE.md): the in-place kernels must reproduce the
+// pre-engine reference implementations *exactly* -- distances, discovery
+// order, level counts, and shortest-path counts bit-for-bit -- across
+// sparse and dense regimes, including graphs dense enough to flip the
+// direction-optimizing crossover to bottom-up. A second group pins the
+// zero-steady-state-allocation contract via the unconditional
+// graph.bfs_alloc counters, serially and inside a parallel region.
+#include "graph/bfs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "gen/canonical.h"
+#include "gen/plrg.h"
+#include "gen/transit_stub.h"
+#include "graph/bfs_scratch.h"
+#include "graph/rng.h"
+#include "obs/stats.h"
+#include "parallel/parallel_for.h"
+#include "parallel/pool.h"
+#include "parallel/scratch_pool.h"
+
+namespace topogen::graph {
+namespace {
+
+// --- reference implementations -----------------------------------------
+// Textbook queue-based BFS, transcribed from the pre-engine kernels.
+// Deliberately naive: fresh O(n) buffers, single direction, no epochs.
+
+std::vector<Dist> RefDistances(const Graph& g, NodeId src,
+                               Dist max_depth = kUnreachable) {
+  std::vector<Dist> dist(g.num_nodes(), kUnreachable);
+  if (src >= g.num_nodes()) return dist;
+  dist[src] = 0;
+  std::vector<NodeId> queue{src};
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    if (dist[u] >= max_depth) continue;
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> RefBall(const Graph& g, NodeId center, Dist radius) {
+  if (center >= g.num_nodes()) return {};
+  std::vector<Dist> dist(g.num_nodes(), kUnreachable);
+  dist[center] = 0;
+  std::vector<NodeId> queue{center};
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    if (dist[u] >= radius) continue;
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return queue;
+}
+
+std::vector<std::size_t> RefReachableCounts(const Graph& g, NodeId src,
+                                            Dist max_depth = kUnreachable) {
+  const std::vector<Dist> dist = RefDistances(g, src, max_depth);
+  Dist ecc = 0;
+  bool any = false;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (dist[v] != kUnreachable) {
+      any = true;
+      ecc = std::max(ecc, dist[v]);
+    }
+  }
+  if (!any) return {};
+  std::vector<std::size_t> counts(ecc + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (dist[v] != kUnreachable) ++counts[dist[v]];
+  }
+  for (std::size_t h = 1; h < counts.size(); ++h) counts[h] += counts[h - 1];
+  return counts;
+}
+
+struct RefDag {
+  std::vector<Dist> dist;
+  std::vector<double> sigma;
+  std::vector<NodeId> order;
+};
+
+RefDag RefShortestPathDag(const Graph& g, NodeId src) {
+  RefDag dag;
+  dag.dist.assign(g.num_nodes(), kUnreachable);
+  dag.sigma.assign(g.num_nodes(), 0.0);
+  if (src >= g.num_nodes()) return dag;
+  dag.dist[src] = 0;
+  dag.sigma[src] = 1.0;
+  dag.order.push_back(src);
+  for (std::size_t head = 0; head < dag.order.size(); ++head) {
+    const NodeId u = dag.order[head];
+    const Dist du = dag.dist[u];
+    for (NodeId v : g.neighbors(u)) {
+      if (dag.dist[v] == kUnreachable) {
+        dag.dist[v] = du + 1;
+        dag.order.push_back(v);
+      }
+      if (dag.dist[v] == du + 1) dag.sigma[v] += dag.sigma[u];
+    }
+  }
+  return dag;
+}
+
+// The graph roster every golden test sweeps: the paper's two generator
+// families plus canonical shapes, with ErdosRenyi(300, 0.5) and
+// Complete(64) dense enough to exercise the bottom-up branch.
+std::vector<Graph> GoldenGraphs() {
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::Linear(17));
+  graphs.push_back(gen::KaryTree(3, 5));
+  graphs.push_back(gen::Complete(64));
+  {
+    graph::Rng rng(101);
+    graphs.push_back(gen::ErdosRenyi(300, 0.5, rng));
+  }
+  {
+    graph::Rng rng(102);
+    graphs.push_back(gen::ErdosRenyi(400, 0.01, rng));
+  }
+  {
+    graph::Rng rng(103);
+    gen::PlrgParams p;
+    p.n = 1200;
+    graphs.push_back(gen::Plrg(p, rng));
+  }
+  {
+    graph::Rng rng(104);
+    graphs.push_back(gen::TransitStub({}, rng));
+  }
+  // Two components plus an isolated node.
+  graphs.push_back(Graph::FromEdges(9, {{0, 1}, {1, 2}, {3, 4}, {4, 5},
+                                        {5, 3}, {6, 7}}));
+  return graphs;
+}
+
+std::vector<NodeId> TestSources(const Graph& g) {
+  std::vector<NodeId> srcs{0};
+  if (g.num_nodes() > 1) srcs.push_back(g.num_nodes() - 1);
+  if (g.num_nodes() > 7) srcs.push_back(g.num_nodes() / 2);
+  return srcs;
+}
+
+TEST(BfsEngineGolden, DistancesMatchReferenceEverywhere) {
+  for (const Graph& g : GoldenGraphs()) {
+    for (const NodeId src : TestSources(g)) {
+      EXPECT_EQ(BfsDistances(g, src), RefDistances(g, src))
+          << "n=" << g.num_nodes() << " src=" << src;
+      EXPECT_EQ(BfsDistances(g, src, 2), RefDistances(g, src, 2))
+          << "n=" << g.num_nodes() << " src=" << src << " depth-limited";
+    }
+  }
+}
+
+TEST(BfsEngineGolden, BallPreservesExactDiscoveryOrder) {
+  for (const Graph& g : GoldenGraphs()) {
+    for (const NodeId src : TestSources(g)) {
+      for (const Dist radius : {Dist{0}, Dist{1}, Dist{3}, kUnreachable}) {
+        EXPECT_EQ(Ball(g, src, radius), RefBall(g, src, radius))
+            << "n=" << g.num_nodes() << " src=" << src << " r=" << radius;
+      }
+    }
+  }
+}
+
+TEST(BfsEngineGolden, ReachableCountsMatchReference) {
+  for (const Graph& g : GoldenGraphs()) {
+    for (const NodeId src : TestSources(g)) {
+      EXPECT_EQ(ReachableCounts(g, src), RefReachableCounts(g, src))
+          << "n=" << g.num_nodes() << " src=" << src;
+    }
+  }
+}
+
+TEST(BfsEngineGolden, ShortestPathDagMatchesReferenceExactly) {
+  for (const Graph& g : GoldenGraphs()) {
+    for (const NodeId src : TestSources(g)) {
+      const ShortestPathDag got = BuildShortestPathDag(g, src);
+      const RefDag want = RefShortestPathDag(g, src);
+      EXPECT_EQ(got.dist, want.dist);
+      EXPECT_EQ(got.order, want.order);
+      // sigma is integral counting accumulated in the same order, so
+      // equality is exact, not approximate.
+      EXPECT_EQ(got.sigma, want.sigma)
+          << "n=" << g.num_nodes() << " src=" << src;
+    }
+  }
+}
+
+TEST(BfsEngineGolden, DerivedScalarsMatchReference) {
+  for (const Graph& g : GoldenGraphs()) {
+    for (const NodeId src : TestSources(g)) {
+      const std::vector<Dist> dist = RefDistances(g, src);
+      Dist ecc = 0;
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (dist[v] != kUnreachable) ecc = std::max(ecc, dist[v]);
+      }
+      EXPECT_EQ(Eccentricity(g, src), ecc);
+    }
+    // AveragePathLength over the engine's deterministic source stride,
+    // recomputed with reference BFS.
+    const NodeId n = g.num_nodes();
+    if (n < 2) continue;
+    const std::size_t use = std::min<std::size_t>(16, n);
+    const std::size_t stride = (n + use - 1) / use;
+    double total = 0.0;
+    std::size_t pairs = 0;
+    for (NodeId src = 0; src < n; src += static_cast<NodeId>(stride)) {
+      const std::vector<Dist> dist = RefDistances(g, src);
+      for (NodeId v = 0; v < n; ++v) {
+        if (dist[v] != kUnreachable) {
+          total += dist[v];
+          if (v != src) ++pairs;
+        }
+      }
+    }
+    const double want = pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
+    EXPECT_DOUBLE_EQ(AveragePathLength(g, 16), want) << "n=" << n;
+  }
+}
+
+// --- direction-optimizing crossover -------------------------------------
+
+TEST(BfsEngineCrossover, DenseSweepTakesBottomUpSteps) {
+  obs::Counter& steps = obs::Stats::GetCounter("graph.bfs_bottomup_steps");
+  graph::Rng rng(101);
+  const Graph dense = gen::ErdosRenyi(300, 0.5, rng);
+  const std::uint64_t before = steps.value();
+  BfsDistances(dense, 0);
+  EXPECT_GT(steps.value(), before)
+      << "cost model never flipped to bottom-up on a dense graph";
+}
+
+TEST(BfsEngineCrossover, SparsePathStaysTopDown) {
+  obs::Counter& steps = obs::Stats::GetCounter("graph.bfs_bottomup_steps");
+  const Graph path = gen::Linear(4096);
+  const std::uint64_t before = steps.value();
+  BfsDistances(path, 0);
+  EXPECT_EQ(steps.value(), before)
+      << "bottom-up can never win on single-node frontiers";
+}
+
+TEST(BfsEngineCrossover, ExactOrderKernelsNeverGoBottomUp) {
+  obs::Counter& steps = obs::Stats::GetCounter("graph.bfs_bottomup_steps");
+  graph::Rng rng(101);
+  const Graph dense = gen::ErdosRenyi(300, 0.5, rng);
+  const std::uint64_t before = steps.value();
+  Ball(dense, 0, kUnreachable);
+  BuildShortestPathDag(dense, 0);
+  EXPECT_EQ(steps.value(), before)
+      << "order-sensitive kernels must stay pure top-down";
+}
+
+// --- zero-allocation steady state ---------------------------------------
+
+TEST(BfsEngineAllocation, SteadyStateIsAllocationFree) {
+  obs::Counter& allocs = obs::Stats::GetCounter("graph.bfs_alloc");
+  graph::Rng rng(105);
+  gen::PlrgParams p;
+  p.n = 2000;
+  const Graph g = gen::Plrg(p, rng);
+  // Warm this thread's pooled workspace to the graph's size.
+  BfsDistances(g, 0);
+  Eccentricity(g, 0);
+  const std::uint64_t before = allocs.value();
+  for (NodeId src = 0; src < 64; ++src) {
+    BfsDistances(g, src % g.num_nodes());
+    Ball(g, src % g.num_nodes(), 2);
+    ReachableCounts(g, src % g.num_nodes());
+  }
+  EXPECT_EQ(allocs.value(), before)
+      << "warm workspace grew during steady-state sweeps";
+}
+
+TEST(BfsEngineAllocation, ParallelLanesStayWarmAcrossRegions) {
+  parallel::Pool::SetThreadCountForTesting(4);
+  obs::Counter& allocs = obs::Stats::GetCounter("graph.bfs_alloc");
+  graph::Rng rng(106);
+  gen::PlrgParams p;
+  p.n = 1500;
+  const Graph g = gen::Plrg(p, rng);
+  auto sweep_all = [&] {
+    parallel::ChunkPlan plan = parallel::PlanChunks(64, 8, 8);
+    parallel::ParallelFor(plan, [&](std::size_t, std::size_t first,
+                                    std::size_t last) {
+      BfsScratchLease scratch = AcquireBfsScratch();
+      for (std::size_t i = first; i < last; ++i) {
+        BfsDistancesInto(g, static_cast<NodeId>(i % g.num_nodes()),
+                         *scratch);
+      }
+    });
+  };
+  // Chunks may land on any lane in any order, so no single region is
+  // guaranteed to touch every lane. The pooling invariant is that total
+  // growth across MANY regions is bounded by the lane count -- each of
+  // the 4 lanes grows its pooled workspace at most once, ever -- rather
+  // than scaling with regions x chunks as per-call allocation would
+  // (20 regions x 8 chunks = 160 allocations here without the pool).
+  const std::uint64_t before = allocs.value();
+  for (int region = 0; region < 20; ++region) sweep_all();
+  EXPECT_LE(allocs.value() - before, 4u)
+      << "parallel lanes re-allocated scratch in steady state";
+  parallel::Pool::SetThreadCountForTesting(0);
+}
+
+TEST(BfsEngineAllocation, NestedLeasesGetDistinctWorkspaces) {
+  const Graph g = gen::KaryTree(2, 6);
+  BfsScratchLease outer = AcquireBfsScratch();
+  BfsDistancesInto(g, 0, *outer);
+  const std::size_t outer_reached = outer->reached();
+  {
+    BfsScratchLease inner = AcquireBfsScratch();
+    ASSERT_NE(&*inner, &*outer);
+    BallInto(g, 0, 1, *inner);
+    EXPECT_EQ(inner->reached(), 3u);
+  }
+  // The outer sweep's results survive the nested kernel.
+  EXPECT_EQ(outer->reached(), outer_reached);
+  EXPECT_EQ(outer->dist(0), 0u);
+}
+
+TEST(BfsEngineAllocation, LeaseReturnsWorkspaceToPool) {
+  {  // Ensure at least one workspace exists, then release it.
+    BfsScratchLease lease = AcquireBfsScratch();
+  }
+  const std::size_t idle = parallel::ScratchPool<BfsScratch>::IdleCountForTesting();
+  ASSERT_GE(idle, 1u);
+  {
+    BfsScratchLease lease = AcquireBfsScratch();
+    EXPECT_EQ(parallel::ScratchPool<BfsScratch>::IdleCountForTesting(),
+              idle - 1);
+  }
+  EXPECT_EQ(parallel::ScratchPool<BfsScratch>::IdleCountForTesting(), idle);
+}
+
+// Epoch reuse across many graphs of different sizes on one workspace:
+// stale marks from earlier sweeps must never leak into later results.
+TEST(BfsEngineGolden, WorkspaceReuseAcrossGraphSizes) {
+  BfsScratchLease scratch = AcquireBfsScratch();
+  const Graph big = gen::KaryTree(2, 7);
+  const Graph small = gen::Linear(5);
+  for (int round = 0; round < 3; ++round) {
+    BfsDistancesInto(big, 0, *scratch);
+    EXPECT_EQ(scratch->reached(), big.num_nodes());
+    BfsDistancesInto(small, 4, *scratch);
+    EXPECT_EQ(scratch->reached(), 5u);
+    for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(scratch->dist(v), 4u - v);
+  }
+}
+
+}  // namespace
+}  // namespace topogen::graph
