@@ -17,8 +17,11 @@
 #include "gen/degree_seq.h"
 #include "metrics/degree.h"
 
-int main() {
+// One-off ablation graphs have no roster identity, so this bench computes
+// directly instead of going through the session cache.
+int main(int argc, char** argv) {
   using namespace topogen;
+  if (bench::HandleFlags(argc, argv)) return 0;
   std::printf("# Ablation: connectivity methods on one degree sequence "
               "(scale=%s)\n",
               bench::ScaleName().c_str());

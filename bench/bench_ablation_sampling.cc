@@ -15,13 +15,16 @@
 #include "core/suite.h"
 #include "hierarchy/link_value.h"
 
-int main() {
+// The sweeps below vary sampling budgets, so each run computes directly;
+// the topologies themselves still come from the session cache.
+int main(int argc, char** argv) {
   using namespace topogen;
+  if (bench::HandleFlags(argc, argv)) return 0;
+  core::Session& session = bench::Session();
   std::printf("# Ablation: sampling budgets (scale=%s)\n",
               bench::ScaleName().c_str());
-  core::RosterOptions ro = bench::Roster();
-  const core::Topology plrg = core::MakePlrg(ro);
-  const core::Topology as = core::MakeAs(ro);
+  const core::Topology& plrg = session.Topology("PLRG");
+  const core::Topology& as = session.Topology("AS");
 
   std::printf("# Signature vs ball-center budget\n");
   core::PrintTableHeader(std::cout, {"Centers", "PLRG", "AS"});

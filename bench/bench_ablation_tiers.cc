@@ -15,8 +15,11 @@
 #include "gen/tiers.h"
 #include "graph/bfs.h"
 
-int main() {
+// One-off ablation graphs have no roster identity, so this bench computes
+// directly instead of going through the session cache.
+int main(int argc, char** argv) {
   using namespace topogen;
+  if (bench::HandleFlags(argc, argv)) return 0;
   std::printf("# Ablation: Tiers inter-tier attachment (scale=%s)\n",
               bench::ScaleName().c_str());
   core::PrintTableHeader(std::cout, {"Attachment", "Nodes", "AvgDeg",

@@ -5,15 +5,30 @@
 // core/report.h) followed by a qualitative shape summary that
 // EXPERIMENTS.md records as paper-vs-measured.
 //
-// Scale is controlled by the TOPOGEN_SCALE environment variable:
-//   small   - quick smoke runs (CI-sized, ~seconds per bench)
-//   default - the scale EXPERIMENTS.md reports (minutes for the suite)
-//   full    - paper-sized where feasible (AS at 10941 nodes etc.)
+// Benches obtain topologies and metric results through one process-wide
+// core::Session (bench::Session()), which lazily builds, deduplicates,
+// and -- when TOPOGEN_CACHE_DIR is set -- persists them in the artifact
+// store, so a warm rerun of a figure bench recomputes nothing
+// (docs/CACHING.md).
+//
+// Environment knobs (also dumped by `<bench> --help`):
+//   TOPOGEN_SCALE        small | default | full   figure harness sizing
+//   TOPOGEN_THREADS      worker threads (0/unset = hardware concurrency)
+//   TOPOGEN_TRACE        <file>  Chrome trace_event JSON at exit
+//   TOPOGEN_STATS        <file>  counter/timer dump at exit
+//   TOPOGEN_OUTDIR       <dir>   figure export dir + manifest.json +
+//                                the resumable run journal (journal.log)
+//   TOPOGEN_CACHE_DIR    <dir>   persistent artifact cache (off if unset)
+//   TOPOGEN_CACHE_MAX_MB <n>     prune cache to n MiB at exit (0 = never)
 #pragma once
 
+#include <cstdio>
+#include <filesystem>
 #include <string>
+#include <string_view>
 
 #include "core/roster.h"
+#include "core/session.h"
 #include "core/suite.h"
 #include "hierarchy/link_value.h"
 #include "obs/obs.h"
@@ -72,6 +87,77 @@ inline core::SuiteOptions Suite() {
 // Source budget for link-value analysis (exact up to this many sources).
 inline std::size_t LinkValueSources() {
   return ScaleName() == "small" ? 600 : 1500;
+}
+
+// The scale-resolved session configuration every bench shares: roster and
+// suite options from the TOPOGEN_SCALE tier, cache and journal locations
+// from the environment. Benches needing a custom roster (e.g.
+// bench_ext_gao's small AS graph) copy this and adjust before opening
+// their own Session.
+inline core::SessionOptions SessionConfig() {
+  core::SessionOptions so;
+  so.roster = Roster();
+  so.suite = Suite();
+  so.link_value = {.max_sources = LinkValueSources(), .seed = 23};
+  const obs::Env& env = obs::Env::Get();
+  so.cache_dir = env.cache_dir();
+  so.cache_max_mb = env.cache_max_mb();
+  if (env.outdir_set()) {
+    so.journal_path =
+        (std::filesystem::path(env.outdir()) / "journal.log").string();
+  }
+  return so;
+}
+
+// The process-wide session. All figure benches pull topologies
+// (Session().Topology("PLRG")), metric suites (Session().Metrics("AS")),
+// and link values through this single instance.
+inline core::Session& Session() {
+  static core::Session session(SessionConfig());
+  return session;
+}
+
+// Prints the environment-knob table with this process's resolved values.
+inline void PrintEnvHelp(const char* argv0) {
+  const obs::Env& env = obs::Env::Get();
+  std::printf("usage: %s [--help]\n\n", argv0);
+  std::printf(
+      "Regenerates one paper figure/table on stdout. Configuration is\n"
+      "via TOPOGEN_* environment variables (resolved value in [ ]):\n\n");
+  std::printf("  %-21s %s [%s]\n", "TOPOGEN_SCALE",
+              "small | default | full figure sizing", env.scale().c_str());
+  std::printf("  %-21s %s [%d]\n", "TOPOGEN_THREADS",
+              "worker threads; 0 = hardware concurrency",
+              env.threads_override());
+  std::printf("  %-21s %s [%s]\n", "TOPOGEN_TRACE",
+              "write Chrome trace JSON to <file> at exit",
+              env.trace_enabled() ? env.trace_path().c_str() : "off");
+  std::printf("  %-21s %s [%s]\n", "TOPOGEN_STATS",
+              "write counter/timer dump to <file> at exit",
+              env.stats_enabled() ? env.stats_path().c_str() : "off");
+  std::printf("  %-21s %s [%s]\n", "TOPOGEN_OUTDIR",
+              "figure export dir (+ manifest.json, journal.log)",
+              env.outdir_set() ? env.outdir().c_str() : "off");
+  std::printf("  %-21s %s [%s]\n", "TOPOGEN_CACHE_DIR",
+              "persistent topology/metric artifact cache",
+              env.cache_enabled() ? env.cache_dir().c_str() : "off");
+  std::printf("  %-21s %s [%d]\n", "TOPOGEN_CACHE_MAX_MB",
+              "prune cache to this many MiB at exit; 0 = never",
+              env.cache_max_mb());
+  std::printf("\nSee docs/CACHING.md and docs/OBSERVABILITY.md.\n");
+}
+
+// Standard flag handling for every bench main(): returns true when the
+// process should exit (after printing --help).
+inline bool HandleFlags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintEnvHelp(argv[0]);
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace topogen::bench

@@ -15,9 +15,10 @@
 #include "core/report.h"
 #include "metrics/ball_extras.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace topogen;
-  const core::RosterOptions ro = bench::Roster();
+  if (bench::HandleFlags(argc, argv)) return 0;
+  core::Session& session = bench::Session();
   core::SuiteOptions so = bench::Suite();
   so.ball.max_centers = 10;
   so.ball.big_ball_centers = 3;
@@ -25,7 +26,8 @@ int main() {
               bench::ScaleName().c_str());
 
   std::vector<metrics::Series> path_curves, flow_curves;
-  auto run = [&](const core::Topology& t) {
+  auto run = [&](const char* id) {
+    const core::Topology& t = session.Topology(id);
     metrics::Series p = metrics::BallAveragePathSeries(t.graph, so.ball);
     p.name = t.name;
     path_curves.push_back(std::move(p));
@@ -33,11 +35,10 @@ int main() {
     f.name = t.name;
     flow_curves.push_back(std::move(f));
   };
-  for (const core::Topology& t : core::CanonicalRoster(ro)) run(t);
-  run(core::MakeTransitStub(ro));
-  run(core::MakeTiers(ro));
-  run(core::MakePlrg(ro));
-  run(core::MakeAs(ro));
+  for (const char* id :
+       {"Tree", "Mesh", "Random", "TS", "Tiers", "PLRG", "AS"}) {
+    run(id);
+  }
 
   core::PrintPanel(std::cout, "ext-2a", "Average path length within balls",
                    path_curves);

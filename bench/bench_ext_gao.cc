@@ -15,13 +15,17 @@
 #include "policy/gao_inference.h"
 #include "policy/paths.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace topogen;
-  core::RosterOptions ro = bench::Roster();
+  if (bench::HandleFlags(argc, argv)) return 0;
   // Inference quality is the object here, not scale; a mid-sized AS graph
-  // keeps the all-destination path extraction quick.
-  ro.as_nodes = bench::ScaleName() == "small" ? 600 : 1500;
-  const core::Topology as = core::MakeAs(ro);
+  // keeps the all-destination path extraction quick. The custom node count
+  // flows into the session's content key, so this bench's artifacts never
+  // collide with the shared roster's.
+  core::SessionOptions opts = bench::SessionConfig();
+  opts.roster.as_nodes = bench::ScaleName() == "small" ? 600 : 1500;
+  core::Session session(opts);
+  const core::Topology& as = session.Topology("AS");
   const auto& g = as.graph;
 
   std::printf("# Extension: Gao inference accuracy vs vantage points "

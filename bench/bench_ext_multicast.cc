@@ -13,24 +13,26 @@
 #include "core/report.h"
 #include "metrics/multicast.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace topogen;
-  const core::RosterOptions ro = bench::Roster();
+  if (bench::HandleFlags(argc, argv)) return 0;
+  core::Session& session = bench::Session();
   std::printf("# Extension: multicast tree scaling L(m) (scale=%s)\n",
               bench::ScaleName().c_str());
 
   std::vector<metrics::Series> curves;
   std::vector<std::pair<std::string, double>> exponents;
-  auto run = [&](const core::Topology& t) {
+  auto run = [&](const char* id) {
+    const core::Topology& t = session.Topology(id);
     metrics::Series s = metrics::MulticastScaling(t.graph);
     s.name = t.name;
     exponents.push_back({t.name, metrics::MulticastScalingExponent(t.graph)});
     curves.push_back(std::move(s));
   };
-  for (const core::Topology& t : core::CanonicalRoster(ro)) run(t);
-  for (const core::Topology& t : core::GeneratedRoster(ro)) run(t);
-  run(core::MakeAs(ro));
-  run(core::MakeRl(ro).topology);
+  for (const char* id : {"Tree", "Mesh", "Random", "TS", "Tiers", "Waxman",
+                         "PLRG", "AS", "RL"}) {
+    run(id);
+  }
 
   core::PrintPanel(std::cout, "ext-1", "Multicast tree links vs receivers",
                    curves);

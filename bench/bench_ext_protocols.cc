@@ -19,19 +19,20 @@
 #include "sim/protocols.h"
 #include "sim/weighted_paths.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace topogen;
-  const core::RosterOptions ro = bench::Roster();
+  if (bench::HandleFlags(argc, argv)) return 0;
+  core::Session& session = bench::Session();
   std::printf("# Extension: protocol performance experiments (scale=%s)\n",
               bench::ScaleName().c_str());
 
-  const core::Topology as = core::MakeAs(ro);
-  const core::Topology plrg = core::MakePlrg(ro);
-  const core::Topology mesh = core::MakeMesh(ro);
-  const core::Topology tree = core::MakeTree(ro);
-  const core::Topology random = core::MakeRandom(ro);
-  const core::Topology tiers = core::MakeTiers(ro);
-  const core::Topology ts = core::MakeTransitStub(ro);
+  const core::Topology& as = session.Topology("AS");
+  const core::Topology& plrg = session.Topology("PLRG");
+  const core::Topology& mesh = session.Topology("Mesh");
+  const core::Topology& tree = session.Topology("Tree");
+  const core::Topology& random = session.Topology("Random");
+  const core::Topology& tiers = session.Topology("Tiers");
+  const core::Topology& ts = session.Topology("TS");
 
   // Panel 1: hop-count distributions (van Mieghem).
   {

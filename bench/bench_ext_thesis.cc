@@ -21,14 +21,17 @@
 #include "hierarchy/link_value.h"
 #include "metrics/clustering.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace topogen;
-  const core::RosterOptions ro = bench::Roster();
+  if (bench::HandleFlags(argc, argv)) return 0;
+  core::Session& session = bench::Session();
   std::printf("# Extension: degree-preserving rewiring of the AS graph "
               "(scale=%s)\n",
               bench::ScaleName().c_str());
 
-  const core::Topology as = core::MakeAs(ro);
+  // The AS baseline comes from the session cache; the rewired graph is a
+  // one-off derivation and runs directly.
+  const core::Topology& as = session.Topology("AS");
   graph::Rng rng(61);
   core::Topology rewired{"AS-rewired", core::Category::kMeasured,
                          gen::DegreePreservingRewire(as.graph, rng), {},
@@ -45,9 +48,11 @@ int main() {
   double clust[2];
   const core::Topology* graphs[2] = {&as, &rewired};
   for (int i = 0; i < 2; ++i) {
-    const core::BasicMetrics m = core::RunBasicMetrics(*graphs[i], so);
-    const hierarchy::LinkValueResult r =
-        hierarchy::ComputeLinkValues(graphs[i]->graph, lv);
+    const core::BasicMetrics& m =
+        i == 0 ? session.Metrics("AS") : core::RunBasicMetrics(rewired, so);
+    const hierarchy::LinkValueResult& r =
+        i == 0 ? session.LinkValues("AS")
+               : hierarchy::ComputeLinkValues(rewired.graph, lv);
     sig[i] = m.signature.ToString();
     cls[i] = hierarchy::ClassifyHierarchy(r);
     clust[i] = metrics::ClusteringCoefficient(graphs[i]->graph);

@@ -13,56 +13,41 @@
 #include "core/report.h"
 #include "metrics/clustering.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace topogen;
-  const core::RosterOptions ro = bench::Roster();
+  if (bench::HandleFlags(argc, argv)) return 0;
+  core::Session& session = bench::Session();
   const core::SuiteOptions so = bench::Suite();
   std::printf("# Figure 10: clustering coefficient vs ball size "
               "(scale=%s)\n",
               bench::ScaleName().c_str());
 
-  auto curve = [&](const std::string& name, const graph::Graph& g) {
-    metrics::Series s = metrics::ClusteringSeries(g, so.ball);
-    s.name = name;
+  auto curve = [&](const char* id) {
+    const core::Topology& t = session.Topology(id);
+    metrics::Series s = metrics::ClusteringSeries(t.graph, so.ball);
+    s.name = t.name;
     return s;
   };
 
-  const core::RlArtifacts rl = core::MakeRl(ro);
-  const core::Topology as = core::MakeAs(ro);
-  const core::Topology plrg = core::MakePlrg(ro);
-
-  std::vector<metrics::Series> c1;
-  for (const core::Topology& t : core::CanonicalRoster(ro)) {
-    c1.push_back(curve(t.name, t.graph));
-  }
-  core::PrintPanel(std::cout, "10a", "Clustering, Canonical", c1);
+  core::PrintPanel(std::cout, "10a", "Clustering, Canonical",
+                   {curve("Tree"), curve("Mesh"), curve("Random")});
   core::PrintPanel(std::cout, "10b", "Clustering, Measured",
-                   {curve("RL", rl.topology.graph), curve("AS", as.graph),
-                    curve("PLRG", plrg.graph)});
-  std::vector<metrics::Series> c3;
-  for (const core::Topology& t :
-       {core::MakeTransitStub(ro), core::MakeTiers(ro),
-        core::MakeWaxman(ro)}) {
-    c3.push_back(curve(t.name, t.graph));
-  }
-  core::PrintPanel(std::cout, "10c", "Clustering, Generated", c3);
+                   {curve("RL"), curve("AS"), curve("PLRG")});
+  core::PrintPanel(std::cout, "10c", "Clustering, Generated",
+                   {curve("TS"), curve("Tiers"), curve("Waxman")});
 
   // Whole-graph coefficients (the Section 4.4 caveat).
   std::printf("# Whole-graph clustering coefficients\n");
   core::PrintTableHeader(std::cout, {"Topology", "Clustering"});
-  auto row = [](const std::string& name, const graph::Graph& g) {
-    core::PrintTableRow(std::cout,
-                        {name, core::Num(metrics::ClusteringCoefficient(g),
-                                         4)});
+  auto row = [&](const char* id) {
+    const core::Topology& t = session.Topology(id);
+    core::PrintTableRow(
+        std::cout,
+        {t.name, core::Num(metrics::ClusteringCoefficient(t.graph), 4)});
   };
-  row("AS", as.graph);
-  row("RL", rl.topology.graph);
-  row("PLRG", plrg.graph);
-  for (const core::Topology& t : core::CanonicalRoster(ro)) {
-    row(t.name, t.graph);
+  for (const char* id : {"AS", "RL", "PLRG", "Tree", "Mesh", "Random", "TS",
+                         "Tiers", "Waxman"}) {
+    row(id);
   }
-  row("TS", core::MakeTransitStub(ro).graph);
-  row("Tiers", core::MakeTiers(ro).graph);
-  row("Waxman", core::MakeWaxman(ro).graph);
   return 0;
 }

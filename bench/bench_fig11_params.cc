@@ -42,7 +42,10 @@ void Row(const std::string& name, const graph::Graph& g,
 
 }  // namespace
 
-int main() {
+// Parameter sweeps build one-off graphs per setting, so this bench keeps
+// computing directly instead of going through the session's keyed cache.
+int main(int argc, char** argv) {
+  if (bench::HandleFlags(argc, argv)) return 0;
   std::printf("# Figure 11 / Appendix C: parameter exploration (scale=%s)\n",
               bench::ScaleName().c_str());
   core::PrintTableHeader(std::cout,

@@ -14,30 +14,32 @@
 #include "fig2_panels.h"
 #include "metrics/degree.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace topogen;
-  const core::RosterOptions ro = bench::Roster();
+  if (bench::HandleFlags(argc, argv)) return 0;
+  core::Session& session = bench::Session();
   std::printf("# Figure 12: degree-based variants (scale=%s)\n",
               bench::ScaleName().c_str());
 
-  const std::vector<core::Topology> roster = core::DegreeBasedRoster(ro);
+  const std::vector<core::Session::MetricsRequest> requests = {
+      {"B-A"}, {"Brite"}, {"BT"}, {"Inet"}};
 
   std::vector<metrics::Series> ccdfs;
-  for (const core::Topology& t : roster) {
+  for (const auto& r : requests) {
+    const core::Topology& t = session.Topology(r.id);
     metrics::Series s = metrics::DegreeCcdf(t.graph);
     s.name = t.name;
     ccdfs.push_back(std::move(s));
   }
   core::PrintPanel(std::cout, "12a", "Degree CCDF, Variants", ccdfs);
 
+  const std::vector<const core::BasicMetrics*> results =
+      session.MetricsBatch(requests);
   std::vector<metrics::Series> expansion, resilience, distortion;
-  for (const core::Topology& t : roster) {
-    expansion.push_back(
-        bench::Compute(bench::BasicMetric::kExpansion, t, false));
-    resilience.push_back(
-        bench::Compute(bench::BasicMetric::kResilience, t, false));
-    distortion.push_back(
-        bench::Compute(bench::BasicMetric::kDistortion, t, false));
+  for (const core::BasicMetrics* b : results) {
+    expansion.push_back(b->expansion);
+    resilience.push_back(b->resilience);
+    distortion.push_back(b->distortion);
   }
   core::PrintPanel(std::cout, "12b", "Expansion, Variants", expansion);
   core::PrintPanel(std::cout, "12c", "Resilience, Variants", resilience);
@@ -46,13 +48,13 @@ int main() {
   std::printf("# Shape check: all variants heavy-tailed and classified "
               "HHL\n");
   bool ok = true;
-  for (std::size_t i = 0; i < roster.size(); ++i) {
-    const auto sig = metrics::Classify(expansion[i], resilience[i],
-                                       distortion[i]);
-    const bool heavy = metrics::LooksHeavyTailed(roster[i].graph);
-    std::printf("#   %-6s heavy=%-3s sig=%s\n", roster[i].name.c_str(),
-                heavy ? "yes" : "no", sig.ToString().c_str());
-    ok &= heavy && sig.ToString() == "HHL";
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const core::Topology& t = session.Topology(requests[i].id);
+    const std::string sig = results[i]->signature.ToString();
+    const bool heavy = metrics::LooksHeavyTailed(t.graph);
+    std::printf("#   %-6s heavy=%-3s sig=%s\n", t.name.c_str(),
+                heavy ? "yes" : "no", sig.c_str());
+    ok &= heavy && sig == "HHL";
   }
   return ok ? 0 : 1;
 }

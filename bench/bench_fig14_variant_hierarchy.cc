@@ -10,36 +10,39 @@
 #include "core/report.h"
 #include "linkvalue_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace topogen;
-  const core::RosterOptions ro = bench::Roster();
+  if (bench::HandleFlags(argc, argv)) return 0;
+  core::Session& session = bench::Session();
   std::printf("# Figure 14: link values of PLRG variants vs measured "
               "(scale=%s)\n",
               bench::ScaleName().c_str());
 
   std::vector<bench::AnalyzedTopology> variants;
-  for (core::Topology& t : core::DegreeBasedRoster(ro)) {
-    variants.push_back(bench::Analyze(std::move(t)));
+  for (const char* id : {"B-A", "Brite", "BT", "Inet"}) {
+    variants.push_back(bench::Analyze(session, id));
   }
   std::vector<metrics::Series> curves;
   for (const bench::AnalyzedTopology& t : variants) {
-    metrics::Series s = t.plain.RankDistribution();
+    metrics::Series s = t.plain->RankDistribution();
     s.name = t.name;
     curves.push_back(std::move(s));
   }
   core::PrintPanel(std::cout, "14a", "Link values, PLRG variants", curves);
 
   std::vector<bench::AnalyzedTopology> measured;
-  measured.push_back(bench::AnalyzeRl(core::MakeRl(ro)));
-  measured.push_back(bench::Analyze(core::MakeAs(ro)));
+  measured.push_back(bench::AnalyzeRl(session));
+  measured.push_back(bench::Analyze(session, "AS"));
   std::vector<metrics::Series> mcurves;
   for (const bench::AnalyzedTopology& t : measured) {
-    metrics::Series s = t.plain.RankDistribution();
+    metrics::Series s = t.plain->RankDistribution();
     s.name = t.name;
     mcurves.push_back(std::move(s));
-    metrics::Series p = t.policy.RankDistribution();
-    p.name = t.name + "(Policy)";
-    mcurves.push_back(std::move(p));
+    if (t.policy != nullptr) {
+      metrics::Series p = t.policy->RankDistribution();
+      p.name = t.name + "(Policy)";
+      mcurves.push_back(std::move(p));
+    }
   }
   core::PrintPanel(std::cout, "14b", "Link values, Measured", mcurves);
 
@@ -47,12 +50,12 @@ int main() {
               "the measured networks\n");
   bool ok = true;
   for (const bench::AnalyzedTopology& t : variants) {
-    const auto c = hierarchy::ClassifyHierarchy(t.plain);
+    const auto c = hierarchy::ClassifyHierarchy(*t.plain);
     std::printf("#   %-6s %s\n", t.name.c_str(), hierarchy::ToString(c));
     ok &= c == hierarchy::HierarchyClass::kModerate;
   }
   for (const bench::AnalyzedTopology& t : measured) {
-    const auto c = hierarchy::ClassifyHierarchy(t.plain);
+    const auto c = hierarchy::ClassifyHierarchy(*t.plain);
     std::printf("#   %-8s %s\n", t.name.c_str(), hierarchy::ToString(c));
     ok &= c == hierarchy::HierarchyClass::kModerate;
   }

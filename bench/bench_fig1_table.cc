@@ -42,23 +42,18 @@ void Row(const topogen::core::Topology& t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace topogen;
-  const core::RosterOptions ro = bench::Roster();
+  if (bench::HandleFlags(argc, argv)) return 0;
   std::printf("# Figure 1: table of network topologies (scale=%s)\n",
               bench::ScaleName().c_str());
   core::PrintTableHeader(std::cout, {"Topology", "Nodes", "AvgDeg",
                                      "Paper-N", "Paper-Deg", "Comment"});
-  const core::RlArtifacts rl = core::MakeRl(ro);
-  Row(rl.topology);
-  Row(core::MakeAs(ro));
-  Row(core::MakePlrg(ro));
-  Row(core::MakeTransitStub(ro));
-  Row(core::MakeTiers(ro));
-  Row(core::MakeWaxman(ro));
-  Row(core::MakeMesh(ro));
-  Row(core::MakeRandom(ro));
-  Row(core::MakeTree(ro));
+  core::Session& session = bench::Session();
+  for (const char* id : {"RL", "AS", "PLRG", "TS", "Tiers", "Waxman", "Mesh",
+                         "Random", "Tree"}) {
+    Row(session.Topology(id));
+  }
   std::printf(
       "\n# Shape check: canonical/structural instances match the paper's\n"
       "# (N, avg degree) exactly or within sampling noise; the measured\n"

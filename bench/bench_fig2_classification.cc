@@ -11,10 +11,9 @@
 #include "bench_common.h"
 #include "core/report.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace topogen;
-  const core::RosterOptions ro = bench::Roster();
-  const core::SuiteOptions so = bench::Suite();
+  if (bench::HandleFlags(argc, argv)) return 0;
 
   const std::map<std::string, std::string> paper{
       {"Mesh", "LHH"},   {"Random", "HHH"}, {"Tree", "HLL"},
@@ -28,44 +27,30 @@ int main() {
   std::printf("# Section 4.4 table: Low/High classification (scale=%s)\n",
               bench::ScaleName().c_str());
 
-  // Build the whole roster first, then fan the suite out across the
-  // parallel engine (one task per topology row; TOPOGEN_THREADS workers)
-  // and print the table in roster order from the gathered results.
-  std::vector<core::Topology> topologies;
-  for (core::Topology& t : core::CanonicalRoster(ro)) {
-    topologies.push_back(std::move(t));
-  }
-  for (core::Topology& t : core::GeneratedRoster(ro)) {
-    topologies.push_back(std::move(t));
-  }
-  for (core::Topology& t : core::DegreeBasedRoster(ro)) {
-    topologies.push_back(std::move(t));
-  }
-  topologies.push_back(core::MakeAs(ro));
-  topologies.push_back(core::MakeRl(ro).topology);
-
-  std::vector<core::SuiteJob> jobs;
+  // One batch over the roster (plus policy reruns): cold runs fan the
+  // misses across the parallel engine, warm runs come from the store.
+  core::Session& session = bench::Session();
+  std::vector<core::Session::MetricsRequest> requests;
   std::vector<std::string> names;
-  for (const core::Topology& t : topologies) {
-    core::SuiteOptions opts = so;
-    jobs.push_back({&t, opts});
-    names.push_back(t.name);
-    if (t.has_policy()) {
-      opts.use_policy = true;
-      jobs.push_back({&t, opts});
-      names.push_back(t.name + "(Policy)");
+  for (std::string_view id : core::Session::KnownIds()) {
+    if (id == "RL.core") continue;
+    requests.push_back({std::string(id)});
+    names.push_back(std::string(id));
+    if (session.Topology(id).has_policy()) {
+      requests.push_back({std::string(id), /*use_policy=*/true});
+      names.push_back(std::string(id) + "(Policy)");
     }
   }
-  const std::vector<core::BasicMetrics> results =
-      core::RunBasicMetricsBatch(jobs);
+  const std::vector<const core::BasicMetrics*> results =
+      session.MetricsBatch(requests);
 
   core::PrintTableHeader(std::cout, {"Topology", "Expansion", "Resilience",
                                      "Distortion", "Signature", "Paper",
                                      "Match"});
   int matches = 0, total = 0;
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
+  for (std::size_t i = 0; i < requests.size(); ++i) {
     const std::string& name = names[i];
-    const std::string sig = results[i].signature.ToString();
+    const std::string sig = results[i]->signature.ToString();
     const auto it = paper.find(name);
     const std::string expect = it == paper.end() ? "-" : it->second;
     const bool ok = expect == "-" || expect == sig;

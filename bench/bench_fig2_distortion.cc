@@ -6,15 +6,13 @@
 // (more so under policy).
 #include "fig2_panels.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace topogen;
+  if (bench::HandleFlags(argc, argv)) return 0;
   bench::EmitFigure2Row(bench::BasicMetric::kDistortion, "2c", "2f", "2i",
                         "2l");
 
-  const core::RosterOptions ro = bench::Roster();
-  const metrics::Series tree =
-      bench::Compute(bench::BasicMetric::kDistortion, core::MakeTree(ro),
-                     false);
+  const metrics::Series& tree = bench::Session().Metrics("Tree").distortion;
   std::printf("# Shape check: Tree distortion stays at %.3f (paper: "
               "exactly 1)\n",
               tree.empty() ? 0.0 : tree.y.back());

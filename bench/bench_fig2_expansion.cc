@@ -8,27 +8,23 @@
 
 #include "metrics/classification.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace topogen;
+  if (bench::HandleFlags(argc, argv)) return 0;
   bench::EmitFigure2Row(bench::BasicMetric::kExpansion, "2a", "2d", "2g",
                         "2j");
 
-  // Shape summary: the Section 4.1 low/high split.
-  const core::RosterOptions ro = bench::Roster();
+  // Shape summary: the Section 4.1 low/high split, straight from the
+  // session's cached suite signatures.
+  core::Session& session = bench::Session();
   std::printf("# Shape check (paper Section 4.1: Mesh and Tiers low, all "
               "others high)\n");
-  auto level = [&](const core::Topology& t) {
-    const metrics::Series e =
-        bench::Compute(bench::BasicMetric::kExpansion, t, false);
-    return metrics::ToChar(metrics::ClassifyExpansion(e));
+  auto level = [&](const char* id) {
+    return metrics::ToChar(session.Metrics(id).signature.expansion);
   };
-  for (const core::Topology& t : core::CanonicalRoster(ro)) {
-    std::printf("#   %-8s %c\n", t.name.c_str(), level(t));
+  for (const char* id : {"Tree", "Mesh", "Random", "TS", "Tiers", "Waxman",
+                         "PLRG", "AS", "RL"}) {
+    std::printf("#   %-8s %c\n", id, level(id));
   }
-  for (const core::Topology& t : core::GeneratedRoster(ro)) {
-    std::printf("#   %-8s %c\n", t.name.c_str(), level(t));
-  }
-  std::printf("#   %-8s %c\n", "AS", level(core::MakeAs(ro)));
-  std::printf("#   %-8s %c\n", "RL", level(core::MakeRl(ro).topology));
   return 0;
 }

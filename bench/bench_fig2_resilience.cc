@@ -8,19 +8,17 @@
 
 #include <algorithm>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace topogen;
+  if (bench::HandleFlags(argc, argv)) return 0;
   bench::EmitFigure2Row(bench::BasicMetric::kResilience, "2b", "2e", "2h",
                         "2k");
 
   // Shape check: policy reduces RL resilience (paper: "by almost a factor
   // of two").
-  const core::RosterOptions ro = bench::Roster();
-  const core::RlArtifacts rl = core::MakeRl(ro);
-  const metrics::Series plain =
-      bench::Compute(bench::BasicMetric::kResilience, rl.topology, false);
-  const metrics::Series policy =
-      bench::Compute(bench::BasicMetric::kResilience, rl.topology, true);
+  core::Session& session = bench::Session();
+  const metrics::Series& plain = session.Metrics("RL").resilience;
+  const metrics::Series& policy = session.Metrics("RL", true).resilience;
   const double plain_max =
       plain.empty() ? 0 : *std::max_element(plain.y.begin(), plain.y.end());
   const double policy_max =

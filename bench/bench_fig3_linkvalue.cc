@@ -17,37 +17,38 @@
 #include "core/report.h"
 #include "linkvalue_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace topogen;
-  const core::RosterOptions ro = bench::Roster();
+  if (bench::HandleFlags(argc, argv)) return 0;
+  core::Session& session = bench::Session();
   std::printf("# Figures 3/4: link value rank distributions (scale=%s)\n",
               bench::ScaleName().c_str());
 
   std::vector<bench::AnalyzedTopology> canonical;
-  canonical.push_back(bench::Analyze(core::MakeTree(ro)));
-  canonical.push_back(bench::Analyze(core::MakeMesh(ro)));
-  canonical.push_back(bench::Analyze(core::MakeRandom(ro)));
+  canonical.push_back(bench::Analyze(session, "Tree"));
+  canonical.push_back(bench::Analyze(session, "Mesh"));
+  canonical.push_back(bench::Analyze(session, "Random"));
 
   std::vector<bench::AnalyzedTopology> measured;
-  measured.push_back(bench::AnalyzeRl(core::MakeRl(ro)));
-  measured.push_back(bench::Analyze(core::MakeAs(ro)));
+  measured.push_back(bench::AnalyzeRl(session));
+  measured.push_back(bench::Analyze(session, "AS"));
 
   std::vector<bench::AnalyzedTopology> generated;
-  generated.push_back(bench::Analyze(core::MakeTransitStub(ro)));
-  generated.push_back(bench::Analyze(core::MakeTiers(ro)));
-  generated.push_back(bench::Analyze(core::MakeWaxman(ro)));
-  generated.push_back(bench::Analyze(core::MakePlrg(ro)));
+  generated.push_back(bench::Analyze(session, "TS"));
+  generated.push_back(bench::Analyze(session, "Tiers"));
+  generated.push_back(bench::Analyze(session, "Waxman"));
+  generated.push_back(bench::Analyze(session, "PLRG"));
 
   auto panel = [](const char* id, const char* title,
                   const std::vector<bench::AnalyzedTopology>& group,
                   bool with_policy) {
     std::vector<metrics::Series> curves;
     for (const bench::AnalyzedTopology& t : group) {
-      metrics::Series s = t.plain.RankDistribution();
+      metrics::Series s = t.plain->RankDistribution();
       s.name = t.name;
       curves.push_back(std::move(s));
-      if (with_policy && !t.relationship.empty()) {
-        metrics::Series p = t.policy.RankDistribution();
+      if (with_policy && t.policy != nullptr) {
+        metrics::Series p = t.policy->RankDistribution();
         p.name = t.name + "(Policy)";
         curves.push_back(std::move(p));
       }
@@ -81,11 +82,11 @@ int main() {
          core::Num(near_top > 0 ? median / near_top : 0.0, 3),
          hierarchy::ToString(hierarchy::ClassifyHierarchy(r))});
   };
-  for (const auto& t : canonical) row(t.name, t.plain);
-  for (const auto& t : generated) row(t.name, t.plain);
+  for (const auto& t : canonical) row(t.name, *t.plain);
+  for (const auto& t : generated) row(t.name, *t.plain);
   for (const auto& t : measured) {
-    row(t.name, t.plain);
-    row(t.name + "(Policy)", t.policy);
+    row(t.name, *t.plain);
+    if (t.policy != nullptr) row(t.name + "(Policy)", *t.policy);
   }
   return 0;
 }

@@ -12,9 +12,10 @@
 #include "core/report.h"
 #include "linkvalue_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace topogen;
-  const core::RosterOptions ro = bench::Roster();
+  if (bench::HandleFlags(argc, argv)) return 0;
+  core::Session& session = bench::Session();
   std::printf("# Figure 5: link value vs min endpoint degree (scale=%s)\n",
               bench::ScaleName().c_str());
   core::PrintTableHeader(std::cout, {"Topology", "Pearson", "Spearman"});
@@ -25,40 +26,39 @@ int main() {
                                     core::Num(r.DegreeRankCorrelation(g), 3)});
   };
 
-  const bench::AnalyzedTopology plrg = bench::Analyze(core::MakePlrg(ro));
-  row(plrg.name, plrg.graph, plrg.plain);
-  const bench::AnalyzedTopology waxman = bench::Analyze(core::MakeWaxman(ro));
-  row(waxman.name, waxman.graph, waxman.plain);
-  const bench::AnalyzedTopology random = bench::Analyze(core::MakeRandom(ro));
-  row(random.name, random.graph, random.plain);
-  const bench::AnalyzedTopology as = bench::Analyze(core::MakeAs(ro));
-  row(as.name, as.graph, as.plain);
-  row(as.name + "(Policy)", as.graph, as.policy);
-  const bench::AnalyzedTopology ts =
-      bench::Analyze(core::MakeTransitStub(ro));
-  row(ts.name, ts.graph, ts.plain);
-  const bench::AnalyzedTopology mesh = bench::Analyze(core::MakeMesh(ro));
-  row(mesh.name, mesh.graph, mesh.plain);
-  const bench::AnalyzedTopology tiers = bench::Analyze(core::MakeTiers(ro));
-  row(tiers.name, tiers.graph, tiers.plain);
+  const bench::AnalyzedTopology plrg = bench::Analyze(session, "PLRG");
+  row(plrg.name, plrg.graph(), *plrg.plain);
+  const bench::AnalyzedTopology waxman = bench::Analyze(session, "Waxman");
+  row(waxman.name, waxman.graph(), *waxman.plain);
+  const bench::AnalyzedTopology random = bench::Analyze(session, "Random");
+  row(random.name, random.graph(), *random.plain);
+  const bench::AnalyzedTopology as = bench::Analyze(session, "AS");
+  row(as.name, as.graph(), *as.plain);
+  row(as.name + "(Policy)", as.graph(), *as.policy);
+  const bench::AnalyzedTopology ts = bench::Analyze(session, "TS");
+  row(ts.name, ts.graph(), *ts.plain);
+  const bench::AnalyzedTopology mesh = bench::Analyze(session, "Mesh");
+  row(mesh.name, mesh.graph(), *mesh.plain);
+  const bench::AnalyzedTopology tiers = bench::Analyze(session, "Tiers");
+  row(tiers.name, tiers.graph(), *tiers.plain);
   // The paper computes RL link values on the pruned core (footnote 29);
   // for THIS figure that choice is substantive, not just a cost saving:
   // on the full graph the value-1/degree-1 access tier dominates Pearson
   // and manufactures a high correlation. The core is the faithful object.
-  const bench::AnalyzedTopology rl = bench::AnalyzeRlCore(core::MakeRl(ro));
-  row(rl.name, rl.graph, rl.plain);
-  row(rl.name + "(Policy)", rl.graph, rl.policy);
-  const bench::AnalyzedTopology tree = bench::Analyze(core::MakeTree(ro));
-  row(tree.name, tree.graph, tree.plain);
+  const bench::AnalyzedTopology rl = bench::AnalyzeRlCore(session);
+  row(rl.name, rl.graph(), *rl.plain);
+  row(rl.name + "(Policy)", rl.graph(), *rl.policy);
+  const bench::AnalyzedTopology tree = bench::Analyze(session, "Tree");
+  row(tree.name, tree.graph(), *tree.plain);
 
   std::printf("\n# Shape check (Section 5.2): PLRG > Tree is the paper's "
               "central contrast --\n"
               "# degree-driven hierarchy correlates with degree, "
               "constructed hierarchy does not.\n");
-  const double p = plrg.plain.DegreeCorrelation(plrg.graph);
-  const double t = tree.plain.DegreeCorrelation(tree.graph);
-  const double a = as.plain.DegreeCorrelation(as.graph);
-  const double r = rl.plain.DegreeCorrelation(rl.graph);
+  const double p = plrg.plain->DegreeCorrelation(plrg.graph());
+  const double t = tree.plain->DegreeCorrelation(tree.graph());
+  const double a = as.plain->DegreeCorrelation(as.graph());
+  const double r = rl.plain->DegreeCorrelation(rl.graph());
   std::printf("# PLRG=%.3f Tree=%.3f AS=%.3f RL.core=%.3f\n", p, t, a, r);
   const bool ok = p > t && a > r;
   std::printf("# PLRG > Tree and AS > RL -> %s\n",

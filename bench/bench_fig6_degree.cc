@@ -11,39 +11,33 @@
 #include "core/report.h"
 #include "metrics/degree.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace topogen;
-  const core::RosterOptions ro = bench::Roster();
+  if (bench::HandleFlags(argc, argv)) return 0;
+  core::Session& session = bench::Session();
   std::printf("# Figure 6: degree CCDFs (scale=%s)\n",
               bench::ScaleName().c_str());
 
-  auto curve = [](const core::Topology& t) {
+  auto curve = [&](const char* id) {
+    const core::Topology& t = session.Topology(id);
     metrics::Series s = metrics::DegreeCcdf(t.graph);
     s.name = t.name;
     return s;
   };
 
-  std::vector<metrics::Series> canonical;
-  for (const core::Topology& t : core::CanonicalRoster(ro)) {
-    canonical.push_back(curve(t));
-  }
-  core::PrintPanel(std::cout, "6a", "Degree CCDF, Canonical", canonical);
-
-  const core::RlArtifacts rl = core::MakeRl(ro);
-  const core::Topology as = core::MakeAs(ro);
+  core::PrintPanel(std::cout, "6a", "Degree CCDF, Canonical",
+                   {curve("Tree"), curve("Mesh"), curve("Random")});
   core::PrintPanel(std::cout, "6b", "Degree CCDF, Measured",
-                   {curve(rl.topology), curve(as)});
-
-  std::vector<metrics::Series> generated;
-  for (const core::Topology& t : core::GeneratedRoster(ro)) {
-    generated.push_back(curve(t));
-  }
-  core::PrintPanel(std::cout, "6c", "Degree CCDF, Generated", generated);
+                   {curve("RL"), curve("AS")});
+  core::PrintPanel(std::cout, "6c", "Degree CCDF, Generated",
+                   {curve("TS"), curve("Tiers"), curve("Waxman"),
+                    curve("PLRG")});
 
   // Shape check: heavy tails where the paper reports them.
   std::printf("# Shape check: heavy-tailed? (paper: AS, RL, PLRG yes; all "
               "others no)\n");
-  auto check = [](const core::Topology& t, bool expect) {
+  auto check = [&](const char* id, bool expect) {
+    const core::Topology& t = session.Topology(id);
     const bool got = metrics::LooksHeavyTailed(t.graph);
     // Also report the Faloutsos rank exponent Medina et al. [29] used as
     // their discriminator (about -0.8 for the 1998 AS snapshots).
@@ -55,14 +49,14 @@ int main() {
     return got == expect;
   };
   bool all = true;
-  for (const core::Topology& t : core::CanonicalRoster(ro)) {
-    all &= check(t, false);
-  }
-  all &= check(core::MakeTransitStub(ro), false);
-  all &= check(core::MakeTiers(ro), false);
-  all &= check(core::MakeWaxman(ro), false);
-  all &= check(core::MakePlrg(ro), true);
-  all &= check(as, true);
-  all &= check(rl.topology, true);
+  all &= check("Tree", false);
+  all &= check("Mesh", false);
+  all &= check("Random", false);
+  all &= check("TS", false);
+  all &= check("Tiers", false);
+  all &= check("Waxman", false);
+  all &= check("PLRG", true);
+  all &= check("AS", true);
+  all &= check("RL", true);
   return all ? 0 : 1;
 }

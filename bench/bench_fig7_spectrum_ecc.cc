@@ -15,70 +15,54 @@
 #include "metrics/laplacian.h"
 #include "metrics/spectrum.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace topogen;
-  const core::RosterOptions ro = bench::Roster();
+  if (bench::HandleFlags(argc, argv)) return 0;
+  core::Session& session = bench::Session();
   std::printf("# Figure 7: eigenvalue spectra and eccentricity "
               "distributions (scale=%s)\n",
               bench::ScaleName().c_str());
 
   const metrics::SpectrumOptions spec{.top_k = 48, .seed = 13};
-  auto eigen_curve = [&](const core::Topology& t) {
+  auto eigen_curve = [&](const char* id) {
+    const core::Topology& t = session.Topology(id);
     metrics::Series s = metrics::EigenvalueRank(t.graph, spec);
     s.name = t.name;
     return s;
   };
-  auto ecc_curve = [](const core::Topology& t) {
+  auto ecc_curve = [&](const char* id) {
+    const core::Topology& t = session.Topology(id);
     metrics::Series s = metrics::EccentricityDistribution(t.graph);
     s.name = t.name;
     return s;
   };
 
-  std::vector<metrics::Series> canonical_eig;
-  for (const core::Topology& t : core::CanonicalRoster(ro)) {
-    canonical_eig.push_back(eigen_curve(t));
-  }
   core::PrintPanel(std::cout, "7a", "Eigenvalues vs rank, Canonical",
-                   canonical_eig);
-
-  const core::Topology as = core::MakeAs(ro);
-  const core::Topology plrg = core::MakePlrg(ro);
+                   {eigen_curve("Tree"), eigen_curve("Mesh"),
+                    eigen_curve("Random")});
   core::PrintPanel(std::cout, "7b", "Eigenvalues vs rank, Measured",
-                   {eigen_curve(as), eigen_curve(plrg)});
-
-  std::vector<metrics::Series> generated_eig;
-  generated_eig.push_back(eigen_curve(core::MakeTransitStub(ro)));
-  generated_eig.push_back(eigen_curve(core::MakeTiers(ro)));
-  generated_eig.push_back(eigen_curve(core::MakeWaxman(ro)));
+                   {eigen_curve("AS"), eigen_curve("PLRG")});
   core::PrintPanel(std::cout, "7c", "Eigenvalues vs rank, Generated",
-                   generated_eig);
+                   {eigen_curve("TS"), eigen_curve("Tiers"),
+                    eigen_curve("Waxman")});
 
-  std::vector<metrics::Series> canonical_ecc;
-  for (const core::Topology& t : core::CanonicalRoster(ro)) {
-    canonical_ecc.push_back(ecc_curve(t));
-  }
   core::PrintPanel(std::cout, "7d", "Eccentricity distribution, Canonical",
-                   canonical_ecc);
-
-  const core::RlArtifacts rl = core::MakeRl(ro);
+                   {ecc_curve("Tree"), ecc_curve("Mesh"),
+                    ecc_curve("Random")});
   core::PrintPanel(std::cout, "7e", "Eccentricity distribution, Measured",
-                   {ecc_curve(rl.topology), ecc_curve(as), ecc_curve(plrg)});
-
-  std::vector<metrics::Series> generated_ecc;
-  generated_ecc.push_back(ecc_curve(core::MakeTransitStub(ro)));
-  generated_ecc.push_back(ecc_curve(core::MakeTiers(ro)));
-  generated_ecc.push_back(ecc_curve(core::MakeWaxman(ro)));
+                   {ecc_curve("RL"), ecc_curve("AS"), ecc_curve("PLRG")});
   core::PrintPanel(std::cout, "7f", "Eccentricity distribution, Generated",
-                   generated_ecc);
+                   {ecc_curve("TS"), ecc_curve("Tiers"),
+                    ecc_curve("Waxman")});
 
   // Shape check: AS and PLRG share a power-law-ish eigenvalue decay that
   // the structural generators lack.
-  const double as_slope = metrics::EigenvaluePowerLawSlope(as.graph, spec);
-  const double plrg_slope =
-      metrics::EigenvaluePowerLawSlope(plrg.graph, spec);
-  const core::Topology mesh = core::MakeMesh(ro);
-  const double mesh_slope =
-      metrics::EigenvaluePowerLawSlope(mesh.graph, spec);
+  const graph::Graph& as = session.Topology("AS").graph;
+  const graph::Graph& plrg = session.Topology("PLRG").graph;
+  const graph::Graph& mesh = session.Topology("Mesh").graph;
+  const double as_slope = metrics::EigenvaluePowerLawSlope(as, spec);
+  const double plrg_slope = metrics::EigenvaluePowerLawSlope(plrg, spec);
+  const double mesh_slope = metrics::EigenvaluePowerLawSlope(mesh, spec);
   std::printf("# Shape check: eigen slope AS=%.3f PLRG=%.3f Mesh=%.3f "
               "(paper: AS and PLRG decay alike; Mesh nearly flat)\n",
               as_slope, plrg_slope, mesh_slope);
@@ -88,17 +72,18 @@ int main() {
   // and trees.
   std::printf("# Laplacian eigenvalue-1 fraction (Vukadinovic et al.)\n");
   core::PrintTableHeader(std::cout, {"Topology", "Ev1Fraction"});
-  auto lap_row = [](const core::Topology& t) {
+  auto lap_row = [&](const char* id) {
+    const core::Topology& t = session.Topology(id);
     core::PrintTableRow(std::cout,
                         {t.name,
                          core::Num(metrics::Eigenvalue1Fraction(t.graph),
                                    4)});
   };
-  lap_row(as);
-  lap_row(rl.topology);
-  lap_row(plrg);
-  lap_row(mesh);
-  lap_row(core::MakeTree(ro));
-  lap_row(core::MakeRandom(ro));
+  lap_row("AS");
+  lap_row("RL");
+  lap_row("PLRG");
+  lap_row("Mesh");
+  lap_row("Tree");
+  lap_row("Random");
   return 0;
 }

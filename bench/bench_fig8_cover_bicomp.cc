@@ -11,41 +11,38 @@
 #include "core/report.h"
 #include "metrics/cover_bicomp.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace topogen;
-  const core::RosterOptions ro = bench::Roster();
+  if (bench::HandleFlags(argc, argv)) return 0;
+  core::Session& session = bench::Session();
   const core::SuiteOptions so = bench::Suite();
   std::printf("# Figure 8: vertex cover and biconnectivity vs ball size "
               "(scale=%s)\n",
               bench::ScaleName().c_str());
 
-  auto cover = [&](const core::Topology& t) {
+  auto cover = [&](const char* id) {
+    const core::Topology& t = session.Topology(id);
     metrics::Series s = metrics::VertexCoverSeries(t.graph, so.ball);
     s.name = t.name;
     return s;
   };
-  auto bicomp = [&](const core::Topology& t) {
+  auto bicomp = [&](const char* id) {
+    const core::Topology& t = session.Topology(id);
     metrics::Series s = metrics::BiconnectivitySeries(t.graph, so.ball);
     s.name = t.name;
     return s;
   };
 
-  const core::RlArtifacts rl = core::MakeRl(ro);
-  const core::Topology as = core::MakeAs(ro);
-  const core::Topology plrg = core::MakePlrg(ro);
-
   std::vector<metrics::Series> c1, c2, c3, b1, b2, b3;
-  for (const core::Topology& t : core::CanonicalRoster(ro)) {
-    c1.push_back(cover(t));
-    b1.push_back(bicomp(t));
+  for (const char* id : {"Tree", "Mesh", "Random"}) {
+    c1.push_back(cover(id));
+    b1.push_back(bicomp(id));
   }
-  c2 = {cover(rl.topology), cover(as), cover(plrg)};
-  b2 = {bicomp(rl.topology), bicomp(as), bicomp(plrg)};
-  for (const core::Topology& t :
-       {core::MakeTransitStub(ro), core::MakeTiers(ro),
-        core::MakeWaxman(ro)}) {
-    c3.push_back(cover(t));
-    b3.push_back(bicomp(t));
+  c2 = {cover("RL"), cover("AS"), cover("PLRG")};
+  b2 = {bicomp("RL"), bicomp("AS"), bicomp("PLRG")};
+  for (const char* id : {"TS", "Tiers", "Waxman"}) {
+    c3.push_back(cover(id));
+    b3.push_back(bicomp(id));
   }
   core::PrintPanel(std::cout, "8a", "Vertex cover, Canonical", c1);
   core::PrintPanel(std::cout, "8b", "Vertex cover, Measured", c2);

@@ -4,55 +4,49 @@
 //
 // Paper shape: error curves are flat-ish for every topology; attack
 // curves are *peaked* for the measured networks, PLRG, and Tiers.
-// Following the paper, the RL topology is attacked on its core.
+// Following the paper, the RL topology is attacked on its core (the
+// session's derived "RL.core" artifact).
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
 
 #include "bench_common.h"
 #include "core/report.h"
-#include "graph/components.h"
 #include "metrics/tolerance.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace topogen;
-  const core::RosterOptions ro = bench::Roster();
+  if (bench::HandleFlags(argc, argv)) return 0;
+  core::Session& session = bench::Session();
   std::printf("# Figure 9: attack and error tolerance (scale=%s)\n",
               bench::ScaleName().c_str());
 
   metrics::ToleranceOptions opts;
   opts.path_samples = bench::ScaleName() == "small" ? 64 : 128;
 
-  auto attack = [&](const std::string& name, const graph::Graph& g) {
-    metrics::Series s = metrics::AttackTolerance(g, opts);
-    s.name = name + ".att";
+  auto attack = [&](const char* id) {
+    const core::Topology& t = session.Topology(id);
+    metrics::Series s = metrics::AttackTolerance(t.graph, opts);
+    s.name = std::string(id) + ".att";
     return s;
   };
-  auto error = [&](const std::string& name, const graph::Graph& g) {
-    metrics::Series s = metrics::ErrorTolerance(g, opts);
-    s.name = name + ".err";
+  auto error = [&](const char* id) {
+    const core::Topology& t = session.Topology(id);
+    metrics::Series s = metrics::ErrorTolerance(t.graph, opts);
+    s.name = std::string(id) + ".err";
     return s;
   };
-
-  const core::RlArtifacts rl = core::MakeRl(ro);
-  const graph::Subgraph rl_core = graph::CoreGraph(rl.topology.graph);
-  const core::Topology as = core::MakeAs(ro);
-  const core::Topology plrg = core::MakePlrg(ro);
 
   std::vector<metrics::Series> a1, a2, a3, e1, e2, e3;
-  for (const core::Topology& t : core::CanonicalRoster(ro)) {
-    a1.push_back(attack(t.name, t.graph));
-    e1.push_back(error(t.name, t.graph));
+  for (const char* id : {"Tree", "Mesh", "Random"}) {
+    a1.push_back(attack(id));
+    e1.push_back(error(id));
   }
-  a2 = {attack("RL.core", rl_core.graph), attack("AS", as.graph),
-        attack("PLRG", plrg.graph)};
-  e2 = {error("RL.core", rl_core.graph), error("AS", as.graph),
-        error("PLRG", plrg.graph)};
-  for (const core::Topology& t :
-       {core::MakeTransitStub(ro), core::MakeTiers(ro),
-        core::MakeWaxman(ro)}) {
-    a3.push_back(attack(t.name, t.graph));
-    e3.push_back(error(t.name, t.graph));
+  a2 = {attack("RL.core"), attack("AS"), attack("PLRG")};
+  e2 = {error("RL.core"), error("AS"), error("PLRG")};
+  for (const char* id : {"TS", "Tiers", "Waxman"}) {
+    a3.push_back(attack(id));
+    e3.push_back(error(id));
   }
 
   core::PrintPanel(std::cout, "9a", "Attack tolerance, Canonical", a1);

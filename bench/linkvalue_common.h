@@ -1,44 +1,51 @@
-// Shared link-value computation for the Section 5 benches (Figures 3, 4,
-// 5, 14). Handles the paper's RL special case: link values are computed
-// on the RL *core* (degree-1 nodes recursively removed, footnote 29),
-// with relationships remapped onto the core's edges.
+// Shared link-value access for the Section 5 benches (Figures 3, 4, 5,
+// 14), on top of the session's cached artifacts. Handles the paper's RL
+// special case: link values are computed on the RL *core* (degree-1 nodes
+// recursively removed, footnote 29) when the full graph is too large,
+// with relationships remapped onto the core's edges (the session's
+// "RL.core" topology).
 #pragma once
 
 #include <cstdio>
 #include <string>
-#include <utility>
-#include <vector>
+#include <string_view>
 
 #include "bench_common.h"
-#include "graph/components.h"
 #include "hierarchy/link_value.h"
-#include "policy/paths.h"
 
 namespace topogen::bench {
 
+// A topology plus its (session-cached) link-value results. All pointers
+// are owned by the session and stable for the life of the process.
 struct AnalyzedTopology {
   std::string name;
-  graph::Graph graph;
-  std::vector<policy::Relationship> relationship;  // empty: no policy run
-  hierarchy::LinkValueResult plain;
-  hierarchy::LinkValueResult policy;  // only when relationship nonempty
+  const core::Topology* topology = nullptr;
+  const hierarchy::LinkValueResult* plain = nullptr;
+  const hierarchy::LinkValueResult* policy = nullptr;  // null: no policy run
+
+  const graph::Graph& graph() const { return topology->graph; }
 };
 
-inline hierarchy::LinkValueOptions LinkValueOpts() {
-  return {.max_sources = LinkValueSources(), .seed = 23};
-}
-
-inline AnalyzedTopology Analyze(core::Topology t) {
+inline AnalyzedTopology Analyze(core::Session& session, std::string_view id) {
   AnalyzedTopology out;
-  out.name = std::move(t.name);
-  out.graph = std::move(t.graph);
-  out.relationship = std::move(t.relationship);
-  out.plain = hierarchy::ComputeLinkValues(out.graph, LinkValueOpts());
-  if (!out.relationship.empty()) {
-    out.policy = hierarchy::ComputePolicyLinkValues(
-        out.graph, out.relationship, LinkValueOpts());
+  out.topology = &session.Topology(id);
+  out.name = out.topology->name;
+  out.plain = &session.LinkValues(id);
+  if (out.topology->has_policy()) {
+    out.policy = &session.LinkValues(id, /*use_policy=*/true);
   }
   return out;
+}
+
+// Above this size the estimator's descendant bitsets (O(n^2) bits, twice
+// that for the policy automaton) stop fitting in memory, and we do what
+// the paper did at 170k nodes: prune to the core (footnote 29).
+inline constexpr graph::NodeId kFullGraphLinkValueCap = 40000;
+
+// The RL graph analyzed on its core, with relationships carried over
+// (the paper's footnote-29 method).
+inline AnalyzedTopology AnalyzeRlCore(core::Session& session) {
+  return Analyze(session, "RL.core");
 }
 
 // The RL topology analyzed on its FULL graph with sampled sources.
@@ -51,54 +58,17 @@ inline AnalyzedTopology Analyze(core::Topology t) {
 // "stub pod" and leaves an artificially flat core -- so we analyze the
 // full graph, which our sampled estimator makes affordable at bench
 // scale. AnalyzeRlCore remains available for the core variant.
-inline AnalyzedTopology AnalyzeRl(const core::RlArtifacts& rl);
-
-// Above this size the estimator's descendant bitsets (O(n^2) bits, twice
-// that for the policy automaton) stop fitting in memory, and we do what
-// the paper did at 170k nodes: prune to the core (footnote 29).
-inline constexpr graph::NodeId kFullGraphLinkValueCap = 40000;
-
-inline AnalyzedTopology AnalyzeRlCore(const core::RlArtifacts& rl);
-
-inline AnalyzedTopology AnalyzeRl(const core::RlArtifacts& rl) {
-  if (rl.topology.graph.num_nodes() > kFullGraphLinkValueCap) {
+inline AnalyzedTopology AnalyzeRl(core::Session& session) {
+  const core::Topology& rl = session.Topology("RL");
+  if (rl.graph.num_nodes() > kFullGraphLinkValueCap) {
     std::fprintf(stderr,
                  "# note: RL graph (%u nodes) exceeds the full-graph "
                  "link-value cap; analyzing the pruned core instead, as "
                  "the paper did (footnote 29)\n",
-                 rl.topology.graph.num_nodes());
-    return AnalyzeRlCore(rl);
+                 rl.graph.num_nodes());
+    return AnalyzeRlCore(session);
   }
-  AnalyzedTopology out;
-  out.name = "RL";
-  out.graph = rl.topology.graph;
-  out.relationship = rl.topology.relationship;
-  out.plain = hierarchy::ComputeLinkValues(out.graph, LinkValueOpts());
-  out.policy = hierarchy::ComputePolicyLinkValues(out.graph,
-                                                  out.relationship,
-                                                  LinkValueOpts());
-  return out;
-}
-
-// The RL graph analyzed on its core, with relationships carried over
-// (the paper's footnote-29 method).
-inline AnalyzedTopology AnalyzeRlCore(const core::RlArtifacts& rl) {
-  AnalyzedTopology out;
-  out.name = "RL.core";
-  graph::Subgraph core = graph::CoreGraph(rl.topology.graph);
-  out.relationship.reserve(core.graph.num_edges());
-  for (const graph::Edge& e : core.graph.edges()) {
-    const graph::NodeId ou = core.original_id[e.u];
-    const graph::NodeId ov = core.original_id[e.v];
-    const graph::EdgeId full = rl.topology.graph.edge_id(ou, ov);
-    out.relationship.push_back(rl.topology.relationship[full]);
-  }
-  out.graph = std::move(core.graph);
-  out.plain = hierarchy::ComputeLinkValues(out.graph, LinkValueOpts());
-  out.policy = hierarchy::ComputePolicyLinkValues(out.graph,
-                                                  out.relationship,
-                                                  LinkValueOpts());
-  return out;
+  return Analyze(session, "RL");
 }
 
 }  // namespace topogen::bench

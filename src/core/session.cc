@@ -1,0 +1,413 @@
+#include "core/session.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "graph/components.h"
+#include "graph/io.h"
+#include "obs/obs.h"
+#include "store/artifact.h"
+#include "store/journal.h"
+#include "store/serialize.h"
+
+namespace topogen::core {
+
+namespace {
+
+// Bump whenever a generator, metric kernel, or classifier changes the
+// bytes it produces for unchanged options: every existing cache entry
+// then misses and is transparently recomputed (docs/CACHING.md).
+constexpr std::uint64_t kCodeEpoch = 1;
+
+constexpr std::string_view kKnownIds[] = {
+    "Tree",  "Mesh", "Random", "TS",   "Tiers", "Waxman", "PLRG",
+    "B-A",   "Brite", "BT",    "Inet", "AS",    "RL",     "RL.core",
+};
+
+std::string JobId(std::string_view kind, const store::Key& key) {
+  std::string id(kind);
+  id += '/';
+  id += key.Hex();
+  return id;
+}
+
+RlArtifacts Wrap(Topology t) {
+  RlArtifacts a;
+  a.topology = std::move(t);
+  return a;
+}
+
+// Fresh build of a roster topology by id; "RL.core" is handled by the
+// caller (it derives from RL rather than a generator).
+RlArtifacts MakeById(std::string_view id, const RosterOptions& ro) {
+  if (id == "Tree") return Wrap(MakeTree(ro));
+  if (id == "Mesh") return Wrap(MakeMesh(ro));
+  if (id == "Random") return Wrap(MakeRandom(ro));
+  if (id == "TS") return Wrap(MakeTransitStub(ro));
+  if (id == "Tiers") return Wrap(MakeTiers(ro));
+  if (id == "Waxman") return Wrap(MakeWaxman(ro));
+  if (id == "PLRG") return Wrap(MakePlrg(ro));
+  if (id == "B-A") return Wrap(MakeBa(ro));
+  if (id == "Brite") return Wrap(MakeBrite(ro));
+  if (id == "BT") return Wrap(MakeBt(ro));
+  if (id == "Inet") return Wrap(MakeInet(ro));
+  if (id == "AS") return Wrap(MakeAs(ro));
+  if (id == "RL") return MakeRl(ro);
+  throw std::invalid_argument("Session: unknown topology id '" +
+                              std::string(id) + "'");
+}
+
+// The paper's footnote-29 core: degree>=2 subgraph of RL with the policy
+// relationships remapped onto the surviving edges.
+RlArtifacts DeriveRlCore(const RlArtifacts& rl) {
+  graph::Subgraph core = graph::CoreGraph(rl.topology.graph);
+  std::vector<policy::Relationship> rel;
+  rel.reserve(core.graph.num_edges());
+  for (const graph::Edge& e : core.graph.edges()) {
+    const graph::NodeId ou = core.original_id[e.u];
+    const graph::NodeId ov = core.original_id[e.v];
+    rel.push_back(
+        rl.topology.relationship[rl.topology.graph.edge_id(ou, ov)]);
+  }
+  RlArtifacts out;
+  out.topology = {"RL.core", Category::kMeasured, std::move(core.graph),
+                  std::move(rel), "RL degree>=2 core (footnote 29)"};
+  return out;
+}
+
+// --- artifact payload encodings (store format version kStoreFormatVersion;
+// all fixed-width binary so cached bytes equal fresh bytes exactly) ---
+
+void EncodeTopology(std::string& out, const RlArtifacts& t) {
+  store::ByteWriter w(out);
+  w.Str(t.topology.name);
+  w.U8(static_cast<std::uint8_t>(t.topology.category));
+  w.Str(t.topology.comment);
+  w.Vec(t.topology.relationship);
+  w.Vec(t.as_of);
+  graph::AppendCsr(out, t.topology.graph);
+}
+
+bool DecodeTopology(std::string_view blob, RlArtifacts& t) {
+  store::ByteReader r(blob);
+  t.topology.name = r.Str();
+  t.topology.category = static_cast<Category>(r.U8());
+  t.topology.comment = r.Str();
+  t.topology.relationship = r.Vec<policy::Relationship>();
+  t.as_of = r.Vec<std::uint32_t>();
+  if (!r.ok()) return false;
+  std::size_t off = r.offset();
+  try {
+    t.topology.graph = graph::ParseCsr(blob, off);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return off == blob.size();
+}
+
+void EncodeSeries(store::ByteWriter& w, const metrics::Series& s) {
+  w.Str(s.name);
+  w.Vec(s.x);
+  w.Vec(s.y);
+}
+
+metrics::Series DecodeSeries(store::ByteReader& r) {
+  metrics::Series s;
+  s.name = r.Str();
+  s.x = r.Vec<double>();
+  s.y = r.Vec<double>();
+  return s;
+}
+
+void EncodeMetrics(std::string& out, const BasicMetrics& m) {
+  store::ByteWriter w(out);
+  EncodeSeries(w, m.expansion);
+  EncodeSeries(w, m.resilience);
+  EncodeSeries(w, m.distortion);
+  w.U8(static_cast<std::uint8_t>(m.signature.expansion));
+  w.U8(static_cast<std::uint8_t>(m.signature.resilience));
+  w.U8(static_cast<std::uint8_t>(m.signature.distortion));
+}
+
+bool DecodeMetrics(std::string_view blob, BasicMetrics& m) {
+  store::ByteReader r(blob);
+  m.expansion = DecodeSeries(r);
+  m.resilience = DecodeSeries(r);
+  m.distortion = DecodeSeries(r);
+  m.signature.expansion = static_cast<metrics::Level>(r.U8());
+  m.signature.resilience = static_cast<metrics::Level>(r.U8());
+  m.signature.distortion = static_cast<metrics::Level>(r.U8());
+  return r.AtEnd();
+}
+
+void EncodeLinkValues(std::string& out, const hierarchy::LinkValueResult& lv) {
+  store::ByteWriter w(out);
+  w.Vec(lv.value);
+  w.U32(lv.num_nodes);
+}
+
+bool DecodeLinkValues(std::string_view blob, hierarchy::LinkValueResult& lv) {
+  store::ByteReader r(blob);
+  lv.value = r.Vec<double>();
+  lv.num_nodes = r.U32();
+  return r.AtEnd();
+}
+
+}  // namespace
+
+Session::Session(SessionOptions options) : options_(std::move(options)) {
+  if (!options_.cache_dir.empty()) {
+    try {
+      store_ = std::make_unique<store::ArtifactStore>(options_.cache_dir);
+      obs::Manifest::SetCache(store_->root());
+    } catch (const std::exception& e) {
+      // A broken cache path degrades to in-memory-only, never to failure.
+      std::fprintf(stderr, "# session: cache disabled: %s\n", e.what());
+    }
+  }
+  if (!options_.journal_path.empty()) {
+    journal_ = std::make_unique<store::Journal>(options_.journal_path);
+  }
+  RecordRunConfiguration(options_.roster);
+}
+
+Session::~Session() {
+  if (store_ != nullptr && options_.cache_max_mb > 0) {
+    store_->Prune(static_cast<std::uint64_t>(options_.cache_max_mb) << 20);
+  }
+}
+
+std::span<const std::string_view> Session::KnownIds() { return kKnownIds; }
+
+store::Key Session::TopologyKey(std::string_view id) const {
+  const RosterOptions& ro = options_.roster;
+  store::KeyHasher h;
+  h.Mix("topology")
+      .Mix(std::uint64_t{store::kStoreFormatVersion})
+      .Mix(kCodeEpoch)
+      .Mix(id)
+      .Mix(ro.seed)
+      .Mix(std::uint64_t{ro.as_nodes})
+      .Mix(ro.rl_expansion_ratio)
+      .Mix(std::uint64_t{ro.plrg_nodes})
+      .Mix(std::uint64_t{ro.degree_based_nodes});
+  return h.Finish();
+}
+
+store::Key Session::MetricsKey(std::string_view id, bool use_policy) const {
+  const store::Key tk = TopologyKey(id);
+  const SuiteOptions& so = options_.suite;
+  store::KeyHasher h;
+  h.Mix("metrics")
+      .Mix(std::uint64_t{store::kStoreFormatVersion})
+      .Mix(kCodeEpoch)
+      .Mix(tk.hi)
+      .Mix(tk.lo)
+      .Mix(use_policy)
+      .Mix(std::uint64_t{so.ball.max_centers})
+      .Mix(std::uint64_t{so.ball.max_radius})
+      .Mix(std::uint64_t{so.ball.max_ball_nodes})
+      .Mix(std::uint64_t{so.ball.big_ball_threshold})
+      .Mix(std::uint64_t{so.ball.big_ball_centers})
+      .Mix(so.ball.seed)
+      .Mix(std::uint64_t{so.expansion.max_sources})
+      .Mix(so.expansion.seed)
+      .Mix(so.classifier.expansion_cap)
+      .Mix(so.classifier.expansion_tail_ratio)
+      .Mix(so.classifier.resilience_magnitude)
+      .Mix(so.classifier.resilience_floor)
+      .Mix(so.classifier.distortion_fraction);
+  return h.Finish();
+}
+
+store::Key Session::LinkValueKey(std::string_view id, bool use_policy) const {
+  const store::Key tk = TopologyKey(id);
+  store::KeyHasher h;
+  h.Mix("linkvalue")
+      .Mix(std::uint64_t{store::kStoreFormatVersion})
+      .Mix(kCodeEpoch)
+      .Mix(tk.hi)
+      .Mix(tk.lo)
+      .Mix(use_policy)
+      .Mix(std::uint64_t{options_.link_value.max_sources})
+      .Mix(options_.link_value.seed);
+  return h.Finish();
+}
+
+bool Session::LoadArtifact(std::string_view kind, const store::Key& key,
+                           std::string& payload,
+                           std::uint64_t CacheStats::*hits,
+                           std::uint64_t CacheStats::*misses) {
+  const bool hit = store_ != nullptr && store_->Load(kind, key, payload);
+  stats_.*(hit ? hits : misses) += 1;
+  if (store_ != nullptr) {
+    obs::Manifest::AddCacheEvent(kind, hit);
+    if (hit) {
+      TOPOGEN_COUNT("session.cache_hit");
+    } else {
+      TOPOGEN_COUNT("session.cache_miss");
+    }
+  }
+  if (hit && journal_ != nullptr && journal_->IsDone(JobId(kind, key))) {
+    // This exact job was journaled complete by a previous (interrupted)
+    // run: the resume path, not merely a warm cache.
+    stats_.journal_skips += 1;
+    TOPOGEN_COUNT("session.journal_skips");
+  }
+  return hit;
+}
+
+void Session::StoreArtifact(std::string_view kind, const store::Key& key,
+                            std::string_view payload) {
+  if (store_ != nullptr) store_->Store(kind, key, payload);
+  if (journal_ != nullptr) journal_->MarkDone(JobId(kind, key), key.Hex());
+}
+
+RlArtifacts& Session::Materialize(std::string_view id) {
+  if (auto it = topologies_.find(id); it != topologies_.end()) {
+    return *it->second;
+  }
+  bool known = false;
+  for (const std::string_view k : kKnownIds) known = known || k == id;
+  if (!known) {
+    throw std::invalid_argument("Session: unknown topology id '" +
+                                std::string(id) + "'");
+  }
+  const store::Key key = TopologyKey(id);
+  std::string payload;
+  if (LoadArtifact("topology", key, payload, &CacheStats::topology_hits,
+                   &CacheStats::topology_misses)) {
+    auto loaded = std::make_unique<RlArtifacts>();
+    if (DecodeTopology(payload, *loaded)) {
+      obs::Manifest::AddTopology(loaded->topology.name,
+                                 loaded->topology.graph.num_nodes(),
+                                 loaded->topology.graph.num_edges(),
+                                 loaded->topology.comment);
+      return *topologies_.emplace(std::string(id), std::move(loaded))
+                  .first->second;
+    }
+    // Valid header but undecodable payload (schema drift): demote to miss.
+    stats_.topology_hits -= 1;
+    stats_.topology_misses += 1;
+  }
+  auto fresh = std::make_unique<RlArtifacts>(
+      id == "RL.core" ? DeriveRlCore(Materialize("RL"))
+                      : MakeById(id, options_.roster));
+  std::string encoded;
+  EncodeTopology(encoded, *fresh);
+  StoreArtifact("topology", key, encoded);
+  return *topologies_.emplace(std::string(id), std::move(fresh))
+              .first->second;
+}
+
+const core::Topology& Session::Topology(std::string_view id) {
+  return Materialize(id).topology;
+}
+
+const RlArtifacts& Session::Rl() { return Materialize("RL"); }
+
+const BasicMetrics& Session::Metrics(std::string_view id, bool use_policy) {
+  const MetricsRequest request{std::string(id), use_policy};
+  return *MetricsBatch({&request, 1}).front();
+}
+
+std::vector<const BasicMetrics*> Session::MetricsBatch(
+    std::span<const MetricsRequest> requests) {
+  std::vector<const BasicMetrics*> out(requests.size(), nullptr);
+  // memo hex -> request indexes still waiting on a computed result
+  // (duplicate requests collapse onto one job).
+  std::map<std::string, std::vector<std::size_t>> pending;
+  std::vector<store::Key> keys(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    keys[i] = MetricsKey(requests[i].id, requests[i].use_policy);
+    const std::string memo = keys[i].Hex();
+    if (auto it = metrics_.find(memo); it != metrics_.end()) {
+      out[i] = it->second.get();
+      continue;
+    }
+    if (auto it = pending.find(memo); it != pending.end()) {
+      it->second.push_back(i);
+      continue;
+    }
+    std::string payload;
+    if (LoadArtifact("metrics", keys[i], payload, &CacheStats::metrics_hits,
+                     &CacheStats::metrics_misses)) {
+      auto loaded = std::make_unique<BasicMetrics>();
+      if (DecodeMetrics(payload, *loaded)) {
+        out[i] =
+            metrics_.emplace(memo, std::move(loaded)).first->second.get();
+        continue;
+      }
+      stats_.metrics_hits -= 1;
+      stats_.metrics_misses += 1;
+    }
+    pending[memo].push_back(i);
+  }
+  if (pending.empty()) return out;
+
+  // Misses fan out through the deterministic parallel engine exactly as
+  // the legacy RunBasicMetricsBatch path did, so batch results remain
+  // bit-identical to the sequential loop at every TOPOGEN_THREADS.
+  std::vector<const std::vector<std::size_t>*> job_requests;
+  std::vector<SuiteJob> jobs;
+  job_requests.reserve(pending.size());
+  jobs.reserve(pending.size());
+  std::vector<std::string> job_memos;
+  job_memos.reserve(pending.size());
+  for (const auto& [memo, indexes] : pending) {
+    const MetricsRequest& req = requests[indexes.front()];
+    SuiteOptions so = options_.suite;
+    so.use_policy = req.use_policy;
+    jobs.push_back({&Materialize(req.id).topology, so});
+    job_requests.push_back(&indexes);
+    job_memos.push_back(memo);
+  }
+  std::vector<BasicMetrics> computed = RunBasicMetricsBatch(jobs);
+  for (std::size_t j = 0; j < computed.size(); ++j) {
+    const std::size_t first = job_requests[j]->front();
+    std::string encoded;
+    EncodeMetrics(encoded, computed[j]);
+    StoreArtifact("metrics", keys[first], encoded);
+    auto owned = std::make_unique<BasicMetrics>(std::move(computed[j]));
+    const BasicMetrics* stored =
+        metrics_.emplace(job_memos[j], std::move(owned)).first->second.get();
+    for (const std::size_t i : *job_requests[j]) out[i] = stored;
+  }
+  return out;
+}
+
+const hierarchy::LinkValueResult& Session::LinkValues(std::string_view id,
+                                                      bool use_policy) {
+  const store::Key key = LinkValueKey(id, use_policy);
+  const std::string memo = key.Hex();
+  if (auto it = linkvalues_.find(memo); it != linkvalues_.end()) {
+    return *it->second;
+  }
+  std::string payload;
+  if (LoadArtifact("linkvalue", key, payload, &CacheStats::linkvalue_hits,
+                   &CacheStats::linkvalue_misses)) {
+    auto loaded = std::make_unique<hierarchy::LinkValueResult>();
+    if (DecodeLinkValues(payload, *loaded)) {
+      return *linkvalues_.emplace(memo, std::move(loaded)).first->second;
+    }
+    stats_.linkvalue_hits -= 1;
+    stats_.linkvalue_misses += 1;
+  }
+  const core::Topology& t = Materialize(id).topology;
+  if (use_policy && !t.has_policy()) {
+    throw std::invalid_argument("Session: topology '" + std::string(id) +
+                                "' has no policy annotation");
+  }
+  auto computed = std::make_unique<hierarchy::LinkValueResult>(
+      use_policy ? hierarchy::ComputePolicyLinkValues(
+                       t.graph, t.relationship, options_.link_value)
+                 : hierarchy::ComputeLinkValues(t.graph,
+                                                options_.link_value));
+  std::string encoded;
+  EncodeLinkValues(encoded, *computed);
+  StoreArtifact("linkvalue", key, encoded);
+  return *linkvalues_.emplace(memo, std::move(computed)).first->second;
+}
+
+}  // namespace topogen::core

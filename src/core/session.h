@@ -1,0 +1,151 @@
+// Session: the suite's entry point for topologies and metric results,
+// backed by a persistent content-addressed artifact cache (docs/CACHING.md).
+//
+// A Session replaces the ad-hoc "build the roster, run the batch, export"
+// pattern every bench used to open with. Artifacts are *lazy*: nothing is
+// generated until asked for, results are deduplicated in memory for the
+// life of the Session, and -- when a cache directory is configured -- they
+// persist across processes keyed by a structural hash of everything that
+// determines their bytes (generator id, RosterOptions, seed, suite
+// options, and a code epoch bumped when kernel semantics change). Because
+// the metric kernels are bit-identical at every TOPOGEN_THREADS value
+// (docs/PARALLELISM.md), a cached result is byte-for-byte the result a
+// fresh run would compute, so warm reruns of a figure bench skip topology
+// generation and every BFS while emitting identical output files.
+//
+// A Session with a journal (TOPOGEN_OUTDIR/journal.log by default in the
+// bench harness) additionally records each completed job, so a crashed or
+// interrupted suite resumes where it left off: jobs whose journal line and
+// artifact both survive are served from the store without recomputation.
+//
+// Thread-safety: a Session is used from one thread (the bench main);
+// parallelism lives *inside* the metric kernels it invokes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/roster.h"
+#include "core/suite.h"
+#include "hierarchy/link_value.h"
+#include "store/hash.h"
+
+namespace topogen::store {
+class ArtifactStore;
+class Journal;
+}  // namespace topogen::store
+
+namespace topogen::core {
+
+struct SessionOptions {
+  RosterOptions roster;
+  SuiteOptions suite;  // use_policy is ignored; pass it per Metrics() call
+  hierarchy::LinkValueOptions link_value;
+  // Root of the persistent artifact cache; empty = in-memory only (every
+  // process recomputes, but repeated requests within one Session still
+  // dedupe).
+  std::string cache_dir;
+  // Completed-job journal for crash/interrupt resume; empty = no journal.
+  std::string journal_path;
+  // When > 0, prune the cache to this budget (MiB) at Session destruction.
+  int cache_max_mb = 0;
+};
+
+// Per-session cache effectiveness, independent of the global obs counters
+// (which are off unless TOPOGEN_TRACE/STATS/OUTDIR is set).
+struct CacheStats {
+  std::uint64_t topology_hits = 0;
+  std::uint64_t topology_misses = 0;
+  std::uint64_t metrics_hits = 0;
+  std::uint64_t metrics_misses = 0;
+  std::uint64_t linkvalue_hits = 0;
+  std::uint64_t linkvalue_misses = 0;
+  // Jobs served from the store because a previous run's journal marked
+  // them done -- the resume path.
+  std::uint64_t journal_skips = 0;
+};
+
+class Session {
+ public:
+  explicit Session(SessionOptions options = {});
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const SessionOptions& options() const { return options_; }
+  const CacheStats& cache_stats() const { return stats_; }
+  bool cache_enabled() const { return store_ != nullptr; }
+
+  // The roster ids a Session serves, matching the display names of
+  // core/roster.h's factories: "Tree", "Mesh", "Random", "TS", "Tiers",
+  // "Waxman", "PLRG", "B-A", "Brite", "BT", "Inet", "AS", "RL", plus the
+  // derived "RL.core" (the paper's footnote-29 degree>=2 core with
+  // relationships remapped). Unknown ids throw std::invalid_argument.
+  static std::span<const std::string_view> KnownIds();
+
+  // The topology for `id`, generating (or loading) it on first use. The
+  // reference is stable for the life of the Session.
+  const core::Topology& Topology(std::string_view id);
+
+  // The RL topology plus its AS-overlay artifacts (as_of). Cached like
+  // any topology; the overlay rides in the same artifact.
+  const RlArtifacts& Rl();
+
+  // Basic-metrics suite (expansion, resilience, distortion, LH signature)
+  // for one topology. On a cache hit this does not even materialize the
+  // topology -- keys derive from options, not from graph bytes.
+  const BasicMetrics& Metrics(std::string_view id, bool use_policy = false);
+
+  // Batched variant: misses are computed via the deterministic parallel
+  // fan-out (RunBasicMetricsBatch), hits come from the cache; pointers are
+  // stable and land in request order.
+  struct MetricsRequest {
+    std::string id;
+    bool use_policy = false;
+  };
+  std::vector<const BasicMetrics*> MetricsBatch(
+      std::span<const MetricsRequest> requests);
+
+  // Link-value analysis (Section 5) for one topology, plain or
+  // policy-routed. Like Metrics(), a warm hit touches no BFS.
+  const hierarchy::LinkValueResult& LinkValues(std::string_view id,
+                                               bool use_policy = false);
+
+ private:
+  // Generate-or-load; the backbone of Topology()/Rl().
+  RlArtifacts& Materialize(std::string_view id);
+
+  store::Key TopologyKey(std::string_view id) const;
+  store::Key MetricsKey(std::string_view id, bool use_policy) const;
+  store::Key LinkValueKey(std::string_view id, bool use_policy) const;
+
+  // Load-if-valid helper shared by all three artifact kinds; returns the
+  // payload on a hit and maintains stats/counters/journal bookkeeping.
+  bool LoadArtifact(std::string_view kind, const store::Key& key,
+                    std::string& payload, std::uint64_t CacheStats::*hits,
+                    std::uint64_t CacheStats::*misses);
+  void StoreArtifact(std::string_view kind, const store::Key& key,
+                     std::string_view payload);
+
+  SessionOptions options_;
+  CacheStats stats_;
+  std::unique_ptr<store::ArtifactStore> store_;
+  std::unique_ptr<store::Journal> journal_;
+
+  // Node-based maps: references handed out stay valid as entries are added.
+  std::map<std::string, std::unique_ptr<RlArtifacts>, std::less<>>
+      topologies_;
+  std::map<std::string, std::unique_ptr<BasicMetrics>, std::less<>> metrics_;
+  std::map<std::string, std::unique_ptr<hierarchy::LinkValueResult>,
+           std::less<>>
+      linkvalues_;
+};
+
+}  // namespace topogen::core

@@ -64,19 +64,29 @@ void BuildShortestPathDagInto(const Graph& g, NodeId src,
                               BfsScratch& scratch);
 
 // --- value-returning wrappers over the kernels above ---
+//
+// Deprecated for hot paths: each call leases a workspace AND allocates a
+// fresh result vector, so a loop over sources pays an allocation per
+// sweep that the *Into kernels amortize away. Production metric loops
+// use the kernels with an AcquireBfsScratch lease; these wrappers remain
+// for one-shot queries, tests, and examples, where clarity beats the
+// allocation (and their outputs stay byte-identical to the kernels).
 
 // Hop distances from src to every node; kUnreachable where disconnected.
 // If max_depth is given, nodes farther than max_depth are left unreachable.
+// Deprecated in loops: use BfsDistancesInto.
 std::vector<Dist> BfsDistances(const Graph& g, NodeId src,
                                Dist max_depth = kUnreachable);
 
 // Nodes whose hop distance from center is <= radius, in BFS (distance)
 // order; center itself is first. This is the paper's "ball of radius h".
+// Deprecated in loops: use BallInto.
 std::vector<NodeId> Ball(const Graph& g, NodeId center, Dist radius);
 
 // Per-radius reachable-set sizes: result[h] = number of nodes within h hops
 // of src (result[0] == 1), up to max radius (graph eccentricity of src or
 // max_depth, whichever is smaller). Used by the expansion metric.
+// Deprecated in loops: use ReachableCountsInto.
 std::vector<std::size_t> ReachableCounts(const Graph& g, NodeId src,
                                          Dist max_depth = kUnreachable);
 

@@ -96,6 +96,10 @@ class Graph {
   std::string Summary() const;
 
  private:
+  // Binary CSR cache serialization (graph/io.cc) restores these arrays
+  // verbatim so cached topologies are bit-identical to fresh ones.
+  friend struct CsrSerializer;
+
   NodeId num_nodes_ = 0;
   std::vector<std::size_t> offsets_;   // size num_nodes_ + 1
   std::vector<NodeId> adjacency_;      // size 2m, sorted per node

@@ -1,11 +1,67 @@
 #include "graph/io.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
+#include "store/serialize.h"
+
 namespace topogen::graph {
+
+// Friend of Graph: the only code with direct access to the CSR arrays.
+struct CsrSerializer {
+  static void Append(std::string& out, const Graph& g) {
+    store::ByteWriter w(out);
+    w.U32(g.num_nodes_);
+    w.Vec(g.offsets_);
+    w.Vec(g.adjacency_);
+    w.Vec(g.adjacent_edge_);
+    w.Vec(g.edges_);
+  }
+
+  static Graph Parse(std::string_view blob, std::size_t& offset) {
+    store::ByteReader r(blob.substr(offset));
+    Graph g;
+    g.num_nodes_ = r.U32();
+    g.offsets_ = r.Vec<std::size_t>();
+    g.adjacency_ = r.Vec<NodeId>();
+    g.adjacent_edge_ = r.Vec<EdgeId>();
+    g.edges_ = r.Vec<Edge>();
+    if (!r.ok()) throw std::runtime_error("ParseCsr: truncated CSR blob");
+    // Structural invariants every Graph upholds by construction; a blob
+    // violating them is corrupt no matter what the checksum said.
+    const std::size_t m = g.edges_.size();
+    // A default-constructed Graph has no offsets array at all; it is a
+    // valid (if degenerate) serialization subject.
+    const bool empty_ok = g.num_nodes_ == 0 && m == 0 &&
+                          g.offsets_.empty() && g.adjacency_.empty() &&
+                          g.adjacent_edge_.empty();
+    const bool shape_ok =
+        empty_ok ||
+        (g.offsets_.size() == static_cast<std::size_t>(g.num_nodes_) + 1 &&
+         g.offsets_.front() == 0 && g.offsets_.back() == 2 * m &&
+         g.adjacency_.size() == 2 * m && g.adjacent_edge_.size() == 2 * m &&
+         std::is_sorted(g.offsets_.begin(), g.offsets_.end()));
+    if (!shape_ok) throw std::runtime_error("ParseCsr: inconsistent CSR blob");
+    for (const Edge& e : g.edges_) {
+      if (e.u >= e.v || e.v >= g.num_nodes_) {
+        throw std::runtime_error("ParseCsr: non-canonical edge in CSR blob");
+      }
+    }
+    offset += r.offset();
+    return g;
+  }
+};
+
+void AppendCsr(std::string& out, const Graph& g) {
+  CsrSerializer::Append(out, g);
+}
+
+Graph ParseCsr(std::string_view blob, std::size_t& offset) {
+  return CsrSerializer::Parse(blob, offset);
+}
 
 void WriteEdgeList(std::ostream& os, const Graph& g) {
   os << "# topogen edge list\n";

@@ -8,6 +8,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "graph/graph.h"
 
@@ -20,5 +21,22 @@ void WriteEdgeListFile(const std::string& path, const Graph& g);
 // Parses an edge list; throws std::runtime_error on malformed input.
 Graph ReadEdgeList(std::istream& is);
 Graph ReadEdgeListFile(const std::string& path);
+
+// --- binary CSR serialization (the artifact-store format) ---
+//
+// AppendCsr dumps the graph's exact in-memory CSR arrays (offsets,
+// adjacency, edge ids, canonical edges) as length-prefixed little-endian
+// blocks appended to `out`; ParseCsr restores them verbatim, so a loaded
+// graph is bit-identical to the one serialized -- no re-sorting, no
+// re-canonicalization, O(n + m) with a handful of memcpys. The blob is a
+// per-machine cache format, not an interchange format (docs/CACHING.md).
+
+void AppendCsr(std::string& out, const Graph& g);
+
+// Parses a CSR blob starting at out[offset], advancing `offset` past it.
+// Cheap structural invariants (array sizes, offset monotonicity, edge
+// count consistency) are re-checked; a violation throws
+// std::runtime_error -- the artifact store maps that to a cache miss.
+Graph ParseCsr(std::string_view blob, std::size_t& offset);
 
 }  // namespace topogen::graph

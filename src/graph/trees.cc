@@ -79,7 +79,13 @@ SpanningTree DecompositionTree(const Graph& g, NodeId root, Rng& rng) {
 
   // Phase 1: carve the component into random-radius clusters, each with an
   // internal BFS tree rooted at its center.
-  const std::vector<NodeId> component = Ball(g, root, kUnreachable - 1);
+  std::vector<NodeId> component;
+  {
+    graph::BfsScratchLease scratch = AcquireBfsScratch();
+    BallInto(g, root, kUnreachable - 1, *scratch);
+    const std::span<const NodeId> order = scratch->order();
+    component.assign(order.begin(), order.end());
+  }
   std::vector<std::uint32_t> cluster_of(g.num_nodes(), 0xffffffffu);
   std::vector<NodeId> centers;
   std::vector<NodeId> pending(component.rbegin(), component.rend());

@@ -31,12 +31,12 @@ std::string EnvOr(const char* name, const char* fallback) {
   return v == nullptr ? fallback : v;
 }
 
-int EnvInt(const char* name) {
+int EnvInt(const char* name, long max_value = 4096) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return 0;
   char* end = nullptr;
   const long parsed = std::strtol(v, &end, 10);
-  if (end == v || *end != '\0' || parsed < 0 || parsed > 4096) return 0;
+  if (end == v || *end != '\0' || parsed < 0 || parsed > max_value) return 0;
   return static_cast<int>(parsed);
 }
 
@@ -63,7 +63,9 @@ Env::Env()
       outdir_(EnvOr("TOPOGEN_OUTDIR", "")),
       trace_path_(EnvOr("TOPOGEN_TRACE", "")),
       stats_path_(EnvOr("TOPOGEN_STATS", "")),
-      threads_override_(EnvInt("TOPOGEN_THREADS")) {
+      cache_dir_(EnvOr("TOPOGEN_CACHE_DIR", "")),
+      threads_override_(EnvInt("TOPOGEN_THREADS")),
+      cache_max_mb_(EnvInt("TOPOGEN_CACHE_MAX_MB", 1 << 20)) {
   Epoch();  // pin the trace epoch no later than first configuration use
 }
 

@@ -10,6 +10,11 @@
 //   TOPOGEN_THREADS <n>      worker threads for the parallel engine
 //                            (unset/0 = hardware concurrency, 1 = serial;
 //                            see docs/PARALLELISM.md)
+//   TOPOGEN_CACHE_DIR <dir>  persistent artifact cache for topologies and
+//                            metric results (unset = caching off; see
+//                            docs/CACHING.md)
+//   TOPOGEN_CACHE_MAX_MB <n> prune the cache to at most n MiB at session
+//                            shutdown (unset/0 = never prune)
 //
 // The hot-path question "is any of this on?" must cost one relaxed atomic
 // load so instrumented kernels (BFS, generators) stay at native speed when
@@ -36,6 +41,14 @@ class Env {
   const std::string& trace_path() const { return trace_path_; }
   const std::string& stats_path() const { return stats_path_; }
 
+  // TOPOGEN_CACHE_DIR: root of the persistent artifact cache. Empty means
+  // caching is disabled (every bench recomputes from scratch).
+  const std::string& cache_dir() const { return cache_dir_; }
+
+  // TOPOGEN_CACHE_MAX_MB: cache size budget in MiB enforced by pruning
+  // oldest artifacts at session shutdown. 0 means "never prune".
+  int cache_max_mb() const { return cache_max_mb_; }
+
   // TOPOGEN_THREADS as written: 0 means "auto" (pick hardware
   // concurrency); >= 1 is an explicit worker count. Unparsable or
   // negative values fall back to 0. The parallel pool owns the
@@ -45,6 +58,7 @@ class Env {
   bool trace_enabled() const { return !trace_path_.empty(); }
   bool stats_enabled() const { return !stats_path_.empty(); }
   bool outdir_set() const { return !outdir_.empty(); }
+  bool cache_enabled() const { return !cache_dir_.empty(); }
 
  private:
   Env();
@@ -53,7 +67,9 @@ class Env {
   std::string outdir_;
   std::string trace_path_;
   std::string stats_path_;
+  std::string cache_dir_;
   int threads_override_ = 0;
+  int cache_max_mb_ = 0;
 };
 
 namespace detail {

@@ -46,6 +46,12 @@ struct FigureEntry {
   std::string title;
 };
 
+struct CacheTally {
+  std::string kind;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
 struct State {
   std::mutex mutex;
   bool armed = false;  // anything recorded => write at exit
@@ -53,6 +59,8 @@ struct State {
   int threads = 0;  // 0 = the run never started the parallel pool
   std::string bfs_engine;  // empty = the run never ran a BFS kernel
   std::optional<RosterConfig> roster;
+  std::optional<std::string> cache_dir;  // set = a session resolved a cache
+  std::vector<CacheTally> cache_tallies;
   std::vector<TopologyEntry> topologies;
   std::vector<FigureEntry> figures;
 
@@ -98,6 +106,28 @@ void Manifest::SetBfsEngine(std::string_view engine) {
   State& s = State::Get();
   std::lock_guard<std::mutex> lock(s.mutex);
   s.bfs_engine = engine;
+}
+
+void Manifest::SetCache(std::string_view dir) {
+  if (!ManifestEnabled()) return;
+  State& s = State::Get();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.cache_dir = std::string(dir);
+}
+
+void Manifest::AddCacheEvent(std::string_view kind, bool hit) {
+  if (!ManifestEnabled()) return;
+  State& s = State::Get();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (CacheTally& t : s.cache_tallies) {
+    if (t.kind == kind) {
+      (hit ? t.hits : t.misses)++;
+      return;
+    }
+  }
+  CacheTally t{std::string(kind)};
+  (hit ? t.hits : t.misses)++;
+  s.cache_tallies.push_back(std::move(t));
 }
 
 void Manifest::SetRoster(const RosterConfig& roster) {
@@ -185,6 +215,19 @@ bool Manifest::WriteTo(const std::string& path) {
     os << "    \"degree_based_nodes\": " << s.roster->degree_based_nodes
        << "\n  },\n";
   }
+  if (s.cache_dir) {
+    os << "  \"cache\": {\n";
+    os << "    \"dir\": \"" << JsonEscape(*s.cache_dir) << "\",\n";
+    os << "    \"kinds\": [";
+    bool first_kind = true;
+    for (const CacheTally& t : s.cache_tallies) {
+      os << (first_kind ? "\n" : ",\n") << "      {\"kind\": \""
+         << JsonEscape(t.kind) << "\", \"hits\": " << t.hits
+         << ", \"misses\": " << t.misses << "}";
+      first_kind = false;
+    }
+    os << "\n    ]\n  },\n";
+  }
   os << "  \"topologies\": [";
   bool first = true;
   for (const TopologyEntry& t : s.topologies) {
@@ -227,6 +270,8 @@ void Manifest::ResetForTesting() {
   s.threads = 0;
   s.bfs_engine.clear();
   s.roster.reset();
+  s.cache_dir.reset();
+  s.cache_tallies.clear();
   s.topologies.clear();
   s.figures.clear();
 }

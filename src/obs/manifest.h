@@ -41,6 +41,13 @@ class Manifest {
                           std::uint64_t edges, std::string_view params);
   static void AddFigure(std::string_view figure_id, std::string_view title);
 
+  // Artifact-cache provenance: the cache root this run resolved (empty =
+  // caching off) plus per-artifact-kind hit/miss tallies, so a figure's
+  // manifest records whether its numbers were computed or replayed.
+  // Non-arming, like SetThreads.
+  static void SetCache(std::string_view dir);
+  static void AddCacheEvent(std::string_view kind, bool hit);
+
   // Explicit write, used by tests; the process-exit hook writes to
   // <Env::outdir()>/manifest.json when anything was recorded.
   static bool WriteTo(const std::string& path);

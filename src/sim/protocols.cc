@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "graph/bfs.h"
+#include "graph/bfs_scratch.h"
 #include "graph/trees.h"
 #include "metrics/multicast.h"
 #include "sim/weighted_paths.h"
@@ -114,15 +115,19 @@ FailoverResult FailoverStretch(const Graph& g,
     graph::Dist before;
   };
   std::vector<Pair> pairs;
-  for (std::size_t i = 0; i < options.path_samples * 3 &&
-                          pairs.size() < options.path_samples;
-       ++i) {
-    const auto s = static_cast<NodeId>(rng.NextIndex(n));
-    const auto t = static_cast<NodeId>(rng.NextIndex(n));
-    if (s == t) continue;
-    const auto dist = graph::BfsDistances(g, s);
-    if (dist[t] == graph::kUnreachable) continue;
-    pairs.push_back({s, t, dist[t]});
+  {
+    graph::BfsScratchLease scratch = graph::AcquireBfsScratch();
+    for (std::size_t i = 0; i < options.path_samples * 3 &&
+                            pairs.size() < options.path_samples;
+         ++i) {
+      const auto s = static_cast<NodeId>(rng.NextIndex(n));
+      const auto t = static_cast<NodeId>(rng.NextIndex(n));
+      if (s == t) continue;
+      graph::BfsDistancesInto(g, s, *scratch);
+      const graph::Dist d = scratch->dist(t);
+      if (d == graph::kUnreachable) continue;
+      pairs.push_back({s, t, d});
+    }
   }
   if (pairs.empty()) return out;
 
@@ -146,12 +151,14 @@ FailoverResult FailoverStretch(const Graph& g,
     const Graph survivor = Graph::FromEdges(n, std::move(edges));
     double stretch_sum = 0.0;
     std::size_t connected = 0, lost = 0;
+    graph::BfsScratchLease scratch = graph::AcquireBfsScratch();
     for (const Pair& p : pairs) {
-      const auto dist = graph::BfsDistances(survivor, p.s);
-      if (dist[p.t] == graph::kUnreachable) {
+      graph::BfsDistancesInto(survivor, p.s, *scratch);
+      const graph::Dist d = scratch->dist(p.t);
+      if (d == graph::kUnreachable) {
         ++lost;
       } else {
-        stretch_sum += static_cast<double>(dist[p.t]) /
+        stretch_sum += static_cast<double>(d) /
                        static_cast<double>(p.before);
         ++connected;
       }

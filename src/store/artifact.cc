@@ -1,0 +1,147 @@
+#include "store/artifact.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/obs.h"
+#include "store/hash.h"
+#include "store/serialize.h"
+
+namespace topogen::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'G', 'A', 'R', 'T', 'v', '0', '1'};
+constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 8;  // magic, ver, size, sum
+
+}  // namespace
+
+ArtifactStore::ArtifactStore(std::string root) : root_(std::move(root)) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (!fs::is_directory(root_)) {
+    throw std::runtime_error("ArtifactStore: cannot create cache root '" +
+                             root_ + "'");
+  }
+}
+
+std::string ArtifactStore::PathFor(std::string_view kind,
+                                   const Key& key) const {
+  const std::string hex = key.Hex();
+  return (fs::path(root_) / kind / hex.substr(0, 2) / (hex + ".art"))
+      .string();
+}
+
+bool ArtifactStore::Contains(std::string_view kind, const Key& key) const {
+  std::error_code ec;
+  return fs::is_regular_file(PathFor(kind, key), ec);
+}
+
+bool ArtifactStore::Load(std::string_view kind, const Key& key,
+                         std::string& payload) {
+  const std::string path = PathFor(kind, key);
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) return false;  // plain miss: nothing stored yet
+  std::string file((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  // The entry exists; from here on any mismatch is corruption/staleness,
+  // reported as a miss plus a store.corrupt bump so a flaky disk or a
+  // format bump is visible in stats.
+  const auto corrupt = [&] {
+    TOPOGEN_COUNT("store.corrupt");
+    return false;
+  };
+  if (file.size() < kHeaderSize) return corrupt();
+  if (std::string_view(file.data(), 8) != std::string_view(kMagic, 8)) {
+    return corrupt();
+  }
+  ByteReader header(std::string_view(file).substr(8));
+  const std::uint32_t version = header.U32();
+  const std::uint64_t size = header.U64();
+  const std::uint64_t checksum = header.U64();
+  if (!header.ok() || version != kStoreFormatVersion) return corrupt();
+  if (file.size() - kHeaderSize != size) return corrupt();
+  const std::string_view body = std::string_view(file).substr(kHeaderSize);
+  if (Checksum64(body) != checksum) return corrupt();
+  payload.assign(body);
+  TOPOGEN_COUNT_N("store.bytes_read", file.size());
+  return true;
+}
+
+bool ArtifactStore::Store(std::string_view kind, const Key& key,
+                          std::string_view payload) {
+  const std::string path = PathFor(kind, key);
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os.is_open()) return false;
+    std::string header;
+    header.append(kMagic, 8);
+    ByteWriter w(header);
+    w.U32(kStoreFormatVersion);
+    w.U64(payload.size());
+    w.U64(Checksum64(payload));
+    os.write(header.data(), static_cast<std::streamsize>(header.size()));
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (!os.good()) {
+      os.close();
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  TOPOGEN_COUNT_N("store.bytes_written", kHeaderSize + payload.size());
+  return true;
+}
+
+std::size_t ArtifactStore::Prune(std::uint64_t max_bytes) {
+  struct Entry {
+    fs::path path;
+    fs::file_time_type mtime;
+    std::uint64_t size;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(
+           root_, fs::directory_options::skip_permission_denied, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file(ec)) continue;
+    const fs::path& p = it->path();
+    if (p.extension() != ".art") continue;
+    const std::uint64_t size = it->file_size(ec);
+    if (ec) continue;
+    entries.push_back({p, it->last_write_time(ec), size});
+    total += size;
+  }
+  if (total <= max_bytes) return 0;
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+  std::size_t removed = 0;
+  for (const Entry& e : entries) {
+    if (total <= max_bytes) break;
+    if (fs::remove(e.path, ec); !ec) {
+      total -= e.size;
+      ++removed;
+    }
+  }
+  TOPOGEN_COUNT_N("store.evicted", removed);
+  return removed;
+}
+
+}  // namespace topogen::store

@@ -1,0 +1,63 @@
+// Persistent content-addressed artifact store (docs/CACHING.md).
+//
+// Layout under the root (TOPOGEN_CACHE_DIR):
+//
+//   <root>/<kind>/<hex[0:2]>/<hex>.art
+//
+// where <kind> names the artifact family ("topology", "metrics",
+// "linkvalue") and <hex> is the 128-bit content key. Every file carries
+// a fixed header -- magic, store format version, payload size, payload
+// checksum -- and Load() re-verifies all four, so a truncated, corrupted,
+// or stale-format entry reads as a *miss* (the caller recomputes and
+// overwrites), never as trusted data. Writes go through a temp file +
+// rename, so a crash mid-write leaves either the old entry or a stray
+// .tmp, not a torn artifact.
+//
+// The store is a cache, not a database: single-writer per process (the
+// Session serializes access), safe to delete wholesale at any time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace topogen::store {
+
+struct Key;
+
+// Bump when the artifact header or any payload encoding changes shape;
+// old entries then read as misses and are rewritten.
+inline constexpr std::uint32_t kStoreFormatVersion = 1;
+
+class ArtifactStore {
+ public:
+  // Creates the root directory (and parents) if needed; throws
+  // std::runtime_error when the path exists but is not a directory.
+  explicit ArtifactStore(std::string root);
+
+  const std::string& root() const { return root_; }
+
+  // True plus the payload bytes when a valid entry exists. Invalid
+  // entries (bad magic/version/size/checksum) bump store.corrupt and
+  // return false.
+  bool Load(std::string_view kind, const Key& key, std::string& payload);
+
+  // Writes (or atomically replaces) the entry. Returns false on I/O
+  // failure -- callers treat that as "cache unavailable", not an error.
+  bool Store(std::string_view kind, const Key& key, std::string_view payload);
+
+  bool Contains(std::string_view kind, const Key& key) const;
+
+  std::string PathFor(std::string_view kind, const Key& key) const;
+
+  // Eviction: deletes least-recently-modified artifacts until the total
+  // size of *.art files under root is <= max_bytes. Returns the number
+  // of files deleted. Safe to run on a live cache (a concurrently read
+  // entry simply becomes a miss next run).
+  std::size_t Prune(std::uint64_t max_bytes);
+
+ private:
+  std::string root_;
+};
+
+}  // namespace topogen::store

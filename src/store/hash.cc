@@ -1,0 +1,88 @@
+#include "store/hash.h"
+
+#include <cstring>
+
+namespace topogen::store {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+// splitmix64 finalizer: FNV's avalanche is weak in the high bits, so the
+// final key runs both lanes through a strong mixer.
+constexpr std::uint64_t Mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string Key::Hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t word = i < 8 ? hi : lo;
+    const int shift = 56 - 8 * (i % 8);
+    const auto byte = static_cast<std::uint8_t>(word >> shift);
+    out[2 * i] = kDigits[byte >> 4];
+    out[2 * i + 1] = kDigits[byte & 0xf];
+  }
+  return out;
+}
+
+void KeyHasher::Absorb(const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    a_ = (a_ ^ p[i]) * kFnvPrime;
+    // The second lane sees the same bytes offset by the first lane's
+    // running state, so the two lanes stay decorrelated.
+    b_ = (b_ ^ p[i] ^ (a_ >> 57)) * kFnvPrime;
+  }
+}
+
+void KeyHasher::Tag(std::uint8_t tag) { Absorb(&tag, 1); }
+
+KeyHasher& KeyHasher::Mix(std::string_view s) {
+  Tag(0x01);
+  const std::uint64_t len = s.size();
+  Absorb(&len, sizeof len);
+  Absorb(s.data(), s.size());
+  return *this;
+}
+
+KeyHasher& KeyHasher::Mix(std::uint64_t v) {
+  Tag(0x02);
+  Absorb(&v, sizeof v);
+  return *this;
+}
+
+KeyHasher& KeyHasher::Mix(bool v) {
+  Tag(0x04);
+  const std::uint8_t byte = v ? 1 : 0;
+  Absorb(&byte, 1);
+  return *this;
+}
+
+KeyHasher& KeyHasher::Mix(double v) {
+  Tag(0x03);
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  Absorb(&bits, sizeof bits);
+  return *this;
+}
+
+Key KeyHasher::Finish() const {
+  return {Mix64(a_ ^ Mix64(b_)), Mix64(b_ ^ Mix64(a_ + 0x9e3779b97f4a7c15ULL))};
+}
+
+std::uint64_t Checksum64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h = (h ^ static_cast<unsigned char>(c)) * kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace topogen::store

@@ -1,0 +1,62 @@
+// Content-addressed cache keys (docs/CACHING.md).
+//
+// Artifacts in the store are addressed by a 128-bit structural hash of
+// everything that determines their bytes: a domain string ("topology",
+// "metrics"), the store schema version, the code epoch, and every
+// option field the producing computation reads. The hasher is streaming
+// and *structural*: each absorbed value carries a type tag and strings
+// carry their length, so ("ab", "c") and ("a", "bc") hash differently.
+//
+// This is a cache key, not a cryptographic commitment: 2x64-bit FNV-1a
+// lanes with splitmix finalization give collision odds far below disk
+// corruption odds for the few hundred artifacts a figure suite produces,
+// at zero dependency cost. Payload *integrity* is separately guarded by
+// Checksum64 over the artifact bytes (store/artifact.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace topogen::store {
+
+struct Key {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  // 32 lowercase hex chars; the artifact's file name.
+  std::string Hex() const;
+
+  friend bool operator==(const Key&, const Key&) = default;
+  friend auto operator<=>(const Key&, const Key&) = default;
+};
+
+class KeyHasher {
+ public:
+  KeyHasher& Mix(std::string_view s);
+  // Without this overload a string literal would take the pointer->bool
+  // standard conversion over the user-defined one to string_view and hash
+  // as `true`.
+  KeyHasher& Mix(const char* s) { return Mix(std::string_view(s)); }
+  KeyHasher& Mix(std::uint64_t v);
+  KeyHasher& Mix(std::int64_t v) { return Mix(static_cast<std::uint64_t>(v)); }
+  KeyHasher& Mix(int v) { return Mix(static_cast<std::uint64_t>(v)); }
+  KeyHasher& Mix(bool v);
+  // Doubles are hashed by bit pattern: two RosterOptions differing in the
+  // last ulp are two different cache entries, never a wrong hit.
+  KeyHasher& Mix(double v);
+
+  Key Finish() const;
+
+ private:
+  void Absorb(const void* data, std::size_t len);
+  void Tag(std::uint8_t tag);
+
+  std::uint64_t a_ = 0xcbf29ce484222325ULL;   // FNV-1a offset basis
+  std::uint64_t b_ = 0x6c62272e07bb0142ULL;   // FNV-1a 128 basis (high half)
+};
+
+// FNV-1a over a byte span; the artifact payload checksum.
+std::uint64_t Checksum64(std::string_view bytes);
+
+}  // namespace topogen::store

@@ -1,0 +1,70 @@
+#include "store/journal.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "obs/obs.h"
+
+namespace topogen::store {
+
+namespace {
+
+// One complete journal line -> job id, or empty when the line is not a
+// well-formed completion record (garbage, partial write, future schema).
+std::string_view ParseDoneLine(std::string_view line) {
+  constexpr std::string_view kPrefix = "v1 done ";
+  if (!line.starts_with(kPrefix)) return {};
+  line.remove_prefix(kPrefix.size());
+  const std::size_t space = line.find(' ');
+  if (space == 0 || space == std::string_view::npos) return {};
+  // The artifact hex after the job id must be present and non-empty.
+  if (space + 1 >= line.size()) return {};
+  return line.substr(0, space);
+}
+
+}  // namespace
+
+Journal::Journal(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) return;
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path_).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::ifstream is(path_);
+  if (!is.is_open()) return;
+  std::string content((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+  // Only lines terminated by '\n' count: a crash mid-append leaves a
+  // partial final line, which must read as "not done".
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t nl = content.find('\n', start);
+    if (nl == std::string::npos) break;
+    const std::string_view job =
+        ParseDoneLine(std::string_view(content).substr(start, nl - start));
+    if (!job.empty()) done_.insert(std::string(job));
+    start = nl + 1;
+  }
+  resumed_count_ = done_.size();
+  seal_partial_line_ = !content.empty() && content.back() != '\n';
+  TOPOGEN_COUNT_N("store.journal_loaded", resumed_count_);
+}
+
+bool Journal::IsDone(std::string_view job_id) const {
+  return done_.find(job_id) != done_.end();
+}
+
+void Journal::MarkDone(std::string_view job_id, std::string_view artifact_hex) {
+  if (path_.empty()) return;
+  if (!done_.insert(std::string(job_id)).second) return;
+  std::ofstream os(path_, std::ios::app);
+  if (!os.is_open()) return;
+  if (seal_partial_line_) {
+    os << "\n";
+    seal_partial_line_ = false;
+  }
+  os << "v1 done " << job_id << " " << artifact_hex << "\n";
+  os.flush();
+  TOPOGEN_COUNT("store.journal_appends");
+}
+
+}  // namespace topogen::store

@@ -1,0 +1,59 @@
+// Append-only run journal (docs/CACHING.md).
+//
+// When TOPOGEN_OUTDIR is set, a Session journals every completed job --
+// topology builds, metric suites, link-value passes -- as one text line
+// flushed immediately:
+//
+//   v1 done <job-id> <artifact-key-hex>
+//
+// Job ids embed the artifact's content key, so a journal entry is only
+// honored when it refers to exactly the work this run would do: change a
+// seed, an option, or the code epoch and the old entries simply never
+// match. A crashed or interrupted suite resumes by reloading the
+// journal: jobs already marked done are served from the artifact store
+// without recomputation (Session counts them under
+// session.journal_skips).
+//
+// Loading is truncation-tolerant by construction: a crash mid-append
+// leaves at most one partial final line, and the parser only honors
+// complete, well-formed "v1 done ..." lines -- everything else is
+// ignored, never fatal.
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace topogen::store {
+
+class Journal {
+ public:
+  // Opens (creating if missing) the journal at `path` and loads the
+  // completed-job set from any prior run. An empty path disables the
+  // journal (all queries return false, MarkDone is a no-op).
+  explicit Journal(std::string path);
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  // True when a prior (or this) run journaled the job as complete.
+  bool IsDone(std::string_view job_id) const;
+
+  // Appends and flushes a completion record; idempotent per job id.
+  void MarkDone(std::string_view job_id, std::string_view artifact_hex);
+
+  // Jobs loaded from the file at construction (i.e. completed by a
+  // previous run) -- the resume baseline.
+  std::size_t resumed_count() const { return resumed_count_; }
+  std::size_t done_count() const { return done_.size(); }
+
+ private:
+  std::string path_;
+  std::set<std::string, std::less<>> done_;
+  std::size_t resumed_count_ = 0;
+  // The prior run crashed mid-append (file ends without '\n'): the first
+  // MarkDone seals the partial line so the new record starts clean.
+  bool seal_partial_line_ = false;
+};
+
+}  // namespace topogen::store

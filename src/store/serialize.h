@@ -1,0 +1,119 @@
+// Byte-level serialization primitives for cache artifacts.
+//
+// Cached results must be *byte-identical* to fresh computation, so every
+// value is written in its exact in-memory width: doubles go out as their
+// 8-byte bit pattern (never through text formatting, which rounds), and
+// integers as fixed-width little-endian words. The format is
+// host-endian-local by design -- the artifact store is a per-machine
+// cache, not an interchange format (docs/CACHING.md); a big-endian host
+// would simply produce its own equally-valid cache.
+//
+// ByteReader is bounds-checked everywhere and never throws: a truncated
+// or garbage payload turns into ok() == false, which the store layer
+// treats as a cache miss to recompute, not an error to surface.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace topogen::store {
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::string& out) : out_(out) {}
+
+  void U8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(std::uint32_t v) { Raw(&v, sizeof v); }
+  void U64(std::uint64_t v) { Raw(&v, sizeof v); }
+  void F64(double v) { Raw(&v, sizeof v); }
+  void Str(std::string_view s) {
+    U64(s.size());
+    out_.append(s.data(), s.size());
+  }
+  // Vectors of trivially-copyable scalars, length-prefixed.
+  template <typename T>
+  void Vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    U64(v.size());
+    Raw(v.data(), v.size() * sizeof(T));
+  }
+
+ private:
+  void Raw(const void* p, std::size_t n) {
+    out_.append(static_cast<const char*>(p), n);
+  }
+  std::string& out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view blob) : blob_(blob) {}
+
+  bool ok() const { return ok_; }
+  std::size_t offset() const { return off_; }
+  bool AtEnd() const { return ok_ && off_ == blob_.size(); }
+
+  std::uint8_t U8() {
+    std::uint8_t v = 0;
+    Raw(&v, sizeof v);
+    return v;
+  }
+  std::uint32_t U32() {
+    std::uint32_t v = 0;
+    Raw(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t U64() {
+    std::uint64_t v = 0;
+    Raw(&v, sizeof v);
+    return v;
+  }
+  double F64() {
+    double v = 0;
+    Raw(&v, sizeof v);
+    return v;
+  }
+  std::string Str() {
+    const std::uint64_t n = U64();
+    if (!Ensure(n)) return {};
+    std::string s(blob_.substr(off_, n));
+    off_ += n;
+    return s;
+  }
+  template <typename T>
+  std::vector<T> Vec() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t n = U64();
+    if (n > blob_.size() / sizeof(T) || !Ensure(n * sizeof(T))) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<T> v(n);
+    std::memcpy(v.data(), blob_.data() + off_, n * sizeof(T));
+    off_ += n * sizeof(T);
+    return v;
+  }
+
+ private:
+  bool Ensure(std::uint64_t n) {
+    if (!ok_ || n > blob_.size() - off_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  void Raw(void* p, std::size_t n) {
+    if (!Ensure(n)) return;
+    std::memcpy(p, blob_.data() + off_, n);
+    off_ += n;
+  }
+
+  std::string_view blob_;
+  std::size_t off_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace topogen::store

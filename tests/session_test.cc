@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "parallel/pool.h"
+
+namespace topogen::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+class PoolThreads {
+ public:
+  explicit PoolThreads(int threads) {
+    parallel::Pool::SetThreadCountForTesting(threads);
+  }
+  ~PoolThreads() { parallel::Pool::SetThreadCountForTesting(0); }
+};
+
+fs::path FreshDir(const char* name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+// Small enough that a full cold topology+metrics+linkvalue pass is quick;
+// large enough that the kernels actually fan out.
+SessionOptions SmallOptions(const std::string& cache_dir = {},
+                            const std::string& journal_path = {}) {
+  SessionOptions o;
+  o.roster.seed = 9;
+  o.roster.as_nodes = 400;
+  o.roster.rl_expansion_ratio = 3.0;
+  o.roster.plrg_nodes = 1000;
+  o.roster.degree_based_nodes = 800;
+  o.suite.ball.max_centers = 4;
+  o.suite.ball.big_ball_centers = 2;
+  o.suite.expansion.max_sources = 200;
+  o.link_value.max_sources = 120;
+  o.cache_dir = cache_dir;
+  o.journal_path = journal_path;
+  return o;
+}
+
+void ExpectSameSeries(const metrics::Series& a, const metrics::Series& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.x, b.x);  // exact double equality: cached == fresh, no epsilon
+  EXPECT_EQ(a.y, b.y);
+}
+
+void ExpectSameMetrics(const BasicMetrics& a, const BasicMetrics& b) {
+  ExpectSameSeries(a.expansion, b.expansion);
+  ExpectSameSeries(a.resilience, b.resilience);
+  ExpectSameSeries(a.distortion, b.distortion);
+  EXPECT_EQ(a.signature, b.signature);
+}
+
+TEST(SessionTest, UnknownIdThrows) {
+  Session session(SmallOptions());
+  EXPECT_THROW(session.Topology("NoSuchTopology"), std::invalid_argument);
+  EXPECT_THROW(session.Metrics("NoSuchTopology"), std::invalid_argument);
+}
+
+TEST(SessionTest, PolicyLinkValuesOnUnannotatedTopologyThrow) {
+  Session session(SmallOptions());
+  EXPECT_THROW(session.LinkValues("PLRG", /*use_policy=*/true),
+               std::invalid_argument);
+}
+
+TEST(SessionTest, InMemoryDedup) {
+  Session session(SmallOptions());
+  EXPECT_FALSE(session.cache_enabled());
+  const BasicMetrics* first = &session.Metrics("Tree");
+  const BasicMetrics* second = &session.Metrics("Tree");
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(session.cache_stats().metrics_misses, 1u);
+
+  // Duplicate batch entries collapse onto one job and one stored result.
+  const std::vector<Session::MetricsRequest> requests = {
+      {"Mesh"}, {"Tree"}, {"Mesh"}};
+  const auto batch = session.MetricsBatch(requests);
+  EXPECT_EQ(batch[0], batch[2]);
+  EXPECT_EQ(batch[1], first);
+  EXPECT_EQ(session.cache_stats().metrics_misses, 2u);
+}
+
+TEST(SessionTest, RlCoreIsDerivedAndAnnotated) {
+  Session session(SmallOptions());
+  const core::Topology& core_t = session.Topology("RL.core");
+  const core::Topology& rl = session.Topology("RL");
+  EXPECT_EQ(core_t.name, "RL.core");
+  EXPECT_TRUE(core_t.has_policy());
+  EXPECT_LT(core_t.graph.num_nodes(), rl.graph.num_nodes());
+  for (graph::NodeId v = 0; v < core_t.graph.num_nodes(); ++v) {
+    EXPECT_GE(core_t.graph.degree(v), 2u) << "node " << v;
+  }
+}
+
+TEST(SessionTest, TopologyRoundTripsThroughCache) {
+  const fs::path dir = FreshDir("topogen_session_topo_cache");
+  const SessionOptions opts = SmallOptions(dir.string());
+
+  std::vector<graph::Edge> cold_edges;
+  std::vector<policy::Relationship> cold_rel;
+  {
+    Session cold(opts);
+    ASSERT_TRUE(cold.cache_enabled());
+    const core::Topology& as = cold.Topology("AS");
+    cold_edges = as.graph.edges();
+    cold_rel = as.relationship;
+    EXPECT_EQ(cold.cache_stats().topology_misses, 1u);
+    EXPECT_EQ(cold.cache_stats().topology_hits, 0u);
+  }
+  {
+    Session warm(opts);
+    const core::Topology& as = warm.Topology("AS");
+    EXPECT_EQ(warm.cache_stats().topology_hits, 1u);
+    EXPECT_EQ(warm.cache_stats().topology_misses, 0u);
+    EXPECT_EQ(as.name, "AS");
+    EXPECT_EQ(as.graph.edges(), cold_edges);
+    EXPECT_EQ(as.relationship, cold_rel);
+    EXPECT_TRUE(as.has_policy());
+  }
+  fs::remove_all(dir);
+}
+
+TEST(SessionTest, CachedMetricsAreByteIdenticalAcrossThreadCounts) {
+  const fs::path cache_a = FreshDir("topogen_session_threads_a");
+  const fs::path cache_b = FreshDir("topogen_session_threads_b");
+
+  // Cold compute at 1 thread into cache A.
+  BasicMetrics cold;
+  {
+    const PoolThreads guard(1);
+    Session session(SmallOptions(cache_a.string()));
+    cold = session.Metrics("PLRG");
+    EXPECT_EQ(session.cache_stats().metrics_misses, 1u);
+  }
+  // Warm load at 4 threads from cache A: identical, and the topology is
+  // never even materialized (keys derive from options, not graph bytes).
+  {
+    const PoolThreads guard(4);
+    Session session(SmallOptions(cache_a.string()));
+    const BasicMetrics& warm = session.Metrics("PLRG");
+    ExpectSameMetrics(warm, cold);
+    EXPECT_EQ(session.cache_stats().metrics_hits, 1u);
+    EXPECT_EQ(session.cache_stats().metrics_misses, 0u);
+    EXPECT_EQ(session.cache_stats().topology_hits +
+                  session.cache_stats().topology_misses,
+              0u);
+  }
+  // Cold compute at 4 threads into cache B: the kernels themselves are
+  // thread-invariant, so even a fresh run matches byte for byte.
+  {
+    const PoolThreads guard(4);
+    Session session(SmallOptions(cache_b.string()));
+    ExpectSameMetrics(session.Metrics("PLRG"), cold);
+    EXPECT_EQ(session.cache_stats().metrics_misses, 1u);
+  }
+  fs::remove_all(cache_a);
+  fs::remove_all(cache_b);
+}
+
+TEST(SessionTest, CachedLinkValuesAreByteIdenticalAcrossThreadCounts) {
+  const fs::path dir = FreshDir("topogen_session_lv_cache");
+  const SessionOptions opts = SmallOptions(dir.string());
+
+  std::vector<double> cold_values;
+  graph::NodeId cold_nodes = 0;
+  {
+    const PoolThreads guard(1);
+    Session session(opts);
+    const hierarchy::LinkValueResult& lv = session.LinkValues("AS");
+    cold_values = lv.value;
+    cold_nodes = lv.num_nodes;
+    EXPECT_EQ(session.cache_stats().linkvalue_misses, 1u);
+  }
+  {
+    const PoolThreads guard(4);
+    Session session(opts);
+    const hierarchy::LinkValueResult& lv = session.LinkValues("AS");
+    EXPECT_EQ(lv.value, cold_values);  // exact doubles
+    EXPECT_EQ(lv.num_nodes, cold_nodes);
+    EXPECT_EQ(session.cache_stats().linkvalue_hits, 1u);
+    EXPECT_EQ(session.cache_stats().topology_hits +
+                  session.cache_stats().topology_misses,
+              0u);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(SessionTest, CorruptedCacheEntriesAreRecomputedTransparently) {
+  const fs::path dir = FreshDir("topogen_session_corrupt");
+  const SessionOptions opts = SmallOptions(dir.string());
+
+  BasicMetrics cold;
+  {
+    Session session(opts);
+    cold = session.Metrics("Mesh");
+  }
+  // Vandalize every artifact in the cache.
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  {
+    Session session(opts);
+    const BasicMetrics& recomputed = session.Metrics("Mesh");
+    ExpectSameMetrics(recomputed, cold);
+    EXPECT_EQ(session.cache_stats().metrics_hits, 0u);
+    EXPECT_EQ(session.cache_stats().metrics_misses, 1u);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(SessionTest, OptionChangesChangeTheKey) {
+  const fs::path dir = FreshDir("topogen_session_keys");
+  {
+    Session session(SmallOptions(dir.string()));
+    session.Metrics("Tree");
+  }
+  {
+    SessionOptions opts = SmallOptions(dir.string());
+    opts.roster.seed = 10;  // different topology => different metrics key
+    Session session(opts);
+    session.Metrics("Tree");
+    EXPECT_EQ(session.cache_stats().metrics_hits, 0u);
+    EXPECT_EQ(session.cache_stats().metrics_misses, 1u);
+  }
+  {
+    SessionOptions opts = SmallOptions(dir.string());
+    opts.suite.expansion.max_sources = 150;  // different suite options
+    Session session(opts);
+    session.Metrics("Tree");
+    EXPECT_EQ(session.cache_stats().metrics_hits, 0u);
+    // The topology itself is unchanged, so a (miss-driven) materialize
+    // still hits the topology cache.
+    EXPECT_EQ(session.cache_stats().topology_hits, 1u);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(SessionTest, JournalResumeAfterTruncation) {
+  const fs::path dir = FreshDir("topogen_session_journal");
+  fs::create_directories(dir);
+  const std::string journal = (dir / "journal.log").string();
+  const SessionOptions opts = SmallOptions((dir / "cache").string(), journal);
+
+  {
+    Session session(opts);
+    session.Metrics("Tree");  // journals the topology, then the metrics
+  }
+  ASSERT_TRUE(fs::exists(journal));
+
+  // An intact journal: both jobs resume as journal skips.
+  {
+    Session session(opts);
+    session.Topology("Tree");
+    session.Metrics("Tree");
+    EXPECT_EQ(session.cache_stats().journal_skips, 2u);
+    EXPECT_EQ(session.cache_stats().topology_misses, 0u);
+    EXPECT_EQ(session.cache_stats().metrics_misses, 0u);
+  }
+
+  // Simulate a crash mid-append: cut into the final (metrics) line. The
+  // artifact itself still serves from the store -- only the completion
+  // record is lost -- and the parser must not trip on the partial line.
+  std::ifstream in(journal, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)), {});
+  in.close();
+  ASSERT_GT(bytes.size(), 8u);
+  std::ofstream out(journal, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 8));
+  out.close();
+
+  {
+    Session session(opts);
+    session.Topology("Tree");  // intact line: a journal skip
+    session.Metrics("Tree");   // truncated line: warm hit, not a skip
+    EXPECT_EQ(session.cache_stats().journal_skips, 1u);
+    EXPECT_EQ(session.cache_stats().topology_hits, 1u);
+    EXPECT_EQ(session.cache_stats().metrics_hits, 1u);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(SessionTest, CacheBudgetLeavesCachesUnderBudgetIntact) {
+  // Eviction itself is unit-tested at the store layer
+  // (ArtifactStoreTest.PruneEvictsDownToBudget); here we check the Session
+  // wiring: a budget that the cache fits in deletes nothing at destruction.
+  const fs::path dir = FreshDir("topogen_session_evict");
+  SessionOptions opts = SmallOptions(dir.string());
+  {
+    Session session(opts);
+    session.Topology("Tree");
+    session.Topology("Mesh");
+  }
+  std::size_t before = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    before += entry.is_regular_file() ? 1 : 0;
+  }
+  ASSERT_GE(before, 2u);
+
+  opts.cache_max_mb = 64;  // far above what these tiny graphs occupy
+  {
+    Session session(opts);
+    session.Topology("Tree");
+  }
+  std::size_t after = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    after += entry.is_regular_file() ? 1 : 0;
+  }
+  EXPECT_EQ(after, before);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace topogen::core
