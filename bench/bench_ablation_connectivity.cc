@@ -74,5 +74,5 @@ int main(int argc, char** argv) {
               "# deterministic method may differ (Appendix D.1: 'quite\n"
               "# different from the PLRG').\n# %s\n",
               ok ? "confirmed" : "MISMATCH");
-  return ok ? 0 : 1;
+  return bench::Finish(ok ? 0 : 1);
 }

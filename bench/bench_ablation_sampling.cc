@@ -67,5 +67,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\n# %s\n", stable ? "stable across budgets"
                                  : "UNSTABLE across budgets");
-  return stable ? 0 : 1;
+  return bench::Finish(stable ? 0 : 1);
 }

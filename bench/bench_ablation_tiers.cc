@@ -50,5 +50,5 @@ int main(int argc, char** argv) {
               "flips expansion to High.\n");
   const bool ok = geo_sig == "LHL" && rand_sig[0] == 'H';
   std::printf("# %s\n", ok ? "confirmed" : "MISMATCH");
-  return ok ? 0 : 1;
+  return bench::Finish(ok ? 0 : 1);
 }

@@ -20,6 +20,12 @@
 //                                the resumable run journal (journal.log)
 //   TOPOGEN_CACHE_DIR    <dir>   persistent artifact cache (off if unset)
 //   TOPOGEN_CACHE_MAX_MB <n>     prune cache to n MiB at exit (0 = never)
+//   TOPOGEN_FAULTS       <spec>  deterministic fault injection
+//                                (docs/ROBUSTNESS.md)
+//
+// Exit codes: 0 = success, 1 = figure/paper mismatch, 75 = partial
+// success (some roster slots degraded; see bench::Finish and
+// docs/ROBUSTNESS.md), 113 = injected crash (kind=abort).
 #pragma once
 
 #include <cstdio>
@@ -30,6 +36,7 @@
 #include "core/roster.h"
 #include "core/session.h"
 #include "core/suite.h"
+#include "fault/fault.h"
 #include "hierarchy/link_value.h"
 #include "obs/obs.h"
 
@@ -144,7 +151,13 @@ inline void PrintEnvHelp(const char* argv0) {
   std::printf("  %-21s %s [%d]\n", "TOPOGEN_CACHE_MAX_MB",
               "prune cache to this many MiB at exit; 0 = never",
               env.cache_max_mb());
-  std::printf("\nSee docs/CACHING.md and docs/OBSERVABILITY.md.\n");
+  std::printf("  %-21s %s [%s]\n", "TOPOGEN_FAULTS",
+              fault::CompiledIn()
+                  ? "deterministic fault injection spec"
+                  : "fault injection (needs -DTOPOGEN_FAULT_POINTS=ON)",
+              env.faults_set() ? env.faults().c_str() : "off");
+  std::printf(
+      "\nSee docs/CACHING.md, docs/OBSERVABILITY.md, docs/ROBUSTNESS.md.\n");
 }
 
 // Standard flag handling for every bench main(): returns true when the
@@ -158,6 +171,30 @@ inline bool HandleFlags(int argc, char** argv) {
     }
   }
   return false;
+}
+
+// Exit code for a run whose figures are real but incomplete: one or more
+// roster slots degraded past their retry budget and were isolated
+// (docs/ROBUSTNESS.md). 75 is EX_TEMPFAIL in sysexits terms -- rerunning
+// may succeed -- and distinct from 1 (figure/paper mismatch) and 113
+// (injected crash).
+inline constexpr int kPartialSuccessExitCode = 75;
+
+// Every bench main ends with `return bench::Finish(rc)`: a clean rc with
+// degraded slots recorded becomes the partial-success code; a real
+// failure rc always wins. Reads the process-wide tally, so benches that
+// never opened a Session pass through untouched.
+inline int Finish(int rc) {
+  const std::uint64_t degraded = core::Session::TotalDegraded();
+  if (degraded > 0) {
+    std::fprintf(stderr,
+                 "# bench: %llu roster slot(s) degraded; figures are "
+                 "partial (exit %d)\n",
+                 static_cast<unsigned long long>(degraded),
+                 kPartialSuccessExitCode);
+    if (rc == 0) return kPartialSuccessExitCode;
+  }
+  return rc;
 }
 
 }  // namespace topogen::bench

@@ -70,5 +70,5 @@ int main(int argc, char** argv) {
   }
   std::printf("# %s\n", ok ? "consistent with the basic metrics"
                            : "MISMATCH");
-  return ok ? 0 : 1;
+  return bench::Finish(ok ? 0 : 1);
 }

@@ -42,5 +42,5 @@ int main(int argc, char** argv) {
   for (const auto& [name, k] : exponents) {
     core::PrintTableRow(std::cout, {name, core::Num(k, 3)});
   }
-  return 0;
+  return bench::Finish(0);
 }

@@ -112,5 +112,5 @@ int main(int argc, char** argv) {
                                     : "MISMATCH");
     ok &= as_lost < tree_lost;
   }
-  return ok ? 0 : 1;
+  return bench::Finish(ok ? 0 : 1);
 }

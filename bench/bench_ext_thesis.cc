@@ -81,5 +81,5 @@ int main(int argc, char** argv) {
               structure_survives && local_drops
                   ? "the paper's thesis, in one experiment"
                   : "MISMATCH");
-  return structure_survives && local_drops ? 0 : 1;
+  return bench::Finish(structure_survives && local_drops ? 0 : 1);
 }

@@ -49,5 +49,5 @@ int main(int argc, char** argv) {
                          "Tiers", "Waxman"}) {
     row(id);
   }
-  return 0;
+  return bench::Finish(0);
 }

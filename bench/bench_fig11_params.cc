@@ -136,5 +136,5 @@ int main(int argc, char** argv) {
               "# generator keeps its Section 4.4 signature (PLRG=HHL,\n"
               "# TS=HLL, Tiers=LHL, Waxman=HHH); the extreme rows above\n"
               "# are the regimes the paper flags as exceptions.\n");
-  return 0;
+  return bench::Finish(0);
 }

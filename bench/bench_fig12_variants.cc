@@ -56,5 +56,5 @@ int main(int argc, char** argv) {
                 heavy ? "yes" : "no", sig.c_str());
     ok &= heavy && sig == "HHL";
   }
-  return ok ? 0 : 1;
+  return bench::Finish(ok ? 0 : 1);
 }

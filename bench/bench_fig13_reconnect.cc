@@ -74,5 +74,5 @@ int main(int argc, char** argv) {
                 orig == mod ? "ok" : "MISMATCH");
     ok &= orig == mod;
   }
-  return ok ? 0 : 1;
+  return bench::Finish(ok ? 0 : 1);
 }

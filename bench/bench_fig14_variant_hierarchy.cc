@@ -59,5 +59,5 @@ int main(int argc, char** argv) {
     std::printf("#   %-8s %s\n", t.name.c_str(), hierarchy::ToString(c));
     ok &= c == hierarchy::HierarchyClass::kModerate;
   }
-  return ok ? 0 : 1;
+  return bench::Finish(ok ? 0 : 1);
 }

@@ -59,5 +59,5 @@ int main(int argc, char** argv) {
       "# (N, avg degree) exactly or within sampling noise; the measured\n"
       "# stand-ins are calibrated to the paper's average degrees at the\n"
       "# configured scale (see DESIGN.md section 4).\n");
-  return 0;
+  return bench::Finish(0);
 }

@@ -16,5 +16,5 @@ int main(int argc, char** argv) {
   std::printf("# Shape check: Tree distortion stays at %.3f (paper: "
               "exactly 1)\n",
               tree.empty() ? 0.0 : tree.y.back());
-  return 0;
+  return bench::Finish(0);
 }

@@ -26,5 +26,5 @@ int main(int argc, char** argv) {
                          "PLRG", "AS", "RL"}) {
     std::printf("#   %-8s %c\n", id, level(id));
   }
-  return 0;
+  return bench::Finish(0);
 }

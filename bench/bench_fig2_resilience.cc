@@ -27,5 +27,5 @@ int main(int argc, char** argv) {
   std::printf("# Shape check: RL max resilience %.0f -> %.0f under policy "
               "(paper reports a ~2x drop)\n",
               plain_max, policy_max);
-  return 0;
+  return bench::Finish(0);
 }

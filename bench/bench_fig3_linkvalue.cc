@@ -88,5 +88,5 @@ int main(int argc, char** argv) {
     row(t.name, *t.plain);
     if (t.policy != nullptr) row(t.name + "(Policy)", *t.policy);
   }
-  return 0;
+  return bench::Finish(0);
 }

@@ -63,5 +63,5 @@ int main(int argc, char** argv) {
   const bool ok = p > t && a > r;
   std::printf("# PLRG > Tree and AS > RL -> %s\n",
               ok ? "consistent with the paper" : "MISMATCH");
-  return ok ? 0 : 1;
+  return bench::Finish(ok ? 0 : 1);
 }

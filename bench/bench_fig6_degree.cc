@@ -58,5 +58,5 @@ int main(int argc, char** argv) {
   all &= check("PLRG", true);
   all &= check("AS", true);
   all &= check("RL", true);
-  return all ? 0 : 1;
+  return bench::Finish(all ? 0 : 1);
 }

@@ -85,5 +85,5 @@ int main(int argc, char** argv) {
   lap_row("Mesh");
   lap_row("Tree");
   lap_row("Random");
-  return 0;
+  return bench::Finish(0);
 }

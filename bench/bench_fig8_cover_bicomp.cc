@@ -67,5 +67,5 @@ int main(int argc, char** argv) {
   for (const auto& s : b3) {
     std::printf("#   %-8s %.3f\n", s.name.c_str(), final_per_node(s));
   }
-  return 0;
+  return bench::Finish(0);
 }

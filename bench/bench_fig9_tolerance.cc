@@ -73,5 +73,5 @@ int main(int argc, char** argv) {
       std::printf("#   %-10s %.2f\n", s.name.c_str(), peakedness(s));
     }
   }
-  return 0;
+  return bench::Finish(0);
 }

@@ -66,9 +66,13 @@ inline void EmitFigure2Row(BasicMetric m, const char* id_canonical,
   const std::vector<const core::BasicMetrics*> results =
       session.MetricsBatch(requests);
 
+  // Degraded roster slots come back as nullptr (docs/ROBUSTNESS.md): the
+  // panel still prints with that curve missing, and bench::Finish turns
+  // the run's exit code into partial-success.
   auto slice = [&](std::size_t first, std::size_t count) {
     std::vector<metrics::Series> group;
     for (std::size_t i = first; i < first + count; ++i) {
+      if (results[i] == nullptr) continue;
       group.push_back(MetricSeries(m, *results[i]));
     }
     return group;
@@ -80,7 +84,9 @@ inline void EmitFigure2Row(BasicMetric m, const char* id_canonical,
   core::PrintPanel(std::cout, id_generated,
                    std::string(Name(m)) + ", Generated", slice(7, 4));
   std::vector<metrics::Series> degree_based = slice(11, 4);
-  degree_based.push_back(MetricSeries(m, *results[10]));  // PLRG again
+  if (results[10] != nullptr) {
+    degree_based.push_back(MetricSeries(m, *results[10]));  // PLRG again
+  }
   core::PrintPanel(std::cout, id_degree_based,
                    std::string(Name(m)) + ", Degree-Based Generators",
                    degree_based);

@@ -1,0 +1,24 @@
+// core-facing aliases for the pipeline error taxonomy (docs/ROBUSTNESS.md).
+//
+// The taxonomy itself lives in topogen::fault -- the lowest layer above
+// obs -- so src/gen and src/store can raise typed errors without
+// depending on core. Code written against the core API uses these
+// aliases; they are the same types, so a fault::Exception thrown deep in
+// a generator is caught as a core::Exception at the Session seam.
+#pragma once
+
+#include "fault/error.h"
+
+namespace topogen::core {
+
+using ErrorCode = fault::ErrorCode;
+using Error = fault::Error;
+using Exception = fault::Exception;
+using InjectedFault = fault::InjectedFault;
+
+template <typename T>
+using Result = fault::Result<T>;
+
+using fault::ErrorCodeName;
+
+}  // namespace topogen::core

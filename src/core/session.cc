@@ -1,11 +1,14 @@
 #include "core/session.h"
 
+#include <atomic>
 #include <cstdio>
 #include <stdexcept>
 #include <utility>
 
+#include "fault/fault.h"
 #include "graph/components.h"
 #include "graph/io.h"
+#include "graph/rng.h"
 #include "obs/obs.h"
 #include "store/artifact.h"
 #include "store/journal.h"
@@ -18,7 +21,18 @@ namespace {
 // Bump whenever a generator, metric kernel, or classifier changes the
 // bytes it produces for unchanged options: every existing cache entry
 // then misses and is transparently recomputed (docs/CACHING.md).
-constexpr std::uint64_t kCodeEpoch = 1;
+// 2: bounded TS connect retries + degree-sequence realization wrappers.
+constexpr std::uint64_t kCodeEpoch = 2;
+
+// Generation attempts per roster slot before the slot degrades; retries
+// reseed with a derived stream, so attempt 0 is byte-identical to the
+// unhardened path (docs/ROBUSTNESS.md).
+constexpr int kMaxGenAttempts = 3;
+
+std::atomic<std::uint64_t>& TotalDegradedCounter() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
 
 constexpr std::string_view kKnownIds[] = {
     "Tree",  "Mesh", "Random", "TS",   "Tiers", "Waxman", "PLRG",
@@ -56,6 +70,49 @@ RlArtifacts MakeById(std::string_view id, const RosterOptions& ro) {
   if (id == "RL") return MakeRl(ro);
   throw std::invalid_argument("Session: unknown topology id '" +
                               std::string(id) + "'");
+}
+
+// MakeById plus post-generation validation and a bounded retry loop.
+// Attempt 0 runs with the caller's options untouched; each retry reseeds
+// with graph::DeriveStream(seed, attempt), so a slot that needed retries
+// still generates deterministically while the zero-failure path stays
+// byte-identical to a bare MakeById call. Only typed core::Exception
+// failures are retried; programming errors propagate immediately.
+RlArtifacts MakeByIdChecked(std::string_view id, const RosterOptions& ro) {
+  Error last;
+  for (int attempt = 0; attempt < kMaxGenAttempts; ++attempt) {
+    RosterOptions attempt_ro = ro;
+    if (attempt > 0) {
+      attempt_ro.seed =
+          graph::DeriveStream(ro.seed, static_cast<std::uint64_t>(attempt));
+      TOPOGEN_COUNT("gen.retries");
+    }
+    try {
+      // Armed, this point fails every attempt -- the forced path into
+      // retry exhaustion.
+      TOPOGEN_FAULT_POINT_D("gen.retry.exhausted", id);
+      RlArtifacts made = MakeById(id, attempt_ro);
+      TOPOGEN_FAULT_POINT_D("gen.validate", id);
+      const graph::Graph& g = made.topology.graph;
+      if (g.num_nodes() == 0 || g.num_edges() == 0) {
+        throw Exception(ErrorCode::kValidationFailed,
+                        "generated topology '" + std::string(id) +
+                            "' is empty (" + std::to_string(g.num_nodes()) +
+                            " nodes, " + std::to_string(g.num_edges()) +
+                            " edges)");
+      }
+      if (attempt > 0) obs::Manifest::AddRetry(id, attempt);
+      return made;
+    } catch (const Exception& e) {
+      last = e.error();
+      last.attempts = attempt + 1;
+    }
+  }
+  throw Exception(ErrorCode::kRetryExhausted,
+                  "generation of '" + std::string(id) + "' failed " +
+                      std::to_string(kMaxGenAttempts) +
+                      " attempts (last: " + last.message + ")",
+                  last.fail_point, kMaxGenAttempts);
 }
 
 // The paper's footnote-29 core: degree>=2 subgraph of RL with the policy
@@ -293,7 +350,7 @@ RlArtifacts& Session::Materialize(std::string_view id) {
   }
   auto fresh = std::make_unique<RlArtifacts>(
       id == "RL.core" ? DeriveRlCore(Materialize("RL"))
-                      : MakeById(id, options_.roster));
+                      : MakeByIdChecked(id, options_.roster));
   std::string encoded;
   EncodeTopology(encoded, *fresh);
   StoreArtifact("topology", key, encoded);
@@ -307,9 +364,39 @@ const core::Topology& Session::Topology(std::string_view id) {
 
 const RlArtifacts& Session::Rl() { return Materialize("RL"); }
 
+std::uint64_t Session::TotalDegraded() {
+  return TotalDegradedCounter().load(std::memory_order_relaxed);
+}
+
+void Session::RecordDegraded(std::string_view kind, std::string_view id,
+                             const Error& error) {
+  degraded_.push_back({std::string(kind), std::string(id), error});
+  TotalDegradedCounter().fetch_add(1, std::memory_order_relaxed);
+  TOPOGEN_COUNT("session.degraded");
+  obs::Manifest::AddDegraded(kind, id, error.fail_point,
+                             ErrorCodeName(error.code), error.message,
+                             error.attempts);
+  std::fprintf(stderr, "# session: degraded %.*s slot '%.*s': %s\n",
+               static_cast<int>(kind.size()), kind.data(),
+               static_cast<int>(id.size()), id.data(),
+               error.message.c_str());
+}
+
 const BasicMetrics& Session::Metrics(std::string_view id, bool use_policy) {
+  const BasicMetrics* m = TryMetrics(id, use_policy);
+  if (m != nullptr) return *m;
+  // Surface the degradation that was just recorded as a typed error.
+  for (auto it = degraded_.rbegin(); it != degraded_.rend(); ++it) {
+    if (it->id == id) throw Exception(it->error);
+  }
+  throw Exception(ErrorCode::kUnknown,
+                  "metrics for '" + std::string(id) + "' unavailable");
+}
+
+const BasicMetrics* Session::TryMetrics(std::string_view id,
+                                        bool use_policy) {
   const MetricsRequest request{std::string(id), use_policy};
-  return *MetricsBatch({&request, 1}).front();
+  return MetricsBatch({&request, 1}).front();
 }
 
 std::vector<const BasicMetrics*> Session::MetricsBatch(
@@ -348,28 +435,54 @@ std::vector<const BasicMetrics*> Session::MetricsBatch(
 
   // Misses fan out through the deterministic parallel engine exactly as
   // the legacy RunBasicMetricsBatch path did, so batch results remain
-  // bit-identical to the sequential loop at every TOPOGEN_THREADS.
+  // bit-identical to the sequential loop at every TOPOGEN_THREADS. A
+  // topology whose *generation* degrades is dropped from the fan-out
+  // here; a job whose *metrics* degrade comes back as an error slot.
+  // Either way the rest of the batch completes (docs/ROBUSTNESS.md).
   std::vector<const std::vector<std::size_t>*> job_requests;
   std::vector<SuiteJob> jobs;
   job_requests.reserve(pending.size());
   jobs.reserve(pending.size());
   std::vector<std::string> job_memos;
+  std::vector<std::string> job_ids;
   job_memos.reserve(pending.size());
+  job_ids.reserve(pending.size());
   for (const auto& [memo, indexes] : pending) {
     const MetricsRequest& req = requests[indexes.front()];
     SuiteOptions so = options_.suite;
     so.use_policy = req.use_policy;
-    jobs.push_back({&Materialize(req.id).topology, so});
+    try {
+      jobs.push_back({&Materialize(req.id).topology, so});
+    } catch (const Exception& e) {
+      RecordDegraded("topology", req.id, e.error());
+      continue;  // the slots stay nullptr
+    }
     job_requests.push_back(&indexes);
     job_memos.push_back(memo);
+    job_ids.push_back(req.id);
   }
-  std::vector<BasicMetrics> computed = RunBasicMetricsBatch(jobs);
+  std::vector<Result<BasicMetrics>> computed;
+  try {
+    computed = RunBasicMetricsBatchIsolated(jobs);
+  } catch (const Exception& e) {
+    // The pool's dispatch boundary itself failed (parallel.task): every
+    // job in this batch degrades, the Session survives.
+    for (const std::string& id : job_ids) {
+      RecordDegraded("metrics", id, e.error());
+    }
+    return out;
+  }
   for (std::size_t j = 0; j < computed.size(); ++j) {
+    if (!computed[j].ok()) {
+      RecordDegraded("metrics", job_ids[j], computed[j].error());
+      continue;
+    }
     const std::size_t first = job_requests[j]->front();
     std::string encoded;
-    EncodeMetrics(encoded, computed[j]);
+    EncodeMetrics(encoded, computed[j].value());
     StoreArtifact("metrics", keys[first], encoded);
-    auto owned = std::make_unique<BasicMetrics>(std::move(computed[j]));
+    auto owned =
+        std::make_unique<BasicMetrics>(std::move(computed[j].value()));
     const BasicMetrics* stored =
         metrics_.emplace(job_memos[j], std::move(owned)).first->second.get();
     for (const std::size_t i : *job_requests[j]) out[i] = stored;
@@ -379,35 +492,54 @@ std::vector<const BasicMetrics*> Session::MetricsBatch(
 
 const hierarchy::LinkValueResult& Session::LinkValues(std::string_view id,
                                                       bool use_policy) {
+  const hierarchy::LinkValueResult* lv = TryLinkValues(id, use_policy);
+  if (lv != nullptr) return *lv;
+  for (auto it = degraded_.rbegin(); it != degraded_.rend(); ++it) {
+    if (it->id == id) throw Exception(it->error);
+  }
+  throw Exception(ErrorCode::kUnknown,
+                  "link values for '" + std::string(id) + "' unavailable");
+}
+
+const hierarchy::LinkValueResult* Session::TryLinkValues(std::string_view id,
+                                                         bool use_policy) {
   const store::Key key = LinkValueKey(id, use_policy);
   const std::string memo = key.Hex();
   if (auto it = linkvalues_.find(memo); it != linkvalues_.end()) {
-    return *it->second;
+    return it->second.get();
   }
   std::string payload;
   if (LoadArtifact("linkvalue", key, payload, &CacheStats::linkvalue_hits,
                    &CacheStats::linkvalue_misses)) {
     auto loaded = std::make_unique<hierarchy::LinkValueResult>();
     if (DecodeLinkValues(payload, *loaded)) {
-      return *linkvalues_.emplace(memo, std::move(loaded)).first->second;
+      return linkvalues_.emplace(memo, std::move(loaded))
+          .first->second.get();
     }
     stats_.linkvalue_hits -= 1;
     stats_.linkvalue_misses += 1;
   }
-  const core::Topology& t = Materialize(id).topology;
-  if (use_policy && !t.has_policy()) {
-    throw std::invalid_argument("Session: topology '" + std::string(id) +
-                                "' has no policy annotation");
+  try {
+    const core::Topology& t = Materialize(id).topology;
+    if (use_policy && !t.has_policy()) {
+      // Caller bug, not a degradable pipeline failure: propagate.
+      throw std::invalid_argument("Session: topology '" + std::string(id) +
+                                  "' has no policy annotation");
+    }
+    auto computed = std::make_unique<hierarchy::LinkValueResult>(
+        use_policy ? hierarchy::ComputePolicyLinkValues(
+                         t.graph, t.relationship, options_.link_value)
+                   : hierarchy::ComputeLinkValues(t.graph,
+                                                  options_.link_value));
+    std::string encoded;
+    EncodeLinkValues(encoded, *computed);
+    StoreArtifact("linkvalue", key, encoded);
+    return linkvalues_.emplace(memo, std::move(computed))
+        .first->second.get();
+  } catch (const Exception& e) {
+    RecordDegraded("linkvalue", id, e.error());
+    return nullptr;
   }
-  auto computed = std::make_unique<hierarchy::LinkValueResult>(
-      use_policy ? hierarchy::ComputePolicyLinkValues(
-                       t.graph, t.relationship, options_.link_value)
-                 : hierarchy::ComputeLinkValues(t.graph,
-                                                options_.link_value));
-  std::string encoded;
-  EncodeLinkValues(encoded, *computed);
-  StoreArtifact("linkvalue", key, encoded);
-  return *linkvalues_.emplace(memo, std::move(computed)).first->second;
 }
 
 }  // namespace topogen::core

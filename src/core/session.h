@@ -31,6 +31,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/error.h"
 #include "core/roster.h"
 #include "core/suite.h"
 #include "hierarchy/link_value.h"
@@ -71,6 +72,16 @@ struct CacheStats {
   std::uint64_t journal_skips = 0;
 };
 
+// One roster slot the Session isolated instead of aborting the run
+// (docs/ROBUSTNESS.md): the artifact kind that failed, the topology id,
+// and the typed error (with fail-point provenance and retry count) that
+// exhausted its budget. Mirrored into the manifest's degraded[] array.
+struct DegradedSlot {
+  std::string kind;  // "topology" | "metrics" | "linkvalue"
+  std::string id;
+  Error error;
+};
+
 class Session {
  public:
   explicit Session(SessionOptions options = {});
@@ -82,6 +93,15 @@ class Session {
   const SessionOptions& options() const { return options_; }
   const CacheStats& cache_stats() const { return stats_; }
   bool cache_enabled() const { return store_ != nullptr; }
+
+  // Roster slots this Session isolated after their retry budget ran out.
+  // Non-empty means the run's figures are partial (docs/ROBUSTNESS.md);
+  // the bench harness maps that to the partial-success exit code.
+  const std::vector<DegradedSlot>& degraded() const { return degraded_; }
+
+  // Process-wide degraded-slot count across all Sessions, so the bench
+  // harness can pick its exit code without holding a Session reference.
+  static std::uint64_t TotalDegraded();
 
   // The roster ids a Session serves, matching the display names of
   // core/roster.h's factories: "Tree", "Mesh", "Random", "TS", "Tiers",
@@ -100,12 +120,18 @@ class Session {
 
   // Basic-metrics suite (expansion, resilience, distortion, LH signature)
   // for one topology. On a cache hit this does not even materialize the
-  // topology -- keys derive from options, not from graph bytes.
+  // topology -- keys derive from options, not from graph bytes. Throws
+  // core::Exception when the slot degrades past its retry budget;
+  // TryMetrics is the non-throwing variant (nullptr = degraded slot,
+  // recorded under degraded()).
   const BasicMetrics& Metrics(std::string_view id, bool use_policy = false);
+  const BasicMetrics* TryMetrics(std::string_view id, bool use_policy = false);
 
   // Batched variant: misses are computed via the deterministic parallel
-  // fan-out (RunBasicMetricsBatch), hits come from the cache; pointers are
-  // stable and land in request order.
+  // fan-out (RunBasicMetricsBatchIsolated), hits come from the cache;
+  // pointers are stable and land in request order. A slot whose pipeline
+  // failed past its retry budget comes back nullptr with a DegradedSlot
+  // recorded -- the batch itself always returns.
   struct MetricsRequest {
     std::string id;
     bool use_policy = false;
@@ -114,9 +140,12 @@ class Session {
       std::span<const MetricsRequest> requests);
 
   // Link-value analysis (Section 5) for one topology, plain or
-  // policy-routed. Like Metrics(), a warm hit touches no BFS.
+  // policy-routed. Like Metrics(), a warm hit touches no BFS; TryLinkValues
+  // is the non-throwing variant (nullptr = degraded slot).
   const hierarchy::LinkValueResult& LinkValues(std::string_view id,
                                                bool use_policy = false);
+  const hierarchy::LinkValueResult* TryLinkValues(std::string_view id,
+                                                  bool use_policy = false);
 
  private:
   // Generate-or-load; the backbone of Topology()/Rl().
@@ -134,8 +163,14 @@ class Session {
   void StoreArtifact(std::string_view kind, const store::Key& key,
                      std::string_view payload);
 
+  // Degraded-slot bookkeeping: local record, manifest entry, stderr note,
+  // process-wide tally.
+  void RecordDegraded(std::string_view kind, std::string_view id,
+                      const Error& error);
+
   SessionOptions options_;
   CacheStats stats_;
+  std::vector<DegradedSlot> degraded_;
   std::unique_ptr<store::ArtifactStore> store_;
   std::unique_ptr<store::Journal> journal_;
 

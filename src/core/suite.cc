@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "fault/fault.h"
 #include "obs/obs.h"
 #include "parallel/parallel_for.h"
 
@@ -76,6 +77,29 @@ std::vector<BasicMetrics> RunBasicMetricsBatch(
   std::vector<BasicMetrics> results(jobs.size());
   parallel::ParallelForEach(jobs.size(), [&](std::size_t i) {
     results[i] = RunBasicMetrics(*jobs[i].topology, jobs[i].options);
+  });
+  return results;
+}
+
+std::vector<Result<BasicMetrics>> RunBasicMetricsBatchIsolated(
+    std::span<const SuiteJob> jobs) {
+  obs::Span span("suite.batch", "core");
+  span.Arg("jobs", static_cast<std::uint64_t>(jobs.size()));
+  // Pre-fill every slot with a placeholder error; each task overwrites
+  // its own slot, so a slot still holding the placeholder means the task
+  // never ran (the pool stops dispatching after a boundary failure).
+  std::vector<Result<BasicMetrics>> results(
+      jobs.size(),
+      Result<BasicMetrics>(Error{ErrorCode::kTaskFailed,
+                                 "suite job was never dispatched", {}, 0}));
+  parallel::ParallelForEach(jobs.size(), [&](std::size_t i) {
+    try {
+      TOPOGEN_FAULT_POINT_D("suite.metrics", jobs[i].topology->name);
+      results[i] = RunBasicMetrics(*jobs[i].topology, jobs[i].options);
+    } catch (const Exception& e) {
+      results[i] = e.error();
+      TOPOGEN_COUNT("suite.jobs_degraded");
+    }
   });
   return results;
 }

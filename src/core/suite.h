@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "core/error.h"
 #include "core/topology.h"
 #include "metrics/ball.h"
 #include "metrics/classification.h"
@@ -48,5 +49,16 @@ struct SuiteJob {
 // the sequential loop at every TOPOGEN_THREADS value. Exceptions (e.g. a
 // policy job on an unannotated topology) propagate to the caller.
 std::vector<BasicMetrics> RunBasicMetricsBatch(std::span<const SuiteJob> jobs);
+
+// Per-slot isolated variant (docs/ROBUSTNESS.md): typed pipeline failures
+// (core::Exception -- injected faults, corrupt inputs, validation errors)
+// are caught *below* the pool's task boundary and returned as that slot's
+// Error, so one failing topology degrades its own slot instead of
+// poisoning the batch. Programming errors (std::invalid_argument and
+// friends) still propagate, as does a failure at the pool boundary itself
+// (the parallel.task fail point). The suite.metrics fail point fires once
+// per job with the topology name as its detail string.
+std::vector<Result<BasicMetrics>> RunBasicMetricsBatchIsolated(
+    std::span<const SuiteJob> jobs);
 
 }  // namespace topogen::core

@@ -1,0 +1,110 @@
+// Typed error taxonomy for the generation->metrics->store pipeline
+// (docs/ROBUSTNESS.md).
+//
+// Every recoverable failure the pipeline can isolate -- a stochastic
+// generator draw that fails validation, a corrupt artifact, an injected
+// fault -- is described by an Error carrying a machine-readable code, the
+// fail point it originated at (empty for organic failures), and the retry
+// attempt count at the time it was raised. Exception is the throwing
+// carrier for seams that must unwind; Result<T> is the value carrier for
+// seams that must not (per-slot suite isolation, degraded bookkeeping).
+//
+// The taxonomy lives in topogen::fault (the lowest layer above obs) so
+// src/gen and src/store can raise typed errors without depending on core;
+// core/error.h re-exports it as core::Error / core::Result for callers
+// written against the core API.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace topogen::fault {
+
+enum class ErrorCode {
+  kUnknown = 0,
+  kInvalidArgument,     // caller bug: bad id, bad options
+  kIo,                  // filesystem/OS failure (open, write, rename)
+  kCorrupt,             // stored bytes failed validation (checksum, shape)
+  kValidationFailed,    // generated artifact failed its invariant checks
+  kDegreeRealization,   // degree sequence could not be realized as a graph
+  kRetryExhausted,      // bounded retry loop ran out of attempts
+  kInjected,            // a TOPOGEN_FAULTS fail point fired
+  kTaskFailed,          // a parallel task aborted below the isolation seam
+};
+
+const char* ErrorCodeName(ErrorCode code);
+
+struct Error {
+  ErrorCode code = ErrorCode::kUnknown;
+  std::string message;
+  // The fail-point name that produced (or injected) this error; empty for
+  // organic failures with no fault-injection provenance.
+  std::string fail_point;
+  // Retry attempts consumed when the error was raised (0 = first try).
+  int attempts = 0;
+};
+
+// The throwing carrier: unwinds a pipeline stage up to the nearest
+// isolation seam (Session slot, suite batch, bench main), which converts
+// it back into an Error for degraded bookkeeping.
+class Exception : public std::runtime_error {
+ public:
+  explicit Exception(Error error)
+      : std::runtime_error(ErrorCodeName(error.code) +
+                           (error.message.empty() ? std::string()
+                                                  : ": " + error.message)),
+        error_(std::move(error)) {}
+
+  Exception(ErrorCode code, std::string message, std::string fail_point = {},
+            int attempts = 0)
+      : Exception(Error{code, std::move(message), std::move(fail_point),
+                        attempts}) {}
+
+  const Error& error() const { return error_; }
+
+ private:
+  Error error_;
+};
+
+// Thrown by an armed fail point with kind=throw (fault.h). A distinct
+// type so chaos tests can tell injected failures from organic ones.
+class InjectedFault : public Exception {
+ public:
+  explicit InjectedFault(std::string fail_point)
+      : Exception(MakeError(std::move(fail_point))) {}
+
+ private:
+  // Built in one place so the message reads the name before it is moved
+  // into the fail_point field (argument evaluation order would not
+  // guarantee that in a ctor-argument expression).
+  static Error MakeError(std::string fail_point) {
+    Error e;
+    e.code = ErrorCode::kInjected;
+    e.message = "injected fault at '" + fail_point + "'";
+    e.fail_point = std::move(fail_point);
+    return e;
+  }
+};
+
+// Minimal value-or-Error carrier for seams that must not throw.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}        // NOLINT(runtime/explicit)
+  Result(Error error) : error_(std::move(error)) {}    // NOLINT(runtime/explicit)
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() { return *value_; }
+  const T& value() const { return *value_; }
+  const Error& error() const { return *error_; }
+
+ private:
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+}  // namespace topogen::fault

@@ -1,0 +1,304 @@
+#include "fault/fault.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/rng.h"
+#include "obs/obs.h"
+
+namespace topogen::fault {
+
+namespace {
+
+constexpr PointInfo kCatalog[] = {
+    {"store.write.torn", Kind::kShortWrite,
+     "artifact write truncated before the atomic rename"},
+    {"store.write.enospc", Kind::kEnospc,
+     "artifact temp-file write fails as if the disk were full"},
+    {"store.write.corrupt", Kind::kCorruptByte,
+     "one payload byte flipped after the checksum was taken"},
+    {"store.read.corrupt", Kind::kCorruptByte,
+     "one byte of a loaded artifact flipped before validation"},
+    {"store.journal.append", Kind::kShortWrite,
+     "journal completion record torn mid-line (abort = crash there)"},
+    {"store.prune.race", Kind::kThrow,
+     "a file delete during cache pruning fails under the iterator"},
+    {"graph.csr.parse", Kind::kThrow,
+     "binary CSR deserialization rejects the blob"},
+    {"gen.validate", Kind::kThrow,
+     "a generated topology fails post-generation validation"},
+    {"gen.retry.exhausted", Kind::kThrow,
+     "every generation attempt fails validation (forces retry exhaustion)"},
+    {"gen.realize", Kind::kThrow,
+     "a degree-sequence realization fails its sanity checks"},
+    {"gen.ts.connect", Kind::kCorruptByte,
+     "a Transit-Stub G(n,p) draw is treated as disconnected"},
+    {"parallel.task", Kind::kThrow,
+     "a parallel-pool chunk fails at the dispatch boundary"},
+    {"suite.metrics", Kind::kThrow,
+     "the basic-metrics suite fails for one topology"},
+};
+
+const PointInfo* FindPoint(std::string_view name) {
+  for (const PointInfo& p : kCatalog) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+std::optional<Kind> ParseKind(std::string_view v) {
+  if (v == "throw") return Kind::kThrow;
+  if (v == "short") return Kind::kShortWrite;
+  if (v == "enospc") return Kind::kEnospc;
+  if (v == "corrupt") return Kind::kCorruptByte;
+  if (v == "delay") return Kind::kDelay;
+  if (v == "abort") return Kind::kAbort;
+  return std::nullopt;
+}
+
+struct Rule {
+  std::string point;
+  Kind kind = Kind::kThrow;
+  std::string match;              // substring filter over the site detail
+  std::uint64_t nth = 0;          // fire on exactly this hit (0 = off)
+  double p = -1.0;                // per-hit probability (< 0 = off)
+  std::uint64_t seed = 0;         // seed for the probability stream
+  std::uint32_t delay_ms = 10;    // for kind=delay
+  // Mutable state, guarded by Registry::mutex.
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+  graph::Rng rng{0};
+
+  bool ShouldFire() {
+    ++hits;
+    if (nth != 0) return hits == nth;
+    if (p >= 0.0) return rng.NextBool(p);
+    return true;
+  }
+};
+
+// One rule from "point@k=v,k=v". Returns false (with a stderr note) when
+// the point is unknown or a param is malformed -- arming is best-effort,
+// never fatal.
+bool ParseRule(std::string_view spec, Rule& rule) {
+  const std::size_t at = spec.find('@');
+  const std::string_view name = spec.substr(0, at);
+  const PointInfo* info = FindPoint(name);
+  if (info == nullptr) {
+    std::fprintf(stderr, "# fault: unknown fail point '%.*s' (ignored)\n",
+                 static_cast<int>(name.size()), name.data());
+    return false;
+  }
+  rule.point = std::string(name);
+  rule.kind = info->default_kind;
+  if (at == std::string_view::npos) return true;
+  std::string_view params = spec.substr(at + 1);
+  while (!params.empty()) {
+    const std::size_t comma = params.find(',');
+    const std::string_view param = params.substr(0, comma);
+    params = comma == std::string_view::npos ? std::string_view{}
+                                             : params.substr(comma + 1);
+    const std::size_t eq = param.find('=');
+    if (eq == std::string_view::npos) {
+      std::fprintf(stderr, "# fault: malformed param '%.*s' (rule ignored)\n",
+                   static_cast<int>(param.size()), param.data());
+      return false;
+    }
+    const std::string_view key = param.substr(0, eq);
+    const std::string value(param.substr(eq + 1));
+    char* end = nullptr;
+    if (key == "nth") {
+      rule.nth = std::strtoull(value.c_str(), &end, 10);
+      if (*end != '\0' || rule.nth == 0) return false;
+    } else if (key == "p") {
+      rule.p = std::strtod(value.c_str(), &end);
+      if (*end != '\0' || rule.p < 0.0 || rule.p > 1.0) return false;
+    } else if (key == "seed") {
+      rule.seed = std::strtoull(value.c_str(), &end, 10);
+      if (*end != '\0') return false;
+    } else if (key == "ms") {
+      rule.delay_ms =
+          static_cast<std::uint32_t>(std::strtoul(value.c_str(), &end, 10));
+      if (*end != '\0') return false;
+    } else if (key == "match") {
+      rule.match = value;
+    } else if (key == "kind") {
+      const std::optional<Kind> kind = ParseKind(value);
+      if (!kind) {
+        std::fprintf(stderr, "# fault: unknown kind '%s' (rule ignored)\n",
+                     value.c_str());
+        return false;
+      }
+      rule.kind = *kind;
+    } else {
+      std::fprintf(stderr, "# fault: unknown param '%.*s' (rule ignored)\n",
+                   static_cast<int>(key.size()), key.data());
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<Rule> rules;
+
+  static Registry& Get() {
+    static Registry* r = new Registry;  // leaked: outlives all users
+    return *r;
+  }
+
+  void Arm(std::string_view spec) {
+    std::vector<Rule> parsed;
+    while (!spec.empty()) {
+      const std::size_t semi = spec.find(';');
+      const std::string_view one = spec.substr(0, semi);
+      spec = semi == std::string_view::npos ? std::string_view{}
+                                            : spec.substr(semi + 1);
+      if (one.empty()) continue;
+      Rule rule;
+      if (ParseRule(one, rule)) {
+        // Decorrelate per-rule probability streams by point name so two
+        // p-rules with the same seed do not fire in lockstep.
+        std::uint64_t h = rule.seed;
+        for (const char c : rule.point) {
+          h = graph::SplitMix64(h ^ static_cast<std::uint64_t>(c));
+        }
+        rule.rng = graph::Rng(h);
+        parsed.push_back(std::move(rule));
+      }
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    rules = std::move(parsed);
+    detail::g_armed.store(!rules.empty(), std::memory_order_relaxed);
+  }
+};
+
+// Resolve TOPOGEN_FAULTS exactly once (ArmForTesting overrides it). Runs
+// during this translation unit's dynamic initialization, which is before
+// main() and therefore before any fail point can be hit.
+bool ArmFromEnvironmentOnce() {
+  static const bool armed = [] {
+    const char* spec = std::getenv("TOPOGEN_FAULTS");
+    if (spec != nullptr && *spec != '\0') Registry::Get().Arm(spec);
+    return true;
+  }();
+  return armed;
+}
+
+[[maybe_unused]] const bool g_env_arming = ArmFromEnvironmentOnce();
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_armed{false};
+
+std::optional<Injection> HitSlow(const char* point, std::string_view detail) {
+  Registry& registry = Registry::Get();
+  std::optional<Injection> injection;
+  {
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    for (Rule& rule : registry.rules) {
+      if (rule.point != point) continue;
+      if (!rule.match.empty() &&
+          detail.find(rule.match) == std::string_view::npos) {
+        continue;
+      }
+      if (!rule.ShouldFire()) continue;
+      ++rule.fires;
+      injection = Injection{rule.kind, rule.delay_ms};
+      break;
+    }
+  }
+  if (!injection) return std::nullopt;
+  if (obs::AnyEnabled()) {
+    // Dynamic names cannot use the TOPOGEN_COUNT macros (they cache one
+    // Counter& per call site); register through the Stats API directly.
+    obs::Stats::GetCounter("fault.injected").Increment();
+    obs::Stats::GetCounter("fault." + std::string(point)).Increment();
+  }
+  obs::Manifest::AddFaultInjected(point);
+  switch (injection->kind) {
+    case Kind::kThrow:
+      throw InjectedFault(point);
+    case Kind::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(injection->delay_ms));
+      return std::nullopt;
+    default:
+      return injection;
+  }
+}
+
+}  // namespace detail
+
+std::span<const PointInfo> RegisteredPoints() { return kCatalog; }
+
+bool CompiledIn() {
+#if defined(TOPOGEN_FAULT_POINTS_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void ArmForTesting(std::string_view spec) {
+  ArmFromEnvironmentOnce();  // take the env slot so it cannot re-arm later
+  Registry::Get().Arm(spec);
+}
+
+void Disarm() { ArmForTesting({}); }
+
+std::uint64_t HitCount(std::string_view point) {
+  ArmFromEnvironmentOnce();
+  Registry& registry = Registry::Get();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::uint64_t total = 0;
+  for (const Rule& rule : registry.rules) {
+    if (rule.point == point) total += rule.hits;
+  }
+  return total;
+}
+
+std::uint64_t FiredCount(std::string_view point) {
+  ArmFromEnvironmentOnce();
+  Registry& registry = Registry::Get();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::uint64_t total = 0;
+  for (const Rule& rule : registry.rules) {
+    if (rule.point == point) total += rule.fires;
+  }
+  return total;
+}
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUnknown:
+      return "unknown";
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kIo:
+      return "io";
+    case ErrorCode::kCorrupt:
+      return "corrupt";
+    case ErrorCode::kValidationFailed:
+      return "validation_failed";
+    case ErrorCode::kDegreeRealization:
+      return "degree_realization";
+    case ErrorCode::kRetryExhausted:
+      return "retry_exhausted";
+    case ErrorCode::kInjected:
+      return "injected";
+    case ErrorCode::kTaskFailed:
+      return "task_failed";
+  }
+  return "unknown";
+}
+
+}  // namespace topogen::fault

@@ -1,0 +1,139 @@
+// Deterministic fault-injection framework (docs/ROBUSTNESS.md).
+//
+// Hot seams in the pipeline -- artifact writes, journal appends, CSR
+// parsing, generator validation, the parallel pool's task boundary --
+// carry *named fail points* compiled in via the TOPOGEN_FAULT_POINT
+// macros. With the CMake option TOPOGEN_FAULT_POINTS=OFF (the default
+// for Release builds) the macros expand to nothing: zero code, zero
+// branches, zero cost. When compiled in but disarmed, a fail point costs
+// one relaxed atomic load.
+//
+// Arming is runtime-only, via the TOPOGEN_FAULTS environment variable (or
+// ArmForTesting), with a ';'-separated spec:
+//
+//   TOPOGEN_FAULTS="store.write.torn@nth=3;gen.retry.exhausted@p=0.01,seed=42"
+//
+//   point                      fire on every hit
+//   point@nth=N                fire on exactly the Nth hit (1-based)
+//   point@p=0.5,seed=7         fire each hit with probability p, from a
+//                              deterministic per-rule RNG seeded by seed
+//   point@kind=K               override the point's default error kind:
+//                              throw | short | enospc | corrupt | delay |
+//                              abort
+//   point@ms=5                 delay duration for kind=delay
+//   point@match=S              only hits whose site detail string contains
+//                              substring S count (e.g. a topology id)
+//
+// Every fail point is declared in the catalog below; arming an unknown
+// point is reported to stderr and ignored, never fatal. Probability rules
+// are seed-reproducible: the per-rule RNG consumes one draw per counted
+// hit, so a single-threaded seam replays identically run over run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "fault/error.h"
+
+namespace topogen::fault {
+
+// How an armed fault manifests at the site that hit it. Sites interpret
+// the kinds they understand (a short write needs a write to shorten);
+// any kind a site cannot express falls back to kThrow via ThrowInjected.
+enum class Kind {
+  kThrow,       // throw InjectedFault at the fail point
+  kShortWrite,  // truncate the bytes the site is about to write
+  kEnospc,      // the site's I/O operation reports no-space failure
+  kCorruptByte, // flip one byte of the site's payload
+  kDelay,       // sleep `delay_ms`, then continue normally (handled inside
+                // Hit(); never returned to the site)
+  kAbort,       // _Exit(kCrashExitCode) after the site's partial work --
+                // the crash-recovery tests' guillotine
+};
+
+// Exit code used by kind=abort, distinct from any exit code the benches
+// document so a harness can tell an injected crash from a real one.
+inline constexpr int kCrashExitCode = 113;
+
+struct Injection {
+  Kind kind = Kind::kThrow;
+  std::uint32_t delay_ms = 0;
+};
+
+struct PointInfo {
+  std::string_view name;
+  Kind default_kind;
+  std::string_view seam;  // one-line description for the catalog dump
+};
+
+// The fail-point catalog: the single source of truth for valid names.
+// docs/ROBUSTNESS.md mirrors this table; tests/fault_test.cc checks the
+// mirror does not drift.
+std::span<const PointInfo> RegisteredPoints();
+
+// True when the fail-point macros were compiled in
+// (-DTOPOGEN_FAULT_POINTS=ON). Chaos tests skip themselves otherwise.
+bool CompiledIn();
+
+// Re-arms from a spec string (replacing any prior arming, including the
+// TOPOGEN_FAULTS environment arming). Unknown points and malformed params
+// are reported to stderr and skipped.
+void ArmForTesting(std::string_view spec);
+
+// Removes all armed rules and zeroes hit/fire counts.
+void Disarm();
+
+// Hits and fires observed at `point` since the last (dis)arming, across
+// all rules targeting it. A hit only counts while armed (and matching).
+std::uint64_t HitCount(std::string_view point);
+std::uint64_t FiredCount(std::string_view point);
+
+namespace detail {
+
+// Fast disarmed check shared by every compiled-in fail point.
+extern std::atomic<bool> g_armed;
+
+std::optional<Injection> HitSlow(const char* point, std::string_view detail);
+
+}  // namespace detail
+
+// The compiled-in fail point implementation. Returns the Injection when a
+// rule fires with a kind the site must interpret (short/enospc/corrupt/
+// abort); kThrow throws InjectedFault here and kDelay sleeps here, so
+// most sites never see a value.
+inline std::optional<Injection> Hit(const char* point,
+                                    std::string_view detail = {}) {
+  if (!detail::g_armed.load(std::memory_order_relaxed)) return std::nullopt;
+  return detail::HitSlow(point, detail);
+}
+
+// For sites with no I/O to pervert: any fired kind degenerates to throw.
+inline void ThrowIfArmed(const char* point, std::string_view detail = {}) {
+  if (!detail::g_armed.load(std::memory_order_relaxed)) return;
+  if (detail::HitSlow(point, detail).has_value()) {
+    throw InjectedFault(point);
+  }
+}
+
+}  // namespace topogen::fault
+
+// --- the zero-cost-when-disabled site macros ---
+//
+// TOPOGEN_FAULT_POINT(name)            error seam; fires as throw
+// TOPOGEN_FAULT_POINT_D(name, detail)  same, with a match= detail string
+// TOPOGEN_FAULT_HIT(name, detail)      I/O seam; yields optional<Injection>
+//                                      for site-interpreted kinds
+#if defined(TOPOGEN_FAULT_POINTS_ENABLED)
+#define TOPOGEN_FAULT_POINT(name) ::topogen::fault::ThrowIfArmed(name)
+#define TOPOGEN_FAULT_POINT_D(name, detail) \
+  ::topogen::fault::ThrowIfArmed(name, detail)
+#define TOPOGEN_FAULT_HIT(name, detail) ::topogen::fault::Hit(name, detail)
+#else
+#define TOPOGEN_FAULT_POINT(name) ((void)0)
+#define TOPOGEN_FAULT_POINT_D(name, detail) ((void)0)
+#define TOPOGEN_FAULT_HIT(name, detail) \
+  (::std::optional<::topogen::fault::Injection>{})
+#endif

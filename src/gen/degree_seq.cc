@@ -5,9 +5,11 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 #include <unordered_set>
 
+#include "fault/fault.h"
 #include "graph/components.h"
 
 namespace topogen::gen {
@@ -275,6 +277,65 @@ Graph ConnectDegreeSequence(std::span<const std::uint32_t> degrees,
                                    : std::move(g));
 }
 
+namespace {
+
+// The realization sanity check behind RealizeDegreeSequence: a sequence
+// that had anything to wire must have wired something. The gen.realize
+// fail point sits here so chaos tests can force the retry path.
+void CheckRealization(const Graph& g, std::span<const std::uint32_t> degrees,
+                      std::string_view what) {
+  TOPOGEN_FAULT_POINT_D("gen.realize", what);
+  const std::uint64_t stubs = std::accumulate(
+      degrees.begin(), degrees.end(), std::uint64_t{0});
+  if (degrees.size() >= 2 && stubs >= 2 && g.num_edges() == 0) {
+    throw fault::Exception(
+        fault::ErrorCode::kDegreeRealization,
+        "degree-sequence realization collapsed: " +
+            std::to_string(degrees.size()) + " nodes / " +
+            std::to_string(stubs) + " stubs wired into an edgeless graph");
+  }
+}
+
+}  // namespace
+
+Graph RealizeDegreeSequence(std::span<const std::uint32_t> degrees,
+                            ConnectMethod method, Rng& rng,
+                            bool keep_largest_component,
+                            std::string_view what) {
+  constexpr int kMaxRealizeAttempts = 3;
+  // The reseed base is drawn from the caller's stream only after the
+  // first failure, so the happy path consumes `rng` exactly like a bare
+  // ConnectDegreeSequence call (bit-identical outputs).
+  std::optional<std::uint64_t> reseed_base;
+  fault::Error last;
+  for (int attempt = 0; attempt < kMaxRealizeAttempts; ++attempt) {
+    try {
+      Graph g = [&] {
+        if (attempt == 0) {
+          return ConnectDegreeSequence(degrees, method, rng,
+                                       keep_largest_component);
+        }
+        if (!reseed_base) reseed_base = rng.engine()();
+        Rng sub(graph::DeriveStream(*reseed_base,
+                                    static_cast<std::uint64_t>(attempt)));
+        return ConnectDegreeSequence(degrees, method, sub,
+                                     keep_largest_component);
+      }();
+      CheckRealization(g, degrees, what);
+      if (attempt > 0) TOPOGEN_COUNT_N("gen.realize_retries", attempt);
+      return g;
+    } catch (const fault::Exception& e) {
+      last = e.error();
+      last.attempts = attempt + 1;
+    }
+  }
+  throw fault::Exception(fault::ErrorCode::kRetryExhausted,
+                         "degree-sequence realization failed " +
+                             std::to_string(kMaxRealizeAttempts) +
+                             " attempts (last: " + last.message + ")",
+                         last.fail_point, kMaxRealizeAttempts);
+}
+
 std::vector<std::uint32_t> DegreeSequenceOf(const Graph& g) {
   std::vector<std::uint32_t> degrees(g.num_nodes());
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -285,7 +346,8 @@ std::vector<std::uint32_t> DegreeSequenceOf(const Graph& g) {
 
 Graph ReconnectWithPlrg(const Graph& g, Rng& rng) {
   const std::vector<std::uint32_t> degrees = DegreeSequenceOf(g);
-  return ConnectDegreeSequence(degrees, ConnectMethod::kPlrgMatching, rng);
+  return RealizeDegreeSequence(degrees, ConnectMethod::kPlrgMatching, rng,
+                               /*keep_largest_component=*/true, "reconnect");
 }
 
 Graph DegreePreservingRewire(const Graph& g, Rng& rng,

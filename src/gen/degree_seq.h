@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "graph/graph.h"
@@ -77,6 +78,23 @@ enum class ConnectMethod {
 graph::Graph ConnectDegreeSequence(std::span<const std::uint32_t> degrees,
                                    ConnectMethod method, graph::Rng& rng,
                                    bool keep_largest_component = true);
+
+// Bounded-retry realization (docs/ROBUSTNESS.md): ConnectDegreeSequence
+// plus a sanity check that the wiring did not collapse (a sequence with
+// >= 2 nodes and >= 1 stub must realize at least one edge). A failed
+// check -- organic or injected via the gen.realize fail point -- throws
+// fault::Exception{kDegreeRealization}; up to two retries then run on
+// sub-streams derived (graph::DeriveStream) from a single reseed draw
+// taken from `rng` only after the first failure, so the *number* of
+// retries never perturbs the caller's downstream draws and the zero-
+// failure path consumes `rng` exactly like ConnectDegreeSequence.
+// Exhausting the budget throws fault::Exception{kRetryExhausted}.
+// `what` tags the fail point's detail string (e.g. "plrg") for match=
+// filtering.
+graph::Graph RealizeDegreeSequence(std::span<const std::uint32_t> degrees,
+                                   ConnectMethod method, graph::Rng& rng,
+                                   bool keep_largest_component = true,
+                                   std::string_view what = {});
 
 // Degree sequence of an existing graph.
 std::vector<std::uint32_t> DegreeSequenceOf(const graph::Graph& g);

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "fault/fault.h"
 #include "gen/degree_seq.h"
 #include "graph/components.h"
 
@@ -104,7 +105,17 @@ Graph Inet(const InetParams& params, Rng& rng) {
   }
 
   Graph g = std::move(b).Build();
-  return RecordGenerated(span, graph::LargestComponent(g).graph);
+  Graph giant = graph::LargestComponent(g).graph;
+  // Typed realization check, mirroring RealizeDegreeSequence: the
+  // attachment phases above must have produced a usable core.
+  TOPOGEN_FAULT_POINT_D("gen.realize", "inet");
+  if (n >= 2 && giant.num_edges() == 0) {
+    throw fault::Exception(fault::ErrorCode::kDegreeRealization,
+                           "Inet realization collapsed: " +
+                               std::to_string(n) +
+                               " nodes attached into an edgeless graph");
+  }
+  return RecordGenerated(span, std::move(giant));
 }
 
 }  // namespace topogen::gen

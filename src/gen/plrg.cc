@@ -13,8 +13,8 @@ graph::Graph Plrg(const PlrgParams& params, graph::Rng& rng) {
   dp.max_degree = params.max_degree;
   const std::vector<std::uint32_t> degrees = SamplePowerLawDegrees(dp, rng);
   return RecordGenerated(
-      span, ConnectDegreeSequence(degrees, ConnectMethod::kPlrgMatching, rng,
-                                  /*keep_largest_component=*/true));
+      span, RealizeDegreeSequence(degrees, ConnectMethod::kPlrgMatching, rng,
+                                  /*keep_largest_component=*/true, "plrg"));
 }
 
 }  // namespace topogen::gen

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "fault/fault.h"
 #include "gen/gen_obs.h"
 
 namespace topogen::gen {
@@ -12,16 +13,31 @@ using graph::Rng;
 
 namespace {
 
+// Retry budget for the connected-G(n,p) draw below. Bounded so a
+// pathological p (or an injected gen.ts.connect fault) degrades into the
+// deterministic patch pass instead of spinning; with sane densities the
+// first draw is almost always connected, so the cap never binds.
+constexpr int kMaxConnectAttempts = 32;
+
 // Adds a connected random graph over the given node ids. Like GT-ITM, the
 // G(n, p) draw is retried until connected so the edge density stays at p
-// (laying a spanning tree underneath would inflate it); a final repair
-// pass stitches components together if every retry fails.
+// (laying a spanning tree underneath would inflate it). When the retry
+// budget runs out, connectivity is patched deterministically with a
+// minimal spanning set -- one edge per surviving component -- counted
+// under gen.ts_connect_patched.
 void AddConnectedRandom(GraphBuilder& b, const std::vector<NodeId>& nodes,
                         double p, Rng& rng) {
   const std::size_t n = nodes.size();
   if (n <= 1) return;
   std::vector<std::pair<std::size_t, std::size_t>> local;
-  for (int attempt = 0; attempt < 200; ++attempt) {
+  std::vector<std::size_t> parent(n);
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  bool connected = false;
+  for (int attempt = 0; attempt < kMaxConnectAttempts && !connected;
+       ++attempt) {
     local.clear();
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = i + 1; j < n; ++j) {
@@ -29,12 +45,7 @@ void AddConnectedRandom(GraphBuilder& b, const std::vector<NodeId>& nodes,
       }
     }
     // Union-find connectivity check on the local index space.
-    std::vector<std::size_t> parent(n);
     for (std::size_t i = 0; i < n; ++i) parent[i] = i;
-    auto find = [&](std::size_t x) {
-      while (parent[x] != x) x = parent[x] = parent[parent[x]];
-      return x;
-    };
     std::size_t components = n;
     for (auto [i, j] : local) {
       const std::size_t ri = find(i), rj = find(j);
@@ -43,17 +54,23 @@ void AddConnectedRandom(GraphBuilder& b, const std::vector<NodeId>& nodes,
         --components;
       }
     }
-    if (components == 1) break;
-    if (attempt == 199) {
-      // Repair: link each component root to a node outside it.
-      for (std::size_t i = 1; i < n; ++i) {
-        if (find(i) != find(0)) {
-          const std::size_t j = rng.NextIndex(i);
-          local.push_back({j, i});
-          parent[find(i)] = find(j);
-        }
+    connected = components == 1;
+    // The fail point votes this draw disconnected, driving the loop into
+    // the patch pass below.
+    if (TOPOGEN_FAULT_HIT("gen.ts.connect", {})) connected = false;
+  }
+  if (!connected) {
+    // Budget exhausted: patch the last draw into connectivity. Nodes
+    // 0..i-1 are unified before node i is examined, so each link lands in
+    // the component of node 0 -- exactly one edge per missing component.
+    for (std::size_t i = 1; i < n; ++i) {
+      if (find(i) != find(0)) {
+        const std::size_t j = rng.NextIndex(i);
+        local.push_back({j, i});
+        parent[find(i)] = find(j);
       }
     }
+    TOPOGEN_COUNT("gen.ts_connect_patched");
   }
   for (auto [i, j] : local) b.AddEdge(nodes[i], nodes[j]);
 }

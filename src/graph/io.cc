@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "fault/fault.h"
 #include "store/serialize.h"
 
 namespace topogen::graph {
@@ -22,6 +23,7 @@ struct CsrSerializer {
   }
 
   static Graph Parse(std::string_view blob, std::size_t& offset) {
+    TOPOGEN_FAULT_POINT("graph.csr.parse");
     store::ByteReader r(blob.substr(offset));
     Graph g;
     g.num_nodes_ = r.U32();
@@ -29,7 +31,10 @@ struct CsrSerializer {
     g.adjacency_ = r.Vec<NodeId>();
     g.adjacent_edge_ = r.Vec<EdgeId>();
     g.edges_ = r.Vec<Edge>();
-    if (!r.ok()) throw std::runtime_error("ParseCsr: truncated CSR blob");
+    if (!r.ok()) {
+      throw fault::Exception(fault::ErrorCode::kCorrupt,
+                             "ParseCsr: truncated CSR blob");
+    }
     // Structural invariants every Graph upholds by construction; a blob
     // violating them is corrupt no matter what the checksum said.
     const std::size_t m = g.edges_.size();
@@ -44,10 +49,14 @@ struct CsrSerializer {
          g.offsets_.front() == 0 && g.offsets_.back() == 2 * m &&
          g.adjacency_.size() == 2 * m && g.adjacent_edge_.size() == 2 * m &&
          std::is_sorted(g.offsets_.begin(), g.offsets_.end()));
-    if (!shape_ok) throw std::runtime_error("ParseCsr: inconsistent CSR blob");
+    if (!shape_ok) {
+      throw fault::Exception(fault::ErrorCode::kCorrupt,
+                             "ParseCsr: inconsistent CSR blob");
+    }
     for (const Edge& e : g.edges_) {
       if (e.u >= e.v || e.v >= g.num_nodes_) {
-        throw std::runtime_error("ParseCsr: non-canonical edge in CSR blob");
+        throw fault::Exception(fault::ErrorCode::kCorrupt,
+                               "ParseCsr: non-canonical edge in CSR blob");
       }
     }
     offset += r.offset();

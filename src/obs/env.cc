@@ -64,6 +64,7 @@ Env::Env()
       trace_path_(EnvOr("TOPOGEN_TRACE", "")),
       stats_path_(EnvOr("TOPOGEN_STATS", "")),
       cache_dir_(EnvOr("TOPOGEN_CACHE_DIR", "")),
+      faults_(EnvOr("TOPOGEN_FAULTS", "")),
       threads_override_(EnvInt("TOPOGEN_THREADS")),
       cache_max_mb_(EnvInt("TOPOGEN_CACHE_MAX_MB", 1 << 20)) {
   Epoch();  // pin the trace epoch no later than first configuration use

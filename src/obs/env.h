@@ -15,6 +15,9 @@
 //                            docs/CACHING.md)
 //   TOPOGEN_CACHE_MAX_MB <n> prune the cache to at most n MiB at session
 //                            shutdown (unset/0 = never prune)
+//   TOPOGEN_FAULTS  <spec>   arm deterministic fault injection (builds with
+//                            TOPOGEN_FAULT_POINTS=ON only; grammar and the
+//                            fail-point catalog in docs/ROBUSTNESS.md)
 //
 // The hot-path question "is any of this on?" must cost one relaxed atomic
 // load so instrumented kernels (BFS, generators) stay at native speed when
@@ -49,6 +52,11 @@ class Env {
   // oldest artifacts at session shutdown. 0 means "never prune".
   int cache_max_mb() const { return cache_max_mb_; }
 
+  // TOPOGEN_FAULTS as written; the fault registry (src/fault) arms itself
+  // from the environment directly, this copy exists for --help output and
+  // run provenance. Empty = no injection requested.
+  const std::string& faults() const { return faults_; }
+
   // TOPOGEN_THREADS as written: 0 means "auto" (pick hardware
   // concurrency); >= 1 is an explicit worker count. Unparsable or
   // negative values fall back to 0. The parallel pool owns the
@@ -59,6 +67,7 @@ class Env {
   bool stats_enabled() const { return !stats_path_.empty(); }
   bool outdir_set() const { return !outdir_.empty(); }
   bool cache_enabled() const { return !cache_dir_.empty(); }
+  bool faults_set() const { return !faults_.empty(); }
 
  private:
   Env();
@@ -68,6 +77,7 @@ class Env {
   std::string trace_path_;
   std::string stats_path_;
   std::string cache_dir_;
+  std::string faults_;
   int threads_override_ = 0;
   int cache_max_mb_ = 0;
 };

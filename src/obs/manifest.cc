@@ -52,6 +52,25 @@ struct CacheTally {
   std::uint64_t misses = 0;
 };
 
+struct FaultTally {
+  std::string point;
+  std::uint64_t fires = 0;
+};
+
+struct RetryEntry {
+  std::string id;
+  int attempts = 0;
+};
+
+struct DegradedEntry {
+  std::string kind;
+  std::string id;
+  std::string fail_point;
+  std::string code;
+  std::string message;
+  int attempts = 0;
+};
+
 struct State {
   std::mutex mutex;
   bool armed = false;  // anything recorded => write at exit
@@ -61,6 +80,9 @@ struct State {
   std::optional<RosterConfig> roster;
   std::optional<std::string> cache_dir;  // set = a session resolved a cache
   std::vector<CacheTally> cache_tallies;
+  std::vector<FaultTally> fault_tallies;
+  std::vector<RetryEntry> retries;
+  std::vector<DegradedEntry> degraded;
   std::vector<TopologyEntry> topologies;
   std::vector<FigureEntry> figures;
 
@@ -128,6 +150,45 @@ void Manifest::AddCacheEvent(std::string_view kind, bool hit) {
   CacheTally t{std::string(kind)};
   (hit ? t.hits : t.misses)++;
   s.cache_tallies.push_back(std::move(t));
+}
+
+void Manifest::AddFaultInjected(std::string_view point) {
+  if (!ManifestEnabled()) return;
+  State& s = State::Get();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (FaultTally& t : s.fault_tallies) {
+    if (t.point == point) {
+      ++t.fires;
+      return;
+    }
+  }
+  s.fault_tallies.push_back({std::string(point), 1});
+}
+
+void Manifest::AddRetry(std::string_view id, int attempts) {
+  if (!ManifestEnabled()) return;
+  State& s = State::Get();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (RetryEntry& r : s.retries) {
+    if (r.id == id) {
+      r.attempts = attempts;
+      return;
+    }
+  }
+  s.retries.push_back({std::string(id), attempts});
+  s.armed = true;
+}
+
+void Manifest::AddDegraded(std::string_view kind, std::string_view id,
+                           std::string_view fail_point, std::string_view code,
+                           std::string_view message, int attempts) {
+  if (!ManifestEnabled()) return;
+  State& s = State::Get();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.degraded.push_back({std::string(kind), std::string(id),
+                        std::string(fail_point), std::string(code),
+                        std::string(message), attempts});
+  s.armed = true;
 }
 
 void Manifest::SetRoster(const RosterConfig& roster) {
@@ -228,6 +289,38 @@ bool Manifest::WriteTo(const std::string& path) {
     }
     os << "\n    ]\n  },\n";
   }
+  if (!s.fault_tallies.empty()) {
+    os << "  \"faults_injected\": [";
+    bool first_fault = true;
+    for (const FaultTally& t : s.fault_tallies) {
+      os << (first_fault ? "\n" : ",\n") << "    {\"point\": \""
+         << JsonEscape(t.point) << "\", \"fires\": " << t.fires << "}";
+      first_fault = false;
+    }
+    os << "\n  ],\n";
+  }
+  if (!s.retries.empty()) {
+    os << "  \"retries\": [";
+    bool first_retry = true;
+    for (const RetryEntry& r : s.retries) {
+      os << (first_retry ? "\n" : ",\n") << "    {\"id\": \""
+         << JsonEscape(r.id) << "\", \"attempts\": " << r.attempts << "}";
+      first_retry = false;
+    }
+    os << "\n  ],\n";
+  }
+  // Always present, so a harness can assert degraded == [] on clean runs.
+  os << "  \"degraded\": [";
+  bool first_degraded = true;
+  for (const DegradedEntry& d : s.degraded) {
+    os << (first_degraded ? "\n" : ",\n") << "    {\"kind\": \""
+       << JsonEscape(d.kind) << "\", \"id\": \"" << JsonEscape(d.id)
+       << "\", \"fail_point\": \"" << JsonEscape(d.fail_point)
+       << "\", \"code\": \"" << JsonEscape(d.code) << "\", \"message\": \""
+       << JsonEscape(d.message) << "\", \"attempts\": " << d.attempts << "}";
+    first_degraded = false;
+  }
+  os << "\n  ],\n";
   os << "  \"topologies\": [";
   bool first = true;
   for (const TopologyEntry& t : s.topologies) {
@@ -272,6 +365,9 @@ void Manifest::ResetForTesting() {
   s.roster.reset();
   s.cache_dir.reset();
   s.cache_tallies.clear();
+  s.fault_tallies.clear();
+  s.retries.clear();
+  s.degraded.clear();
   s.topologies.clear();
   s.figures.clear();
 }

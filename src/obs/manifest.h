@@ -48,6 +48,19 @@ class Manifest {
   static void SetCache(std::string_view dir);
   static void AddCacheEvent(std::string_view kind, bool hit);
 
+  // Fault-injection and degradation provenance (docs/ROBUSTNESS.md).
+  // AddFaultInjected tallies one fired fail point (non-arming, like
+  // SetThreads). AddRetry records that a generator needed `attempts`
+  // retries before validating. AddDegraded records a roster slot that
+  // failed past its retry budget and was isolated instead of aborting the
+  // run; a manifest with a non-empty degraded[] belongs to a partial-
+  // success run (exit code 75, see docs/ROBUSTNESS.md).
+  static void AddFaultInjected(std::string_view point);
+  static void AddRetry(std::string_view id, int attempts);
+  static void AddDegraded(std::string_view kind, std::string_view id,
+                          std::string_view fail_point, std::string_view code,
+                          std::string_view message, int attempts);
+
   // Explicit write, used by tests; the process-exit hook writes to
   // <Env::outdir()>/manifest.json when anything was recorded.
   static bool WriteTo(const std::string& path);

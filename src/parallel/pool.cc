@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault/fault.h"
 #include "obs/obs.h"
 
 namespace topogen::parallel {
@@ -72,6 +73,7 @@ struct Pool::Impl {
       {
         DepthGuard depth;
         try {
+          TOPOGEN_FAULT_POINT("parallel.task");
           (*r.fn)(chunk);
         } catch (...) {
           bool expected = false;
@@ -155,7 +157,10 @@ Pool::~Pool() {
 void Pool::SerialRun(std::size_t num_chunks,
                      const std::function<void(std::size_t)>& fn) {
   DepthGuard depth;
-  for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) fn(chunk);
+  for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
+    TOPOGEN_FAULT_POINT("parallel.task");
+    fn(chunk);
+  }
   if (num_chunks > 0) TOPOGEN_COUNT_N("parallel.tasks", num_chunks);
 }
 

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "fault/fault.h"
 #include "obs/obs.h"
 #include "store/hash.h"
 #include "store/serialize.h"
@@ -51,6 +52,15 @@ bool ArtifactStore::Load(std::string_view kind, const Key& key,
   if (!is.is_open()) return false;  // plain miss: nothing stored yet
   std::string file((std::istreambuf_iterator<char>(is)),
                    std::istreambuf_iterator<char>());
+  if (TOPOGEN_FAULT_HIT("store.read.corrupt", path)) {
+    // Flip one body byte before validation; the checksum below must catch
+    // it and demote the load to a miss, never hand back wrong bytes.
+    if (file.size() > kHeaderSize) {
+      file[kHeaderSize + (file.size() - kHeaderSize) / 2] ^= 0x01;
+    } else if (!file.empty()) {
+      file.back() ^= 0x01;
+    }
+  }
   // The entry exists; from here on any mismatch is corruption/staleness,
   // reported as a miss plus a store.corrupt bump so a flaky disk or a
   // format bump is visible in stats.
@@ -80,6 +90,27 @@ bool ArtifactStore::Store(std::string_view kind, const Key& key,
   const std::string path = PathFor(kind, key);
   std::error_code ec;
   fs::create_directories(fs::path(path).parent_path(), ec);
+  if (TOPOGEN_FAULT_HIT("store.write.enospc", path)) {
+    // As if the temp-file write hit a full disk: nothing lands, the
+    // caller sees an ordinary store failure and carries on uncached.
+    TOPOGEN_COUNT("store.write_failed");
+    return false;
+  }
+  // Injected write perversions: a torn write truncates the body but still
+  // renames (a crashed writer whose rename survived), a corrupt write
+  // flips one body byte after the checksum was taken. Either way the
+  // header describes the true payload, so Load() must detect the damage.
+  std::string_view body = payload;
+  std::string corrupted;
+  if (TOPOGEN_FAULT_HIT("store.write.corrupt", path)) {
+    corrupted.assign(payload);
+    if (!corrupted.empty()) corrupted[corrupted.size() / 2] ^= 0x01;
+    body = corrupted;
+  }
+  std::size_t body_len = body.size();
+  if (TOPOGEN_FAULT_HIT("store.write.torn", path)) {
+    body_len = body.size() / 2;
+  }
   const std::string tmp =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
   {
@@ -92,7 +123,7 @@ bool ArtifactStore::Store(std::string_view kind, const Key& key,
     w.U64(payload.size());
     w.U64(Checksum64(payload));
     os.write(header.data(), static_cast<std::streamsize>(header.size()));
-    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    os.write(body.data(), static_cast<std::streamsize>(body_len));
     if (!os.good()) {
       os.close();
       fs::remove(tmp, ec);
@@ -109,6 +140,19 @@ bool ArtifactStore::Store(std::string_view kind, const Key& key,
 }
 
 std::size_t ArtifactStore::Prune(std::uint64_t max_bytes) {
+  // Prune runs at session teardown (a destructor path) over a cache other
+  // processes may be mutating or deleting concurrently. It must never
+  // throw: a vanished directory or file is someone else's prune winning
+  // the race, counted under store.prune_races and otherwise ignored.
+  try {
+    return PruneImpl(max_bytes);
+  } catch (const std::exception&) {
+    TOPOGEN_COUNT("store.prune_races");
+    return 0;
+  }
+}
+
+std::size_t ArtifactStore::PruneImpl(std::uint64_t max_bytes) {
   struct Entry {
     fs::path path;
     fs::file_time_type mtime;
@@ -117,6 +161,8 @@ std::size_t ArtifactStore::Prune(std::uint64_t max_bytes) {
   std::vector<Entry> entries;
   std::uint64_t total = 0;
   std::error_code ec;
+  // A missing root reads as an empty cache: the iterator constructor sets
+  // ec and compares equal to end, so the loop body never runs.
   for (auto it = fs::recursive_directory_iterator(
            root_, fs::directory_options::skip_permission_denied, ec);
        it != fs::recursive_directory_iterator(); it.increment(ec)) {
@@ -135,9 +181,15 @@ std::size_t ArtifactStore::Prune(std::uint64_t max_bytes) {
   std::size_t removed = 0;
   for (const Entry& e : entries) {
     if (total <= max_bytes) break;
+    TOPOGEN_FAULT_POINT_D("store.prune.race", e.path.string());
     if (fs::remove(e.path, ec); !ec) {
       total -= e.size;
       ++removed;
+    } else {
+      // Delete failed under the iterator -- a concurrent process owns
+      // this slot now. Keep going; the entry no longer counts against us.
+      TOPOGEN_COUNT("store.prune_races");
+      total -= e.size;
     }
   }
   TOPOGEN_COUNT_N("store.evicted", removed);

@@ -53,10 +53,14 @@ class ArtifactStore {
   // Eviction: deletes least-recently-modified artifacts until the total
   // size of *.art files under root is <= max_bytes. Returns the number
   // of files deleted. Safe to run on a live cache (a concurrently read
-  // entry simply becomes a miss next run).
+  // entry simply becomes a miss next run). Never throws: the cache is
+  // shared, so another process deleting files -- or the whole root --
+  // mid-prune is an expected race, counted under store.prune_races.
   std::size_t Prune(std::uint64_t max_bytes);
 
  private:
+  std::size_t PruneImpl(std::uint64_t max_bytes);
+
   std::string root_;
 };
 

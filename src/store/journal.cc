@@ -1,8 +1,10 @@
 #include "store/journal.h"
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 
+#include "fault/fault.h"
 #include "obs/obs.h"
 
 namespace topogen::store {
@@ -62,7 +64,23 @@ void Journal::MarkDone(std::string_view job_id, std::string_view artifact_hex) {
     os << "\n";
     seal_partial_line_ = false;
   }
-  os << "v1 done " << job_id << " " << artifact_hex << "\n";
+  std::string line = "v1 done ";
+  line.append(job_id).append(" ").append(artifact_hex).append("\n");
+  if (const auto inj = TOPOGEN_FAULT_HIT("store.journal.append", job_id)) {
+    // Tear the record mid-line: a prefix with no terminator lands on
+    // disk. kind=abort additionally kills the process right there (the
+    // crash-recovery tests' guillotine); any other kind is an in-process
+    // torn write, so later appends must seal this line first, and the
+    // record reads as not-done on resume.
+    const std::string torn = line.substr(0, line.size() / 2);
+    os.write(torn.data(), static_cast<std::streamsize>(torn.size()));
+    os.flush();
+    if (inj->kind == fault::Kind::kAbort) std::_Exit(fault::kCrashExitCode);
+    seal_partial_line_ = true;
+    TOPOGEN_COUNT("store.journal_torn");
+    return;
+  }
+  os << line;
   os.flush();
   TOPOGEN_COUNT("store.journal_appends");
 }

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fault/fault.h"
+
+namespace topogen::fault {
+namespace {
+
+// Every test re-arms from scratch and disarms on exit, so armed rules
+// never leak into other test cases (the registry is process-wide).
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!CompiledIn()) {
+      GTEST_SKIP() << "fault points compiled out (TOPOGEN_FAULT_POINTS=OFF)";
+    }
+    Disarm();
+  }
+  void TearDown() override { Disarm(); }
+};
+
+TEST_F(FaultTest, CatalogNamesAreUniqueAndNamespaced) {
+  std::set<std::string_view> seen;
+  for (const PointInfo& p : RegisteredPoints()) {
+    EXPECT_TRUE(seen.insert(p.name).second) << "duplicate: " << p.name;
+    EXPECT_NE(p.name.find('.'), std::string_view::npos) << p.name;
+    EXPECT_FALSE(p.seam.empty()) << p.name;
+  }
+  EXPECT_GE(seen.size(), 13u);
+}
+
+TEST_F(FaultTest, DisarmedHitsAreInvisible) {
+  EXPECT_FALSE(Hit("store.write.torn").has_value());
+  EXPECT_NO_THROW(ThrowIfArmed("gen.validate"));
+  EXPECT_EQ(HitCount("store.write.torn"), 0u);
+}
+
+TEST_F(FaultTest, BareNameFiresEveryHit) {
+  ArmForTesting("graph.csr.parse");
+  EXPECT_THROW(ThrowIfArmed("graph.csr.parse"), InjectedFault);
+  EXPECT_THROW(ThrowIfArmed("graph.csr.parse"), InjectedFault);
+  EXPECT_EQ(HitCount("graph.csr.parse"), 2u);
+  EXPECT_EQ(FiredCount("graph.csr.parse"), 2u);
+  // Unarmed points stay silent even while another rule is armed.
+  EXPECT_FALSE(Hit("store.write.torn").has_value());
+}
+
+TEST_F(FaultTest, NthFiresExactlyOnce) {
+  ArmForTesting("store.write.torn@nth=3");
+  for (int hit = 1; hit <= 5; ++hit) {
+    const auto injection = Hit("store.write.torn");
+    if (hit == 3) {
+      ASSERT_TRUE(injection.has_value());
+      EXPECT_EQ(injection->kind, Kind::kShortWrite);  // catalog default
+    } else {
+      EXPECT_FALSE(injection.has_value()) << "hit " << hit;
+    }
+  }
+  EXPECT_EQ(HitCount("store.write.torn"), 5u);
+  EXPECT_EQ(FiredCount("store.write.torn"), 1u);
+}
+
+TEST_F(FaultTest, ProbabilityStreamIsSeedReproducible) {
+  const auto pattern = [] {
+    ArmForTesting("store.write.torn@p=0.5,seed=7");
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(Hit("store.write.torn").has_value());
+    }
+    return fired;
+  };
+  const std::vector<bool> first = pattern();
+  const std::vector<bool> second = pattern();
+  EXPECT_EQ(first, second);
+  // p=0.5 over 64 draws fires somewhere strictly between never and always.
+  const std::size_t fires =
+      static_cast<std::size_t>(std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fires, 0u);
+  EXPECT_LT(fires, 64u);
+}
+
+TEST_F(FaultTest, MatchFiltersOnDetailSubstring) {
+  ArmForTesting("gen.validate@match=Inet");
+  EXPECT_NO_THROW(ThrowIfArmed("gen.validate", "PLRG"));
+  EXPECT_NO_THROW(ThrowIfArmed("gen.validate", ""));
+  EXPECT_EQ(HitCount("gen.validate"), 0u);  // non-matching hits don't count
+  EXPECT_THROW(ThrowIfArmed("gen.validate", "Inet"), InjectedFault);
+  EXPECT_EQ(FiredCount("gen.validate"), 1u);
+}
+
+TEST_F(FaultTest, KindOverrideChangesTheInjection) {
+  // A throw-by-default point demoted to a site-interpreted kind...
+  ArmForTesting("graph.csr.parse@kind=corrupt");
+  const auto injection = Hit("graph.csr.parse");
+  ASSERT_TRUE(injection.has_value());
+  EXPECT_EQ(injection->kind, Kind::kCorruptByte);
+  // ...and a short-write point promoted to the crash kind.
+  ArmForTesting("store.journal.append@kind=abort");
+  const auto abort_injection = Hit("store.journal.append");
+  ASSERT_TRUE(abort_injection.has_value());
+  EXPECT_EQ(abort_injection->kind, Kind::kAbort);
+}
+
+TEST_F(FaultTest, DelayFiresButReturnsNothing) {
+  ArmForTesting("store.write.torn@kind=delay,ms=1");
+  EXPECT_FALSE(Hit("store.write.torn").has_value());
+  EXPECT_EQ(FiredCount("store.write.torn"), 1u);
+}
+
+TEST_F(FaultTest, UnknownPointsAndParamsAreSkippedNotFatal) {
+  ArmForTesting("no.such.point;store.write.torn@nth=1;gen.validate@bogus");
+  // The malformed and unknown rules are dropped; the valid one survives.
+  EXPECT_TRUE(Hit("store.write.torn").has_value());
+  EXPECT_NO_THROW(ThrowIfArmed("gen.validate"));
+}
+
+TEST_F(FaultTest, DisarmZeroesCountsAndSilencesPoints) {
+  ArmForTesting("store.write.torn");
+  ASSERT_TRUE(Hit("store.write.torn").has_value());
+  Disarm();
+  EXPECT_FALSE(Hit("store.write.torn").has_value());
+  EXPECT_EQ(HitCount("store.write.torn"), 0u);
+  EXPECT_EQ(FiredCount("store.write.torn"), 0u);
+}
+
+TEST_F(FaultTest, InjectedFaultCarriesTypedProvenance) {
+  ArmForTesting("parallel.task");
+  try {
+    ThrowIfArmed("parallel.task", "chunk 3");
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& e) {
+    EXPECT_EQ(e.error().code, ErrorCode::kInjected);
+    EXPECT_EQ(e.error().fail_point, "parallel.task");
+    EXPECT_NE(std::string(e.what()).find("parallel.task"), std::string::npos);
+  }
+}
+
+TEST(FaultErrorTest, ErrorCodeNamesAreStable) {
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kInjected), "injected");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kRetryExhausted), "retry_exhausted");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kCorrupt), "corrupt");
+}
+
+TEST(FaultErrorTest, ResultCarriesValueOrError) {
+  const Result<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  const Result<int> bad(Error{ErrorCode::kIo, "disk on fire", {}, 0});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, ErrorCode::kIo);
+}
+
+}  // namespace
+}  // namespace topogen::fault

@@ -1,0 +1,193 @@
+// Crash-recovery end-to-end check (docs/ROBUSTNESS.md): a child process
+// running the topology->metrics pipeline is killed mid-journal-append by
+// the store.journal.append fail point (kind=abort, the _Exit guillotine),
+// then the run is resumed in the same directory. The resumed run must
+//
+//   - not trip on the torn journal line (it reads as not-done and is
+//     sealed before the next append),
+//   - skip the work whose journal records survived intact,
+//   - reproduce byte-identical figures to an uninterrupted clean run.
+//
+// A second round does the same under torn (short-write) journal appends
+// without the crash. Usage: session_crash_test <scratch-dir>; the binary
+// re-executes itself via /proc/self/exe in --child mode.
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/session.h"
+#include "fault/fault.h"
+
+namespace fs = std::filesystem;
+using topogen::core::BasicMetrics;
+using topogen::core::Session;
+using topogen::core::SessionOptions;
+
+namespace {
+
+int g_failures = 0;
+
+void Check(bool ok, const std::string& what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+    ++g_failures;
+  }
+}
+
+SessionOptions ChildOptions(const fs::path& dir) {
+  SessionOptions o;
+  o.roster.seed = 9;
+  o.roster.as_nodes = 400;
+  o.roster.rl_expansion_ratio = 3.0;
+  o.roster.plrg_nodes = 1000;
+  o.roster.degree_based_nodes = 800;
+  o.suite.ball.max_centers = 4;
+  o.suite.ball.big_ball_centers = 2;
+  o.suite.expansion.max_sources = 200;
+  o.cache_dir = (dir / "cache").string();
+  o.journal_path = (dir / "journal.log").string();
+  return o;
+}
+
+void PrintSeries(std::FILE* out, const topogen::metrics::Series& s) {
+  std::fprintf(out, "# %s\n", s.name.c_str());
+  for (std::size_t i = 0; i < s.x.size(); ++i) {
+    std::fprintf(out, "%.17g %.17g\n", s.x[i], s.y[i]);
+  }
+}
+
+// The "figure bench" under test: three topologies' basic metrics printed
+// at full precision, plus a cache-stats sidecar the parent inspects.
+int ChildMain(const fs::path& dir) {
+  fs::create_directories(dir);
+  Session session(ChildOptions(dir));
+  std::FILE* out = std::fopen((dir / "figure.txt").string().c_str(), "w");
+  if (out == nullptr) return 2;
+  for (const char* id : {"Tree", "Mesh", "Random"}) {
+    const BasicMetrics& m = session.Metrics(id);
+    std::fprintf(out, "## %s %s\n", id, m.signature.ToString().c_str());
+    PrintSeries(out, m.expansion);
+    PrintSeries(out, m.resilience);
+    PrintSeries(out, m.distortion);
+  }
+  std::fclose(out);
+  std::FILE* stats = std::fopen((dir / "stats.txt").string().c_str(), "w");
+  if (stats == nullptr) return 2;
+  std::fprintf(stats, "journal_skips %llu\nmetrics_hits %llu\n",
+               static_cast<unsigned long long>(
+                   session.cache_stats().journal_skips),
+               static_cast<unsigned long long>(
+                   session.cache_stats().metrics_hits));
+  std::fclose(stats);
+  return 0;
+}
+
+// This binary's own path, resolved before any re-exec ("/proc/self/exe"
+// cannot appear in the std::system command line -- there it would name
+// the shell).
+std::string g_self;
+
+// Runs this binary in --child mode; returns the exit status (or -1 for an
+// abnormal death that is not a plain exit).
+int RunChild(const fs::path& dir, const std::string& faults) {
+  const std::string cmd =
+      (faults.empty() ? std::string() : "TOPOGEN_FAULTS='" + faults + "' ") +
+      "'" + g_self + "' --child '" + dir.string() + "' >> '" +
+      (dir.parent_path() / "child.log").string() + "' 2>&1";
+  const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string FileBytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string StatLine(const fs::path& dir, const std::string& key) {
+  std::ifstream in(dir / "stats.txt");
+  std::string k, v;
+  while (in >> k >> v) {
+    if (k == key) return v;
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[1]) == "--child") {
+    return ChildMain(argv[2]);
+  }
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <scratch-dir>\n", argv[0]);
+    return 2;
+  }
+  if (!topogen::fault::CompiledIn()) {
+    std::printf("session crash test skipped: fault points compiled out\n");
+    return 0;
+  }
+  std::error_code ec;
+  g_self = fs::read_symlink("/proc/self/exe", ec).string();
+  if (ec) g_self = argv[0];
+  const fs::path root = argv[1];
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  // 1. Uninterrupted reference run.
+  const fs::path clean = root / "clean";
+  fs::create_directories(clean);
+  Check(RunChild(clean, "") == 0, "clean run should exit 0");
+  const std::string reference = FileBytes(clean / "figure.txt");
+  Check(!reference.empty(), "clean run should produce a figure");
+
+  // 2. Crash mid-journal-append: the third append (topology/Tree,
+  //    metrics/Tree, then topology/Mesh) flushes half its line and _Exits.
+  const fs::path crashed = root / "crashed";
+  fs::create_directories(crashed);
+  const int crash_rc =
+      RunChild(crashed, "store.journal.append@kind=abort,nth=3");
+  Check(crash_rc == topogen::fault::kCrashExitCode,
+        "crashed run should exit with the injected-crash code, got " +
+            std::to_string(crash_rc));
+
+  // 3. Resume in the same directory: the torn line is sealed and ignored,
+  //    intact records are skipped, figures match the clean run exactly.
+  Check(RunChild(crashed, "") == 0, "resumed run should exit 0");
+  Check(FileBytes(crashed / "figure.txt") == reference,
+        "resumed figure must be byte-identical to the clean run");
+  // Tree's metrics record survived intact, so its whole pipeline is one
+  // journal skip (a metrics skip never re-materializes the topology).
+  // Mesh's topology record was the torn line: its artifact still serves
+  // from the store as a plain warm hit, just without the skip.
+  Check(StatLine(crashed, "journal_skips") == "1",
+        "resume should skip the intact journal record, skipped " +
+            StatLine(crashed, "journal_skips"));
+  Check(StatLine(crashed, "metrics_hits") == "1",
+        "resume should warm-hit exactly Tree's stored metrics artifact");
+
+  // 4. Torn (short-write) journal appends without a crash: the writing
+  //    run seals its own torn lines and still exits clean...
+  const fs::path torn = root / "torn";
+  fs::create_directories(torn);
+  Check(RunChild(torn, "store.journal.append@kind=short,nth=2") == 0,
+        "torn-journal run should exit 0");
+  Check(FileBytes(torn / "figure.txt") == reference,
+        "torn-journal figure must match the clean run");
+  // ...and a rerun over the scarred journal resumes to identical bytes.
+  Check(RunChild(torn, "") == 0, "rerun over torn journal should exit 0");
+  Check(FileBytes(torn / "figure.txt") == reference,
+        "rerun figure must match the clean run");
+
+  if (g_failures == 0) {
+    std::printf("session crash recovery OK\n");
+    return 0;
+  }
+  return 1;
+}

@@ -1,0 +1,299 @@
+// Graceful-degradation tests for the generation->metrics->store pipeline
+// (docs/ROBUSTNESS.md): injected faults at every layer must either be
+// retried into success, isolated into a recorded degraded slot, or
+// demoted to a cache miss -- never crash the run or change result bytes.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/roster.h"
+#include "core/session.h"
+#include "core/suite.h"
+#include "fault/fault.h"
+#include "gen/degree_seq.h"
+#include "gen/transit_stub.h"
+#include "graph/components.h"
+#include "graph/rng.h"
+#include "obs/obs.h"
+
+namespace topogen::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path FreshDir(const char* name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+SessionOptions SmallOptions(const std::string& cache_dir = {}) {
+  SessionOptions o;
+  o.roster.seed = 9;
+  o.roster.as_nodes = 400;
+  o.roster.rl_expansion_ratio = 3.0;
+  o.roster.plrg_nodes = 1000;
+  o.roster.degree_based_nodes = 800;
+  o.suite.ball.max_centers = 4;
+  o.suite.ball.big_ball_centers = 2;
+  o.suite.expansion.max_sources = 200;
+  o.link_value.max_sources = 120;
+  o.cache_dir = cache_dir;
+  return o;
+}
+
+void ExpectSameSeries(const metrics::Series& a, const metrics::Series& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.x, b.x);  // exact doubles: degraded-path recompute == clean
+  EXPECT_EQ(a.y, b.y);
+}
+
+void ExpectSameMetrics(const BasicMetrics& a, const BasicMetrics& b) {
+  ExpectSameSeries(a.expansion, b.expansion);
+  ExpectSameSeries(a.resilience, b.resilience);
+  ExpectSameSeries(a.distortion, b.distortion);
+  EXPECT_EQ(a.signature, b.signature);
+}
+
+class SessionFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fault::CompiledIn()) {
+      GTEST_SKIP() << "fault points compiled out (TOPOGEN_FAULT_POINTS=OFF)";
+    }
+    fault::Disarm();
+  }
+  void TearDown() override { fault::Disarm(); }
+};
+
+TEST_F(SessionFaultTest, ExhaustedGeneratorDegradesOnlyItsSlot) {
+  Session session(SmallOptions());
+  // Every validation of Mesh fails: 3 attempts with derived seeds, then
+  // the slot degrades. Other roster ids are untouched.
+  fault::ArmForTesting("gen.validate@match=Mesh");
+  const std::vector<Session::MetricsRequest> requests = {
+      {"Tree"}, {"Mesh"}, {"Random"}};
+  const auto results = session.MetricsBatch(requests);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_NE(results[0], nullptr);
+  EXPECT_EQ(results[1], nullptr);
+  EXPECT_NE(results[2], nullptr);
+
+  ASSERT_EQ(session.degraded().size(), 1u);
+  const DegradedSlot& slot = session.degraded()[0];
+  EXPECT_EQ(slot.kind, "topology");
+  EXPECT_EQ(slot.id, "Mesh");
+  EXPECT_EQ(slot.error.code, ErrorCode::kRetryExhausted);
+  EXPECT_EQ(slot.error.fail_point, "gen.validate");
+  EXPECT_EQ(slot.error.attempts, 3);
+  EXPECT_GE(Session::TotalDegraded(), 1u);
+
+  // The throwing accessor surfaces the same typed error...
+  EXPECT_THROW(session.Metrics("Mesh"), core::Exception);
+  EXPECT_EQ(session.TryMetrics("Mesh"), nullptr);
+  // ...and a disarmed retry in a fresh session is healthy again.
+  fault::Disarm();
+  Session healthy(SmallOptions());
+  EXPECT_NE(healthy.TryMetrics("Mesh"), nullptr);
+}
+
+TEST_F(SessionFaultTest, TransientFailureIsRetriedIntoSuccess) {
+  Session session(SmallOptions());
+  // Exactly the first validation of Tree fails; the retry draws a derived
+  // seed and passes, so the caller never notices.
+  fault::ArmForTesting("gen.validate@match=Tree,nth=1");
+  const BasicMetrics* m = session.TryMetrics("Tree");
+  ASSERT_NE(m, nullptr);
+  EXPECT_TRUE(session.degraded().empty());
+  EXPECT_EQ(fault::FiredCount("gen.validate"), 1u);
+}
+
+TEST_F(SessionFaultTest, SuiteIsolatesOneFailingJobPerSlot) {
+  const Topology tree = MakeTree(SmallOptions().roster);
+  const Topology mesh = MakeMesh(SmallOptions().roster);
+  const SuiteOptions so = SmallOptions().suite;
+  const std::vector<SuiteJob> jobs = {{&tree, so}, {&mesh, so}};
+
+  fault::ArmForTesting("suite.metrics@match=Mesh");
+  const auto results = RunBasicMetricsBatchIsolated(jobs);
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[0].value().expansion.x.empty());
+  ASSERT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].error().code, ErrorCode::kInjected);
+  EXPECT_EQ(results[1].error().fail_point, "suite.metrics");
+}
+
+TEST_F(SessionFaultTest, PoolBoundaryFailureDegradesTheBatchNotTheRun) {
+  Session session(SmallOptions());
+  fault::ArmForTesting("parallel.task@nth=1");
+  const std::vector<Session::MetricsRequest> requests = {{"Tree"}, {"Mesh"}};
+  const auto results = session.MetricsBatch(requests);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0], nullptr);
+  EXPECT_EQ(results[1], nullptr);
+  EXPECT_EQ(session.degraded().size(), 2u);
+  for (const DegradedSlot& slot : session.degraded()) {
+    EXPECT_EQ(slot.kind, "metrics");
+    EXPECT_EQ(slot.error.fail_point, "parallel.task");
+  }
+  // The Session itself survives: once the fault passes, the same ids
+  // compute normally.
+  fault::Disarm();
+  EXPECT_NE(session.TryMetrics("Tree"), nullptr);
+}
+
+TEST_F(SessionFaultTest, TransitStubPatchesConnectivityWhenRetriesExhaust) {
+  // Every draw is voted disconnected, exhausting all G(n,p) retries and
+  // forcing the deterministic patch pass -- which must still produce a
+  // connected graph.
+  fault::ArmForTesting("gen.ts.connect");
+  graph::Rng rng(7);
+  gen::TransitStubParams params;
+  params.num_transit_domains = 3;
+  params.nodes_per_transit_domain = 4;
+  params.stubs_per_transit_node = 1;
+  params.nodes_per_stub_domain = 5;
+  const graph::Graph g = gen::TransitStub(params, rng);
+  EXPECT_GT(fault::FiredCount("gen.ts.connect"), 0u);
+  EXPECT_TRUE(graph::IsConnected(g));
+  EXPECT_GT(g.num_edges(), 0u);
+}
+
+TEST_F(SessionFaultTest, DegreeRealizationRetriesOnDerivedStream) {
+  const std::vector<std::uint32_t> degrees(64, 3);
+  {
+    // First realization check fails; the retry reseeds from a derived
+    // stream and succeeds.
+    fault::ArmForTesting("gen.realize@nth=1");
+    graph::Rng rng(11);
+    const graph::Graph g = gen::RealizeDegreeSequence(
+        degrees, gen::ConnectMethod::kPlrgMatching, rng, true, "plrg");
+    EXPECT_GT(g.num_edges(), 0u);
+    EXPECT_EQ(fault::FiredCount("gen.realize"), 1u);
+  }
+  {
+    // Every attempt fails: the typed exhaustion error carries the fail
+    // point and attempt count.
+    fault::ArmForTesting("gen.realize");
+    graph::Rng rng(11);
+    try {
+      gen::RealizeDegreeSequence(degrees, gen::ConnectMethod::kPlrgMatching,
+                                 rng, true, "plrg");
+      FAIL() << "expected retry exhaustion";
+    } catch (const core::Exception& e) {
+      EXPECT_EQ(e.error().code, ErrorCode::kRetryExhausted);
+      EXPECT_EQ(e.error().fail_point, "gen.realize");
+      EXPECT_GT(e.error().attempts, 1);
+    }
+  }
+}
+
+TEST_F(SessionFaultTest, CorruptCsrArtifactDemotesToRecompute) {
+  const fs::path dir = FreshDir("topogen_fault_csr");
+  const SessionOptions opts = SmallOptions(dir.string());
+  std::vector<graph::Edge> cold_edges;
+  {
+    Session cold(opts);
+    cold_edges = cold.Topology("Tree").graph.edges();
+  }
+  {
+    // The warm load's CSR parse rejects the blob: a miss, a regenerate,
+    // and identical edges -- not a crash, not a wrong graph.
+    fault::ArmForTesting("graph.csr.parse@nth=1");
+    Session warm(opts);
+    const core::Topology& tree = warm.Topology("Tree");
+    EXPECT_EQ(warm.cache_stats().topology_misses, 1u);
+    EXPECT_EQ(warm.cache_stats().topology_hits, 0u);
+    EXPECT_EQ(tree.graph.edges(), cold_edges);
+  }
+  fs::remove_all(dir);
+}
+
+TEST_F(SessionFaultTest, StoreFaultsNeverChangeResultBytes) {
+  const fs::path dir = FreshDir("topogen_fault_store_bytes");
+  const SessionOptions opts = SmallOptions(dir.string());
+  BasicMetrics cold;
+  {
+    Session session(opts);
+    cold = session.Metrics("Mesh");
+  }
+  {
+    // Every artifact read is corrupted in flight: everything demotes to a
+    // miss and recomputes to the exact same bytes.
+    fault::ArmForTesting("store.read.corrupt");
+    Session session(opts);
+    ExpectSameMetrics(session.Metrics("Mesh"), cold);
+    EXPECT_EQ(session.cache_stats().metrics_hits, 0u);
+    EXPECT_TRUE(session.degraded().empty());
+  }
+  const fs::path torn_dir = FreshDir("topogen_fault_store_torn");
+  const SessionOptions torn_opts = SmallOptions(torn_dir.string());
+  {
+    // Every artifact write is torn: the computing run is unaffected (it
+    // returns its in-memory results)...
+    fault::ArmForTesting("store.write.torn");
+    Session session(torn_opts);
+    ExpectSameMetrics(session.Metrics("Mesh"), cold);
+  }
+  fault::Disarm();
+  {
+    // ...and the next clean run sees only misses from the torn artifacts,
+    // recomputing to identical bytes.
+    Session session(torn_opts);
+    ExpectSameMetrics(session.Metrics("Mesh"), cold);
+    EXPECT_EQ(session.cache_stats().metrics_hits, 0u);
+  }
+  fs::remove_all(dir);
+  fs::remove_all(torn_dir);
+}
+
+TEST_F(SessionFaultTest, ManifestRecordsDegradedSlots) {
+  const fs::path dir = FreshDir("topogen_fault_manifest");
+  fs::create_directories(dir);
+  ::setenv("TOPOGEN_OUTDIR", dir.string().c_str(), 1);
+  obs::Env::ResetForTesting();
+  obs::Manifest::ResetForTesting();
+  obs::Manifest::AddFigure("f0", "placeholder");  // arm the manifest
+
+  fault::ArmForTesting("gen.validate@match=Mesh");
+  Session session(SmallOptions());
+  EXPECT_EQ(session.TryMetrics("Mesh"), nullptr);
+  fault::Disarm();
+
+  const fs::path manifest = dir / "manifest.json";
+  ASSERT_TRUE(obs::Manifest::WriteTo(manifest.string()));
+  std::ifstream in(manifest);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("\"degraded\""), std::string::npos);
+  EXPECT_NE(json.find("\"gen.validate\""), std::string::npos);
+  EXPECT_NE(json.find("\"retry_exhausted\""), std::string::npos);
+  EXPECT_NE(json.find("\"Mesh\""), std::string::npos);
+  EXPECT_NE(json.find("\"faults_injected\""), std::string::npos);
+
+  ::unsetenv("TOPOGEN_OUTDIR");
+  obs::Env::ResetForTesting();
+  obs::Manifest::ResetForTesting();
+  fs::remove_all(dir);
+}
+
+TEST_F(SessionFaultTest, RetryExhaustionPointForcesDegradation) {
+  // gen.retry.exhausted fires at the top of every attempt, so all three
+  // attempts die before generating anything.
+  Session session(SmallOptions());
+  fault::ArmForTesting("gen.retry.exhausted@match=Random");
+  EXPECT_EQ(session.TryMetrics("Random"), nullptr);
+  ASSERT_EQ(session.degraded().size(), 1u);
+  EXPECT_EQ(session.degraded()[0].error.code, ErrorCode::kRetryExhausted);
+  EXPECT_EQ(fault::FiredCount("gen.retry.exhausted"), 3u);
+}
+
+}  // namespace
+}  // namespace topogen::core

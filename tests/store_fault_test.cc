@@ -1,0 +1,160 @@
+// Chaos tests for the store layer: every injected write/read fault must
+// demote the artifact to a cache miss -- never hand back wrong bytes --
+// and the journal/prune seams must stay crash- and race-safe.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "fault/fault.h"
+#include "store/artifact.h"
+#include "store/hash.h"
+#include "store/journal.h"
+
+namespace topogen::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StoreFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fault::CompiledIn()) {
+      GTEST_SKIP() << "fault points compiled out (TOPOGEN_FAULT_POINTS=OFF)";
+    }
+    fault::Disarm();
+    root_ = fs::temp_directory_path() /
+            ("topogen_store_fault_" + std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(root_);
+  }
+  void TearDown() override {
+    fault::Disarm();
+    fs::remove_all(root_);
+  }
+
+  fs::path root_;
+};
+
+TEST_F(StoreFaultTest, TornWriteDemotesToMissThenRecovers) {
+  ArtifactStore store(root_.string());
+  const Key key = KeyHasher().Mix("torn").Finish();
+  const std::string payload = "the quick brown fox jumps over the lazy dog";
+
+  fault::ArmForTesting("store.write.torn@nth=1");
+  EXPECT_TRUE(store.Store("topology", key, payload));  // rename still lands
+  EXPECT_EQ(fault::FiredCount("store.write.torn"), 1u);
+  std::string loaded = "sentinel";
+  EXPECT_FALSE(store.Load("topology", key, loaded));  // truncated body: miss
+
+  // The recompute path overwrites the torn entry with good bytes.
+  EXPECT_TRUE(store.Store("topology", key, payload));
+  ASSERT_TRUE(store.Load("topology", key, loaded));
+  EXPECT_EQ(loaded, payload);
+}
+
+TEST_F(StoreFaultTest, EnospcFailsTheWriteCleanly) {
+  ArtifactStore store(root_.string());
+  const Key key = KeyHasher().Mix("enospc").Finish();
+
+  fault::ArmForTesting("store.write.enospc@nth=1");
+  EXPECT_FALSE(store.Store("metrics", key, "payload"));
+  EXPECT_FALSE(store.Contains("metrics", key));
+
+  // The disk "recovers": the same store object keeps working.
+  EXPECT_TRUE(store.Store("metrics", key, "payload"));
+  std::string loaded;
+  ASSERT_TRUE(store.Load("metrics", key, loaded));
+  EXPECT_EQ(loaded, "payload");
+}
+
+TEST_F(StoreFaultTest, CorruptedWriteIsCaughtByTheChecksum) {
+  ArtifactStore store(root_.string());
+  const Key key = KeyHasher().Mix("corrupt-write").Finish();
+
+  fault::ArmForTesting("store.write.corrupt@nth=1");
+  EXPECT_TRUE(store.Store("metrics", key, "precious payload bytes"));
+  fault::Disarm();
+
+  // The flipped byte went to disk under the true payload's checksum, so
+  // the load must reject it rather than return wrong bytes.
+  std::string loaded = "sentinel";
+  EXPECT_FALSE(store.Load("metrics", key, loaded));
+  EXPECT_TRUE(store.Store("metrics", key, "precious payload bytes"));
+  ASSERT_TRUE(store.Load("metrics", key, loaded));
+  EXPECT_EQ(loaded, "precious payload bytes");
+}
+
+TEST_F(StoreFaultTest, CorruptedReadIsAMissNotWrongBytes) {
+  ArtifactStore store(root_.string());
+  const Key key = KeyHasher().Mix("corrupt-read").Finish();
+  const std::string payload = "bytes that must round-trip exactly";
+  ASSERT_TRUE(store.Store("topology", key, payload));
+
+  fault::ArmForTesting("store.read.corrupt@nth=1");
+  std::string loaded = "sentinel";
+  EXPECT_FALSE(store.Load("topology", key, loaded));
+  EXPECT_EQ(fault::FiredCount("store.read.corrupt"), 1u);
+
+  // The on-disk artifact was never touched: the next read is clean.
+  ASSERT_TRUE(store.Load("topology", key, loaded));
+  EXPECT_EQ(loaded, payload);
+}
+
+TEST_F(StoreFaultTest, TornJournalAppendSealsAndReRuns) {
+  fs::create_directories(root_);
+  const std::string path = (root_ / "journal.log").string();
+  {
+    Journal j(path);
+    fault::ArmForTesting("store.journal.append@nth=1");
+    j.MarkDone("topology/torn", "00aa");
+    // In-process bookkeeping keeps the id (the artifact really exists)...
+    EXPECT_TRUE(j.IsDone("topology/torn"));
+    // ...and the next append must seal the partial line, not merge.
+    j.MarkDone("metrics/clean", "00bb");
+  }
+  fault::Disarm();
+  Journal resumed(path);
+  // The torn record reads as not-done (job re-runs on resume); the sealed
+  // one survives.
+  EXPECT_FALSE(resumed.IsDone("topology/torn"));
+  EXPECT_TRUE(resumed.IsDone("metrics/clean"));
+  EXPECT_EQ(resumed.resumed_count(), 1u);
+}
+
+TEST_F(StoreFaultTest, PruneSurvivesInjectedRace) {
+  ArtifactStore store(root_.string());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(store.Store("topology", KeyHasher().Mix("p").Mix(i).Finish(),
+                            std::string(512, 'x')));
+  }
+  // The injected throw unwinds PruneImpl mid-eviction; the public Prune
+  // contract (never throws, destructor-safe) must absorb it.
+  fault::ArmForTesting("store.prune.race@nth=1");
+  EXPECT_NO_THROW(store.Prune(0));
+  fault::Disarm();
+  // A retry finishes the eviction.
+  store.Prune(0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(store.Contains("topology",
+                                KeyHasher().Mix("p").Mix(i).Finish()));
+  }
+}
+
+TEST(StorePruneTest, VanishedCacheDirIsEmptyNotFatal) {
+  // No fault injection involved: the directory genuinely disappears
+  // between construction and Prune (another process pruned it, tmpwatch,
+  // a container teardown). Must behave as an empty cache.
+  const fs::path root = fs::temp_directory_path() / "topogen_prune_vanish";
+  fs::remove_all(root);
+  ArtifactStore store(root.string());
+  ASSERT_TRUE(store.Store("topology", KeyHasher().Mix("v").Finish(), "x"));
+  fs::remove_all(root);
+  std::size_t deleted = 1;
+  EXPECT_NO_THROW(deleted = store.Prune(0));
+  EXPECT_EQ(deleted, 0u);
+}
+
+}  // namespace
+}  // namespace topogen::store
