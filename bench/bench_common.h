@@ -22,6 +22,10 @@
 //   TOPOGEN_CACHE_MAX_MB <n>     prune cache to n MiB at exit (0 = never)
 //   TOPOGEN_FAULTS       <spec>  deterministic fault injection
 //                                (docs/ROBUSTNESS.md)
+//   TOPOGEN_HIST         1       latency histograms (p50/p90/p99/max) in
+//                                the stats dump and manifest
+//   TOPOGEN_EVENTS       <file|1> JSONL runtime event log; 1 = events.jsonl
+//                                under TOPOGEN_OUTDIR
 //
 // Exit codes: 0 = success, 1 = figure/paper mismatch, 75 = partial
 // success (some roster slots degraded; see bench::Finish and
@@ -156,6 +160,12 @@ inline void PrintEnvHelp(const char* argv0) {
                   ? "deterministic fault injection spec"
                   : "fault injection (needs -DTOPOGEN_FAULT_POINTS=ON)",
               env.faults_set() ? env.faults().c_str() : "off");
+  std::printf("  %-21s %s [%s]\n", "TOPOGEN_HIST",
+              "latency histograms in stats dump + manifest",
+              env.hist_enabled() ? "on" : "off");
+  std::printf("  %-21s %s [%s]\n", "TOPOGEN_EVENTS",
+              "JSONL event log (1 = events.jsonl under outdir)",
+              env.events_enabled() ? env.events_path().c_str() : "off");
   std::printf(
       "\nSee docs/CACHING.md, docs/OBSERVABILITY.md, docs/ROBUSTNESS.md.\n");
 }
@@ -186,15 +196,23 @@ inline constexpr int kPartialSuccessExitCode = 75;
 // never opened a Session pass through untouched.
 inline int Finish(int rc) {
   const std::uint64_t degraded = core::Session::TotalDegraded();
+  int out = rc;
   if (degraded > 0) {
     std::fprintf(stderr,
                  "# bench: %llu roster slot(s) degraded; figures are "
                  "partial (exit %d)\n",
                  static_cast<unsigned long long>(degraded),
                  kPartialSuccessExitCode);
-    if (rc == 0) return kPartialSuccessExitCode;
+    if (rc == 0) out = kPartialSuccessExitCode;
   }
-  return rc;
+  obs::Event("run_end").I64("exit", out).U64("degraded", degraded);
+  if (degraded > 0) {
+    // A partial-success run must leave complete artifacts even if exit
+    // handlers are later disturbed; flush trace/stats/events here, not
+    // only from static destructors.
+    obs::FlushRunArtifacts();
+  }
+  return out;
 }
 
 }  // namespace topogen::bench

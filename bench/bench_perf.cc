@@ -4,14 +4,16 @@
 // paper figures -- they size the cost of the figure harness.
 //
 // Besides the console table, every run writes a machine-readable
-// BENCH.json (schema topogen-bench/1) next to the working directory --
+// BENCH.json (schema topogen-bench/2) next to the working directory --
 // override the path with TOPOGEN_BENCH_JSON. Each record carries the
-// kernel id, graph family, node count, thread count, ns/op, and the
-// bytes the BFS engine allocated per op (graph.bfs_alloc_bytes delta;
-// ~0 in steady state is the zero-allocation contract, see
-// docs/PERFORMANCE.md). CI smoke-validates the file and archives it;
-// BENCH_PR3.json in the repo root pins the numbers this schema shipped
-// with.
+// kernel id, graph family, node count, thread count, ns/op, per-iteration
+// latency percentiles (p50/p90/p99/max, from a local obs::Histogram over
+// the timed loop), and the bytes the BFS engine allocated per op
+// (graph.bfs_alloc_bytes delta; ~0 in steady state is the zero-allocation
+// contract, see docs/PERFORMANCE.md). CI smoke-validates the file, diffs
+// it against the committed baseline with tools/benchdiff (the perf-gate
+// job), and archives it; BENCH_PR6.json in the repo root pins the numbers
+// this schema shipped with.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
@@ -34,6 +36,7 @@
 #include "metrics/ball.h"
 #include "metrics/expansion.h"
 #include "metrics/resilience.h"
+#include "obs/histogram.h"
 #include "obs/stats.h"
 #include "parallel/pool.h"
 
@@ -115,6 +118,10 @@ struct BenchRecord {
   std::int64_t threads = 1;
   double ns_per_op = 0.0;
   double bytes_alloc_per_op = 0.0;
+  double p50_ns = 0.0;
+  double p90_ns = 0.0;
+  double p99_ns = 0.0;
+  double max_ns = 0.0;
 };
 
 std::uint64_t BfsBytesNow() {
@@ -129,6 +136,43 @@ void ReportBfsBytes(benchmark::State& state, std::uint64_t bytes_before) {
       benchmark::Counter(static_cast<double>(BfsBytesNow() - bytes_before),
                          benchmark::Counter::kAvgIterations);
 }
+
+// Per-iteration latency distribution: BENCH_TIMED_LOOP drops every
+// timed-loop pass into a local log-bucketed histogram, and the
+// destructor lifts p50/p90/p99/max into counters the JSON reporter
+// carries into BENCH.json -- the tail behavior a mean-only ns/op column
+// cannot show, and what the perf gate's percentile columns diff against
+// the baseline. google-benchmark calls the function repeatedly while
+// estimating the iteration count; each call rebuilds the histogram, so
+// the counters that survive describe the final (reported) run.
+class IterLatency {
+ public:
+  explicit IterLatency(benchmark::State& state) : state_(state) {}
+  ~IterLatency() {
+    if (hist.count() == 0) return;
+    state_.counters["p50_ns"] =
+        static_cast<double>(hist.ValueAtQuantile(0.50));
+    state_.counters["p90_ns"] =
+        static_cast<double>(hist.ValueAtQuantile(0.90));
+    state_.counters["p99_ns"] =
+        static_cast<double>(hist.ValueAtQuantile(0.99));
+    state_.counters["max_ns"] = static_cast<double>(hist.max());
+  }
+  obs::Histogram hist;
+
+ private:
+  benchmark::State& state_;
+};
+
+// Drop-in replacement for `for (auto _ : state)` that also records each
+// iteration's wall time (two steady_clock reads per pass, tens of ns --
+// noise next to the microsecond-scale kernels benchmarked here).
+#define BENCH_TIMED_LOOP(state)                              \
+  IterLatency topogen_iter_latency(state);                   \
+  for (auto _ : state)                                       \
+    if (::topogen::obs::ScopedTimer topogen_iter_timer(      \
+            &topogen_iter_latency.hist);                     \
+        true)
 
 class JsonTeeReporter : public benchmark::ConsoleReporter {
  public:
@@ -155,6 +199,20 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
           it != run.counters.end()) {
         rec.bytes_alloc_per_op = it->second.value;
       }
+      // Per-iteration latency percentiles published by BENCH_TIMED_LOOP.
+      // Already in ns (IterLatency records raw nanoseconds), so no time
+      // unit normalization applies.
+      const std::pair<const char*, double BenchRecord::*> kLatency[] = {
+          {"p50_ns", &BenchRecord::p50_ns},
+          {"p90_ns", &BenchRecord::p90_ns},
+          {"p99_ns", &BenchRecord::p99_ns},
+          {"max_ns", &BenchRecord::max_ns},
+      };
+      for (const auto& [key, field] : kLatency) {
+        if (auto it = run.counters.find(key); it != run.counters.end()) {
+          rec.*field = it->second.value;
+        }
+      }
       // Runs report in their declared time unit; normalize to ns.
       double to_ns = 1.0;
       switch (run.time_unit) {
@@ -180,7 +238,7 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
   bool WriteJson(const std::string& path) const {
     std::ofstream os(path);
     if (!os.is_open()) return false;
-    os << "{\n  \"schema\": \"topogen-bench/1\",\n";
+    os << "{\n  \"schema\": \"topogen-bench/2\",\n";
     os << "  \"created_unix\": " << static_cast<long long>(std::time(nullptr))
        << ",\n";
     os << "  \"host_threads\": " << HostThreads() << ",\n";
@@ -192,7 +250,9 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
          << "\", \"family\": \"" << r.family << "\", \"n\": " << r.n
          << ", \"threads\": " << r.threads << ", \"ns_per_op\": "
          << r.ns_per_op << ", \"bytes_alloc_per_op\": "
-         << r.bytes_alloc_per_op << "}";
+         << r.bytes_alloc_per_op << ",\n     \"p50_ns\": " << r.p50_ns
+         << ", \"p90_ns\": " << r.p90_ns << ", \"p99_ns\": " << r.p99_ns
+         << ", \"max_ns\": " << r.max_ns << "}";
       first = false;
     }
     os << "\n  ]\n}\n";
@@ -208,7 +268,7 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
 // --- generation -------------------------------------------------------
 
 void BM_GeneratePlrg(benchmark::State& state) {
-  for (auto _ : state) {
+  BENCH_TIMED_LOOP(state) {
     graph::Rng rng(1);
     gen::PlrgParams p;
     p.n = static_cast<graph::NodeId>(state.range(0));
@@ -219,7 +279,7 @@ void BM_GeneratePlrg(benchmark::State& state) {
 BENCHMARK(BM_GeneratePlrg)->Arg(2000)->Arg(10000);
 
 void BM_GenerateTransitStub(benchmark::State& state) {
-  for (auto _ : state) {
+  BENCH_TIMED_LOOP(state) {
     graph::Rng rng(1);
     benchmark::DoNotOptimize(gen::TransitStub({}, rng).num_edges());
   }
@@ -227,7 +287,7 @@ void BM_GenerateTransitStub(benchmark::State& state) {
 BENCHMARK(BM_GenerateTransitStub);
 
 void BM_GenerateTiers(benchmark::State& state) {
-  for (auto _ : state) {
+  BENCH_TIMED_LOOP(state) {
     graph::Rng rng(1);
     benchmark::DoNotOptimize(gen::Tiers({}, rng).num_edges());
   }
@@ -235,7 +295,7 @@ void BM_GenerateTiers(benchmark::State& state) {
 BENCHMARK(BM_GenerateTiers);
 
 void BM_GenerateWaxman(benchmark::State& state) {
-  for (auto _ : state) {
+  BENCH_TIMED_LOOP(state) {
     graph::Rng rng(1);
     gen::WaxmanParams p;
     p.n = 2000;
@@ -260,7 +320,7 @@ void BM_Bfs(benchmark::State& state) {
       MakeBenchPlrg(static_cast<graph::NodeId>(state.range(0)), 2);
   graph::NodeId src = 0;
   const std::uint64_t bytes = BfsBytesNow();
-  for (auto _ : state) {
+  BENCH_TIMED_LOOP(state) {
     benchmark::DoNotOptimize(graph::BfsDistances(g, src));
     src = (src + 17) % g.num_nodes();
   }
@@ -277,7 +337,7 @@ void BM_BfsDistancesInto(benchmark::State& state) {
   graph::BfsScratchLease scratch = graph::AcquireBfsScratch();
   graph::NodeId src = 0;
   const std::uint64_t bytes = BfsBytesNow();
-  for (auto _ : state) {
+  BENCH_TIMED_LOOP(state) {
     graph::BfsDistancesInto(g, src, *scratch);
     benchmark::DoNotOptimize(scratch->reached());
     src = (src + 17) % g.num_nodes();
@@ -299,7 +359,7 @@ void BM_BfsDense(benchmark::State& state) {
       64.0 / static_cast<double>(state.range(0)), rng);
   graph::NodeId src = 0;
   const std::uint64_t bytes = BfsBytesNow();
-  for (auto _ : state) {
+  BENCH_TIMED_LOOP(state) {
     benchmark::DoNotOptimize(graph::BfsDistances(g, src));
     src = (src + 17) % g.num_nodes();
   }
@@ -316,7 +376,7 @@ void BM_Ball(benchmark::State& state) {
   const auto radius = static_cast<graph::Dist>(state.range(0));
   graph::NodeId center = 0;
   const std::uint64_t bytes = BfsBytesNow();
-  for (auto _ : state) {
+  BENCH_TIMED_LOOP(state) {
     benchmark::DoNotOptimize(graph::Ball(g, center, radius).size());
     center = (center + 17) % g.num_nodes();
   }
@@ -332,7 +392,7 @@ void BM_BallInto(benchmark::State& state) {
   graph::BfsScratchLease scratch = graph::AcquireBfsScratch();
   graph::NodeId center = 0;
   const std::uint64_t bytes = BfsBytesNow();
-  for (auto _ : state) {
+  BENCH_TIMED_LOOP(state) {
     graph::BallInto(g, center, radius, *scratch);
     benchmark::DoNotOptimize(scratch->reached());
     center = (center + 17) % g.num_nodes();
@@ -348,7 +408,7 @@ void BM_ReachableCounts(benchmark::State& state) {
       MakeBenchPlrg(static_cast<graph::NodeId>(state.range(0)), 2);
   graph::NodeId src = 0;
   const std::uint64_t bytes = BfsBytesNow();
-  for (auto _ : state) {
+  BENCH_TIMED_LOOP(state) {
     benchmark::DoNotOptimize(graph::ReachableCounts(g, src).size());
     src = (src + 17) % g.num_nodes();
   }
@@ -365,7 +425,7 @@ void BM_ReachableCountsInto(benchmark::State& state) {
   std::vector<std::size_t> counts;
   graph::NodeId src = 0;
   const std::uint64_t bytes = BfsBytesNow();
-  for (auto _ : state) {
+  BENCH_TIMED_LOOP(state) {
     graph::ReachableCountsInto(g, src, *scratch, counts);
     benchmark::DoNotOptimize(counts.size());
     src = (src + 17) % g.num_nodes();
@@ -381,7 +441,7 @@ void BM_ShortestPathDag(benchmark::State& state) {
       MakeBenchPlrg(static_cast<graph::NodeId>(state.range(0)), 2);
   graph::NodeId src = 0;
   const std::uint64_t bytes = BfsBytesNow();
-  for (auto _ : state) {
+  BENCH_TIMED_LOOP(state) {
     benchmark::DoNotOptimize(graph::BuildShortestPathDag(g, src).order.size());
     src = (src + 17) % g.num_nodes();
   }
@@ -397,7 +457,7 @@ void BM_ShortestPathDagInto(benchmark::State& state) {
   graph::BfsScratchLease scratch = graph::AcquireBfsScratch();
   graph::NodeId src = 0;
   const std::uint64_t bytes = BfsBytesNow();
-  for (auto _ : state) {
+  BENCH_TIMED_LOOP(state) {
     graph::BuildShortestPathDagInto(g, src, *scratch);
     benchmark::DoNotOptimize(scratch->reached());
     src = (src + 17) % g.num_nodes();
@@ -412,7 +472,7 @@ void BM_AveragePathLength(benchmark::State& state) {
   const graph::Graph g =
       MakeBenchPlrg(static_cast<graph::NodeId>(state.range(0)), 2);
   const std::uint64_t bytes = BfsBytesNow();
-  for (auto _ : state) {
+  BENCH_TIMED_LOOP(state) {
     benchmark::DoNotOptimize(graph::AveragePathLength(g, 64));
   }
   state.counters["n"] = static_cast<double>(g.num_nodes());
@@ -425,7 +485,7 @@ void BM_Eccentricity(benchmark::State& state) {
       MakeBenchPlrg(static_cast<graph::NodeId>(state.range(0)), 2);
   graph::NodeId src = 0;
   const std::uint64_t bytes = BfsBytesNow();
-  for (auto _ : state) {
+  BENCH_TIMED_LOOP(state) {
     benchmark::DoNotOptimize(graph::Eccentricity(g, src));
     src = (src + 17) % g.num_nodes();
   }
@@ -439,7 +499,7 @@ BENCHMARK(BM_Eccentricity)->Arg(10000);
 void BM_BalancedBisection(benchmark::State& state) {
   const auto side = static_cast<unsigned>(state.range(0));
   const graph::Graph g = gen::Mesh(side, side);
-  for (auto _ : state) {
+  BENCH_TIMED_LOOP(state) {
     graph::Rng rng(3);
     benchmark::DoNotOptimize(graph::BalancedMinCut(g, rng));
   }
@@ -452,7 +512,7 @@ void BM_BestDistortion(benchmark::State& state) {
   const graph::Graph g =
       gen::ErdosRenyi(static_cast<graph::NodeId>(state.range(0)),
                       8.0 / static_cast<double>(state.range(0)), grng);
-  for (auto _ : state) {
+  BENCH_TIMED_LOOP(state) {
     graph::Rng rng(5);
     benchmark::DoNotOptimize(graph::BestDistortion(g, rng, 32));
   }
@@ -463,7 +523,7 @@ BENCHMARK(BM_BestDistortion)->Arg(500)->Arg(2000);
 void BM_Expansion(benchmark::State& state) {
   const graph::Graph g = MakeBenchPlrg(8000, 6);
   const std::uint64_t bytes = BfsBytesNow();
-  for (auto _ : state) {
+  BENCH_TIMED_LOOP(state) {
     benchmark::DoNotOptimize(
         metrics::Expansion(g, {.max_sources = 200}).size());
   }
@@ -476,7 +536,7 @@ void BM_LinkValues(benchmark::State& state) {
   const graph::Graph g =
       MakeBenchPlrg(static_cast<graph::NodeId>(state.range(0)), 7);
   const std::uint64_t bytes = BfsBytesNow();
-  for (auto _ : state) {
+  BENCH_TIMED_LOOP(state) {
     benchmark::DoNotOptimize(
         hierarchy::ComputeLinkValues(g, {.max_sources = 300}).value.size());
   }
@@ -496,7 +556,7 @@ void BM_LinkValuesThreads(benchmark::State& state) {
       static_cast<int>(state.range(0)));
   const graph::Graph g = MakeBenchPlrg(4000, 7);
   const std::uint64_t bytes = BfsBytesNow();
-  for (auto _ : state) {
+  BENCH_TIMED_LOOP(state) {
     benchmark::DoNotOptimize(
         hierarchy::ComputeLinkValues(g, {.max_sources = 300}).value.size());
   }
@@ -514,7 +574,7 @@ void BM_BallResilienceThreads(benchmark::State& state) {
   metrics::BallGrowingOptions opts;
   opts.max_centers = 16;
   const std::uint64_t bytes = BfsBytesNow();
-  for (auto _ : state) {
+  BENCH_TIMED_LOOP(state) {
     benchmark::DoNotOptimize(metrics::Resilience(g, opts).size());
   }
   state.SetLabel(g.Summary());
@@ -529,7 +589,7 @@ void BM_ExpansionThreads(benchmark::State& state) {
       static_cast<int>(state.range(0)));
   const graph::Graph g = MakeBenchPlrg(8000, 6);
   const std::uint64_t bytes = BfsBytesNow();
-  for (auto _ : state) {
+  BENCH_TIMED_LOOP(state) {
     benchmark::DoNotOptimize(
         metrics::Expansion(g, {.max_sources = 200}).size());
   }

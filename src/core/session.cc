@@ -46,6 +46,19 @@ std::string JobId(std::string_view kind, const store::Key& key) {
   return id;
 }
 
+// A cache entry that passed the store checksum but failed payload decode
+// (schema drift between code epochs) was just demoted to a miss; make the
+// transition visible in counters and the event log.
+void NoteDemoted(std::string_view kind, const store::Key& key) {
+  TOPOGEN_COUNT("session.cache_demoted");
+  if (obs::EventsEnabled()) {
+    obs::Event("cache")
+        .Str("kind", kind)
+        .Str("op", "demoted")
+        .Str("key", key.Hex());
+  }
+}
+
 RlArtifacts Wrap(Topology t) {
   RlArtifacts a;
   a.topology = std::move(t);
@@ -296,7 +309,11 @@ bool Session::LoadArtifact(std::string_view kind, const store::Key& key,
                            std::string& payload,
                            std::uint64_t CacheStats::*hits,
                            std::uint64_t CacheStats::*misses) {
-  const bool hit = store_ != nullptr && store_->Load(kind, key, payload);
+  bool hit = false;
+  if (store_ != nullptr) {
+    TOPOGEN_HIST_SCOPE("session.cache_lookup_ns");
+    hit = store_->Load(kind, key, payload);
+  }
   stats_.*(hit ? hits : misses) += 1;
   if (store_ != nullptr) {
     obs::Manifest::AddCacheEvent(kind, hit);
@@ -304,6 +321,12 @@ bool Session::LoadArtifact(std::string_view kind, const store::Key& key,
       TOPOGEN_COUNT("session.cache_hit");
     } else {
       TOPOGEN_COUNT("session.cache_miss");
+    }
+    if (obs::EventsEnabled()) {
+      obs::Event("cache")
+          .Str("kind", kind)
+          .Str("op", hit ? "hit" : "miss")
+          .Str("key", key.Hex());
     }
   }
   if (hit && journal_ != nullptr && journal_->IsDone(JobId(kind, key))) {
@@ -347,6 +370,7 @@ RlArtifacts& Session::Materialize(std::string_view id) {
     // Valid header but undecodable payload (schema drift): demote to miss.
     stats_.topology_hits -= 1;
     stats_.topology_misses += 1;
+    NoteDemoted("topology", key);
   }
   auto fresh = std::make_unique<RlArtifacts>(
       id == "RL.core" ? DeriveRlCore(Materialize("RL"))
@@ -376,6 +400,12 @@ void Session::RecordDegraded(std::string_view kind, std::string_view id,
   obs::Manifest::AddDegraded(kind, id, error.fail_point,
                              ErrorCodeName(error.code), error.message,
                              error.attempts);
+  obs::Event("degraded")
+      .Str("kind", kind)
+      .Str("id", id)
+      .Str("code", ErrorCodeName(error.code))
+      .Str("fail_point", error.fail_point)
+      .I64("attempts", error.attempts);
   std::fprintf(stderr, "# session: degraded %.*s slot '%.*s': %s\n",
                static_cast<int>(kind.size()), kind.data(),
                static_cast<int>(id.size()), id.data(),
@@ -428,6 +458,7 @@ std::vector<const BasicMetrics*> Session::MetricsBatch(
       }
       stats_.metrics_hits -= 1;
       stats_.metrics_misses += 1;
+      NoteDemoted("metrics", keys[i]);
     }
     pending[memo].push_back(i);
   }
@@ -518,6 +549,7 @@ const hierarchy::LinkValueResult* Session::TryLinkValues(std::string_view id,
     }
     stats_.linkvalue_hits -= 1;
     stats_.linkvalue_misses += 1;
+    NoteDemoted("linkvalue", key);
   }
   try {
     const core::Topology& t = Materialize(id).topology;

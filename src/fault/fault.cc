@@ -51,6 +51,24 @@ const PointInfo* FindPoint(std::string_view name) {
   return nullptr;
 }
 
+const char* KindName(Kind k) {
+  switch (k) {
+    case Kind::kThrow:
+      return "throw";
+    case Kind::kShortWrite:
+      return "short";
+    case Kind::kEnospc:
+      return "enospc";
+    case Kind::kCorruptByte:
+      return "corrupt";
+    case Kind::kDelay:
+      return "delay";
+    case Kind::kAbort:
+      return "abort";
+  }
+  return "unknown";
+}
+
 std::optional<Kind> ParseKind(std::string_view v) {
   if (v == "throw") return Kind::kThrow;
   if (v == "short") return Kind::kShortWrite;
@@ -224,13 +242,24 @@ std::optional<Injection> HitSlow(const char* point, std::string_view detail) {
     obs::Stats::GetCounter("fault." + std::string(point)).Increment();
   }
   obs::Manifest::AddFaultInjected(point);
+  if (obs::EventsEnabled()) {
+    obs::Event("fault")
+        .Str("point", point)
+        .Str("kind", KindName(injection->kind))
+        .Str("detail", detail);
+  }
   switch (injection->kind) {
     case Kind::kThrow:
       throw InjectedFault(point);
-    case Kind::kDelay:
+    case Kind::kDelay: {
+      // Retry/backoff delays feed the fault.delay_ns histogram, so an
+      // injected-latency sweep shows its actual distribution, not just a
+      // configured constant.
+      TOPOGEN_HIST_SCOPE("fault.delay_ns");
       std::this_thread::sleep_for(
           std::chrono::milliseconds(injection->delay_ms));
       return std::nullopt;
+    }
     default:
       return injection;
   }

@@ -91,6 +91,7 @@ struct BfsEngine {
   static void Sweep(const Graph& g, NodeId src, BfsScratch& s,
                     Dist max_depth, Mode mode, bool with_sigma) {
     TOPOGEN_COUNT("graph.bfs_runs");
+    TOPOGEN_HIST_SCOPE("graph.bfs_ns");
     Begin(s, g, with_sigma);
     const std::size_t n = g.num_nodes();
     if (src >= n) return;

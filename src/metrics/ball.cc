@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "graph/bfs_scratch.h"
+#include "obs/stats.h"
 #include "parallel/parallel_for.h"
 #include "policy/policy_ball.h"
 
@@ -110,6 +111,10 @@ Series BallGrowingSeries(const Graph& g, const BallGrowingOptions& options,
 
   auto map = [&](std::size_t ci, std::size_t, std::size_t) {
     const CenterTask& task = tasks[ci];
+    // A center is the ball kernel's unit of work (one BFS + per-radius
+    // metric evaluations); its latency distribution is what the p99 in
+    // BENCH.json's ball rows summarizes.
+    TOPOGEN_HIST_SCOPE("metrics.ball.center_ns");
     std::vector<RadiusBin> bins(num_bins);
     Rng rng(task.rng_seed);
     // One BFS; balls of every radius are prefixes of the distance order.
@@ -166,6 +171,7 @@ Series PolicyBallGrowingSeries(const Graph& g,
 
   auto map = [&](std::size_t ci, std::size_t, std::size_t) {
     const CenterTask& task = tasks[ci];
+    TOPOGEN_HIST_SCOPE("metrics.ball.center_ns");
     std::vector<RadiusBin> bins(num_bins);
     Rng rng(task.rng_seed);
     std::size_t last_size = 0;

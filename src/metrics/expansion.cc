@@ -36,6 +36,7 @@ Series AccumulateExpansion(const graph::Graph& g, std::size_t max_sources,
       [&](std::size_t, std::size_t first, std::size_t last) {
         graph::BfsScratchLease scratch = graph::AcquireBfsScratch();
         for (std::size_t i = first; i < last; ++i) {
+          TOPOGEN_HIST_SCOPE("metrics.expansion.source_ns");
           counts_of(sources[i], *scratch, all[i]);
         }
       });

@@ -18,6 +18,8 @@ int ResolveFlags() {
   if (env.trace_enabled()) f |= kTraceBit;
   if (env.stats_enabled()) f |= kStatsBit;
   if (env.outdir_set()) f |= kManifestBit;
+  if (env.hist_enabled()) f |= kHistBit;
+  if (env.events_enabled()) f |= kEventsBit;
   g_flags.store(f, std::memory_order_relaxed);
   return f;
 }
@@ -38,6 +40,27 @@ int EnvInt(const char* name, long max_value = 4096) {
   const long parsed = std::strtol(v, &end, 10);
   if (end == v || *end != '\0' || parsed < 0 || parsed > max_value) return 0;
   return static_cast<int>(parsed);
+}
+
+// Shared boolean grammar for on/off env vars: empty, "0", "off", "false",
+// and "no" are off; anything else is on.
+bool Truthy(const std::string& v) {
+  return !v.empty() && v != "0" && v != "off" && v != "false" && v != "no";
+}
+
+// TOPOGEN_EVENTS: truthy non-path values route to <outdir>/events.jsonl
+// (or ./events.jsonl when no outdir is set); anything containing a '/' or
+// ending in ".jsonl" is taken as an explicit path.
+std::string ResolveEventsPath(const std::string& raw,
+                              const std::string& outdir) {
+  if (!Truthy(raw)) return "";
+  const bool is_path = raw.find('/') != std::string::npos ||
+                       (raw.size() > 6 &&
+                        raw.compare(raw.size() - 6, 6, ".jsonl") == 0);
+  if (is_path) return raw;
+  if (outdir.empty()) return "events.jsonl";
+  return outdir.back() == '/' ? outdir + "events.jsonl"
+                              : outdir + "/events.jsonl";
 }
 
 std::mutex& EnvMutex() {
@@ -65,8 +88,10 @@ Env::Env()
       stats_path_(EnvOr("TOPOGEN_STATS", "")),
       cache_dir_(EnvOr("TOPOGEN_CACHE_DIR", "")),
       faults_(EnvOr("TOPOGEN_FAULTS", "")),
+      events_path_(ResolveEventsPath(EnvOr("TOPOGEN_EVENTS", ""), outdir_)),
       threads_override_(EnvInt("TOPOGEN_THREADS")),
-      cache_max_mb_(EnvInt("TOPOGEN_CACHE_MAX_MB", 1 << 20)) {
+      cache_max_mb_(EnvInt("TOPOGEN_CACHE_MAX_MB", 1 << 20)),
+      hist_(Truthy(EnvOr("TOPOGEN_HIST", ""))) {
   Epoch();  // pin the trace epoch no later than first configuration use
 }
 
@@ -101,6 +126,12 @@ std::int64_t NowMicros() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now() - Epoch())
       .count();
+}
+
+int CurrentThreadId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
 }
 
 }  // namespace topogen::obs

@@ -18,6 +18,13 @@
 //   TOPOGEN_FAULTS  <spec>   arm deterministic fault injection (builds with
 //                            TOPOGEN_FAULT_POINTS=ON only; grammar and the
 //                            fail-point catalog in docs/ROBUSTNESS.md)
+//   TOPOGEN_HIST    1        record latency histograms (p50/p90/p99/max)
+//                            at the instrumented seams; summarized in the
+//                            stats dump and manifest ("0"/"off" = disabled)
+//   TOPOGEN_EVENTS  <file|1> structured JSONL runtime event log; "1" (or
+//                            any truthy value that is not a path) writes
+//                            events.jsonl under TOPOGEN_OUTDIR, otherwise
+//                            the value is the output path
 //
 // The hot-path question "is any of this on?" must cost one relaxed atomic
 // load so instrumented kernels (BFS, generators) stay at native speed when
@@ -63,11 +70,16 @@ class Env {
   // auto-resolution; this is just the configured value.
   int threads_override() const { return threads_override_; }
 
+  // TOPOGEN_EVENTS resolved to a concrete file path ("" = event log off).
+  const std::string& events_path() const { return events_path_; }
+
   bool trace_enabled() const { return !trace_path_.empty(); }
   bool stats_enabled() const { return !stats_path_.empty(); }
   bool outdir_set() const { return !outdir_.empty(); }
   bool cache_enabled() const { return !cache_dir_.empty(); }
   bool faults_set() const { return !faults_.empty(); }
+  bool hist_enabled() const { return hist_; }
+  bool events_enabled() const { return !events_path_.empty(); }
 
  private:
   Env();
@@ -78,8 +90,10 @@ class Env {
   std::string stats_path_;
   std::string cache_dir_;
   std::string faults_;
+  std::string events_path_;
   int threads_override_ = 0;
   int cache_max_mb_ = 0;
+  bool hist_ = false;
 };
 
 namespace detail {
@@ -87,6 +101,8 @@ namespace detail {
 inline constexpr int kTraceBit = 1;
 inline constexpr int kStatsBit = 2;
 inline constexpr int kManifestBit = 4;
+inline constexpr int kHistBit = 8;
+inline constexpr int kEventsBit = 16;
 inline constexpr int kFlagsUnresolved = -1;
 extern std::atomic<int> g_flags;
 int ResolveFlags();
@@ -103,6 +119,10 @@ inline bool StatsEnabled() { return (detail::Flags() & detail::kStatsBit) != 0; 
 inline bool ManifestEnabled() {
   return (detail::Flags() & detail::kManifestBit) != 0;
 }
+inline bool HistEnabled() { return (detail::Flags() & detail::kHistBit) != 0; }
+inline bool EventsEnabled() {
+  return (detail::Flags() & detail::kEventsBit) != 0;
+}
 inline bool AnyEnabled() { return detail::Flags() != 0; }
 
 // Short process name ("bench_fig2_expansion"), from /proc/self/comm.
@@ -110,5 +130,9 @@ const std::string& ProcessName();
 
 // Microseconds since the process-wide observability epoch (first Env use).
 std::int64_t NowMicros();
+
+// Small dense id for the calling thread (0 = first thread to ask). Used by
+// the tracer and the event log so records correlate across artifacts.
+int CurrentThreadId();
 
 }  // namespace topogen::obs

@@ -1,0 +1,164 @@
+#include "obs/events.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+
+#include "obs/json.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
+
+namespace topogen::obs {
+
+struct EventLog::Impl {
+  std::mutex mutex;
+  std::ofstream os;
+  bool opened = false;  // open attempted (even if it failed)
+  bool failed = false;
+  std::uint64_t lines = 0;
+
+  // Lazily open the configured sink; writes the run_start header so every
+  // event file self-identifies even when truncated by a crash.
+  bool EnsureOpenLocked() {
+    if (opened) return !failed;
+    opened = true;
+    const Env& env = Env::Get();
+    if (!env.events_enabled()) {
+      failed = true;
+      return false;
+    }
+    os.open(env.events_path(), std::ios::trunc);
+    if (!os.is_open()) {
+      failed = true;
+      std::fprintf(stderr, "topogen: cannot open TOPOGEN_EVENTS sink '%s'\n",
+                   env.events_path().c_str());
+      return false;
+    }
+    // ts_us 0 = the observability epoch every other timestamp counts
+    // from. The sink opens lazily (possibly after events were already
+    // under construction), so stamping "now" here would sort the header
+    // after the first record and break ts monotonicity for readers.
+    os << "{\"ts_us\":" << 0 << ",\"type\":\"run_start\",\"tid\":"
+       << CurrentThreadId() << ",\"tool\":\"" << JsonEscape(ProcessName())
+       << "\",\"pid\":" << static_cast<long>(::getpid()) << ",\"scale\":\""
+       << JsonEscape(env.scale()) << "\"}\n";
+    os.flush();
+    ++lines;
+    return true;
+  }
+};
+
+EventLog::EventLog() : impl_(new Impl) {
+  // Pin destruction order: Env outlives this sink (see Tracer's ctor).
+  Env::Get();
+}
+
+EventLog::~EventLog() {
+  Flush();
+  delete impl_;
+}
+
+EventLog& EventLog::Get() {
+  static EventLog log;
+  return log;
+}
+
+void EventLog::Write(const std::string& line) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (!impl_->EnsureOpenLocked()) return;
+  impl_->os << line << '\n';
+  // One flush per line keeps the log durable up to a crash; event volume
+  // is low (phase boundaries + throttled heartbeats), so this stays cheap.
+  impl_->os.flush();
+  ++impl_->lines;
+}
+
+bool EventLog::Flush() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (!Env::Get().events_enabled()) return true;
+  if (!impl_->EnsureOpenLocked()) return false;
+  impl_->os.flush();
+  return impl_->os.good();
+}
+
+std::uint64_t EventLog::lines_written() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->lines;
+}
+
+void EventLog::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->os.is_open()) impl_->os.close();
+  impl_->opened = false;
+  impl_->failed = false;
+  impl_->lines = 0;
+}
+
+Event::Event(const char* type) {
+  if (!EventsEnabled()) return;
+  active_ = true;
+  line_.reserve(96);
+  line_ += "{\"ts_us\":";
+  line_ += std::to_string(NowMicros());
+  line_ += ",\"type\":\"";
+  line_ += type;
+  line_ += "\",\"tid\":";
+  line_ += std::to_string(CurrentThreadId());
+}
+
+Event::~Event() {
+  if (!active_) return;
+  line_ += '}';
+  EventLog::Get().Write(line_);
+}
+
+Event& Event::Str(const char* key, std::string_view value) {
+  if (active_) {
+    line_ += ",\"";
+    line_ += key;
+    line_ += "\":\"";
+    line_ += JsonEscape(value);
+    line_ += '"';
+  }
+  return *this;
+}
+
+Event& Event::U64(const char* key, std::uint64_t value) {
+  if (active_) {
+    line_ += ",\"";
+    line_ += key;
+    line_ += "\":";
+    line_ += std::to_string(value);
+  }
+  return *this;
+}
+
+Event& Event::I64(const char* key, std::int64_t value) {
+  if (active_) {
+    line_ += ",\"";
+    line_ += key;
+    line_ += "\":";
+    line_ += std::to_string(value);
+  }
+  return *this;
+}
+
+Event& Event::Dbl(const char* key, double value) {
+  if (active_) {
+    line_ += ",\"";
+    line_ += key;
+    line_ += "\":";
+    line_ += JsonNumber(value);
+  }
+  return *this;
+}
+
+void FlushRunArtifacts() {
+  Tracer::Get().WriteConfigured();
+  Stats::WriteConfigured();
+  EventLog::Get().Flush();
+}
+
+}  // namespace topogen::obs

@@ -1,0 +1,91 @@
+// Structured JSONL runtime event log (Telemetry v2).
+//
+// When TOPOGEN_EVENTS is set, the process appends one JSON object per
+// line to events.jsonl (under TOPOGEN_OUTDIR, or an explicit path -- see
+// obs/env.h). Every record carries:
+//
+//   ts_us  monotonic microseconds since the process observability epoch
+//          (same clock as trace.json timestamps)
+//   type   record type: run_start | run_end | phase_start | phase_end |
+//          progress | cache | fault | degraded | crash
+//   tid    dense thread id (matches trace.json tid)
+//
+// plus type-specific fields appended through the Event builder. Each line
+// is flushed as it is written, so the log is complete up to the moment of
+// a crash -- long million-node runs are diagnosable while still running
+// (`tail -f events.jsonl`) and after an injected abort.
+//
+// The builder is inert when TOPOGEN_EVENTS is off: constructing an Event
+// costs one relaxed flag load and field appends are no-ops. Hot paths
+// that would pay to *format* arguments should still guard with
+// `if (obs::EventsEnabled())`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/env.h"
+
+namespace topogen::obs {
+
+// Process-wide sink for the JSONL event stream. Opens the configured path
+// lazily on first write and emits a run_start header line.
+class EventLog {
+ public:
+  static EventLog& Get();
+
+  // Appends one pre-serialized JSON object line (no trailing newline in
+  // `line`). Thread-safe; each line hits the OS before returning.
+  void Write(const std::string& line);
+
+  // Pushes buffered bytes to the OS. Returns false if the sink failed to
+  // open; a run with no event path configured is a success no-op.
+  bool Flush();
+
+  std::uint64_t lines_written();
+
+  // Closes the sink and re-resolves the path from Env on next write.
+  void ResetForTesting();
+
+ private:
+  EventLog();
+  ~EventLog();
+  struct Impl;
+  Impl* impl_;
+};
+
+// Builder for one event record. The constructor stamps ts_us, type, and
+// tid; the destructor emits the line. Field appenders return *this so a
+// full record reads as one expression:
+//
+//   obs::Event("cache").Str("kind", kind).Str("op", hit ? "hit" : "miss");
+class Event {
+ public:
+  explicit Event(const char* type);
+  ~Event();
+
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  Event& Str(const char* key, std::string_view value);
+  Event& U64(const char* key, std::uint64_t value);
+  Event& I64(const char* key, std::int64_t value);
+  Event& Dbl(const char* key, double value);
+
+  bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+  std::string line_;
+};
+
+// Flushes every configured observability artifact *now*: trace buffer,
+// stats dump, and the event log. The normal exit path writes these from
+// static destructors, which never run on std::_Exit -- so the injected
+// abort kind (src/store/journal.cc) and bench::Finish's partial-success
+// path call this to guarantee a degraded or crashed run still leaves
+// valid trace.json / stats / events.jsonl behind.
+void FlushRunArtifacts();
+
+}  // namespace topogen::obs

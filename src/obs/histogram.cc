@@ -1,0 +1,80 @@
+#include "obs/histogram.h"
+
+#include <cmath>
+
+namespace topogen::obs {
+
+void Histogram::MergeFrom(const Histogram& other) {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  const std::uint64_t omin = other.min_.load(std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (omin < cur &&
+         !min_.compare_exchange_weak(cur, omin, std::memory_order_relaxed)) {
+  }
+  const std::uint64_t omax = other.max_.load(std::memory_order_relaxed);
+  cur = max_.load(std::memory_order_relaxed);
+  while (omax > cur &&
+         !max_.compare_exchange_weak(cur, omax, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::ValueAtQuantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::uint64_t target =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total)));
+  if (target == 0) target = 1;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    cum += buckets_[i].load(std::memory_order_relaxed);
+    if (cum >= target) {
+      // Never report past the observed max: the top occupied bucket's
+      // upper bound can overshoot a single-sample tail considerably.
+      const std::uint64_t ub = BucketUpperBound(i);
+      const std::uint64_t mx = max();
+      return ub < mx ? ub : mx;
+    }
+  }
+  return max();
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.count = count();
+  s.sum = sum();
+  s.min = min();
+  s.max = max();
+  s.p50 = ValueAtQuantile(0.50);
+  s.p90 = ValueAtQuantile(0.90);
+  s.p99 = ValueAtQuantile(0.99);
+  return s;
+}
+
+std::vector<std::uint64_t> Histogram::BucketCountsForTesting() const {
+  std::vector<std::uint64_t> out(kNumBuckets);
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::ResetForTesting() {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(kNoMin, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace topogen::obs

@@ -1,0 +1,158 @@
+// Lock-free log-bucketed latency histogram (Telemetry v2).
+//
+// A Histogram is a fixed array of 496 relaxed-atomic bucket counters
+// covering the full uint64 range: values 0..15 get exact buckets, larger
+// values land in one of eight sub-buckets per power of two, so every
+// bucket is at most 12.5% wide -- plenty for p50/p90/p99 reporting while
+// keeping Record() a handful of relaxed atomic adds with no locks, no
+// allocation, and no floating point. The same relaxed-bump contract as
+// obs::Counter applies: concurrent Record() calls from metric workers
+// are safe and never serialize.
+//
+// Histograms are *mergeable*: MergeFrom() adds another histogram's
+// buckets in, and because buckets are plain integer counts the merge is
+// exactly associative and commutative -- per-lane shards folded in any
+// order yield the identical distribution (tests/histogram_test.cc pins
+// this).
+//
+// Call sites guard with the TOPOGEN_HIST* macros (obs/stats.h): recording
+// is off unless TOPOGEN_HIST is set, and a disabled site costs one
+// relaxed flag load. Values are nanoseconds by convention (names end in
+// `_ns`) but the class is unit-agnostic (e.g. parallel.steal_pct).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace topogen::obs {
+
+// Summary of one histogram at a point in time; what the stats dumps,
+// the manifest, and BENCH.json carry.
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  // 0 when count == 0
+  std::uint64_t max = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+};
+
+class Histogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 496;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  // Bucket layout: 0..15 exact, then 8 sub-buckets per octave (the three
+  // bits below the leading one select the sub-bucket, so relative width
+  // is 1/8 of the octave floor at worst). The top bucket (index 495)
+  // absorbs everything up to UINT64_MAX.
+  static std::size_t BucketIndex(std::uint64_t v) {
+    if (v < 16) return static_cast<std::size_t>(v);
+    const int msb = 63 - std::countl_zero(v);  // >= 4
+    const std::size_t sub = static_cast<std::size_t>((v >> (msb - 3)) & 7);
+    return 16 + static_cast<std::size_t>(msb - 4) * 8 + sub;
+  }
+
+  // Inclusive upper bound of a bucket; quantiles report this value, so a
+  // quantile estimate is never below the true order statistic's bucket.
+  static std::uint64_t BucketUpperBound(std::size_t index) {
+    if (index < 16) return index;
+    const int msb = 4 + static_cast<int>((index - 16) / 8);
+    const std::uint64_t sub = (index - 16) % 8;
+    // For index 495 this wraps to exactly UINT64_MAX (unsigned math).
+    return (std::uint64_t{1} << msb) +
+           (sub + 1) * (std::uint64_t{1} << (msb - 3)) - 1;
+  }
+
+  void Record(std::uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (value < cur &&
+           !min_.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !max_.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  // Adds `other`'s recorded distribution into this histogram. Integer
+  // bucket adds make the operation exactly associative: shard folding
+  // order never changes the merged result.
+  void MergeFrom(const Histogram& other);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t min() const {
+    const std::uint64_t m = min_.load(std::memory_order_relaxed);
+    return m == kNoMin ? 0 : m;
+  }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+  // Value at quantile q in [0, 1]: the upper bound of the bucket holding
+  // the ceil(q * count)-th recorded value (0 when empty). Deterministic
+  // given the bucket counts.
+  std::uint64_t ValueAtQuantile(double q) const;
+
+  // Snapshot with p50/p90/p99 resolved; `name` is left empty (the stats
+  // registry fills it in).
+  HistogramSnapshot Snapshot() const;
+
+  // Raw bucket counts, for merge/associativity tests.
+  std::vector<std::uint64_t> BucketCountsForTesting() const;
+
+  // Zeroes all state (registrations stay). Not atomic with concurrent
+  // Record(); test-only, like Stats::ResetForTesting.
+  void ResetForTesting();
+
+ private:
+  static constexpr std::uint64_t kNoMin = ~std::uint64_t{0};
+
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{kNoMin};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+// RAII wall-clock timer feeding a histogram in nanoseconds. Pass nullptr
+// to disarm (the TOPOGEN_HIST_SCOPE macro does this when TOPOGEN_HIST is
+// off, so the disabled cost stays at one flag load).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist) : hist_(hist) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (hist_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    hist_->Record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace topogen::obs

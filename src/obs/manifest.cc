@@ -341,8 +341,25 @@ bool Manifest::WriteTo(const std::string& path) {
   for (const TimerSnapshot& t : Stats::TimerSnapshots()) {
     os << (first ? "\n" : ",\n") << "    {\"name\": \"" << JsonEscape(t.name)
        << "\", \"count\": " << t.count << ", \"total_ms\": "
-       << JsonNumber(static_cast<double>(t.total_ns) / 1e6) << "}";
+       << JsonNumber(static_cast<double>(t.total_ns) / 1e6)
+       << ", \"min_ms\": " << JsonNumber(static_cast<double>(t.min_ns) / 1e6)
+       << ", \"max_ms\": " << JsonNumber(static_cast<double>(t.max_ns) / 1e6)
+       << "}";
     first = false;
+  }
+  // Histogram summaries (TOPOGEN_HIST runs only): the per-seam latency
+  // distributions behind BENCH.json's percentile columns.
+  const std::vector<HistogramSnapshot> hists = Stats::HistogramSnapshots();
+  if (!hists.empty()) {
+    os << "\n  ],\n  \"histograms\": [";
+    first = true;
+    for (const HistogramSnapshot& h : hists) {
+      os << (first ? "\n" : ",\n") << "    {\"name\": \"" << JsonEscape(h.name)
+         << "\", \"count\": " << h.count << ", \"min_ns\": " << h.min
+         << ", \"max_ns\": " << h.max << ", \"p50_ns\": " << h.p50
+         << ", \"p90_ns\": " << h.p90 << ", \"p99_ns\": " << h.p99 << "}";
+      first = false;
+    }
   }
   os << "\n  ],\n  \"counters\": {";
   first = true;

@@ -1,8 +1,11 @@
-// Umbrella header for instrumented layers: spans, counters, manifest.
-// See docs/OBSERVABILITY.md for the env vars and output schemas.
+// Umbrella header for instrumented layers: spans, counters, histograms,
+// the event log, and the manifest. See docs/OBSERVABILITY.md for the env
+// vars and output schemas.
 #pragma once
 
 #include "obs/env.h"
+#include "obs/events.h"
+#include "obs/histogram.h"
 #include "obs/manifest.h"
 #include "obs/stats.h"
 #include "obs/trace.h"

@@ -14,9 +14,13 @@ namespace topogen::obs {
 
 namespace {
 
+constexpr std::uint64_t kNoMin = ~std::uint64_t{0};
+
 struct TimerCell {
   std::atomic<std::uint64_t> count{0};
   std::atomic<std::uint64_t> total_ns{0};
+  std::atomic<std::uint64_t> min_ns{kNoMin};
+  std::atomic<std::uint64_t> max_ns{0};
 };
 
 // std::map keeps node addresses stable, so returned references survive
@@ -26,6 +30,7 @@ struct Registry {
   std::map<std::string, Counter, std::less<>> counters;
   std::map<std::string, Gauge, std::less<>> gauges;
   std::map<std::string, TimerCell, std::less<>> timers;
+  std::map<std::string, Histogram, std::less<>> histograms;
 
   Registry() { Env::Get(); }  // constructed after Env => destroyed before
   ~Registry() { Stats::WriteConfigured(); }
@@ -73,11 +78,24 @@ Gauge& Stats::GetGauge(std::string_view name) {
   return GetSlot(r.gauges, r.mutex, name);
 }
 
+Histogram& Stats::GetHistogram(std::string_view name) {
+  Registry& r = Registry::Get();
+  return GetSlot(r.histograms, r.mutex, name);
+}
+
 void Stats::AddTimerSample(std::string_view name, std::uint64_t ns) {
   Registry& r = Registry::Get();
   TimerCell& cell = GetSlot(r.timers, r.mutex, name);
   cell.count.fetch_add(1, std::memory_order_relaxed);
   cell.total_ns.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t cur = cell.min_ns.load(std::memory_order_relaxed);
+  while (ns < cur && !cell.min_ns.compare_exchange_weak(
+                         cur, ns, std::memory_order_relaxed)) {
+  }
+  cur = cell.max_ns.load(std::memory_order_relaxed);
+  while (ns > cur && !cell.max_ns.compare_exchange_weak(
+                         cur, ns, std::memory_order_relaxed)) {
+  }
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> Stats::CounterSnapshot() {
@@ -104,8 +122,25 @@ std::vector<TimerSnapshot> Stats::TimerSnapshots() {
   std::vector<TimerSnapshot> out;
   out.reserve(r.timers.size());
   for (const auto& [name, cell] : r.timers) {
-    out.push_back({name, cell.count.load(std::memory_order_relaxed),
-                   cell.total_ns.load(std::memory_order_relaxed)});
+    const std::uint64_t count = cell.count.load(std::memory_order_relaxed);
+    const std::uint64_t min = cell.min_ns.load(std::memory_order_relaxed);
+    out.push_back({name, count, cell.total_ns.load(std::memory_order_relaxed),
+                   min == kNoMin ? 0 : min,
+                   cell.max_ns.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+std::vector<HistogramSnapshot> Stats::HistogramSnapshots() {
+  Registry& r = Registry::Get();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(r.histograms.size());
+  for (const auto& [name, h] : r.histograms) {
+    if (h.count() == 0) continue;
+    HistogramSnapshot s = h.Snapshot();
+    s.name = name;
+    out.push_back(std::move(s));
   }
   return out;
 }
@@ -124,13 +159,25 @@ void Stats::DumpText(std::ostream& os) {
   for (const auto& [name, v] : GaugeSnapshot()) {
     os << name << " " << v << "\n";
   }
-  os << "\n[timers]  (count  total_ms  mean_ms)\n";
+  os << "\n[timers]  (count  total_ms  mean_ms  min_ms  max_ms)\n";
   for (const TimerSnapshot& t : TimerSnapshots()) {
     const double total_ms = static_cast<double>(t.total_ns) / 1e6;
     const double mean_ms =
         t.count == 0 ? 0.0 : total_ms / static_cast<double>(t.count);
-    os << t.name << " " << t.count << " " << total_ms << " " << mean_ms
-       << "\n";
+    os << t.name << " " << t.count << " " << total_ms << " " << mean_ms << " "
+       << static_cast<double>(t.min_ns) / 1e6 << " "
+       << static_cast<double>(t.max_ns) / 1e6 << "\n";
+  }
+  const std::vector<HistogramSnapshot> hists = HistogramSnapshots();
+  if (!hists.empty()) {
+    os << "\n[histograms]  (count  p50_ms  p90_ms  p99_ms  max_ms)\n";
+    for (const HistogramSnapshot& h : hists) {
+      os << h.name << " " << h.count << " "
+         << static_cast<double>(h.p50) / 1e6 << " "
+         << static_cast<double>(h.p90) / 1e6 << " "
+         << static_cast<double>(h.p99) / 1e6 << " "
+         << static_cast<double>(h.max) / 1e6 << "\n";
+    }
   }
 }
 
@@ -161,7 +208,20 @@ void Stats::DumpJson(std::ostream& os) {
   for (const TimerSnapshot& t : TimerSnapshots()) {
     os << (first ? "\n" : ",\n") << "    {\"name\": \"" << JsonEscape(t.name)
        << "\", \"count\": " << t.count << ", \"total_ms\": "
-       << JsonNumber(static_cast<double>(t.total_ns) / 1e6) << "}";
+       << JsonNumber(static_cast<double>(t.total_ns) / 1e6)
+       << ", \"min_ms\": " << JsonNumber(static_cast<double>(t.min_ns) / 1e6)
+       << ", \"max_ms\": " << JsonNumber(static_cast<double>(t.max_ns) / 1e6)
+       << "}";
+    first = false;
+  }
+  os << "\n  ],\n  \"histograms\": [";
+  first = true;
+  for (const HistogramSnapshot& h : HistogramSnapshots()) {
+    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << JsonEscape(h.name)
+       << "\", \"count\": " << h.count << ", \"sum_ns\": " << h.sum
+       << ", \"min_ns\": " << h.min << ", \"max_ns\": " << h.max
+       << ", \"p50_ns\": " << h.p50 << ", \"p90_ns\": " << h.p90
+       << ", \"p99_ns\": " << h.p99 << "}";
     first = false;
   }
   os << "\n  ]\n}\n";
@@ -213,6 +273,11 @@ void Stats::ResetForTesting() {
   for (auto& [name, cell] : r.timers) {
     cell.count.store(0, std::memory_order_relaxed);
     cell.total_ns.store(0, std::memory_order_relaxed);
+    cell.min_ns.store(kNoMin, std::memory_order_relaxed);
+    cell.max_ns.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, h] : r.histograms) {
+    h.ResetForTesting();
   }
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "obs/env.h"
+#include "obs/histogram.h"
 
 namespace topogen::obs {
 
@@ -57,6 +58,10 @@ struct TimerSnapshot {
   std::string name;
   std::uint64_t count = 0;
   std::uint64_t total_ns = 0;
+  // Fastest/slowest single sample: a lone stall is invisible in
+  // count+total but jumps out of max_ns. 0/0 when count == 0.
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
 };
 
 // VmRSS / VmHWM from /proc/self/status, in kB (-1 when unreadable).
@@ -72,6 +77,7 @@ class Stats {
   // the reference in a function-local static.
   static Counter& GetCounter(std::string_view name);
   static Gauge& GetGauge(std::string_view name);
+  static Histogram& GetHistogram(std::string_view name);
 
   // One finished span of `ns` nanoseconds under `name` (thread-safe).
   static void AddTimerSample(std::string_view name, std::uint64_t ns);
@@ -79,6 +85,9 @@ class Stats {
   static std::vector<std::pair<std::string, std::uint64_t>> CounterSnapshot();
   static std::vector<std::pair<std::string, std::int64_t>> GaugeSnapshot();
   static std::vector<TimerSnapshot> TimerSnapshots();
+  // Snapshots of every registered histogram with quantiles resolved,
+  // sorted by name; empty histograms are skipped.
+  static std::vector<HistogramSnapshot> HistogramSnapshots();
 
   static void DumpText(std::ostream& os);
   static void DumpJson(std::ostream& os);
@@ -101,5 +110,28 @@ class Stats {
     }                                                                \
   } while (0)
 #define TOPOGEN_COUNT(name) TOPOGEN_COUNT_N(name, 1)
+
+// Histogram bump macros. Gated on TOPOGEN_HIST specifically (not
+// AnyEnabled), so distribution tracking is opt-in on top of counters and
+// a disabled site costs exactly one relaxed flag load.
+#define TOPOGEN_HIST_N(name, v)                                      \
+  do {                                                               \
+    if (::topogen::obs::HistEnabled()) {                             \
+      static ::topogen::obs::Histogram& topogen_hist_ =              \
+          ::topogen::obs::Stats::GetHistogram(name);                 \
+      topogen_hist_.Record(v);                                       \
+    }                                                                \
+  } while (0)
+#define TOPOGEN_HIST_NS(name, ns) TOPOGEN_HIST_N(name, ns)
+
+// Times the enclosing scope (wall clock, nanoseconds) into a histogram.
+#define TOPOGEN_HIST_CONCAT2(a, b) a##b
+#define TOPOGEN_HIST_CONCAT(a, b) TOPOGEN_HIST_CONCAT2(a, b)
+#define TOPOGEN_HIST_SCOPE(name)                                     \
+  ::topogen::obs::ScopedTimer TOPOGEN_HIST_CONCAT(                   \
+      topogen_hist_scope_, __LINE__)(                                \
+      ::topogen::obs::HistEnabled()                                  \
+          ? &::topogen::obs::Stats::GetHistogram(name)               \
+          : nullptr)
 
 }  // namespace topogen::obs

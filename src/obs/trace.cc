@@ -6,20 +6,11 @@
 #include <fstream>
 #include <mutex>
 
+#include "obs/events.h"
 #include "obs/json.h"
 #include "obs/stats.h"
 
 namespace topogen::obs {
-
-namespace {
-
-int ThreadId() {
-  static std::atomic<int> next{0};
-  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
-  return id;
-}
-
-}  // namespace
 
 struct Tracer::Impl {
   std::mutex mutex;
@@ -117,6 +108,13 @@ void Span::Begin() {
   // runs during static destruction (e.g. the bench-wide run span).
   Tracer::Get();
   Stats::GetCounter("obs.spans");
+  if (EventsEnabled()) {
+    EventLog::Get();  // same destruction-order pin as the tracer
+    Event("phase_start")
+        .Str("name", name_lit_ != nullptr ? std::string_view(name_lit_)
+                                          : std::string_view(name_dyn_))
+        .Str("cat", category_);
+  }
   active_ = true;
   start_us_ = NowMicros();
 }
@@ -128,11 +126,16 @@ void Span::End() {
   const std::string name =
       name_lit_ != nullptr ? std::string(name_lit_) : name_dyn_;
   Stats::GetCounter("obs.spans").Increment();
-  Stats::AddTimerSample(name,
-                        static_cast<std::uint64_t>(end_us - start_us_) * 1000);
+  const std::uint64_t dur_ns =
+      static_cast<std::uint64_t>(end_us - start_us_) * 1000;
+  Stats::AddTimerSample(name, dur_ns);
+  if (HistEnabled()) Stats::GetHistogram(name).Record(dur_ns);
+  if (EventsEnabled()) {
+    Event("phase_end").Str("name", name).I64("dur_us", end_us - start_us_);
+  }
   if (TraceEnabled()) {
     Tracer::Get().Record({name, category_, start_us_, end_us - start_us_,
-                          ThreadId(), std::move(args_)});
+                          CurrentThreadId(), std::move(args_)});
   }
 }
 

@@ -32,6 +32,14 @@ int ResolveThreadCount(int requested) {
   return n;
 }
 
+// Progress heartbeats: at most one "progress" event per region per this
+// interval, so a million-chunk region costs a handful of log lines while
+// still showing liveness under `tail -f events.jsonl`.
+constexpr std::int64_t kHeartbeatIntervalUs = 250'000;
+
+// Monotonic id correlating a region's progress events across the log.
+std::atomic<std::uint64_t> g_next_region_id{0};
+
 // One in-flight chunked region. Lane l owns chunks l, l + lanes,
 // l + 2*lanes, ...; cursor[l] is the next *position* within that
 // arithmetic sequence, popped with fetch_add by the owner or a thief.
@@ -44,13 +52,38 @@ struct Region {
   std::atomic<bool> failed{false};
   std::mutex error_mutex;
   std::exception_ptr error;
+  std::uint64_t id = 0;
+  // Next timestamp at which a heartbeat may fire; seeded one interval out
+  // so short regions emit nothing.
+  std::atomic<std::int64_t> next_heartbeat_us{0};
 
   Region(const std::function<void(std::size_t)>& f, std::size_t chunks,
          int lane_count)
       : fn(&f), num_chunks(chunks), lanes(lane_count), cursor(lane_count) {
     for (auto& c : cursor) c.store(0, std::memory_order_relaxed);
+    if (obs::EventsEnabled()) {
+      id = g_next_region_id.fetch_add(1, std::memory_order_relaxed);
+      next_heartbeat_us.store(obs::NowMicros() + kHeartbeatIntervalUs,
+                              std::memory_order_relaxed);
+    }
   }
 };
+
+// Emits a throttled items-done/total progress event for the region. The
+// CAS arbitrates between lanes: whoever advances the deadline reports.
+void MaybeHeartbeat(Region& r, std::size_t done, int lane) {
+  const std::int64_t now = obs::NowMicros();
+  std::int64_t deadline = r.next_heartbeat_us.load(std::memory_order_relaxed);
+  if (now < deadline) return;
+  if (r.next_heartbeat_us.compare_exchange_strong(
+          deadline, now + kHeartbeatIntervalUs, std::memory_order_relaxed)) {
+    obs::Event("progress")
+        .U64("region", r.id)
+        .U64("done", done)
+        .U64("total", r.num_chunks)
+        .I64("lane", lane);
+  }
+}
 
 }  // namespace
 
@@ -72,6 +105,7 @@ struct Pool::Impl {
     auto run_chunk = [&](std::size_t chunk, bool was_steal) {
       {
         DepthGuard depth;
+        TOPOGEN_HIST_SCOPE("parallel.chunk_ns");
         try {
           TOPOGEN_FAULT_POINT("parallel.task");
           (*r.fn)(chunk);
@@ -83,9 +117,10 @@ struct Pool::Impl {
           }
         }
       }
-      r.completed.fetch_add(1);
+      const std::size_t done = r.completed.fetch_add(1) + 1;
       ++executed;
       if (was_steal) ++stolen;
+      if (obs::EventsEnabled()) MaybeHeartbeat(r, done, home_lane);
     };
     for (int off = 0; off < r.lanes; ++off) {
       const int lane = (home_lane + off) % r.lanes;
@@ -100,6 +135,15 @@ struct Pool::Impl {
     }
     if (executed > 0) TOPOGEN_COUNT_N("parallel.tasks", executed);
     if (stolen > 0) TOPOGEN_COUNT_N("parallel.steals", stolen);
+    if (executed > 0 && obs::HistEnabled()) {
+      // Per-lane utilization and steal-ratio samples, one per lane per
+      // region: a skewed lane_share distribution means chunk sizing is
+      // off; a high steal_pct means lanes finish their own work early.
+      obs::Stats::GetHistogram("parallel.lane_share_pct")
+          .Record(executed * 100 / r.num_chunks);
+      obs::Stats::GetHistogram("parallel.steal_pct")
+          .Record(stolen * 100 / executed);
+    }
   }
 
   void WorkerLoop(int lane) {
@@ -157,9 +201,28 @@ Pool::~Pool() {
 void Pool::SerialRun(std::size_t num_chunks,
                      const std::function<void(std::size_t)>& fn) {
   DepthGuard depth;
+  const bool events = obs::EventsEnabled();
+  const std::uint64_t region_id =
+      events ? g_next_region_id.fetch_add(1, std::memory_order_relaxed) : 0;
+  std::int64_t next_heartbeat_us =
+      events ? obs::NowMicros() + kHeartbeatIntervalUs : 0;
   for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
     TOPOGEN_FAULT_POINT("parallel.task");
-    fn(chunk);
+    {
+      TOPOGEN_HIST_SCOPE("parallel.chunk_ns");
+      fn(chunk);
+    }
+    if (events) {
+      const std::int64_t now = obs::NowMicros();
+      if (now >= next_heartbeat_us) {
+        next_heartbeat_us = now + kHeartbeatIntervalUs;
+        obs::Event("progress")
+            .U64("region", region_id)
+            .U64("done", chunk + 1)
+            .U64("total", num_chunks)
+            .I64("lane", 0);
+      }
+    }
   }
   if (num_chunks > 0) TOPOGEN_COUNT_N("parallel.tasks", num_chunks);
 }

@@ -47,6 +47,7 @@ bool ArtifactStore::Contains(std::string_view kind, const Key& key) const {
 
 bool ArtifactStore::Load(std::string_view kind, const Key& key,
                          std::string& payload) {
+  TOPOGEN_HIST_SCOPE("store.load_ns");
   const std::string path = PathFor(kind, key);
   std::ifstream is(path, std::ios::binary);
   if (!is.is_open()) return false;  // plain miss: nothing stored yet
@@ -66,6 +67,10 @@ bool ArtifactStore::Load(std::string_view kind, const Key& key,
   // format bump is visible in stats.
   const auto corrupt = [&] {
     TOPOGEN_COUNT("store.corrupt");
+    if (obs::EventsEnabled()) {
+      obs::Event("cache").Str("kind", kind).Str("op", "corrupt").Str("path",
+                                                                     path);
+    }
     return false;
   };
   if (file.size() < kHeaderSize) return corrupt();
@@ -87,6 +92,7 @@ bool ArtifactStore::Load(std::string_view kind, const Key& key,
 
 bool ArtifactStore::Store(std::string_view kind, const Key& key,
                           std::string_view payload) {
+  TOPOGEN_HIST_SCOPE("store.store_ns");
   const std::string path = PathFor(kind, key);
   std::error_code ec;
   fs::create_directories(fs::path(path).parent_path(), ec);

@@ -75,7 +75,15 @@ void Journal::MarkDone(std::string_view job_id, std::string_view artifact_hex) {
     const std::string torn = line.substr(0, line.size() / 2);
     os.write(torn.data(), static_cast<std::streamsize>(torn.size()));
     os.flush();
-    if (inj->kind == fault::Kind::kAbort) std::_Exit(fault::kCrashExitCode);
+    if (inj->kind == fault::Kind::kAbort) {
+      // _Exit skips every static destructor, so the trace buffer, stats
+      // dump, and event log would vanish with the process. Flush them
+      // now -- a crashed run must still leave parseable artifacts.
+      obs::Event("crash").Str("point", "store.journal.append").Str("job",
+                                                                   job_id);
+      obs::FlushRunArtifacts();
+      std::_Exit(fault::kCrashExitCode);
+    }
     seal_partial_line_ = true;
     TOPOGEN_COUNT("store.journal_torn");
     return;

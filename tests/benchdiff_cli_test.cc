@@ -1,0 +1,154 @@
+// End-to-end test for tools/benchdiff -- the CI perf gate. Drives the
+// real binary the way the perf-gate job does and checks the contract CI
+// depends on: self-compare exits 0, an injected +50% ns/op regression
+// exits 1 at the default tolerance, a generous tolerance lets the same
+// delta pass, bad usage exits 2, and the --json verdict parses with the
+// regression attributed to the right record.
+//
+// Standalone main (not gtest): argv[1] = benchdiff binary, argv[2] =
+// scratch directory. Prints one "ok:"/"FAIL:" line per check and exits
+// non-zero on the first failure, so ctest logs show exactly which
+// guarantee broke.
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace fs = std::filesystem;
+using topogen::obs::Json;
+
+namespace {
+
+int g_failures = 0;
+
+void Check(bool ok, const char* what) {
+  std::printf("%s: %s\n", ok ? "ok" : "FAIL", what);
+  if (!ok) ++g_failures;
+}
+
+// A minimal but schema-valid topogen-bench/2 document. `scale` inflates
+// the first record's ns_per_op to fake a regression.
+std::string BenchJson(double scale) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"topogen-bench/2\",\n"
+     << "  \"created_unix\": 0,\n  \"host_threads\": 1,\n"
+     << "  \"results\": [\n"
+     << "    {\"name\": \"BM_Bfs/10000\", \"kernel\": \"bfs_distances\", "
+        "\"family\": \"plrg\", \"n\": 10000, \"threads\": 1, "
+        "\"ns_per_op\": "
+     << 1000000.0 * scale
+     << ", \"bytes_alloc_per_op\": 0, \"p50_ns\": 900000, "
+        "\"p90_ns\": 1100000, \"p99_ns\": 1200000, \"max_ns\": 1300000},\n"
+     << "    {\"name\": \"BM_Ball/radius:2\", \"kernel\": \"ball\", "
+        "\"family\": \"plrg\", \"n\": 50000, \"threads\": 1, "
+        "\"ns_per_op\": 50000, \"bytes_alloc_per_op\": 0, "
+        "\"p50_ns\": 45000, \"p90_ns\": 55000, \"p99_ns\": 60000, "
+        "\"max_ns\": 70000}\n  ]\n}\n";
+  return os.str();
+}
+
+void WriteFile(const fs::path& p, const std::string& content) {
+  std::ofstream os(p);
+  os << content;
+}
+
+// Runs a command line, returning the child's exit code (-1 on failure to
+// run). std::system goes through the shell, which is fine here: every
+// path is a scratch-directory file this test created.
+int Run(const std::string& cmd) {
+  const int rc = std::system(cmd.c_str());
+  if (rc == -1) return -1;
+  return WEXITSTATUS(rc);
+}
+
+std::string ReadFile(const fs::path& p) {
+  std::ifstream is(p);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <benchdiff-binary> <scratch-dir>\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string benchdiff = argv[1];
+  const fs::path dir = argv[2];
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  const fs::path base = dir / "base.json";
+  const fs::path same = dir / "same.json";
+  const fs::path regressed = dir / "regressed.json";
+  WriteFile(base, BenchJson(1.0));
+  WriteFile(same, BenchJson(1.0));
+  WriteFile(regressed, BenchJson(1.5));
+
+  const std::string quiet = " > " + (dir / "out.txt").string() + " 2>&1";
+  Check(Run(benchdiff + " " + base.string() + " " + same.string() + quiet) ==
+            0,
+        "self-compare exits 0");
+  Check(Run(benchdiff + " --tolerance=0.3 " + base.string() + " " +
+            regressed.string() + quiet) == 1,
+        "+50% ns/op at 30% tolerance exits 1");
+  Check(Run(benchdiff + " --tolerance=0.9 " + base.string() + " " +
+            regressed.string() + quiet) == 0,
+        "+50% ns/op inside a 90% tolerance exits 0");
+  Check(Run(benchdiff + " --tolerance=0.3 --tolerance=bfs_distances:0.9 " +
+            base.string() + " " + regressed.string() + quiet) == 0,
+        "per-kernel override exempts the regressed kernel");
+  Check(Run(benchdiff + " " + base.string() + quiet) == 2,
+        "missing operand exits 2");
+  Check(Run(benchdiff + " " + base.string() + " " +
+            (dir / "missing.json").string() + quiet) == 2,
+        "unreadable input exits 2");
+
+  const fs::path verdict = dir / "verdict.json";
+  Check(Run(benchdiff + " --tolerance=0.3 --json=" + verdict.string() + " " +
+            base.string() + " " + regressed.string() + quiet) == 1,
+        "verdict run still exits 1");
+  const std::optional<Json> doc = Json::Parse(ReadFile(verdict));
+  Check(doc.has_value() && doc->is_object(), "verdict JSON parses");
+  if (doc.has_value() && doc->is_object()) {
+    const Json* schema = doc->Find("schema");
+    Check(schema != nullptr && schema->is_string() &&
+              schema->AsString() == "topogen-benchdiff/1",
+          "verdict schema tag");
+    const Json* v = doc->Find("verdict");
+    Check(v != nullptr && v->AsString() == "regression", "verdict value");
+    const Json* results = doc->Find("results");
+    bool attributed = false;
+    if (results != nullptr && results->is_array()) {
+      for (const Json& rec : results->AsArray()) {
+        const Json* name = rec.Find("name");
+        const Json* reg = rec.Find("regressed");
+        if (name == nullptr || reg == nullptr) continue;
+        if (name->AsString() == "BM_Bfs/10000") {
+          attributed = reg->is_bool() && reg->AsBool();
+        } else if (reg->is_bool() && reg->AsBool()) {
+          attributed = false;  // only the inflated record may regress
+          break;
+        }
+      }
+    }
+    Check(attributed, "regression attributed to the inflated record only");
+  }
+
+  fs::remove_all(dir);
+  if (g_failures > 0) {
+    std::fprintf(stderr, "%d check(s) failed\n", g_failures);
+    return 1;
+  }
+  std::printf("all benchdiff CLI checks passed\n");
+  return 0;
+}

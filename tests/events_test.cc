@@ -1,0 +1,244 @@
+// Tests for the structured JSONL runtime event log (src/obs/events.h):
+// the builder's disabled-is-inert contract, the TOPOGEN_EVENTS path
+// grammar, line-level schema validity (every line a JSON object with
+// ts_us/type/tid, run_start first, timestamps monotone), and the
+// regression the flush audit exists for -- a degraded run must leave a
+// parseable events.jsonl and trace.json behind.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "fault/fault.h"
+#include "obs/json.h"
+#include "obs/obs.h"
+
+namespace topogen::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> ReadLines(const fs::path& p) {
+  std::ifstream is(p);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+// Parses every line and checks the fields every record type carries;
+// fills `records` for type-specific assertions. (Out-parameter because
+// ASSERT_* requires a void-returning function.)
+void ExpectValidEventLog(const fs::path& p, std::vector<Json>& records) {
+  const std::vector<std::string> lines = ReadLines(p);
+  records.clear();
+  EXPECT_FALSE(lines.empty()) << p << " is empty";
+  double prev_ts = -1.0;
+  for (const std::string& line : lines) {
+    std::optional<Json> doc = Json::Parse(line);
+    ASSERT_TRUE(doc.has_value()) << "unparseable line: " << line;
+    ASSERT_TRUE(doc->is_object()) << line;
+    const Json* ts = doc->Find("ts_us");
+    const Json* type = doc->Find("type");
+    const Json* tid = doc->Find("tid");
+    ASSERT_NE(ts, nullptr) << line;
+    ASSERT_NE(type, nullptr) << line;
+    ASSERT_NE(tid, nullptr) << line;
+    EXPECT_TRUE(ts->is_number());
+    EXPECT_TRUE(type->is_string());
+    EXPECT_TRUE(tid->is_number());
+    EXPECT_GE(ts->AsDouble(), prev_ts) << "timestamps must be monotone";
+    prev_ts = ts->AsDouble();
+    records.push_back(std::move(*doc));
+  }
+  EXPECT_EQ(records.front().Find("type")->AsString(), "run_start");
+}
+
+bool HasEventOfType(const std::vector<Json>& records,
+                    std::string_view type) {
+  for (const Json& rec : records) {
+    if (rec.Find("type")->AsString() == type) return true;
+  }
+  return false;
+}
+
+class EventsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "topogen_events_test";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    ClearEnv();
+  }
+
+  void TearDown() override {
+    ClearEnv();
+    fs::remove_all(dir_);
+  }
+
+  void ClearEnv() {
+    ::unsetenv("TOPOGEN_EVENTS");
+    ::unsetenv("TOPOGEN_HIST");
+    ::unsetenv("TOPOGEN_TRACE");
+    ::unsetenv("TOPOGEN_STATS");
+    ::unsetenv("TOPOGEN_OUTDIR");
+    Env::ResetForTesting();
+    EventLog::Get().ResetForTesting();
+    Tracer::Get().DiscardForTesting();
+    Stats::ResetForTesting();
+  }
+
+  void SetEnv(const char* name, const std::string& value) {
+    ::setenv(name, value.c_str(), 1);
+    Env::ResetForTesting();
+    EventLog::Get().ResetForTesting();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(EventsTest, DisabledBuilderIsInert) {
+  EXPECT_FALSE(EventsEnabled());
+  Event e("cache");
+  EXPECT_FALSE(e.active());
+  e.Str("kind", "topology").U64("n", 1);  // must be safe no-ops
+  EXPECT_EQ(EventLog::Get().lines_written(), 0u);
+}
+
+TEST_F(EventsTest, PathGrammar) {
+  // Truthy values route to <outdir>/events.jsonl; falsy values disable
+  // even with an outdir; a value with a slash is an explicit path.
+  SetEnv("TOPOGEN_OUTDIR", dir_.string());
+  SetEnv("TOPOGEN_EVENTS", "1");
+  EXPECT_TRUE(Env::Get().events_enabled());
+  EXPECT_EQ(Env::Get().events_path(),
+            (fs::path(dir_) / "events.jsonl").string());
+  SetEnv("TOPOGEN_EVENTS", "0");
+  EXPECT_FALSE(Env::Get().events_enabled());
+  SetEnv("TOPOGEN_EVENTS", "off");
+  EXPECT_FALSE(Env::Get().events_enabled());
+  const std::string explicit_path = (dir_ / "custom_events.jsonl").string();
+  SetEnv("TOPOGEN_EVENTS", explicit_path);
+  EXPECT_TRUE(Env::Get().events_enabled());
+  EXPECT_EQ(Env::Get().events_path(), explicit_path);
+}
+
+TEST_F(EventsTest, EveryLineIsASchemaValidRecord) {
+  const fs::path path = dir_ / "ev.jsonl";
+  SetEnv("TOPOGEN_EVENTS", path.string());
+  ASSERT_TRUE(EventsEnabled());
+  {
+    Span span("events_test.phase", "test");
+    Event("cache").Str("kind", "topology").Str("op", "miss");
+  }
+  Event("custom").U64("answer", 42).Dbl("ratio", 1.5).I64("delta", -3);
+  ASSERT_TRUE(EventLog::Get().Flush());
+  EXPECT_GE(EventLog::Get().lines_written(), 5u);  // header + 4 records
+
+  std::vector<Json> records;
+  ExpectValidEventLog(path, records);
+  if (HasFatalFailure()) return;
+  EXPECT_TRUE(HasEventOfType(records, "phase_start"));
+  EXPECT_TRUE(HasEventOfType(records, "phase_end"));
+  EXPECT_TRUE(HasEventOfType(records, "cache"));
+  for (const Json& rec : records) {
+    if (rec.Find("type")->AsString() != "custom") continue;
+    EXPECT_EQ(rec.Find("answer")->AsDouble(), 42.0);
+    EXPECT_EQ(rec.Find("ratio")->AsDouble(), 1.5);
+    EXPECT_EQ(rec.Find("delta")->AsDouble(), -3.0);
+  }
+}
+
+TEST_F(EventsTest, FlushRunArtifactsWritesEveryConfiguredSink) {
+  const fs::path events = dir_ / "ev.jsonl";
+  const fs::path trace = dir_ / "trace.json";
+  const fs::path stats = dir_ / "stats.json";
+  SetEnv("TOPOGEN_EVENTS", events.string());
+  SetEnv("TOPOGEN_TRACE", trace.string());
+  SetEnv("TOPOGEN_STATS", stats.string());
+  { Span span("events_test.flush", "test"); }
+  FlushRunArtifacts();
+  std::vector<Json> records;
+  ExpectValidEventLog(events, records);
+  std::ifstream tis(trace);
+  std::stringstream tss;
+  tss << tis.rdbuf();
+  EXPECT_TRUE(Json::Parse(tss.str()).has_value());
+  std::ifstream sis(stats);
+  std::stringstream sss;
+  sss << sis.rdbuf();
+  EXPECT_TRUE(Json::Parse(sss.str()).has_value());
+}
+
+// The flush-audit regression: a run that degrades a roster slot must
+// still leave a complete, parseable events.jsonl (with the degraded
+// record) and trace.json -- this is what bench::Finish's partial-success
+// flush guarantees for exit-75 runs.
+class EventsDegradedTest : public EventsTest {
+ protected:
+  void SetUp() override {
+    EventsTest::SetUp();
+    if (!fault::CompiledIn()) {
+      GTEST_SKIP() << "fault points compiled out (TOPOGEN_FAULT_POINTS=OFF)";
+    }
+    fault::Disarm();
+  }
+  void TearDown() override {
+    if (fault::CompiledIn()) fault::Disarm();
+    EventsTest::TearDown();
+  }
+};
+
+TEST_F(EventsDegradedTest, DegradedRunLeavesParseableArtifacts) {
+  const fs::path events = dir_ / "ev.jsonl";
+  const fs::path trace = dir_ / "trace.json";
+  SetEnv("TOPOGEN_EVENTS", events.string());
+  SetEnv("TOPOGEN_TRACE", trace.string());
+
+  core::SessionOptions opts;
+  opts.roster.seed = 9;
+  opts.roster.as_nodes = 400;
+  opts.roster.rl_expansion_ratio = 3.0;
+  opts.roster.plrg_nodes = 1000;
+  opts.roster.degree_based_nodes = 800;
+  opts.suite.ball.max_centers = 4;
+  opts.suite.ball.big_ball_centers = 2;
+  opts.suite.expansion.max_sources = 200;
+  core::Session session(opts);
+  fault::ArmForTesting("gen.validate@match=Mesh");
+  EXPECT_EQ(session.TryMetrics("Mesh"), nullptr);
+  ASSERT_EQ(session.degraded().size(), 1u);
+  FlushRunArtifacts();
+
+  std::vector<Json> records;
+  ExpectValidEventLog(events, records);
+  if (HasFatalFailure()) return;
+  EXPECT_TRUE(HasEventOfType(records, "fault"));
+  bool saw_degraded = false;
+  for (const Json& rec : records) {
+    if (rec.Find("type")->AsString() != "degraded") continue;
+    saw_degraded = true;
+    EXPECT_EQ(rec.Find("kind")->AsString(), "topology");
+    EXPECT_EQ(rec.Find("id")->AsString(), "Mesh");
+    EXPECT_EQ(rec.Find("code")->AsString(), "retry_exhausted");
+    EXPECT_EQ(rec.Find("attempts")->AsDouble(), 3.0);
+  }
+  EXPECT_TRUE(saw_degraded);
+
+  std::ifstream tis(trace);
+  std::stringstream tss;
+  tss << tis.rdbuf();
+  const std::optional<Json> tdoc = Json::Parse(tss.str());
+  ASSERT_TRUE(tdoc.has_value());
+  EXPECT_NE(tdoc->Find("traceEvents"), nullptr);
+}
+
+}  // namespace
+}  // namespace topogen::obs

@@ -1,0 +1,263 @@
+// Tests for the lock-free log-bucketed histogram (src/obs/histogram.h):
+// bucket layout invariants, quantile exactness on the exact range,
+// merge associativity (the contract that lets per-lane shards fold in
+// any order), the TOPOGEN_HIST macros' disabled-is-free behavior, and --
+// the property everything else rests on -- that enabling telemetry does
+// not perturb the figures at any thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "gen/plrg.h"
+#include "metrics/expansion.h"
+#include "obs/histogram.h"
+#include "obs/obs.h"
+#include "parallel/pool.h"
+
+namespace topogen::obs {
+namespace {
+
+// --- bucket layout ----------------------------------------------------
+
+TEST(HistogramBucketsTest, SmallValuesGetExactBuckets) {
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(Histogram::BucketIndex(v), v);
+    EXPECT_EQ(Histogram::BucketUpperBound(v), v);
+  }
+}
+
+TEST(HistogramBucketsTest, IndexIsMonotoneAndBoundsContain) {
+  // A deterministic sweep across the magnitude range: powers of two and
+  // their neighbors, where bucket transitions happen.
+  std::vector<std::uint64_t> probes;
+  for (int p = 0; p < 64; ++p) {
+    const std::uint64_t base = std::uint64_t{1} << p;
+    for (std::int64_t d = -2; d <= 2; ++d) {
+      const std::uint64_t v = base + static_cast<std::uint64_t>(d);
+      if (v >= base - 2) probes.push_back(v);  // skip underflow wraps
+    }
+  }
+  std::sort(probes.begin(), probes.end());
+  std::size_t prev_index = 0;
+  for (const std::uint64_t v : probes) {
+    const std::size_t index = Histogram::BucketIndex(v);
+    ASSERT_LT(index, Histogram::kNumBuckets);
+    EXPECT_GE(index, prev_index) << "index not monotone at v=" << v;
+    EXPECT_GE(Histogram::BucketUpperBound(index), v);
+    if (index > 0) {
+      // v lies strictly above the previous bucket, or the bounds overlap.
+      EXPECT_GT(v, Histogram::BucketUpperBound(index - 1));
+    }
+    prev_index = index;
+  }
+}
+
+TEST(HistogramBucketsTest, BucketsAreAtMost12Point5PercentWide) {
+  for (std::size_t i = 17; i < Histogram::kNumBuckets; ++i) {
+    const std::uint64_t lo = Histogram::BucketUpperBound(i - 1);
+    const std::uint64_t hi = Histogram::BucketUpperBound(i);
+    // Width relative to the lower edge: (hi - lo) / lo <= 1/8.
+    EXPECT_LE(hi - lo, lo / 8 + 1) << "bucket " << i << " too wide";
+  }
+}
+
+TEST(HistogramBucketsTest, TopBucketAbsorbsUint64Max) {
+  const std::uint64_t top = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(Histogram::BucketIndex(top), Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kNumBuckets - 1), top);
+}
+
+// --- recording and quantiles ------------------------------------------
+
+TEST(HistogramTest, CountSumMinMaxAreExact) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);  // empty reports 0, not the sentinel
+  h.Record(7);
+  h.Record(3);
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 1010u);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 1000u);
+}
+
+TEST(HistogramTest, QuantilesExactOnTheExactRange) {
+  // Values 0..15 each once: every value has its own bucket, so the
+  // quantile is the true order statistic (1-indexed ceil(q*16)-th value).
+  Histogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) h.Record(v);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 7u);    // 8th of 0..15
+  EXPECT_EQ(h.ValueAtQuantile(0.25), 3u);   // 4th
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 15u);   // 16th
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 0u);    // clamped to first value
+}
+
+TEST(HistogramTest, QuantileClampsToObservedMax) {
+  Histogram h;
+  h.Record(1);
+  h.Record(1'000'000);
+  // p99 falls in the bucket holding 1e6, whose upper bound exceeds 1e6;
+  // the clamp keeps the report at the true maximum.
+  EXPECT_EQ(h.ValueAtQuantile(0.99), 1'000'000u);
+  EXPECT_EQ(h.Snapshot().p50, 1u);
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.p99, 0u);
+}
+
+// --- merge ------------------------------------------------------------
+
+// Deterministic value stream (64-bit LCG) spanning many octaves.
+std::vector<std::uint64_t> Stream(std::uint64_t seed, std::size_t count) {
+  std::vector<std::uint64_t> values;
+  std::uint64_t x = seed;
+  for (std::size_t i = 0; i < count; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    values.push_back(x >> (x % 48));  // mix magnitudes
+  }
+  return values;
+}
+
+void RecordAll(Histogram& h, const std::vector<std::uint64_t>& values) {
+  for (const std::uint64_t v : values) h.Record(v);
+}
+
+TEST(HistogramTest, MergeIsExactlyAssociative) {
+  Histogram a, b, c;
+  RecordAll(a, Stream(1, 500));
+  RecordAll(b, Stream(2, 300));
+  RecordAll(c, Stream(3, 700));
+
+  Histogram left;   // (a + b) + c
+  left.MergeFrom(a);
+  left.MergeFrom(b);
+  left.MergeFrom(c);
+  Histogram right;  // a + (b + c), folded through a temporary
+  Histogram bc;
+  bc.MergeFrom(c);  // and in the opposite order
+  bc.MergeFrom(b);
+  right.MergeFrom(bc);
+  right.MergeFrom(a);
+
+  EXPECT_EQ(left.BucketCountsForTesting(), right.BucketCountsForTesting());
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_EQ(left.sum(), right.sum());
+  EXPECT_EQ(left.min(), right.min());
+  EXPECT_EQ(left.max(), right.max());
+  EXPECT_EQ(left.ValueAtQuantile(0.99), right.ValueAtQuantile(0.99));
+}
+
+TEST(HistogramTest, MergeMatchesDirectRecording) {
+  Histogram shard1, shard2, merged, direct;
+  RecordAll(shard1, Stream(9, 400));
+  RecordAll(shard2, Stream(10, 400));
+  merged.MergeFrom(shard1);
+  merged.MergeFrom(shard2);
+  RecordAll(direct, Stream(9, 400));
+  RecordAll(direct, Stream(10, 400));
+  EXPECT_EQ(merged.BucketCountsForTesting(),
+            direct.BucketCountsForTesting());
+  EXPECT_EQ(merged.sum(), direct.sum());
+}
+
+// --- macros and registry ----------------------------------------------
+
+// Env-flipping tests mirror ObsEnvTest (obs_test.cc): TearDown restores
+// the all-unset default so the rest of the binary runs telemetry-off.
+class HistogramEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ClearEnv(); }
+  void TearDown() override { ClearEnv(); }
+
+  void ClearEnv() {
+    ::unsetenv("TOPOGEN_HIST");
+    ::unsetenv("TOPOGEN_EVENTS");
+    ::unsetenv("TOPOGEN_TRACE");
+    ::unsetenv("TOPOGEN_STATS");
+    Env::ResetForTesting();
+    Stats::ResetForTesting();
+  }
+
+  void SetEnv(const char* name, const char* value) {
+    ::setenv(name, value, 1);
+    Env::ResetForTesting();
+  }
+};
+
+TEST_F(HistogramEnvTest, DisabledMacroRegistersNothing) {
+  EXPECT_FALSE(HistEnabled());
+  TOPOGEN_HIST_NS("test.disabled_ns", 42);
+  { TOPOGEN_HIST_SCOPE("test.disabled_scope"); }
+  EXPECT_TRUE(Stats::HistogramSnapshots().empty());
+}
+
+TEST_F(HistogramEnvTest, EnabledMacroRecordsThroughRegistry) {
+  SetEnv("TOPOGEN_HIST", "1");
+  ASSERT_TRUE(HistEnabled());
+  TOPOGEN_HIST_NS("test.enabled_ns", 7);
+  TOPOGEN_HIST_NS("test.enabled_ns", 9);
+  { TOPOGEN_HIST_SCOPE("test.enabled_scope"); }
+  const std::vector<HistogramSnapshot> snaps = Stats::HistogramSnapshots();
+  ASSERT_EQ(snaps.size(), 2u);  // sorted registry: _ns before _scope
+  EXPECT_EQ(snaps[0].name, "test.enabled_ns");
+  EXPECT_EQ(snaps[0].count, 2u);
+  EXPECT_EQ(snaps[0].sum, 16u);
+  EXPECT_EQ(snaps[1].name, "test.enabled_scope");
+  EXPECT_EQ(snaps[1].count, 1u);
+}
+
+TEST_F(HistogramEnvTest, ScopedTimerNullptrDisarms) {
+  Histogram h;
+  { ScopedTimer timer(&h); }
+  EXPECT_EQ(h.count(), 1u);
+  { ScopedTimer disarmed(nullptr); }  // must be a no-op
+  EXPECT_EQ(h.count(), 1u);
+}
+
+// The load-bearing property: telemetry is an observer. With histograms
+// and the event log on, every thread count computes bit-identical
+// figures (the determinism contract of docs/PARALLELISM.md must survive
+// the instrumentation added at the parallel seams).
+TEST_F(HistogramEnvTest, TelemetryDoesNotPerturbFiguresAcrossThreadCounts) {
+  SetEnv("TOPOGEN_HIST", "1");
+  graph::Rng rng(5);
+  gen::PlrgParams params;
+  params.n = 600;
+  const graph::Graph g = gen::Plrg(params, rng);
+
+  metrics::Series reference;
+  for (const int threads : {1, 2, 7}) {
+    parallel::Pool::SetThreadCountForTesting(threads);
+    const metrics::Series s = metrics::Expansion(g, {.max_sources = 64});
+    if (threads == 1) {
+      reference = s;
+      ASSERT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(s.x, reference.x) << "threads=" << threads;
+      EXPECT_EQ(s.y, reference.y) << "threads=" << threads;
+    }
+  }
+  parallel::Pool::SetThreadCountForTesting(0);
+  // The instrumentation itself recorded: one histogram cell per source.
+  bool saw_source_hist = false;
+  for (const HistogramSnapshot& snap : Stats::HistogramSnapshots()) {
+    if (snap.name == "metrics.expansion.source_ns") {
+      saw_source_hist = true;
+      EXPECT_GE(snap.count, 3u * 64u);
+    }
+  }
+  EXPECT_TRUE(saw_source_hist);
+}
+
+}  // namespace
+}  // namespace topogen::obs

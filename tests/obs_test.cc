@@ -53,8 +53,11 @@ class ObsEnvTest : public ::testing::Test {
     ::unsetenv("TOPOGEN_TRACE");
     ::unsetenv("TOPOGEN_STATS");
     ::unsetenv("TOPOGEN_OUTDIR");
+    ::unsetenv("TOPOGEN_HIST");
+    ::unsetenv("TOPOGEN_EVENTS");
     Env::ResetForTesting();
     Tracer::Get().DiscardForTesting();
+    EventLog::Get().ResetForTesting();
     Stats::ResetForTesting();
     Manifest::ResetForTesting();
   }
@@ -158,9 +161,45 @@ TEST_F(ObsEnvTest, SpansFeedTimerAggregates) {
     if (t.name == "test.timed_phase") {
       found = true;
       EXPECT_EQ(t.count, 2u);
+      // min/max bracket the samples and the total.
+      EXPECT_LE(t.min_ns, t.max_ns);
+      EXPECT_LE(t.max_ns, t.total_ns);
+      EXPECT_LE(t.min_ns + t.max_ns, t.total_ns);
     }
   }
   EXPECT_TRUE(found);
+}
+
+TEST_F(ObsEnvTest, TimerMinMaxTrackExtremes) {
+  SetEnv("TOPOGEN_STATS", (dir_ / "s.txt").string());
+  Stats::AddTimerSample("test.extremes", 500);
+  Stats::AddTimerSample("test.extremes", 20);
+  Stats::AddTimerSample("test.extremes", 90);
+  for (const TimerSnapshot& t : Stats::TimerSnapshots()) {
+    if (t.name != "test.extremes") continue;
+    EXPECT_EQ(t.min_ns, 20u);
+    EXPECT_EQ(t.max_ns, 500u);
+    EXPECT_EQ(t.total_ns, 610u);
+  }
+  // Both dump formats carry the new columns.
+  std::ostringstream json;
+  Stats::DumpJson(json);
+  const std::optional<Json> doc = Json::Parse(json.str());
+  ASSERT_TRUE(doc.has_value());
+  const Json* timers = doc->Find("timers");
+  ASSERT_NE(timers, nullptr);
+  ASSERT_TRUE(timers->is_array());
+  const Json* timer = nullptr;
+  for (const Json& entry : timers->AsArray()) {
+    if (entry.Find("name")->AsString() == "test.extremes") timer = &entry;
+  }
+  ASSERT_NE(timer, nullptr);
+  EXPECT_EQ(timer->Find("min_ms")->AsDouble(), 20.0 / 1e6);
+  EXPECT_EQ(timer->Find("max_ms")->AsDouble(), 500.0 / 1e6);
+  std::ostringstream text;
+  Stats::DumpText(text);
+  EXPECT_NE(text.str().find("min_ms"), std::string::npos);
+  EXPECT_NE(text.str().find("max_ms"), std::string::npos);
 }
 
 // --- Counters --------------------------------------------------------
@@ -371,6 +410,43 @@ TEST(ObsJsonTest, JsonNumberRoundTripsExactly) {
     const std::string s = JsonNumber(v);
     EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
   }
+}
+
+TEST(ObsJsonTest, EscapeHandlesEveryByteClass) {
+  // Named escapes for the JSON-special characters...
+  EXPECT_EQ(JsonEscape("\"\\"), "\\\"\\\\");
+  EXPECT_EQ(JsonEscape("\b\f\n\r\t"), "\\b\\f\\n\\r\\t");
+  // ...\u00xx for the remaining control range (both edges)...
+  EXPECT_EQ(JsonEscape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+  EXPECT_EQ(JsonEscape(std::string_view("\0", 1)), "\\u0000");
+  // ...and pass-through for everything printable, DEL, and UTF-8
+  // multibyte sequences (the escaper is byte-oriented; it must never
+  // split or mangle a multibyte code point).
+  EXPECT_EQ(JsonEscape("plain ~ text"), "plain ~ text");
+  EXPECT_EQ(JsonEscape("\x7f"), "\x7f");
+  EXPECT_EQ(JsonEscape("na\xc3\xafve \xe2\x86\x92 graph"),
+            "na\xc3\xafve \xe2\x86\x92 graph");
+}
+
+TEST(ObsJsonTest, EscapedStringsRoundTripThroughTheParser) {
+  // Event-log and trace emitters write "\"" + JsonEscape(s) + "\""; the
+  // parser must recover the original bytes for any payload, including
+  // embedded newlines (one-record-per-line logs depend on this).
+  const std::string nasty =
+      std::string("line1\nline2\t\"quoted\\path\" \x01") + "\xc3\xa9" +
+      std::string("\0tail", 5);
+  const std::string doc = "{\"k\": \"" + JsonEscape(nasty) + "\"}";
+  EXPECT_EQ(doc.find('\n'), std::string::npos);
+  const std::optional<Json> parsed = Json::Parse(doc);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->Find("k")->AsString(), nasty);
+}
+
+TEST(ObsJsonTest, ParserDecodesUnicodeEscapes) {
+  const auto doc = Json::Parse("{\"a\": \"\\u0041\", \"e\": \"\\u00e9\"}");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->Find("a")->AsString(), "A");
+  EXPECT_EQ(doc->Find("e")->AsString(), "\xc3\xa9");  // UTF-8 re-encode
 }
 
 }  // namespace

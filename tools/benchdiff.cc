@@ -1,0 +1,329 @@
+// benchdiff: the perf-regression gate behind CI's perf-gate job.
+//
+// Compares two BENCH.json files (schema topogen-bench/1 or /2, see
+// bench/bench_perf.cc) record-by-record, matched on "name". A record
+// regresses when its new ns_per_op exceeds the baseline by more than the
+// tolerance fraction:
+//
+//   new_ns_per_op > old_ns_per_op * (1 + tolerance)
+//
+// The gate deliberately triggers on ns_per_op only -- the p50/p90/p99
+// tail columns (schema /2) are displayed for diagnosis but carry too
+// much single-run noise to fail a build on. Tolerances are generous by
+// design: shared CI runners jitter, so the gate catches order-of-magnitude
+// mistakes (an accidental O(n^2), a dropped cache), not 5% drift.
+//
+//   benchdiff [options] BASELINE.json CURRENT.json
+//     --tolerance=F          global tolerance fraction (default 0.30)
+//     --tolerance=KERNEL:F   per-kernel override, repeatable (matches the
+//                            record's "kernel" field, e.g. ball_resilience)
+//     --json=PATH            also write a machine-readable verdict
+//     --help
+//
+// Exit codes: 0 = within tolerance, 1 = regression, 2 = usage or
+// unreadable/unparseable input. Records present on only one side are
+// listed (added/removed) but never fail the gate -- renaming a benchmark
+// must not break CI.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+using topogen::obs::Json;
+using topogen::obs::JsonEscape;
+using topogen::obs::JsonNumber;
+
+struct Options {
+  double tolerance = 0.30;
+  std::vector<std::pair<std::string, double>> kernel_tolerance;
+  std::string json_out;
+  std::string baseline_path;
+  std::string current_path;
+};
+
+struct Record {
+  std::string name;
+  std::string kernel;
+  double ns_per_op = 0.0;
+  double p99_ns = 0.0;  // 0 for schema /1 baselines (field absent)
+};
+
+struct Comparison {
+  Record old_rec;
+  Record new_rec;
+  double tolerance = 0.0;
+  double ratio = 0.0;  // new / old ns_per_op
+  bool regressed = false;
+};
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: benchdiff [options] BASELINE.json CURRENT.json\n"
+      "  --tolerance=F         global ns/op tolerance fraction "
+      "(default 0.30)\n"
+      "  --tolerance=KERNEL:F  per-kernel override, repeatable\n"
+      "  --json=PATH           write machine-readable verdict JSON\n"
+      "exit: 0 = ok, 1 = regression, 2 = usage/parse error\n");
+}
+
+std::optional<Options> ParseArgs(int argc, char** argv) {
+  Options opt;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      std::exit(0);
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      const std::string_view spec = arg.substr(12);
+      const std::size_t colon = spec.find(':');
+      char* end = nullptr;
+      if (colon == std::string_view::npos) {
+        opt.tolerance = std::strtod(std::string(spec).c_str(), &end);
+        if (spec.empty() || opt.tolerance < 0.0) return std::nullopt;
+      } else {
+        const std::string kernel(spec.substr(0, colon));
+        const double tol =
+            std::strtod(std::string(spec.substr(colon + 1)).c_str(), &end);
+        if (kernel.empty() || tol < 0.0) return std::nullopt;
+        opt.kernel_tolerance.emplace_back(kernel, tol);
+      }
+    } else if (arg.rfind("--json=", 0) == 0) {
+      opt.json_out = arg.substr(7);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "benchdiff: unknown flag: %.*s\n",
+                   static_cast<int>(arg.size()), arg.data());
+      return std::nullopt;
+    } else {
+      positional.emplace_back(arg);
+    }
+  }
+  if (positional.size() != 2) return std::nullopt;
+  opt.baseline_path = positional[0];
+  opt.current_path = positional[1];
+  return opt;
+}
+
+double NumberOr(const Json& obj, std::string_view key, double fallback) {
+  const Json* v = obj.Find(key);
+  return v != nullptr && v->is_number() ? v->AsDouble() : fallback;
+}
+
+// Loads a BENCH.json and flattens its results array. Accepts schema
+// topogen-bench/1 (no percentile fields) and /2.
+std::optional<std::vector<Record>> LoadBench(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.is_open()) {
+    std::fprintf(stderr, "benchdiff: cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::optional<Json> doc = Json::Parse(buf.str());
+  if (!doc || !doc->is_object()) {
+    std::fprintf(stderr, "benchdiff: %s is not a JSON object\n",
+                 path.c_str());
+    return std::nullopt;
+  }
+  const Json* schema = doc->Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      (schema->AsString() != "topogen-bench/1" &&
+       schema->AsString() != "topogen-bench/2")) {
+    std::fprintf(stderr, "benchdiff: %s: unsupported schema\n",
+                 path.c_str());
+    return std::nullopt;
+  }
+  const Json* results = doc->Find("results");
+  if (results == nullptr || !results->is_array()) {
+    std::fprintf(stderr, "benchdiff: %s: missing results array\n",
+                 path.c_str());
+    return std::nullopt;
+  }
+  std::vector<Record> records;
+  for (const Json& entry : results->AsArray()) {
+    if (!entry.is_object()) continue;
+    const Json* name = entry.Find("name");
+    if (name == nullptr || !name->is_string()) continue;
+    Record rec;
+    rec.name = name->AsString();
+    if (const Json* k = entry.Find("kernel");
+        k != nullptr && k->is_string()) {
+      rec.kernel = k->AsString();
+    }
+    rec.ns_per_op = NumberOr(entry, "ns_per_op", 0.0);
+    rec.p99_ns = NumberOr(entry, "p99_ns", 0.0);
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+double ToleranceFor(const Options& opt, const std::string& kernel) {
+  for (const auto& [k, tol] : opt.kernel_tolerance) {
+    if (k == kernel) return tol;
+  }
+  return opt.tolerance;
+}
+
+const Record* FindByName(const std::vector<Record>& records,
+                         const std::string& name) {
+  for (const Record& r : records) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+std::string FormatNs(double ns) {
+  char buf[32];
+  if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  }
+  return buf;
+}
+
+void PrintTable(const std::vector<Comparison>& comparisons,
+                const std::vector<std::string>& added,
+                const std::vector<std::string>& removed) {
+  std::size_t name_w = 9;
+  for (const Comparison& c : comparisons) {
+    name_w = std::max(name_w, c.old_rec.name.size());
+  }
+  std::printf("%-*s %10s %10s %8s %10s %10s  %s\n",
+              static_cast<int>(name_w), "benchmark", "old", "new", "delta",
+              "old_p99", "new_p99", "status");
+  for (const Comparison& c : comparisons) {
+    const double pct = (c.ratio - 1.0) * 100.0;
+    std::printf("%-*s %10s %10s %+7.1f%% %10s %10s  %s\n",
+                static_cast<int>(name_w), c.old_rec.name.c_str(),
+                FormatNs(c.old_rec.ns_per_op).c_str(),
+                FormatNs(c.new_rec.ns_per_op).c_str(), pct,
+                c.old_rec.p99_ns > 0 ? FormatNs(c.old_rec.p99_ns).c_str()
+                                     : "-",
+                c.new_rec.p99_ns > 0 ? FormatNs(c.new_rec.p99_ns).c_str()
+                                     : "-",
+                c.regressed ? "REGRESSED"
+                            : (pct < -10.0 ? "faster" : "ok"));
+  }
+  for (const std::string& name : added) {
+    std::printf("%-*s %s\n", static_cast<int>(name_w), name.c_str(),
+                "(new benchmark, not gated)");
+  }
+  for (const std::string& name : removed) {
+    std::printf("%-*s %s\n", static_cast<int>(name_w), name.c_str(),
+                "(removed from current run)");
+  }
+}
+
+bool WriteVerdictJson(const std::string& path, const Options& opt,
+                      const std::vector<Comparison>& comparisons,
+                      const std::vector<std::string>& added,
+                      const std::vector<std::string>& removed,
+                      std::size_t regressed) {
+  std::ofstream os(path);
+  if (!os.is_open()) return false;
+  os << "{\n  \"schema\": \"topogen-benchdiff/1\",\n";
+  os << "  \"baseline\": \"" << JsonEscape(opt.baseline_path) << "\",\n";
+  os << "  \"current\": \"" << JsonEscape(opt.current_path) << "\",\n";
+  os << "  \"tolerance\": " << JsonNumber(opt.tolerance) << ",\n";
+  os << "  \"compared\": " << comparisons.size()
+     << ",\n  \"regressed\": " << regressed << ",\n";
+  auto write_names = [&os](const char* key,
+                           const std::vector<std::string>& names) {
+    os << "  \"" << key << "\": [";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << '"' << JsonEscape(names[i]) << '"';
+    }
+    os << "],\n";
+  };
+  write_names("added", added);
+  write_names("removed", removed);
+  os << "  \"results\": [";
+  for (std::size_t i = 0; i < comparisons.size(); ++i) {
+    const Comparison& c = comparisons[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"name\": \"" << JsonEscape(c.old_rec.name)
+       << "\", \"kernel\": \"" << JsonEscape(c.new_rec.kernel)
+       << "\", \"old_ns_per_op\": " << JsonNumber(c.old_rec.ns_per_op)
+       << ", \"new_ns_per_op\": " << JsonNumber(c.new_rec.ns_per_op)
+       << ", \"ratio\": " << JsonNumber(c.ratio)
+       << ", \"tolerance\": " << JsonNumber(c.tolerance)
+       << ", \"regressed\": " << (c.regressed ? "true" : "false") << "}";
+  }
+  os << "\n  ],\n";
+  os << "  \"verdict\": \"" << (regressed > 0 ? "regression" : "ok")
+     << "\"\n}\n";
+  return os.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<Options> opt = ParseArgs(argc, argv);
+  if (!opt) {
+    PrintUsage(stderr);
+    return 2;
+  }
+  const std::optional<std::vector<Record>> baseline =
+      LoadBench(opt->baseline_path);
+  const std::optional<std::vector<Record>> current =
+      LoadBench(opt->current_path);
+  if (!baseline || !current) return 2;
+
+  std::vector<Comparison> comparisons;
+  std::vector<std::string> added;
+  std::vector<std::string> removed;
+  for (const Record& old_rec : *baseline) {
+    const Record* new_rec = FindByName(*current, old_rec.name);
+    if (new_rec == nullptr) {
+      removed.push_back(old_rec.name);
+      continue;
+    }
+    Comparison c;
+    c.old_rec = old_rec;
+    c.new_rec = *new_rec;
+    c.tolerance = ToleranceFor(*opt, new_rec->kernel);
+    c.ratio = old_rec.ns_per_op > 0.0
+                  ? new_rec->ns_per_op / old_rec.ns_per_op
+                  : 1.0;
+    c.regressed = old_rec.ns_per_op > 0.0 &&
+                  new_rec->ns_per_op >
+                      old_rec.ns_per_op * (1.0 + c.tolerance);
+    comparisons.push_back(std::move(c));
+  }
+  for (const Record& new_rec : *current) {
+    if (FindByName(*baseline, new_rec.name) == nullptr) {
+      added.push_back(new_rec.name);
+    }
+  }
+
+  const std::size_t regressed = static_cast<std::size_t>(
+      std::count_if(comparisons.begin(), comparisons.end(),
+                    [](const Comparison& c) { return c.regressed; }));
+  PrintTable(comparisons, added, removed);
+  std::printf("\nbenchdiff: %zu compared, %zu regressed (tolerance %.0f%%"
+              "%s)\n",
+              comparisons.size(), regressed, opt->tolerance * 100.0,
+              opt->kernel_tolerance.empty() ? "" : " + per-kernel overrides");
+
+  if (!opt->json_out.empty() &&
+      !WriteVerdictJson(opt->json_out, *opt, comparisons, added, removed,
+                        regressed)) {
+    std::fprintf(stderr, "benchdiff: cannot write %s\n",
+                 opt->json_out.c_str());
+    return 2;
+  }
+  return regressed > 0 ? 1 : 0;
+}
