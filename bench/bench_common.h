@@ -38,6 +38,7 @@
 #include <string_view>
 
 #include "core/roster.h"
+#include "core/scale.h"
 #include "core/session.h"
 #include "core/suite.h"
 #include "fault/fault.h"
@@ -57,47 +58,20 @@ inline core::RosterOptions Roster() {
   // first Roster() call and closes at exit, so the trace timeline has a
   // top-level bar the per-phase spans nest under.
   static obs::Span run_span("bench.run", "bench");
-  core::RosterOptions ro;
-  ro.seed = 42;
-  const std::string scale = ScaleName();
-  if (scale == "small") {
-    ro.as_nodes = 1500;
-    ro.rl_expansion_ratio = 4.0;
-    ro.plrg_nodes = 4000;
-    ro.degree_based_nodes = 3000;
-  } else if (scale == "full") {
-    ro.as_nodes = 10941;
-    ro.rl_expansion_ratio = 15.6;  // -> ~170k routers, the May 2001 map
-    ro.plrg_nodes = 10000;
-    ro.degree_based_nodes = 10000;
-  } else {
-    ro.as_nodes = 4000;
-    ro.rl_expansion_ratio = 6.0;
-    ro.plrg_nodes = 10000;
-    ro.degree_based_nodes = 8000;
-  }
+  // The tier values live in core/scale.h so topogend resolves the
+  // identical roster (and therefore identical cache keys) as the benches.
+  core::RosterOptions ro = core::ScaledRosterOptions(ScaleName());
   core::RecordRunConfiguration(ro);
   return ro;
 }
 
 inline core::SuiteOptions Suite() {
-  core::SuiteOptions so;
-  const std::string scale = ScaleName();
-  if (scale == "small") {
-    so.ball.max_centers = 8;
-    so.ball.big_ball_centers = 3;
-    so.expansion.max_sources = 500;
-  } else {
-    so.ball.max_centers = 16;
-    so.ball.big_ball_centers = 4;
-    so.expansion.max_sources = 1500;
-  }
-  return so;
+  return core::ScaledSuiteOptions(ScaleName());
 }
 
 // Source budget for link-value analysis (exact up to this many sources).
 inline std::size_t LinkValueSources() {
-  return ScaleName() == "small" ? 600 : 1500;
+  return core::ScaledLinkValueSources(ScaleName());
 }
 
 // The scale-resolved session configuration every bench shares: roster and
@@ -106,18 +80,8 @@ inline std::size_t LinkValueSources() {
 // bench_ext_gao's small AS graph) copy this and adjust before opening
 // their own Session.
 inline core::SessionOptions SessionConfig() {
-  core::SessionOptions so;
-  so.roster = Roster();
-  so.suite = Suite();
-  so.link_value = {.max_sources = LinkValueSources(), .seed = 23};
-  const obs::Env& env = obs::Env::Get();
-  so.cache_dir = env.cache_dir();
-  so.cache_max_mb = env.cache_max_mb();
-  if (env.outdir_set()) {
-    so.journal_path =
-        (std::filesystem::path(env.outdir()) / "journal.log").string();
-  }
-  return so;
+  Roster();  // open the run span + record the manifest configuration
+  return core::ScaledSessionOptions(ScaleName());
 }
 
 // The process-wide session. All figure benches pull topologies

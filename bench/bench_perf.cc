@@ -4,7 +4,7 @@
 // paper figures -- they size the cost of the figure harness.
 //
 // Besides the console table, every run writes a machine-readable
-// BENCH.json (schema topogen-bench/2) next to the working directory --
+// BENCH.json (schema topogen-bench/3) next to the working directory --
 // override the path with TOPOGEN_BENCH_JSON. Each record carries the
 // kernel id, graph family, node count, thread count, ns/op, per-iteration
 // latency percentiles (p50/p90/p99/max, from a local obs::Histogram over
@@ -12,7 +12,7 @@
 // (graph.bfs_alloc_bytes delta; ~0 in steady state is the zero-allocation
 // contract, see docs/PERFORMANCE.md). CI smoke-validates the file, diffs
 // it against the committed baseline with tools/benchdiff (the perf-gate
-// job), and archives it; BENCH_PR6.json in the repo root pins the numbers
+// job), and archives it; BENCH_PR7.json in the repo root pins the numbers
 // this schema shipped with.
 #include <benchmark/benchmark.h>
 
@@ -238,7 +238,7 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
   bool WriteJson(const std::string& path) const {
     std::ofstream os(path);
     if (!os.is_open()) return false;
-    os << "{\n  \"schema\": \"topogen-bench/2\",\n";
+    os << "{\n  \"schema\": \"topogen-bench/3\",\n";
     os << "  \"created_unix\": " << static_cast<long long>(std::time(nullptr))
        << ",\n";
     os << "  \"host_threads\": " << HostThreads() << ",\n";

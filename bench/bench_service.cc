@@ -1,0 +1,332 @@
+// Multi-client stress bench for topogend's server core: an in-process
+// Server on an ephemeral loopback port, driven by concurrent client
+// threads sending tiny-roster requests over real sockets. Measures what
+// the figure benches cannot -- end-to-end *serving* latency: framing,
+// admission, in-flight dedup, the executor's cache lookups, and response
+// serialization.
+//
+// Results merge into the same BENCH.json the micro-benchmarks write
+// (schema topogen-bench/3; override the path with TOPOGEN_BENCH_JSON),
+// one record per thread count with QPS and per-request latency
+// percentiles, so CI's perf-gate diffs serving latency against the
+// committed baseline exactly like kernel ns/op.
+//
+// The workload is warm: a priming pass computes each distinct request
+// once, so the timed phase measures the service plumbing, not PLRG
+// generation (whose cost bench_perf already gates).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "service/server.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using topogen::obs::Json;
+using topogen::service::Server;
+using topogen::service::ServerOptions;
+
+// Three distinct structural keys (all tiny), cycled per request: warm
+// cache hits with occasional in-flight collisions between threads --
+// the daemon's steady state, not a single-key microloop.
+const char* const kRequests[] = {
+    R"({"topology":"Tree","metrics":["expansion","signature"],)"
+    R"("scale":"small","as_nodes":300})",
+    R"({"topology":"Mesh","metrics":["expansion","signature"],)"
+    R"("scale":"small","as_nodes":300})",
+    R"({"topology":"Random","metrics":["resilience","signature"],)"
+    R"("scale":"small","as_nodes":300})",
+};
+constexpr int kNumRequests = 3;
+
+class Client {
+ public:
+  explicit Client(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool ok() const { return fd_ >= 0; }
+
+  // One request, one response; returns false on any transport failure.
+  bool RoundTrip(const std::string& line) {
+    std::string framed = line;
+    framed += '\n';
+    if (::send(fd_, framed.data(), framed.size(), MSG_NOSIGNAL) !=
+        static_cast<ssize_t>(framed.size())) {
+      return false;
+    }
+    for (;;) {
+      if (buffer_.find('\n') != std::string::npos) {
+        buffer_.erase(0, buffer_.find('\n') + 1);
+        return true;
+      }
+      char chunk[8192];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+struct PhaseResult {
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  double wall_ns = 0.0;
+  double qps = 0.0;
+  double ns_per_op = 0.0;
+  double p50_ns = 0.0;
+  double p90_ns = 0.0;
+  double p99_ns = 0.0;
+  double max_ns = 0.0;
+};
+
+double Percentile(const std::vector<std::uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return static_cast<double>(sorted[std::min(idx, sorted.size() - 1)]);
+}
+
+// `threads` clients, each `per_thread` sequential round trips cycling the
+// request mix; per-request wall latency pooled across threads.
+PhaseResult RunPhase(int port, int threads, int per_thread) {
+  std::vector<std::vector<std::uint64_t>> latencies(threads);
+  std::vector<std::uint64_t> errors(threads, 0);
+  std::vector<std::thread> workers;
+  const Clock::time_point start = Clock::now();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([port, t, per_thread, &latencies, &errors] {
+      Client client(port);
+      if (!client.ok()) {
+        errors[t] = static_cast<std::uint64_t>(per_thread);
+        return;
+      }
+      latencies[t].reserve(static_cast<std::size_t>(per_thread));
+      for (int i = 0; i < per_thread; ++i) {
+        const std::string request = kRequests[(t + i) % kNumRequests];
+        const Clock::time_point begin = Clock::now();
+        const bool ok = client.RoundTrip(request);
+        const Clock::time_point end = Clock::now();
+        if (!ok) {
+          ++errors[t];
+          continue;
+        }
+        latencies[t].push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+                .count()));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+
+  std::vector<std::uint64_t> pooled;
+  PhaseResult r;
+  for (int t = 0; t < threads; ++t) {
+    pooled.insert(pooled.end(), latencies[t].begin(), latencies[t].end());
+    r.errors += errors[t];
+  }
+  std::sort(pooled.begin(), pooled.end());
+  r.requests = pooled.size();
+  r.wall_ns = wall_ns;
+  if (r.requests > 0 && wall_ns > 0) {
+    r.qps = static_cast<double>(r.requests) / (wall_ns / 1e9);
+    r.ns_per_op = wall_ns / static_cast<double>(r.requests);
+  }
+  r.p50_ns = Percentile(pooled, 0.50);
+  r.p90_ns = Percentile(pooled, 0.90);
+  r.p99_ns = Percentile(pooled, 0.99);
+  r.max_ns = pooled.empty() ? 0.0 : static_cast<double>(pooled.back());
+  return r;
+}
+
+struct ServiceRecord {
+  std::string name;
+  int threads = 1;
+  PhaseResult phase;
+};
+
+// Merges `records` into the BENCH.json at `path`: existing results are
+// kept (same-name service records replaced), the schema is stamped /3.
+// bench_perf and bench_service can run in either order against one file.
+bool MergeIntoBenchJson(const std::string& path,
+                        const std::vector<ServiceRecord>& records) {
+  std::vector<std::string> kept;
+  std::ifstream is(path);
+  if (is.is_open()) {
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::optional<Json> doc = Json::Parse(buf.str());
+    if (doc.has_value() && doc->is_object()) {
+      if (const Json* results = doc->Find("results");
+          results != nullptr && results->is_array()) {
+        for (const Json& entry : results->AsArray()) {
+          const Json* name = entry.Find("name");
+          if (name == nullptr || !name->is_string()) continue;
+          bool replaced = false;
+          for (const ServiceRecord& r : records) {
+            if (r.name == name->AsString()) replaced = true;
+          }
+          if (replaced) continue;
+          // Re-serialize the record we are keeping.
+          std::string line = "    {";
+          bool first = true;
+          for (const auto& [key, value] : entry.AsObject()) {
+            if (!first) line += ", ";
+            first = false;
+            line += "\"" + key + "\": ";
+            if (value.is_string()) {
+              line += "\"" + topogen::obs::JsonEscape(value.AsString()) +
+                      "\"";
+            } else if (value.is_number()) {
+              line += topogen::obs::JsonNumber(value.AsDouble());
+            } else if (value.is_bool()) {
+              line += value.AsBool() ? "true" : "false";
+            } else {
+              line += "null";
+            }
+          }
+          line += "}";
+          kept.push_back(std::move(line));
+        }
+      }
+    }
+  }
+  is.close();
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::ofstream os(path);
+  if (!os.is_open()) return false;
+  os << "{\n  \"schema\": \"topogen-bench/3\",\n";
+  os << "  \"created_unix\": " << static_cast<long long>(std::time(nullptr))
+     << ",\n";
+  os << "  \"host_threads\": " << (hw > 0 ? hw : 1) << ",\n";
+  os << "  \"results\": [";
+  bool first = true;
+  for (const std::string& line : kept) {
+    os << (first ? "\n" : ",\n") << line;
+    first = false;
+  }
+  for (const ServiceRecord& r : records) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    const PhaseResult& p = r.phase;
+    os << "    {\"name\": \"" << r.name
+       << "\", \"kernel\": \"service_request\", \"family\": \"service\""
+       << ", \"n\": " << p.requests << ", \"threads\": " << r.threads
+       << ", \"ns_per_op\": " << p.ns_per_op << ", \"qps\": " << p.qps
+       << ",\n     \"p50_ns\": " << p.p50_ns << ", \"p90_ns\": " << p.p90_ns
+       << ", \"p99_ns\": " << p.p99_ns << ", \"max_ns\": " << p.max_ns
+       << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int per_thread = 200;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--requests=", 0) == 0) {
+      per_thread = std::atoi(arg.c_str() + 11);
+    } else {
+      std::fprintf(stderr, "usage: %s [--requests=N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  Server server(ServerOptions{.queue_limit = 1024});
+  server.Start();
+  const int port = server.port();
+
+  // Priming pass: compute each distinct request once so the timed phases
+  // measure serving, not generation.
+  {
+    Client primer(port);
+    if (!primer.ok()) {
+      std::fprintf(stderr, "bench_service: cannot connect to 127.0.0.1:%d\n",
+                   port);
+      return 1;
+    }
+    for (const char* request : kRequests) {
+      if (!primer.RoundTrip(request)) {
+        std::fprintf(stderr, "bench_service: priming round trip failed\n");
+        return 1;
+      }
+    }
+  }
+
+  std::vector<ServiceRecord> records;
+  for (const int threads : {1, 8}) {
+    ServiceRecord rec;
+    rec.name = "BM_ServiceRoundTrip/threads:" + std::to_string(threads);
+    rec.threads = threads;
+    rec.phase = RunPhase(port, threads, per_thread);
+    if (rec.phase.errors > 0) {
+      std::fprintf(stderr, "bench_service: %llu transport errors at %d "
+                           "threads\n",
+                   static_cast<unsigned long long>(rec.phase.errors),
+                   threads);
+      return 1;
+    }
+    std::printf(
+        "%-30s %8llu req  %10.0f qps  p50 %8.0fns  p90 %8.0fns  "
+        "p99 %8.0fns\n",
+        rec.name.c_str(), static_cast<unsigned long long>(rec.phase.requests),
+        rec.phase.qps, rec.phase.p50_ns, rec.phase.p90_ns, rec.phase.p99_ns);
+    records.push_back(std::move(rec));
+  }
+  server.Stop();
+
+  const topogen::service::ServerStats stats = server.stats();
+  std::printf("server: %llu responses, %llu deduped, %llu queue-full\n",
+              static_cast<unsigned long long>(stats.responses),
+              static_cast<unsigned long long>(stats.deduped),
+              static_cast<unsigned long long>(stats.rejected_queue_full));
+
+  const char* path = std::getenv("TOPOGEN_BENCH_JSON");
+  const std::string out =
+      path != nullptr && *path != '\0' ? path : "BENCH.json";
+  if (!MergeIntoBenchJson(out, records)) {
+    std::fprintf(stderr, "bench_service: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "core/scale.h"
+
+#include <filesystem>
+
+#include "obs/obs.h"
+
+namespace topogen::core {
+
+RosterOptions ScaledRosterOptions(std::string_view scale) {
+  RosterOptions ro;
+  ro.seed = 42;
+  if (scale == "small") {
+    ro.as_nodes = 1500;
+    ro.rl_expansion_ratio = 4.0;
+    ro.plrg_nodes = 4000;
+    ro.degree_based_nodes = 3000;
+  } else if (scale == "full") {
+    ro.as_nodes = 10941;
+    ro.rl_expansion_ratio = 15.6;  // -> ~170k routers, the May 2001 map
+    ro.plrg_nodes = 10000;
+    ro.degree_based_nodes = 10000;
+  } else {
+    ro.as_nodes = 4000;
+    ro.rl_expansion_ratio = 6.0;
+    ro.plrg_nodes = 10000;
+    ro.degree_based_nodes = 8000;
+  }
+  return ro;
+}
+
+SuiteOptions ScaledSuiteOptions(std::string_view scale) {
+  SuiteOptions so;
+  if (scale == "small") {
+    so.ball.max_centers = 8;
+    so.ball.big_ball_centers = 3;
+    so.expansion.max_sources = 500;
+  } else {
+    so.ball.max_centers = 16;
+    so.ball.big_ball_centers = 4;
+    so.expansion.max_sources = 1500;
+  }
+  return so;
+}
+
+std::size_t ScaledLinkValueSources(std::string_view scale) {
+  return scale == "small" ? 600 : 1500;
+}
+
+SessionOptions ScaledSessionOptions(std::string_view scale) {
+  SessionOptions so;
+  so.roster = ScaledRosterOptions(scale);
+  so.suite = ScaledSuiteOptions(scale);
+  so.link_value = {.max_sources = ScaledLinkValueSources(scale), .seed = 23};
+  const obs::Env& env = obs::Env::Get();
+  so.cache_dir = env.cache_dir();
+  so.cache_max_mb = env.cache_max_mb();
+  if (env.outdir_set()) {
+    so.journal_path =
+        (std::filesystem::path(env.outdir()) / "journal.log").string();
+  }
+  return so;
+}
+
+}  // namespace topogen::core

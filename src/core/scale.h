@@ -1,0 +1,36 @@
+// The TOPOGEN_SCALE tiers, resolved to concrete options in one place.
+//
+// The figure harness and topogend must agree exactly on what "small",
+// "default" and "full" mean: the structural cache keys hash these values
+// (docs/CACHING.md), so a daemon answering a request at the same tier as
+// a batch bench run must produce the identical key -- and therefore the
+// identical artifact -- or the two paths would silently diverge. The
+// bench harness (bench/bench_common.h) and src/service both call these.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "core/roster.h"
+#include "core/session.h"
+#include "core/suite.h"
+
+namespace topogen::core {
+
+// Roster sizing for a scale tier ("small" | "full" | anything else =
+// default). seed = 42 at every tier.
+RosterOptions ScaledRosterOptions(std::string_view scale);
+
+// Ball-growing/expansion budgets for a scale tier.
+SuiteOptions ScaledSuiteOptions(std::string_view scale);
+
+// Source budget for link-value analysis (exact up to this many sources).
+std::size_t ScaledLinkValueSources(std::string_view scale);
+
+// The full scale-resolved SessionOptions: roster, suite and link-value
+// budgets from the tier, cache/journal locations from the environment
+// (TOPOGEN_CACHE_DIR, TOPOGEN_CACHE_MAX_MB, TOPOGEN_OUTDIR).
+SessionOptions ScaledSessionOptions(std::string_view scale);
+
+}  // namespace topogen::core

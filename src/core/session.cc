@@ -521,6 +521,18 @@ std::vector<const BasicMetrics*> Session::MetricsBatch(
   return out;
 }
 
+std::string Session::MetricsArtifactPath(std::string_view id,
+                                         bool use_policy) const {
+  if (store_ == nullptr) return {};
+  return store_->PathFor("metrics", MetricsKey(id, use_policy));
+}
+
+std::string Session::LinkValueArtifactPath(std::string_view id,
+                                           bool use_policy) const {
+  if (store_ == nullptr) return {};
+  return store_->PathFor("linkvalue", LinkValueKey(id, use_policy));
+}
+
 const hierarchy::LinkValueResult& Session::LinkValues(std::string_view id,
                                                       bool use_policy) {
   const hierarchy::LinkValueResult* lv = TryLinkValues(id, use_policy);

@@ -147,6 +147,16 @@ class Session {
   const hierarchy::LinkValueResult* TryLinkValues(std::string_view id,
                                                   bool use_policy = false);
 
+  // Absolute path the artifact for (id, use_policy) lives at under the
+  // persistent cache, or "" when caching is off. Purely a key-to-path
+  // mapping: the file exists only once the artifact has been computed and
+  // stored (topogend returns these when a client asks for figures by
+  // reference instead of inline; docs/SERVICE.md).
+  std::string MetricsArtifactPath(std::string_view id,
+                                  bool use_policy = false) const;
+  std::string LinkValueArtifactPath(std::string_view id,
+                                    bool use_policy = false) const;
+
  private:
   // Generate-or-load; the backbone of Topology()/Rl().
   RlArtifacts& Materialize(std::string_view id);

@@ -32,6 +32,7 @@ enum class ErrorCode {
   kRetryExhausted,      // bounded retry loop ran out of attempts
   kInjected,            // a TOPOGEN_FAULTS fail point fired
   kTaskFailed,          // a parallel task aborted below the isolation seam
+  kCancelled,           // cooperative cancellation (deadline or caller stop)
 };
 
 const char* ErrorCodeName(ErrorCode code);

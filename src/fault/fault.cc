@@ -42,6 +42,12 @@ constexpr PointInfo kCatalog[] = {
      "a parallel-pool chunk fails at the dispatch boundary"},
     {"suite.metrics", Kind::kThrow,
      "the basic-metrics suite fails for one topology"},
+    {"svc.accept", Kind::kThrow,
+     "topogend rejects an incoming connection at the accept seam"},
+    {"svc.parse", Kind::kThrow,
+     "topogend fails to parse a request line after reading it"},
+    {"svc.respond", Kind::kThrow,
+     "topogend fails to write a response (abort = crash mid-request)"},
 };
 
 const PointInfo* FindPoint(std::string_view name) {
@@ -326,6 +332,8 @@ const char* ErrorCodeName(ErrorCode code) {
       return "injected";
     case ErrorCode::kTaskFailed:
       return "task_failed";
+    case ErrorCode::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

@@ -42,6 +42,19 @@ int EnvInt(const char* name, long max_value = 4096) {
   return static_cast<int>(parsed);
 }
 
+// Like EnvInt but with a non-zero fallback for unset/unparsable values,
+// so "0" stays a representable explicit choice (e.g. an ephemeral port).
+int EnvIntOr(const char* name, int fallback, long max_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || parsed < 0 || parsed > max_value) {
+    return fallback;
+  }
+  return static_cast<int>(parsed);
+}
+
 // Shared boolean grammar for on/off env vars: empty, "0", "off", "false",
 // and "no" are off; anything else is on.
 bool Truthy(const std::string& v) {
@@ -91,8 +104,34 @@ Env::Env()
       events_path_(ResolveEventsPath(EnvOr("TOPOGEN_EVENTS", ""), outdir_)),
       threads_override_(EnvInt("TOPOGEN_THREADS")),
       cache_max_mb_(EnvInt("TOPOGEN_CACHE_MAX_MB", 1 << 20)),
+      service_port_(EnvIntOr("TOPOGEN_SERVICE_PORT", 7077, 65535)),
+      service_queue_(EnvIntOr("TOPOGEN_SERVICE_QUEUE", 64, 1 << 16)),
       hist_(Truthy(EnvOr("TOPOGEN_HIST", ""))) {
   Epoch();  // pin the trace epoch no later than first configuration use
+}
+
+std::span<const EnvVarInfo> Env::RegisteredVars() {
+  // Every TOPOGEN_* variable the toolchain reads, in the order the docs
+  // table presents them. TOPOGEN_BENCH_JSON is parsed by bench_perf (not
+  // here) but registered so the docs table stays complete.
+  static constexpr EnvVarInfo kVars[] = {
+      {"TOPOGEN_SCALE", "figure sizing tier: small | default | full"},
+      {"TOPOGEN_THREADS", "worker threads; 0/unset = hardware concurrency"},
+      {"TOPOGEN_TRACE", "write a Chrome trace_event JSON to <file> at exit"},
+      {"TOPOGEN_STATS", "write the counter/gauge/timer dump to <file>"},
+      {"TOPOGEN_OUTDIR",
+       "figure export dir (+ manifest.json, journal.log, events.jsonl)"},
+      {"TOPOGEN_CACHE_DIR", "persistent content-addressed artifact cache"},
+      {"TOPOGEN_CACHE_MAX_MB", "prune the cache to n MiB at exit; 0 = never"},
+      {"TOPOGEN_FAULTS",
+       "deterministic fault-injection spec (fault-point builds only)"},
+      {"TOPOGEN_HIST", "latency histograms (p50/p90/p99/max) at hot seams"},
+      {"TOPOGEN_EVENTS", "JSONL event log; 1 = events.jsonl under outdir"},
+      {"TOPOGEN_BENCH_JSON", "bench_perf/bench_service BENCH.json output path"},
+      {"TOPOGEN_SERVICE_PORT", "topogend TCP port; 0 = ephemeral (default 7077)"},
+      {"TOPOGEN_SERVICE_QUEUE", "topogend admission-queue depth (default 64)"},
+  };
+  return kVars;
 }
 
 const Env& Env::Get() {

@@ -32,9 +32,20 @@
 #pragma once
 
 #include <atomic>
+#include <span>
 #include <string>
+#include <string_view>
 
 namespace topogen::obs {
+
+// One row of the environment-variable registry: every TOPOGEN_* variable
+// the toolchain honors, with a one-line summary. docs/INDEX.md carries
+// the authoritative human-facing table; tests/env_docs_main.cc diffs the
+// two so the doc cannot drift from the code.
+struct EnvVarInfo {
+  std::string_view name;
+  std::string_view summary;
+};
 
 class Env {
  public:
@@ -73,6 +84,17 @@ class Env {
   // TOPOGEN_EVENTS resolved to a concrete file path ("" = event log off).
   const std::string& events_path() const { return events_path_; }
 
+  // TOPOGEN_SERVICE_PORT: TCP port topogend listens on. 0 means "pick an
+  // ephemeral port" (printed on startup); unset defaults to 7077.
+  int service_port() const { return service_port_; }
+
+  // TOPOGEN_SERVICE_QUEUE: topogend's admission-queue depth; requests
+  // beyond it are rejected with a queue_full error (docs/SERVICE.md).
+  int service_queue() const { return service_queue_; }
+
+  // The full registry of TOPOGEN_* variables this build honors.
+  static std::span<const EnvVarInfo> RegisteredVars();
+
   bool trace_enabled() const { return !trace_path_.empty(); }
   bool stats_enabled() const { return !stats_path_.empty(); }
   bool outdir_set() const { return !outdir_.empty(); }
@@ -93,6 +115,8 @@ class Env {
   std::string events_path_;
   int threads_override_ = 0;
   int cache_max_mb_ = 0;
+  int service_port_ = 0;
+  int service_queue_ = 0;
   bool hist_ = false;
 };
 

@@ -1,0 +1,93 @@
+// Cooperative cancellation for parallel regions (docs/PARALLELISM.md).
+//
+// A CancelToken is a caller-owned stop flag with an optional wall-clock
+// deadline. It is *advisory*: nothing preempts a running chunk. Instead,
+// ParallelFor/ParallelForEach/ParallelReduce consult the ambient token at
+// every chunk boundary -- a chunk either runs to completion or never
+// starts, so the work that did happen is always a set of whole chunks
+// from the deterministic plan. When any chunk was skipped, the region
+// throws fault::Exception(kCancelled) after quiescing, and the caller's
+// isolation seam (Session slot, suite batch, topogend request) turns that
+// into a degraded result.
+//
+// The token is passed ambiently: establish a CancelScope on the calling
+// thread and every parallel region below it -- including regions inside
+// nested library code that never heard of cancellation -- observes the
+// token. Pool workers re-establish the scope inside each chunk, so nested
+// ParallelFor calls see it too. No token in scope = the zero-overhead
+// fast path (one thread_local load per region, nothing per chunk).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "fault/error.h"
+
+namespace topogen::parallel {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  explicit CancelToken(std::chrono::steady_clock::time_point deadline)
+      : has_deadline_(true), deadline_(deadline) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Requests stop. Chunks already running finish; no new chunk starts.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  // The boundary check: explicit cancel, or deadline passed. Reading the
+  // clock only happens when a deadline was set.
+  bool ShouldStop() const {
+    if (cancelled()) return true;
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  std::chrono::steady_clock::time_point deadline() const { return deadline_; }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+namespace detail {
+inline thread_local CancelToken* g_ambient_cancel_token = nullptr;
+}  // namespace detail
+
+// RAII: makes `token` the ambient cancel token for this thread (restoring
+// the previous one on destruction, so scopes nest). Pass nullptr to
+// shield a subtree from an outer token.
+class CancelScope {
+ public:
+  explicit CancelScope(CancelToken* token)
+      : previous_(detail::g_ambient_cancel_token) {
+    detail::g_ambient_cancel_token = token;
+  }
+  ~CancelScope() { detail::g_ambient_cancel_token = previous_; }
+
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+  static CancelToken* Current() { return detail::g_ambient_cancel_token; }
+
+ private:
+  CancelToken* previous_;
+};
+
+// Thrown by a parallel region that skipped at least one chunk. The code
+// is part of the degraded taxonomy (docs/ROBUSTNESS.md): isolation seams
+// record it as code "cancelled".
+[[noreturn]] inline void ThrowCancelled() {
+  throw fault::Exception(fault::ErrorCode::kCancelled,
+                         "parallel region stopped at a chunk boundary");
+}
+
+}  // namespace topogen::parallel

@@ -23,11 +23,13 @@
 // plan executed by one lane.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "parallel/cancel.h"
 #include "parallel/pool.h"
 
 namespace topogen::parallel {
@@ -66,20 +68,55 @@ inline ChunkPlan PlanChunks(std::size_t n, std::size_t min_grain = 16,
 // Runs body(chunk_index, begin, end) over the plan's chunks. The body
 // must only write state owned by its items (slot-per-item writes are the
 // canonical pattern); cross-chunk accumulation belongs in ParallelReduce.
+//
+// Cancellation (cancel.h): when a CancelToken is in ambient scope, it is
+// consulted before every chunk. Chunks never stop mid-flight -- each one
+// either ran over its full deterministic [begin, end) range or not at
+// all -- and if any chunk was skipped the region throws
+// fault::Exception(kCancelled) after all running chunks quiesce.
 template <typename Body>
 void ParallelFor(const ChunkPlan& plan, Body&& body) {
   if (plan.chunks == 0) return;
+  CancelToken* token = CancelScope::Current();
+  if (token == nullptr) {
+    Pool::Get().Run(plan.chunks, [&](std::size_t chunk) {
+      body(chunk, plan.begin(chunk), plan.end(chunk));
+    });
+    return;
+  }
+  std::atomic<bool> skipped{false};
   Pool::Get().Run(plan.chunks, [&](std::size_t chunk) {
+    if (token->ShouldStop()) {
+      skipped.store(true, std::memory_order_relaxed);
+      return;
+    }
+    CancelScope nested(token);  // pool workers inherit for inner regions
     body(chunk, plan.begin(chunk), plan.end(chunk));
   });
+  if (skipped.load(std::memory_order_relaxed)) ThrowCancelled();
 }
 
 // Convenience overload: one chunk per index in [0, n) (per-topology
 // fan-out and other coarse loops where every item is heavyweight).
+// Cancellation semantics match ParallelFor, with one index per chunk.
 template <typename Body>
 void ParallelForEach(std::size_t n, Body&& body) {
   if (n == 0) return;
-  Pool::Get().Run(n, [&](std::size_t index) { body(index); });
+  CancelToken* token = CancelScope::Current();
+  if (token == nullptr) {
+    Pool::Get().Run(n, [&](std::size_t index) { body(index); });
+    return;
+  }
+  std::atomic<bool> skipped{false};
+  Pool::Get().Run(n, [&](std::size_t index) {
+    if (token->ShouldStop()) {
+      skipped.store(true, std::memory_order_relaxed);
+      return;
+    }
+    CancelScope nested(token);
+    body(index);
+  });
+  if (skipped.load(std::memory_order_relaxed)) ThrowCancelled();
 }
 
 // Maps each chunk to a Partial, then folds the partials in ascending
@@ -90,14 +127,27 @@ void ParallelForEach(std::size_t n, Body&& body) {
 //
 // Returns nullopt when the plan is empty. The fold order (and therefore
 // every floating-point rounding) is fixed by the plan alone.
+//
+// Under an ambient CancelToken a skipped chunk leaves a hole no fold
+// order could paper over, so the region throws kCancelled before folding
+// anything -- a reduce either returns the full deterministic value or
+// nothing.
 template <typename Partial, typename Map, typename Fold>
 std::optional<Partial> ParallelReduce(const ChunkPlan& plan, Map&& map,
                                       Fold&& fold) {
   if (plan.chunks == 0) return std::nullopt;
+  CancelToken* token = CancelScope::Current();
   std::vector<std::optional<Partial>> partials(plan.chunks);
   Pool::Get().Run(plan.chunks, [&](std::size_t chunk) {
+    if (token != nullptr && token->ShouldStop()) return;
+    CancelScope nested(token);
     partials[chunk].emplace(map(chunk, plan.begin(chunk), plan.end(chunk)));
   });
+  if (token != nullptr) {
+    for (const std::optional<Partial>& partial : partials) {
+      if (!partial.has_value()) ThrowCancelled();
+    }
+  }
   Partial acc = std::move(*partials[0]);
   for (std::size_t chunk = 1; chunk < plan.chunks; ++chunk) {
     fold(acc, std::move(*partials[chunk]));

@@ -1,0 +1,286 @@
+#include "service/protocol.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.h"
+
+namespace topogen::service {
+
+namespace {
+
+bool KnownMetric(std::string_view name) {
+  for (const std::string_view m : kMetricNames) {
+    if (m == name) return true;
+  }
+  return false;
+}
+
+// Non-negative integer field; JSON numbers are doubles, so anything with
+// a fractional part or beyond 2^53 is rejected rather than rounded.
+bool AsU64(const obs::Json& v, std::uint64_t& out) {
+  if (!v.is_number()) return false;
+  const double d = v.AsDouble();
+  if (d < 0 || d > 9007199254740992.0 || d != std::floor(d)) return false;
+  out = static_cast<std::uint64_t>(d);
+  return true;
+}
+
+}  // namespace
+
+ParseOutcome ParseRequest(std::string_view line) {
+  ParseOutcome out;
+  if (line.size() > kMaxRequestBytes) {
+    out.error = "request line exceeds " + std::to_string(kMaxRequestBytes) +
+                " bytes";
+    return out;
+  }
+  const std::optional<obs::Json> doc = obs::Json::Parse(line);
+  if (!doc.has_value()) {
+    out.error = "request is not valid JSON";
+    return out;
+  }
+  if (!doc->is_object()) {
+    out.error = "request must be a JSON object";
+    return out;
+  }
+  if (const obs::Json* id = doc->Find("id"); id != nullptr && id->is_string()) {
+    out.id = id->AsString();
+  }
+
+  Request req;
+  req.id = out.id;
+  for (const auto& [key, value] : doc->AsObject()) {
+    if (key == "id") {
+      if (!value.is_string()) {
+        out.error = "'id' must be a string";
+        return out;
+      }
+    } else if (key == "topology") {
+      if (!value.is_string() || value.AsString().empty()) {
+        out.error = "'topology' must be a non-empty string";
+        return out;
+      }
+      req.topology = value.AsString();
+    } else if (key == "metrics") {
+      if (!value.is_array() || value.AsArray().empty()) {
+        out.error = "'metrics' must be a non-empty array of names";
+        return out;
+      }
+      for (const obs::Json& m : value.AsArray()) {
+        if (!m.is_string() || !KnownMetric(m.AsString())) {
+          out.error = "unknown metric '" +
+                      (m.is_string() ? m.AsString() : std::string("?")) +
+                      "' (want expansion|resilience|distortion|signature|"
+                      "linkvalue)";
+          return out;
+        }
+        if (!req.wants(m.AsString())) req.metrics.push_back(m.AsString());
+      }
+    } else if (key == "use_policy") {
+      if (!value.is_bool()) {
+        out.error = "'use_policy' must be a boolean";
+        return out;
+      }
+      req.use_policy = value.AsBool();
+    } else if (key == "inline") {
+      if (!value.is_bool()) {
+        out.error = "'inline' must be a boolean";
+        return out;
+      }
+      req.inline_figures = value.AsBool();
+    } else if (key == "scale") {
+      if (!value.is_string() ||
+          (value.AsString() != "small" && value.AsString() != "default" &&
+           value.AsString() != "full")) {
+        out.error = "'scale' must be small|default|full";
+        return out;
+      }
+      req.scale = value.AsString();
+    } else if (key == "seed") {
+      if (!AsU64(value, req.seed) || req.seed == 0) {
+        out.error = "'seed' must be a positive integer";
+        return out;
+      }
+    } else if (key == "deadline_ms") {
+      std::uint64_t ms = 0;
+      if (!AsU64(value, ms) || ms == 0 || ms > 86400000) {
+        out.error = "'deadline_ms' must be an integer in [1, 86400000]";
+        return out;
+      }
+      req.deadline_ms = static_cast<std::int64_t>(ms);
+    } else if (key == "as_nodes" || key == "plrg_nodes" ||
+               key == "degree_based_nodes") {
+      std::uint64_t n = 0;
+      if (!AsU64(value, n) || n == 0) {
+        out.error = "'" + key + "' must be a positive integer";
+        return out;
+      }
+      if (n > kMaxRosterNodes) {
+        out.error = "oversized roster: '" + key + "' = " + std::to_string(n) +
+                    " exceeds the " + std::to_string(kMaxRosterNodes) +
+                    "-node cap";
+        return out;
+      }
+      (key == "as_nodes"
+           ? req.as_nodes
+           : key == "plrg_nodes" ? req.plrg_nodes : req.degree_based_nodes) =
+          n;
+    } else {
+      out.error = "unknown request field '" + key + "'";
+      return out;
+    }
+  }
+  if (req.topology.empty()) {
+    out.error = "request is missing 'topology'";
+    return out;
+  }
+  if (req.metrics.empty()) {
+    req.metrics = {"expansion", "resilience", "distortion", "signature"};
+  }
+  out.request = std::move(req);
+  return out;
+}
+
+std::string StructuralKey(const Request& request,
+                          std::string_view default_scale) {
+  std::string key;
+  key += request.scale.empty() ? default_scale : std::string_view(request.scale);
+  key += '|';
+  key += std::to_string(request.seed);  // 0 = tier default, canonical as-is
+  key += '|';
+  key += std::to_string(request.as_nodes);
+  key += '|';
+  key += std::to_string(request.plrg_nodes);
+  key += '|';
+  key += std::to_string(request.degree_based_nodes);
+  key += '|';
+  key += request.topology;
+  key += request.use_policy ? "|policy|" : "|plain|";
+  key += request.inline_figures ? "inline|" : "paths|";
+  // Canonical metric order: sorted, deduplicated (ParseRequest dedups).
+  std::vector<std::string> sorted = request.metrics;
+  std::sort(sorted.begin(), sorted.end());
+  for (const std::string& m : sorted) {
+    key += m;
+    key += ',';
+  }
+  return key;
+}
+
+std::string ErrorResponse(std::string_view id, std::string_view code,
+                          std::string_view message) {
+  std::string out = "{\"id\":\"";
+  out += obs::JsonEscape(id);
+  out += "\",\"status\":\"error\",\"error\":{\"code\":\"";
+  out += obs::JsonEscape(code);
+  out += "\",\"message\":\"";
+  out += obs::JsonEscape(message);
+  out += "\"}}";
+  return out;
+}
+
+void AppendSeries(std::string& out, const metrics::Series& series) {
+  out += "{\"name\":\"";
+  out += obs::JsonEscape(series.name);
+  out += "\",\"x\":[";
+  for (std::size_t i = 0; i < series.x.size(); ++i) {
+    if (i > 0) out += ',';
+    out += obs::JsonNumber(series.x[i]);
+  }
+  out += "],\"y\":[";
+  for (std::size_t i = 0; i < series.y.size(); ++i) {
+    if (i > 0) out += ',';
+    out += obs::JsonNumber(series.y[i]);
+  }
+  out += "]}";
+}
+
+ResponseBuilder::ResponseBuilder(std::string_view id) {
+  head_ = "\"id\":\"";
+  head_ += obs::JsonEscape(id);
+  head_ += '"';
+}
+
+void ResponseBuilder::Comma(std::string& out) {
+  if (!out.empty()) out += ',';
+}
+
+void ResponseBuilder::AddString(std::string_view key, std::string_view value) {
+  head_ += ",\"";
+  head_ += obs::JsonEscape(key);
+  head_ += "\":\"";
+  head_ += obs::JsonEscape(value);
+  head_ += '"';
+}
+
+void ResponseBuilder::AddBool(std::string_view key, bool value) {
+  head_ += ",\"";
+  head_ += obs::JsonEscape(key);
+  head_ += value ? "\":true" : "\":false";
+}
+
+void ResponseBuilder::AddU64(std::string_view key, std::uint64_t value) {
+  head_ += ",\"";
+  head_ += obs::JsonEscape(key);
+  head_ += "\":";
+  head_ += std::to_string(value);
+}
+
+void ResponseBuilder::AddFigure(std::string_view metric,
+                                const metrics::Series& series) {
+  Comma(figures_);
+  figures_ += '"';
+  figures_ += obs::JsonEscape(metric);
+  figures_ += "\":";
+  AppendSeries(figures_, series);
+}
+
+void ResponseBuilder::AddFigurePath(std::string_view metric,
+                                    std::string_view path) {
+  Comma(figures_);
+  figures_ += '"';
+  figures_ += obs::JsonEscape(metric);
+  figures_ += "\":{\"path\":\"";
+  figures_ += obs::JsonEscape(path);
+  figures_ += "\"}";
+}
+
+void ResponseBuilder::AddSignature(std::string_view signature) {
+  Comma(figures_);
+  figures_ += "\"signature\":\"";
+  figures_ += obs::JsonEscape(signature);
+  figures_ += '"';
+}
+
+void ResponseBuilder::AddDegraded(const DegradedEntry& entry) {
+  Comma(degraded_);
+  degraded_ += "{\"kind\":\"";
+  degraded_ += obs::JsonEscape(entry.kind);
+  degraded_ += "\",\"id\":\"";
+  degraded_ += obs::JsonEscape(entry.id);
+  degraded_ += "\",\"code\":\"";
+  degraded_ += obs::JsonEscape(entry.code);
+  degraded_ += "\",\"fail_point\":\"";
+  degraded_ += obs::JsonEscape(entry.fail_point);
+  degraded_ += "\",\"attempts\":";
+  degraded_ += std::to_string(entry.attempts);
+  degraded_ += ",\"message\":\"";
+  degraded_ += obs::JsonEscape(entry.message);
+  degraded_ += "\"}";
+}
+
+std::string ResponseBuilder::Finish() && {
+  std::string out = "{";
+  out += head_;
+  out += ",\"status\":\"";
+  out += degraded_.empty() ? "ok" : "degraded";
+  out += "\",\"figures\":{";
+  out += figures_;
+  out += "},\"degraded\":[";
+  out += degraded_;
+  out += "]}";
+  return out;
+}
+
+}  // namespace topogen::service

@@ -1,0 +1,132 @@
+// topogend's wire protocol: newline-delimited JSON over TCP
+// (docs/SERVICE.md has the full grammar and examples).
+//
+// One request per line, one response line per request, multiplexed over a
+// single connection by the client-chosen `id`. Requests name a topology
+// from the roster, the metric set to evaluate, and the structural inputs
+// the cache keys hash (scale tier, seed, optional roster size overrides)
+// -- so a request resolves to exactly the artifact a batch bench run at
+// the same settings would produce. Parsing is strict: unknown keys,
+// unknown metrics, and out-of-range sizes are rejected with a typed error
+// response rather than guessed at.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "metrics/series.h"
+
+namespace topogen::service {
+
+// Every metric name a request may ask for. "signature" is the Low/High
+// classification; the first four come from the basic-metrics suite,
+// "linkvalue" from the hierarchy engine.
+inline constexpr std::string_view kMetricNames[] = {
+    "expansion", "resilience", "distortion", "signature", "linkvalue"};
+
+// Roster size overrides above this are rejected as oversized: they would
+// dwarf the paper's full-scale instances and tie the executor up for
+// hours on one request.
+inline constexpr std::uint64_t kMaxRosterNodes = 200000;
+
+// Longest accepted request line (bytes). Longer lines poison the framing
+// (the rest of the buffer could be mid-line garbage), so the server
+// responds with an error and closes the connection.
+inline constexpr std::size_t kMaxRequestBytes = 1 << 20;
+
+struct Request {
+  std::string id;                     // echoed back; server-assigned if empty
+  std::string topology;               // roster id ("PLRG", "AS", ...)
+  std::vector<std::string> metrics;   // validated subset of kMetricNames
+  bool use_policy = false;
+  bool inline_figures = true;         // false = respond with store paths
+  std::string scale;                  // "" = the server's TOPOGEN_SCALE tier
+  std::uint64_t seed = 0;             // 0 = the tier default (42)
+  std::int64_t deadline_ms = 0;       // wall-clock budget; 0 = none
+  // Roster size overrides; 0 = the tier default.
+  std::uint64_t as_nodes = 0;
+  std::uint64_t plrg_nodes = 0;
+  std::uint64_t degree_based_nodes = 0;
+
+  bool wants(std::string_view metric) const {
+    for (const std::string& m : metrics) {
+      if (m == metric) return true;
+    }
+    return false;
+  }
+};
+
+// Result of parsing one request line. On failure `request` is empty and
+// `error` holds a human-readable reason; `id` carries the client's id
+// whenever the line was parseable enough to recover it, so the error
+// response still correlates.
+struct ParseOutcome {
+  std::optional<Request> request;
+  std::string error;
+  std::string id;
+};
+
+ParseOutcome ParseRequest(std::string_view line);
+
+// The in-flight dedup key: a canonical rendering of every request field
+// that feeds the structural cache key (docs/CACHING.md). Two requests
+// with equal keys resolve to the same artifacts, so the server computes
+// them once. `default_scale` substitutes the server's tier for an unset
+// scale so "scale omitted" and "scale explicitly the default" collide.
+std::string StructuralKey(const Request& request,
+                          std::string_view default_scale);
+
+// --- response serialization (one line, no trailing newline) ---
+
+// {"id":..,"status":"error","error":{"code":..,"message":..}}
+std::string ErrorResponse(std::string_view id, std::string_view code,
+                          std::string_view message);
+
+// One degraded[] entry, mirroring the manifest's exit-75 taxonomy.
+struct DegradedEntry {
+  std::string kind;        // "topology" | "metrics" | "linkvalue" | "request"
+  std::string id;          // topology id (or request id for kind=request)
+  std::string code;        // fault::ErrorCodeName of the typed error
+  std::string fail_point;  // provenance; empty for organic failures
+  int attempts = 0;
+  std::string message;
+};
+
+// A named series rendered as {"name":..,"x":[..],"y":[..]} with
+// shortest-round-trip numbers (obs::JsonNumber), so a client re-parsing
+// the response recovers bit-identical doubles.
+void AppendSeries(std::string& out, const metrics::Series& series);
+
+// Incremental builder for success/degraded responses; the server streams
+// figure payloads into it as they resolve.
+class ResponseBuilder {
+ public:
+  explicit ResponseBuilder(std::string_view id);
+
+  // Top-level scalar fields.
+  void AddString(std::string_view key, std::string_view value);
+  void AddBool(std::string_view key, bool value);
+  void AddU64(std::string_view key, std::uint64_t value);
+
+  // figures.<metric> = series (inline) or store path (by reference).
+  void AddFigure(std::string_view metric, const metrics::Series& series);
+  void AddFigurePath(std::string_view metric, std::string_view path);
+  void AddSignature(std::string_view signature);
+
+  void AddDegraded(const DegradedEntry& entry);
+
+  // Finalizes with status "ok" (no degraded entries) or "degraded".
+  std::string Finish() &&;
+
+ private:
+  void Comma(std::string& out);
+
+  std::string head_;      // leading fields
+  std::string figures_;   // accumulated figures object body
+  std::string degraded_;  // accumulated degraded array body
+};
+
+}  // namespace topogen::service

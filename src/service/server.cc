@@ -1,0 +1,676 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/scale.h"
+#include "fault/fault.h"
+#include "obs/obs.h"
+#include "parallel/cancel.h"
+#include "service/protocol.h"
+
+namespace topogen::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ElapsedNs(Clock::time_point from, Clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+          .count());
+}
+
+bool KnownTopology(std::string_view id) {
+  for (const std::string_view known : core::Session::KnownIds()) {
+    if (known == id) return true;
+  }
+  return false;
+}
+
+bool NeedsBasicMetrics(const Request& r) {
+  return r.wants("expansion") || r.wants("resilience") ||
+         r.wants("distortion") || r.wants("signature");
+}
+
+}  // namespace
+
+struct Server::Impl {
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mutex;
+    std::thread reader;
+  };
+
+  struct Waiter {
+    std::shared_ptr<Connection> conn;
+    std::string id;
+    Clock::time_point admitted;
+    Clock::time_point deadline{};
+    bool has_deadline = false;
+  };
+
+  struct Job {
+    Request request;  // the first-admitted request; equals all waiters'
+    std::string key;
+    std::vector<Waiter> waiters;
+  };
+
+  explicit Impl(ServerOptions opts) : options(std::move(opts)) {}
+
+  ServerOptions options;
+  std::string default_scale;
+
+  int listen_fd = -1;
+  int bound_port = 0;
+
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::shared_ptr<Job>> queue;
+  std::unordered_map<std::string, std::shared_ptr<Job>> inflight;
+  ServerStats stat;
+  bool paused = false;
+  bool stopping = false;
+  bool started = false;
+  std::uint64_t next_request_id = 0;
+
+  std::thread acceptor;
+  std::thread executor;
+
+  std::mutex conn_mutex;
+  std::vector<std::shared_ptr<Connection>> connections;
+
+  // Executor-owned Sessions, one per roster configuration, LRU-capped.
+  // sessions_mutex only guards the map shape (lookup/insert/evict), not
+  // the Session calls themselves -- those stay on the executor thread.
+  mutable std::mutex sessions_mutex;
+  struct SessionEntry {
+    std::string key;
+    std::unique_ptr<core::Session> session;
+  };
+  std::list<SessionEntry> sessions;  // front = most recently used
+
+  // --- response plumbing ---
+
+  // Writes one response line. Returns false when the connection is gone.
+  bool SendLine(const std::shared_ptr<Connection>& conn,
+                const std::string& line) {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    if (conn->fd < 0) return false;
+    std::string framed = line;
+    framed += '\n';
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n = ::send(conn->fd, framed.data() + off,
+                               framed.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  void SendError(const std::shared_ptr<Connection>& conn, std::string_view id,
+                 std::string_view code, std::string_view message) {
+    obs::Event("request")
+        .Str("op", "error")
+        .Str("id", id)
+        .Str("code", code)
+        .Str("message", message);
+    SendLine(conn, ErrorResponse(id, code, message));
+  }
+
+  // Respond to one waiter through the svc.respond seam. A fired throw
+  // kind drops the response (the client sees a closed/stalled request); a
+  // fired abort crashes the daemon mid-request with artifacts flushed,
+  // which is what the crash-audit test replays.
+  void Respond(const Waiter& waiter, const std::string& line,
+               std::string_view status, Clock::time_point started) {
+    bool sent = false;
+    try {
+      if (const auto injected = TOPOGEN_FAULT_HIT("svc.respond", waiter.id)) {
+        if (injected->kind == fault::Kind::kAbort) {
+          obs::FlushRunArtifacts();
+          std::_Exit(fault::kCrashExitCode);
+        }
+        // Site-interpreted kinds other than abort have no write to
+        // pervert here; treat them as a failed send.
+      } else {
+        sent = SendLine(waiter.conn, line);
+      }
+    } catch (const fault::InjectedFault&) {
+      sent = false;
+    }
+    const Clock::time_point now = Clock::now();
+    TOPOGEN_HIST_NS("service.request_ns", ElapsedNs(waiter.admitted, now));
+    TOPOGEN_HIST_NS("service.queue_wait_ns",
+                    ElapsedNs(waiter.admitted, started));
+    obs::Event("request")
+        .Str("op", "done")
+        .Str("id", waiter.id)
+        .Str("status", status)
+        .U64("queue_us", ElapsedNs(waiter.admitted, started) / 1000)
+        .U64("total_us", ElapsedNs(waiter.admitted, now) / 1000);
+    std::lock_guard<std::mutex> lock(mutex);
+    ++stat.responses;
+    if (!sent) ++stat.response_errors;
+  }
+
+  // --- admission (reader threads) ---
+
+  void Admit(const std::shared_ptr<Connection>& conn, Request&& request) {
+    const Clock::time_point now = Clock::now();
+    if (!KnownTopology(request.topology)) {
+      SendError(conn, request.id, "invalid_argument",
+                "unknown topology '" + request.topology + "'");
+      return;
+    }
+    if (!request.inline_figures && !obs::Env::Get().cache_enabled()) {
+      SendError(conn, request.id, "invalid_argument",
+                "figures by path require TOPOGEN_CACHE_DIR on the server");
+      return;
+    }
+    if (request.use_policy &&
+        (request.topology != "AS" && request.topology != "RL" &&
+         request.topology != "RL.core")) {
+      SendError(conn, request.id, "invalid_argument",
+                "use_policy requires a policy-annotated topology "
+                "(AS, RL, RL.core)");
+      return;
+    }
+
+    Waiter waiter;
+    waiter.conn = conn;
+    waiter.admitted = now;
+    if (request.deadline_ms > 0) {
+      waiter.has_deadline = true;
+      waiter.deadline = now + std::chrono::milliseconds(request.deadline_ms);
+    }
+    const std::string key = StructuralKey(request, default_scale);
+
+    enum class Verdict { kAdmitted, kDraining, kQueueFull };
+    Verdict verdict = Verdict::kAdmitted;
+    bool deduped = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (request.id.empty()) {
+        request.id = "r" + std::to_string(++next_request_id);
+      }
+      waiter.id = request.id;
+      if (stopping) {
+        verdict = Verdict::kDraining;
+      } else if (auto it = inflight.find(key); it != inflight.end()) {
+        it->second->waiters.push_back(waiter);
+        ++stat.admitted;
+        ++stat.deduped;
+        deduped = true;
+      } else if (queue.size() >= options.queue_limit) {
+        ++stat.rejected_queue_full;
+        verdict = Verdict::kQueueFull;
+      } else {
+        auto job = std::make_shared<Job>();
+        job->key = key;
+        job->request = std::move(request);
+        job->waiters.push_back(waiter);
+        inflight.emplace(job->key, job);
+        queue.push_back(std::move(job));
+        ++stat.admitted;
+      }
+    }
+    if (verdict == Verdict::kDraining) {
+      SendError(conn, waiter.id, "draining",
+                "server is shutting down; request not admitted");
+      return;
+    }
+    if (verdict == Verdict::kQueueFull) {
+      SendError(conn, waiter.id, "queue_full",
+                "admission queue is full (" +
+                    std::to_string(options.queue_limit) + " requests)");
+      return;
+    }
+    TOPOGEN_COUNT("service.requests");
+    if (deduped) TOPOGEN_COUNT("service.dedup_inflight");
+    obs::Event("request")
+        .Str("op", "admit")
+        .Str("id", waiter.id)
+        .Str("key", key)
+        .Str("dedup", deduped ? "1" : "0");
+    cv.notify_all();
+  }
+
+  // --- execution (the executor thread) ---
+
+  core::Session& SessionFor(const Request& request) {
+    const std::string_view scale =
+        request.scale.empty() ? std::string_view(default_scale)
+                              : std::string_view(request.scale);
+    std::string key(scale);
+    key += '|';
+    key += std::to_string(request.seed);
+    key += '|';
+    key += std::to_string(request.as_nodes);
+    key += '|';
+    key += std::to_string(request.plrg_nodes);
+    key += '|';
+    key += std::to_string(request.degree_based_nodes);
+
+    std::lock_guard<std::mutex> lock(sessions_mutex);
+    for (auto it = sessions.begin(); it != sessions.end(); ++it) {
+      if (it->key == key) {
+        sessions.splice(sessions.begin(), sessions, it);
+        return *sessions.front().session;
+      }
+    }
+    core::SessionOptions so = core::ScaledSessionOptions(scale);
+    // The daemon serves many configurations from one process; per-run
+    // journals would fight over one file, so resume stays a batch-mode
+    // feature (docs/SERVICE.md).
+    so.journal_path.clear();
+    if (request.seed != 0) so.roster.seed = request.seed;
+    if (request.as_nodes != 0) {
+      so.roster.as_nodes = static_cast<graph::NodeId>(request.as_nodes);
+    }
+    if (request.plrg_nodes != 0) {
+      so.roster.plrg_nodes = static_cast<graph::NodeId>(request.plrg_nodes);
+    }
+    if (request.degree_based_nodes != 0) {
+      so.roster.degree_based_nodes =
+          static_cast<graph::NodeId>(request.degree_based_nodes);
+    }
+    sessions.push_front(
+        {std::move(key), std::make_unique<core::Session>(so)});
+    while (sessions.size() > options.max_sessions) sessions.pop_back();
+    return *sessions.front().session;
+  }
+
+  void ExecuteJob(const std::shared_ptr<Job>& job) {
+    const Clock::time_point started = Clock::now();
+
+    // Expired-in-queue waiters degrade without costing any computation.
+    std::vector<Waiter> expired;
+    bool compute = false;
+    bool all_deadlined = true;
+    Clock::time_point latest_deadline{};
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      auto& ws = job->waiters;
+      for (auto it = ws.begin(); it != ws.end();) {
+        if (it->has_deadline && it->deadline <= started) {
+          expired.push_back(std::move(*it));
+          it = ws.erase(it);
+          continue;
+        }
+        if (!it->has_deadline) {
+          all_deadlined = false;
+        } else if (it->deadline > latest_deadline) {
+          latest_deadline = it->deadline;
+        }
+        ++it;
+      }
+      compute = !ws.empty();
+    }
+    for (const Waiter& w : expired) {
+      ResponseBuilder rb(w.id);
+      rb.AddString("topology", job->request.topology);
+      rb.AddDegraded({"request", w.id, "cancelled", "", 0,
+                      "deadline expired while queued"});
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++stat.completed;
+      }
+      Respond(w, std::move(rb).Finish(), "degraded", started);
+    }
+    if (!compute) {
+      std::lock_guard<std::mutex> lock(mutex);
+      inflight.erase(job->key);
+      return;
+    }
+
+    // Shared computation under the waiters' collective budget: the token
+    // only carries a deadline when every live waiter has one (a single
+    // no-deadline waiter is entitled to the full result).
+    std::optional<parallel::CancelToken> token;
+    if (all_deadlined) {
+      token.emplace(latest_deadline);
+    } else {
+      token.emplace();
+    }
+    const Request& req = job->request;
+
+    const core::BasicMetrics* basic = nullptr;
+    const hierarchy::LinkValueResult* linkvalue = nullptr;
+    std::vector<DegradedEntry> degraded;
+    bool cached = false;
+    std::string internal_error;
+    core::Session* session = nullptr;
+    try {
+      session = &SessionFor(req);
+      const std::size_t degraded_before = session->degraded().size();
+      const core::CacheStats before = session->cache_stats();
+      {
+        const parallel::CancelScope scope(&*token);
+        if (NeedsBasicMetrics(req)) {
+          basic = session->TryMetrics(req.topology, req.use_policy);
+        }
+        if (req.wants("linkvalue")) {
+          linkvalue = session->TryLinkValues(req.topology, req.use_policy);
+        }
+      }
+      const core::CacheStats after = session->cache_stats();
+      cached = (after.topology_misses == before.topology_misses &&
+                after.metrics_misses == before.metrics_misses &&
+                after.linkvalue_misses == before.linkvalue_misses);
+      for (std::size_t i = degraded_before; i < session->degraded().size();
+           ++i) {
+        const core::DegradedSlot& slot = session->degraded()[i];
+        degraded.push_back({slot.kind, slot.id,
+                            fault::ErrorCodeName(slot.error.code),
+                            slot.error.fail_point, slot.error.attempts,
+                            slot.error.message});
+      }
+    } catch (const std::exception& e) {
+      internal_error = e.what();
+    }
+
+    // One payload per waiter (ids differ), one computation for all. The
+    // completed count is bumped before the sends so a client that has
+    // read its response always observes it.
+    std::vector<Waiter> waiters;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      waiters = std::move(job->waiters);
+      job->waiters.clear();
+      inflight.erase(job->key);
+      stat.completed += waiters.size();
+    }
+    for (const Waiter& w : waiters) {
+      if (!internal_error.empty()) {
+        obs::Event("request")
+            .Str("op", "error")
+            .Str("id", w.id)
+            .Str("code", "internal")
+            .Str("message", internal_error);
+        SendLine(w.conn, ErrorResponse(w.id, "internal", internal_error));
+        std::lock_guard<std::mutex> lock(mutex);
+        ++stat.responses;
+        continue;
+      }
+      ResponseBuilder rb(w.id);
+      rb.AddString("topology", req.topology);
+      rb.AddString("key", job->key);
+      rb.AddBool("cached", cached);
+      rb.AddU64("queue_us", ElapsedNs(w.admitted, started) / 1000);
+      rb.AddU64("elapsed_us", ElapsedNs(started, Clock::now()) / 1000);
+      if (basic != nullptr) {
+        if (req.inline_figures) {
+          if (req.wants("expansion")) rb.AddFigure("expansion", basic->expansion);
+          if (req.wants("resilience")) {
+            rb.AddFigure("resilience", basic->resilience);
+          }
+          if (req.wants("distortion")) {
+            rb.AddFigure("distortion", basic->distortion);
+          }
+        } else {
+          const std::string path =
+              session->MetricsArtifactPath(req.topology, req.use_policy);
+          for (const char* m : {"expansion", "resilience", "distortion"}) {
+            if (req.wants(m)) rb.AddFigurePath(m, path);
+          }
+        }
+        if (req.wants("signature")) {
+          rb.AddSignature(basic->signature.ToString());
+        }
+      }
+      if (linkvalue != nullptr) {
+        if (req.inline_figures) {
+          rb.AddFigure("linkvalue", linkvalue->RankDistribution());
+        } else {
+          rb.AddFigurePath("linkvalue", session->LinkValueArtifactPath(
+                                            req.topology, req.use_policy));
+        }
+      }
+      for (const DegradedEntry& d : degraded) rb.AddDegraded(d);
+      const std::string_view status = degraded.empty() ? "ok" : "degraded";
+      Respond(w, std::move(rb).Finish(), status, started);
+    }
+  }
+
+  void ExecutorLoop() {
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] {
+          return stopping || (!paused && !queue.empty());
+        });
+        if (queue.empty() && stopping) return;
+        if (queue.empty()) continue;
+        job = queue.front();
+        queue.pop_front();
+      }
+      ExecuteJob(job);
+    }
+  }
+
+  // --- connection handling ---
+
+  void ReaderLoop(const std::shared_ptr<Connection>& conn) {
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      for (;;) {
+        const std::size_t nl = buffer.find('\n', start);
+        if (nl == std::string::npos) break;
+        const std::string_view line(buffer.data() + start, nl - start);
+        if (!line.empty()) HandleLine(conn, line);
+        start = nl + 1;
+      }
+      buffer.erase(0, start);
+      if (buffer.size() > kMaxRequestBytes) {
+        SendError(conn, "", "invalid_argument",
+                  "request line exceeds " + std::to_string(kMaxRequestBytes) +
+                      " bytes; closing");
+        break;
+      }
+    }
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+
+  void HandleLine(const std::shared_ptr<Connection>& conn,
+                  std::string_view line) {
+    ParseOutcome parsed;
+    try {
+      TOPOGEN_FAULT_POINT_D("svc.parse", line.substr(0, 64));
+      parsed = ParseRequest(line);
+    } catch (const fault::InjectedFault& e) {
+      std::lock_guard<std::mutex> lock(mutex);
+      ++stat.parse_errors;
+      parsed.error = e.what();
+    }
+    if (!parsed.request.has_value()) {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++stat.parse_errors;
+      }
+      SendError(conn, parsed.id, "invalid_argument",
+                parsed.error.empty() ? "unparseable request" : parsed.error);
+      return;
+    }
+    Admit(conn, std::move(*parsed.request));
+  }
+
+  void AcceptorLoop() {
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (stopping) return;
+      }
+      pollfd pfd{listen_fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, 200);
+      if (ready <= 0) continue;
+      sockaddr_in peer{};
+      socklen_t peer_len = sizeof(peer);
+      const int fd =
+          ::accept(listen_fd, reinterpret_cast<sockaddr*>(&peer), &peer_len);
+      if (fd < 0) continue;
+      try {
+        char addr[64] = "?";
+        ::inet_ntop(AF_INET, &peer.sin_addr, addr, sizeof(addr));
+        TOPOGEN_FAULT_POINT_D("svc.accept", addr);
+      } catch (const fault::InjectedFault&) {
+        ::close(fd);
+        continue;
+      }
+      auto conn = std::make_shared<Connection>();
+      conn->fd = fd;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++stat.connections;
+      }
+      TOPOGEN_COUNT("service.connections");
+      conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
+      std::lock_guard<std::mutex> lock(conn_mutex);
+      connections.push_back(std::move(conn));
+    }
+  }
+};
+
+Server::Server(ServerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+Server::~Server() { Stop(); }
+
+void Server::Start() {
+  Impl& s = *impl_;
+  s.default_scale = obs::Env::Get().scale();
+  s.paused = s.options.start_paused;
+
+  s.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (s.listen_fd < 0) throw std::runtime_error("service: socket() failed");
+  const int one = 1;
+  ::setsockopt(s.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(s.options.port));
+  if (::bind(s.listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(s.listen_fd);
+    s.listen_fd = -1;
+    throw std::runtime_error("service: cannot bind 127.0.0.1:" +
+                             std::to_string(s.options.port));
+  }
+  if (::listen(s.listen_fd, 64) < 0) {
+    ::close(s.listen_fd);
+    s.listen_fd = -1;
+    throw std::runtime_error("service: listen() failed");
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(s.listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  s.bound_port = ntohs(addr.sin_port);
+
+  s.started = true;
+  s.acceptor = std::thread([this] { impl_->AcceptorLoop(); });
+  s.executor = std::thread([this] { impl_->ExecutorLoop(); });
+  obs::Event("service").Str("op", "start").U64(
+      "port", static_cast<std::uint64_t>(s.bound_port));
+}
+
+int Server::port() const { return impl_->bound_port; }
+
+void Server::Stop() {
+  Impl& s = *impl_;
+  if (!s.started) return;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.stopping) {
+      // Second Stop(): everything below already ran.
+      return;
+    }
+    s.stopping = true;
+    s.paused = false;
+  }
+  s.cv.notify_all();
+  if (s.acceptor.joinable()) s.acceptor.join();
+  // The executor drains the queue before exiting, so every admitted
+  // request is answered.
+  if (s.executor.joinable()) s.executor.join();
+  if (s.listen_fd >= 0) {
+    ::close(s.listen_fd);
+    s.listen_fd = -1;
+  }
+  std::vector<std::shared_ptr<Impl::Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(s.conn_mutex);
+    conns.swap(s.connections);
+  }
+  for (const auto& conn : conns) {
+    {
+      std::lock_guard<std::mutex> lock(conn->write_mutex);
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+  obs::Event("service").Str("op", "stop");
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->stat;
+}
+
+core::CacheStats Server::SessionCacheStats() const {
+  core::CacheStats total;
+  std::lock_guard<std::mutex> lock(impl_->sessions_mutex);
+  for (const auto& entry : impl_->sessions) {
+    const core::CacheStats& s = entry.session->cache_stats();
+    total.topology_hits += s.topology_hits;
+    total.topology_misses += s.topology_misses;
+    total.metrics_hits += s.metrics_hits;
+    total.metrics_misses += s.metrics_misses;
+    total.linkvalue_hits += s.linkvalue_hits;
+    total.linkvalue_misses += s.linkvalue_misses;
+    total.journal_skips += s.journal_skips;
+  }
+  return total;
+}
+
+std::size_t Server::QueueDepthForTesting() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->queue.size();
+}
+
+void Server::ResumeExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->paused = false;
+  }
+  impl_->cv.notify_all();
+}
+
+}  // namespace topogen::service

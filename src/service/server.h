@@ -1,0 +1,94 @@
+// topogend's server core: a TCP front door over core::Session
+// (docs/SERVICE.md).
+//
+// Threading model. One *acceptor* thread owns the listening socket; one
+// *reader* thread per connection frames newline-delimited requests; one
+// *executor* thread owns every core::Session and runs jobs one at a time
+// (a Session is single-threaded by contract -- parallelism lives inside
+// the metric kernels, which fan out on the work-stealing pool). Requests
+// are admitted into a bounded FIFO queue; identical concurrent requests
+// -- equal StructuralKey -- attach to the already-queued (or running) job
+// as extra waiters and share its one computation and one Session cache
+// lookup.
+//
+// Deadlines are cooperative: a request's wall-clock budget becomes a
+// parallel::CancelToken around the Session calls, checked at ParallelFor
+// chunk boundaries. A request that expires while still queued is answered
+// degraded without computing anything; one that expires mid-computation
+// has its kernels stop at the next chunk boundary and degrades through
+// the exit-75 taxonomy (code "cancelled").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/session.h"
+
+namespace topogen::service {
+
+struct ServerOptions {
+  // TCP port to bind on 127.0.0.1; 0 = pick an ephemeral port (read it
+  // back from port() after Start()).
+  int port = 0;
+  // Admission-queue depth; requests beyond it get a queue_full error.
+  std::size_t queue_limit = 64;
+  // Distinct roster configurations (scale/seed/size overrides) kept
+  // resident; least-recently-used Sessions are evicted beyond this.
+  std::size_t max_sessions = 4;
+  // Test hook: the executor starts paused and runs nothing until
+  // ResumeExecutor() -- lets tests provably enqueue concurrent identical
+  // requests before the first one executes.
+  bool start_paused = false;
+};
+
+// Monotonic counters, snapshot under the server lock. "admitted" counts
+// every request that entered the queue or attached to an in-flight job;
+// "deduped" is the subset that attached instead of enqueueing.
+struct ServerStats {
+  std::uint64_t connections = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t deduped = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t parse_errors = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t response_errors = 0;  // dropped responses (write failures)
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds 127.0.0.1:<port>, then spawns the acceptor and executor.
+  // Throws std::runtime_error when the socket cannot be bound.
+  void Start();
+
+  // The bound port (resolves option port 0 to the ephemeral pick).
+  int port() const;
+
+  // Graceful shutdown: stop accepting, answer everything already queued
+  // (draining), then join all threads. Idempotent.
+  void Stop();
+
+  ServerStats stats() const;
+
+  // Cache-effectiveness counters summed over every resident Session.
+  // Meaningful when the executor is quiescent (tests call it after the
+  // responses arrived).
+  core::CacheStats SessionCacheStats() const;
+
+  std::size_t QueueDepthForTesting() const;
+  void ResumeExecutor();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace topogen::service

@@ -1,0 +1,84 @@
+// Documentation drift gate for the environment-variable reference.
+//
+// docs/INDEX.md carries the one authoritative TOPOGEN_* table; obs::Env
+// carries the registry the binaries actually honor. This ctest diffs the
+// two sets of names -- a variable added to the code without a docs row
+// (or documented but unregistered) fails the build's test stage with the
+// exact difference. Usage: env_docs_test <path-to-INDEX.md>.
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "obs/env.h"
+
+namespace {
+
+// Every `TOPOGEN_*` token appearing in a markdown table row (a line
+// starting with '|') of the doc. Restricting to table rows keeps prose
+// mentions of a variable from masking a missing table entry.
+std::set<std::string> DocumentedVars(std::istream& in) {
+  std::set<std::string> vars;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] != '|') continue;
+    std::size_t pos = 0;
+    while ((pos = line.find("TOPOGEN_", pos)) != std::string::npos) {
+      std::size_t end = pos;
+      while (end < line.size() &&
+             (std::isalnum(static_cast<unsigned char>(line[end])) != 0 ||
+              line[end] == '_')) {
+        ++end;
+      }
+      vars.insert(line.substr(pos, end - pos));
+      pos = end;
+    }
+  }
+  return vars;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <path-to-INDEX.md>\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "FAIL: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  const std::set<std::string> documented = DocumentedVars(in);
+
+  std::set<std::string> registered;
+  for (const topogen::obs::EnvVarInfo& var :
+       topogen::obs::Env::RegisteredVars()) {
+    registered.insert(std::string(var.name));
+  }
+
+  int failures = 0;
+  for (const std::string& name : registered) {
+    if (documented.count(name) == 0) {
+      std::fprintf(stderr,
+                   "FAIL: %s is registered in obs::Env but missing from the "
+                   "docs/INDEX.md table\n",
+                   name.c_str());
+      ++failures;
+    }
+  }
+  for (const std::string& name : documented) {
+    if (registered.count(name) == 0) {
+      std::fprintf(stderr,
+                   "FAIL: %s appears in the docs/INDEX.md table but is not "
+                   "registered in obs::Env\n",
+                   name.c_str());
+      ++failures;
+    }
+  }
+  if (failures != 0) return 1;
+  std::printf("env-var table matches obs::Env (%zu variables)\n",
+              registered.size());
+  return 0;
+}

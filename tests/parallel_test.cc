@@ -258,5 +258,176 @@ TEST(ParallelDeterminismTest, BallSeriesIndependentOfExecutionOrder) {
   }
 }
 
+// --- cooperative cancellation (parallel/cancel.h) ---
+
+// Runs `fn` and requires it to throw the kCancelled taxonomy code.
+template <typename Fn>
+void ExpectCancelled(Fn&& fn) {
+  try {
+    fn();
+    FAIL() << "expected fault::Exception(kCancelled)";
+  } catch (const fault::Exception& e) {
+    EXPECT_EQ(e.error().code, fault::ErrorCode::kCancelled);
+  }
+}
+
+TEST(CancelTest, NoAmbientTokenRunsEverything) {
+  ASSERT_EQ(CancelScope::Current(), nullptr);
+  const ChunkPlan plan = PlanChunks(1000, 16, 32);
+  std::vector<int> hits(1000, 0);
+  ParallelFor(plan, [&](std::size_t, std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(CancelTest, PreCancelledTokenRunsNothingAndThrows) {
+  CancelToken token;
+  token.Cancel();
+  const CancelScope scope(&token);
+  std::atomic<int> ran{0};
+  ExpectCancelled([&] {
+    ParallelFor(PlanChunks(1000, 16, 32),
+                [&](std::size_t, std::size_t, std::size_t) { ++ran; });
+  });
+  EXPECT_EQ(ran.load(), 0);
+  ExpectCancelled([&] { ParallelForEach(8, [&](std::size_t) { ++ran; }); });
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(CancelTest, ExpiredDeadlineStopsAtTheNextBoundary) {
+  CancelToken token(std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1));
+  EXPECT_TRUE(token.ShouldStop());
+  EXPECT_FALSE(token.cancelled());  // deadline, not explicit cancel
+  const CancelScope scope(&token);
+  ExpectCancelled([&] {
+    ParallelFor(PlanChunks(100, 16, 32),
+                [&](std::size_t, std::size_t, std::size_t) {});
+  });
+}
+
+TEST(CancelTest, CompletedChunksAreAlwaysWholeChunks) {
+  // Cancel mid-region from inside a chunk body. Whatever subset of
+  // chunks ran, each one must have covered its exact [begin, end) range:
+  // item writes from a partially executed chunk would be a determinism
+  // leak. Swept at several thread counts because stealing changes which
+  // chunks run.
+  for (int threads : {1, 2, 7}) {
+    const PoolThreads guard(threads);
+    const ChunkPlan plan = PlanChunks(1000, 16, 32);
+    std::vector<int> hits(1000, 0);
+    CancelToken token;
+    const CancelScope scope(&token);
+    ExpectCancelled([&] {
+      ParallelFor(plan, [&](std::size_t chunk, std::size_t b, std::size_t e) {
+        if (chunk == 3) token.Cancel();
+        for (std::size_t i = b; i < e; ++i) ++hits[i];
+      });
+    });
+    for (std::size_t c = 0; c < plan.chunks; ++c) {
+      const int first = hits[plan.begin(c)];
+      EXPECT_TRUE(first == 0 || first == 1);
+      for (std::size_t i = plan.begin(c); i < plan.end(c); ++i) {
+        EXPECT_EQ(hits[i], first) << "chunk " << c << " ran partially";
+      }
+    }
+  }
+}
+
+TEST(CancelTest, SingleLaneCancelIsAPrefixOfThePlan) {
+  // One lane executes chunks in plan order, so the completed set is
+  // exactly a deterministic prefix: chunks 0..3 and nothing after.
+  const PoolThreads guard(1);
+  const ChunkPlan plan = PlanChunks(1000, 16, 32);
+  ASSERT_GT(plan.chunks, 5u);
+  std::vector<int> chunk_ran(plan.chunks, 0);
+  CancelToken token;
+  const CancelScope scope(&token);
+  ExpectCancelled([&] {
+    ParallelFor(plan, [&](std::size_t chunk, std::size_t, std::size_t) {
+      if (chunk == 3) token.Cancel();
+      chunk_ran[chunk] = 1;
+    });
+  });
+  for (std::size_t c = 0; c < plan.chunks; ++c) {
+    EXPECT_EQ(chunk_ran[c], c <= 3 ? 1 : 0) << "chunk " << c;
+  }
+}
+
+TEST(CancelTest, ReduceNeverFoldsAPartialResult) {
+  const PoolThreads guard(7);
+  CancelToken token;
+  const CancelScope scope(&token);
+  std::atomic<int> folds{0};
+  ExpectCancelled([&] {
+    ParallelReduce<long>(
+        PlanChunks(1000, 16, 32),
+        [&](std::size_t chunk, std::size_t b, std::size_t e) {
+          if (chunk == 2) token.Cancel();
+          return static_cast<long>(e - b);
+        },
+        [&](long& acc, long&& next) {
+          ++folds;
+          acc += next;
+        });
+  });
+  EXPECT_EQ(folds.load(), 0);
+}
+
+TEST(CancelTest, AmbientTokenReachesNestedRegions) {
+  // The outer region runs on pool workers; the inner ParallelFor inside
+  // its body must still observe the caller's token (the chunk wrapper
+  // re-establishes the scope on the worker thread).
+  const PoolThreads guard(4);
+  CancelToken token;
+  const CancelScope scope(&token);
+  ExpectCancelled([&] {
+    ParallelForEach(1, [&](std::size_t) {
+      EXPECT_EQ(CancelScope::Current(), &token);
+      token.Cancel();
+      ParallelFor(PlanChunks(100, 16, 32),
+                  [](std::size_t, std::size_t, std::size_t) {});
+      ADD_FAILURE() << "inner region should have thrown";
+    });
+  });
+}
+
+TEST(CancelTest, ScopesNestAndRestore) {
+  CancelToken outer;
+  CancelToken inner;
+  ASSERT_EQ(CancelScope::Current(), nullptr);
+  {
+    const CancelScope a(&outer);
+    EXPECT_EQ(CancelScope::Current(), &outer);
+    {
+      const CancelScope b(&inner);
+      EXPECT_EQ(CancelScope::Current(), &inner);
+      {
+        const CancelScope shield(nullptr);
+        EXPECT_EQ(CancelScope::Current(), nullptr);
+      }
+      EXPECT_EQ(CancelScope::Current(), &inner);
+    }
+    EXPECT_EQ(CancelScope::Current(), &outer);
+  }
+  EXPECT_EQ(CancelScope::Current(), nullptr);
+}
+
+TEST(CancelTest, CompletedRegionWithLateCancelDoesNotThrow) {
+  // Cancelling after the last chunk started never discards a finished
+  // result: the region only throws when a chunk was actually skipped.
+  const ChunkPlan plan = PlanChunks(10, 16, 32);
+  ASSERT_EQ(plan.chunks, 1u);
+  CancelToken token;
+  const CancelScope scope(&token);
+  int ran = 0;
+  ParallelFor(plan, [&](std::size_t, std::size_t, std::size_t) {
+    ++ran;
+    token.Cancel();  // too late: this chunk is the whole region
+  });
+  EXPECT_EQ(ran, 1);
+}
+
 }  // namespace
 }  // namespace topogen::parallel

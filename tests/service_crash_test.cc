@@ -1,0 +1,153 @@
+// topogend crash audit (docs/SERVICE.md, docs/ROBUSTNESS.md): arm the
+// svc.respond fail point with kind=abort so the daemon _Exits mid-request
+// -- after computing, before the response write -- then audit the crash:
+//
+//   - the daemon dies with the injected-crash exit code (113), and
+//   - the JSONL event log, flushed line by line, contains the request's
+//     admit record but no done record, so an operator replaying the log
+//     can see exactly which request was in flight.
+//
+// Usage: service_crash_test <topogend-path> <scratch-dir>. Skips itself
+// when fault points are compiled out.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "fault/fault.h"
+#include "obs/json.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+int g_failures = 0;
+
+void Check(bool ok, const std::string& what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+    ++g_failures;
+  }
+}
+
+// Spawns topogend with stdout piped back (for the listening-port line).
+pid_t SpawnDaemon(const std::string& binary, const fs::path& events,
+                  int out_pipe[2]) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  dup2(out_pipe[1], STDOUT_FILENO);
+  close(out_pipe[0]);
+  close(out_pipe[1]);
+  setenv("TOPOGEN_SERVICE_PORT", "0", 1);
+  setenv("TOPOGEN_EVENTS", events.string().c_str(), 1);
+  setenv("TOPOGEN_FAULTS", "svc.respond@kind=abort", 1);
+  execl(binary.c_str(), binary.c_str(), static_cast<char*>(nullptr));
+  std::perror("execl");
+  _exit(127);
+}
+
+// Reads the startup line "topogend: listening on 127.0.0.1:<port>".
+int ReadPort(int fd) {
+  std::string line;
+  char c = 0;
+  while (read(fd, &c, 1) == 1 && c != '\n') line += c;
+  const std::size_t colon = line.rfind(':');
+  if (colon == std::string::npos) return -1;
+  return std::atoi(line.c_str() + colon + 1);
+}
+
+int ConnectTo(int port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <topogend> <scratch-dir>\n", argv[0]);
+    return 2;
+  }
+  if (!topogen::fault::CompiledIn()) {
+    std::printf("service crash test skipped: fault points compiled out\n");
+    return 0;
+  }
+  const std::string binary = argv[1];
+  const fs::path root = argv[2];
+  fs::remove_all(root);
+  fs::create_directories(root);
+  const fs::path events = root / "events.jsonl";
+
+  int out_pipe[2];
+  if (pipe(out_pipe) != 0) return 2;
+  const pid_t pid = SpawnDaemon(binary, events, out_pipe);
+  Check(pid > 0, "fork should succeed");
+  close(out_pipe[1]);
+  const int port = ReadPort(out_pipe[0]);
+  Check(port > 0, "daemon should print its listening port");
+
+  const int fd = ConnectTo(port);
+  Check(fd >= 0, "client should connect");
+  const std::string request =
+      "{\"id\":\"doomed\",\"topology\":\"Tree\",\"metrics\":[\"signature\"],"
+      "\"scale\":\"small\",\"as_nodes\":100}\n";
+  Check(write(fd, request.data(), request.size()) ==
+            static_cast<ssize_t>(request.size()),
+        "request write should succeed");
+
+  // The daemon computes Tree's metrics, hits svc.respond, and _Exits.
+  int status = 0;
+  Check(waitpid(pid, &status, 0) == pid, "waitpid should reap the daemon");
+  Check(WIFEXITED(status) &&
+            WEXITSTATUS(status) == topogen::fault::kCrashExitCode,
+        "daemon should die with the injected-crash exit code, got " +
+            std::to_string(WIFEXITED(status) ? WEXITSTATUS(status) : -1));
+  if (fd >= 0) close(fd);
+  close(out_pipe[0]);
+
+  // Audit: every line still parses (per-line flush means no torn tail is
+  // visible to a reader opening the file after the crash), the doomed
+  // request's admit record is present, and no done record follows it.
+  std::ifstream log(events);
+  Check(log.good(), "events.jsonl should exist after the crash");
+  bool saw_admit = false;
+  bool saw_done = false;
+  std::string line;
+  while (std::getline(log, line)) {
+    if (line.empty()) continue;
+    const auto doc = topogen::obs::Json::Parse(line);
+    Check(doc.has_value(), "event line should parse: " + line);
+    if (!doc.has_value()) continue;
+    const topogen::obs::Json* type = doc->Find("type");
+    if (type == nullptr || type->AsString() != "request") continue;
+    const topogen::obs::Json* op = doc->Find("op");
+    const topogen::obs::Json* id = doc->Find("id");
+    if (op == nullptr || id == nullptr || id->AsString() != "doomed") continue;
+    if (op->AsString() == "admit") saw_admit = true;
+    if (op->AsString() == "done") saw_done = true;
+  }
+  Check(saw_admit, "the doomed request's admit event must be in the log");
+  Check(!saw_done, "no done event may exist for the doomed request");
+
+  if (g_failures == 0) {
+    std::printf("service crash audit OK\n");
+    return 0;
+  }
+  return 1;
+}

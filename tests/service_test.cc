@@ -1,0 +1,459 @@
+// topogend's server core: protocol parsing, admission, in-flight dedup,
+// deadlines, and the end-to-end socket round trip (docs/SERVICE.md).
+//
+// Server tests bind an ephemeral loopback port per test; the roster
+// overrides keep every computed topology tiny so the suite stays fast.
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/scale.h"
+#include "core/session.h"
+#include "obs/json.h"
+#include "service/protocol.h"
+
+namespace topogen::service {
+namespace {
+
+using obs::Json;
+
+// --- request parsing ---
+
+TEST(ServiceParseTest, MinimalRequestGetsDefaultMetrics) {
+  const ParseOutcome out = ParseRequest(R"({"topology":"Tree"})");
+  ASSERT_TRUE(out.request.has_value());
+  EXPECT_EQ(out.request->topology, "Tree");
+  EXPECT_EQ(out.request->metrics.size(), 4u);
+  EXPECT_TRUE(out.request->wants("expansion"));
+  EXPECT_TRUE(out.request->wants("signature"));
+  EXPECT_FALSE(out.request->wants("linkvalue"));
+  EXPECT_TRUE(out.request->inline_figures);
+  EXPECT_EQ(out.request->deadline_ms, 0);
+}
+
+TEST(ServiceParseTest, FullRequestRoundTrips) {
+  const ParseOutcome out = ParseRequest(
+      R"({"id":"q1","topology":"PLRG","metrics":["linkvalue","expansion"],)"
+      R"("use_policy":false,"inline":false,"scale":"small","seed":7,)"
+      R"("deadline_ms":2500,"plrg_nodes":500})");
+  ASSERT_TRUE(out.request.has_value()) << out.error;
+  const Request& r = *out.request;
+  EXPECT_EQ(r.id, "q1");
+  EXPECT_EQ(r.topology, "PLRG");
+  EXPECT_TRUE(r.wants("linkvalue"));
+  EXPECT_TRUE(r.wants("expansion"));
+  EXPECT_FALSE(r.wants("resilience"));
+  EXPECT_FALSE(r.inline_figures);
+  EXPECT_EQ(r.scale, "small");
+  EXPECT_EQ(r.seed, 7u);
+  EXPECT_EQ(r.deadline_ms, 2500);
+  EXPECT_EQ(r.plrg_nodes, 500u);
+}
+
+struct BadLine {
+  const char* line;
+  const char* why;
+};
+
+TEST(ServiceParseTest, MalformedLinesAreRejectedNotGuessed) {
+  const BadLine cases[] = {
+      {"", "empty line"},
+      {"{", "truncated JSON"},
+      {R"({"topology":"Tree")", "unterminated object"},
+      {"[1,2,3]", "not an object"},
+      {"42", "bare number"},
+      {R"({"metrics":["expansion"]})", "missing topology"},
+      {R"({"topology":""})", "empty topology"},
+      {R"({"topology":17})", "non-string topology"},
+      {R"({"topology":"Tree","metrics":[]})", "empty metrics"},
+      {R"({"topology":"Tree","metrics":["bogus"]})", "unknown metric"},
+      {R"({"topology":"Tree","metrics":[3]})", "non-string metric"},
+      {R"({"topology":"Tree","frobnicate":1})", "unknown field"},
+      {R"({"topology":"Tree","seed":0})", "zero seed"},
+      {R"({"topology":"Tree","seed":-4})", "negative seed"},
+      {R"({"topology":"Tree","seed":1.5})", "fractional seed"},
+      {R"({"topology":"Tree","deadline_ms":0})", "zero deadline"},
+      {R"({"topology":"Tree","deadline_ms":99999999999})", "huge deadline"},
+      {R"({"topology":"Tree","scale":"huge"})", "unknown scale"},
+      {R"({"topology":"Tree","as_nodes":0})", "zero roster size"},
+      {R"({"topology":"Tree","inline":"yes"})", "non-bool inline"},
+      {R"({"topology":"Tree","use_policy":1})", "non-bool use_policy"},
+  };
+  for (const BadLine& c : cases) {
+    const ParseOutcome out = ParseRequest(c.line);
+    EXPECT_FALSE(out.request.has_value()) << c.why;
+    EXPECT_FALSE(out.error.empty()) << c.why;
+  }
+}
+
+TEST(ServiceParseTest, UnknownMetricNamesTheOffender) {
+  const ParseOutcome out =
+      ParseRequest(R"({"topology":"Tree","metrics":["expansion","girth"]})");
+  ASSERT_FALSE(out.request.has_value());
+  EXPECT_NE(out.error.find("girth"), std::string::npos) << out.error;
+}
+
+TEST(ServiceParseTest, OversizedRosterIsRejectedWithTheCap) {
+  const ParseOutcome out =
+      ParseRequest(R"({"topology":"PLRG","plrg_nodes":2000000})");
+  ASSERT_FALSE(out.request.has_value());
+  EXPECT_NE(out.error.find("oversized roster"), std::string::npos)
+      << out.error;
+}
+
+TEST(ServiceParseTest, ErrorsStillRecoverTheClientId) {
+  const ParseOutcome out = ParseRequest(R"({"id":"x9","metrics":["nope"]})");
+  EXPECT_FALSE(out.request.has_value());
+  EXPECT_EQ(out.id, "x9");
+}
+
+TEST(ServiceParseTest, DuplicateMetricsCollapse) {
+  const ParseOutcome out = ParseRequest(
+      R"({"topology":"Tree","metrics":["expansion","expansion"]})");
+  ASSERT_TRUE(out.request.has_value());
+  EXPECT_EQ(out.request->metrics.size(), 1u);
+}
+
+TEST(ServiceParseTest, OverlongLineIsRejected) {
+  std::string line = R"({"topology":"Tree","id":")";
+  line += std::string(kMaxRequestBytes, 'a');
+  line += "\"}";
+  const ParseOutcome out = ParseRequest(line);
+  EXPECT_FALSE(out.request.has_value());
+}
+
+// --- the dedup key ---
+
+TEST(ServiceKeyTest, MetricOrderAndDefaultScaleCanonicalize) {
+  ParseOutcome a = ParseRequest(
+      R"({"topology":"Tree","metrics":["expansion","signature"]})");
+  ParseOutcome b = ParseRequest(
+      R"({"topology":"Tree","metrics":["signature","expansion"],)"
+      R"("scale":"small"})");
+  ASSERT_TRUE(a.request.has_value());
+  ASSERT_TRUE(b.request.has_value());
+  // Explicit scale "small" collides with an omitted scale on a
+  // small-tier server...
+  EXPECT_EQ(StructuralKey(*a.request, "small"),
+            StructuralKey(*b.request, "small"));
+  // ...and not on a default-tier server.
+  EXPECT_NE(StructuralKey(*a.request, "default"),
+            StructuralKey(*b.request, "default"));
+  // Ids never enter the key.
+  a.request->id = "left";
+  b.request->id = "right";
+  EXPECT_EQ(StructuralKey(*a.request, "small"),
+            StructuralKey(*b.request, "small"));
+}
+
+TEST(ServiceKeyTest, StructuralInputsSeparateKeys) {
+  const ParseOutcome base = ParseRequest(R"({"topology":"Tree"})");
+  ASSERT_TRUE(base.request.has_value());
+  const std::string k = StructuralKey(*base.request, "small");
+  for (const char* variant :
+       {R"({"topology":"Mesh"})", R"({"topology":"Tree","seed":7})",
+        R"({"topology":"Tree","as_nodes":99})",
+        R"({"topology":"Tree","inline":false})",
+        R"({"topology":"Tree","metrics":["expansion"]})"}) {
+    const ParseOutcome other = ParseRequest(variant);
+    ASSERT_TRUE(other.request.has_value()) << variant;
+    EXPECT_NE(StructuralKey(*other.request, "small"), k) << variant;
+  }
+}
+
+// --- a tiny blocking line client ---
+
+class Client {
+ public:
+  explicit Client(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  void Send(const std::string& line) {
+    const std::string framed = line + "\n";
+    ASSERT_EQ(::send(fd_, framed.data(), framed.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(framed.size()));
+  }
+
+  // Blocks until one full line arrives ("" = connection closed first).
+  std::string ReadLine() {
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return {};
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+Json MustParse(const std::string& line) {
+  const std::optional<Json> doc = Json::Parse(line);
+  EXPECT_TRUE(doc.has_value()) << "unparseable response: " << line;
+  return doc.value_or(Json());
+}
+
+std::string Field(const Json& doc, const char* key) {
+  const Json* v = doc.Find(key);
+  return (v != nullptr && v->is_string()) ? v->AsString() : std::string();
+}
+
+std::string ErrorCodeOf(const Json& doc) {
+  const Json* err = doc.Find("error");
+  return err != nullptr ? Field(*err, "code") : std::string();
+}
+
+// A request whose Tree topology is small enough to compute in
+// milliseconds; every structural knob pinned so tests and the reference
+// Session below agree on cache keys.
+constexpr const char* kTinyTree =
+    R"({"topology":"Tree","metrics":["expansion","signature"],)"
+    R"("scale":"small","as_nodes":200})";
+
+core::SessionOptions TinyTreeReference() {
+  core::SessionOptions o = core::ScaledSessionOptions("small");
+  o.roster.as_nodes = 200;
+  o.journal_path.clear();
+  return o;
+}
+
+void WaitForAdmitted(const Server& server, std::uint64_t n) {
+  for (int i = 0; i < 2000; ++i) {
+    if (server.stats().admitted >= n) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "server never admitted " << n << " requests";
+}
+
+// --- socket round trip ---
+
+TEST(ServiceServerTest, RoundTripMatchesADirectSession) {
+  Server server;
+  server.Start();
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  client.Send(std::string(R"({"id":"rt",)") + (kTinyTree + 1));
+
+  const Json doc = MustParse(client.ReadLine());
+  EXPECT_EQ(Field(doc, "id"), "rt");
+  ASSERT_EQ(Field(doc, "status"), "ok") << "degraded/error round trip";
+  const Json* figures = doc.Find("figures");
+  ASSERT_NE(figures, nullptr);
+
+  core::Session reference(TinyTreeReference());
+  const core::BasicMetrics& m = reference.Metrics("Tree");
+  EXPECT_EQ(Field(*figures, "signature"), m.signature.ToString());
+
+  const Json* expansion = figures->Find("expansion");
+  ASSERT_NE(expansion, nullptr);
+  const Json* x = expansion->Find("x");
+  const Json* y = expansion->Find("y");
+  ASSERT_NE(x, nullptr);
+  ASSERT_NE(y, nullptr);
+  ASSERT_EQ(x->AsArray().size(), m.expansion.x.size());
+  ASSERT_EQ(y->AsArray().size(), m.expansion.y.size());
+  // JsonNumber emits shortest-round-trip decimals, so the response's
+  // doubles are bit-identical to the computed series.
+  for (std::size_t i = 0; i < m.expansion.x.size(); ++i) {
+    EXPECT_EQ(x->AsArray()[i].AsDouble(), m.expansion.x[i]);
+    EXPECT_EQ(y->AsArray()[i].AsDouble(), m.expansion.y[i]);
+  }
+  // Only expansion and signature were requested.
+  EXPECT_EQ(figures->Find("resilience"), nullptr);
+  EXPECT_EQ(figures->Find("distortion"), nullptr);
+}
+
+TEST(ServiceServerTest, GarbageAndUnknownsAnswerTypedErrors) {
+  Server server;
+  server.Start();
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  client.Send("this is not json");
+  EXPECT_EQ(ErrorCodeOf(MustParse(client.ReadLine())), "invalid_argument");
+
+  client.Send(R"({"id":"u1","topology":"NotInTheRoster"})");
+  const Json unknown = MustParse(client.ReadLine());
+  EXPECT_EQ(Field(unknown, "id"), "u1");
+  EXPECT_EQ(ErrorCodeOf(unknown), "invalid_argument");
+
+  // Figures by reference need a cache on the server; none is configured
+  // in the test environment.
+  client.Send(R"({"topology":"Tree","inline":false})");
+  EXPECT_EQ(ErrorCodeOf(MustParse(client.ReadLine())), "invalid_argument");
+
+  // The connection survives every rejected line.
+  client.Send(std::string(R"({"id":"ok",)") + (kTinyTree + 1));
+  EXPECT_EQ(Field(MustParse(client.ReadLine()), "status"), "ok");
+
+  const ServerStats stats = server.stats();
+  EXPECT_GE(stats.parse_errors, 1u);
+  EXPECT_EQ(stats.rejected_queue_full, 0u);
+}
+
+// --- in-flight dedup ---
+
+TEST(ServiceServerTest, ConcurrentIdenticalRequestsShareOneComputation) {
+  Server server({.start_paused = true});
+  server.Start();
+  Client a(server.port());
+  Client b(server.port());
+  ASSERT_TRUE(a.connected());
+  ASSERT_TRUE(b.connected());
+
+  // Both requests are provably enqueued before the executor runs a thing.
+  a.Send(std::string(R"({"id":"first",)") + (kTinyTree + 1));
+  WaitForAdmitted(server, 1);
+  b.Send(std::string(R"({"id":"second",)") + (kTinyTree + 1));
+  WaitForAdmitted(server, 2);
+  EXPECT_EQ(server.QueueDepthForTesting(), 1u) << "second should attach";
+  server.ResumeExecutor();
+
+  const Json ra = MustParse(a.ReadLine());
+  const Json rb = MustParse(b.ReadLine());
+  EXPECT_EQ(Field(ra, "id"), "first");
+  EXPECT_EQ(Field(rb, "id"), "second");
+  EXPECT_EQ(Field(ra, "status"), "ok");
+  EXPECT_EQ(Field(rb, "status"), "ok");
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.deduped, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+  // The cache counter is the proof of sharing: one miss (one computation)
+  // answered both requests.
+  const core::CacheStats cache = server.SessionCacheStats();
+  EXPECT_EQ(cache.metrics_misses, 1u);
+  EXPECT_EQ(cache.metrics_hits, 0u);
+}
+
+TEST(ServiceServerTest, SequentialIdenticalRequestsWarmHitInstead) {
+  Server server;
+  server.Start();
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  client.Send(std::string(R"({"id":"cold",)") + (kTinyTree + 1));
+  const Json cold = MustParse(client.ReadLine());
+  ASSERT_EQ(Field(cold, "status"), "ok");
+  const Json* cold_cached = cold.Find("cached");
+  ASSERT_NE(cold_cached, nullptr);
+  EXPECT_FALSE(cold_cached->AsBool());
+
+  client.Send(std::string(R"({"id":"warm",)") + (kTinyTree + 1));
+  const Json warm = MustParse(client.ReadLine());
+  ASSERT_EQ(Field(warm, "status"), "ok");
+  const Json* warm_cached = warm.Find("cached");
+  ASSERT_NE(warm_cached, nullptr);
+  EXPECT_TRUE(warm_cached->AsBool());
+  EXPECT_EQ(server.stats().deduped, 0u) << "not concurrent, so not deduped";
+  EXPECT_EQ(server.SessionCacheStats().metrics_misses, 1u);
+}
+
+// --- deadlines ---
+
+TEST(ServiceServerTest, DeadlineExpiredInQueueDegradesWithoutComputing) {
+  Server server({.start_paused = true});
+  server.Start();
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  std::string request(kTinyTree);
+  request.insert(1, R"("id":"dl","deadline_ms":1,)");
+  client.Send(request);
+  WaitForAdmitted(server, 1);
+  // The 1ms budget dies here, while the request is still queued.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.ResumeExecutor();
+
+  const Json doc = MustParse(client.ReadLine());
+  EXPECT_EQ(Field(doc, "id"), "dl");
+  EXPECT_EQ(Field(doc, "status"), "degraded");
+  const Json* degraded = doc.Find("degraded");
+  ASSERT_NE(degraded, nullptr);
+  ASSERT_EQ(degraded->AsArray().size(), 1u);
+  const Json& entry = degraded->AsArray()[0];
+  EXPECT_EQ(Field(entry, "kind"), "request");
+  EXPECT_EQ(Field(entry, "code"), "cancelled");
+  // Nothing was computed for it.
+  EXPECT_EQ(server.SessionCacheStats().metrics_misses, 0u);
+  EXPECT_EQ(doc.Find("figures")->AsObject().size(), 0u);
+}
+
+// --- admission-queue bound ---
+
+TEST(ServiceServerTest, QueueOverflowAnswersQueueFull) {
+  Server server({.queue_limit = 1, .start_paused = true});
+  server.Start();
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  client.Send(std::string(R"({"id":"q1","seed":101,)") + (kTinyTree + 1));
+  WaitForAdmitted(server, 1);
+  // A *different* structural key cannot attach to q1's job, and the
+  // one-slot queue is full.
+  client.Send(std::string(R"({"id":"q2","seed":102,)") + (kTinyTree + 1));
+  const Json rejected = MustParse(client.ReadLine());
+  EXPECT_EQ(Field(rejected, "id"), "q2");
+  EXPECT_EQ(ErrorCodeOf(rejected), "queue_full");
+  EXPECT_EQ(server.stats().rejected_queue_full, 1u);
+
+  server.ResumeExecutor();
+  const Json served = MustParse(client.ReadLine());
+  EXPECT_EQ(Field(served, "id"), "q1");
+  EXPECT_EQ(Field(served, "status"), "ok");
+}
+
+// --- draining ---
+
+TEST(ServiceServerTest, StopAnswersEverythingAdmitted) {
+  Server server({.start_paused = true});
+  server.Start();
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  client.Send(std::string(R"({"id":"drain1",)") + (kTinyTree + 1));
+  WaitForAdmitted(server, 1);
+
+  // Stop() unpauses, drains the queue, then joins -- the admitted request
+  // must still be answered.
+  std::thread stopper([&server] { server.Stop(); });
+  const Json doc = MustParse(client.ReadLine());
+  stopper.join();
+  EXPECT_EQ(Field(doc, "id"), "drain1");
+  EXPECT_EQ(Field(doc, "status"), "ok");
+  EXPECT_EQ(server.stats().completed, 1u);
+}
+
+}  // namespace
+}  // namespace topogen::service

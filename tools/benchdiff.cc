@@ -1,6 +1,6 @@
 // benchdiff: the perf-regression gate behind CI's perf-gate job.
 //
-// Compares two BENCH.json files (schema topogen-bench/1 or /2, see
+// Compares two BENCH.json files (schema topogen-bench/1, /2, or /3, see
 // bench/bench_perf.cc) record-by-record, matched on "name". A record
 // regresses when its new ns_per_op exceeds the baseline by more than the
 // tolerance fraction:
@@ -120,7 +120,7 @@ double NumberOr(const Json& obj, std::string_view key, double fallback) {
 }
 
 // Loads a BENCH.json and flattens its results array. Accepts schema
-// topogen-bench/1 (no percentile fields) and /2.
+// topogen-bench/1 (no percentile fields), /2, and /3 (adds service records).
 std::optional<std::vector<Record>> LoadBench(const std::string& path) {
   std::ifstream is(path);
   if (!is.is_open()) {
@@ -138,7 +138,8 @@ std::optional<std::vector<Record>> LoadBench(const std::string& path) {
   const Json* schema = doc->Find("schema");
   if (schema == nullptr || !schema->is_string() ||
       (schema->AsString() != "topogen-bench/1" &&
-       schema->AsString() != "topogen-bench/2")) {
+       schema->AsString() != "topogen-bench/2" &&
+       schema->AsString() != "topogen-bench/3")) {
     std::fprintf(stderr, "benchdiff: %s: unsupported schema\n",
                  path.c_str());
     return std::nullopt;

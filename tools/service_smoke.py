@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""End-to-end smoke for topogend against the batch figure path.
+
+Drives a running topogend with N concurrent clients requesting the
+expansion series for every curve of Figure 2, and asserts that
+
+  * every response is status "ok" and served from cache (the daemon
+    shares its artifact store with a prior batch bench run), and
+  * every served series matches the batch run's exported .dat files
+    value for value (both sides formatted with %g, the formatting the
+    .dat writer uses), so the daemon provably returns the same figures
+    the paper harness printed.
+
+Usage:
+  service_smoke.py --port PORT --batch-dir DIR [--clients N]
+
+DIR is a TOPOGEN_OUTDIR populated by bench_fig2_expansion (fig2a.dat,
+fig2d.dat, fig2g.dat, fig2j.dat). Exits 0 on success, 1 with a
+diagnostic on any mismatch or transport error.
+"""
+
+import argparse
+import json
+import pathlib
+import socket
+import sys
+import threading
+
+# Every Figure 2 expansion curve: (topology, use_policy) -> curve name in
+# the .dat files (suite.cc appends "(Policy)" for policy-routed runs).
+REQUESTS = [
+    ("Tree", False), ("Mesh", False), ("Random", False),
+    ("RL", False), ("RL", True), ("AS", False), ("AS", True),
+    ("TS", False), ("Tiers", False), ("Waxman", False), ("PLRG", False),
+    ("B-A", False), ("Brite", False), ("BT", False), ("Inet", False),
+]
+
+PANELS = ["fig2a", "fig2d", "fig2g", "fig2j"]
+
+
+def curve_name(topology, use_policy):
+    return topology + ("(Policy)" if use_policy else "")
+
+
+def parse_dat(path):
+    """Parses gnuplot index blocks: '# name' then 'x y' token lines."""
+    curves = {}
+    name = None
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line.startswith("#"):
+            name = line[1:].strip()
+            curves[name] = []
+        elif line and name is not None:
+            x, y = line.split()
+            curves[name].append((x, y))
+    return curves
+
+
+def load_batch_curves(batch_dir):
+    curves = {}
+    for panel in PANELS:
+        path = pathlib.Path(batch_dir) / (panel + ".dat")
+        if not path.is_file():
+            sys.exit(f"service_smoke: missing batch figure {path}")
+        for name, points in parse_dat(path).items():
+            curves[name] = points
+    return curves
+
+
+class Client:
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=60)
+        self.buf = b""
+
+    def round_trip(self, request):
+        self.sock.sendall((json.dumps(request) + "\n").encode())
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return json.loads(line)
+
+
+def check_response(response, topology, use_policy, batch_curves, errors):
+    rid = response.get("id", "?")
+    if response.get("status") != "ok":
+        errors.append(f"{rid}: status {response.get('status')!r}, "
+                      f"response {response}")
+        return
+    if response.get("cached") is not True:
+        errors.append(f"{rid}: expected a cache-served response "
+                      f"(cached={response.get('cached')!r})")
+    series = response["figures"]["expansion"]
+    name = curve_name(topology, use_policy)
+    if series["name"] != name:
+        errors.append(f"{rid}: series name {series['name']!r} != {name!r}")
+        return
+    want = batch_curves.get(name)
+    if want is None:
+        errors.append(f"{rid}: curve {name!r} not in the batch .dat files")
+        return
+    got = [("%g" % x, "%g" % y) for x, y in zip(series["x"], series["y"])]
+    if got != want:
+        errors.append(f"{rid}: series mismatch for {name!r}:\n"
+                      f"  served: {got[:5]}...\n  batch:  {want[:5]}...")
+
+
+def worker(port, offset, batch_curves, errors, lock):
+    try:
+        client = Client(port)
+        # Each client walks the full request list from its own offset, so
+        # concurrent clients hit the same keys in different orders.
+        for i in range(len(REQUESTS)):
+            topology, use_policy = REQUESTS[(offset + i) % len(REQUESTS)]
+            request = {
+                "id": f"c{offset}-{topology}" + ("-policy" if use_policy else ""),
+                "topology": topology,
+                "metrics": ["expansion"],
+            }
+            if use_policy:
+                request["use_policy"] = True
+            response = client.round_trip(request)
+            local = []
+            check_response(response, topology, use_policy, batch_curves, local)
+            if local:
+                with lock:
+                    errors.extend(local)
+    except (OSError, ConnectionError, KeyError, ValueError) as exc:
+        with lock:
+            errors.append(f"client {offset}: {type(exc).__name__}: {exc}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--port", type=int, required=True)
+    ap.add_argument("--batch-dir", required=True)
+    ap.add_argument("--clients", type=int, default=8)
+    args = ap.parse_args()
+
+    batch_curves = load_batch_curves(args.batch_dir)
+    missing = [curve_name(t, p) for t, p in REQUESTS
+               if curve_name(t, p) not in batch_curves]
+    if missing:
+        sys.exit(f"service_smoke: batch run is missing curves {missing} "
+                 f"(degraded batch run?)")
+
+    errors = []
+    lock = threading.Lock()
+    threads = [
+        threading.Thread(target=worker,
+                         args=(args.port, i, batch_curves, errors, lock))
+        for i in range(args.clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}", file=sys.stderr)
+        sys.exit(1)
+    total = args.clients * len(REQUESTS)
+    print(f"service smoke OK: {total} responses from {args.clients} "
+          f"concurrent clients, all cached and identical to the batch run")
+
+
+if __name__ == "__main__":
+    main()

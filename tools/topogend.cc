@@ -1,0 +1,128 @@
+// topogend: the topology-as-a-service daemon (docs/SERVICE.md).
+//
+// Serves the roster's topologies and metric figures over newline-delimited
+// JSON on 127.0.0.1. Configuration comes from the TOPOGEN_* environment
+// (scale tier, cache, observability, service port/queue); the only flags
+// are overrides for the two service knobs plus --help.
+//
+//   TOPOGEN_SERVICE_PORT=0 TOPOGEN_CACHE_DIR=/tmp/cache topogend
+//
+// Startup prints exactly one line to stdout --
+//   topogend: listening on 127.0.0.1:<port>
+// -- so scripts can scrape the resolved (possibly ephemeral) port.
+// SIGINT/SIGTERM drain the admission queue (every admitted request is
+// answered) and exit 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/obs.h"
+#include "service/server.h"
+
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "topogend -- serve topogen topologies and metrics over TCP\n"
+      "\n"
+      "usage: topogend [--port N] [--queue N] [--help]\n"
+      "\n"
+      "  --port N   listen port on 127.0.0.1 (0 = ephemeral); overrides\n"
+      "             TOPOGEN_SERVICE_PORT\n"
+      "  --queue N  admission-queue depth; overrides TOPOGEN_SERVICE_QUEUE\n"
+      "\n"
+      "protocol: one JSON request per line, one JSON response per request\n"
+      "(docs/SERVICE.md). SIGINT/SIGTERM drain and exit.\n"
+      "\n"
+      "environment:\n");
+  for (const topogen::obs::EnvVarInfo& var :
+       topogen::obs::Env::RegisteredVars()) {
+    std::printf("  %-22s %.*s\n", std::string(var.name).c_str(),
+                static_cast<int>(var.summary.size()), var.summary.data());
+  }
+}
+
+bool ParseIntFlag(const char* value, const char* flag, int max, int* out) {
+  if (value == nullptr) {
+    std::fprintf(stderr, "topogend: %s needs a value\n", flag);
+    return false;
+  }
+  char* end = nullptr;
+  const long n = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || n < 0 || n > max) {
+    std::fprintf(stderr, "topogend: bad %s value '%s'\n", flag, value);
+    return false;
+  }
+  *out = static_cast<int>(n);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const topogen::obs::Env& env = topogen::obs::Env::Get();
+  int port = env.service_port();
+  int queue = env.service_queue();
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      PrintUsage();
+      return 0;
+    }
+    if (std::strcmp(arg, "--port") == 0) {
+      if (!ParseIntFlag(i + 1 < argc ? argv[++i] : nullptr, "--port", 65535,
+                        &port)) {
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--queue") == 0) {
+      if (!ParseIntFlag(i + 1 < argc ? argv[++i] : nullptr, "--queue",
+                        1 << 16, &queue)) {
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "topogend: unknown argument '%s' (try --help)\n",
+                   arg);
+      return 2;
+    }
+  }
+
+  // Block the shutdown signals before the server spawns its threads, so
+  // every thread inherits the mask and sigwait below is the one receiver.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  topogen::service::Server server({.port = port,
+                                   .queue_limit = static_cast<std::size_t>(
+                                       queue)});
+  try {
+    server.Start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "topogend: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("topogend: listening on 127.0.0.1:%d\n", server.port());
+  std::fflush(stdout);
+
+  int got = 0;
+  sigwait(&signals, &got);
+  std::fprintf(stderr, "topogend: signal %d, draining\n", got);
+  server.Stop();
+
+  const topogen::service::ServerStats stats = server.stats();
+  std::fprintf(stderr,
+               "topogend: served %llu responses (%llu deduped, %llu "
+               "queue-full rejections)\n",
+               static_cast<unsigned long long>(stats.responses),
+               static_cast<unsigned long long>(stats.deduped),
+               static_cast<unsigned long long>(stats.rejected_queue_full));
+  topogen::obs::FlushRunArtifacts();
+  return 0;
+}
