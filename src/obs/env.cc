@@ -43,13 +43,16 @@ int EnvInt(const char* name, long max_value = 4096) {
 }
 
 // Like EnvInt but with a non-zero fallback for unset/unparsable values,
-// so "0" stays a representable explicit choice (e.g. an ephemeral port).
-int EnvIntOr(const char* name, int fallback, long max_value) {
+// so "0" stays a representable explicit choice (e.g. an ephemeral port)
+// unless the variable's min_value excludes it (e.g. a queue depth, where
+// 0 would reject every request).
+int EnvIntOr(const char* name, int fallback, long max_value,
+             long min_value = 0) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
   const long parsed = std::strtol(v, &end, 10);
-  if (end == v || *end != '\0' || parsed < 0 || parsed > max_value) {
+  if (end == v || *end != '\0' || parsed < min_value || parsed > max_value) {
     return fallback;
   }
   return static_cast<int>(parsed);
@@ -105,7 +108,8 @@ Env::Env()
       threads_override_(EnvInt("TOPOGEN_THREADS")),
       cache_max_mb_(EnvInt("TOPOGEN_CACHE_MAX_MB", 1 << 20)),
       service_port_(EnvIntOr("TOPOGEN_SERVICE_PORT", 7077, 65535)),
-      service_queue_(EnvIntOr("TOPOGEN_SERVICE_QUEUE", 64, 1 << 16)),
+      service_queue_(
+          EnvIntOr("TOPOGEN_SERVICE_QUEUE", 64, 1 << 16, /*min_value=*/1)),
       hist_(Truthy(EnvOr("TOPOGEN_HIST", ""))) {
   Epoch();  // pin the trace epoch no later than first configuration use
 }
@@ -129,7 +133,8 @@ std::span<const EnvVarInfo> Env::RegisteredVars() {
       {"TOPOGEN_EVENTS", "JSONL event log; 1 = events.jsonl under outdir"},
       {"TOPOGEN_BENCH_JSON", "bench_perf/bench_service BENCH.json output path"},
       {"TOPOGEN_SERVICE_PORT", "topogend TCP port; 0 = ephemeral (default 7077)"},
-      {"TOPOGEN_SERVICE_QUEUE", "topogend admission-queue depth (default 64)"},
+      {"TOPOGEN_SERVICE_QUEUE",
+       "topogend admission-queue depth (default 64, minimum 1)"},
   };
   return kVars;
 }

@@ -90,6 +90,8 @@ class Env {
 
   // TOPOGEN_SERVICE_QUEUE: topogend's admission-queue depth; requests
   // beyond it are rejected with a queue_full error (docs/SERVICE.md).
+  // Minimum 1 -- a 0 depth would reject every non-deduped request, so 0
+  // falls back to the default like any other unusable value.
   int service_queue() const { return service_queue_; }
 
   // The full registry of TOPOGEN_* variables this build honors.

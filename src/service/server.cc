@@ -39,6 +39,14 @@ std::uint64_t ElapsedNs(Clock::time_point from, Clock::time_point to) {
           .count());
 }
 
+// A waiter that dedup-attached while its job was already executing has
+// admitted > started; its queue wait is zero, not a negative duration
+// wrapped to ~1.8e19 ns.
+std::uint64_t QueueWaitNs(Clock::time_point admitted,
+                          Clock::time_point started) {
+  return admitted < started ? ElapsedNs(admitted, started) : 0;
+}
+
 bool KnownTopology(std::string_view id) {
   for (const std::string_view known : core::Session::KnownIds()) {
     if (known == id) return true;
@@ -161,12 +169,12 @@ struct Server::Impl {
     const Clock::time_point now = Clock::now();
     TOPOGEN_HIST_NS("service.request_ns", ElapsedNs(waiter.admitted, now));
     TOPOGEN_HIST_NS("service.queue_wait_ns",
-                    ElapsedNs(waiter.admitted, started));
+                    QueueWaitNs(waiter.admitted, started));
     obs::Event("request")
         .Str("op", "done")
         .Str("id", waiter.id)
         .Str("status", status)
-        .U64("queue_us", ElapsedNs(waiter.admitted, started) / 1000)
+        .U64("queue_us", QueueWaitNs(waiter.admitted, started) / 1000)
         .U64("total_us", ElapsedNs(waiter.admitted, now) / 1000);
     std::lock_guard<std::mutex> lock(mutex);
     ++stat.responses;
@@ -325,6 +333,11 @@ struct Server::Impl {
         ++it;
       }
       compute = !ws.empty();
+      // A fully-expired job must retire under the same lock that decided
+      // compute: erasing after the unlocked sends below leaves a window
+      // where an identical request dedup-attaches to a job that will
+      // never run, and its waiter is never answered.
+      if (!compute) inflight.erase(job->key);
     }
     for (const Waiter& w : expired) {
       ResponseBuilder rb(w.id);
@@ -337,11 +350,7 @@ struct Server::Impl {
       }
       Respond(w, std::move(rb).Finish(), "degraded", started);
     }
-    if (!compute) {
-      std::lock_guard<std::mutex> lock(mutex);
-      inflight.erase(job->key);
-      return;
-    }
+    if (!compute) return;
 
     // Shared computation under the waiters' collective budget: the token
     // only carries a deadline when every live waiter has one (a single
@@ -416,7 +425,7 @@ struct Server::Impl {
       rb.AddString("topology", req.topology);
       rb.AddString("key", job->key);
       rb.AddBool("cached", cached);
-      rb.AddU64("queue_us", ElapsedNs(w.admitted, started) / 1000);
+      rb.AddU64("queue_us", QueueWaitNs(w.admitted, started) / 1000);
       rb.AddU64("elapsed_us", ElapsedNs(started, Clock::now()) / 1000);
       if (basic != nullptr) {
         if (req.inline_figures) {
@@ -524,12 +533,43 @@ struct Server::Impl {
     Admit(conn, std::move(*parsed.request));
   }
 
+  // Reap connections whose reader has finished (fd already closed), so a
+  // long-running daemon does not accumulate exited-but-joinable reader
+  // threads and their Connection objects until Stop(). Waiters still in
+  // flight hold their own shared_ptr, so a reaped Connection stays valid
+  // for any pending (and failing) response writes.
+  void SweepConnections() {
+    std::vector<std::shared_ptr<Connection>> dead;
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex);
+      for (auto it = connections.begin(); it != connections.end();) {
+        bool closed = false;
+        {
+          std::lock_guard<std::mutex> write_lock((*it)->write_mutex);
+          closed = (*it)->fd < 0;
+        }
+        if (closed) {
+          dead.push_back(std::move(*it));
+          it = connections.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    // Closing the fd is the reader's final act, so these joins are
+    // near-instant.
+    for (const auto& conn : dead) {
+      if (conn->reader.joinable()) conn->reader.join();
+    }
+  }
+
   void AcceptorLoop() {
     for (;;) {
       {
         std::lock_guard<std::mutex> lock(mutex);
         if (stopping) return;
       }
+      SweepConnections();
       pollfd pfd{listen_fd, POLLIN, 0};
       const int ready = ::poll(&pfd, 1, 200);
       if (ready <= 0) continue;
@@ -663,6 +703,11 @@ core::CacheStats Server::SessionCacheStats() const {
 std::size_t Server::QueueDepthForTesting() const {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   return impl_->queue.size();
+}
+
+std::size_t Server::LiveConnectionCountForTesting() const {
+  std::lock_guard<std::mutex> lock(impl_->conn_mutex);
+  return impl_->connections.size();
 }
 
 void Server::ResumeExecutor() {

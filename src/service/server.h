@@ -84,6 +84,9 @@ class Server {
   core::CacheStats SessionCacheStats() const;
 
   std::size_t QueueDepthForTesting() const;
+  // Connections not yet reaped by the acceptor's periodic sweep of
+  // closed ones (so it eventually drops to 0 after clients disconnect).
+  std::size_t LiveConnectionCountForTesting() const;
   void ResumeExecutor();
 
  private:

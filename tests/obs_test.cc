@@ -55,6 +55,7 @@ class ObsEnvTest : public ::testing::Test {
     ::unsetenv("TOPOGEN_OUTDIR");
     ::unsetenv("TOPOGEN_HIST");
     ::unsetenv("TOPOGEN_EVENTS");
+    ::unsetenv("TOPOGEN_SERVICE_QUEUE");
     Env::ResetForTesting();
     Tracer::Get().DiscardForTesting();
     EventLog::Get().ResetForTesting();
@@ -99,6 +100,18 @@ TEST_F(ObsEnvTest, FlagsTrackEnv) {
   EXPECT_TRUE(StatsEnabled());
   SetEnv("TOPOGEN_OUTDIR", dir_.string());
   EXPECT_TRUE(ManifestEnabled());
+}
+
+TEST_F(ObsEnvTest, ServiceQueueZeroFallsBackToTheDefault) {
+  EXPECT_EQ(Env::Get().service_queue(), 64);
+  // A 0-depth queue would reject every non-deduped request, so 0 is an
+  // unusable value and falls back like garbage does.
+  SetEnv("TOPOGEN_SERVICE_QUEUE", "0");
+  EXPECT_EQ(Env::Get().service_queue(), 64);
+  SetEnv("TOPOGEN_SERVICE_QUEUE", "1");
+  EXPECT_EQ(Env::Get().service_queue(), 1);
+  SetEnv("TOPOGEN_SERVICE_QUEUE", "128");
+  EXPECT_EQ(Env::Get().service_queue(), 128);
 }
 
 // --- Spans -----------------------------------------------------------

@@ -19,6 +19,7 @@
 
 #include "core/scale.h"
 #include "core/session.h"
+#include "fault/fault.h"
 #include "obs/json.h"
 #include "service/protocol.h"
 
@@ -256,6 +257,13 @@ void WaitForAdmitted(const Server& server, std::uint64_t n) {
   FAIL() << "server never admitted " << n << " requests";
 }
 
+// Disarms on every exit path, so an ASSERT mid-test cannot leak an armed
+// fault into the next one.
+struct FaultGuard {
+  explicit FaultGuard(const char* spec) { fault::ArmForTesting(spec); }
+  ~FaultGuard() { fault::Disarm(); }
+};
+
 // --- socket round trip ---
 
 TEST(ServiceServerTest, RoundTripMatchesADirectSession) {
@@ -409,6 +417,102 @@ TEST(ServiceServerTest, DeadlineExpiredInQueueDegradesWithoutComputing) {
   // Nothing was computed for it.
   EXPECT_EQ(server.SessionCacheStats().metrics_misses, 0u);
   EXPECT_EQ(doc.Find("figures")->AsObject().size(), 0u);
+}
+
+// A fully-expired job must leave the inflight map in the same critical
+// section that decides not to compute. The old two-section version had a
+// window (during the unlocked sends to expired waiters) where an
+// identical request could dedup-attach to a job about to be erased
+// without re-enqueueing -- that waiter was never answered. The delay
+// fault pins the executor inside that exact window.
+TEST(ServiceServerTest, ExpiredJobRetiresBeforeALateDuplicateCanAttach) {
+  if (!fault::CompiledIn()) GTEST_SKIP() << "fault points not compiled in";
+  const FaultGuard guard("svc.respond@kind=delay,ms=200,match=late1");
+  Server server({.start_paused = true});
+  server.Start();
+  Client a(server.port());
+  Client b(server.port());
+  ASSERT_TRUE(a.connected());
+  ASSERT_TRUE(b.connected());
+
+  std::string request(kTinyTree);
+  request.insert(1, R"("id":"late1","deadline_ms":1,)");
+  a.Send(request);
+  WaitForAdmitted(server, 1);
+  // Let the 1ms budget die while the request is still queued.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.ResumeExecutor();
+  // completed is bumped just before the (200ms-delayed, unlocked) send to
+  // the expired waiter, so once it reads 1 the executor sits inside the
+  // window.
+  for (int i = 0; i < 2000 && server.stats().completed < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(server.stats().completed, 1u);
+  // An identical request arriving now must start a fresh job, not attach
+  // to the one being retired (which would hang this client forever).
+  b.Send(std::string(R"({"id":"late2",)") + (kTinyTree + 1));
+
+  const Json expired = MustParse(a.ReadLine());
+  EXPECT_EQ(Field(expired, "id"), "late1");
+  EXPECT_EQ(Field(expired, "status"), "degraded");
+  const Json fresh = MustParse(b.ReadLine());
+  EXPECT_EQ(Field(fresh, "id"), "late2");
+  EXPECT_EQ(Field(fresh, "status"), "ok");
+  EXPECT_EQ(server.stats().completed, 2u);
+}
+
+// A waiter that dedup-attaches while its job is already executing was
+// admitted *after* the execution clock started; its queue wait is zero,
+// not a negative duration wrapped to ~1.8e19ns (which used to poison
+// queue_us and the service.queue_wait_ns histogram).
+TEST(ServiceServerTest, LateAttachedWaiterReportsZeroQueueWait) {
+  if (!fault::CompiledIn()) GTEST_SKIP() << "fault points not compiled in";
+  // Hold the executor inside the Tree generation so the second request
+  // provably attaches mid-execution.
+  const FaultGuard guard("gen.validate@kind=delay,ms=300,match=Tree");
+  Server server;
+  server.Start();
+  Client a(server.port());
+  Client b(server.port());
+  ASSERT_TRUE(a.connected());
+  ASSERT_TRUE(b.connected());
+
+  a.Send(std::string(R"({"id":"early",)") + (kTinyTree + 1));
+  for (int i = 0; i < 2000 && fault::FiredCount("gen.validate") < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(fault::FiredCount("gen.validate"), 1u)
+      << "executor never reached the Tree generation";
+  b.Send(std::string(R"({"id":"late",)") + (kTinyTree + 1));
+
+  const Json ra = MustParse(a.ReadLine());
+  const Json rb = MustParse(b.ReadLine());
+  ASSERT_EQ(Field(ra, "status"), "ok");
+  ASSERT_EQ(Field(rb, "status"), "ok");
+  EXPECT_EQ(server.stats().deduped, 1u) << "late must have attached";
+  const Json* queue_us = rb.Find("queue_us");
+  ASSERT_NE(queue_us, nullptr);
+  EXPECT_EQ(queue_us->AsDouble(), 0.0);
+}
+
+// --- connection reaping ---
+
+TEST(ServiceServerTest, FinishedConnectionsAreReaped) {
+  Server server;
+  server.Start();
+  {
+    Client client(server.port());
+    ASSERT_TRUE(client.connected());
+    client.Send(std::string(R"({"id":"bye",)") + (kTinyTree + 1));
+    EXPECT_EQ(Field(MustParse(client.ReadLine()), "status"), "ok");
+  }  // disconnect: the reader closes its end; the acceptor's sweep reaps it
+  for (int i = 0; i < 4000 && server.LiveConnectionCountForTesting() > 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.LiveConnectionCountForTesting(), 0u);
+  EXPECT_EQ(server.stats().connections, 1u) << "reaping must not uncount";
 }
 
 // --- admission-queue bound ---

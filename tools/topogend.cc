@@ -32,7 +32,8 @@ void PrintUsage() {
       "\n"
       "  --port N   listen port on 127.0.0.1 (0 = ephemeral); overrides\n"
       "             TOPOGEN_SERVICE_PORT\n"
-      "  --queue N  admission-queue depth; overrides TOPOGEN_SERVICE_QUEUE\n"
+      "  --queue N  admission-queue depth (minimum 1); overrides\n"
+      "             TOPOGEN_SERVICE_QUEUE\n"
       "\n"
       "protocol: one JSON request per line, one JSON response per request\n"
       "(docs/SERVICE.md). SIGINT/SIGTERM drain and exit.\n"
@@ -45,15 +46,17 @@ void PrintUsage() {
   }
 }
 
-bool ParseIntFlag(const char* value, const char* flag, int max, int* out) {
+bool ParseIntFlag(const char* value, const char* flag, int min, int max,
+                  int* out) {
   if (value == nullptr) {
     std::fprintf(stderr, "topogend: %s needs a value\n", flag);
     return false;
   }
   char* end = nullptr;
   const long n = std::strtol(value, &end, 10);
-  if (end == value || *end != '\0' || n < 0 || n > max) {
-    std::fprintf(stderr, "topogend: bad %s value '%s'\n", flag, value);
+  if (end == value || *end != '\0' || n < min || n > max) {
+    std::fprintf(stderr, "topogend: bad %s value '%s' (allowed %d..%d)\n",
+                 flag, value, min, max);
     return false;
   }
   *out = static_cast<int>(n);
@@ -74,12 +77,14 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (std::strcmp(arg, "--port") == 0) {
-      if (!ParseIntFlag(i + 1 < argc ? argv[++i] : nullptr, "--port", 65535,
-                        &port)) {
+      if (!ParseIntFlag(i + 1 < argc ? argv[++i] : nullptr, "--port", 0,
+                        65535, &port)) {
         return 2;
       }
     } else if (std::strcmp(arg, "--queue") == 0) {
-      if (!ParseIntFlag(i + 1 < argc ? argv[++i] : nullptr, "--queue",
+      // Unlike --port, 0 has no meaning here: a 0-depth queue would
+      // reject every non-deduped request, so the minimum is 1.
+      if (!ParseIntFlag(i + 1 < argc ? argv[++i] : nullptr, "--queue", 1,
                         1 << 16, &queue)) {
         return 2;
       }
