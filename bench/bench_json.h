@@ -1,0 +1,126 @@
+// Shared BENCH.json merge support (schema topogen-bench/3).
+//
+// bench_perf writes the file through its google-benchmark reporter;
+// bench_service and bench_scale are standalone harnesses that must land
+// their records in the *same* file without clobbering whatever already
+// ran. MergeIntoBenchJson re-reads the file, keeps every existing record
+// whose name is not being replaced, and rewrites the document -- so the
+// three binaries can run in any order against one BENCH.json and CI's
+// perf gate diffs them all.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace topogen::bench {
+
+struct JsonRecord {
+  std::string name;
+  std::string kernel;
+  std::string family;
+  std::int64_t n = 0;
+  std::int64_t threads = 1;
+  double ns_per_op = 0.0;
+  // Service-only field: requests per second. Emitted only when >= 0, so
+  // kernel records keep the exact shape bench_perf writes.
+  double qps = -1.0;
+  double p50_ns = 0.0;
+  double p90_ns = 0.0;
+  double p99_ns = 0.0;
+  double max_ns = 0.0;
+};
+
+// Merges `records` into the BENCH.json at `path`: existing results are
+// kept (same-name records replaced), the schema is stamped /3.
+inline bool MergeIntoBenchJson(const std::string& path,
+                               const std::vector<JsonRecord>& records) {
+  using topogen::obs::Json;
+  std::vector<std::string> kept;
+  std::ifstream is(path);
+  if (is.is_open()) {
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::optional<Json> doc = Json::Parse(buf.str());
+    if (doc.has_value() && doc->is_object()) {
+      if (const Json* results = doc->Find("results");
+          results != nullptr && results->is_array()) {
+        for (const Json& entry : results->AsArray()) {
+          const Json* name = entry.Find("name");
+          if (name == nullptr || !name->is_string()) continue;
+          bool replaced = false;
+          for (const JsonRecord& r : records) {
+            if (r.name == name->AsString()) replaced = true;
+          }
+          if (replaced) continue;
+          // Re-serialize the record we are keeping.
+          std::string line = "    {";
+          bool first = true;
+          for (const auto& [key, value] : entry.AsObject()) {
+            if (!first) line += ", ";
+            first = false;
+            line += "\"" + key + "\": ";
+            if (value.is_string()) {
+              line += "\"" + topogen::obs::JsonEscape(value.AsString()) +
+                      "\"";
+            } else if (value.is_number()) {
+              line += topogen::obs::JsonNumber(value.AsDouble());
+            } else if (value.is_bool()) {
+              line += value.AsBool() ? "true" : "false";
+            } else {
+              line += "null";
+            }
+          }
+          line += "}";
+          kept.push_back(std::move(line));
+        }
+      }
+    }
+  }
+  is.close();
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::ofstream os(path);
+  if (!os.is_open()) return false;
+  os << "{\n  \"schema\": \"topogen-bench/3\",\n";
+  os << "  \"created_unix\": " << static_cast<long long>(std::time(nullptr))
+     << ",\n";
+  os << "  \"host_threads\": " << (hw > 0 ? hw : 1) << ",\n";
+  os << "  \"results\": [";
+  bool first = true;
+  for (const std::string& line : kept) {
+    os << (first ? "\n" : ",\n") << line;
+    first = false;
+  }
+  for (const JsonRecord& r : records) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"name\": \"" << topogen::obs::JsonEscape(r.name)
+       << "\", \"kernel\": \"" << topogen::obs::JsonEscape(r.kernel)
+       << "\", \"family\": \"" << topogen::obs::JsonEscape(r.family)
+       << "\", \"n\": " << r.n << ", \"threads\": " << r.threads
+       << ", \"ns_per_op\": " << r.ns_per_op;
+    if (r.qps >= 0.0) os << ", \"qps\": " << r.qps;
+    os << ",\n     \"p50_ns\": " << r.p50_ns << ", \"p90_ns\": " << r.p90_ns
+       << ", \"p99_ns\": " << r.p99_ns << ", \"max_ns\": " << r.max_ns
+       << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.good();
+}
+
+// The BENCH.json output path: TOPOGEN_BENCH_JSON or ./BENCH.json.
+inline std::string BenchJsonPath() {
+  const char* path = std::getenv("TOPOGEN_BENCH_JSON");
+  return path != nullptr && *path != '\0' ? path : "BENCH.json";
+}
+
+}  // namespace topogen::bench

@@ -10,7 +10,12 @@
 // latency percentiles (p50/p90/p99/max, from a local obs::Histogram over
 // the timed loop), and the bytes the BFS engine allocated per op
 // (graph.bfs_alloc_bytes delta; ~0 in steady state is the zero-allocation
-// contract, see docs/PERFORMANCE.md). CI smoke-validates the file, diffs
+// contract, see docs/PERFORMANCE.md). bytes_alloc_per_op is only
+// meaningful on records with "alloc_tracked": true -- kernels that never
+// touch the BFS engine (generation, bisection, distortion) publish no
+// delta, and their 0 means "not measured", not "allocation-free"; the
+// flag keeps the two cases distinguishable. CI smoke-validates the file,
+// diffs
 // it against the committed baseline with tools/benchdiff (the perf-gate
 // job), and archives it; BENCH_PR7.json in the repo root pins the numbers
 // this schema shipped with.
@@ -118,6 +123,10 @@ struct BenchRecord {
   std::int64_t threads = 1;
   double ns_per_op = 0.0;
   double bytes_alloc_per_op = 0.0;
+  // True only when the benchmark published a bfs_bytes delta
+  // (ReportBfsBytes): a tracked 0 is a measured steady state, an
+  // untracked 0 just means the kernel never touches the BFS engine.
+  bool alloc_tracked = false;
   double p50_ns = 0.0;
   double p90_ns = 0.0;
   double p99_ns = 0.0;
@@ -198,6 +207,7 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
       if (auto it = run.counters.find("bfs_bytes");
           it != run.counters.end()) {
         rec.bytes_alloc_per_op = it->second.value;
+        rec.alloc_tracked = true;
       }
       // Per-iteration latency percentiles published by BENCH_TIMED_LOOP.
       // Already in ns (IterLatency records raw nanoseconds), so no time
@@ -250,7 +260,9 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
          << "\", \"family\": \"" << r.family << "\", \"n\": " << r.n
          << ", \"threads\": " << r.threads << ", \"ns_per_op\": "
          << r.ns_per_op << ", \"bytes_alloc_per_op\": "
-         << r.bytes_alloc_per_op << ",\n     \"p50_ns\": " << r.p50_ns
+         << r.bytes_alloc_per_op << ", \"alloc_tracked\": "
+         << (r.alloc_tracked ? "true" : "false")
+         << ",\n     \"p50_ns\": " << r.p50_ns
          << ", \"p90_ns\": " << r.p90_ns << ", \"p99_ns\": " << r.p99_ns
          << ", \"max_ns\": " << r.max_ns << "}";
       first = false;
@@ -283,6 +295,12 @@ void BM_GenerateTransitStub(benchmark::State& state) {
     graph::Rng rng(1);
     benchmark::DoNotOptimize(gen::TransitStub({}, rng).num_edges());
   }
+  // Default-parameter generators take no size Arg; report the node count
+  // the defaults actually produce (deterministic at seed 1) so the
+  // BENCH.json record carries a real n instead of 0.
+  graph::Rng rng(1);
+  state.counters["n"] =
+      static_cast<double>(gen::TransitStub({}, rng).num_nodes());
 }
 BENCHMARK(BM_GenerateTransitStub);
 
@@ -291,6 +309,8 @@ void BM_GenerateTiers(benchmark::State& state) {
     graph::Rng rng(1);
     benchmark::DoNotOptimize(gen::Tiers({}, rng).num_edges());
   }
+  graph::Rng rng(1);
+  state.counters["n"] = static_cast<double>(gen::Tiers({}, rng).num_nodes());
 }
 BENCHMARK(BM_GenerateTiers);
 
@@ -525,7 +545,8 @@ void BM_Expansion(benchmark::State& state) {
   const std::uint64_t bytes = BfsBytesNow();
   BENCH_TIMED_LOOP(state) {
     benchmark::DoNotOptimize(
-        metrics::Expansion(g, {.max_sources = 200}).size());
+        metrics::Expansion(g, {.max_sources = 200, .seed = 11, .sample = {}})
+            .size());
   }
   state.counters["n"] = static_cast<double>(g.num_nodes());
   ReportBfsBytes(state, bytes);
@@ -591,7 +612,8 @@ void BM_ExpansionThreads(benchmark::State& state) {
   const std::uint64_t bytes = BfsBytesNow();
   BENCH_TIMED_LOOP(state) {
     benchmark::DoNotOptimize(
-        metrics::Expansion(g, {.max_sources = 200}).size());
+        metrics::Expansion(g, {.max_sources = 200, .seed = 11, .sample = {}})
+            .size());
   }
   state.SetLabel(g.Summary());
   state.counters["n"] = static_cast<double>(g.num_nodes());

@@ -1,0 +1,218 @@
+// Million-node scale harness: generation wall time at n in {1e5, 1e6}
+// for the three parallelized generators (PLRG, BA, Waxman), then sampled
+// expansion and ball-growing estimators (metrics/sample.h, the "xl" tier
+// spec) on the million-node PLRG graph -- the regime where exhaustive
+// per-source sweeps stop being feasible and the paper's metrics must come
+// from confidence-interval-backed samples instead.
+//
+// Results merge into the same BENCH.json as bench_perf and bench_service
+// (schema topogen-bench/3, path override TOPOGEN_BENCH_JSON). When
+// TOPOGEN_OUTDIR is set, the sampled expansion curve is exported as a
+// figure and stamped into manifest.json with its estimator metadata
+// (centers, stream, budget, worst CI half-width) -- CI's scale-smoke job
+// validates exactly that record.
+//
+//   bench_scale            full matrix: {1e5, 1e6} x {plrg, ba, waxman}
+//   bench_scale --smoke    one n=1e6 PLRG + sampled metrics (CI budget)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/report.h"
+#include "core/scale.h"
+#include "gen/ba.h"
+#include "gen/plrg.h"
+#include "gen/waxman.h"
+#include "graph/graph.h"
+#include "graph/rng.h"
+#include "metrics/ball.h"
+#include "metrics/expansion.h"
+#include "metrics/sample.h"
+#include "obs/manifest.h"
+#include "parallel/pool.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kSeed = 42;
+
+double ElapsedNs(const Clock::time_point& begin) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           begin)
+          .count());
+}
+
+// One timed kernel, `reps` repetitions; percentiles over the rep times
+// (with reps=1 every percentile is the single measurement, which is the
+// honest shape for a kernel too big to repeat).
+template <typename Fn>
+topogen::bench::JsonRecord Time(const std::string& name,
+                                const std::string& kernel,
+                                const std::string& family, std::int64_t n,
+                                int reps, Fn&& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const Clock::time_point begin = Clock::now();
+    fn();
+    times.push_back(ElapsedNs(begin));
+  }
+  std::sort(times.begin(), times.end());
+  const auto pct = [&times](double q) {
+    const std::size_t idx = static_cast<std::size_t>(
+        q * static_cast<double>(times.size() - 1) + 0.5);
+    return times[std::min(idx, times.size() - 1)];
+  };
+  double sum = 0.0;
+  for (const double t : times) sum += t;
+
+  topogen::bench::JsonRecord rec;
+  rec.name = name;
+  rec.kernel = kernel;
+  rec.family = family;
+  rec.n = n;
+  rec.threads = topogen::parallel::Pool::Get().threads();
+  rec.ns_per_op = sum / static_cast<double>(times.size());
+  rec.p50_ns = pct(0.50);
+  rec.p90_ns = pct(0.90);
+  rec.p99_ns = pct(0.99);
+  rec.max_ns = times.back();
+  std::printf("%-34s n=%-9lld %3d rep(s)  %10.1f ms/op\n", name.c_str(),
+              static_cast<long long>(n), reps, rec.ns_per_op / 1e6);
+  std::fflush(stdout);
+  return rec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  topogen::obs::Manifest::SetTool("bench_scale");
+  std::vector<topogen::bench::JsonRecord> records;
+
+  // --- Generation matrix -------------------------------------------------
+  // Waxman's alpha shrinks as 25/n so expected degree stays constant
+  // across sizes (bench_perf's n=2000 point uses the same convention);
+  // without it the edge count -- and the run time -- would grow as n^2.
+  const std::vector<std::int64_t> sizes =
+      smoke ? std::vector<std::int64_t>{1000000}
+            : std::vector<std::int64_t>{100000, 1000000};
+  for (const std::int64_t n : sizes) {
+    const int reps = n >= 1000000 ? 1 : 3;
+    const auto node_count = static_cast<topogen::graph::NodeId>(n);
+    records.push_back(Time(
+        "BM_ScaleGeneratePlrg/" + std::to_string(n), "generate", "plrg", n,
+        reps, [node_count] {
+          topogen::graph::Rng rng(kSeed);
+          topogen::gen::Plrg({.n = node_count}, rng);
+        }));
+    if (smoke) break;  // smoke: one PLRG build, then straight to metrics
+    records.push_back(Time(
+        "BM_ScaleGenerateBa/" + std::to_string(n), "generate", "ba", n, reps,
+        [node_count] {
+          topogen::graph::Rng rng(kSeed);
+          topogen::gen::BarabasiAlbert({.n = node_count}, rng);
+        }));
+    records.push_back(Time(
+        "BM_ScaleGenerateWaxman/" + std::to_string(n), "generate", "waxman",
+        n, reps, [node_count, n] {
+          topogen::graph::Rng rng(kSeed);
+          topogen::gen::Waxman(
+              {.n = node_count, .alpha = 25.0 / static_cast<double>(n)},
+              rng);
+        }));
+  }
+
+  // --- Sampled estimators on the million-node PLRG -----------------------
+  // The xl tier's SampleSpec: the exact configuration ScaledSuiteOptions
+  // hands topogend and the figure harness at TOPOGEN_SCALE=xl.
+  const topogen::metrics::SampleSpec sample =
+      topogen::core::ScaledSuiteOptions("xl").sample;
+  topogen::graph::Rng rng(kSeed);
+  const topogen::graph::Graph g =
+      topogen::gen::Plrg({.n = 1000000}, rng);
+  std::printf("plrg graph: %u nodes, %zu edges (largest component)\n",
+              g.num_nodes(), g.num_edges());
+  topogen::obs::Manifest::AddTopology(
+      "PLRG-1M", g.num_nodes(), g.num_edges(),
+      "n=1000000 exponent=2.246 seed=" + std::to_string(kSeed));
+
+  topogen::metrics::Series expansion;
+  records.push_back(Time(
+      "BM_ScaleExpansionSampled/1000000", "expansion", "plrg",
+      static_cast<std::int64_t>(g.num_nodes()), 1, [&g, &sample, &expansion] {
+        topogen::metrics::ExpansionOptions opts;
+        opts.sample = sample;
+        expansion = topogen::metrics::Expansion(g, opts);
+      }));
+
+  topogen::metrics::Series ball;
+  records.push_back(Time(
+      "BM_ScaleBallSampled/1000000", "ball", "plrg",
+      static_cast<std::int64_t>(g.num_nodes()), 1, [&g, &sample, &ball] {
+        topogen::metrics::BallGrowingOptions opts;
+        opts.max_ball_nodes = sample.expansion_budget;
+        opts.big_ball_threshold = sample.expansion_budget;
+        opts.sample = sample;
+        ball = topogen::metrics::BallGrowingSeries(
+            g, opts,
+            [](const topogen::graph::Graph& b, topogen::graph::Rng&) {
+              return b.num_nodes() == 0
+                         ? 0.0
+                         : 2.0 * static_cast<double>(b.num_edges()) /
+                               static_cast<double>(b.num_nodes());
+            });
+      }));
+
+  if (!expansion.has_error() || expansion.y.empty()) {
+    std::fprintf(stderr,
+                 "bench_scale: sampled expansion produced no CI-backed "
+                 "series\n");
+    return 1;
+  }
+  double max_ci = 0.0;
+  for (const double e : expansion.yerr) max_ci = std::max(max_ci, e);
+  std::printf("sampled expansion: %zu radii, worst ci halfwidth %.3g\n",
+              expansion.y.size(), max_ci);
+
+  // Figure + estimator provenance (no-ops unless TOPOGEN_OUTDIR is set;
+  // PrintPanel itself exports the figure and registers it).
+  expansion.name = "PLRG 10^6 (sampled)";
+  topogen::core::PrintPanel(std::cout, "scale-expansion",
+                            "Expansion E(h), sampled estimator, n=10^6",
+                            {expansion});
+  topogen::obs::Manifest::AddEstimator("scale-expansion", "expansion",
+                                       sample.centers, sample.seed,
+                                       sample.expansion_budget, max_ci);
+  if (ball.has_error()) {
+    double ball_ci = 0.0;
+    for (const double e : ball.yerr) ball_ci = std::max(ball_ci, e);
+    topogen::obs::Manifest::AddEstimator("scale-expansion", "ball_avg_degree",
+                                         sample.centers, sample.seed,
+                                         sample.expansion_budget, ball_ci);
+  }
+
+  const std::string out = topogen::bench::BenchJsonPath();
+  if (!topogen::bench::MergeIntoBenchJson(out, records)) {
+    std::fprintf(stderr, "bench_scale: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

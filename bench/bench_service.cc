@@ -31,13 +31,12 @@
 #include <thread>
 #include <vector>
 
-#include "obs/json.h"
+#include "bench_json.h"
 #include "service/server.h"
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
-using topogen::obs::Json;
 using topogen::service::Server;
 using topogen::service::ServerOptions;
 
@@ -174,87 +173,23 @@ PhaseResult RunPhase(int port, int threads, int per_thread) {
   return r;
 }
 
-struct ServiceRecord {
-  std::string name;
-  int threads = 1;
-  PhaseResult phase;
-};
-
-// Merges `records` into the BENCH.json at `path`: existing results are
-// kept (same-name service records replaced), the schema is stamped /3.
-// bench_perf and bench_service can run in either order against one file.
-bool MergeIntoBenchJson(const std::string& path,
-                        const std::vector<ServiceRecord>& records) {
-  std::vector<std::string> kept;
-  std::ifstream is(path);
-  if (is.is_open()) {
-    std::ostringstream buf;
-    buf << is.rdbuf();
-    const std::optional<Json> doc = Json::Parse(buf.str());
-    if (doc.has_value() && doc->is_object()) {
-      if (const Json* results = doc->Find("results");
-          results != nullptr && results->is_array()) {
-        for (const Json& entry : results->AsArray()) {
-          const Json* name = entry.Find("name");
-          if (name == nullptr || !name->is_string()) continue;
-          bool replaced = false;
-          for (const ServiceRecord& r : records) {
-            if (r.name == name->AsString()) replaced = true;
-          }
-          if (replaced) continue;
-          // Re-serialize the record we are keeping.
-          std::string line = "    {";
-          bool first = true;
-          for (const auto& [key, value] : entry.AsObject()) {
-            if (!first) line += ", ";
-            first = false;
-            line += "\"" + key + "\": ";
-            if (value.is_string()) {
-              line += "\"" + topogen::obs::JsonEscape(value.AsString()) +
-                      "\"";
-            } else if (value.is_number()) {
-              line += topogen::obs::JsonNumber(value.AsDouble());
-            } else if (value.is_bool()) {
-              line += value.AsBool() ? "true" : "false";
-            } else {
-              line += "null";
-            }
-          }
-          line += "}";
-          kept.push_back(std::move(line));
-        }
-      }
-    }
-  }
-  is.close();
-
-  const unsigned hw = std::thread::hardware_concurrency();
-  std::ofstream os(path);
-  if (!os.is_open()) return false;
-  os << "{\n  \"schema\": \"topogen-bench/3\",\n";
-  os << "  \"created_unix\": " << static_cast<long long>(std::time(nullptr))
-     << ",\n";
-  os << "  \"host_threads\": " << (hw > 0 ? hw : 1) << ",\n";
-  os << "  \"results\": [";
-  bool first = true;
-  for (const std::string& line : kept) {
-    os << (first ? "\n" : ",\n") << line;
-    first = false;
-  }
-  for (const ServiceRecord& r : records) {
-    os << (first ? "\n" : ",\n");
-    first = false;
-    const PhaseResult& p = r.phase;
-    os << "    {\"name\": \"" << r.name
-       << "\", \"kernel\": \"service_request\", \"family\": \"service\""
-       << ", \"n\": " << p.requests << ", \"threads\": " << r.threads
-       << ", \"ns_per_op\": " << p.ns_per_op << ", \"qps\": " << p.qps
-       << ",\n     \"p50_ns\": " << p.p50_ns << ", \"p90_ns\": " << p.p90_ns
-       << ", \"p99_ns\": " << p.p99_ns << ", \"max_ns\": " << p.max_ns
-       << "}";
-  }
-  os << "\n  ]\n}\n";
-  return os.good();
+// Converts a timed phase into the shared BENCH.json record shape
+// (bench/bench_json.h); the merge itself is shared with bench_scale.
+topogen::bench::JsonRecord ToJsonRecord(const std::string& name, int threads,
+                                        const PhaseResult& p) {
+  topogen::bench::JsonRecord rec;
+  rec.name = name;
+  rec.kernel = "service_request";
+  rec.family = "service";
+  rec.n = static_cast<std::int64_t>(p.requests);
+  rec.threads = threads;
+  rec.ns_per_op = p.ns_per_op;
+  rec.qps = p.qps;
+  rec.p50_ns = p.p50_ns;
+  rec.p90_ns = p.p90_ns;
+  rec.p99_ns = p.p99_ns;
+  rec.max_ns = p.max_ns;
+  return rec;
 }
 
 }  // namespace
@@ -292,25 +227,23 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<ServiceRecord> records;
+  std::vector<topogen::bench::JsonRecord> records;
   for (const int threads : {1, 8}) {
-    ServiceRecord rec;
-    rec.name = "BM_ServiceRoundTrip/threads:" + std::to_string(threads);
-    rec.threads = threads;
-    rec.phase = RunPhase(port, threads, per_thread);
-    if (rec.phase.errors > 0) {
+    const std::string name =
+        "BM_ServiceRoundTrip/threads:" + std::to_string(threads);
+    const PhaseResult phase = RunPhase(port, threads, per_thread);
+    if (phase.errors > 0) {
       std::fprintf(stderr, "bench_service: %llu transport errors at %d "
                            "threads\n",
-                   static_cast<unsigned long long>(rec.phase.errors),
-                   threads);
+                   static_cast<unsigned long long>(phase.errors), threads);
       return 1;
     }
     std::printf(
         "%-30s %8llu req  %10.0f qps  p50 %8.0fns  p90 %8.0fns  "
         "p99 %8.0fns\n",
-        rec.name.c_str(), static_cast<unsigned long long>(rec.phase.requests),
-        rec.phase.qps, rec.phase.p50_ns, rec.phase.p90_ns, rec.phase.p99_ns);
-    records.push_back(std::move(rec));
+        name.c_str(), static_cast<unsigned long long>(phase.requests),
+        phase.qps, phase.p50_ns, phase.p90_ns, phase.p99_ns);
+    records.push_back(ToJsonRecord(name, threads, phase));
   }
   server.Stop();
 
@@ -320,10 +253,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.deduped),
               static_cast<unsigned long long>(stats.rejected_queue_full));
 
-  const char* path = std::getenv("TOPOGEN_BENCH_JSON");
-  const std::string out =
-      path != nullptr && *path != '\0' ? path : "BENCH.json";
-  if (!MergeIntoBenchJson(out, records)) {
+  const std::string out = topogen::bench::BenchJsonPath();
+  if (!topogen::bench::MergeIntoBenchJson(out, records)) {
     std::fprintf(stderr, "bench_service: cannot write %s\n", out.c_str());
     return 1;
   }

@@ -26,12 +26,18 @@ void ExportFigure(const std::string& dir, const std::string& figure_id,
   std::filesystem::create_directories(base);
 
   // Data: gnuplot "index" blocks (two blank lines between curves).
+  // Estimator-backed curves (metrics/sample.h) carry a third column with
+  // the 95% CI half-width; exact curves keep the historical two-column
+  // rows so existing goldens and downstream parsers are untouched.
   {
     std::ofstream os = OpenOrThrow(base / (figure_id + ".dat"));
     for (const metrics::Series& s : curves) {
       os << "# " << s.name << "\n";
+      const bool with_err = s.has_error();
       for (std::size_t i = 0; i < s.size(); ++i) {
-        os << s.x[i] << " " << s.y[i] << "\n";
+        os << s.x[i] << " " << s.y[i];
+        if (with_err) os << " " << s.yerr[i];
+        os << "\n";
       }
       os << "\n\n";
     }
@@ -48,8 +54,12 @@ void ExportFigure(const std::string& dir, const std::string& figure_id,
     os << "plot";
     for (std::size_t i = 0; i < curves.size(); ++i) {
       if (i > 0) os << ",";
-      os << " '" << figure_id << ".dat' index " << i
-         << " with linespoints title '" << curves[i].name << "'";
+      os << " '" << figure_id << ".dat' index " << i;
+      if (curves[i].has_error()) {
+        os << " with yerrorlines title '" << curves[i].name << "'";
+      } else {
+        os << " with linespoints title '" << curves[i].name << "'";
+      }
     }
     os << "\n";
   }
@@ -61,10 +71,21 @@ void ExportCsv(const std::string& path,
   if (!os) {
     throw std::runtime_error("ExportCsv: cannot open " + path);
   }
-  os << "curve,x,y\n";
+  // The yerr column appears only when at least one curve is
+  // estimator-backed, so exact exports keep the historical header and
+  // row shape; mixed exports leave the cell empty for exact curves.
+  bool any_err = false;
+  for (const metrics::Series& s : curves) any_err |= s.has_error();
+  os << (any_err ? "curve,x,y,yerr\n" : "curve,x,y\n");
   for (const metrics::Series& s : curves) {
+    const bool with_err = s.has_error();
     for (std::size_t i = 0; i < s.size(); ++i) {
-      os << s.name << "," << s.x[i] << "," << s.y[i] << "\n";
+      os << s.name << "," << s.x[i] << "," << s.y[i];
+      if (any_err) {
+        os << ",";
+        if (with_err) os << s.yerr[i];
+      }
+      os << "\n";
     }
   }
 }

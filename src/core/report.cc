@@ -24,8 +24,13 @@ void PrintPanel(std::ostream& os, const std::string& figure_id,
   os << "# panel " << figure_id << " " << title << "\n";
   for (const metrics::Series& s : curves) {
     os << "# curve " << s.name << "\n";
+    // Estimator-backed curves (metrics/sample.h) print the 95% CI
+    // half-width as a third column; exact curves keep two columns.
+    const bool with_err = s.has_error();
     for (std::size_t i = 0; i < s.size(); ++i) {
-      os << Num(s.x[i], 6) << " " << Num(s.y[i], 6) << "\n";
+      os << Num(s.x[i], 6) << " " << Num(s.y[i], 6);
+      if (with_err) os << " " << Num(s.yerr[i], 6);
+      os << "\n";
     }
     os << "\n";
   }

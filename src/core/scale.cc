@@ -14,6 +14,15 @@ RosterOptions ScaledRosterOptions(std::string_view scale) {
     ro.rl_expansion_ratio = 4.0;
     ro.plrg_nodes = 4000;
     ro.degree_based_nodes = 3000;
+  } else if (scale == "xl") {
+    // Million-node tier (docs/PERFORMANCE.md, "Scale tiers and sampled
+    // estimators"): the degree-based generators run at 10^6 nodes on the
+    // parallel paths; the measured map stays at the full-tier size (the
+    // paper has no larger map to expand).
+    ro.as_nodes = 10941;
+    ro.rl_expansion_ratio = 15.6;
+    ro.plrg_nodes = 1000000;
+    ro.degree_based_nodes = 1000000;
   } else if (scale == "full") {
     ro.as_nodes = 10941;
     ro.rl_expansion_ratio = 15.6;  // -> ~170k routers, the May 2001 map
@@ -34,6 +43,17 @@ SuiteOptions ScaledSuiteOptions(std::string_view scale) {
     so.ball.max_centers = 8;
     so.ball.big_ball_centers = 3;
     so.expansion.max_sources = 500;
+  } else if (scale == "xl") {
+    // Exhaustive sweeps are off the table at 10^6 nodes; the whole suite
+    // runs estimator-backed (metrics/sample.h): 64 sampled centers, a
+    // dedicated stream, and a 200k-node budget per sweep so one BFS
+    // touches at most ~20% of the graph.
+    so.ball.max_centers = 16;
+    so.ball.big_ball_centers = 4;
+    so.expansion.max_sources = 1500;
+    so.sample.centers = 64;
+    so.sample.seed = 3;
+    so.sample.expansion_budget = 200000;
   } else {
     so.ball.max_centers = 16;
     so.ball.big_ball_centers = 4;

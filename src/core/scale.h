@@ -18,11 +18,15 @@
 
 namespace topogen::core {
 
-// Roster sizing for a scale tier ("small" | "full" | anything else =
-// default). seed = 42 at every tier.
+// Roster sizing for a scale tier ("small" | "full" | "xl" | anything
+// else = default). seed = 42 at every tier. "xl" is the million-node
+// tier: degree-based generators at 10^6 nodes, suite metrics switched to
+// sampled estimators (metrics/sample.h).
 RosterOptions ScaledRosterOptions(std::string_view scale);
 
-// Ball-growing/expansion budgets for a scale tier.
+// Ball-growing/expansion budgets for a scale tier. At "xl" the returned
+// options carry an active SampleSpec, so every series is estimator-backed
+// with CI half-widths.
 SuiteOptions ScaledSuiteOptions(std::string_view scale);
 
 // Source budget for link-value analysis (exact up to this many sources).

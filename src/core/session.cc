@@ -283,6 +283,12 @@ store::Key Session::MetricsKey(std::string_view id, bool use_policy) const {
       .Mix(so.ball.seed)
       .Mix(std::uint64_t{so.expansion.max_sources})
       .Mix(so.expansion.seed)
+      // Estimator-backed runs (metrics/sample.h) produce different
+      // series than exhaustive ones, so the spec is part of the key; an
+      // inactive spec mixes the same three constants every session.
+      .Mix(std::uint64_t{so.sample.centers})
+      .Mix(so.sample.seed)
+      .Mix(std::uint64_t{so.sample.expansion_budget})
       .Mix(so.classifier.expansion_cap)
       .Mix(so.classifier.expansion_tail_ratio)
       .Mix(so.classifier.resilience_magnitude)

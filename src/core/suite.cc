@@ -15,6 +15,14 @@ BasicMetrics RunBasicMetrics(const Topology& topology,
       .Arg("policy", static_cast<std::uint64_t>(options.use_policy ? 1 : 0));
   BasicMetrics out;
   const graph::Graph& g = topology.graph;
+  // A suite-level SampleSpec fans out to the per-metric options here so
+  // callers flip one switch; `options` itself stays const for the span
+  // args above.
+  SuiteOptions opts = options;
+  if (options.sample.active()) {
+    opts.ball.sample = options.sample;
+    opts.expansion.sample = options.sample;
+  }
   if (options.use_policy) {
     if (!topology.has_policy()) {
       throw std::invalid_argument("RunBasicMetrics: topology '" +
@@ -25,35 +33,35 @@ BasicMetrics RunBasicMetrics(const Topology& topology,
       obs::Span span("suite.expansion", "core");
       span.Arg("topology", topology.name);
       out.expansion = metrics::PolicyExpansion(g, topology.relationship,
-                                               options.expansion);
+                                               opts.expansion);
     }
     {
       obs::Span span("suite.resilience", "core");
       span.Arg("topology", topology.name);
       out.resilience =
-          metrics::PolicyResilience(g, topology.relationship, options.ball);
+          metrics::PolicyResilience(g, topology.relationship, opts.ball);
     }
     {
       obs::Span span("suite.distortion", "core");
       span.Arg("topology", topology.name);
       out.distortion =
-          metrics::PolicyDistortion(g, topology.relationship, options.ball);
+          metrics::PolicyDistortion(g, topology.relationship, opts.ball);
     }
   } else {
     {
       obs::Span span("suite.expansion", "core");
       span.Arg("topology", topology.name);
-      out.expansion = metrics::Expansion(g, options.expansion);
+      out.expansion = metrics::Expansion(g, opts.expansion);
     }
     {
       obs::Span span("suite.resilience", "core");
       span.Arg("topology", topology.name);
-      out.resilience = metrics::Resilience(g, options.ball);
+      out.resilience = metrics::Resilience(g, opts.ball);
     }
     {
       obs::Span span("suite.distortion", "core");
       span.Arg("topology", topology.name);
-      out.distortion = metrics::Distortion(g, options.ball);
+      out.distortion = metrics::Distortion(g, opts.ball);
     }
   }
   out.expansion.name = topology.name;

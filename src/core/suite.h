@@ -22,6 +22,11 @@ struct SuiteOptions {
   metrics::ClassifierOptions classifier;
   // Evaluate the policy-routed variant (requires topology.has_policy()).
   bool use_policy = false;
+  // When active (metrics/sample.h), the spec is copied into the ball and
+  // expansion options before each metric runs, switching the whole suite
+  // to estimator-backed series with CI half-widths. An inactive spec (the
+  // default) leaves every metric byte-identical to the historical output.
+  metrics::SampleSpec sample;
 };
 
 struct BasicMetrics {

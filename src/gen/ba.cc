@@ -6,7 +6,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "gen/degree_seq.h"
 #include "graph/components.h"
+#include "parallel/parallel_for.h"
 
 namespace topogen::gen {
 
@@ -23,8 +25,13 @@ namespace {
 // stubs that are filtered by rejection and periodically compacted.
 class Growth {
  public:
-  explicit Growth(NodeId capacity) : degree_(capacity, 0),
-                                     stub_count_(capacity, 0) {}
+  // `track_edge_keys` funds HasEdge on arbitrary nodes (needed by the
+  // link-addition/rewire events of extended BA and GLP). Plain BA only
+  // ever checks duplicates among the links a *fresh* node just added, so
+  // it opts out and skips the per-edge hashing entirely.
+  explicit Growth(NodeId capacity, bool track_edge_keys = true)
+      : degree_(capacity, 0), stub_count_(capacity, 0),
+        track_edge_keys_(track_edge_keys) {}
 
   void AddNode(NodeId v) { max_node_ = std::max<std::uint64_t>(max_node_, v + 1ull); }
 
@@ -33,7 +40,7 @@ class Growth {
   }
 
   void AddEdge(NodeId u, NodeId v) {
-    edge_keys_.insert(Key(u, v));
+    if (track_edge_keys_) edge_keys_.insert(Key(u, v));
     edges_.push_back({u, v});
     Bump(u);
     Bump(v);
@@ -103,6 +110,7 @@ class Growth {
   std::vector<NodeId> stubs_;
   std::vector<graph::Edge> edges_;
   std::unordered_set<std::uint64_t> edge_keys_;
+  bool track_edge_keys_ = true;
   std::size_t stale_ = 0;
   std::uint64_t max_node_ = 0;
 };
@@ -121,19 +129,30 @@ void SeedRing(Growth& growth, unsigned m0) {
 }
 
 // Attaches `m` preferential links from `v` to distinct existing targets.
+// When `v` is a fresh node (no edges before this call), its duplicates can
+// only be the targets chosen within this call, so a linear scan of those
+// replaces the edge-key lookup — the reason plain BA can run a Growth with
+// edge-key tracking off.
 void AttachPreferential(Growth& growth, NodeId v, unsigned m, Rng& rng,
-                        double beta = 0.0) {
+                        double beta = 0.0, bool fresh_node = false) {
+  std::vector<NodeId> picked;
+  if (fresh_node) picked.reserve(m);
   for (unsigned i = 0; i < m; ++i) {
     NodeId target = graph::kInvalidNode;
     for (int attempt = 0; attempt < 512; ++attempt) {
       const NodeId cand = growth.PickPreferential(rng, beta);
-      if (cand != graph::kInvalidNode && cand != v &&
-          !growth.HasEdge(v, cand)) {
+      if (cand == graph::kInvalidNode || cand == v) continue;
+      const bool duplicate =
+          fresh_node ? std::find(picked.begin(), picked.end(), cand) !=
+                           picked.end()
+                     : growth.HasEdge(v, cand);
+      if (!duplicate) {
         target = cand;
         break;
       }
     }
     if (target == graph::kInvalidNode) return;  // saturated; give up quietly
+    if (fresh_node) picked.push_back(target);
     growth.AddEdge(v, target);
   }
 }
@@ -147,14 +166,70 @@ Graph Finish(const Growth& growth, NodeId n) {
 
 }  // namespace
 
+Graph BarabasiAlbertParallel(const BaParams& params, std::uint64_t seed) {
+  obs::Span span("gen.ba_parallel", "gen");
+  const unsigned m0 = std::max({params.m0, params.m, 2u});
+  const unsigned m = std::max(1u, params.m);
+  const NodeId n = std::max<NodeId>(params.n, m0);
+  // Conceptual Batagelj-Brandes array M of endpoint slots: position 2k is
+  // edge k's source, position 2k+1 its target. Ring edges occupy the first
+  // slots; growth edge k copies the endpoint at a uniform position < 2k.
+  const std::uint64_t ring_edges = m0 == 2 ? 1 : m0;
+  const std::uint64_t total_edges =
+      ring_edges + static_cast<std::uint64_t>(n - m0) * m;
+
+  auto source_of = [&](std::uint64_t k) -> NodeId {
+    return k < ring_edges ? static_cast<NodeId>(k)
+                          : static_cast<NodeId>(m0 + (k - ring_edges) / m);
+  };
+  auto draw_of = [&](std::uint64_t k) -> std::uint64_t {
+    graph::SmallRng r(graph::DeriveStream(seed, k));
+    return r.NextIndex(2 * k);
+  };
+  // Chase target draws down to a concrete endpoint. Every hop strictly
+  // decreases the position, and the expected chain length is O(1).
+  auto target_of = [&](std::uint64_t k) -> NodeId {
+    std::uint64_t pos = draw_of(k);
+    for (;;) {
+      const std::uint64_t slot = pos / 2;
+      if (slot < ring_edges) {
+        const auto v = static_cast<NodeId>(slot);
+        return pos % 2 == 0 ? v : static_cast<NodeId>((v + 1) % m0);
+      }
+      if (pos % 2 == 0) return source_of(slot);
+      pos = draw_of(slot);
+    }
+  };
+
+  std::vector<graph::Edge> edges(total_edges);
+  for (std::uint64_t k = 0; k < ring_edges; ++k) {
+    edges[k] = {static_cast<NodeId>(k), static_cast<NodeId>((k + 1) % m0)};
+  }
+  const parallel::ChunkPlan plan =
+      parallel::PlanChunks(total_edges - ring_edges, 2048);
+  parallel::ParallelFor(plan, [&](std::size_t, std::size_t begin,
+                                  std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint64_t k = ring_edges + i;
+      edges[k] = {source_of(k), target_of(k)};
+    }
+  });
+  Graph g = Graph::FromEdges(n, std::move(edges));
+  return RecordGenerated(span, graph::LargestComponent(g).graph);
+}
+
 Graph BarabasiAlbert(const BaParams& params, Rng& rng) {
   obs::Span span("gen.ba", "gen");
+  if (params.n >= kParallelGenNodeThreshold) {
+    return RecordGenerated(span, BarabasiAlbertParallel(params,
+                                                        rng.engine()()));
+  }
   const unsigned m0 = std::max({params.m0, params.m, 2u});
-  Growth growth(params.n);
+  Growth growth(params.n, /*track_edge_keys=*/false);
   SeedRing(growth, m0);
   for (NodeId v = m0; v < params.n; ++v) {
     growth.AddNode(v);
-    AttachPreferential(growth, v, params.m, rng);
+    AttachPreferential(growth, v, params.m, rng, 0.0, /*fresh_node=*/true);
   }
   return RecordGenerated(span, Finish(growth, params.n));
 }
@@ -183,7 +258,8 @@ Graph ExtendedBarabasiAlbert(const ExtendedBaParams& params, Rng& rng) {
       }
     } else {
       growth.AddNode(next);
-      AttachPreferential(growth, next, params.m, rng);
+      AttachPreferential(growth, next, params.m, rng, 0.0,
+                         /*fresh_node=*/true);
       ++next;
     }
   }
@@ -205,7 +281,8 @@ Graph BuTowsleyGlp(const GlpParams& params, Rng& rng) {
       }
     } else {
       growth.AddNode(next);
-      AttachPreferential(growth, next, params.m, rng, params.beta);
+      AttachPreferential(growth, next, params.m, rng, params.beta,
+                         /*fresh_node=*/true);
       ++next;
     }
   }

@@ -28,6 +28,19 @@ struct BaParams {
 
 graph::Graph BarabasiAlbert(const BaParams& params, graph::Rng& rng);
 
+// Scalable BA via the Batagelj-Brandes edge-array formulation: edge slot k
+// draws a uniform position r in [0, 2k) from its own stream and copies the
+// endpoint written there, which is exactly degree-proportional attachment;
+// the copy is resolved by chasing draws (all recomputable from (seed, k))
+// until an even position, so every edge is computed independently on the
+// pool — bit-identical at any TOPOGEN_THREADS. Self-loops and duplicate
+// links the process emits are collapsed by Graph::FromEdges, mirroring the
+// paper's treatment of PLRG output. Not draw-compatible with the
+// sequential growth process; BarabasiAlbert() dispatches here above
+// kParallelGenNodeThreshold nodes.
+graph::Graph BarabasiAlbertParallel(const BaParams& params,
+                                    std::uint64_t seed);
+
 struct ExtendedBaParams {
   graph::NodeId n = 10000;
   unsigned m = 2;

@@ -7,10 +7,11 @@
 #include <numeric>
 #include <optional>
 #include <stdexcept>
-#include <unordered_set>
+#include <utility>
 
 #include "fault/fault.h"
 #include "graph/components.h"
+#include "parallel/parallel_for.h"
 
 namespace topogen::gen {
 
@@ -42,6 +43,38 @@ std::vector<std::uint32_t> SamplePowerLawDegrees(
   if ((std::accumulate(degrees.begin(), degrees.end(), std::uint64_t{0}) &
        1) != 0) {
     ++degrees[rng.NextIndex(degrees.size())];
+  }
+  return degrees;
+}
+
+std::vector<std::uint32_t> SamplePowerLawDegreesParallel(
+    const PowerLawDegreeParams& params, std::uint64_t seed) {
+  const std::uint32_t lo = std::max<std::uint32_t>(1, params.min_degree);
+  const std::uint32_t hi =
+      params.max_degree == 0 ? std::max(lo, params.n - 1)
+                             : std::max(lo, params.max_degree);
+  std::vector<double> cdf(hi - lo + 1);
+  double total = 0.0;
+  for (std::uint32_t k = lo; k <= hi; ++k) {
+    total += std::pow(static_cast<double>(k), -params.exponent);
+    cdf[k - lo] = total;
+  }
+  std::vector<std::uint32_t> degrees(params.n);
+  const parallel::ChunkPlan plan = parallel::PlanChunks(params.n, 1024);
+  parallel::ParallelFor(plan, [&](std::size_t, std::size_t begin,
+                                  std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v) {
+      graph::SmallRng r(graph::DeriveStream(seed, v));
+      const double u = r.NextDouble() * total;
+      const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+      degrees[v] = lo + static_cast<std::uint32_t>(it - cdf.begin());
+    }
+  });
+  if ((std::accumulate(degrees.begin(), degrees.end(), std::uint64_t{0}) &
+       1) != 0) {
+    // Parity bump from the one stream index no node owns.
+    graph::SmallRng r(graph::DeriveStream(seed, params.n));
+    ++degrees[r.NextIndex(degrees.size())];
   }
   return degrees;
 }
@@ -336,6 +369,109 @@ Graph RealizeDegreeSequence(std::span<const std::uint32_t> degrees,
                          last.fail_point, kMaxRealizeAttempts);
 }
 
+namespace {
+
+// One matching attempt of the parallel PLRG wiring (see degree_seq.h).
+Graph ConnectPlrgParallelOnce(std::span<const std::uint32_t> degrees,
+                              std::uint64_t seed,
+                              bool keep_largest_component) {
+  const NodeId n = static_cast<NodeId>(degrees.size());
+  std::vector<std::uint64_t> offset(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) offset[v + 1] = offset[v] + degrees[v];
+  const std::uint64_t stubs = offset[n];
+
+  // stub_node[s] = owner of stub s; filled chunk-parallel (disjoint slots).
+  std::vector<NodeId> stub_node(stubs);
+  const parallel::ChunkPlan node_plan = parallel::PlanChunks(n, 1024);
+  parallel::ParallelFor(node_plan, [&](std::size_t, std::size_t begin,
+                                       std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v) {
+      std::fill(stub_node.begin() + offset[v], stub_node.begin() + offset[v + 1],
+                static_cast<NodeId>(v));
+    }
+  });
+
+  // Per-stub 64-bit sort keys from per-stub streams; sorting them applies
+  // a uniform random permutation. The stub index tiebreak makes the order
+  // total, so ties (vanishingly rare) stay deterministic.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> keyed(stubs);
+  const parallel::ChunkPlan stub_plan = parallel::PlanChunks(stubs, 4096);
+  parallel::ParallelFor(stub_plan, [&](std::size_t, std::size_t begin,
+                                       std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      keyed[s] = {graph::DeriveStream(seed, s),
+                  static_cast<std::uint32_t>(s)};
+    }
+  });
+  // Chunk-local sorts, then a deterministic binary merge tree. Both the
+  // chunk boundaries and the merge order depend only on `stubs`, so the
+  // permutation is thread-count invariant.
+  parallel::ParallelFor(stub_plan, [&](std::size_t, std::size_t begin,
+                                       std::size_t end) {
+    std::sort(keyed.begin() + begin, keyed.begin() + end);
+  });
+  for (std::size_t width = 1; width < stub_plan.chunks; width *= 2) {
+    std::vector<std::size_t> merges;
+    for (std::size_t c = 0; c + width < stub_plan.chunks; c += 2 * width) {
+      merges.push_back(c);
+    }
+    parallel::ParallelForEach(merges.size(), [&](std::size_t i) {
+      const std::size_t c = merges[i];
+      const std::size_t mid = stub_plan.begin(c + width);
+      const std::size_t hi = c + 2 * width < stub_plan.chunks
+                                 ? stub_plan.begin(c + 2 * width)
+                                 : stubs;
+      std::inplace_merge(keyed.begin() + stub_plan.begin(c),
+                         keyed.begin() + mid, keyed.begin() + hi);
+    });
+  }
+
+  // Consecutive entries of the permuted stub array are matched.
+  std::vector<graph::Edge> edges(stubs / 2);
+  const parallel::ChunkPlan edge_plan = parallel::PlanChunks(edges.size(),
+                                                             2048);
+  parallel::ParallelFor(edge_plan, [&](std::size_t, std::size_t begin,
+                                       std::size_t end) {
+    for (std::size_t e = begin; e < end; ++e) {
+      edges[e] = {stub_node[keyed[2 * e].second],
+                  stub_node[keyed[2 * e + 1].second]};
+    }
+  });
+  Graph g = Graph::FromEdges(n, std::move(edges));
+  return keep_largest_component ? graph::LargestComponent(g).graph
+                                : std::move(g);
+}
+
+}  // namespace
+
+Graph ConnectPlrgParallel(std::span<const std::uint32_t> degrees,
+                          std::uint64_t seed, bool keep_largest_component) {
+  obs::Span span("gen.connect_plrg_parallel", "gen");
+  constexpr int kMaxRealizeAttempts = 3;
+  fault::Error last;
+  for (int attempt = 0; attempt < kMaxRealizeAttempts; ++attempt) {
+    try {
+      const std::uint64_t attempt_seed =
+          attempt == 0 ? seed
+                       : graph::DeriveStream(
+                             seed, static_cast<std::uint64_t>(attempt));
+      Graph g = ConnectPlrgParallelOnce(degrees, attempt_seed,
+                                        keep_largest_component);
+      CheckRealization(g, degrees, "plrg_parallel");
+      if (attempt > 0) TOPOGEN_COUNT_N("gen.realize_retries", attempt);
+      return RecordGenerated(span, std::move(g));
+    } catch (const fault::Exception& e) {
+      last = e.error();
+      last.attempts = attempt + 1;
+    }
+  }
+  throw fault::Exception(fault::ErrorCode::kRetryExhausted,
+                         "parallel PLRG realization failed " +
+                             std::to_string(kMaxRealizeAttempts) +
+                             " attempts (last: " + last.message + ")",
+                         last.fail_point, kMaxRealizeAttempts);
+}
+
 std::vector<std::uint32_t> DegreeSequenceOf(const Graph& g) {
   std::vector<std::uint32_t> degrees(g.num_nodes());
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -350,17 +486,91 @@ Graph ReconnectWithPlrg(const Graph& g, Rng& rng) {
                                /*keep_largest_component=*/true, "reconnect");
 }
 
+namespace {
+
+// Flat sorted-key edge set for the rewire loop's duplicate detection: a
+// sorted base array of uint64 keys plus two small delta buffers, compacted
+// by a linear merge when they fill. Replaces the old unordered_set — no
+// per-insert allocation, no hashing, cache-linear membership tests.
+class FlatEdgeKeySet {
+ public:
+  // `sorted` must be ascending (Graph::edges() keys already are).
+  explicit FlatEdgeKeySet(std::vector<std::uint64_t> sorted)
+      : base_(std::move(sorted)) {}
+
+  bool contains(std::uint64_t k) const {
+    if (InDelta(added_, k)) return true;
+    if (InDelta(removed_, k)) return false;
+    return std::binary_search(base_.begin(), base_.end(), k);
+  }
+
+  // Precondition: !contains(k).
+  void insert(std::uint64_t k) {
+    if (!EraseDelta(removed_, k)) added_.push_back(k);
+    MaybeCompact();
+  }
+
+  // Precondition: contains(k).
+  void erase(std::uint64_t k) {
+    if (!EraseDelta(added_, k)) removed_.push_back(k);
+    MaybeCompact();
+  }
+
+ private:
+  static bool InDelta(const std::vector<std::uint64_t>& d, std::uint64_t k) {
+    return std::find(d.begin(), d.end(), k) != d.end();
+  }
+
+  static bool EraseDelta(std::vector<std::uint64_t>& d, std::uint64_t k) {
+    const auto it = std::find(d.begin(), d.end(), k);
+    if (it == d.end()) return false;
+    *it = d.back();
+    d.pop_back();
+    return true;
+  }
+
+  void MaybeCompact() {
+    if (added_.size() + removed_.size() < 192) return;
+    std::sort(added_.begin(), added_.end());
+    std::sort(removed_.begin(), removed_.end());
+    std::vector<std::uint64_t> next;
+    next.reserve(base_.size() + added_.size());
+    auto add_it = added_.begin();
+    auto rm_it = removed_.begin();
+    for (std::uint64_t k : base_) {
+      while (add_it != added_.end() && *add_it < k) next.push_back(*add_it++);
+      if (rm_it != removed_.end() && *rm_it == k) {
+        ++rm_it;
+        continue;
+      }
+      next.push_back(k);
+    }
+    next.insert(next.end(), add_it, added_.end());
+    base_ = std::move(next);
+    added_.clear();
+    removed_.clear();
+  }
+
+  std::vector<std::uint64_t> base_;     // sorted
+  std::vector<std::uint64_t> added_;    // small, unsorted
+  std::vector<std::uint64_t> removed_;  // small, unsorted; subset of base_
+};
+
+}  // namespace
+
 Graph DegreePreservingRewire(const Graph& g, Rng& rng,
                              double swaps_per_edge) {
   std::vector<graph::Edge> edges = g.edges();
   if (edges.size() < 2) return g;
-  // Mutable edge-key set for duplicate detection.
-  std::unordered_set<std::uint64_t> keys;
   auto key = [](NodeId a, NodeId b) {
     if (a > b) std::swap(a, b);
     return (static_cast<std::uint64_t>(a) << 32) | b;
   };
-  for (const graph::Edge& e : edges) keys.insert(key(e.u, e.v));
+  // Canonical edges are sorted by (u, v), so their keys are ascending.
+  std::vector<std::uint64_t> base;
+  base.reserve(edges.size());
+  for (const graph::Edge& e : edges) base.push_back(key(e.u, e.v));
+  FlatEdgeKeySet keys(std::move(base));
 
   const auto target_swaps =
       static_cast<std::size_t>(swaps_per_edge * edges.size());

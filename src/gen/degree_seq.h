@@ -32,6 +32,32 @@ struct PowerLawDegreeParams {
 std::vector<std::uint32_t> SamplePowerLawDegrees(
     const PowerLawDegreeParams& params, graph::Rng& rng);
 
+// Node count at and above which Plrg / BarabasiAlbert switch to the
+// parallel construction paths below. Every roster/test size sits well
+// under it, so existing figures are bit-for-bit unchanged; bench_scale and
+// the xl tier sit above it.
+inline constexpr graph::NodeId kParallelGenNodeThreshold = 65536;
+
+// Parallel variant of SamplePowerLawDegrees: node v's degree comes from
+// its own stream DeriveStream(seed, v), so the result is bit-identical at
+// any TOPOGEN_THREADS (docs/PARALLELISM.md). Not draw-compatible with the
+// serial sampler — the two lay out randomness differently — which is why
+// the dispatch in Plrg() is keyed on a fixed node-count threshold rather
+// than made universal.
+std::vector<std::uint32_t> SamplePowerLawDegreesParallel(
+    const PowerLawDegreeParams& params, std::uint64_t seed);
+
+// Parallel PLRG stub matching. The serial path shuffles one stub array
+// with Fisher-Yates (inherently sequential); this one gives every stub a
+// 64-bit sort key from its own stream and sorts (key, stub) pairs — a
+// sorted uniform-key array is a uniform permutation — then matches
+// consecutive entries. Chunk-sorted + tree-merged on the pool;
+// thread-count invariant. Collapsing of self-loops/duplicates and
+// largest-component extraction match ConnectDegreeSequence.
+graph::Graph ConnectPlrgParallel(std::span<const std::uint32_t> degrees,
+                                 std::uint64_t seed,
+                                 bool keep_largest_component = true);
+
 // The exact Aiello-Chung-Lu construction [1]: the number of nodes of
 // degree k is floor(e^alpha / k^beta), with alpha chosen so the total is
 // as close to n as the floor steps allow (the ACL model's natural

@@ -11,6 +11,17 @@ graph::Graph Plrg(const PlrgParams& params, graph::Rng& rng) {
   dp.exponent = params.exponent;
   dp.min_degree = params.min_degree;
   dp.max_degree = params.max_degree;
+  if (params.n >= kParallelGenNodeThreshold) {
+    // Million-node regime: per-node degree streams and the sort-based stub
+    // shuffle run on the pool. One draw funds both sub-seeds, so the
+    // caller's rng advances by a fixed amount either way.
+    const std::uint64_t seed = rng.engine()();
+    const std::vector<std::uint32_t> degrees =
+        SamplePowerLawDegreesParallel(dp, graph::DeriveStream(seed, 1));
+    return RecordGenerated(
+        span, ConnectPlrgParallel(degrees, graph::DeriveStream(seed, 2),
+                                  /*keep_largest_component=*/true));
+  }
   const std::vector<std::uint32_t> degrees = SamplePowerLawDegrees(dp, rng);
   return RecordGenerated(
       span, RealizeDegreeSequence(degrees, ConnectMethod::kPlrgMatching, rng,

@@ -1,30 +1,189 @@
 #include "gen/waxman.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "gen/gen_obs.h"
 #include "graph/components.h"
+#include "parallel/parallel_for.h"
 
 namespace topogen::gen {
 
+namespace {
+
+using graph::NodeId;
+
+// Spatial index over the unit square: points bucketed into a G x G grid,
+// stored as one permutation array with per-cell offsets (counting sort, so
+// the within-cell order is point-id order — deterministic).
+struct CellGrid {
+  unsigned g = 1;                       // cells per side
+  std::vector<std::uint32_t> offsets;   // size g*g + 1
+  std::vector<NodeId> order;            // point ids grouped by cell
+};
+
+unsigned CellOf(const Point& p, unsigned g) {
+  auto clamp = [g](double t) {
+    const auto c = static_cast<long>(t * g);
+    return static_cast<unsigned>(std::clamp<long>(c, 0, g - 1));
+  };
+  return clamp(p.y) * g + clamp(p.x);
+}
+
+CellGrid BuildCellGrid(const std::vector<Point>& pts, unsigned g) {
+  CellGrid grid;
+  grid.g = g;
+  const std::size_t cells = static_cast<std::size_t>(g) * g;
+  grid.offsets.assign(cells + 1, 0);
+  for (const Point& p : pts) ++grid.offsets[CellOf(p, g) + 1];
+  for (std::size_t c = 0; c < cells; ++c) {
+    grid.offsets[c + 1] += grid.offsets[c];
+  }
+  grid.order.resize(pts.size());
+  std::vector<std::uint32_t> cursor(grid.offsets.begin(),
+                                    grid.offsets.end() - 1);
+  for (NodeId i = 0; i < pts.size(); ++i) {
+    grid.order[cursor[CellOf(pts[i], g)]++] = i;
+  }
+  return grid;
+}
+
+// Grid resolution balancing the two cost terms: probing (tighter with more
+// cells) against enumerating the ~g^4/2 cell pairs. g ~ (2n)^(1/4) makes the
+// pair-enumeration term O(n).
+unsigned GridSide(std::size_t n) {
+  const double side = std::pow(2.0 * static_cast<double>(n), 0.25);
+  return std::clamp<unsigned>(static_cast<unsigned>(side), 1, 64);
+}
+
+// Samples every cross-cell (or within-cell when ca == cb) pair via
+// Batagelj-Brandes geometric skips under the per-cell-pair probability
+// upper bound, thinning each hit by p(d) / p_ub. Each pair is an exact
+// independent Bernoulli(alpha * exp(-d / scale)) trial — identical in
+// distribution to the old O(n^2) scan — and the draws come from a stream
+// keyed by the cell-pair index alone, so the edge set is independent of
+// chunking and thread count.
+void SampleCellPair(const std::vector<Point>& pts, const CellGrid& grid,
+                    std::size_t ca, std::size_t cb, double p_ub, double alpha,
+                    double scale, std::uint64_t pair_seed,
+                    std::vector<graph::Edge>& out) {
+  const std::uint32_t a_lo = grid.offsets[ca], a_hi = grid.offsets[ca + 1];
+  const std::uint32_t b_lo = grid.offsets[cb], b_hi = grid.offsets[cb + 1];
+  const std::uint64_t ka = a_hi - a_lo;
+  const std::uint64_t kb = b_hi - b_lo;
+  const bool same = ca == cb;
+  const std::uint64_t npairs = same ? ka * (ka - 1) / 2 : ka * kb;
+  if (npairs == 0 || p_ub <= 0.0) return;
+
+  const std::size_t cells = static_cast<std::size_t>(grid.g) * grid.g;
+  graph::SmallRng rng(graph::DeriveStream(pair_seed, ca * cells + cb));
+  const bool certain = p_ub >= 1.0;
+  const double log_q = certain ? 0.0 : std::log1p(-p_ub);
+  const double bound = certain ? 1.0 : p_ub;
+
+  std::uint64_t pos = 0;
+  while (pos < npairs) {
+    if (!certain) {
+      // Geometric skip: failures before the next Bernoulli(p_ub) success.
+      const double u = 1.0 - rng.NextDouble();  // (0, 1]
+      const double skip = std::floor(std::log(u) / log_q);
+      if (skip >= static_cast<double>(npairs - pos)) return;
+      pos += static_cast<std::uint64_t>(skip);
+      if (pos >= npairs) return;
+    }
+    NodeId i, j;
+    if (same) {
+      // Unrank triangular index pos -> (row, col) with row < col.
+      const double k = static_cast<double>(ka);
+      const double t = static_cast<double>(pos);
+      const double est = k - 0.5 -
+                         std::sqrt(std::max(
+                             0.0, (k - 0.5) * (k - 0.5) - 2.0 * t));
+      auto row = static_cast<std::uint64_t>(
+          std::clamp(est, 0.0, k - 2.0));
+      // Guard the float estimate against off-by-one at row boundaries.
+      auto first_of = [ka](std::uint64_t r) {
+        return r * (2 * ka - r - 1) / 2;
+      };
+      while (row > 0 && first_of(row) > pos) --row;
+      while (first_of(row + 1) <= pos) ++row;
+      const std::uint64_t col = row + 1 + (pos - first_of(row));
+      i = grid.order[a_lo + row];
+      j = grid.order[a_lo + col];
+    } else {
+      i = grid.order[a_lo + pos / kb];
+      j = grid.order[b_lo + pos % kb];
+    }
+    const double p = alpha * std::exp(-Distance(pts[i], pts[j]) / scale);
+    if (rng.NextDouble() * bound < p) out.push_back({i, j});
+    ++pos;
+  }
+}
+
+}  // namespace
+
 graph::Graph Waxman(const WaxmanParams& params, graph::Rng& rng) {
   obs::Span span("gen.waxman", "gen");
-  const graph::NodeId n = params.n;
+  const NodeId n = params.n;
   const std::vector<Point> pts = UniformPoints(n, rng);
   const double scale = params.beta * std::sqrt(2.0);  // beta * L, L = max dist
+  // One draw seeds every per-cell-pair stream; the caller's rng sees the
+  // same consumption no matter how many cells or threads are involved.
+  const std::uint64_t pair_seed = rng.engine()();
 
-  graph::GraphBuilder b(n);
-  for (graph::NodeId i = 0; i < n; ++i) {
-    for (graph::NodeId j = i + 1; j < n; ++j) {
-      const double p =
-          params.alpha * std::exp(-Distance(pts[i], pts[j]) / scale);
-      if (rng.NextBool(p)) b.AddEdge(i, j);
+  const unsigned g = GridSide(n);
+  const CellGrid grid = BuildCellGrid(pts, g);
+  const std::size_t cells = static_cast<std::size_t>(g) * g;
+  const double cell_w = 1.0 / g;
+
+  // Upper bound on p for a pair of cells depends only on the cell offset;
+  // precompute exp(-d_min / scale) per (|dx|, |dy|).
+  std::vector<double> offset_bound(cells);
+  for (unsigned dy = 0; dy < g; ++dy) {
+    for (unsigned dx = 0; dx < g; ++dx) {
+      const double gx = dx > 1 ? (dx - 1) * cell_w : 0.0;
+      const double gy = dy > 1 ? (dy - 1) * cell_w : 0.0;
+      offset_bound[dy * g + dx] =
+          params.alpha * std::exp(-std::hypot(gx, gy) / scale);
     }
   }
-  graph::Graph g = std::move(b).Build();
+
+  // Parallel over row-chunks of the (ca <= cb) cell-pair triangle. Chunks
+  // only append to their own edge vector; the vectors fold in chunk order,
+  // and FromEdges canonicalizes, so output is thread-count invariant.
+  const parallel::ChunkPlan plan = parallel::PlanChunks(cells, 1);
+  std::vector<std::vector<graph::Edge>> chunk_edges(
+      plan.chunks == 0 ? 0 : plan.chunks);
+  parallel::ParallelFor(plan, [&](std::size_t chunk, std::size_t begin,
+                                  std::size_t end) {
+    std::vector<graph::Edge>& out = chunk_edges[chunk];
+    for (std::size_t ca = begin; ca < end; ++ca) {
+      const unsigned ay = static_cast<unsigned>(ca) / g;
+      const unsigned ax = static_cast<unsigned>(ca) % g;
+      for (std::size_t cb = ca; cb < cells; ++cb) {
+        const unsigned by = static_cast<unsigned>(cb) / g;
+        const unsigned bx = static_cast<unsigned>(cb) % g;
+        const unsigned dx = bx > ax ? bx - ax : ax - bx;
+        const unsigned dy = by - ay;  // cb >= ca implies by >= ay
+        SampleCellPair(pts, grid, ca, cb, offset_bound[dy * g + dx],
+                       params.alpha, scale, pair_seed, out);
+      }
+    }
+  });
+
+  std::size_t total = 0;
+  for (const auto& v : chunk_edges) total += v.size();
+  std::vector<graph::Edge> edges;
+  edges.reserve(total);
+  for (auto& v : chunk_edges) {
+    edges.insert(edges.end(), v.begin(), v.end());
+  }
+  graph::Graph g_out = graph::Graph::FromEdges(n, std::move(edges));
   return RecordGenerated(span, params.keep_largest_component
-                                   ? graph::LargestComponent(g).graph
-                                   : std::move(g));
+                                   ? graph::LargestComponent(g_out).graph
+                                   : std::move(g_out));
 }
 
 }  // namespace topogen::gen

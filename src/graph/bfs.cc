@@ -1,6 +1,7 @@
 #include "graph/bfs.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "graph/bfs_scratch.h"
 #include "obs/stats.h"
@@ -30,6 +31,15 @@ namespace {
 constexpr std::uint64_t kBottomUpMargin = 2;
 constexpr std::size_t kBottomUpFrontierGate = 32;
 
+// Above this node count, bottom-up levels run on bitmaps: the unvisited
+// scan walks packed visited words (skipping fully-visited words 64 nodes
+// at a time) and each parent probe reads one frontier bit instead of an
+// 8-byte mark. At million-node scale the mark array alone is ~8 MB --
+// every dense level thrashes LLC -- while the two bitmaps are ~n/8 bytes
+// each and stay resident. Below the gate the plain mark scan is already
+// cache-resident and cheaper than building bitmaps.
+constexpr std::size_t kBitmapNodeGate = 16384;
+
 // Allocation accounting is unconditional (not TOPOGEN_COUNT-gated):
 // growth events are rare by design -- a handful per thread lifetime --
 // and the zero-allocation regression tests and BENCH.json need the
@@ -44,6 +54,10 @@ obs::Counter& AllocBytesCounter() {
 }
 obs::Counter& BottomUpStepsCounter() {
   static obs::Counter& c = obs::Stats::GetCounter("graph.bfs_bottomup_steps");
+  return c;
+}
+obs::Counter& BitmapStepsCounter() {
+  static obs::Counter& c = obs::Stats::GetCounter("graph.bfs_bitmap_steps");
   return c;
 }
 
@@ -89,7 +103,8 @@ struct BfsEngine {
   }
 
   static void Sweep(const Graph& g, NodeId src, BfsScratch& s,
-                    Dist max_depth, Mode mode, bool with_sigma) {
+                    Dist max_depth, Mode mode, bool with_sigma,
+                    std::size_t max_nodes = 0) {
     TOPOGEN_COUNT("graph.bfs_runs");
     TOPOGEN_HIST_SCOPE("graph.bfs_ns");
     Begin(s, g, with_sigma);
@@ -112,7 +127,12 @@ struct BfsEngine {
     Dist depth = 0;
     bool bottom_up = false;
     std::uint64_t bottom_up_levels = 0;
-    while (level_begin < s.order_.size() && depth < max_depth) {
+    std::uint64_t bitmap_levels = 0;
+    // The early-exit budget cuts at level boundaries only (bfs.h): the
+    // check sits at the same place as the max_depth check, so a level
+    // either expands in full or not at all.
+    while (level_begin < s.order_.size() && depth < max_depth &&
+           (max_nodes == 0 || s.order_.size() < max_nodes)) {
       const std::size_t level_end = s.order_.size();
       bottom_up = false;
       if (mode == Mode::kDirectionOptimizing &&
@@ -131,7 +151,52 @@ struct BfsEngine {
                     kBottomUpMargin *
                         (unvisited * endpoints + n * frontier_edges);
       }
-      if (bottom_up) {
+      if (bottom_up && n >= kBitmapNodeGate) {
+        // Bitmap bottom-up (see kBitmapNodeGate): snapshot the visited set
+        // and the frontier into packed bitmaps, then walk unvisited nodes
+        // word-at-a-time. Node visit order is still ascending v and the
+        // frontier bit test equals the mark comparison, so results are
+        // bit-identical to the mark-scan branch.
+        ++bottom_up_levels;
+        ++bitmap_levels;
+        const std::size_t words = (n + 63) / 64;
+        std::uint64_t grown_bytes = 0;
+        if (s.frontier_bits_.capacity() < words) {
+          grown_bytes += 2 * (words - s.frontier_bits_.capacity()) *
+                         sizeof(std::uint64_t);
+        }
+        s.frontier_bits_.assign(words, 0);
+        s.visited_bits_.assign(words, 0);
+        if (grown_bytes > 0) {
+          AllocCounter().Increment();
+          AllocBytesCounter().Add(grown_bytes);
+        }
+        for (std::size_t i = 0; i < level_end; ++i) {
+          const NodeId v = s.order_[i];
+          s.visited_bits_[v >> 6] |= 1ull << (v & 63);
+        }
+        for (std::size_t i = level_begin; i < level_end; ++i) {
+          const NodeId v = s.order_[i];
+          s.frontier_bits_[v >> 6] |= 1ull << (v & 63);
+        }
+        for (std::size_t w = 0; w < words; ++w) {
+          std::uint64_t todo = ~s.visited_bits_[w];
+          if (w == words - 1 && (n & 63) != 0) {
+            todo &= (1ull << (n & 63)) - 1;  // mask tail bits past n
+          }
+          while (todo != 0) {
+            const auto v = static_cast<NodeId>(
+                w * 64 + static_cast<unsigned>(std::countr_zero(todo)));
+            todo &= todo - 1;
+            for (const NodeId u : g.neighbors(v)) {
+              if ((s.frontier_bits_[u >> 6] >> (u & 63)) & 1u) {
+                visit(v, depth + 1);
+                break;
+              }
+            }
+          }
+        }
+      } else if (bottom_up) {
         // Bottom-up: every unvisited node searches its neighbors for a
         // parent on the current frontier and stops at the first hit --
         // on dense levels this touches far fewer edges than expanding
@@ -181,6 +246,7 @@ struct BfsEngine {
       }
     }
     if (bottom_up_levels > 0) BottomUpStepsCounter().Add(bottom_up_levels);
+    if (bitmap_levels > 0) BitmapStepsCounter().Add(bitmap_levels);
   }
 };
 
@@ -189,9 +255,10 @@ struct BfsEngine {
 using Mode = detail::BfsEngine::Mode;
 
 void BfsDistancesInto(const Graph& g, NodeId src, BfsScratch& scratch,
-                      Dist max_depth) {
+                      Dist max_depth, std::size_t max_nodes) {
   detail::BfsEngine::Sweep(g, src, scratch, max_depth,
-                           Mode::kDirectionOptimizing, /*with_sigma=*/false);
+                           Mode::kDirectionOptimizing, /*with_sigma=*/false,
+                           max_nodes);
 }
 
 void BallInto(const Graph& g, NodeId center, Dist radius,
@@ -202,8 +269,9 @@ void BallInto(const Graph& g, NodeId center, Dist radius,
 }
 
 void ReachableCountsInto(const Graph& g, NodeId src, BfsScratch& scratch,
-                         std::vector<std::size_t>& counts, Dist max_depth) {
-  BfsDistancesInto(g, src, scratch, max_depth);
+                         std::vector<std::size_t>& counts, Dist max_depth,
+                         std::size_t max_nodes) {
+  BfsDistancesInto(g, src, scratch, max_depth, max_nodes);
   const std::span<const std::size_t> levels = scratch.level_counts();
   counts.assign(levels.begin(), levels.end());
   for (std::size_t h = 1; h < counts.size(); ++h) counts[h] += counts[h - 1];

@@ -43,8 +43,16 @@ inline constexpr Dist kUnreachable = std::numeric_limits<Dist>::max();
 // Direction-optimizing distance sweep; defines dist(), level_counts(),
 // reached(), sum_depths(), eccentricity(). order() carries the visited
 // set in non-decreasing distance order only.
+//
+// `max_nodes` is the sampled-estimator early-exit budget (metrics/
+// sample.h): when non-zero, the sweep stops opening new levels once it
+// has visited at least that many nodes. The cut is level-granular — a
+// level either expands fully or not at all — so the visited set is still
+// a pure function of (graph, src, budget), bit-identical at any thread
+// count.
 void BfsDistancesInto(const Graph& g, NodeId src, BfsScratch& scratch,
-                      Dist max_depth = kUnreachable);
+                      Dist max_depth = kUnreachable,
+                      std::size_t max_nodes = 0);
 
 // Truncated BFS; scratch.order() is the ball in exact discovery order
 // (center first), byte-identical to the historical Ball() contract.
@@ -53,9 +61,11 @@ void BallInto(const Graph& g, NodeId center, Dist radius,
 
 // Distance sweep plus cumulative per-radius reachable-set sizes written
 // into `counts` (reusing its capacity); counts[h] = nodes within h hops.
+// `max_nodes` as in BfsDistancesInto.
 void ReachableCountsInto(const Graph& g, NodeId src, BfsScratch& scratch,
                          std::vector<std::size_t>& counts,
-                         Dist max_depth = kUnreachable);
+                         Dist max_depth = kUnreachable,
+                         std::size_t max_nodes = 0);
 
 // Shortest-path DAG sweep: dist(), sigma(), and order() in exact
 // discovery order (sigma summation order is part of the figure-output

@@ -90,6 +90,10 @@ class BfsScratch {
   std::uint32_t epoch_ = 0;
   std::vector<std::uint64_t> mark_;  // (epoch << 32 | dist) per node
   std::vector<double> sigma_;  // sized lazily, DAG sweeps only
+  // Packed visited/frontier snapshots for bitmap bottom-up levels on
+  // large graphs (bfs.cc kBitmapNodeGate); sized lazily on first use.
+  std::vector<std::uint64_t> frontier_bits_;
+  std::vector<std::uint64_t> visited_bits_;
   std::vector<NodeId> order_;
   std::vector<std::size_t> level_counts_;
   std::uint64_t sum_depths_ = 0;

@@ -2,31 +2,79 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 
 namespace topogen::graph {
 
+namespace {
+
+// Stable counting sort of 64-bit edge keys on the 32-bit digit selected by
+// `shift`. The digit is a node id, so the histogram has `num_nodes` buckets
+// and each pass is O(m + n) — no comparisons. Sorting by the low digit (v)
+// and then the high digit (u) yields keys ordered by (u, v), and stability
+// makes the result (and therefore edge ids) deterministic.
+void CountingSortByNodeDigit(std::vector<std::uint64_t>& keys,
+                             std::vector<std::uint64_t>& scratch,
+                             std::vector<std::uint32_t>& count,
+                             NodeId num_nodes, unsigned shift) {
+  std::fill(count.begin(), count.end(), 0);
+  for (std::uint64_t k : keys) {
+    ++count[static_cast<NodeId>(k >> shift)];
+  }
+  std::uint32_t running = 0;
+  for (NodeId d = 0; d < num_nodes; ++d) {
+    const std::uint32_t c = count[d];
+    count[d] = running;
+    running += c;
+  }
+  scratch.resize(keys.size());
+  for (std::uint64_t k : keys) {
+    scratch[count[static_cast<NodeId>(k >> shift)]++] = k;
+  }
+  keys.swap(scratch);
+}
+
+}  // namespace
+
 Graph Graph::FromEdges(NodeId num_nodes, std::vector<Edge> edges) {
-  // Canonicalize endpoints and drop self-loops.
-  std::vector<Edge> clean;
-  clean.reserve(edges.size());
-  for (Edge e : edges) {
+  // Canonicalize into flat 64-bit keys (u << 32 | v with u < v), dropping
+  // self-loops. Keys pack both endpoints so the whole pipeline below runs on
+  // one contiguous array instead of an array of structs.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(edges.size());
+  for (const Edge& e : edges) {
     if (e.u == e.v) continue;
     if (e.u >= num_nodes || e.v >= num_nodes) {
       throw std::out_of_range("Graph::FromEdges: endpoint out of range");
     }
-    if (e.u > e.v) std::swap(e.u, e.v);
-    clean.push_back(e);
+    NodeId u = e.u;
+    NodeId v = e.v;
+    if (u > v) std::swap(u, v);
+    keys.push_back(static_cast<std::uint64_t>(u) << 32 | v);
   }
-  std::sort(clean.begin(), clean.end(), [](const Edge& a, const Edge& b) {
-    return a.u != b.u ? a.u < b.u : a.v < b.v;
-  });
-  clean.erase(std::unique(clean.begin(), clean.end()), clean.end());
+  edges.clear();
+  edges.shrink_to_fit();
+
+  // Two-pass LSD radix sort with node-id digits: by v, then stably by u.
+  // Replaces the old comparison sort (O(m log m)) with O(m + n) work.
+  {
+    std::vector<std::uint64_t> scratch;
+    std::vector<std::uint32_t> count(num_nodes, 0);
+    CountingSortByNodeDigit(keys, scratch, count, num_nodes, 0);
+    CountingSortByNodeDigit(keys, scratch, count, num_nodes, 32);
+  }
+  // Parallel edges are now adjacent; collapse them.
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
 
   Graph g;
   g.num_nodes_ = num_nodes;
-  g.edges_ = std::move(clean);
+  g.edges_.resize(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    g.edges_[i] = {static_cast<NodeId>(keys[i] >> 32),
+                   static_cast<NodeId>(keys[i])};
+  }
 
   // Degree counting pass, then CSR fill.
   g.offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
@@ -39,30 +87,20 @@ Graph Graph::FromEdges(NodeId num_nodes, std::vector<Edge> edges) {
   g.adjacency_.resize(2 * g.edges_.size());
   g.adjacent_edge_.resize(2 * g.edges_.size());
   std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  // Each node's neighbor list is its lower neighbors (where it appears as v)
+  // followed by its upper neighbors (where it appears as u). Because edges
+  // are sorted by (u, v), one scan placing the v-side entries and a second
+  // placing the u-side entries emits both groups in ascending order — the
+  // list comes out fully sorted with edge ids aligned, no per-node re-sort.
+  for (EdgeId id = 0; id < g.edges_.size(); ++id) {
+    const Edge& e = g.edges_[id];
+    g.adjacency_[cursor[e.v]] = e.u;
+    g.adjacent_edge_[cursor[e.v]++] = id;
+  }
   for (EdgeId id = 0; id < g.edges_.size(); ++id) {
     const Edge& e = g.edges_[id];
     g.adjacency_[cursor[e.u]] = e.v;
     g.adjacent_edge_[cursor[e.u]++] = id;
-    g.adjacency_[cursor[e.v]] = e.u;
-    g.adjacent_edge_[cursor[e.v]++] = id;
-  }
-  // Neighbor lists come out sorted because edges were sorted by (u, v) and
-  // each node's slots are filled in edge order -- true for the 'u' side, but
-  // the 'v' side interleaves, so sort each list (keeping edge ids aligned).
-  for (NodeId u = 0; u < num_nodes; ++u) {
-    const std::size_t lo = g.offsets_[u];
-    const std::size_t hi = g.offsets_[u + 1];
-    // Sort (neighbor, edge id) pairs by neighbor.
-    std::vector<std::pair<NodeId, EdgeId>> tmp;
-    tmp.reserve(hi - lo);
-    for (std::size_t i = lo; i < hi; ++i) {
-      tmp.emplace_back(g.adjacency_[i], g.adjacent_edge_[i]);
-    }
-    std::sort(tmp.begin(), tmp.end());
-    for (std::size_t i = lo; i < hi; ++i) {
-      g.adjacency_[i] = tmp[i - lo].first;
-      g.adjacent_edge_[i] = tmp[i - lo].second;
-    }
   }
   return g;
 }

@@ -31,6 +31,35 @@ constexpr std::uint64_t DeriveStream(std::uint64_t seed, std::uint64_t stream) {
   return SplitMix64(SplitMix64(seed) ^ SplitMix64(~stream));
 }
 
+// Counter-based splitmix64 stream. Construction is two stores (versus the
+// ~microsecond mt19937_64 warm-up inside Rng), which matters when a kernel
+// wants one short-lived stream per fine-grained work item — e.g. one per
+// cell pair in the Waxman grid or one per stub in the parallel PLRG
+// shuffle. Statistically weaker than Rng but ample for Bernoulli thinning
+// and sort keys; anything long-lived should keep using Rng.
+class SmallRng {
+ public:
+  explicit constexpr SmallRng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() { return SplitMix64(state_++); }
+
+  // Uniform double in [0, 1) with 53 random bits.
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, bound) via 128-bit multiply (Lemire). The
+  // rejection-free form carries bias < 2^-32 for bound < 2^32 — irrelevant
+  // for shuffling and thinning, and keeps the draw branch-free.
+  std::uint64_t NextIndex(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
 // Deterministic RNG with convenience draws used across the library.
 class Rng {
  public:

@@ -45,15 +45,25 @@ namespace {
 struct RadiusBin {
   double sum_size = 0.0;
   double sum_value = 0.0;
+  // Second moment of the per-ball metric values; only read when the run
+  // is estimator-backed, but accumulating it unconditionally is one FMA
+  // per sample and keeps the fold shape uniform.
+  double sum_value_sq = 0.0;
   std::size_t count = 0;
 };
 
-Series BinsToSeries(const std::vector<RadiusBin>& bins) {
+Series BinsToSeries(const std::vector<RadiusBin>& bins, bool with_ci) {
   Series s;
   for (const RadiusBin& bin : bins) {
     if (bin.count == 0) continue;
-    s.Add(bin.sum_size / static_cast<double>(bin.count),
-          bin.sum_value / static_cast<double>(bin.count));
+    const double mean_size = bin.sum_size / static_cast<double>(bin.count);
+    if (with_ci) {
+      const Estimate e =
+          EstimateFromMoments(bin.sum_value, bin.sum_value_sq, bin.count);
+      s.AddWithError(mean_size, e.mean, e.ci_halfwidth);
+    } else {
+      s.Add(mean_size, bin.sum_value / static_cast<double>(bin.count));
+    }
   }
   return s;
 }
@@ -62,6 +72,7 @@ void FoldBins(std::vector<RadiusBin>& acc, std::vector<RadiusBin>&& next) {
   for (std::size_t r = 0; r < acc.size(); ++r) {
     acc[r].sum_size += next[r].sum_size;
     acc[r].sum_value += next[r].sum_value;
+    acc[r].sum_value_sq += next[r].sum_value_sq;
     acc[r].count += next[r].count;
   }
 }
@@ -89,14 +100,22 @@ struct CenterTask {
 std::vector<CenterTask> PlanCenters(const graph::Graph& g,
                                     const BallGrowingOptions& options,
                                     std::uint64_t stream_salt) {
+  // An active SampleSpec swaps in its own center count and stream; with
+  // an inactive spec both collapse to the historical values, keeping the
+  // exhaustive path byte-identical.
+  const bool sampled = options.sample.active();
+  const std::size_t max_centers =
+      sampled ? options.sample.centers : options.max_centers;
+  const std::uint64_t seed =
+      sampled ? graph::DeriveStream(options.seed, options.sample.seed)
+              : options.seed;
   const std::vector<graph::NodeId> centers =
-      SampleCenters(g, options.max_centers, options.seed);
+      SampleCenters(g, max_centers, seed);
   std::vector<CenterTask> tasks(centers.size());
   for (std::size_t ci = 0; ci < centers.size(); ++ci) {
     tasks[ci].center = centers[ci];
     tasks[ci].allow_big = ci < options.big_ball_centers;
-    tasks[ci].rng_seed =
-        graph::DeriveStream(options.seed ^ stream_salt, ci);
+    tasks[ci].rng_seed = graph::DeriveStream(seed ^ stream_salt, ci);
   }
   return tasks;
 }
@@ -122,7 +141,13 @@ Series BallGrowingSeries(const Graph& g, const BallGrowingOptions& options,
     // (resilience, max-flow) draw a second workspace from the pool, so
     // this one's distances stay valid for the whole center.
     graph::BfsScratchLease scratch = graph::AcquireBfsScratch();
-    graph::BfsDistancesInto(g, task.center, *scratch);
+    // Estimator runs cap each center's sweep at the sample budget; the
+    // level-granular cut (bfs.h) means every radius that does get binned
+    // below saw its complete ball, so reported points stay unbiased.
+    const std::size_t budget =
+        options.sample.active() ? options.sample.expansion_budget : 0;
+    graph::BfsDistancesInto(g, task.center, *scratch, graph::kUnreachable,
+                            budget);
     const graph::BfsScratch& bfs = *scratch;
     std::vector<NodeId> order;
     order.reserve(g.num_nodes());
@@ -149,6 +174,7 @@ Series BallGrowingSeries(const Graph& g, const BallGrowingOptions& options,
       if (std::isnan(value)) continue;
       bins[r].sum_size += static_cast<double>(prefix);
       bins[r].sum_value += value;
+      bins[r].sum_value_sq += value * value;
       ++bins[r].count;
       if (prefix == order.size()) break;  // ball swallowed the component
     }
@@ -158,7 +184,7 @@ Series BallGrowingSeries(const Graph& g, const BallGrowingOptions& options,
       parallel::ParallelReduce<std::vector<RadiusBin>>(
           CenterPlan(tasks.size()), map, FoldBins);
   if (!total) total.emplace(num_bins);
-  return BinsToSeries(*total);
+  return BinsToSeries(*total, options.sample.active());
 }
 
 Series PolicyBallGrowingSeries(const Graph& g,
@@ -187,6 +213,7 @@ Series PolicyBallGrowingSeries(const Graph& g,
       if (!std::isnan(value)) {
         bins[r].sum_size += static_cast<double>(size);
         bins[r].sum_value += value;
+        bins[r].sum_value_sq += value * value;
         ++bins[r].count;
       }
       if (size == last_size) break;  // policy ball stopped growing
@@ -198,7 +225,7 @@ Series PolicyBallGrowingSeries(const Graph& g,
       parallel::ParallelReduce<std::vector<RadiusBin>>(
           CenterPlan(tasks.size()), map, FoldBins);
   if (!total) total.emplace(num_bins);
-  return BinsToSeries(*total);
+  return BinsToSeries(*total, options.sample.active());
 }
 
 }  // namespace topogen::metrics

@@ -28,6 +28,7 @@
 #include "graph/bfs.h"
 #include "graph/graph.h"
 #include "graph/rng.h"
+#include "metrics/sample.h"
 #include "metrics/series.h"
 #include "policy/relationships.h"
 
@@ -43,6 +44,13 @@ struct BallGrowingOptions {
   std::size_t big_ball_threshold = 4000;
   std::size_t big_ball_centers = 6;
   std::uint64_t seed = 7;
+  // When active (metrics/sample.h), `sample.centers` overrides
+  // max_centers, the center stream becomes DeriveStream(seed,
+  // sample.seed), each center's BFS honors sample.expansion_budget
+  // (radii past the budget cut are simply not reported), and the series
+  // carries per-radius 95% CI half-widths in yerr. Inactive specs leave
+  // the exhaustive path byte-identical to the historical output.
+  SampleSpec sample;
 };
 
 // A metric evaluated on one ball subgraph. Returning NaN skips the sample.

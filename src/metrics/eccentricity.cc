@@ -6,6 +6,7 @@
 
 #include "graph/bfs.h"
 #include "graph/bfs_scratch.h"
+#include "graph/rng.h"
 #include "metrics/ball.h"
 #include "parallel/parallel_for.h"
 
@@ -16,8 +17,14 @@ Series EccentricityDistribution(const graph::Graph& g,
   Series s;
   s.name = "eccentricity";
   if (g.num_nodes() == 0) return s;
+  const bool sampled = options.sample.active();
+  const std::size_t max_sources =
+      sampled ? options.sample.centers : options.max_sources;
+  const std::uint64_t seed =
+      sampled ? graph::DeriveStream(options.seed, options.sample.seed)
+              : options.seed;
   const std::vector<graph::NodeId> sources =
-      SampleCenters(g, options.max_sources, options.seed);
+      SampleCenters(g, max_sources, seed);
   // Every source writes its own slot (order-independent fan-out); the
   // binning below stays serial. Each chunk leases one BFS workspace and
   // reuses it across its sources.
@@ -48,9 +55,18 @@ Series EccentricityDistribution(const graph::Graph& g,
   for (double e : ecc) {
     ++bins[std::lround(e / mean / options.bin_width)];
   }
+  const double k = static_cast<double>(ecc.size());
   for (const auto& [bin, count] : bins) {
-    s.Add(static_cast<double>(bin) * options.bin_width,
-          static_cast<double>(count) / static_cast<double>(ecc.size()));
+    const double frac = static_cast<double>(count) / k;
+    if (sampled) {
+      // Each bin fraction is a binomial proportion over k sampled
+      // sources; the normal-approximation 95% half-width matches the
+      // EstimateFromMoments convention used by the other estimators.
+      s.AddWithError(static_cast<double>(bin) * options.bin_width, frac,
+                     1.96 * std::sqrt(frac * (1.0 - frac) / k));
+    } else {
+      s.Add(static_cast<double>(bin) * options.bin_width, frac);
+    }
   }
   return s;
 }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include "graph/graph.h"
+#include "metrics/sample.h"
 #include "metrics/series.h"
 
 namespace topogen::metrics {
@@ -16,6 +17,13 @@ struct EccentricityOptions {
   std::size_t max_sources = 1500;  // nodes sampled; all when >= n
   double bin_width = 0.05;         // bins on the normalized axis
   std::uint64_t seed = 17;
+  // When active (metrics/sample.h), `sample.centers` overrides
+  // max_sources, the source stream becomes DeriveStream(seed,
+  // sample.seed), and each bin's fraction carries a binomial 95% CI
+  // half-width in yerr. The expansion budget is ignored here: an
+  // eccentricity read requires the full sweep, so a truncated BFS would
+  // bias every sample rather than just drop tail radii.
+  SampleSpec sample;
 };
 
 // x = eccentricity / mean eccentricity (bin center), y = fraction of

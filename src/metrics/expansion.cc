@@ -4,6 +4,7 @@
 
 #include "graph/bfs.h"
 #include "graph/bfs_scratch.h"
+#include "graph/rng.h"
 #include "obs/obs.h"
 #include "metrics/ball.h"
 #include "parallel/parallel_for.h"
@@ -14,10 +15,14 @@ namespace topogen::metrics {
 namespace {
 
 // Shared accumulation: per-source cumulative reachable counts, averaged
-// per radius and normalized by n.
+// per radius and normalized by n. When `with_ci` is set the per-source
+// fractions are treated as i.i.d. samples of E(h) and the series carries
+// 95% half-widths; `budget` is the per-sweep node budget used only to
+// recognize (and truncate at) budget-stopped sources.
 template <typename CountsFn>
 Series AccumulateExpansion(const graph::Graph& g, std::size_t max_sources,
-                           std::uint64_t seed, CountsFn counts_of) {
+                           std::uint64_t seed, bool with_ci,
+                           std::size_t budget, CountsFn counts_of) {
   Series s;
   const graph::NodeId n = g.num_nodes();
   if (n == 0) return s;
@@ -42,7 +47,35 @@ Series AccumulateExpansion(const graph::Graph& g, std::size_t max_sources,
       });
   std::size_t max_len = 0;
   for (const auto& counts : all) max_len = std::max(max_len, counts.size());
+  if (budget > 0) {
+    // A source that stopped on the node budget (visited >= budget nodes)
+    // has exact cumulative counts only for the radii it actually opened;
+    // treating its last count as saturated for larger h would bias E(h)
+    // low. Truncate the series at the shortest such source instead of
+    // reporting biased points (sample.h contract).
+    for (const auto& counts : all) {
+      if (!counts.empty() && counts.back() >= budget) {
+        max_len = std::min(max_len, counts.size());
+      }
+    }
+  }
   for (std::size_t h = 1; h < max_len; ++h) {
+    if (with_ci) {
+      // Per-source fractions are the i.i.d. samples behind the estimator.
+      double sum = 0.0;
+      double sum_sq = 0.0;
+      for (const auto& counts : all) {
+        const double v =
+            static_cast<double>(h < counts.size() ? counts[h]
+                                                  : counts.back()) /
+            static_cast<double>(n);
+        sum += v;
+        sum_sq += v * v;
+      }
+      const Estimate e = EstimateFromMoments(sum, sum_sq, all.size());
+      s.AddWithError(static_cast<double>(h), e.mean, e.ci_halfwidth);
+      continue;
+    }
     double sum = 0.0;
     for (const auto& counts : all) {
       sum += static_cast<double>(h < counts.size() ? counts[h]
@@ -59,11 +92,19 @@ Series AccumulateExpansion(const graph::Graph& g, std::size_t max_sources,
 Series Expansion(const graph::Graph& g, const ExpansionOptions& options) {
   obs::Span span("metrics.expansion", "metrics");
   span.Arg("nodes", static_cast<std::uint64_t>(g.num_nodes()));
+  const bool sampled = options.sample.active();
+  const std::size_t sources =
+      sampled ? options.sample.centers : options.max_sources;
+  const std::uint64_t seed =
+      sampled ? graph::DeriveStream(options.seed, options.sample.seed)
+              : options.seed;
+  const std::size_t budget = sampled ? options.sample.expansion_budget : 0;
   return AccumulateExpansion(
-      g, options.max_sources, options.seed,
+      g, sources, seed, sampled, budget,
       [&](graph::NodeId src, graph::BfsScratch& scratch,
           std::vector<std::size_t>& counts) {
-        graph::ReachableCountsInto(g, src, scratch, counts);
+        graph::ReachableCountsInto(g, src, scratch, counts,
+                                   graph::kUnreachable, budget);
       });
 }
 
@@ -72,8 +113,17 @@ Series PolicyExpansion(const graph::Graph& g,
                        const ExpansionOptions& options) {
   obs::Span span("metrics.policy_expansion", "metrics");
   span.Arg("nodes", static_cast<std::uint64_t>(g.num_nodes()));
+  const bool sampled = options.sample.active();
+  const std::size_t sources =
+      sampled ? options.sample.centers : options.max_sources;
+  const std::uint64_t seed =
+      sampled ? graph::DeriveStream(options.seed, options.sample.seed)
+              : options.seed;
+  // The policy sweep has no level-budget hook, so sampled runs get CI
+  // reporting and source subsampling but each sweep still runs to its
+  // policy eccentricity (budget 0 below).
   return AccumulateExpansion(
-      g, options.max_sources, options.seed,
+      g, sources, seed, sampled, /*budget=*/0,
       [&](graph::NodeId src, graph::BfsScratch&,
           std::vector<std::size_t>& counts) {
         // Policy sweeps run on their own pooled PolicyBfs workspace (the

@@ -9,6 +9,7 @@
 #include <span>
 
 #include "graph/graph.h"
+#include "metrics/sample.h"
 #include "metrics/series.h"
 #include "policy/relationships.h"
 
@@ -18,6 +19,12 @@ struct ExpansionOptions {
   // BFS sources averaged over; all nodes when >= n.
   std::size_t max_sources = 2000;
   std::uint64_t seed = 11;
+  // When active (metrics/sample.h), `sample.centers` overrides
+  // max_sources, the source stream becomes DeriveStream(seed,
+  // sample.seed), each sweep honors sample.expansion_budget, and the
+  // series carries 95% CI half-widths in yerr. Inactive specs leave the
+  // exhaustive path byte-identical to the historical output.
+  SampleSpec sample;
 };
 
 // x = ball radius h (1, 2, ...), y = E(h) in (0, 1]. The series ends at

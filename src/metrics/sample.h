@@ -1,0 +1,57 @@
+// Sampled-estimator contract (docs/PERFORMANCE.md, "Scale tiers and
+// sampled estimators").
+//
+// At million-node scale the exhaustive sweeps behind the paper's figures
+// are impossible, so the metrics switch to rigorous sampling: a SampleSpec
+// names how many centers/sources to draw, the stream they are derived
+// from, and an optional early-exit budget per sweep. A metric given a
+// non-zero SampleSpec is "estimator-backed": it reports every figure point
+// as mean +/- a 95% normal-approximation confidence interval (Series.yerr)
+// and the spec is stamped into manifest.json next to the figure. Metrics
+// with a zero spec behave exactly as before — two-column figures, no CI.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace topogen::metrics {
+
+struct SampleSpec {
+  // Number of BFS centers/sources to sample; 0 keeps the metric's own
+  // default source count and disables CI reporting.
+  std::size_t centers = 0;
+  // Stream tag folded into the metric's seed (graph::DeriveStream) so an
+  // estimator run never replays the exhaustive run's draws.
+  std::uint64_t seed = 1;
+  // Early-exit budget: a sweep stops expanding new BFS levels once it has
+  // visited this many nodes (level-granular, so still deterministic).
+  // 0 = no budget. Radii past the first budget-truncated source are
+  // dropped from the series rather than reported with a hidden bias.
+  std::size_t expansion_budget = 0;
+
+  bool active() const { return centers > 0; }
+};
+
+// Mean and the half-width of the normal-approximation 95% confidence
+// interval, from the first two moments of k i.i.d. samples.
+struct Estimate {
+  double mean = 0.0;
+  double ci_halfwidth = 0.0;
+  std::size_t samples = 0;
+};
+
+inline Estimate EstimateFromMoments(double sum, double sum_sq,
+                                    std::size_t count) {
+  Estimate e;
+  e.samples = count;
+  if (count == 0) return e;
+  const double k = static_cast<double>(count);
+  e.mean = sum / k;
+  if (count < 2) return e;  // ci_halfwidth stays 0: no spread information
+  const double var = std::max(0.0, (sum_sq - sum * sum / k) / (k - 1.0));
+  e.ci_halfwidth = 1.96 * std::sqrt(var / k);
+  return e;
+}
+
+}  // namespace topogen::metrics

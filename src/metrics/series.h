@@ -10,13 +10,23 @@ struct Series {
   std::string name;
   std::vector<double> x;
   std::vector<double> y;
+  // 95% confidence half-widths, parallel to y. Empty for exact series;
+  // filled (same length as y) when the series is estimator-backed
+  // (metrics/sample.h). Exporters emit a third column only when present.
+  std::vector<double> yerr;
 
   void Add(double xv, double yv) {
     x.push_back(xv);
     y.push_back(yv);
   }
+  void AddWithError(double xv, double yv, double err) {
+    x.push_back(xv);
+    y.push_back(yv);
+    yerr.push_back(err);
+  }
   std::size_t size() const { return x.size(); }
   bool empty() const { return x.empty(); }
+  bool has_error() const { return yerr.size() == y.size() && !y.empty(); }
 
   double back_y() const { return y.back(); }
 };

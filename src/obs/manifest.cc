@@ -46,6 +46,15 @@ struct FigureEntry {
   std::string title;
 };
 
+struct EstimatorEntry {
+  std::string figure_id;
+  std::string metric;
+  std::uint64_t centers = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t expansion_budget = 0;
+  double max_ci_halfwidth = 0.0;
+};
+
 struct CacheTally {
   std::string kind;
   std::uint64_t hits = 0;
@@ -85,8 +94,18 @@ struct State {
   std::vector<DegradedEntry> degraded;
   std::vector<TopologyEntry> topologies;
   std::vector<FigureEntry> figures;
+  std::vector<EstimatorEntry> estimators;
 
-  State() { Env::Get(); }
+  // Everything ~State reads through WriteTo must be constructed *before*
+  // this singleton so it is destroyed *after* it: Env for outdir/scale,
+  // and the stats registry behind TimerSnapshots()/HistogramSnapshots()
+  // (a process whose first observability touch is a Manifest call would
+  // otherwise construct the registry later, tear it down earlier, and
+  // crash writing the manifest's phase table at exit).
+  State() {
+    Env::Get();
+    Stats::TimerSnapshots();
+  }
   ~State() {
     const Env& env = Env::Get();
     bool write;
@@ -230,6 +249,28 @@ void Manifest::AddFigure(std::string_view figure_id, std::string_view title) {
   s.armed = true;
 }
 
+void Manifest::AddEstimator(std::string_view figure_id,
+                            std::string_view metric, std::uint64_t centers,
+                            std::uint64_t seed,
+                            std::uint64_t expansion_budget,
+                            double max_ci_halfwidth) {
+  if (!ManifestEnabled()) return;
+  State& s = State::Get();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (EstimatorEntry& e : s.estimators) {
+    if (e.figure_id == figure_id && e.metric == metric) {
+      e = {std::string(figure_id), std::string(metric), centers,
+           seed,                   expansion_budget,    max_ci_halfwidth};
+      s.armed = true;
+      return;
+    }
+  }
+  s.estimators.push_back({std::string(figure_id), std::string(metric),
+                          centers, seed, expansion_budget,
+                          max_ci_halfwidth});
+  s.armed = true;
+}
+
 bool Manifest::WriteTo(const std::string& path) {
   State& s = State::Get();
   const Env& env = Env::Get();
@@ -336,7 +377,25 @@ bool Manifest::WriteTo(const std::string& path) {
        << "\", \"title\": \"" << JsonEscape(f.title) << "\"}";
     first = false;
   }
-  os << "\n  ],\n  \"phases\": [";
+  os << "\n  ]";
+  // Present only on estimator-backed runs (metrics/sample.h), so exact
+  // runs keep the historical manifest shape.
+  if (!s.estimators.empty()) {
+    os << ",\n  \"estimators\": [";
+    first = true;
+    for (const EstimatorEntry& e : s.estimators) {
+      os << (first ? "\n" : ",\n") << "    {\"figure_id\": \""
+         << JsonEscape(e.figure_id) << "\", \"metric\": \""
+         << JsonEscape(e.metric) << "\", \"centers\": " << e.centers
+         << ", \"seed\": " << e.seed
+         << ", \"expansion_budget\": " << e.expansion_budget
+         << ", \"max_ci_halfwidth\": " << JsonNumber(e.max_ci_halfwidth)
+         << "}";
+      first = false;
+    }
+    os << "\n  ]";
+  }
+  os << ",\n  \"phases\": [";
   first = true;
   for (const TimerSnapshot& t : Stats::TimerSnapshots()) {
     os << (first ? "\n" : ",\n") << "    {\"name\": \"" << JsonEscape(t.name)
@@ -387,6 +446,7 @@ void Manifest::ResetForTesting() {
   s.degraded.clear();
   s.topologies.clear();
   s.figures.clear();
+  s.estimators.clear();
 }
 
 }  // namespace topogen::obs

@@ -40,6 +40,15 @@ class Manifest {
   static void AddTopology(std::string_view name, std::uint64_t nodes,
                           std::uint64_t edges, std::string_view params);
   static void AddFigure(std::string_view figure_id, std::string_view title);
+  // Stamps a figure/metric pair as estimator-backed (metrics/sample.h):
+  // the sample size, stream, and per-sweep budget that produced it, plus
+  // the worst (largest) CI half-width across the series, so a reader can
+  // judge the figure's precision without re-opening the .dat file.
+  // Re-registering the same (figure_id, metric) pair overwrites.
+  static void AddEstimator(std::string_view figure_id, std::string_view metric,
+                           std::uint64_t centers, std::uint64_t seed,
+                           std::uint64_t expansion_budget,
+                           double max_ci_halfwidth);
 
   // Artifact-cache provenance: the cache root this run resolved (empty =
   // caching off) plus per-artifact-kind hit/miss tallies, so a figure's

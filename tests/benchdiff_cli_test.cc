@@ -113,6 +113,38 @@ int main(int argc, char** argv) {
             (dir / "missing.json").string() + quiet) == 2,
         "unreadable input exits 2");
 
+  // A baseline-only record must warn on stderr and stay exit 0 -- a
+  // dropped kernel is a coverage hole, not a regression.
+  const fs::path shrunk = dir / "shrunk.json";
+  {
+    std::string one_record = BenchJson(1.0);
+    const std::size_t cut = one_record.find(",\n    {\"name\": \"BM_Ball");
+    Check(cut != std::string::npos, "test fixture still has two records");
+    one_record.replace(cut, one_record.rfind("\n  ]") - cut, "");
+    WriteFile(shrunk, one_record);
+  }
+  const fs::path warn_out = dir / "warn.txt";
+  Check(Run(benchdiff + " " + base.string() + " " + shrunk.string() + " > " +
+            warn_out.string() + " 2>&1") == 0,
+        "baseline record missing from current run still exits 0");
+  Check(ReadFile(warn_out).find(
+            "warning: baseline benchmark 'BM_Ball/radius:2' missing") !=
+            std::string::npos,
+        "missing baseline record warned on stderr");
+  const fs::path warn_verdict = dir / "warn-verdict.json";
+  Check(Run(benchdiff + " --json=" + warn_verdict.string() + " " +
+            base.string() + " " + shrunk.string() + quiet) == 0,
+        "verdict run with missing record exits 0");
+  if (const std::optional<Json> wdoc = Json::Parse(ReadFile(warn_verdict));
+      wdoc.has_value() && wdoc->is_object()) {
+    const Json* missing = wdoc->Find("missing_from_current");
+    Check(missing != nullptr && missing->is_number() &&
+              missing->AsDouble() == 1.0,
+          "verdict counts the missing record");
+  } else {
+    Check(false, "warn verdict JSON parses");
+  }
+
   const fs::path verdict = dir / "verdict.json";
   Check(Run(benchdiff + " --tolerance=0.3 --json=" + verdict.string() + " " +
             base.string() + " " + regressed.string() + quiet) == 1,

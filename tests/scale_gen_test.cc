@@ -1,0 +1,297 @@
+// Golden-equivalence tests for the million-node scale work: the radix
+// CSR build, the parallelized generators, the frontier-bitmap BFS mode,
+// and the sampled estimators (metrics/sample.h).
+//
+// Everything here checks an *equivalence*, not a property: the fast path
+// must reproduce the slow path bit-for-bit (construction, generation,
+// traversal) or land inside its own reported confidence interval
+// (estimators). These are the contracts docs/PERFORMANCE.md promises.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "gen/ba.h"
+#include "gen/degree_seq.h"
+#include "gen/plrg.h"
+#include "gen/waxman.h"
+#include "graph/bfs.h"
+#include "graph/bfs_scratch.h"
+#include "graph/graph.h"
+#include "graph/rng.h"
+#include "metrics/ball.h"
+#include "metrics/expansion.h"
+#include "metrics/sample.h"
+#include "parallel/pool.h"
+
+namespace topogen {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+using graph::NodeId;
+
+// Reference edge canonicalization: what FromEdges must be equivalent to,
+// written the obvious way (std::sort + std::unique).
+std::vector<Edge> ReferenceCanonical(std::vector<Edge> edges) {
+  std::vector<Edge> out;
+  for (Edge e : edges) {
+    if (e.u == e.v) continue;
+    if (e.u > e.v) std::swap(e.u, e.v);
+    out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void ExpectMatchesReference(NodeId n, std::vector<Edge> edges) {
+  const std::vector<Edge> want = ReferenceCanonical(edges);
+  const Graph g = Graph::FromEdges(n, std::move(edges));
+  ASSERT_EQ(g.num_nodes(), n);
+  ASSERT_EQ(g.edges(), want);
+  // The CSR adjacency must be exactly the sorted-neighbor view of the
+  // canonical edge list.
+  std::vector<std::vector<NodeId>> adj(n);
+  for (const Edge& e : want) {
+    adj[e.u].push_back(e.v);
+    adj[e.v].push_back(e.u);
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    std::sort(adj[u].begin(), adj[u].end());
+    const std::span<const NodeId> got = g.neighbors(u);
+    ASSERT_EQ(std::vector<NodeId>(got.begin(), got.end()), adj[u])
+        << "node " << u;
+  }
+}
+
+TEST(RadixFromEdges, EmptyAndTiny) {
+  ExpectMatchesReference(0, {});
+  ExpectMatchesReference(5, {});
+  ExpectMatchesReference(2, {{0, 1}});
+  ExpectMatchesReference(2, {{1, 0}});  // reversed endpoint order
+}
+
+TEST(RadixFromEdges, DuplicatesSelfLoopsAndComponents) {
+  // Multi-component with duplicates (both orientations) and self-loops.
+  ExpectMatchesReference(8, {{3, 2},
+                             {2, 3},
+                             {0, 1},
+                             {1, 1},
+                             {6, 7},
+                             {7, 6},
+                             {4, 4},
+                             {0, 1},
+                             {5, 6}});
+}
+
+TEST(RadixFromEdges, RandomSoupMatchesReference) {
+  // Enough nodes that the per-digit counting sort exercises both passes
+  // with non-trivial high words, plus heavy duplication.
+  graph::Rng rng(99);
+  constexpr NodeId kNodes = 70000;
+  std::vector<Edge> edges;
+  for (int i = 0; i < 200000; ++i) {
+    const auto u = static_cast<NodeId>(rng.NextIndex(kNodes));
+    const auto v = static_cast<NodeId>(rng.NextIndex(kNodes));
+    edges.push_back({u, v});
+  }
+  ExpectMatchesReference(kNodes, std::move(edges));
+}
+
+// --- parallel generators: bit-identical at any thread count -----------
+
+class PoolThreads {
+ public:
+  explicit PoolThreads(int threads) {
+    parallel::Pool::SetThreadCountForTesting(threads);
+  }
+  ~PoolThreads() { parallel::Pool::SetThreadCountForTesting(0); }
+};
+
+// Each generator runs once per thread count, above the parallel-dispatch
+// threshold, and must emit the identical graph: same edge list, byte for
+// byte (docs/PARALLELISM.md determinism contract).
+TEST(ParallelGenerators, ThreadCountInvariant) {
+  constexpr NodeId kNodes = gen::kParallelGenNodeThreshold + 5000;
+  std::vector<std::vector<Edge>> plrg, ba, waxman;
+  for (const int threads : {1, 2, 7}) {
+    PoolThreads scope(threads);
+    {
+      graph::Rng rng(7);
+      plrg.push_back(gen::Plrg({.n = kNodes}, rng).edges());
+    }
+    {
+      graph::Rng rng(7);
+      ba.push_back(gen::BarabasiAlbert({.n = kNodes}, rng).edges());
+    }
+    {
+      graph::Rng rng(7);
+      waxman.push_back(
+          gen::Waxman({.n = kNodes,
+                       .alpha = 25.0 / static_cast<double>(kNodes)},
+                      rng)
+              .edges());
+    }
+  }
+  for (int i = 1; i < 3; ++i) {
+    EXPECT_EQ(plrg[0], plrg[i]) << "PLRG diverged at thread variant " << i;
+    EXPECT_EQ(ba[0], ba[i]) << "BA diverged at thread variant " << i;
+    EXPECT_EQ(waxman[0], waxman[i])
+        << "Waxman diverged at thread variant " << i;
+  }
+  EXPECT_GT(plrg[0].size(), 0u);
+  EXPECT_GT(ba[0].size(), 0u);
+  EXPECT_GT(waxman[0].size(), 0u);
+}
+
+// --- frontier-bitmap BFS: distances equal a plain queue BFS -----------
+
+TEST(BitmapBfs, MatchesReferenceBfsAboveGate) {
+  // A PLRG well above the 16384-node bitmap gate: the middle levels are
+  // huge, so the direction-optimizing sweep takes the bottom-up bitmap
+  // branch on at least one level. Distances must still be exact.
+  graph::Rng rng(13);
+  const Graph g = gen::Plrg({.n = 30000}, rng);
+  ASSERT_GT(g.num_nodes(), 16384u);
+
+  const NodeId src = 17;
+  std::vector<graph::Dist> want(g.num_nodes(), graph::kUnreachable);
+  std::queue<NodeId> q;
+  want[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (const NodeId v : g.neighbors(u)) {
+      if (want[v] == graph::kUnreachable) {
+        want[v] = want[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+
+  graph::BfsScratchLease scratch = graph::AcquireBfsScratch();
+  graph::BfsDistancesInto(g, src, *scratch);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(scratch->dist(v), want[v]) << "node " << v;
+  }
+}
+
+// --- early-exit budget: level-granular, deterministic -----------------
+
+TEST(BudgetedSweep, LevelGranularCutIsDeterministic) {
+  graph::Rng rng(21);
+  const Graph g = gen::Plrg({.n = 8000}, rng);
+  const NodeId src = 3;
+
+  graph::BfsScratchLease full = graph::AcquireBfsScratch();
+  graph::BfsDistancesInto(g, src, *full);
+  const std::vector<std::size_t> full_levels(full->level_counts().begin(),
+                                             full->level_counts().end());
+  const std::size_t budget = full->reached() / 3;
+  ASSERT_GT(budget, 0u);
+
+  graph::BfsScratchLease cut = graph::AcquireBfsScratch();
+  graph::BfsDistancesInto(g, src, *cut, graph::kUnreachable, budget);
+
+  // The budgeted sweep visits a whole-level prefix of the full sweep:
+  // its level counts are a prefix of the full ones, and it stopped at
+  // the first level where the running total reached the budget.
+  const std::span<const std::size_t> cut_levels = cut->level_counts();
+  ASSERT_LE(cut_levels.size(), full_levels.size());
+  std::size_t total = 0;
+  for (std::size_t h = 0; h < cut_levels.size(); ++h) {
+    ASSERT_EQ(cut_levels[h], full_levels[h]) << "level " << h;
+    total += cut_levels[h];
+  }
+  EXPECT_EQ(total, cut->reached());
+  EXPECT_GE(total, budget);
+  if (cut_levels.size() >= 2) {
+    std::size_t before_last = total - cut_levels.back();
+    EXPECT_LT(before_last, budget)
+        << "sweep kept expanding past the budget level";
+  }
+
+  // Same budget, different thread count: identical visited set.
+  PoolThreads scope(7);
+  graph::BfsScratchLease again = graph::AcquireBfsScratch();
+  graph::BfsDistancesInto(g, src, *again, graph::kUnreachable, budget);
+  ASSERT_EQ(again->reached(), cut->reached());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(again->dist(v), cut->dist(v)) << "node " << v;
+  }
+}
+
+// --- sampled estimators: inside their own confidence interval ---------
+
+TEST(SampledExpansion, ReproducesExhaustiveWithinCi) {
+  graph::Rng rng(5);
+  const Graph g = gen::Plrg({.n = 10000}, rng);
+
+  metrics::ExpansionOptions exhaustive;
+  exhaustive.max_sources = g.num_nodes();  // every node is a source
+  const metrics::Series exact = metrics::Expansion(g, exhaustive);
+  ASSERT_FALSE(exact.has_error());  // inactive spec: no yerr column
+
+  metrics::ExpansionOptions sampled_opts;
+  sampled_opts.sample = {.centers = 96, .seed = 3, .expansion_budget = 0};
+  const metrics::Series sampled = metrics::Expansion(g, sampled_opts);
+  ASSERT_TRUE(sampled.has_error());
+  ASSERT_FALSE(sampled.y.empty());
+
+  // Every sampled radius present in the exact series must land within
+  // the sampled estimator's own reported 95% CI half-width (plus a tiny
+  // slack for radii where the half-width collapses to ~0).
+  std::size_t compared = 0;
+  for (std::size_t i = 0; i < sampled.x.size(); ++i) {
+    for (std::size_t j = 0; j < exact.x.size(); ++j) {
+      if (exact.x[j] != sampled.x[i]) continue;
+      const double diff = std::abs(sampled.y[i] - exact.y[j]);
+      EXPECT_LE(diff, sampled.yerr[i] + 1e-3)
+          << "radius " << sampled.x[i] << ": sampled " << sampled.y[i]
+          << " vs exact " << exact.y[j] << " ci " << sampled.yerr[i];
+      ++compared;
+    }
+  }
+  EXPECT_GE(compared, 3u);
+
+  // Same spec, same seed: the estimator itself is deterministic.
+  const metrics::Series again = metrics::Expansion(g, sampled_opts);
+  EXPECT_EQ(again.y, sampled.y);
+  EXPECT_EQ(again.yerr, sampled.yerr);
+}
+
+TEST(SampledBall, CarriesNonDegenerateCi) {
+  graph::Rng rng(5);
+  const Graph g = gen::Plrg({.n = 20000}, rng);
+
+  metrics::BallGrowingOptions opts;
+  opts.sample = {.centers = 64, .seed = 3, .expansion_budget = 5000};
+  opts.max_ball_nodes = 5000;
+  opts.big_ball_threshold = 5000;
+  const metrics::BallMetric avg_degree =
+      [](const Graph& ball, graph::Rng&) { return ball.average_degree(); };
+  const metrics::Series s = metrics::BallGrowingSeries(g, opts, avg_degree);
+
+  ASSERT_TRUE(s.has_error());
+  ASSERT_FALSE(s.y.empty());
+  // 64 balls of varying shape: the per-radius metric variance is real,
+  // so at least one half-width must be strictly positive (a uniformly
+  // zero yerr column means the second moment was dropped somewhere).
+  EXPECT_TRUE(std::any_of(s.yerr.begin(), s.yerr.end(),
+                          [](double e) { return e > 0.0; }));
+
+  const metrics::Series again = metrics::BallGrowingSeries(g, opts, avg_degree);
+  EXPECT_EQ(again.y, s.y);
+  EXPECT_EQ(again.yerr, s.yerr);
+}
+
+}  // namespace
+}  // namespace topogen

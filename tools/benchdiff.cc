@@ -23,7 +23,10 @@
 // Exit codes: 0 = within tolerance, 1 = regression, 2 = usage or
 // unreadable/unparseable input. Records present on only one side are
 // listed (added/removed) but never fail the gate -- renaming a benchmark
-// must not break CI.
+// must not break CI. A baseline record missing from the current run does
+// additionally print a warning to stderr (and is counted in the verdict
+// JSON's "missing_from_current"), so a silently-dropped kernel is visible
+// in the job log instead of shrinking the gate's coverage unnoticed.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -240,7 +243,8 @@ bool WriteVerdictJson(const std::string& path, const Options& opt,
   os << "  \"current\": \"" << JsonEscape(opt.current_path) << "\",\n";
   os << "  \"tolerance\": " << JsonNumber(opt.tolerance) << ",\n";
   os << "  \"compared\": " << comparisons.size()
-     << ",\n  \"regressed\": " << regressed << ",\n";
+     << ",\n  \"regressed\": " << regressed
+     << ",\n  \"missing_from_current\": " << removed.size() << ",\n";
   auto write_names = [&os](const char* key,
                            const std::vector<std::string>& names) {
     os << "  \"" << key << "\": [";
@@ -314,6 +318,14 @@ int main(int argc, char** argv) {
       std::count_if(comparisons.begin(), comparisons.end(),
                     [](const Comparison& c) { return c.regressed; }));
   PrintTable(comparisons, added, removed);
+  // A kernel the baseline gates that the candidate run never produced is
+  // a coverage hole, not a regression: warn loudly, keep exit 0.
+  for (const std::string& name : removed) {
+    std::fprintf(stderr,
+                 "benchdiff: warning: baseline benchmark '%s' missing from "
+                 "current run (not gated)\n",
+                 name.c_str());
+  }
   std::printf("\nbenchdiff: %zu compared, %zu regressed (tolerance %.0f%%"
               "%s)\n",
               comparisons.size(), regressed, opt->tolerance * 100.0,
