@@ -14,6 +14,18 @@
 // The workload is warm: a priming pass computes each distinct request
 // once, so the timed phase measures the service plumbing, not PLRG
 // generation (whose cost bench_perf already gates).
+//
+// Three phase families:
+//   BM_ServiceRoundTrip/threads:N    protocol /1, one line per response
+//   BM_ServiceRoundTripV2/threads:N  protocol /2 keep-alive, responses
+//                                    reassembled from streamed frames
+//   BM_ServiceMixedLoad/executors:N  head-of-line probe: one cold
+//                                    linkvalue request pinned (via
+//                                    LaneForKey) to a different lane than
+//                                    a stream of small requests;
+//                                    ns_per_op is the smalls' p99, which
+//                                    collapses once a second executor
+//                                    lane absorbs the heavy request.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -32,6 +44,7 @@
 #include <vector>
 
 #include "bench_json.h"
+#include "service/protocol.h"
 #include "service/server.h"
 
 namespace {
@@ -73,17 +86,43 @@ class Client {
 
   bool ok() const { return fd_ >= 0; }
 
-  // One request, one response; returns false on any transport failure.
-  bool RoundTrip(const std::string& line) {
+  bool Send(const std::string& line) {
     std::string framed = line;
     framed += '\n';
-    if (::send(fd_, framed.data(), framed.size(), MSG_NOSIGNAL) !=
-        static_cast<ssize_t>(framed.size())) {
-      return false;
-    }
+    return ::send(fd_, framed.data(), framed.size(), MSG_NOSIGNAL) ==
+           static_cast<ssize_t>(framed.size());
+  }
+
+  // Blocks until one full response line arrived (and consumes it).
+  bool AwaitLine() {
+    std::string line;
+    return NextLine(line);
+  }
+
+  // One request, one response; returns false on any transport failure.
+  bool RoundTrip(const std::string& line) {
+    return Send(line) && AwaitLine();
+  }
+
+  // Protocol /2: one request, then frames until the closing more:false
+  // frame. The connection stays open (keep-alive), so a phase runs many
+  // of these back to back on one socket.
+  bool RoundTripV2(const std::string& line) {
+    if (!Send(line)) return false;
     for (;;) {
-      if (buffer_.find('\n') != std::string::npos) {
-        buffer_.erase(0, buffer_.find('\n') + 1);
+      std::string frame;
+      if (!NextLine(frame)) return false;
+      if (frame.find("\"more\":false") != std::string::npos) return true;
+    }
+  }
+
+ private:
+  bool NextLine(std::string& line) {
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        line.assign(buffer_, 0, nl);
+        buffer_.erase(0, nl + 1);
         return true;
       }
       char chunk[8192];
@@ -93,7 +132,6 @@ class Client {
     }
   }
 
- private:
   int fd_ = -1;
   std::string buffer_;
 };
@@ -117,15 +155,22 @@ double Percentile(const std::vector<std::uint64_t>& sorted, double q) {
   return static_cast<double>(sorted[std::min(idx, sorted.size() - 1)]);
 }
 
+// Rewrites a /1 request literal as its /2 twin (same fields plus "v":2).
+std::string V2Request(const char* request) {
+  return std::string("{\"v\":2,") + (request + 1);
+}
+
 // `threads` clients, each `per_thread` sequential round trips cycling the
-// request mix; per-request wall latency pooled across threads.
-PhaseResult RunPhase(int port, int threads, int per_thread) {
+// request mix; per-request wall latency pooled across threads. `version`
+// picks the wire protocol (2 = keep-alive framed responses).
+PhaseResult RunPhase(int port, int threads, int per_thread, int version = 1) {
   std::vector<std::vector<std::uint64_t>> latencies(threads);
   std::vector<std::uint64_t> errors(threads, 0);
   std::vector<std::thread> workers;
   const Clock::time_point start = Clock::now();
   for (int t = 0; t < threads; ++t) {
-    workers.emplace_back([port, t, per_thread, &latencies, &errors] {
+    workers.emplace_back([port, t, per_thread, version, &latencies,
+                          &errors] {
       Client client(port);
       if (!client.ok()) {
         errors[t] = static_cast<std::uint64_t>(per_thread);
@@ -133,9 +178,10 @@ PhaseResult RunPhase(int port, int threads, int per_thread) {
       }
       latencies[t].reserve(static_cast<std::size_t>(per_thread));
       for (int i = 0; i < per_thread; ++i) {
-        const std::string request = kRequests[(t + i) % kNumRequests];
+        const char* base = kRequests[(t + i) % kNumRequests];
         const Clock::time_point begin = Clock::now();
-        const bool ok = client.RoundTrip(request);
+        const bool ok = version == 2 ? client.RoundTripV2(V2Request(base))
+                                     : client.RoundTrip(base);
         const Clock::time_point end = Clock::now();
         if (!ok) {
           ++errors[t];
@@ -173,13 +219,103 @@ PhaseResult RunPhase(int port, int threads, int per_thread) {
   return r;
 }
 
+// The heavy request for the head-of-line probe: a cold link-value
+// computation (~1s at small scale) on a seed-distinct roster, so it
+// shares no Session -- and under 2 executors no lane -- with the smalls.
+std::string HeavyRequest(std::uint64_t seed) {
+  return "{\"topology\":\"PLRG\",\"metrics\":[\"linkvalue\"],"
+         "\"scale\":\"small\",\"seed\":" +
+         std::to_string(seed) + "}";
+}
+
+// Picks the heavy request's seed so its SessionKey provably hashes to a
+// different lane than the smalls' at `lanes` executors. LaneForKey is
+// deterministic and exported for exactly this: a bench (or test) can
+// construct keys that collide or diverge on purpose.
+std::uint64_t PickHeavySeed(std::size_t lanes) {
+  // SessionKey prefix of kRequests[0]: scale small, default seed (0),
+  // as_nodes 300, no other overrides.
+  const std::size_t small_lane =
+      topogen::service::LaneForKey("small|0|300|0|0|", lanes);
+  for (std::uint64_t seed = 1;; ++seed) {
+    const std::string prefix = "small|" + std::to_string(seed) + "|0|0|0|";
+    if (topogen::service::LaneForKey(prefix, lanes) != small_lane) {
+      return seed;
+    }
+  }
+}
+
+// Head-of-line probe: admit the heavy request, give it a grace period to
+// start executing, then run timed small round trips on a second
+// connection. With one executor every small queues behind the ~1s heavy
+// job; with two, session affinity routes the heavy job to the other lane
+// and the smalls' p99 collapses by orders of magnitude. ns_per_op
+// reports the smalls' p99 -- the head-of-line latency the perf gate
+// diffs.
+PhaseResult RunMixedPhase(std::size_t executors, std::uint64_t heavy_seed,
+                          int small_count) {
+  PhaseResult r;
+  Server server(ServerOptions{.queue_limit = 1024, .executors = executors});
+  server.Start();
+  const int port = server.port();
+  {
+    Client primer(port);
+    if (!primer.ok() || !primer.RoundTrip(kRequests[0])) {
+      r.errors = 1;
+      return r;
+    }
+  }
+  Client heavy_client(port);
+  Client small_client(port);
+  if (!heavy_client.ok() || !small_client.ok() ||
+      !heavy_client.Send(HeavyRequest(heavy_seed))) {
+    r.errors = 1;
+    return r;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::vector<std::uint64_t> lat;
+  lat.reserve(static_cast<std::size_t>(small_count));
+  const Clock::time_point start = Clock::now();
+  for (int i = 0; i < small_count; ++i) {
+    const Clock::time_point begin = Clock::now();
+    if (!small_client.RoundTrip(kRequests[0])) {
+      ++r.errors;
+      continue;
+    }
+    lat.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             begin)
+            .count()));
+  }
+  r.wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+  if (!heavy_client.AwaitLine()) ++r.errors;
+  server.Stop();
+
+  std::sort(lat.begin(), lat.end());
+  r.requests = lat.size();
+  if (r.requests > 0 && r.wall_ns > 0) {
+    r.qps = static_cast<double>(r.requests) / (r.wall_ns / 1e9);
+  }
+  r.p50_ns = Percentile(lat, 0.50);
+  r.p90_ns = Percentile(lat, 0.90);
+  r.p99_ns = Percentile(lat, 0.99);
+  r.max_ns = lat.empty() ? 0.0 : static_cast<double>(lat.back());
+  r.ns_per_op = r.p99_ns;  // the head-of-line figure under the gate
+  return r;
+}
+
 // Converts a timed phase into the shared BENCH.json record shape
 // (bench/bench_json.h); the merge itself is shared with bench_scale.
 topogen::bench::JsonRecord ToJsonRecord(const std::string& name, int threads,
-                                        const PhaseResult& p) {
+                                        const PhaseResult& p,
+                                        const char* kernel = "service_request") {
   topogen::bench::JsonRecord rec;
   rec.name = name;
-  rec.kernel = "service_request";
+  rec.kernel = kernel;
   rec.family = "service";
   rec.n = static_cast<std::int64_t>(p.requests);
   rec.threads = threads;
@@ -245,6 +381,28 @@ int main(int argc, char** argv) {
         phase.qps, phase.p50_ns, phase.p90_ns, phase.p99_ns);
     records.push_back(ToJsonRecord(name, threads, phase));
   }
+
+  // Same workload over the /2 keep-alive wire: every response arrives as
+  // streamed frames, so this measures the chunking overhead relative to
+  // the /1 single-line phases above (same sessions, already warm).
+  for (const int threads : {1, 8}) {
+    const std::string name =
+        "BM_ServiceRoundTripV2/threads:" + std::to_string(threads);
+    const PhaseResult phase = RunPhase(port, threads, per_thread,
+                                       /*version=*/2);
+    if (phase.errors > 0) {
+      std::fprintf(stderr, "bench_service: %llu transport errors at %d "
+                           "threads (/2)\n",
+                   static_cast<unsigned long long>(phase.errors), threads);
+      return 1;
+    }
+    std::printf(
+        "%-30s %8llu req  %10.0f qps  p50 %8.0fns  p90 %8.0fns  "
+        "p99 %8.0fns\n",
+        name.c_str(), static_cast<unsigned long long>(phase.requests),
+        phase.qps, phase.p50_ns, phase.p90_ns, phase.p99_ns);
+    records.push_back(ToJsonRecord(name, threads, phase, "service_request_v2"));
+  }
   server.Stop();
 
   const topogen::service::ServerStats stats = server.stats();
@@ -252,6 +410,38 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.responses),
               static_cast<unsigned long long>(stats.deduped),
               static_cast<unsigned long long>(stats.rejected_queue_full));
+
+  // Head-of-line probe: one ~1s request in flight, small requests timed
+  // behind it. The heavy request's seed is chosen so that at 2 executors
+  // it provably lands on the other lane.
+  const std::uint64_t heavy_seed = PickHeavySeed(2);
+  double mixed_p99[2] = {0, 0};
+  for (const std::size_t executors : {std::size_t{1}, std::size_t{2}}) {
+    const std::string name =
+        "BM_ServiceMixedLoad/executors:" + std::to_string(executors);
+    const PhaseResult phase = RunMixedPhase(executors, heavy_seed,
+                                            /*small_count=*/32);
+    if (phase.errors > 0) {
+      std::fprintf(stderr,
+                   "bench_service: %llu errors in mixed phase (%zu "
+                   "executors)\n",
+                   static_cast<unsigned long long>(phase.errors), executors);
+      return 1;
+    }
+    std::printf(
+        "%-30s %8llu req  %10.0f qps  p50 %8.0fns  p90 %8.0fns  "
+        "p99 %8.0fns\n",
+        name.c_str(), static_cast<unsigned long long>(phase.requests),
+        phase.qps, phase.p50_ns, phase.p90_ns, phase.p99_ns);
+    mixed_p99[executors - 1] = phase.p99_ns;
+    records.push_back(ToJsonRecord(name, static_cast<int>(executors), phase,
+                                   "service_mixed"));
+  }
+  if (mixed_p99[0] > 0) {
+    std::printf("mixed-load small-request p99: %.0fns (1 executor) -> %.0fns "
+                "(2 executors), %.1fx\n",
+                mixed_p99[0], mixed_p99[1], mixed_p99[0] / mixed_p99[1]);
+  }
 
   const std::string out = topogen::bench::BenchJsonPath();
   if (!topogen::bench::MergeIntoBenchJson(out, records)) {

@@ -11,6 +11,7 @@
 
 #include "core/roster.h"
 #include "graph/bfs.h"
+#include "graph/bfs_scratch.h"
 #include "policy/paths.h"
 #include "policy/policy_ball.h"
 
@@ -36,11 +37,13 @@ int main(int argc, char** argv) {
   std::printf("relationships: %zu provider-customer, %zu peer-peer\n", pc,
               peer);
 
-  // Path inflation over a sample of sources.
+  // Path inflation over a sample of sources. One pooled BFS workspace
+  // serves every sweep (graph/bfs.h); dist() reads back per node.
   double plain_sum = 0, policy_sum = 0;
   std::size_t pairs = 0, unreachable = 0;
+  graph::BfsScratchLease scratch = graph::AcquireBfsScratch();
   for (graph::NodeId src = 0; src < g.num_nodes(); src += 29) {
-    const auto dp = graph::BfsDistances(g, src);
+    graph::BfsDistancesInto(g, src, *scratch);
     const auto dq = policy::PolicyDistances(g, as.relationship, src);
     for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
       if (v == src) continue;
@@ -48,7 +51,7 @@ int main(int argc, char** argv) {
         ++unreachable;
         continue;
       }
-      plain_sum += dp[v];
+      plain_sum += scratch->dist(v);
       policy_sum += dq[v];
       ++pairs;
     }
@@ -72,9 +75,9 @@ int main(int argc, char** argv) {
               g.degree(center));
   std::printf("  radius   plain-ball   policy-ball\n");
   for (graph::Dist r = 1; r <= 4; ++r) {
-    const auto plain = graph::Ball(g, center, r);
+    graph::BallInto(g, center, r, *scratch);
     const auto pol = policy::GrowPolicyBall(g, as.relationship, center, r);
-    std::printf("  %6u   %10zu   %11u\n", r, plain.size(),
+    std::printf("  %6u   %10zu   %11u\n", r, scratch->order().size(),
                 pol.subgraph.graph.num_nodes());
   }
   std::printf("\nThe policy ball is never larger: valley-free routing only "

@@ -1,0 +1,58 @@
+#include "core/session_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace topogen::core {
+
+SessionPool::SessionPool(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+Session& SessionPool::Acquire(const std::string& key,
+                              const Factory& factory) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->key == key) {
+        entries_.splice(entries_.begin(), entries_, it);
+        return *entries_.front().session;
+      }
+    }
+  }
+  // Build outside the lock: Session construction reads the environment
+  // and may touch the filesystem, and stats readers must not block on it.
+  std::unique_ptr<Session> session = factory();
+  std::unique_ptr<Session> evicted;  // destroyed outside the lock too
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.push_front({key, std::move(session)});
+    if (entries_.size() > capacity_) {
+      evicted = std::move(entries_.back().session);
+      entries_.pop_back();
+    }
+    return *entries_.front().session;
+  }
+}
+
+CacheStats SessionPool::AggregateStats() const {
+  CacheStats total;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& entry : entries_) {
+    const CacheStats& s = entry.session->cache_stats();
+    total.topology_hits += s.topology_hits;
+    total.topology_misses += s.topology_misses;
+    total.metrics_hits += s.metrics_hits;
+    total.metrics_misses += s.metrics_misses;
+    total.linkvalue_hits += s.linkvalue_hits;
+    total.linkvalue_misses += s.linkvalue_misses;
+    total.journal_skips += s.journal_skips;
+  }
+  return total;
+}
+
+std::size_t SessionPool::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace topogen::core

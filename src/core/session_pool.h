@@ -1,0 +1,61 @@
+// An executor-affine handle over a set of resident core::Sessions.
+//
+// topogend keeps one Session per roster configuration (scale/seed/size
+// overrides), LRU-capped. PR 7 open-coded that list inside the server;
+// with an executor *pool* (docs/SERVICE.md) each executor lane owns its
+// own SessionPool, so Session calls stay single-threaded by construction
+// -- session affinity hashes a roster configuration to one lane, and only
+// that lane ever acquires its key.
+//
+// Thread contract: Acquire() is called by exactly one thread (the owning
+// executor). AggregateStats()/size() may be called from any thread; the
+// internal mutex guards the map shape only, never the Session calls.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/session.h"
+
+namespace topogen::core {
+
+class SessionPool {
+ public:
+  // `capacity` = distinct roster configurations kept resident; the
+  // least-recently-used Session beyond it is destroyed on insert.
+  // Capacity 0 is clamped to 1 (an empty pool could serve nothing).
+  explicit SessionPool(std::size_t capacity);
+
+  SessionPool(const SessionPool&) = delete;
+  SessionPool& operator=(const SessionPool&) = delete;
+
+  using Factory = std::function<std::unique_ptr<Session>()>;
+
+  // The Session for `key`, created via `factory` on miss. The reference
+  // stays valid until a later Acquire evicts it, so the owning executor
+  // must finish with one Session before acquiring the next -- the same
+  // single-threaded contract core::Session itself carries.
+  Session& Acquire(const std::string& key, const Factory& factory);
+
+  // Cache-effectiveness counters summed over every resident Session.
+  // Meaningful when the owning executor is quiescent.
+  CacheStats AggregateStats() const;
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::unique_ptr<Session> session;
+  };
+
+  mutable std::mutex mutex_;  // guards the list shape, not Session calls
+  std::size_t capacity_;
+  std::list<Entry> entries_;  // front = most recently used
+};
+
+}  // namespace topogen::core

@@ -284,44 +284,6 @@ void BuildShortestPathDagInto(const Graph& g, NodeId src,
                            /*with_sigma=*/true);
 }
 
-std::vector<Dist> BfsDistances(const Graph& g, NodeId src, Dist max_depth) {
-  BfsScratchLease scratch = AcquireBfsScratch();
-  BfsDistancesInto(g, src, *scratch, max_depth);
-  std::vector<Dist> dist(g.num_nodes(), kUnreachable);
-  for (const NodeId v : scratch->order()) dist[v] = scratch->dist(v);
-  return dist;
-}
-
-std::vector<NodeId> Ball(const Graph& g, NodeId center, Dist radius) {
-  BfsScratchLease scratch = AcquireBfsScratch();
-  BallInto(g, center, radius, *scratch);
-  const std::span<const NodeId> order = scratch->order();
-  return {order.begin(), order.end()};
-}
-
-std::vector<std::size_t> ReachableCounts(const Graph& g, NodeId src,
-                                         Dist max_depth) {
-  BfsScratchLease scratch = AcquireBfsScratch();
-  std::vector<std::size_t> counts;
-  ReachableCountsInto(g, src, *scratch, counts, max_depth);
-  return counts;
-}
-
-ShortestPathDag BuildShortestPathDag(const Graph& g, NodeId src) {
-  BfsScratchLease scratch = AcquireBfsScratch();
-  BuildShortestPathDagInto(g, src, *scratch);
-  ShortestPathDag dag;
-  dag.dist.assign(g.num_nodes(), kUnreachable);
-  dag.sigma.assign(g.num_nodes(), 0.0);
-  const std::span<const NodeId> order = scratch->order();
-  dag.order.assign(order.begin(), order.end());
-  for (const NodeId v : order) {
-    dag.dist[v] = scratch->dist(v);
-    dag.sigma[v] = scratch->sigma(v);
-  }
-  return dag;
-}
-
 Dist Eccentricity(const Graph& g, NodeId src) {
   BfsScratchLease scratch = AcquireBfsScratch();
   BfsDistancesInto(g, src, *scratch);

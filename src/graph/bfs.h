@@ -6,19 +6,21 @@
 // and shortest-path counting (the sigma values used by the hierarchy
 // analysis in Section 5).
 //
-// Two API layers (docs/PERFORMANCE.md):
+// One API shape (docs/PERFORMANCE.md): in-place kernels (*Into) run on a
+// pooled, epoch-stamped BfsScratch workspace and allocate nothing in
+// steady state. Callers lease a workspace with AcquireBfsScratch() and
+// read results through the scratch accessors (dist/order/level_counts/
+// sigma); a loop over sources reuses one lease across every sweep.
+// Distance-only sweeps are direction-optimizing: the frontier step flips
+// between top-down edge expansion and bottom-up parent search on dense
+// levels, with a crossover decided purely by frontier/unexplored edge
+// counts so results stay bit-identical at every TOPOGEN_THREADS.
 //
-//   * In-place kernels (*Into) run on a pooled, epoch-stamped BfsScratch
-//     workspace and allocate nothing in steady state. Hot metric loops
-//     (thousands of sweeps per graph) use these. Distance-only sweeps are
-//     direction-optimizing: the frontier step flips between top-down edge
-//     expansion and bottom-up parent search on dense levels, with a
-//     crossover decided purely by frontier/unexplored edge counts so
-//     results stay bit-identical at every TOPOGEN_THREADS.
-//   * The original value-returning functions below are thin wrappers that
-//     lease a workspace and materialize the result; their outputs are
-//     unchanged down to the byte (including Ball()'s discovery order and
-//     the DAG's sigma roundings, which feed figure outputs).
+// The historical value-returning wrappers (BfsDistances, Ball,
+// ReachableCounts, BuildShortestPathDag) are gone: they leased a
+// workspace AND allocated a fresh result vector per call, and every
+// production loop had already migrated to the kernels. Tests that want
+// materialized vectors build them locally (tests/bfs_testutil.h).
 #pragma once
 
 #include <cstdint>
@@ -72,47 +74,6 @@ void ReachableCountsInto(const Graph& g, NodeId src, BfsScratch& scratch,
 // contract, so this kernel never runs bottom-up).
 void BuildShortestPathDagInto(const Graph& g, NodeId src,
                               BfsScratch& scratch);
-
-// --- value-returning wrappers over the kernels above ---
-//
-// Deprecated for hot paths: each call leases a workspace AND allocates a
-// fresh result vector, so a loop over sources pays an allocation per
-// sweep that the *Into kernels amortize away. Production metric loops
-// use the kernels with an AcquireBfsScratch lease; these wrappers remain
-// for one-shot queries, tests, and examples, where clarity beats the
-// allocation (and their outputs stay byte-identical to the kernels).
-
-// Hop distances from src to every node; kUnreachable where disconnected.
-// If max_depth is given, nodes farther than max_depth are left unreachable.
-// Deprecated in loops: use BfsDistancesInto.
-std::vector<Dist> BfsDistances(const Graph& g, NodeId src,
-                               Dist max_depth = kUnreachable);
-
-// Nodes whose hop distance from center is <= radius, in BFS (distance)
-// order; center itself is first. This is the paper's "ball of radius h".
-// Deprecated in loops: use BallInto.
-std::vector<NodeId> Ball(const Graph& g, NodeId center, Dist radius);
-
-// Per-radius reachable-set sizes: result[h] = number of nodes within h hops
-// of src (result[0] == 1), up to max radius (graph eccentricity of src or
-// max_depth, whichever is smaller). Used by the expansion metric.
-// Deprecated in loops: use ReachableCountsInto.
-std::vector<std::size_t> ReachableCounts(const Graph& g, NodeId src,
-                                         Dist max_depth = kUnreachable);
-
-// Shortest-path DAG from a source: distances, number of shortest paths
-// sigma, and for every node the list of DAG predecessors (neighbors one hop
-// closer to the source). Sigma is tracked in double precision because path
-// counts overflow 64-bit integers on expander-like graphs.
-struct ShortestPathDag {
-  std::vector<Dist> dist;
-  std::vector<double> sigma;
-  // Nodes in non-decreasing distance order (BFS order), excluding
-  // unreachable nodes. Useful for forward/backward sweeps.
-  std::vector<NodeId> order;
-};
-
-ShortestPathDag BuildShortestPathDag(const Graph& g, NodeId src);
 
 // Eccentricity of src (max finite distance), or 0 for isolated nodes.
 // Requires the graph to be connected for a meaningful "diameter" reading.

@@ -110,6 +110,10 @@ Env::Env()
       service_port_(EnvIntOr("TOPOGEN_SERVICE_PORT", 7077, 65535)),
       service_queue_(
           EnvIntOr("TOPOGEN_SERVICE_QUEUE", 64, 1 << 16, /*min_value=*/1)),
+      service_executors_(
+          EnvIntOr("TOPOGEN_SERVICE_EXECUTORS", 2, 64, /*min_value=*/1)),
+      service_max_sessions_(
+          EnvIntOr("TOPOGEN_SERVICE_MAX_SESSIONS", 4, 1024, /*min_value=*/1)),
       hist_(Truthy(EnvOr("TOPOGEN_HIST", ""))) {
   Epoch();  // pin the trace epoch no later than first configuration use
 }
@@ -135,6 +139,10 @@ std::span<const EnvVarInfo> Env::RegisteredVars() {
       {"TOPOGEN_SERVICE_PORT", "topogend TCP port; 0 = ephemeral (default 7077)"},
       {"TOPOGEN_SERVICE_QUEUE",
        "topogend admission-queue depth (default 64, minimum 1)"},
+      {"TOPOGEN_SERVICE_EXECUTORS",
+       "topogend executor lanes; session-affine (default 2, minimum 1)"},
+      {"TOPOGEN_SERVICE_MAX_SESSIONS",
+       "resident sessions per topogend executor lane (default 4)"},
   };
   return kVars;
 }

@@ -94,6 +94,15 @@ class Env {
   // falls back to the default like any other unusable value.
   int service_queue() const { return service_queue_; }
 
+  // TOPOGEN_SERVICE_EXECUTORS: topogend executor lanes. Requests hash to
+  // a lane by roster configuration (session affinity; docs/SERVICE.md).
+  // Minimum 1, default 2.
+  int service_executors() const { return service_executors_; }
+
+  // TOPOGEN_SERVICE_MAX_SESSIONS: resident roster configurations *per
+  // executor lane* before LRU eviction. Minimum 1, default 4.
+  int service_max_sessions() const { return service_max_sessions_; }
+
   // The full registry of TOPOGEN_* variables this build honors.
   static std::span<const EnvVarInfo> RegisteredVars();
 
@@ -119,6 +128,8 @@ class Env {
   int cache_max_mb_ = 0;
   int service_port_ = 0;
   int service_queue_ = 0;
+  int service_executors_ = 0;
+  int service_max_sessions_ = 0;
   bool hist_ = false;
 };
 

@@ -244,7 +244,19 @@ void Pool::Run(std::size_t num_chunks,
 
   Region r(fn, num_chunks, threads_);
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    if (impl_->region != nullptr) {
+      // Another external caller owns the worker fleet (topogend's executor
+      // lanes each drive their own regions). The pool holds exactly one
+      // region at a time, so the latecomer runs its chunks inline -- same
+      // chunk bodies, same order, and cancellation still observed because
+      // ParallelFor bakes the token check into each chunk body. The owning
+      // region's workers are untouched.
+      lock.unlock();
+      TOPOGEN_COUNT("parallel.busy_serial");
+      SerialRun(num_chunks, fn);
+      return;
+    }
     impl_->region = &r;
     ++impl_->generation;
   }

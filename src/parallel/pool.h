@@ -47,6 +47,13 @@ class Pool {
   // throw, the region still quiesces (remaining unclaimed chunks are
   // abandoned) and the first exception is rethrown on the caller.
   // Re-entrant calls (from inside a chunk) run inline and serially.
+  //
+  // Concurrent external callers are safe but not multiplexed: the pool
+  // holds one region at a time, and a caller that finds the workers busy
+  // (e.g. a second topogend executor lane) runs its own chunks inline --
+  // counted as `parallel.busy_serial`. Each caller thread keeps its own
+  // ambient CancelScope, so per-lane cancellation is unaffected by who
+  // wins the workers.
   void Run(std::size_t num_chunks, const std::function<void(std::size_t)>& fn);
 
   // True while the current thread is executing a chunk body; used to

@@ -56,6 +56,15 @@ ParseOutcome ParseRequest(std::string_view line) {
         out.error = "'id' must be a string";
         return out;
       }
+    } else if (key == "v") {
+      std::uint64_t v = 0;
+      if (!AsU64(value, v) || v == 0 ||
+          v > static_cast<std::uint64_t>(kProtocolVersionMax)) {
+        out.error = "'v' must be an integer in [1, " +
+                    std::to_string(kProtocolVersionMax) + "]";
+        return out;
+      }
+      req.version = static_cast<int>(v);
     } else if (key == "topology") {
       if (!value.is_string() || value.AsString().empty()) {
         out.error = "'topology' must be a non-empty string";
@@ -142,8 +151,8 @@ ParseOutcome ParseRequest(std::string_view line) {
   return out;
 }
 
-std::string StructuralKey(const Request& request,
-                          std::string_view default_scale) {
+std::string SessionKey(const Request& request,
+                       std::string_view default_scale) {
   std::string key;
   key += request.scale.empty() ? default_scale : std::string_view(request.scale);
   key += '|';
@@ -154,6 +163,12 @@ std::string StructuralKey(const Request& request,
   key += std::to_string(request.plrg_nodes);
   key += '|';
   key += std::to_string(request.degree_based_nodes);
+  return key;
+}
+
+std::string StructuralKey(const Request& request,
+                          std::string_view default_scale) {
+  std::string key = SessionKey(request, default_scale);
   key += '|';
   key += request.topology;
   key += request.use_policy ? "|policy|" : "|plain|";
@@ -166,6 +181,26 @@ std::string StructuralKey(const Request& request,
     key += ',';
   }
   return key;
+}
+
+std::size_t LaneForKey(std::string_view structural_key, std::size_t lanes) {
+  if (lanes <= 1) return 0;
+  // Hash only the SessionKey prefix (everything up to and excluding the
+  // fifth '|'), so requests against one roster configuration -- and
+  // therefore one Session -- always land on the same lane, whatever
+  // topology or metrics they ask for.
+  std::size_t end = 0;
+  int bars = 0;
+  while (end < structural_key.size()) {
+    if (structural_key[end] == '|' && ++bars == 5) break;
+    ++end;
+  }
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (std::size_t i = 0; i < end; ++i) {
+    h ^= static_cast<unsigned char>(structural_key[i]);
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h % lanes);
 }
 
 std::string ErrorResponse(std::string_view id, std::string_view code,
@@ -280,6 +315,42 @@ std::string ResponseBuilder::Finish() && {
   out += "},\"degraded\":[";
   out += degraded_;
   out += "]}";
+  return out;
+}
+
+std::string StreamChunkFrame(std::string_view id, std::uint64_t seq,
+                             std::string_view metric,
+                             const metrics::Series& series,
+                             std::size_t begin, std::size_t end) {
+  std::string out = "{\"v\":2,\"id\":\"";
+  out += obs::JsonEscape(id);
+  out += "\",\"seq\":";
+  out += std::to_string(seq);
+  out += ",\"more\":true,\"figure\":\"";
+  out += obs::JsonEscape(metric);
+  out += "\",\"name\":\"";
+  out += obs::JsonEscape(series.name);
+  out += "\",\"x\":[";
+  for (std::size_t i = begin; i < end; ++i) {
+    if (i > begin) out += ',';
+    out += obs::JsonNumber(series.x[i]);
+  }
+  out += "],\"y\":[";
+  for (std::size_t i = begin; i < end; ++i) {
+    if (i > begin) out += ',';
+    out += obs::JsonNumber(series.y[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string StreamFinalFrame(std::uint64_t seq, const std::string& line) {
+  // `line` is a complete /1 response object: splice the frame header in
+  // after its opening brace so the body stays byte-identical to /1.
+  std::string out = "{\"v\":2,\"seq\":";
+  out += std::to_string(seq);
+  out += ",\"more\":false,";
+  out.append(line, 1, std::string::npos);
   return out;
 }
 

@@ -1,14 +1,26 @@
 // topogend's wire protocol: newline-delimited JSON over TCP
 // (docs/SERVICE.md has the full grammar and examples).
 //
-// One request per line, one response line per request, multiplexed over a
-// single connection by the client-chosen `id`. Requests name a topology
-// from the roster, the metric set to evaluate, and the structural inputs
-// the cache keys hash (scale tier, seed, optional roster size overrides)
-// -- so a request resolves to exactly the artifact a batch bench run at
-// the same settings would produce. Parsing is strict: unknown keys,
-// unknown metrics, and out-of-range sizes are rejected with a typed error
-// response rather than guessed at.
+// Two protocol versions share the same request grammar, selected by the
+// optional `v` field on the first request of a connection (absent = 1):
+//
+//   /1  one request per line, one response line per request, multiplexed
+//       over a single connection by the client-chosen `id`.
+//   /2  keep-alive connections carrying many requests whose responses
+//       complete out of order across executor lanes; every response is a
+//       sequence of frames `{"v":2,"id":..,"seq":N,"more":bool,...}`.
+//       Inline figure series stream as chunk frames (more:true) split at
+//       a point budget; the final frame (more:false) carries the /1
+//       response body (status, metadata, signature, paths, degraded).
+//       Frames of *different* ids may interleave; frames of one id are
+//       emitted in consecutive seq order by a single executor.
+//
+// Requests name a topology from the roster, the metric set to evaluate,
+// and the structural inputs the cache keys hash (scale tier, seed,
+// optional roster size overrides) -- so a request resolves to exactly the
+// artifact a batch bench run at the same settings would produce. Parsing
+// is strict: unknown keys, unknown metrics, and out-of-range sizes are
+// rejected with a typed error response rather than guessed at.
 #pragma once
 
 #include <cstdint>
@@ -37,7 +49,18 @@ inline constexpr std::uint64_t kMaxRosterNodes = 200000;
 // responds with an error and closes the connection.
 inline constexpr std::size_t kMaxRequestBytes = 1 << 20;
 
+// Highest protocol version this build speaks; requests with a larger `v`
+// are rejected at parse time.
+inline constexpr int kProtocolVersionMax = 2;
+
+// Default /2 streaming granularity: inline figure series split into chunk
+// frames of at most this many points (ServerOptions::stream_chunk_points
+// overrides; tests shrink it to force multi-frame responses on tiny
+// series).
+inline constexpr std::size_t kDefaultStreamChunkPoints = 2048;
+
 struct Request {
+  int version = 1;                    // `v` field; 1 or 2
   std::string id;                     // echoed back; server-assigned if empty
   std::string topology;               // roster id ("PLRG", "AS", ...)
   std::vector<std::string> metrics;   // validated subset of kMetricNames
@@ -78,6 +101,21 @@ ParseOutcome ParseRequest(std::string_view line);
 // scale so "scale omitted" and "scale explicitly the default" collide.
 std::string StructuralKey(const Request& request,
                           std::string_view default_scale);
+
+// The roster-configuration prefix of StructuralKey --
+// `<scale>|<seed>|<as_nodes>|<plrg_nodes>|<degree_based_nodes>` -- which
+// is exactly the key the server's Session LRU resolves. Two requests with
+// equal SessionKeys share a core::Session even when their StructuralKeys
+// (topology/metrics/rendering) differ.
+std::string SessionKey(const Request& request,
+                       std::string_view default_scale);
+
+// Executor affinity: maps a StructuralKey to a lane in [0, lanes) by
+// hashing only its SessionKey prefix, so every request against one roster
+// configuration -- and therefore one Session -- lands on the same
+// executor. Deterministic across processes (FNV-1a, no seeding), which
+// lets benches and tests pick keys that provably collide or diverge.
+std::size_t LaneForKey(std::string_view structural_key, std::size_t lanes);
 
 // --- response serialization (one line, no trailing newline) ---
 
@@ -128,5 +166,23 @@ class ResponseBuilder {
   std::string figures_;   // accumulated figures object body
   std::string degraded_;  // accumulated degraded array body
 };
+
+// --- protocol /2 frame rendering ---
+
+// One chunk frame carrying points [begin, end) of an inline series:
+//   {"v":2,"id":..,"seq":N,"more":true,"figure":"<metric>",
+//    "name":..,"x":[..],"y":[..]}
+// Clients concatenate x/y per figure in seq order; `name` repeats on
+// every chunk so any one frame identifies its series.
+std::string StreamChunkFrame(std::string_view id, std::uint64_t seq,
+                             std::string_view metric,
+                             const metrics::Series& series,
+                             std::size_t begin, std::size_t end);
+
+// The closing frame of a /2 response: wraps an already-rendered /1
+// response line (success, degraded, or error) as
+//   {"v":2,"seq":N,"more":false,<body of line>}
+// so the /2 surface reuses the /1 serialization byte for byte.
+std::string StreamFinalFrame(std::uint64_t seq, const std::string& line);
 
 }  // namespace topogen::service

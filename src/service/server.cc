@@ -2,17 +2,18 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
-#include <list>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "core/scale.h"
+#include "core/session_pool.h"
 #include "fault/fault.h"
 #include "obs/obs.h"
 #include "parallel/cancel.h"
@@ -61,16 +63,31 @@ bool NeedsBasicMetrics(const Request& r) {
 
 }  // namespace
 
+ServerOptions ServerOptions::FromEnv() {
+  const obs::Env& env = obs::Env::Get();
+  ServerOptions o;
+  o.port = env.service_port();
+  o.queue_limit = static_cast<std::size_t>(env.service_queue());
+  o.executors = static_cast<std::size_t>(env.service_executors());
+  o.max_sessions = static_cast<std::size_t>(env.service_max_sessions());
+  return o;
+}
+
 struct Server::Impl {
   struct Connection {
     int fd = -1;
     std::mutex write_mutex;
     std::thread reader;
+    // Protocol version, fixed by the first parsed request (0 = not yet
+    // negotiated). Touched only by this connection's reader thread;
+    // waiters snapshot it at admission.
+    int version = 0;
   };
 
   struct Waiter {
     std::shared_ptr<Connection> conn;
     std::string id;
+    int version = 1;
     Clock::time_point admitted;
     Clock::time_point deadline{};
     bool has_deadline = false;
@@ -79,10 +96,23 @@ struct Server::Impl {
   struct Job {
     Request request;  // the first-admitted request; equals all waiters'
     std::string key;
+    std::size_t lane = 0;
     std::vector<Waiter> waiters;
   };
 
-  explicit Impl(ServerOptions opts) : options(std::move(opts)) {}
+  explicit Impl(ServerOptions opts) : options(std::move(opts)) {
+    options.executors = std::max<std::size_t>(options.executors, 1);
+    if (options.stream_chunk_points == 0) {
+      options.stream_chunk_points = kDefaultStreamChunkPoints;
+    }
+    queues.resize(options.executors);
+    lane_jobs.assign(options.executors, 0);
+    session_pools.reserve(options.executors);
+    for (std::size_t i = 0; i < options.executors; ++i) {
+      session_pools.push_back(
+          std::make_unique<core::SessionPool>(options.max_sessions));
+    }
+  }
 
   ServerOptions options;
   std::string default_scale;
@@ -92,7 +122,13 @@ struct Server::Impl {
 
   mutable std::mutex mutex;
   std::condition_variable cv;
-  std::deque<std::shared_ptr<Job>> queue;
+  // One FIFO per executor lane, filled by LaneForKey affinity; the
+  // admission budget (options.queue_limit) is shared across lanes via
+  // queued_total. inflight spans all lanes -- affinity sends equal keys
+  // to one lane, so dedup attach still finds its job.
+  std::vector<std::deque<std::shared_ptr<Job>>> queues;
+  std::size_t queued_total = 0;
+  std::vector<std::uint64_t> lane_jobs;  // executed jobs per lane
   std::unordered_map<std::string, std::shared_ptr<Job>> inflight;
   ServerStats stat;
   bool paused = false;
@@ -101,20 +137,22 @@ struct Server::Impl {
   std::uint64_t next_request_id = 0;
 
   std::thread acceptor;
-  std::thread executor;
+  std::vector<std::thread> executors;
 
   std::mutex conn_mutex;
   std::vector<std::shared_ptr<Connection>> connections;
 
-  // Executor-owned Sessions, one per roster configuration, LRU-capped.
-  // sessions_mutex only guards the map shape (lookup/insert/evict), not
-  // the Session calls themselves -- those stay on the executor thread.
-  mutable std::mutex sessions_mutex;
-  struct SessionEntry {
-    std::string key;
-    std::unique_ptr<core::Session> session;
-  };
-  std::list<SessionEntry> sessions;  // front = most recently used
+  // One SessionPool per lane: affinity guarantees a lane's pool is only
+  // ever Acquired by its own executor thread.
+  std::vector<std::unique_ptr<core::SessionPool>> session_pools;
+
+  // Caller must hold `mutex`. Mirrors a lane's queue depth into its
+  // gauge so operators can see a hot lane backing up.
+  void RecordQueueDepth(std::size_t lane) {
+    if (!obs::AnyEnabled()) return;
+    obs::Stats::GetGauge("service.queue_depth.e" + std::to_string(lane))
+        .Set(static_cast<std::int64_t>(queues[lane].size()));
+  }
 
   // --- response plumbing ---
 
@@ -135,21 +173,34 @@ struct Server::Impl {
     return true;
   }
 
-  void SendError(const std::shared_ptr<Connection>& conn, std::string_view id,
-                 std::string_view code, std::string_view message) {
+  // Renders an error for the given protocol version: /1 clients get the
+  // bare error line, /2 clients a single more:false frame wrapping it.
+  std::string RenderError(int version, std::string_view id,
+                          std::string_view code, std::string_view message) {
+    std::string line = ErrorResponse(id, code, message);
+    if (version >= 2) line = StreamFinalFrame(0, line);
+    return line;
+  }
+
+  void SendError(const std::shared_ptr<Connection>& conn, int version,
+                 std::string_view id, std::string_view code,
+                 std::string_view message) {
     obs::Event("request")
         .Str("op", "error")
         .Str("id", id)
         .Str("code", code)
         .Str("message", message);
-    SendLine(conn, ErrorResponse(id, code, message));
+    SendLine(conn, RenderError(version, id, code, message));
   }
 
-  // Respond to one waiter through the svc.respond seam. A fired throw
-  // kind drops the response (the client sees a closed/stalled request); a
-  // fired abort crashes the daemon mid-request with artifacts flushed,
-  // which is what the crash-audit test replays.
-  void Respond(const Waiter& waiter, const std::string& line,
+  // Respond to one waiter through the svc.respond seam: every frame of
+  // one response in order, stopping at the first failed write (a client
+  // that disconnected mid-stream costs the lane nothing but the remaining
+  // sends' early returns). A fired throw kind drops the whole response
+  // (the client sees a closed/stalled request); a fired abort crashes the
+  // daemon mid-request with artifacts flushed, which is what the
+  // crash-audit test replays.
+  void Respond(const Waiter& waiter, const std::vector<std::string>& frames,
                std::string_view status, Clock::time_point started) {
     bool sent = false;
     try {
@@ -161,7 +212,13 @@ struct Server::Impl {
         // Site-interpreted kinds other than abort have no write to
         // pervert here; treat them as a failed send.
       } else {
-        sent = SendLine(waiter.conn, line);
+        sent = true;
+        for (const std::string& frame : frames) {
+          if (!SendLine(waiter.conn, frame)) {
+            sent = false;
+            break;
+          }
+        }
       }
     } catch (const fault::InjectedFault&) {
       sent = false;
@@ -186,19 +243,19 @@ struct Server::Impl {
   void Admit(const std::shared_ptr<Connection>& conn, Request&& request) {
     const Clock::time_point now = Clock::now();
     if (!KnownTopology(request.topology)) {
-      SendError(conn, request.id, "invalid_argument",
+      SendError(conn, request.version, request.id, "invalid_argument",
                 "unknown topology '" + request.topology + "'");
       return;
     }
     if (!request.inline_figures && !obs::Env::Get().cache_enabled()) {
-      SendError(conn, request.id, "invalid_argument",
+      SendError(conn, request.version, request.id, "invalid_argument",
                 "figures by path require TOPOGEN_CACHE_DIR on the server");
       return;
     }
     if (request.use_policy &&
         (request.topology != "AS" && request.topology != "RL" &&
          request.topology != "RL.core")) {
-      SendError(conn, request.id, "invalid_argument",
+      SendError(conn, request.version, request.id, "invalid_argument",
                 "use_policy requires a policy-annotated topology "
                 "(AS, RL, RL.core)");
       return;
@@ -206,12 +263,14 @@ struct Server::Impl {
 
     Waiter waiter;
     waiter.conn = conn;
+    waiter.version = request.version;
     waiter.admitted = now;
     if (request.deadline_ms > 0) {
       waiter.has_deadline = true;
       waiter.deadline = now + std::chrono::milliseconds(request.deadline_ms);
     }
     const std::string key = StructuralKey(request, default_scale);
+    const std::size_t lane = LaneForKey(key, options.executors);
 
     enum class Verdict { kAdmitted, kDraining, kQueueFull };
     Verdict verdict = Verdict::kAdmitted;
@@ -229,26 +288,29 @@ struct Server::Impl {
         ++stat.admitted;
         ++stat.deduped;
         deduped = true;
-      } else if (queue.size() >= options.queue_limit) {
+      } else if (queued_total >= options.queue_limit) {
         ++stat.rejected_queue_full;
         verdict = Verdict::kQueueFull;
       } else {
         auto job = std::make_shared<Job>();
         job->key = key;
+        job->lane = lane;
         job->request = std::move(request);
         job->waiters.push_back(waiter);
         inflight.emplace(job->key, job);
-        queue.push_back(std::move(job));
+        queues[lane].push_back(std::move(job));
+        ++queued_total;
+        RecordQueueDepth(lane);
         ++stat.admitted;
       }
     }
     if (verdict == Verdict::kDraining) {
-      SendError(conn, waiter.id, "draining",
+      SendError(conn, waiter.version, waiter.id, "draining",
                 "server is shutting down; request not admitted");
       return;
     }
     if (verdict == Verdict::kQueueFull) {
-      SendError(conn, waiter.id, "queue_full",
+      SendError(conn, waiter.version, waiter.id, "queue_full",
                 "admission queue is full (" +
                     std::to_string(options.queue_limit) + " requests)");
       return;
@@ -259,56 +321,40 @@ struct Server::Impl {
         .Str("op", "admit")
         .Str("id", waiter.id)
         .Str("key", key)
+        .U64("lane", static_cast<std::uint64_t>(lane))
         .Str("dedup", deduped ? "1" : "0");
     cv.notify_all();
   }
 
-  // --- execution (the executor thread) ---
+  // --- execution (executor threads) ---
 
-  core::Session& SessionFor(const Request& request) {
-    const std::string_view scale =
-        request.scale.empty() ? std::string_view(default_scale)
-                              : std::string_view(request.scale);
-    std::string key(scale);
-    key += '|';
-    key += std::to_string(request.seed);
-    key += '|';
-    key += std::to_string(request.as_nodes);
-    key += '|';
-    key += std::to_string(request.plrg_nodes);
-    key += '|';
-    key += std::to_string(request.degree_based_nodes);
-
-    std::lock_guard<std::mutex> lock(sessions_mutex);
-    for (auto it = sessions.begin(); it != sessions.end(); ++it) {
-      if (it->key == key) {
-        sessions.splice(sessions.begin(), sessions, it);
-        return *sessions.front().session;
+  core::Session& SessionFor(const Request& request, std::size_t lane) {
+    const std::string key = service::SessionKey(request, default_scale);
+    return session_pools[lane]->Acquire(key, [&]() {
+      const std::string_view scale =
+          request.scale.empty() ? std::string_view(default_scale)
+                                : std::string_view(request.scale);
+      core::SessionOptions so = core::ScaledSessionOptions(scale);
+      // The daemon serves many configurations from one process; per-run
+      // journals would fight over one file, so resume stays a batch-mode
+      // feature (docs/SERVICE.md).
+      so.journal_path.clear();
+      if (request.seed != 0) so.roster.seed = request.seed;
+      if (request.as_nodes != 0) {
+        so.roster.as_nodes = static_cast<graph::NodeId>(request.as_nodes);
       }
-    }
-    core::SessionOptions so = core::ScaledSessionOptions(scale);
-    // The daemon serves many configurations from one process; per-run
-    // journals would fight over one file, so resume stays a batch-mode
-    // feature (docs/SERVICE.md).
-    so.journal_path.clear();
-    if (request.seed != 0) so.roster.seed = request.seed;
-    if (request.as_nodes != 0) {
-      so.roster.as_nodes = static_cast<graph::NodeId>(request.as_nodes);
-    }
-    if (request.plrg_nodes != 0) {
-      so.roster.plrg_nodes = static_cast<graph::NodeId>(request.plrg_nodes);
-    }
-    if (request.degree_based_nodes != 0) {
-      so.roster.degree_based_nodes =
-          static_cast<graph::NodeId>(request.degree_based_nodes);
-    }
-    sessions.push_front(
-        {std::move(key), std::make_unique<core::Session>(so)});
-    while (sessions.size() > options.max_sessions) sessions.pop_back();
-    return *sessions.front().session;
+      if (request.plrg_nodes != 0) {
+        so.roster.plrg_nodes = static_cast<graph::NodeId>(request.plrg_nodes);
+      }
+      if (request.degree_based_nodes != 0) {
+        so.roster.degree_based_nodes =
+            static_cast<graph::NodeId>(request.degree_based_nodes);
+      }
+      return std::make_unique<core::Session>(so);
+    });
   }
 
-  void ExecuteJob(const std::shared_ptr<Job>& job) {
+  void ExecuteJob(const std::shared_ptr<Job>& job, std::size_t lane) {
     const Clock::time_point started = Clock::now();
 
     // Expired-in-queue waiters degrade without costing any computation.
@@ -348,7 +394,9 @@ struct Server::Impl {
         std::lock_guard<std::mutex> lock(mutex);
         ++stat.completed;
       }
-      Respond(w, std::move(rb).Finish(), "degraded", started);
+      std::string line = std::move(rb).Finish();
+      if (w.version >= 2) line = StreamFinalFrame(0, line);
+      Respond(w, {std::move(line)}, "degraded", started);
     }
     if (!compute) return;
 
@@ -370,7 +418,7 @@ struct Server::Impl {
     std::string internal_error;
     core::Session* session = nullptr;
     try {
-      session = &SessionFor(req);
+      session = &SessionFor(req, lane);
       const std::size_t degraded_before = session->degraded().size();
       const core::CacheStats before = session->cache_stats();
       {
@@ -416,11 +464,36 @@ struct Server::Impl {
             .Str("id", w.id)
             .Str("code", "internal")
             .Str("message", internal_error);
-        SendLine(w.conn, ErrorResponse(w.id, "internal", internal_error));
+        SendLine(w.conn,
+                 RenderError(w.version, w.id, "internal", internal_error));
         std::lock_guard<std::mutex> lock(mutex);
         ++stat.responses;
         continue;
       }
+      // /2 responses stream each requested inline series as chunk frames
+      // ahead of the final frame; everything else (paths, signature,
+      // metadata, degraded) rides in the final frame, whose body is the
+      // /1 serialization minus the streamed series. /1 responses are the
+      // single line PR 7 shipped, byte for byte.
+      std::vector<std::string> frames;
+      std::uint64_t seq = 0;
+      const bool stream = w.version >= 2;
+      auto add_series = [&](ResponseBuilder& rb, std::string_view metric,
+                            const metrics::Series& series) {
+        if (!stream) {
+          rb.AddFigure(metric, series);
+          return;
+        }
+        const std::size_t n = series.x.size();
+        std::size_t begin = 0;
+        do {
+          const std::size_t end =
+              std::min(n, begin + options.stream_chunk_points);
+          frames.push_back(
+              StreamChunkFrame(w.id, seq++, metric, series, begin, end));
+          begin = end;
+        } while (begin < n);
+      };
       ResponseBuilder rb(w.id);
       rb.AddString("topology", req.topology);
       rb.AddString("key", job->key);
@@ -429,12 +502,14 @@ struct Server::Impl {
       rb.AddU64("elapsed_us", ElapsedNs(started, Clock::now()) / 1000);
       if (basic != nullptr) {
         if (req.inline_figures) {
-          if (req.wants("expansion")) rb.AddFigure("expansion", basic->expansion);
+          if (req.wants("expansion")) {
+            add_series(rb, "expansion", basic->expansion);
+          }
           if (req.wants("resilience")) {
-            rb.AddFigure("resilience", basic->resilience);
+            add_series(rb, "resilience", basic->resilience);
           }
           if (req.wants("distortion")) {
-            rb.AddFigure("distortion", basic->distortion);
+            add_series(rb, "distortion", basic->distortion);
           }
         } else {
           const std::string path =
@@ -449,7 +524,7 @@ struct Server::Impl {
       }
       if (linkvalue != nullptr) {
         if (req.inline_figures) {
-          rb.AddFigure("linkvalue", linkvalue->RankDistribution());
+          add_series(rb, "linkvalue", linkvalue->RankDistribution());
         } else {
           rb.AddFigurePath("linkvalue", session->LinkValueArtifactPath(
                                             req.topology, req.use_policy));
@@ -457,24 +532,33 @@ struct Server::Impl {
       }
       for (const DegradedEntry& d : degraded) rb.AddDegraded(d);
       const std::string_view status = degraded.empty() ? "ok" : "degraded";
-      Respond(w, std::move(rb).Finish(), status, started);
+      std::string line = std::move(rb).Finish();
+      if (stream) line = StreamFinalFrame(seq, line);
+      frames.push_back(std::move(line));
+      Respond(w, frames, status, started);
     }
   }
 
-  void ExecutorLoop() {
+  void ExecutorLoop(std::size_t lane) {
     for (;;) {
       std::shared_ptr<Job> job;
       {
         std::unique_lock<std::mutex> lock(mutex);
         cv.wait(lock, [&] {
-          return stopping || (!paused && !queue.empty());
+          return stopping || (!paused && !queues[lane].empty());
         });
-        if (queue.empty() && stopping) return;
-        if (queue.empty()) continue;
-        job = queue.front();
-        queue.pop_front();
+        if (queues[lane].empty() && stopping) return;
+        if (queues[lane].empty()) continue;
+        job = queues[lane].front();
+        queues[lane].pop_front();
+        --queued_total;
+        ++lane_jobs[lane];
+        RecordQueueDepth(lane);
       }
-      ExecuteJob(job);
+      const Clock::time_point begin = Clock::now();
+      ExecuteJob(job, lane);
+      TOPOGEN_HIST_NS("service.executor_ns",
+                      ElapsedNs(begin, Clock::now()));
     }
   }
 
@@ -497,7 +581,7 @@ struct Server::Impl {
       }
       buffer.erase(0, start);
       if (buffer.size() > kMaxRequestBytes) {
-        SendError(conn, "", "invalid_argument",
+        SendError(conn, std::max(conn->version, 1), "", "invalid_argument",
                   "request line exceeds " + std::to_string(kMaxRequestBytes) +
                       " bytes; closing");
         break;
@@ -526,8 +610,23 @@ struct Server::Impl {
         std::lock_guard<std::mutex> lock(mutex);
         ++stat.parse_errors;
       }
-      SendError(conn, parsed.id, "invalid_argument",
+      // Unparseable lines answer at the connection's negotiated version
+      // (or /1 before any request succeeded -- a /1 client must never see
+      // a frame).
+      SendError(conn, std::max(conn->version, 1), parsed.id,
+                "invalid_argument",
                 parsed.error.empty() ? "unparseable request" : parsed.error);
+      return;
+    }
+    // The first well-formed request fixes the connection's protocol
+    // version; later requests must repeat it (or omit `v` on a /1
+    // connection). Only this reader thread touches conn->version.
+    if (conn->version == 0) {
+      conn->version = parsed.request->version;
+    } else if (parsed.request->version != conn->version) {
+      SendError(conn, conn->version, parsed.request->id, "invalid_argument",
+                "protocol version is fixed at /" +
+                    std::to_string(conn->version) + " for this connection");
       return;
     }
     Admit(conn, std::move(*parsed.request));
@@ -578,6 +677,11 @@ struct Server::Impl {
       const int fd =
           ::accept(listen_fd, reinterpret_cast<sockaddr*>(&peer), &peer_len);
       if (fd < 0) continue;
+      // /2 responses are several small writes (one per frame); without
+      // TCP_NODELAY, Nagle + delayed ACK turns every streamed response
+      // into a ~40ms stall on loopback.
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       try {
         char addr[64] = "?";
         ::inet_ntop(AF_INET, &peer.sin_addr, addr, sizeof(addr));
@@ -636,9 +740,14 @@ void Server::Start() {
 
   s.started = true;
   s.acceptor = std::thread([this] { impl_->AcceptorLoop(); });
-  s.executor = std::thread([this] { impl_->ExecutorLoop(); });
-  obs::Event("service").Str("op", "start").U64(
-      "port", static_cast<std::uint64_t>(s.bound_port));
+  s.executors.reserve(s.options.executors);
+  for (std::size_t lane = 0; lane < s.options.executors; ++lane) {
+    s.executors.emplace_back([this, lane] { impl_->ExecutorLoop(lane); });
+  }
+  obs::Event("service")
+      .Str("op", "start")
+      .U64("port", static_cast<std::uint64_t>(s.bound_port))
+      .U64("executors", static_cast<std::uint64_t>(s.options.executors));
 }
 
 int Server::port() const { return impl_->bound_port; }
@@ -657,9 +766,11 @@ void Server::Stop() {
   }
   s.cv.notify_all();
   if (s.acceptor.joinable()) s.acceptor.join();
-  // The executor drains the queue before exiting, so every admitted
+  // Every executor drains its own queue before exiting, so every admitted
   // request is answered.
-  if (s.executor.joinable()) s.executor.join();
+  for (std::thread& executor : s.executors) {
+    if (executor.joinable()) executor.join();
+  }
   if (s.listen_fd >= 0) {
     ::close(s.listen_fd);
     s.listen_fd = -1;
@@ -686,9 +797,8 @@ ServerStats Server::stats() const {
 
 core::CacheStats Server::SessionCacheStats() const {
   core::CacheStats total;
-  std::lock_guard<std::mutex> lock(impl_->sessions_mutex);
-  for (const auto& entry : impl_->sessions) {
-    const core::CacheStats& s = entry.session->cache_stats();
+  for (const auto& pool : impl_->session_pools) {
+    const core::CacheStats s = pool->AggregateStats();
     total.topology_hits += s.topology_hits;
     total.topology_misses += s.topology_misses;
     total.metrics_hits += s.metrics_hits;
@@ -702,7 +812,20 @@ core::CacheStats Server::SessionCacheStats() const {
 
 std::size_t Server::QueueDepthForTesting() const {
   std::lock_guard<std::mutex> lock(impl_->mutex);
-  return impl_->queue.size();
+  return impl_->queued_total;
+}
+
+std::vector<std::size_t> Server::ExecutorQueueDepthsForTesting() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<std::size_t> depths;
+  depths.reserve(impl_->queues.size());
+  for (const auto& q : impl_->queues) depths.push_back(q.size());
+  return depths;
+}
+
+std::vector<std::uint64_t> Server::ExecutorJobCountsForTesting() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->lane_jobs;
 }
 
 std::size_t Server::LiveConnectionCountForTesting() const {

@@ -2,27 +2,40 @@
 // (docs/SERVICE.md).
 //
 // Threading model. One *acceptor* thread owns the listening socket; one
-// *reader* thread per connection frames newline-delimited requests; one
-// *executor* thread owns every core::Session and runs jobs one at a time
-// (a Session is single-threaded by contract -- parallelism lives inside
-// the metric kernels, which fan out on the work-stealing pool). Requests
-// are admitted into a bounded FIFO queue; identical concurrent requests
-// -- equal StructuralKey -- attach to the already-queued (or running) job
-// as extra waiters and share its one computation and one Session cache
-// lookup.
+// *reader* thread per connection frames newline-delimited requests; a
+// small pool of *executor* threads runs jobs, one job at a time per lane.
+// Requests hash to a lane by the roster-configuration prefix of their
+// StructuralKey (session affinity), so each lane's core::SessionPool is
+// touched by exactly one thread -- a Session stays single-threaded by
+// contract while parallelism lives inside the metric kernels, which fan
+// out on the work-stealing pool (and fall back inline when another lane
+// holds it). Admission is a shared budget across the per-lane queues;
+// identical concurrent requests -- equal StructuralKey -- attach to the
+// already-queued (or running) job as extra waiters and share its one
+// computation and one Session cache lookup, which affinity keeps sound:
+// equal keys always resolve to the same lane.
+//
+// Wire protocol. /1 clients get one response line per request, byte
+// identical to the single-executor server. /2 clients (the `v` field on
+// the first request fixes a connection's version) get framed responses
+// -- inline figure series stream as `{"v":2,"id":..,"seq":..,
+// "more":true}` chunk frames, closed by a more:false frame -- and frames
+// of different ids may interleave as lanes finish out of order.
 //
 // Deadlines are cooperative: a request's wall-clock budget becomes a
 // parallel::CancelToken around the Session calls, checked at ParallelFor
 // chunk boundaries. A request that expires while still queued is answered
 // degraded without computing anything; one that expires mid-computation
 // has its kernels stop at the next chunk boundary and degrades through
-// the exit-75 taxonomy (code "cancelled").
+// the exit-75 taxonomy (code "cancelled"). Each executor thread scopes
+// its own token, so one lane's cancellation never leaks into another's.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/session.h"
 
@@ -32,19 +45,34 @@ struct ServerOptions {
   // TCP port to bind on 127.0.0.1; 0 = pick an ephemeral port (read it
   // back from port() after Start()).
   int port = 0;
-  // Admission-queue depth; requests beyond it get a queue_full error.
+  // Admission budget shared across every executor lane; requests beyond
+  // it get a queue_full error.
   std::size_t queue_limit = 64;
   // Distinct roster configurations (scale/seed/size overrides) kept
-  // resident; least-recently-used Sessions are evicted beyond this.
+  // resident *per executor*; least-recently-used Sessions are evicted
+  // beyond this.
   std::size_t max_sessions = 4;
-  // Test hook: the executor starts paused and runs nothing until
+  // Executor lanes. Requests hash to a lane by roster configuration
+  // (session affinity), so one long request head-of-line blocks only its
+  // own lane. Minimum 1.
+  std::size_t executors = 2;
+  // /2 streaming granularity: inline series split into chunk frames of at
+  // most this many points; 0 = kDefaultStreamChunkPoints. /1 responses
+  // are unaffected.
+  std::size_t stream_chunk_points = 0;
+  // Test hook: every executor starts paused and runs nothing until
   // ResumeExecutor() -- lets tests provably enqueue concurrent identical
   // requests before the first one executes.
   bool start_paused = false;
+
+  // The daemon configuration, resolved through the obs::Env registry in
+  // one place: TOPOGEN_SERVICE_PORT, TOPOGEN_SERVICE_QUEUE,
+  // TOPOGEN_SERVICE_EXECUTORS, TOPOGEN_SERVICE_MAX_SESSIONS.
+  static ServerOptions FromEnv();
 };
 
 // Monotonic counters, snapshot under the server lock. "admitted" counts
-// every request that entered the queue or attached to an in-flight job;
+// every request that entered a queue or attached to an in-flight job;
 // "deduped" is the subset that attached instead of enqueueing.
 struct ServerStats {
   std::uint64_t connections = 0;
@@ -65,28 +93,34 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  // Binds 127.0.0.1:<port>, then spawns the acceptor and executor.
-  // Throws std::runtime_error when the socket cannot be bound.
+  // Binds 127.0.0.1:<port>, then spawns the acceptor and the executor
+  // pool. Throws std::runtime_error when the socket cannot be bound.
   void Start();
 
   // The bound port (resolves option port 0 to the ephemeral pick).
   int port() const;
 
   // Graceful shutdown: stop accepting, answer everything already queued
-  // (draining), then join all threads. Idempotent.
+  // on every lane (draining), then join all threads. Idempotent.
   void Stop();
 
   ServerStats stats() const;
 
-  // Cache-effectiveness counters summed over every resident Session.
-  // Meaningful when the executor is quiescent (tests call it after the
-  // responses arrived).
+  // Cache-effectiveness counters summed over every resident Session on
+  // every lane. Meaningful when the executors are quiescent (tests call
+  // it after the responses arrived).
   core::CacheStats SessionCacheStats() const;
 
+  // Total queued jobs across all lanes.
   std::size_t QueueDepthForTesting() const;
+  // Per-lane queued jobs, index = lane.
+  std::vector<std::size_t> ExecutorQueueDepthsForTesting() const;
+  // Per-lane executed-job counters, index = lane; proves affinity.
+  std::vector<std::uint64_t> ExecutorJobCountsForTesting() const;
   // Connections not yet reaped by the acceptor's periodic sweep of
   // closed ones (so it eventually drops to 0 after clients disconnect).
   std::size_t LiveConnectionCountForTesting() const;
+  // Resumes every paused executor lane.
   void ResumeExecutor();
 
  private:

@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "bfs_testutil.h"
 #include "gen/canonical.h"
 #include "gen/plrg.h"
 #include "gen/transit_stub.h"
@@ -25,6 +26,12 @@
 
 namespace topogen::graph {
 namespace {
+
+using testutil::BfsDistances;
+using testutil::Ball;
+using testutil::BuildShortestPathDag;
+using testutil::ReachableCounts;
+using testutil::ShortestPathDag;
 
 // --- reference implementations -----------------------------------------
 // Textbook queue-based BFS, transcribed from the pre-engine kernels.

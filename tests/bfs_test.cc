@@ -2,11 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include "bfs_testutil.h"
 #include "gen/canonical.h"
 #include "graph/rng.h"
 
 namespace topogen::graph {
 namespace {
+
+using testutil::BfsDistances;
+using testutil::Ball;
+using testutil::BuildShortestPathDag;
+using testutil::ReachableCounts;
+using testutil::ShortestPathDag;
 
 Graph PathGraph(NodeId n) { return gen::Linear(n); }
 

@@ -1,0 +1,74 @@
+// Materializing BFS helpers for tests and examples.
+//
+// The production API is kernel-shaped: *Into sweeps on a pooled
+// BfsScratch, results read through the scratch accessors (graph/bfs.h).
+// Tests often want plain vectors to compare against references, so these
+// helpers lease a workspace, run the kernel, and copy the result out --
+// exactly what the retired value-returning wrappers did, kept here so
+// their allocation-per-call cost stays out of the library.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/bfs.h"
+#include "graph/bfs_scratch.h"
+
+namespace topogen::graph::testutil {
+
+// Hop distances from src to every node; kUnreachable where disconnected
+// (or beyond max_depth).
+inline std::vector<Dist> BfsDistances(const Graph& g, NodeId src,
+                                      Dist max_depth = kUnreachable) {
+  BfsScratchLease scratch = AcquireBfsScratch();
+  BfsDistancesInto(g, src, *scratch, max_depth);
+  std::vector<Dist> dist(g.num_nodes(), kUnreachable);
+  for (const NodeId v : scratch->order()) dist[v] = scratch->dist(v);
+  return dist;
+}
+
+// Nodes within `radius` hops of center, in exact BFS discovery order
+// (center first) -- the paper's "ball of radius h".
+inline std::vector<NodeId> Ball(const Graph& g, NodeId center, Dist radius) {
+  BfsScratchLease scratch = AcquireBfsScratch();
+  BallInto(g, center, radius, *scratch);
+  const std::span<const NodeId> order = scratch->order();
+  return {order.begin(), order.end()};
+}
+
+// Cumulative per-radius reachable-set sizes; result[h] = nodes within h
+// hops of src (result[0] == 1).
+inline std::vector<std::size_t> ReachableCounts(
+    const Graph& g, NodeId src, Dist max_depth = kUnreachable) {
+  BfsScratchLease scratch = AcquireBfsScratch();
+  std::vector<std::size_t> counts;
+  ReachableCountsInto(g, src, *scratch, counts, max_depth);
+  return counts;
+}
+
+// Materialized shortest-path DAG: distances, sigma path counts (double --
+// they overflow 64-bit integers on expander-like graphs), and the visited
+// set in exact discovery order.
+struct ShortestPathDag {
+  std::vector<Dist> dist;
+  std::vector<double> sigma;
+  std::vector<NodeId> order;
+};
+
+inline ShortestPathDag BuildShortestPathDag(const Graph& g, NodeId src) {
+  BfsScratchLease scratch = AcquireBfsScratch();
+  BuildShortestPathDagInto(g, src, *scratch);
+  ShortestPathDag dag;
+  dag.dist.assign(g.num_nodes(), kUnreachable);
+  dag.sigma.assign(g.num_nodes(), 0.0);
+  const std::span<const NodeId> order = scratch->order();
+  dag.order.assign(order.begin(), order.end());
+  for (const NodeId v : order) {
+    dag.dist[v] = scratch->dist(v);
+    dag.sigma[v] = scratch->sigma(v);
+  }
+  return dag;
+}
+
+}  // namespace topogen::graph::testutil

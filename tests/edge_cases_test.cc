@@ -2,6 +2,7 @@
 // usage doesn't hit but a library must still get right.
 #include <gtest/gtest.h>
 
+#include "bfs_testutil.h"
 #include "gen/canonical.h"
 #include "gen/waxman.h"
 #include "graph/bfs.h"
@@ -20,7 +21,7 @@ using graph::Rng;
 
 TEST(BfsEdgeCases, MaxDepthZeroReachesOnlySource) {
   const Graph g = gen::Ring(8);
-  const auto d = graph::BfsDistances(g, 3, 0);
+  const auto d = graph::testutil::BfsDistances(g, 3, 0);
   for (NodeId v = 0; v < 8; ++v) {
     if (v == 3) {
       EXPECT_EQ(d[v], 0u);
@@ -32,15 +33,15 @@ TEST(BfsEdgeCases, MaxDepthZeroReachesOnlySource) {
 
 TEST(BfsEdgeCases, OutOfRangeSourceYieldsNothing) {
   const Graph g = gen::Ring(4);
-  const auto d = graph::BfsDistances(g, 99);
+  const auto d = graph::testutil::BfsDistances(g, 99);
   for (const auto x : d) EXPECT_EQ(x, graph::kUnreachable);
-  EXPECT_TRUE(graph::Ball(g, 99, 2).empty());
+  EXPECT_TRUE(graph::testutil::Ball(g, 99, 2).empty());
 }
 
 TEST(BfsEdgeCases, SingleNodeGraph) {
   const Graph g = Graph::FromEdges(1, {});
   EXPECT_EQ(graph::Eccentricity(g, 0), 0u);
-  EXPECT_EQ(graph::ReachableCounts(g, 0).size(), 1u);
+  EXPECT_EQ(graph::testutil::ReachableCounts(g, 0).size(), 1u);
   EXPECT_DOUBLE_EQ(graph::AveragePathLength(g), 0.0);
 }
 

@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "bfs_testutil.h"
 #include "gen/canonical.h"
 #include "gen/plrg.h"
 #include "graph/bfs.h"
@@ -37,7 +38,7 @@ std::vector<double> ReferenceLinkValues(const Graph& g) {
   std::vector<std::vector<Dist>> dist(n);
   std::vector<std::vector<double>> sigma(n);
   for (NodeId s = 0; s < n; ++s) {
-    const graph::ShortestPathDag dag = graph::BuildShortestPathDag(g, s);
+    const auto dag = graph::testutil::BuildShortestPathDag(g, s);
     dist[s] = dag.dist;
     sigma[s] = dag.sigma;
   }

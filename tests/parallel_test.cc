@@ -7,9 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gen/measured.h"
@@ -18,6 +21,8 @@
 #include "hierarchy/link_value.h"
 #include "metrics/ball.h"
 #include "metrics/resilience.h"
+#include "obs/env.h"
+#include "obs/stats.h"
 #include "parallel/parallel_for.h"
 #include "parallel/pool.h"
 
@@ -427,6 +432,48 @@ TEST(CancelTest, CompletedRegionWithLateCancelDoesNotThrow) {
     token.Cancel();  // too late: this chunk is the whole region
   });
   EXPECT_EQ(ran, 1);
+}
+
+// --- concurrent external callers (topogend's executor lanes) ---
+
+std::uint64_t BusySerialCount() {
+  for (const auto& [name, value] : obs::Stats::CounterSnapshot()) {
+    if (name == "parallel.busy_serial") return value;
+  }
+  return 0;
+}
+
+// The pool holds one region at a time; a second external caller (another
+// topogend executor lane) must not deadlock or corrupt either region --
+// it runs its chunks inline and counts the fallback.
+TEST(PoolBusyTest, ConcurrentExternalCallerRunsSerialInline) {
+  // Counter bumps are gated on observability being enabled at all.
+  ::setenv("TOPOGEN_STATS", "/dev/null", 1);
+  obs::Env::ResetForTesting();
+  PoolThreads pool(4);
+  std::atomic<bool> occupying{false};
+  std::atomic<bool> release{false};
+  std::thread holder([&] {
+    Pool::Get().Run(4, [&](std::size_t) {
+      occupying = true;
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  });
+  while (!occupying.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // The fleet is provably owned by `holder`; this caller must fall back.
+  const std::uint64_t before = BusySerialCount();
+  std::atomic<std::uint64_t> sum{0};
+  Pool::Get().Run(8, [&](std::size_t chunk) { sum += chunk; });
+  EXPECT_EQ(sum.load(), 28u) << "fallback must still run every chunk";
+  EXPECT_EQ(BusySerialCount(), before + 1);
+  release = true;
+  holder.join();
+  ::unsetenv("TOPOGEN_STATS");
+  obs::Env::ResetForTesting();
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include <set>
 
+#include "bfs_testutil.h"
 #include "gen/measured.h"
 #include "graph/bfs.h"
 #include "policy/policy_ball.h"
@@ -34,7 +35,7 @@ TEST_P(PolicyBallSweep, BallIsSubsetOfPlainBall) {
   const Graph& g = f.as.graph;
   const NodeId center = static_cast<NodeId>(GetParam() * 31 % g.num_nodes());
   for (const Dist r : {Dist{1}, Dist{2}, Dist{3}, Dist{4}}) {
-    const auto plain = graph::Ball(g, center, r);
+    const auto plain = graph::testutil::Ball(g, center, r);
     const std::set<NodeId> plain_set(plain.begin(), plain.end());
     const PolicyBall ball = GrowPolicyBall(g, f.as.relationship, center, r);
     for (const NodeId orig : ball.subgraph.original_id) {
@@ -85,7 +86,8 @@ TEST_P(PolicyBallSweep, BallSubgraphIsConnectedThroughCenter) {
     }
   }
   ASSERT_NE(center_local, graph::kInvalidNode);
-  const auto dist = graph::BfsDistances(ball.subgraph.graph, center_local);
+  const auto dist =
+      graph::testutil::BfsDistances(ball.subgraph.graph, center_local);
   for (std::size_t i = 0; i < dist.size(); ++i) {
     EXPECT_NE(dist[i], graph::kUnreachable) << "island node in policy ball";
   }
@@ -105,7 +107,8 @@ TEST_P(PolicyBallSweep, InBallHopsNeverBeatPolicyDistance) {
     }
   }
   ASSERT_NE(center_local, graph::kInvalidNode);
-  const auto hops = graph::BfsDistances(ball.subgraph.graph, center_local);
+  const auto hops =
+      graph::testutil::BfsDistances(ball.subgraph.graph, center_local);
   for (std::size_t i = 0; i < hops.size(); ++i) {
     // Equality holds on the policy shortest paths themselves; shortcuts
     // made of mixed path fragments can exist but never go BELOW, because

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "bfs_testutil.h"
 #include "gen/measured.h"
 #include "graph/bfs.h"
 #include "policy/paths.h"
@@ -120,7 +121,7 @@ TEST(PolicyDistancesTest, AtLeastShortestPath) {
   gen::MeasuredAsParams p;
   p.n = 600;
   const gen::AsTopology as = gen::MeasuredAs(p, rng);
-  const auto plain = graph::BfsDistances(as.graph, 0);
+  const auto plain = graph::testutil::BfsDistances(as.graph, 0);
   const auto policy = PolicyDistances(as.graph, as.relationship, 0);
   for (NodeId v = 0; v < as.graph.num_nodes(); ++v) {
     if (policy[v] != kUnreachable) {
@@ -156,7 +157,7 @@ TEST(PolicyPathLengthTest, InflatesAveragePath) {
   double plain_total = 0, policy_total = 0;
   std::size_t pairs = 0;
   for (NodeId src = 0; src < as.graph.num_nodes(); src += 13) {
-    const auto dp = graph::BfsDistances(as.graph, src);
+    const auto dp = graph::testutil::BfsDistances(as.graph, src);
     const auto dq = PolicyDistances(as.graph, as.relationship, src);
     for (NodeId v = 0; v < as.graph.num_nodes(); ++v) {
       if (v == src || dq[v] == kUnreachable) continue;
@@ -216,7 +217,7 @@ TEST(PolicyBallTest, MatchesPlainBallWhenAllSiblings) {
     for (const Dist r : {Dist{1}, Dist{2}, Dist{3}}) {
       const PolicyBall pb = GrowPolicyBall(g, rel, center, r);
       EXPECT_EQ(pb.subgraph.graph.num_nodes(),
-                graph::Ball(g, center, r).size())
+                graph::testutil::Ball(g, center, r).size())
           << "center " << center << " radius " << r;
     }
   }

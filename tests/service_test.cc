@@ -10,7 +10,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <chrono>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,6 +22,7 @@
 #include "core/scale.h"
 #include "core/session.h"
 #include "fault/fault.h"
+#include "obs/env.h"
 #include "obs/json.h"
 #include "service/protocol.h"
 
@@ -557,6 +560,279 @@ TEST(ServiceServerTest, StopAnswersEverythingAdmitted) {
   EXPECT_EQ(Field(doc, "id"), "drain1");
   EXPECT_EQ(Field(doc, "status"), "ok");
   EXPECT_EQ(server.stats().completed, 1u);
+}
+
+// --- executor pool: affinity and cross-lane dedup ---
+
+// Identical requests admitted concurrently on a 4-lane pool still share
+// one computation: the inflight map is global, and session affinity
+// guarantees equal keys route to the same lane, so the proof is the same
+// as the single-executor case -- exactly one cache miss -- plus the lane
+// counters showing every job ran on the one lane LaneForKey names.
+TEST(ServicePoolTest, AffinityDedupsAcrossTheWholePool) {
+  Server server({.executors = 4, .start_paused = true});
+  server.Start();
+  Client a(server.port());
+  Client b(server.port());
+  ASSERT_TRUE(a.connected());
+  ASSERT_TRUE(b.connected());
+
+  a.Send(std::string(R"({"id":"first",)") + (kTinyTree + 1));
+  WaitForAdmitted(server, 1);
+  b.Send(std::string(R"({"id":"second",)") + (kTinyTree + 1));
+  WaitForAdmitted(server, 2);
+  EXPECT_EQ(server.QueueDepthForTesting(), 1u) << "second should attach";
+  server.ResumeExecutor();
+
+  EXPECT_EQ(Field(MustParse(a.ReadLine()), "status"), "ok");
+  EXPECT_EQ(Field(MustParse(b.ReadLine()), "status"), "ok");
+  EXPECT_EQ(server.stats().deduped, 1u);
+  EXPECT_EQ(server.SessionCacheStats().metrics_misses, 1u);
+
+  // kTinyTree's roster is scale small, default seed, as_nodes 200.
+  const std::size_t expected_lane = LaneForKey("small|0|200|0|0", 4);
+  const std::vector<std::uint64_t> jobs = server.ExecutorJobCountsForTesting();
+  ASSERT_EQ(jobs.size(), 4u);
+  for (std::size_t lane = 0; lane < jobs.size(); ++lane) {
+    EXPECT_EQ(jobs[lane], lane == expected_lane ? 1u : 0u)
+        << "job ran on lane " << lane;
+  }
+}
+
+// --- protocol /2: streamed frames, keep-alive, out-of-order ids ---
+
+// Reads /2 frames off `client` until a final (more:false) frame arrives;
+// returns every frame of that one response in order. Frames of *other*
+// in-flight responses on the same connection are appended to `strays`.
+std::vector<Json> ReadV2Response(Client& client, std::string* final_id,
+                                 std::vector<std::string>* strays = nullptr) {
+  std::vector<Json> frames;
+  for (int i = 0; i < 10000; ++i) {
+    const std::string line = client.ReadLine();
+    if (line.empty()) break;  // connection closed
+    const Json doc = MustParse(line);
+    const Json* more = doc.Find("more");
+    if (more == nullptr) {
+      if (strays != nullptr) strays->push_back(line);
+      continue;
+    }
+    frames.push_back(doc);
+    if (!more->AsBool()) {
+      if (final_id != nullptr) *final_id = Field(doc, "id");
+      return frames;
+    }
+  }
+  return frames;
+}
+
+TEST(ServiceStreamTest, V2ResponseReassemblesToTheV1Figures) {
+  Server server({.stream_chunk_points = 4});  // force multi-chunk figures
+  server.Start();
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  client.Send(std::string(R"({"v":2,"id":"s1",)") + (kTinyTree + 1));
+
+  std::string id;
+  const std::vector<Json> frames = ReadV2Response(client, &id);
+  ASSERT_GE(frames.size(), 2u) << "expected chunk frames before the final";
+  EXPECT_EQ(id, "s1");
+
+  // Chunks carry v/id/seq and arrive in sequence order.
+  std::vector<double> x, y;
+  for (std::size_t i = 0; i + 1 < frames.size(); ++i) {
+    const Json& f = frames[i];
+    EXPECT_EQ(f.Find("v")->AsDouble(), 2.0);
+    EXPECT_EQ(Field(f, "id"), "s1");
+    EXPECT_EQ(f.Find("seq")->AsDouble(), static_cast<double>(i));
+    if (Field(f, "figure") == "expansion") {
+      for (const Json& v : f.Find("x")->AsArray()) x.push_back(v.AsDouble());
+      for (const Json& v : f.Find("y")->AsArray()) y.push_back(v.AsDouble());
+    }
+  }
+  // The final frame is the /1 body minus the streamed series; the
+  // chunk-reassembled series must equal what a direct Session computes.
+  const Json& last = frames.back();
+  EXPECT_EQ(Field(last, "status"), "ok");
+  core::Session reference(TinyTreeReference());
+  const core::BasicMetrics& m = reference.Metrics("Tree");
+  const Json* figures = last.Find("figures");
+  ASSERT_NE(figures, nullptr);
+  EXPECT_EQ(Field(*figures, "signature"), m.signature.ToString());
+  ASSERT_EQ(x.size(), m.expansion.x.size());
+  ASSERT_EQ(y.size(), m.expansion.y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(x[i], m.expansion.x[i]);
+    EXPECT_EQ(y[i], m.expansion.y[i]);
+  }
+}
+
+// One keep-alive /2 connection, two requests whose rosters hash to
+// different lanes: the second (fast) request's response overtakes the
+// first (pinned in its lane by a delay fault), and the client re-sorts
+// them by id. This is the wire-level payoff of the executor pool.
+TEST(ServiceStreamTest, OutOfOrderResponsesCorrelateById) {
+  if (!fault::CompiledIn()) GTEST_SKIP() << "fault points not compiled in";
+  const FaultGuard guard("gen.validate@kind=delay,ms=400,match=Tree");
+  Server server({.executors = 2});
+  server.Start();
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  // Pick a roster for the fast request that provably lands on the other
+  // lane than kTinyTree's (small|0|200|0|0) at two executors.
+  const std::size_t slow_lane = LaneForKey("small|0|200|0|0", 2);
+  int fast_nodes = 201;
+  while (LaneForKey("small|0|" + std::to_string(fast_nodes) + "|0|0", 2) ==
+         slow_lane) {
+    ++fast_nodes;
+  }
+
+  const std::string fast_body =
+      R"("topology":"Mesh","metrics":["signature"],)"
+      R"("scale":"small","as_nodes":)" +
+      std::to_string(fast_nodes) + "}";
+
+  // Prime the fast lane: the overtake below must be a warm cache hit
+  // (microseconds), not a cold Mesh generation that could outlast the
+  // slow request's injected delay.
+  client.Send(R"({"v":2,"id":"prime",)" + fast_body);
+  std::string prime_id;
+  ASSERT_FALSE(ReadV2Response(client, &prime_id).empty());
+  ASSERT_EQ(prime_id, "prime");
+
+  client.Send(std::string(R"({"v":2,"id":"slow",)") + (kTinyTree + 1));
+  for (int i = 0; i < 2000 && fault::FiredCount("gen.validate") < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(fault::FiredCount("gen.validate"), 1u)
+      << "slow request never reached the Tree generation";
+  client.Send(R"({"v":2,"id":"fast",)" + fast_body);
+
+  std::string first_id, second_id;
+  const std::vector<Json> first = ReadV2Response(client, &first_id);
+  const std::vector<Json> second = ReadV2Response(client, &second_id);
+  ASSERT_FALSE(first.empty());
+  ASSERT_FALSE(second.empty());
+  EXPECT_EQ(first_id, "fast") << "fast response should overtake the slow one";
+  EXPECT_EQ(second_id, "slow");
+  EXPECT_EQ(Field(first.back(), "status"), "ok");
+  EXPECT_EQ(Field(second.back(), "status"), "ok");
+
+  const std::vector<std::uint64_t> jobs = server.ExecutorJobCountsForTesting();
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[slow_lane], 1u) << "the Tree job alone ran on its lane";
+  EXPECT_EQ(jobs[1 - slow_lane], 2u) << "prime + fast ran on the other lane";
+}
+
+// The connection's protocol version is fixed by its first request; mixing
+// versions afterwards is a typed error, answered at the negotiated
+// version (here: wrapped in a /2 final frame).
+TEST(ServiceStreamTest, VersionIsFixedPerConnection) {
+  Server server;
+  server.Start();
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  client.Send(std::string(R"({"v":2,"id":"first",)") + (kTinyTree + 1));
+  std::string id;
+  ASSERT_FALSE(ReadV2Response(client, &id).empty());
+  EXPECT_EQ(id, "first");
+
+  client.Send(std::string(R"({"id":"mixed",)") + (kTinyTree + 1));
+  const Json err = MustParse(client.ReadLine());
+  EXPECT_EQ(err.Find("more")->AsBool(), false) << "error must be /2-framed";
+  EXPECT_EQ(ErrorCodeOf(err), "invalid_argument");
+
+  // An unknown version is rejected on the first line too.
+  Client fresh(server.port());
+  ASSERT_TRUE(fresh.connected());
+  fresh.Send(std::string(R"({"v":3,"id":"v3",)") + (kTinyTree + 1));
+  EXPECT_EQ(ErrorCodeOf(MustParse(fresh.ReadLine())), "invalid_argument");
+}
+
+// A client that disconnects mid-stream only costs its own remaining
+// sends; the lane keeps serving. The tiny chunk size guarantees the
+// response is actually multi-frame, so the disconnect lands mid-response.
+TEST(ServiceStreamTest, MidStreamDisconnectDoesNotWedgeTheLane) {
+  Server server({.executors = 1, .stream_chunk_points = 2});
+  server.Start();
+  {
+    Client doomed(server.port());
+    ASSERT_TRUE(doomed.connected());
+    doomed.Send(std::string(R"({"v":2,"id":"gone",)") + (kTinyTree + 1));
+    const std::string first = doomed.ReadLine();
+    ASSERT_FALSE(first.empty());
+    EXPECT_NE(first.find("\"more\":true"), std::string::npos);
+  }  // socket closes with most of the stream unsent
+
+  // The same lane (executors=1: there is only one) serves the next
+  // client's request to completion.
+  Client next(server.port());
+  ASSERT_TRUE(next.connected());
+  next.Send(std::string(R"({"id":"after",)") + (kTinyTree + 1));
+  const Json doc = MustParse(next.ReadLine());
+  EXPECT_EQ(Field(doc, "id"), "after");
+  EXPECT_EQ(Field(doc, "status"), "ok");
+}
+
+// --- /1 serialization is independent of the pool size ---
+
+// The response bytes may differ only in the timing fields; everything
+// else -- field order included -- must be identical whether one executor
+// or four serve the request. Guards the /1 byte-compatibility contract.
+TEST(ServicePoolTest, V1ResponseBytesIndependentOfExecutorCount) {
+  auto serve_once = [](std::size_t executors) {
+    Server server({.executors = executors});
+    server.Start();
+    Client client(server.port());
+    EXPECT_TRUE(client.connected());
+    client.Send(std::string(R"({"id":"bytes",)") + (kTinyTree + 1));
+    std::string line = client.ReadLine();
+    server.Stop();
+    return line;
+  };
+  std::string one = serve_once(1);
+  std::string four = serve_once(4);
+  ASSERT_FALSE(one.empty());
+  ASSERT_FALSE(four.empty());
+  for (const char* field : {"\"queue_us\":", "\"elapsed_us\":"}) {
+    for (std::string* line : {&one, &four}) {
+      const std::size_t at = line->find(field);
+      ASSERT_NE(at, std::string::npos) << *line;
+      std::size_t digits = at + std::string(field).size();
+      std::size_t end = digits;
+      while (end < line->size() && std::isdigit((*line)[end]) != 0) ++end;
+      line->replace(digits, end - digits, "0");
+    }
+  }
+  EXPECT_EQ(one, four);
+}
+
+// --- ServerOptions::FromEnv ---
+
+TEST(ServiceOptionsTest, FromEnvReadsTheRegistry) {
+  ::setenv("TOPOGEN_SERVICE_PORT", "7171", 1);
+  ::setenv("TOPOGEN_SERVICE_QUEUE", "9", 1);
+  ::setenv("TOPOGEN_SERVICE_EXECUTORS", "5", 1);
+  ::setenv("TOPOGEN_SERVICE_MAX_SESSIONS", "7", 1);
+  obs::Env::ResetForTesting();
+  const ServerOptions opts = ServerOptions::FromEnv();
+  EXPECT_EQ(opts.port, 7171);
+  EXPECT_EQ(opts.queue_limit, 9u);
+  EXPECT_EQ(opts.executors, 5u);
+  EXPECT_EQ(opts.max_sessions, 7u);
+
+  // Out-of-range values fall back to the default instead of crashing
+  // the daemon at boot (EnvIntOr's registry-wide contract).
+  ::setenv("TOPOGEN_SERVICE_EXECUTORS", "0", 1);
+  obs::Env::ResetForTesting();
+  EXPECT_EQ(ServerOptions::FromEnv().executors, 2u);
+
+  ::unsetenv("TOPOGEN_SERVICE_PORT");
+  ::unsetenv("TOPOGEN_SERVICE_QUEUE");
+  ::unsetenv("TOPOGEN_SERVICE_EXECUTORS");
+  ::unsetenv("TOPOGEN_SERVICE_MAX_SESSIONS");
+  obs::Env::ResetForTesting();
 }
 
 }  // namespace

@@ -1,0 +1,87 @@
+// core::SessionPool: the executor-affine LRU of resident Sessions that
+// topogend's lanes own (docs/SERVICE.md). Factories here count their
+// invocations, so hit/miss/eviction behavior is proved without computing
+// any metrics.
+#include "core/session_pool.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/scale.h"
+
+namespace topogen::core {
+namespace {
+
+// A Session cheap enough to build in a loop: nothing is computed until a
+// metric is asked for, and these tests never ask.
+std::unique_ptr<Session> TinySession() {
+  SessionOptions o = ScaledSessionOptions("small");
+  o.roster.as_nodes = 50;
+  o.journal_path.clear();
+  return std::make_unique<Session>(std::move(o));
+}
+
+TEST(SessionPoolTest, AcquireBuildsOncePerKey) {
+  SessionPool pool(4);
+  int built = 0;
+  const auto factory = [&built] {
+    ++built;
+    return TinySession();
+  };
+  Session& first = pool.Acquire("a", factory);
+  Session& again = pool.Acquire("a", factory);
+  EXPECT_EQ(&first, &again) << "hit must return the resident Session";
+  EXPECT_EQ(built, 1);
+  pool.Acquire("b", factory);
+  EXPECT_EQ(built, 2);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(SessionPoolTest, EvictsLeastRecentlyUsedBeyondCapacity) {
+  SessionPool pool(2);
+  int built = 0;
+  const auto factory = [&built] {
+    ++built;
+    return TinySession();
+  };
+  pool.Acquire("a", factory);
+  pool.Acquire("b", factory);
+  pool.Acquire("a", factory);  // refresh "a": "b" is now the LRU
+  pool.Acquire("c", factory);  // evicts "b"
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(built, 3);
+  pool.Acquire("a", factory);  // still resident
+  EXPECT_EQ(built, 3);
+  pool.Acquire("b", factory);  // was evicted: rebuilt
+  EXPECT_EQ(built, 4);
+}
+
+TEST(SessionPoolTest, CapacityZeroClampsToOne) {
+  SessionPool pool(0);
+  int built = 0;
+  const auto factory = [&built] {
+    ++built;
+    return TinySession();
+  };
+  pool.Acquire("a", factory);
+  pool.Acquire("a", factory);
+  EXPECT_EQ(built, 1);
+  EXPECT_EQ(pool.size(), 1u);
+  pool.Acquire("b", factory);
+  EXPECT_EQ(pool.size(), 1u) << "one resident Session, not zero";
+}
+
+TEST(SessionPoolTest, AggregateStatsSumsResidentSessions) {
+  SessionPool pool(2);
+  const auto factory = [] { return TinySession(); };
+  pool.Acquire("a", factory);
+  pool.Acquire("b", factory);
+  const CacheStats stats = pool.AggregateStats();
+  // Fresh Sessions have touched nothing; the sum over both is all zeros.
+  EXPECT_EQ(stats.metrics_hits, 0u);
+  EXPECT_EQ(stats.metrics_misses, 0u);
+}
+
+}  // namespace
+}  // namespace topogen::core

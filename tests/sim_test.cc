@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "bfs_testutil.h"
 #include "gen/canonical.h"
 #include "gen/plrg.h"
 #include "graph/bfs.h"
@@ -20,7 +21,7 @@ TEST(WeightedPathsTest, UnitWeightsMatchBfs) {
   Rng rng(1);
   const auto weight = SampleLinkWeights(g, WeightModel::kUnit, rng);
   const WeightedPathResult r = WeightedShortestPaths(g, weight, 0);
-  const auto bfs = graph::BfsDistances(g, 0);
+  const auto bfs = graph::testutil::BfsDistances(g, 0);
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     EXPECT_DOUBLE_EQ(r.distance[v], static_cast<double>(bfs[v]));
     EXPECT_EQ(r.hops[v], bfs[v]);
@@ -47,7 +48,7 @@ TEST(WeightedPathsTest, WeightedHopsAtLeastBfsHops) {
   const Graph g = gen::ErdosRenyi(300, 0.03, rng);
   const auto weight = SampleLinkWeights(g, WeightModel::kExponential, rng);
   const WeightedPathResult r = WeightedShortestPaths(g, weight, 0);
-  const auto bfs = graph::BfsDistances(g, 0);
+  const auto bfs = graph::testutil::BfsDistances(g, 0);
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     if (bfs[v] == graph::kUnreachable) continue;
     EXPECT_GE(r.hops[v], bfs[v]) << "weighted route shorter than BFS?";

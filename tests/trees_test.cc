@@ -2,11 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include "bfs_testutil.h"
 #include "gen/canonical.h"
 #include "graph/components.h"
 
 namespace topogen::graph {
 namespace {
+
+using testutil::BfsDistances;
+using testutil::Ball;
 
 // A parent-vector spanning tree is valid if every node in the component
 // reaches the root and every tree edge exists in g.

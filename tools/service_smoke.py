@@ -1,15 +1,18 @@
 #!/usr/bin/env python3
 """End-to-end smoke for topogend against the batch figure path.
 
-Drives a running topogend with N concurrent clients requesting the
-expansion series for every curve of Figure 2, and asserts that
+Drives a running topogend with N concurrent clients -- half speaking
+protocol /1 (one response line per request), half /2 (keep-alive,
+responses reassembled from streamed frames) -- requesting the expansion
+series for every curve of Figure 2, and asserts that
 
   * every response is status "ok" and served from cache (the daemon
     shares its artifact store with a prior batch bench run), and
-  * every served series matches the batch run's exported .dat files
-    value for value (both sides formatted with %g, the formatting the
-    .dat writer uses), so the daemon provably returns the same figures
-    the paper harness printed.
+  * every served series, on both protocols, matches the batch run's
+    exported .dat files value for value (both sides formatted with %g,
+    the formatting the .dat writer uses), so the daemon provably returns
+    the same figures the paper harness printed whichever wire a client
+    chose.
 
 Usage:
   service_smoke.py --port PORT --batch-dir DIR [--clients N]
@@ -69,12 +72,15 @@ def load_batch_curves(batch_dir):
 
 
 class Client:
+    """Protocol /1: one request line, one response line."""
+
+    version = 1
+
     def __init__(self, port):
         self.sock = socket.create_connection(("127.0.0.1", port), timeout=60)
         self.buf = b""
 
-    def round_trip(self, request):
-        self.sock.sendall((json.dumps(request) + "\n").encode())
+    def read_line(self):
         while b"\n" not in self.buf:
             chunk = self.sock.recv(65536)
             if not chunk:
@@ -82,6 +88,38 @@ class Client:
             self.buf += chunk
         line, self.buf = self.buf.split(b"\n", 1)
         return json.loads(line)
+
+    def round_trip(self, request):
+        self.sock.sendall((json.dumps(request) + "\n").encode())
+        return self.read_line()
+
+
+class V2Client(Client):
+    """Protocol /2: keep-alive, responses reassembled from streamed
+    frames. round_trip() returns the final frame with the chunked series
+    stitched back into its "figures" object, so the comparison code is
+    protocol-agnostic."""
+
+    version = 2
+
+    def round_trip(self, request):
+        request = dict(request, v=2)
+        self.sock.sendall((json.dumps(request) + "\n").encode())
+        series = {}
+        while True:
+            frame = self.read_line()
+            if "more" not in frame:
+                raise ValueError(f"/2 response missing framing: {frame}")
+            if frame["more"]:
+                figure = frame["figure"]
+                entry = series.setdefault(
+                    figure, {"name": frame.get("name", ""), "x": [], "y": []})
+                entry["x"].extend(frame["x"])
+                entry["y"].extend(frame["y"])
+                continue
+            # Final frame: the /1 body minus the streamed series.
+            frame.setdefault("figures", {}).update(series)
+            return frame
 
 
 def check_response(response, topology, use_policy, batch_curves, errors):
@@ -108,15 +146,16 @@ def check_response(response, topology, use_policy, batch_curves, errors):
                       f"  served: {got[:5]}...\n  batch:  {want[:5]}...")
 
 
-def worker(port, offset, batch_curves, errors, lock):
+def worker(port, offset, client_class, batch_curves, errors, lock):
     try:
-        client = Client(port)
+        client = client_class(port)
         # Each client walks the full request list from its own offset, so
         # concurrent clients hit the same keys in different orders.
         for i in range(len(REQUESTS)):
             topology, use_policy = REQUESTS[(offset + i) % len(REQUESTS)]
             request = {
-                "id": f"c{offset}-{topology}" + ("-policy" if use_policy else ""),
+                "id": f"c{offset}v{client.version}-{topology}"
+                      + ("-policy" if use_policy else ""),
                 "topology": topology,
                 "metrics": ["expansion"],
             }
@@ -130,14 +169,17 @@ def worker(port, offset, batch_curves, errors, lock):
                     errors.extend(local)
     except (OSError, ConnectionError, KeyError, ValueError) as exc:
         with lock:
-            errors.append(f"client {offset}: {type(exc).__name__}: {exc}")
+            errors.append(f"client {offset} (/{client_class.version}): "
+                          f"{type(exc).__name__}: {exc}")
 
 
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--port", type=int, required=True)
     ap.add_argument("--batch-dir", required=True)
-    ap.add_argument("--clients", type=int, default=8)
+    ap.add_argument("--clients", type=int, default=8,
+                    help="total concurrent clients; even slots speak /1, "
+                         "odd slots /2, all against the one daemon")
     args = ap.parse_args()
 
     batch_curves = load_batch_curves(args.batch_dir)
@@ -150,8 +192,10 @@ def main():
     errors = []
     lock = threading.Lock()
     threads = [
-        threading.Thread(target=worker,
-                         args=(args.port, i, batch_curves, errors, lock))
+        threading.Thread(
+            target=worker,
+            args=(args.port, i, Client if i % 2 == 0 else V2Client,
+                  batch_curves, errors, lock))
         for i in range(args.clients)
     ]
     for t in threads:
@@ -164,8 +208,10 @@ def main():
             print(f"FAIL: {e}", file=sys.stderr)
         sys.exit(1)
     total = args.clients * len(REQUESTS)
-    print(f"service smoke OK: {total} responses from {args.clients} "
-          f"concurrent clients, all cached and identical to the batch run")
+    v1 = (args.clients + 1) // 2
+    print(f"service smoke OK: {total} responses from {v1} /1 and "
+          f"{args.clients - v1} /2 concurrent clients, all cached and "
+          f"identical to the batch run")
 
 
 if __name__ == "__main__":

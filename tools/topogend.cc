@@ -1,9 +1,11 @@
 // topogend: the topology-as-a-service daemon (docs/SERVICE.md).
 //
 // Serves the roster's topologies and metric figures over newline-delimited
-// JSON on 127.0.0.1. Configuration comes from the TOPOGEN_* environment
-// (scale tier, cache, observability, service port/queue); the only flags
-// are overrides for the two service knobs plus --help.
+// JSON on 127.0.0.1, protocol /1 (one response line per request) and /2
+// (keep-alive, framed, out-of-order). Configuration comes from the
+// TOPOGEN_* environment (scale tier, cache, observability, service
+// port/queue/executors); the only flags are overrides for the service
+// knobs plus --help.
 //
 //   TOPOGEN_SERVICE_PORT=0 TOPOGEN_CACHE_DIR=/tmp/cache topogend
 //
@@ -28,14 +30,17 @@ void PrintUsage() {
   std::printf(
       "topogend -- serve topogen topologies and metrics over TCP\n"
       "\n"
-      "usage: topogend [--port N] [--queue N] [--help]\n"
+      "usage: topogend [--port N] [--queue N] [--executors N] [--help]\n"
       "\n"
-      "  --port N   listen port on 127.0.0.1 (0 = ephemeral); overrides\n"
-      "             TOPOGEN_SERVICE_PORT\n"
-      "  --queue N  admission-queue depth (minimum 1); overrides\n"
-      "             TOPOGEN_SERVICE_QUEUE\n"
+      "  --port N       listen port on 127.0.0.1 (0 = ephemeral); overrides\n"
+      "                 TOPOGEN_SERVICE_PORT\n"
+      "  --queue N      admission-queue depth (minimum 1); overrides\n"
+      "                 TOPOGEN_SERVICE_QUEUE\n"
+      "  --executors N  executor lanes, session-affine (minimum 1);\n"
+      "                 overrides TOPOGEN_SERVICE_EXECUTORS\n"
       "\n"
-      "protocol: one JSON request per line, one JSON response per request\n"
+      "protocol: one JSON request per line; /1 answers with one response\n"
+      "line per request, /2 (request field \"v\":2) with streamed frames\n"
       "(docs/SERVICE.md). SIGINT/SIGTERM drain and exit.\n"
       "\n"
       "environment:\n");
@@ -66,9 +71,11 @@ bool ParseIntFlag(const char* value, const char* flag, int min, int max,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const topogen::obs::Env& env = topogen::obs::Env::Get();
-  int port = env.service_port();
-  int queue = env.service_queue();
+  topogen::service::ServerOptions options =
+      topogen::service::ServerOptions::FromEnv();
+  int port = options.port;
+  int queue = static_cast<int>(options.queue_limit);
+  int executors = static_cast<int>(options.executors);
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -88,6 +95,11 @@ int main(int argc, char** argv) {
                         1 << 16, &queue)) {
         return 2;
       }
+    } else if (std::strcmp(arg, "--executors") == 0) {
+      if (!ParseIntFlag(i + 1 < argc ? argv[++i] : nullptr, "--executors", 1,
+                        64, &executors)) {
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "topogend: unknown argument '%s' (try --help)\n",
                    arg);
@@ -103,9 +115,10 @@ int main(int argc, char** argv) {
   sigaddset(&signals, SIGTERM);
   pthread_sigmask(SIG_BLOCK, &signals, nullptr);
 
-  topogen::service::Server server({.port = port,
-                                   .queue_limit = static_cast<std::size_t>(
-                                       queue)});
+  options.port = port;
+  options.queue_limit = static_cast<std::size_t>(queue);
+  options.executors = static_cast<std::size_t>(executors);
+  topogen::service::Server server(options);
   try {
     server.Start();
   } catch (const std::exception& e) {
