@@ -1,0 +1,132 @@
+#include "core/memory_budget.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/events.h"
+#include "obs/stats.h"
+
+namespace topogen::core {
+
+namespace {
+
+const char* kCategoryNames[kMemCategoryCount] = {"topology", "scratch",
+                                                 "other"};
+
+obs::Gauge& ChargedGauge() {
+  static obs::Gauge& g = obs::Stats::GetGauge("mem_budget.charged_bytes");
+  return g;
+}
+
+obs::Gauge& PeakGauge() {
+  static obs::Gauge& g = obs::Stats::GetGauge("mem_budget.peak_bytes");
+  return g;
+}
+
+}  // namespace
+
+const char* MemCategoryName(MemCategory c) {
+  return kCategoryNames[static_cast<int>(c)];
+}
+
+MemoryBudget::MemoryBudget() {
+  const int mb = obs::Env::Get().mem_budget_mb();
+  budget_bytes_.store(static_cast<std::uint64_t>(mb) << 20,
+                      std::memory_order_relaxed);
+}
+
+MemoryBudget& MemoryBudget::Get() {
+  static MemoryBudget* instance = new MemoryBudget();  // leaked singleton
+  return *instance;
+}
+
+void MemoryBudget::SetBudgetForTesting(std::uint64_t bytes) {
+  budget_bytes_.store(bytes, std::memory_order_relaxed);
+  // Re-resolve the pressure state against the new ceiling so the next
+  // charge/release reports a correct edge.
+  in_pressure_.store(bytes != 0 && charged_bytes() >= bytes,
+                     std::memory_order_relaxed);
+}
+
+void MemoryBudget::NoteEdge(std::uint64_t was, std::uint64_t now) {
+  const std::uint64_t budget = budget_bytes();
+  if (budget == 0) return;
+  const bool entering = was < budget && now >= budget;
+  const bool leaving = was >= budget && now < budget;
+  if (!entering && !leaving) return;
+  bool expected = leaving;
+  if (!in_pressure_.compare_exchange_strong(expected, entering,
+                                            std::memory_order_relaxed)) {
+    return;  // another thread already reported this edge
+  }
+  TOPOGEN_COUNT("mem_budget.pressure_edges");
+  if (obs::EventsEnabled()) {
+    obs::Event("mem_pressure")
+        .Str("edge", entering ? "enter" : "exit")
+        .U64("charged_bytes", now)
+        .U64("budget_bytes", budget)
+        .U64("topology_bytes", charged_bytes(MemCategory::kTopology))
+        .U64("scratch_bytes", charged_bytes(MemCategory::kScratch));
+  }
+  if (entering) {
+    std::fprintf(stderr,
+                 "# mem_budget: pressure: %llu of %llu bytes charged "
+                 "(topology=%llu scratch=%llu)\n",
+                 static_cast<unsigned long long>(now),
+                 static_cast<unsigned long long>(budget),
+                 static_cast<unsigned long long>(
+                     charged_bytes(MemCategory::kTopology)),
+                 static_cast<unsigned long long>(
+                     charged_bytes(MemCategory::kScratch)));
+  }
+}
+
+void MemoryBudget::Charge(MemCategory category, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  by_category_[static_cast<int>(category)].fetch_add(
+      bytes, std::memory_order_relaxed);
+  const std::uint64_t was = total_.fetch_add(bytes, std::memory_order_relaxed);
+  const std::uint64_t now = was + bytes;
+  std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+  if (obs::AnyEnabled()) {
+    ChargedGauge().Set(static_cast<std::int64_t>(now));
+    PeakGauge().Max(static_cast<std::int64_t>(now));
+  }
+  NoteEdge(was, now);
+}
+
+void MemoryBudget::Release(MemCategory category, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  auto& cat = by_category_[static_cast<int>(category)];
+  // Clamp instead of wrapping on a mismatched release: a wrong pairing is
+  // a bug upstream, but an underflowed "charged" total would pin the
+  // process in pressure forever, which is strictly worse.
+  std::uint64_t cur = cat.load(std::memory_order_relaxed);
+  std::uint64_t take;
+  do {
+    take = std::min(cur, bytes);
+  } while (!cat.compare_exchange_weak(cur, cur - take,
+                                      std::memory_order_relaxed));
+  cur = total_.load(std::memory_order_relaxed);
+  std::uint64_t was;
+  std::uint64_t now;
+  do {
+    was = cur;
+    now = cur - std::min(cur, take);
+  } while (!total_.compare_exchange_weak(cur, now,
+                                         std::memory_order_relaxed));
+  if (obs::AnyEnabled()) ChargedGauge().Set(static_cast<std::int64_t>(now));
+  NoteEdge(was, now);
+}
+
+void MemoryBudget::ResetChargesForTesting() {
+  total_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+  for (auto& c : by_category_) c.store(0, std::memory_order_relaxed);
+  in_pressure_.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace topogen::core

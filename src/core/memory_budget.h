@@ -1,0 +1,96 @@
+// Process-wide memory budget (docs/ROBUSTNESS.md, "Memory budgets").
+//
+// TOPOGEN_MEM_BUDGET_MB caps the bytes the pipeline's long-lived
+// structures may keep resident: materialized CSR topologies, the BFS
+// scratch pools, and Session residency in topogend's per-lane pools.
+// Charging is advisory -- nothing allocates through this class -- but
+// every seam that grows one of those structures reports the growth here,
+// so UnderPressure() answers "would one more resident topology push the
+// process past its ceiling?" without walking /proc.
+//
+// On pressure the service layer sheds residency (LRU Session eviction)
+// and degrades new work to sampled estimators (metrics/sample.h) instead
+// of letting the kernel OOM-kill the daemon; batch binaries keep running
+// (the budget never fails a charge) but the pressure events make the
+// overrun observable.
+//
+// The budget sits *below* src/graph in the library stack (topogen_mem)
+// precisely so BFS scratch growth can charge it; the header keeps the
+// core/ path because core::Session is its primary client.
+//
+// Thread-safety: all methods are safe from any thread; charges are
+// relaxed atomics, the pressure edge is resolved under a CAS.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace topogen::core {
+
+// Who is holding the bytes. Categories are reported separately in the
+// stats gauges so a pressure event names its heaviest contributor.
+enum class MemCategory {
+  kTopology = 0,  // CSR arrays of materialized topologies (Session-owned)
+  kScratch = 1,   // BFS scratch pools (mark/order/sigma/bitmap growth)
+  kOther = 2,     // anything else a seam wants accounted
+};
+inline constexpr int kMemCategoryCount = 3;
+
+const char* MemCategoryName(MemCategory c);
+
+class MemoryBudget {
+ public:
+  // Budget resolved from TOPOGEN_MEM_BUDGET_MB on first use; 0 = no
+  // ceiling (every pressure query answers false).
+  static MemoryBudget& Get();
+
+  std::uint64_t budget_bytes() const {
+    return budget_bytes_.load(std::memory_order_relaxed);
+  }
+
+  // Replaces the budget (bytes; 0 = unlimited) without touching charges.
+  // Test-only: real processes configure via the environment.
+  void SetBudgetForTesting(std::uint64_t bytes);
+
+  void Charge(MemCategory category, std::uint64_t bytes);
+  void Release(MemCategory category, std::uint64_t bytes);
+
+  std::uint64_t charged_bytes() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t charged_bytes(MemCategory category) const {
+    return by_category_[static_cast<int>(category)].load(
+        std::memory_order_relaxed);
+  }
+
+  // True while a ceiling is configured and the charged total has reached
+  // it. Edge transitions into and out of pressure emit mem_pressure
+  // events (TOPOGEN_EVENTS) and bump mem_budget.pressure_edges.
+  bool UnderPressure() const {
+    const std::uint64_t budget = budget_bytes();
+    return budget != 0 && charged_bytes() >= budget;
+  }
+
+  // Charges released since process start / the charged high-water mark,
+  // for tests and the stats dump.
+  std::uint64_t peak_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+  // Zeroes every charge and the peak (budget stays). Test-only.
+  void ResetChargesForTesting();
+
+ private:
+  MemoryBudget();
+
+  // Emits the edge event when `was` and `now` straddle the budget.
+  void NoteEdge(std::uint64_t was, std::uint64_t now);
+
+  std::atomic<std::uint64_t> budget_bytes_{0};
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> peak_{0};
+  std::atomic<std::uint64_t> by_category_[kMemCategoryCount]{};
+  std::atomic<bool> in_pressure_{false};
+};
+
+}  // namespace topogen::core

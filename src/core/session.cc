@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/memory_budget.h"
 #include "fault/fault.h"
 #include "graph/components.h"
 #include "graph/io.h"
@@ -246,6 +247,14 @@ Session::~Session() {
   if (store_ != nullptr && options_.cache_max_mb > 0) {
     store_->Prune(static_cast<std::uint64_t>(options_.cache_max_mb) << 20);
   }
+  MemoryBudget::Get().Release(MemCategory::kTopology,
+                              charged_topology_bytes_);
+}
+
+void Session::ChargeResidency(const RlArtifacts& artifacts) {
+  const std::uint64_t bytes = artifacts.topology.graph.MemoryBytes();
+  MemoryBudget::Get().Charge(MemCategory::kTopology, bytes);
+  charged_topology_bytes_ += bytes;
 }
 
 std::span<const std::string_view> Session::KnownIds() { return kKnownIds; }
@@ -370,8 +379,11 @@ RlArtifacts& Session::Materialize(std::string_view id) {
                                  loaded->topology.graph.num_nodes(),
                                  loaded->topology.graph.num_edges(),
                                  loaded->topology.comment);
-      return *topologies_.emplace(std::string(id), std::move(loaded))
-                  .first->second;
+      RlArtifacts& kept =
+          *topologies_.emplace(std::string(id), std::move(loaded))
+               .first->second;
+      ChargeResidency(kept);
+      return kept;
     }
     // Valid header but undecodable payload (schema drift): demote to miss.
     stats_.topology_hits -= 1;
@@ -384,8 +396,10 @@ RlArtifacts& Session::Materialize(std::string_view id) {
   std::string encoded;
   EncodeTopology(encoded, *fresh);
   StoreArtifact("topology", key, encoded);
-  return *topologies_.emplace(std::string(id), std::move(fresh))
-              .first->second;
+  RlArtifacts& kept =
+      *topologies_.emplace(std::string(id), std::move(fresh)).first->second;
+  ChargeResidency(kept);
+  return kept;
 }
 
 const core::Topology& Session::Topology(std::string_view id) {

@@ -178,8 +178,14 @@ class Session {
   void RecordDegraded(std::string_view kind, std::string_view id,
                       const Error& error);
 
+  // Reports a freshly resident topology's CSR bytes to the process
+  // memory budget; the total is released when the Session dies, so
+  // evicting a Session (SessionPool LRU) frees budget headroom.
+  void ChargeResidency(const RlArtifacts& artifacts);
+
   SessionOptions options_;
   CacheStats stats_;
+  std::uint64_t charged_topology_bytes_ = 0;
   std::vector<DegradedSlot> degraded_;
   std::unique_ptr<store::ArtifactStore> store_;
   std::unique_ptr<store::Journal> journal_;

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/memory_budget.h"
+#include "obs/events.h"
+#include "obs/stats.h"
+
 namespace topogen::core {
 
 SessionPool::SessionPool(std::size_t capacity)
@@ -53,6 +57,30 @@ CacheStats SessionPool::AggregateStats() const {
 std::size_t SessionPool::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();
+}
+
+std::size_t SessionPool::EvictUnderPressure() {
+  MemoryBudget& budget = MemoryBudget::Get();
+  std::size_t evicted = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Unlike Acquire's eviction, victims are destroyed *inside* the lock:
+  // the Session destructor is what releases the topology charge, and the
+  // loop condition must observe that release to stop as soon as pressure
+  // clears instead of draining the whole pool.
+  while (entries_.size() > 1 && budget.UnderPressure()) {
+    Entry victim = std::move(entries_.back());
+    entries_.pop_back();
+    victim.session.reset();
+    ++evicted;
+    TOPOGEN_COUNT("session_pool.pressure_evictions");
+    if (obs::EventsEnabled()) {
+      obs::Event("mem_pressure")
+          .Str("edge", "evict")
+          .Str("session", victim.key)
+          .U64("charged_bytes", budget.charged_bytes());
+    }
+  }
+  return evicted;
 }
 
 }  // namespace topogen::core

@@ -47,6 +47,14 @@ class SessionPool {
 
   std::size_t size() const;
 
+  // Destroys least-recently-used Sessions while the process memory
+  // budget (core/memory_budget.h) reports pressure, keeping at least the
+  // most recent one so the lane can still serve. Returns the number
+  // evicted. Same thread contract as Acquire(): only the owning executor
+  // may call it, because it destroys Sessions whose references that
+  // executor handed out.
+  std::size_t EvictUnderPressure();
+
  private:
   struct Entry {
     std::string key;

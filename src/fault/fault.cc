@@ -48,6 +48,12 @@ constexpr PointInfo kCatalog[] = {
      "topogend fails to parse a request line after reading it"},
     {"svc.respond", Kind::kThrow,
      "topogend fails to write a response (abort = crash mid-request)"},
+    {"svc.sock.read", Kind::kReset,
+     "topogend's connection read is perverted (short = truncated read, "
+     "reset = peer close, stall = held recv)"},
+    {"svc.sock.write", Kind::kReset,
+     "topogend's response write is perverted (short = torn line + close, "
+     "reset = close before write, stall = held send)"},
 };
 
 const PointInfo* FindPoint(std::string_view name) {
@@ -71,6 +77,10 @@ const char* KindName(Kind k) {
       return "delay";
     case Kind::kAbort:
       return "abort";
+    case Kind::kReset:
+      return "reset";
+    case Kind::kStall:
+      return "stall";
   }
   return "unknown";
 }
@@ -82,6 +92,8 @@ std::optional<Kind> ParseKind(std::string_view v) {
   if (v == "corrupt") return Kind::kCorruptByte;
   if (v == "delay") return Kind::kDelay;
   if (v == "abort") return Kind::kAbort;
+  if (v == "reset") return Kind::kReset;
+  if (v == "stall") return Kind::kStall;
   return std::nullopt;
 }
 

@@ -52,6 +52,11 @@ enum class Kind {
                 // Hit(); never returned to the site)
   kAbort,       // _Exit(kCrashExitCode) after the site's partial work --
                 // the crash-recovery tests' guillotine
+  kReset,       // socket seams: hard-close the peer's connection at the
+                // site (mid-read, mid-write, or at accept)
+  kStall,       // socket seams: hold the operation for `delay_ms` before
+                // letting it proceed -- unlike kDelay the *site* sleeps,
+                // so its locks/fds stay held exactly as a real wedge would
 };
 
 // Exit code used by kind=abort, distinct from any exit code the benches

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "core/memory_budget.h"
 #include "graph/bfs_scratch.h"
 #include "obs/stats.h"
 
@@ -91,6 +92,11 @@ struct BfsEngine {
     if (grown_bytes > 0) {
       AllocCounter().Increment();
       AllocBytesCounter().Add(grown_bytes);
+      // Scratch pools only ever grow (monotonic per-thread arenas), so
+      // the budget charge is never released -- it tracks the pools' true
+      // residency (core/memory_budget.h).
+      core::MemoryBudget::Get().Charge(core::MemCategory::kScratch,
+                                       grown_bytes);
     }
     ++s.epoch_;
     if (s.epoch_ == 0) {  // epoch wrapped: every mark is ambiguous once
@@ -170,6 +176,8 @@ struct BfsEngine {
         if (grown_bytes > 0) {
           AllocCounter().Increment();
           AllocBytesCounter().Add(grown_bytes);
+          core::MemoryBudget::Get().Charge(core::MemCategory::kScratch,
+                                           grown_bytes);
         }
         for (std::size_t i = 0; i < level_end; ++i) {
           const NodeId v = s.order_[i];

@@ -95,6 +95,16 @@ class Graph {
   // Human-readable one-line summary ("n=1008 m=1402 avg_deg=2.78").
   std::string Summary() const;
 
+  // Resident bytes of the CSR arrays (offsets, adjacency, edge ids,
+  // canonical edge list) -- what a memory budget charges for keeping
+  // this topology materialized (core/memory_budget.h).
+  std::size_t MemoryBytes() const {
+    return offsets_.capacity() * sizeof(std::size_t) +
+           adjacency_.capacity() * sizeof(NodeId) +
+           adjacent_edge_.capacity() * sizeof(EdgeId) +
+           edges_.capacity() * sizeof(Edge);
+  }
+
  private:
   // Binary CSR cache serialization (graph/io.cc) restores these arrays
   // verbatim so cached topologies are bit-identical to fresh ones.

@@ -114,6 +114,13 @@ Env::Env()
           EnvIntOr("TOPOGEN_SERVICE_EXECUTORS", 2, 64, /*min_value=*/1)),
       service_max_sessions_(
           EnvIntOr("TOPOGEN_SERVICE_MAX_SESSIONS", 4, 1024, /*min_value=*/1)),
+      mem_budget_mb_(EnvInt("TOPOGEN_MEM_BUDGET_MB", 1 << 20)),
+      service_target_ms_(
+          EnvIntOr("TOPOGEN_SERVICE_TARGET_MS", 20, 60000, /*min_value=*/1)),
+      service_inflight_(
+          EnvIntOr("TOPOGEN_SERVICE_INFLIGHT", 8, 4096, /*min_value=*/1)),
+      service_stall_ms_(
+          EnvIntOr("TOPOGEN_SERVICE_STALL_MS", 30000, 1 << 22)),
       hist_(Truthy(EnvOr("TOPOGEN_HIST", ""))) {
   Epoch();  // pin the trace epoch no later than first configuration use
 }
@@ -143,6 +150,16 @@ std::span<const EnvVarInfo> Env::RegisteredVars() {
        "topogend executor lanes; session-affine (default 2, minimum 1)"},
       {"TOPOGEN_SERVICE_MAX_SESSIONS",
        "resident sessions per topogend executor lane (default 4)"},
+      {"TOPOGEN_MEM_BUDGET_MB",
+       "resident-memory ceiling; on pressure topogend sheds sessions "
+       "and degrades to sampled estimators (0 = off)"},
+      {"TOPOGEN_SERVICE_TARGET_MS",
+       "topogend queue-sojourn shedding target in ms (default 20)"},
+      {"TOPOGEN_SERVICE_INFLIGHT",
+       "per-connection in-flight request cap (default 8, minimum 1)"},
+      {"TOPOGEN_SERVICE_STALL_MS",
+       "topogend lane-watchdog stall threshold in ms; 0 = off "
+       "(default 30000)"},
   };
   return kVars;
 }

@@ -103,6 +103,26 @@ class Env {
   // executor lane* before LRU eviction. Minimum 1, default 4.
   int service_max_sessions() const { return service_max_sessions_; }
 
+  // TOPOGEN_MEM_BUDGET_MB: process-wide resident-memory ceiling charged
+  // by CSR topologies, BFS scratch, and Session residency
+  // (core/memory_budget.h). 0/unset = no ceiling.
+  int mem_budget_mb() const { return mem_budget_mb_; }
+
+  // TOPOGEN_SERVICE_TARGET_MS: topogend's per-lane queue-sojourn target
+  // for CoDel-style load shedding (docs/ROBUSTNESS.md). Minimum 1,
+  // default 20.
+  int service_target_ms() const { return service_target_ms_; }
+
+  // TOPOGEN_SERVICE_INFLIGHT: per-connection in-flight request cap; a /2
+  // keep-alive client past it is shed with `overloaded`. Minimum 1,
+  // default 8.
+  int service_inflight() const { return service_inflight_; }
+
+  // TOPOGEN_SERVICE_STALL_MS: executor-lane watchdog threshold -- a lane
+  // whose running job exceeds it has its *queued* requests failed with
+  // typed errors. 0 = watchdog off; default 30000.
+  int service_stall_ms() const { return service_stall_ms_; }
+
   // The full registry of TOPOGEN_* variables this build honors.
   static std::span<const EnvVarInfo> RegisteredVars();
 
@@ -130,6 +150,10 @@ class Env {
   int service_queue_ = 0;
   int service_executors_ = 0;
   int service_max_sessions_ = 0;
+  int mem_budget_mb_ = 0;
+  int service_target_ms_ = 0;
+  int service_inflight_ = 0;
+  int service_stall_ms_ = 0;
   bool hist_ = false;
 };
 

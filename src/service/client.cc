@@ -1,0 +1,203 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <optional>
+#include <thread>
+
+#include "obs/json.h"
+
+namespace topogen::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t RemainingMs(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() > 0 ? static_cast<std::uint64_t>(left.count()) : 0;
+}
+
+// The error.code of a response line, or nullopt for non-error lines
+// (success, degraded, or unparsable).
+std::optional<std::string> ErrorCodeOf(std::string_view line) {
+  const std::optional<obs::Json> doc = obs::Json::Parse(line);
+  if (!doc.has_value() || !doc->is_object()) return std::nullopt;
+  const obs::Json* error = doc->Find("error");
+  if (error == nullptr || !error->is_object()) return std::nullopt;
+  const obs::Json* code = error->Find("code");
+  if (code == nullptr || !code->is_string()) return std::nullopt;
+  return code->AsString();
+}
+
+}  // namespace
+
+bool IsOverloadedError(std::string_view line) {
+  return ErrorCodeOf(line) == std::optional<std::string>("overloaded");
+}
+
+std::uint64_t ParseRetryAfterMs(std::string_view line) {
+  const std::optional<obs::Json> doc = obs::Json::Parse(line);
+  if (!doc.has_value() || !doc->is_object()) return 0;
+  const obs::Json* error = doc->Find("error");
+  if (error == nullptr || !error->is_object()) return 0;
+  const obs::Json* retry = error->Find("retry_after_ms");
+  if (retry == nullptr || !retry->is_number()) return 0;
+  const double d = retry->AsDouble();
+  return d > 0 ? static_cast<std::uint64_t>(d) : 0;
+}
+
+Client::Client(ClientOptions options)
+    : options_(options), rng_(options.jitter_seed) {
+  options_.max_attempts = std::max(options_.max_attempts, 1);
+}
+
+Client::~Client() { Disconnect(); }
+
+void Client::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+bool Client::EnsureConnected(std::uint64_t deadline_ms_from_now) {
+  if (fd_ >= 0) return true;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  // Non-blocking connect so the op deadline applies to it too.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  const int rc =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return false;
+  }
+  if (rc < 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    if (::poll(&pfd, 1, static_cast<int>(std::min<std::uint64_t>(
+                            deadline_ms_from_now, 1u << 30))) <= 0) {
+      ::close(fd);
+      return false;
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
+    if (err != 0) {
+      ::close(fd);
+      return false;
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  buffer_.clear();
+  return true;
+}
+
+bool Client::SendAll(std::string_view data,
+                     std::uint64_t deadline_ms_from_now) {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(deadline_ms_from_now);
+  std::size_t off = 0;
+  while (off < data.size()) {
+    pollfd pfd{fd_, POLLOUT, 0};
+    const std::uint64_t left = RemainingMs(deadline);
+    if (left == 0 || ::poll(&pfd, 1, static_cast<int>(left)) <= 0) {
+      return false;
+    }
+    const ssize_t n =
+        ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Client::RecvLine(std::string* line, std::uint64_t deadline_ms_from_now) {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(deadline_ms_from_now);
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      line->assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const std::uint64_t left = RemainingMs(deadline);
+    if (left == 0 || ::poll(&pfd, 1, static_cast<int>(left)) <= 0) {
+      return false;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::uint64_t Client::BackoffMs(int attempt) {
+  std::uint64_t cap = options_.backoff_initial_ms;
+  for (int i = 0; i < attempt && cap < options_.backoff_max_ms; ++i) {
+    cap *= 2;
+  }
+  cap = std::min(cap, options_.backoff_max_ms);
+  // Full jitter (uniform in [0, cap]): shed clients spread out instead of
+  // re-arriving as the synchronized wave that got them shed.
+  return cap == 0 ? 0 : rng_.NextIndex(cap + 1);
+}
+
+ClientResult Client::Call(const std::string& request_line) {
+  ClientResult result;
+  std::string wire = request_line;
+  wire += '\n';
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    result.attempts = attempt + 1;
+    if (attempt > 0 && fd_ < 0) ++result.reconnects;
+    if (!EnsureConnected(options_.op_timeout_ms)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(BackoffMs(attempt)));
+      continue;
+    }
+    std::string line;
+    if (!SendAll(wire, options_.op_timeout_ms) ||
+        !RecvLine(&line, options_.op_timeout_ms)) {
+      // Transport failure or timeout: the connection may still carry a
+      // late response, so it is never reused.
+      Disconnect();
+      std::this_thread::sleep_for(std::chrono::milliseconds(BackoffMs(attempt)));
+      continue;
+    }
+    if (IsOverloadedError(line)) {
+      ++result.sheds;
+      const std::uint64_t wait = ParseRetryAfterMs(line) + BackoffMs(attempt);
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+      continue;
+    }
+    result.line = std::move(line);
+    return result;
+  }
+  result.error = "no response after " + std::to_string(options_.max_attempts) +
+                 " attempts (" + std::to_string(result.sheds) + " shed, " +
+                 std::to_string(result.reconnects) + " reconnects)";
+  return result;
+}
+
+}  // namespace topogen::service

@@ -1,0 +1,88 @@
+// A blocking /1 client for topogend with the retry discipline the
+// overload design assumes (docs/ROBUSTNESS.md, "The client contract").
+//
+// Two failure families, two recoveries:
+//
+//   *Shed* -- the server answered, but with code "overloaded" and a
+//   retry_after_ms hint. The client sleeps at least that long, plus
+//   capped exponential backoff with full jitter (so a thundering herd of
+//   shed clients does not re-arrive in lockstep), then resends.
+//
+//   *Transport* -- the connection died or an operation timed out: a
+//   supervised worker crashed and restarted, a chaos fault tore the
+//   line, the peer stalled past the deadline. The client reconnects and
+//   resends. /1 requests are idempotent reads against deterministic
+//   artifacts, so resending is always safe.
+//
+// Every socket operation carries a deadline (poll + clock arithmetic);
+// there is no code path that blocks forever. Used by bench_service's
+// overload phase and the service tests; service_smoke.py mirrors the
+// same discipline in Python for the chaos sweep.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "graph/rng.h"
+
+namespace topogen::service {
+
+struct ClientOptions {
+  int port = 0;  // 127.0.0.1:<port>
+  // Per-operation deadline: one connect, one send, one response line.
+  std::uint64_t op_timeout_ms = 30000;
+  // Admission attempts per Call (sheds and transport errors both spend
+  // one); minimum 1.
+  int max_attempts = 8;
+  // Backoff added on top of the server's retry_after_ms: full jitter in
+  // [0, min(initial << attempt, max)].
+  std::uint64_t backoff_initial_ms = 10;
+  std::uint64_t backoff_max_ms = 2000;
+  std::uint64_t jitter_seed = 1;  // deterministic backoff in tests
+};
+
+struct ClientResult {
+  std::string line;   // the final response line; empty when !ok()
+  int attempts = 0;   // send attempts spent (1 = first try worked)
+  int reconnects = 0;
+  int sheds = 0;      // overloaded responses absorbed along the way
+  std::string error;  // why the call gave up; empty on success
+  bool ok() const { return error.empty(); }
+};
+
+// True when `line` is an error response with code "overloaded".
+bool IsOverloadedError(std::string_view line);
+
+// The retry_after_ms of an overloaded response; 0 when absent/unparsable.
+std::uint64_t ParseRetryAfterMs(std::string_view line);
+
+class Client {
+ public:
+  explicit Client(ClientOptions options);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Sends one /1 request line (no trailing newline) and returns its
+  // response line, retrying through sheds and transport errors per
+  // ClientOptions. One request in flight at a time; a timed-out
+  // connection is torn down, never reused, so a stale late response can
+  // not be mistaken for the next call's.
+  ClientResult Call(const std::string& request_line);
+
+ private:
+  bool EnsureConnected(std::uint64_t deadline_ms_from_now);
+  void Disconnect();
+  bool SendAll(std::string_view data, std::uint64_t deadline_ms_from_now);
+  bool RecvLine(std::string* line, std::uint64_t deadline_ms_from_now);
+  std::uint64_t BackoffMs(int attempt);
+
+  ClientOptions options_;
+  graph::Rng rng_;
+  int fd_ = -1;
+  std::string buffer_;  // bytes past the last consumed newline
+};
+
+}  // namespace topogen::service

@@ -1,0 +1,112 @@
+// Per-lane adaptive load shedding for topogend (docs/ROBUSTNESS.md,
+// "Overload control").
+//
+// The admission queue used to be the daemon's only self-protection: a
+// fixed depth, so under sustained overload every client waited the full
+// queue before learning the server was drowning. This controller makes
+// shedding latency-driven instead, after CoDel (Nichols & Jacobson,
+// "Controlling Queue Delay"): the signal is queue *sojourn* -- how long
+// the job an executor just dequeued sat waiting -- measured against a
+// target (default 20ms, TOPOGEN_SERVICE_TARGET_MS). Sojourn above target
+// continuously for a full interval means the lane has standing queue
+// that draining alone will not clear, so new work is shed at admission
+// with a typed `overloaded` error carrying `retry_after_ms`; the first
+// dequeue back under target ends the episode. A second, depth-based
+// trigger sheds when the *estimated* wait (queue depth x EWMA service
+// time) is far past target, which catches a lane whose executor is stuck
+// on one long job and therefore produces no dequeue signal at all.
+//
+// Thread contract: no internal locking. Every method is called with the
+// server's admission mutex held (readers shed under it, executors report
+// dequeues/completions under it), which also makes the state transitions
+// race-free by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace topogen::service {
+
+struct OverloadOptions {
+  // Sojourn target: queue wait above this is "too long".
+  std::uint64_t target_ns = 20'000'000;
+  // How long sojourn must stay above target before shedding starts --
+  // one CoDel interval, sized to ride out a single bursty arrival.
+  std::uint64_t interval_ns = 100'000'000;
+  // Depth-based trigger: shed when depth x EWMA service time exceeds
+  // this many targets' worth of estimated wait.
+  std::uint64_t estimate_factor = 4;
+};
+
+class LaneOverload {
+ public:
+  LaneOverload() = default;
+  explicit LaneOverload(OverloadOptions options) : options_(options) {}
+
+  // Executor signal: a job just left the queue after `sojourn_ns` of
+  // waiting. `now_ns` is a monotonic stamp (same clock for every call).
+  void OnDequeue(std::uint64_t sojourn_ns, std::uint64_t now_ns) {
+    if (sojourn_ns < options_.target_ns) {
+      first_above_ns_ = 0;
+      overloaded_ = false;
+      return;
+    }
+    if (first_above_ns_ == 0) {
+      first_above_ns_ = now_ns;
+    } else if (now_ns - first_above_ns_ >= options_.interval_ns) {
+      overloaded_ = true;
+    }
+  }
+
+  // Executor signal: a job finished after `service_ns` of execution.
+  void OnComplete(std::uint64_t service_ns) {
+    ewma_service_ns_ = ewma_service_ns_ == 0
+                           ? service_ns
+                           : (7 * ewma_service_ns_ + service_ns) / 8;
+  }
+
+  // Admission check for a *new* job against the lane's current depth.
+  // Dedup attaches are never shed -- they add no work to the lane.
+  //
+  // An empty lane always admits, even mid-episode. The episode can only
+  // end through a dequeue back under target, and shedding into an empty
+  // queue would produce no dequeues at all -- the latch would starve the
+  // lane forever once the backlog drained. (CoDel proper never faces
+  // this: it drops while still serving the queue; admission shedding
+  // must re-open explicitly.) The admitted job's own dequeue then
+  // re-evaluates the episode with a true sojourn sample.
+  bool ShouldShed(std::size_t queue_depth) const {
+    if (queue_depth == 0) return false;
+    if (overloaded_) return true;
+    return ewma_service_ns_ > 0 &&
+           static_cast<std::uint64_t>(queue_depth) * ewma_service_ns_ >
+               options_.estimate_factor * options_.target_ns;
+  }
+
+  // The backoff hint a shed response carries: the estimated time for the
+  // lane to work off its queue plus the shed request, floored at the
+  // sojourn target (retrying sooner is pointless by definition) and
+  // capped at 5s so a client never parks on one stale estimate.
+  std::uint64_t RetryAfterMs(std::size_t queue_depth) const {
+    const std::uint64_t per_job =
+        ewma_service_ns_ > 0 ? ewma_service_ns_ : options_.target_ns;
+    std::uint64_t estimate_ms =
+        (static_cast<std::uint64_t>(queue_depth) + 1) * per_job / 1'000'000;
+    const std::uint64_t floor_ms = options_.target_ns / 1'000'000;
+    if (estimate_ms < floor_ms) estimate_ms = floor_ms;
+    if (estimate_ms < 1) estimate_ms = 1;
+    if (estimate_ms > 5000) estimate_ms = 5000;
+    return estimate_ms;
+  }
+
+  bool overloaded() const { return overloaded_; }
+  std::uint64_t ewma_service_ns() const { return ewma_service_ns_; }
+
+ private:
+  OverloadOptions options_;
+  std::uint64_t ewma_service_ns_ = 0;
+  std::uint64_t first_above_ns_ = 0;  // 0 = sojourn currently under target
+  bool overloaded_ = false;
+};
+
+}  // namespace topogen::service

@@ -215,6 +215,19 @@ std::string ErrorResponse(std::string_view id, std::string_view code,
   return out;
 }
 
+std::string OverloadedResponse(std::string_view id, std::string_view message,
+                               std::uint64_t retry_after_ms) {
+  std::string out = "{\"id\":\"";
+  out += obs::JsonEscape(id);
+  out += "\",\"status\":\"error\",\"error\":{\"code\":\"overloaded\","
+         "\"message\":\"";
+  out += obs::JsonEscape(message);
+  out += "\",\"retry_after_ms\":";
+  out += std::to_string(retry_after_ms);
+  out += "}}";
+  return out;
+}
+
 void AppendSeries(std::string& out, const metrics::Series& series) {
   out += "{\"name\":\"";
   out += obs::JsonEscape(series.name);

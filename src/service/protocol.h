@@ -123,9 +123,17 @@ std::size_t LaneForKey(std::string_view structural_key, std::size_t lanes);
 std::string ErrorResponse(std::string_view id, std::string_view code,
                           std::string_view message);
 
+// The load-shedding rejection (docs/ROBUSTNESS.md, "Overload control"):
+// an ErrorResponse with code "overloaded" whose error object additionally
+// carries `retry_after_ms`, the server's estimate of when retrying might
+// succeed. Clients back off at least that long (service/client.h).
+std::string OverloadedResponse(std::string_view id, std::string_view message,
+                               std::uint64_t retry_after_ms);
+
 // One degraded[] entry, mirroring the manifest's exit-75 taxonomy.
 struct DegradedEntry {
-  std::string kind;        // "topology" | "metrics" | "linkvalue" | "request"
+  // "topology" | "metrics" | "linkvalue" | "request" | "mem_budget"
+  std::string kind;
   std::string id;          // topology id (or request id for kind=request)
   std::string code;        // fault::ErrorCodeName of the typed error
   std::string fail_point;  // provenance; empty for organic failures

@@ -22,11 +22,13 @@
 #include <utility>
 #include <vector>
 
+#include "core/memory_budget.h"
 #include "core/scale.h"
 #include "core/session_pool.h"
 #include "fault/fault.h"
 #include "obs/obs.h"
 #include "parallel/cancel.h"
+#include "service/overload.h"
 #include "service/protocol.h"
 
 namespace topogen::service {
@@ -61,6 +63,35 @@ bool NeedsBasicMetrics(const Request& r) {
          r.wants("distortion") || r.wants("signature");
 }
 
+std::uint64_t NowNs(Clock::time_point tp) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          tp.time_since_epoch())
+          .count());
+}
+
+// The obs::Env accessors silently substitute the default for a set-but-
+// out-of-range variable; make that substitution observable (the silent
+// clamp bit an operator who set TOPOGEN_SERVICE_EXECUTORS=0 and got two
+// lanes without a word). Re-reads the raw environment because Env
+// deliberately does not retain rejected values.
+void NoteIfClamped(const char* var, long long used) {
+  const char* raw = std::getenv(var);
+  if (raw == nullptr || *raw == '\0') return;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(raw, &end, 10);
+  if (end != raw && *end == '\0' && parsed == used) return;
+  TOPOGEN_COUNT("service.config_clamped");
+  obs::Event("config_clamped")
+      .Str("var", var)
+      .Str("raw", raw)
+      .I64("used", used);
+  std::fprintf(stderr,
+               "# service: %s='%s' is out of range or unparsable; "
+               "using %lld\n",
+               var, raw, used);
+}
+
 }  // namespace
 
 ServerOptions ServerOptions::FromEnv() {
@@ -70,6 +101,22 @@ ServerOptions ServerOptions::FromEnv() {
   o.queue_limit = static_cast<std::size_t>(env.service_queue());
   o.executors = static_cast<std::size_t>(env.service_executors());
   o.max_sessions = static_cast<std::size_t>(env.service_max_sessions());
+  o.inflight_cap = static_cast<std::size_t>(env.service_inflight());
+  o.target_ms = static_cast<std::uint64_t>(env.service_target_ms());
+  o.stall_ms = static_cast<std::uint64_t>(env.service_stall_ms());
+  NoteIfClamped("TOPOGEN_SERVICE_PORT", o.port);
+  NoteIfClamped("TOPOGEN_SERVICE_QUEUE",
+                static_cast<long long>(o.queue_limit));
+  NoteIfClamped("TOPOGEN_SERVICE_EXECUTORS",
+                static_cast<long long>(o.executors));
+  NoteIfClamped("TOPOGEN_SERVICE_MAX_SESSIONS",
+                static_cast<long long>(o.max_sessions));
+  NoteIfClamped("TOPOGEN_SERVICE_INFLIGHT",
+                static_cast<long long>(o.inflight_cap));
+  NoteIfClamped("TOPOGEN_SERVICE_TARGET_MS",
+                static_cast<long long>(o.target_ms));
+  NoteIfClamped("TOPOGEN_SERVICE_STALL_MS",
+                static_cast<long long>(o.stall_ms));
   return o;
 }
 
@@ -82,6 +129,9 @@ struct Server::Impl {
     // negotiated). Touched only by this connection's reader thread;
     // waiters snapshot it at admission.
     int version = 0;
+    // Admitted-but-unanswered requests on this connection, guarded by
+    // Impl::mutex (not write_mutex): the in-flight cap's ledger.
+    std::size_t inflight_requests = 0;
   };
 
   struct Waiter {
@@ -97,16 +147,24 @@ struct Server::Impl {
     Request request;  // the first-admitted request; equals all waiters'
     std::string key;
     std::size_t lane = 0;
+    Clock::time_point enqueued;  // queue-sojourn anchor for shedding
     std::vector<Waiter> waiters;
   };
 
   explicit Impl(ServerOptions opts) : options(std::move(opts)) {
     options.executors = std::max<std::size_t>(options.executors, 1);
+    options.inflight_cap = std::max<std::size_t>(options.inflight_cap, 1);
     if (options.stream_chunk_points == 0) {
       options.stream_chunk_points = kDefaultStreamChunkPoints;
     }
     queues.resize(options.executors);
     lane_jobs.assign(options.executors, 0);
+    OverloadOptions oo;
+    oo.target_ns = options.target_ms * 1'000'000;
+    oo.interval_ns = options.overload_interval_ms * 1'000'000;
+    overload.assign(options.executors, LaneOverload(oo));
+    lane_busy.assign(options.executors, false);
+    lane_busy_since.assign(options.executors, Clock::time_point{});
     session_pools.reserve(options.executors);
     for (std::size_t i = 0; i < options.executors; ++i) {
       session_pools.push_back(
@@ -130,6 +188,12 @@ struct Server::Impl {
   std::size_t queued_total = 0;
   std::vector<std::uint64_t> lane_jobs;  // executed jobs per lane
   std::unordered_map<std::string, std::shared_ptr<Job>> inflight;
+  // Per-lane shedding state plus the watchdog's progress ledger: when a
+  // lane is mid-job, lane_busy_since marks the dequeue. All guarded by
+  // `mutex`.
+  std::vector<LaneOverload> overload;
+  std::vector<bool> lane_busy;
+  std::vector<Clock::time_point> lane_busy_since;
   ServerStats stat;
   bool paused = false;
   bool stopping = false;
@@ -137,6 +201,7 @@ struct Server::Impl {
   std::uint64_t next_request_id = 0;
 
   std::thread acceptor;
+  std::thread watchdog;
   std::vector<std::thread> executors;
 
   std::mutex conn_mutex;
@@ -157,12 +222,45 @@ struct Server::Impl {
   // --- response plumbing ---
 
   // Writes one response line. Returns false when the connection is gone.
+  // The svc.sock.write seam perverts the write under chaos: short = a
+  // prefix of the framed line then a hard shutdown (the client sees a
+  // torn line -- a prefix of correct bytes, never wrong ones -- then
+  // EOF), reset = shutdown before any byte, stall = the send is held for
+  // delay_ms with the write lock taken, exactly like a wedged peer.
+  // Shutdown (not close) so the reader thread's blocking recv wakes and
+  // retires the fd through its normal path.
   bool SendLine(const std::shared_ptr<Connection>& conn,
                 const std::string& line) {
     std::lock_guard<std::mutex> lock(conn->write_mutex);
     if (conn->fd < 0) return false;
     std::string framed = line;
     framed += '\n';
+    try {
+      if (const auto injected =
+              TOPOGEN_FAULT_HIT("svc.sock.write", line.substr(0, 64))) {
+        switch (injected->kind) {
+          case fault::Kind::kReset:
+            ::shutdown(conn->fd, SHUT_RDWR);
+            return false;
+          case fault::Kind::kShortWrite: {
+            const std::size_t torn = framed.size() / 2;
+            if (torn > 0) {
+              ::send(conn->fd, framed.data(), torn, MSG_NOSIGNAL);
+            }
+            ::shutdown(conn->fd, SHUT_RDWR);
+            return false;
+          }
+          case fault::Kind::kStall:
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(injected->delay_ms));
+            break;  // then write normally
+          default:
+            return false;  // nothing else to pervert: a failed send
+        }
+      }
+    } catch (const fault::InjectedFault&) {
+      return false;
+    }
     std::size_t off = 0;
     while (off < framed.size()) {
       const ssize_t n = ::send(conn->fd, framed.data() + off,
@@ -191,6 +289,22 @@ struct Server::Impl {
         .Str("code", code)
         .Str("message", message);
     SendLine(conn, RenderError(version, id, code, message));
+  }
+
+  // The shedding rejection: code "overloaded" with the retry_after_ms
+  // backoff hint inside the error object (docs/ROBUSTNESS.md).
+  void SendOverloaded(const std::shared_ptr<Connection>& conn, int version,
+                      std::string_view id, std::string_view message,
+                      std::uint64_t retry_after_ms) {
+    TOPOGEN_COUNT("service.shed");
+    obs::Event("request")
+        .Str("op", "shed")
+        .Str("id", id)
+        .Str("code", "overloaded")
+        .U64("retry_after_ms", retry_after_ms);
+    std::string line = OverloadedResponse(id, message, retry_after_ms);
+    if (version >= 2) line = StreamFinalFrame(0, line);
+    SendLine(conn, line);
   }
 
   // Respond to one waiter through the svc.respond seam: every frame of
@@ -236,6 +350,7 @@ struct Server::Impl {
     std::lock_guard<std::mutex> lock(mutex);
     ++stat.responses;
     if (!sent) ++stat.response_errors;
+    if (waiter.conn->inflight_requests > 0) --waiter.conn->inflight_requests;
   }
 
   // --- admission (reader threads) ---
@@ -272,9 +387,16 @@ struct Server::Impl {
     const std::string key = StructuralKey(request, default_scale);
     const std::size_t lane = LaneForKey(key, options.executors);
 
-    enum class Verdict { kAdmitted, kDraining, kQueueFull };
+    enum class Verdict {
+      kAdmitted,
+      kDraining,
+      kQueueFull,
+      kOverloaded,
+      kInflightCap
+    };
     Verdict verdict = Verdict::kAdmitted;
     bool deduped = false;
+    std::uint64_t retry_after_ms = 0;
     {
       std::lock_guard<std::mutex> lock(mutex);
       if (request.id.empty()) {
@@ -283,11 +405,22 @@ struct Server::Impl {
       waiter.id = request.id;
       if (stopping) {
         verdict = Verdict::kDraining;
+      } else if (conn->inflight_requests >= options.inflight_cap) {
+        ++stat.rejected_inflight_cap;
+        verdict = Verdict::kInflightCap;
+        retry_after_ms = overload[lane].RetryAfterMs(queues[lane].size());
       } else if (auto it = inflight.find(key); it != inflight.end()) {
+        // Dedup attach is allowed even while the lane is shedding: the
+        // computation is already paid for, so the attach adds no work.
         it->second->waiters.push_back(waiter);
+        ++conn->inflight_requests;
         ++stat.admitted;
         ++stat.deduped;
         deduped = true;
+      } else if (overload[lane].ShouldShed(queues[lane].size())) {
+        ++stat.rejected_overloaded;
+        verdict = Verdict::kOverloaded;
+        retry_after_ms = overload[lane].RetryAfterMs(queues[lane].size());
       } else if (queued_total >= options.queue_limit) {
         ++stat.rejected_queue_full;
         verdict = Verdict::kQueueFull;
@@ -295,11 +428,13 @@ struct Server::Impl {
         auto job = std::make_shared<Job>();
         job->key = key;
         job->lane = lane;
+        job->enqueued = now;
         job->request = std::move(request);
         job->waiters.push_back(waiter);
         inflight.emplace(job->key, job);
         queues[lane].push_back(std::move(job));
         ++queued_total;
+        ++conn->inflight_requests;
         RecordQueueDepth(lane);
         ++stat.admitted;
       }
@@ -307,6 +442,21 @@ struct Server::Impl {
     if (verdict == Verdict::kDraining) {
       SendError(conn, waiter.version, waiter.id, "draining",
                 "server is shutting down; request not admitted");
+      return;
+    }
+    if (verdict == Verdict::kInflightCap) {
+      SendOverloaded(conn, waiter.version, waiter.id,
+                     "connection already has " +
+                         std::to_string(options.inflight_cap) +
+                         " requests in flight",
+                     retry_after_ms);
+      return;
+    }
+    if (verdict == Verdict::kOverloaded) {
+      SendOverloaded(conn, waiter.version, waiter.id,
+                     "lane " + std::to_string(lane) +
+                         " is shedding load; retry after the backoff",
+                     retry_after_ms);
       return;
     }
     if (verdict == Verdict::kQueueFull) {
@@ -328,8 +478,14 @@ struct Server::Impl {
 
   // --- execution (executor threads) ---
 
-  core::Session& SessionFor(const Request& request, std::size_t lane) {
-    const std::string key = service::SessionKey(request, default_scale);
+  // `mem_degrade` swaps in a sampled-estimator Session (metrics/sample.h)
+  // when the memory budget is under pressure: the pool key gains a "|mem"
+  // suffix so the degraded Session never masquerades as -- or poisons the
+  // caches of -- the exhaustive one.
+  core::Session& SessionFor(const Request& request, std::size_t lane,
+                            bool mem_degrade) {
+    std::string key = service::SessionKey(request, default_scale);
+    if (mem_degrade) key += "|mem";
     return session_pools[lane]->Acquire(key, [&]() {
       const std::string_view scale =
           request.scale.empty() ? std::string_view(default_scale)
@@ -349,6 +505,14 @@ struct Server::Impl {
       if (request.degree_based_nodes != 0) {
         so.roster.degree_based_nodes =
             static_cast<graph::NodeId>(request.degree_based_nodes);
+      }
+      if (mem_degrade && !so.suite.sample.active()) {
+        // The xl tier's estimator spec (core/scale.cc): 64 sampled
+        // centers, a 200k-node expansion budget. Tiers that already run
+        // sampled keep their own spec.
+        so.suite.sample.centers = 64;
+        so.suite.sample.seed = 3;
+        so.suite.sample.expansion_budget = 200000;
       }
       return std::make_unique<core::Session>(so);
     });
@@ -411,6 +575,25 @@ struct Server::Impl {
     }
     const Request& req = job->request;
 
+    // Memory pressure: reclaim lane residency first, and when the budget
+    // is still exceeded serve this job from sampled estimators with a
+    // `mem_budget` degraded marker (docs/ROBUSTNESS.md, "Memory budget").
+    bool mem_degrade = false;
+    {
+      core::MemoryBudget& budget = core::MemoryBudget::Get();
+      if (budget.UnderPressure()) {
+        session_pools[lane]->EvictUnderPressure();
+        mem_degrade = budget.UnderPressure();
+        if (mem_degrade) {
+          obs::Event("mem_pressure")
+              .Str("edge", "degrade")
+              .Str("id", job->request.id)
+              .U64("charged_bytes", budget.charged_bytes())
+              .U64("budget_bytes", budget.budget_bytes());
+        }
+      }
+    }
+
     const core::BasicMetrics* basic = nullptr;
     const hierarchy::LinkValueResult* linkvalue = nullptr;
     std::vector<DegradedEntry> degraded;
@@ -418,7 +601,7 @@ struct Server::Impl {
     std::string internal_error;
     core::Session* session = nullptr;
     try {
-      session = &SessionFor(req, lane);
+      session = &SessionFor(req, lane, mem_degrade);
       const std::size_t degraded_before = session->degraded().size();
       const core::CacheStats before = session->cache_stats();
       {
@@ -445,6 +628,11 @@ struct Server::Impl {
     } catch (const std::exception& e) {
       internal_error = e.what();
     }
+    if (mem_degrade && internal_error.empty()) {
+      degraded.push_back({"mem_budget", req.topology, "mem_budget", "", 0,
+                          "memory budget pressure: metrics served from "
+                          "sampled estimators"});
+    }
 
     // One payload per waiter (ids differ), one computation for all. The
     // completed count is bumped before the sends so a client that has
@@ -456,6 +644,7 @@ struct Server::Impl {
       job->waiters.clear();
       inflight.erase(job->key);
       stat.completed += waiters.size();
+      if (mem_degrade) ++stat.mem_degraded;
     }
     for (const Waiter& w : waiters) {
       if (!internal_error.empty()) {
@@ -468,6 +657,7 @@ struct Server::Impl {
                  RenderError(w.version, w.id, "internal", internal_error));
         std::lock_guard<std::mutex> lock(mutex);
         ++stat.responses;
+        if (w.conn->inflight_requests > 0) --w.conn->inflight_requests;
         continue;
       }
       // /2 responses stream each requested inline series as chunk frames
@@ -554,11 +744,95 @@ struct Server::Impl {
         --queued_total;
         ++lane_jobs[lane];
         RecordQueueDepth(lane);
+        const Clock::time_point now = Clock::now();
+        overload[lane].OnDequeue(ElapsedNs(job->enqueued, now), NowNs(now));
+        lane_busy[lane] = true;
+        lane_busy_since[lane] = now;
       }
       const Clock::time_point begin = Clock::now();
       ExecuteJob(job, lane);
-      TOPOGEN_HIST_NS("service.executor_ns",
-                      ElapsedNs(begin, Clock::now()));
+      const Clock::time_point end = Clock::now();
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        lane_busy[lane] = false;
+        overload[lane].OnComplete(ElapsedNs(begin, end));
+      }
+      TOPOGEN_HIST_NS("service.executor_ns", ElapsedNs(begin, end));
+    }
+  }
+
+  // --- lane watchdog ---
+
+  // A lane wedged mid-job (a runaway kernel, an injected stall) produces
+  // no dequeue signal, so its queued requests would otherwise wait until
+  // a client gave up on its own. Once the running job has been busy past
+  // stall_ms, the watchdog fails everything *queued behind it* with typed
+  // `lane_stalled` errors; the running job itself is left alone -- it may
+  // yet finish and answer its own waiters.
+  void WatchdogLoop() {
+    const std::chrono::milliseconds poll(static_cast<std::int64_t>(
+        std::clamp<std::uint64_t>(options.stall_ms / 4, 10, 1000)));
+    std::unique_lock<std::mutex> lock(mutex);
+    while (!stopping) {
+      cv.wait_for(lock, poll);
+      if (stopping) break;
+      const Clock::time_point now = Clock::now();
+      for (std::size_t lane = 0; lane < queues.size(); ++lane) {
+        if (!lane_busy[lane] || queues[lane].empty()) continue;
+        const std::uint64_t busy_ns = ElapsedNs(lane_busy_since[lane], now);
+        if (busy_ns < options.stall_ms * 1'000'000) continue;
+        // Fail only the queued jobs that have *themselves* waited out the
+        // stall window. A job that just arrived keeps its place: the
+        // wedge may clear any moment (lane_busy can also be stale for an
+        // instant between a response send and the executor re-locking to
+        // clear it, and a fresh request must not be condemned by that
+        // window). Detach the stale jobs under the lock: after the
+        // inflight erase nothing else -- not dedup attach, not the
+        // executor -- can reach them, so the sends below are safely
+        // unlocked.
+        std::deque<std::shared_ptr<Job>> stalled;
+        for (auto it = queues[lane].begin(); it != queues[lane].end();) {
+          if (ElapsedNs((*it)->enqueued, now) >=
+              options.stall_ms * 1'000'000) {
+            stalled.push_back(std::move(*it));
+            it = queues[lane].erase(it);
+          } else {
+            ++it;
+          }
+        }
+        if (stalled.empty()) continue;
+        queued_total -= stalled.size();
+        RecordQueueDepth(lane);
+        std::size_t failed = 0;
+        for (const auto& job : stalled) {
+          inflight.erase(job->key);
+          failed += job->waiters.size();
+        }
+        stat.lane_stall_failures += failed;
+        lock.unlock();
+        TOPOGEN_COUNT("service.lane_stall_failures");
+        obs::Event("watchdog")
+            .Str("op", "lane_stalled")
+            .U64("lane", static_cast<std::uint64_t>(lane))
+            .U64("busy_ms", busy_ns / 1'000'000)
+            .U64("failed", static_cast<std::uint64_t>(failed));
+        for (const auto& job : stalled) {
+          for (const Waiter& w : job->waiters) {
+            SendError(w.conn, w.version, w.id, "lane_stalled",
+                      "executor lane " + std::to_string(lane) +
+                          " has made no progress for " +
+                          std::to_string(busy_ns / 1'000'000) +
+                          "ms; queued request failed rather than hung");
+          }
+        }
+        lock.lock();
+        for (const auto& job : stalled) {
+          for (const Waiter& w : job->waiters) {
+            ++stat.responses;
+            if (w.conn->inflight_requests > 0) --w.conn->inflight_requests;
+          }
+        }
+      }
     }
   }
 
@@ -568,7 +842,39 @@ struct Server::Impl {
     std::string buffer;
     char chunk[4096];
     for (;;) {
-      const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+      ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      // The svc.sock.read seam perverts the bytes just received: short =
+      // the tail is lost (framing garbles into a typed parse error or a
+      // stalled line the client's deadline catches), reset = treat the
+      // peer as gone, stall = hold the read loop like a wedged kernel.
+      // The buffer is never rewritten -- a perverted read loses bytes, it
+      // never invents them.
+      try {
+        if (const auto injected = TOPOGEN_FAULT_HIT(
+                "svc.sock.read",
+                std::string_view(chunk,
+                                 std::min<std::size_t>(
+                                     static_cast<std::size_t>(n), 64)))) {
+          switch (injected->kind) {
+            case fault::Kind::kReset:
+              n = 0;
+              break;
+            case fault::Kind::kShortWrite:
+              n = (n + 1) / 2;
+              break;
+            case fault::Kind::kStall:
+              std::this_thread::sleep_for(
+                  std::chrono::milliseconds(injected->delay_ms));
+              break;
+            default:
+              n = 0;
+              break;
+          }
+        }
+      } catch (const fault::InjectedFault&) {
+        n = 0;
+      }
       if (n <= 0) break;
       buffer.append(chunk, static_cast<std::size_t>(n));
       std::size_t start = 0;
@@ -744,6 +1050,9 @@ void Server::Start() {
   for (std::size_t lane = 0; lane < s.options.executors; ++lane) {
     s.executors.emplace_back([this, lane] { impl_->ExecutorLoop(lane); });
   }
+  if (s.options.stall_ms > 0) {
+    s.watchdog = std::thread([this] { impl_->WatchdogLoop(); });
+  }
   obs::Event("service")
       .Str("op", "start")
       .U64("port", static_cast<std::uint64_t>(s.bound_port))
@@ -771,6 +1080,7 @@ void Server::Stop() {
   for (std::thread& executor : s.executors) {
     if (executor.joinable()) executor.join();
   }
+  if (s.watchdog.joinable()) s.watchdog.join();
   if (s.listen_fd >= 0) {
     ::close(s.listen_fd);
     s.listen_fd = -1;

@@ -60,6 +60,21 @@ struct ServerOptions {
   // most this many points; 0 = kDefaultStreamChunkPoints. /1 responses
   // are unaffected.
   std::size_t stream_chunk_points = 0;
+  // Per-connection in-flight request cap: a connection with this many
+  // unanswered admitted requests has new ones shed with `overloaded`, so
+  // one greedy keep-alive /2 client cannot monopolize the admission
+  // budget. Minimum 1.
+  std::size_t inflight_cap = 8;
+  // CoDel-style shedding target: per-lane queue sojourn above this for a
+  // full interval sheds new work with `overloaded` + retry_after_ms
+  // (docs/ROBUSTNESS.md, "Overload control").
+  std::uint64_t target_ms = 20;
+  // How long sojourn must stay above target before shedding starts.
+  std::uint64_t overload_interval_ms = 100;
+  // Executor-lane watchdog: a lane whose *running* job has made no
+  // progress for this long has its queued requests failed with typed
+  // `lane_stalled` errors instead of hanging their clients. 0 = off.
+  std::uint64_t stall_ms = 30000;
   // Test hook: every executor starts paused and runs nothing until
   // ResumeExecutor() -- lets tests provably enqueue concurrent identical
   // requests before the first one executes.
@@ -67,7 +82,11 @@ struct ServerOptions {
 
   // The daemon configuration, resolved through the obs::Env registry in
   // one place: TOPOGEN_SERVICE_PORT, TOPOGEN_SERVICE_QUEUE,
-  // TOPOGEN_SERVICE_EXECUTORS, TOPOGEN_SERVICE_MAX_SESSIONS.
+  // TOPOGEN_SERVICE_EXECUTORS, TOPOGEN_SERVICE_MAX_SESSIONS, plus the
+  // overload knobs TOPOGEN_SERVICE_TARGET_MS, TOPOGEN_SERVICE_INFLIGHT,
+  // TOPOGEN_SERVICE_STALL_MS. A set-but-out-of-range variable falls back
+  // to its default *and* emits a `config_clamped` event record (plus a
+  // stderr note), so misconfiguration is observable instead of silent.
   static ServerOptions FromEnv();
 };
 
@@ -83,6 +102,14 @@ struct ServerStats {
   std::uint64_t parse_errors = 0;
   std::uint64_t responses = 0;
   std::uint64_t response_errors = 0;  // dropped responses (write failures)
+  // Overload self-protection (docs/ROBUSTNESS.md): requests shed by the
+  // CoDel-style controller, by the per-connection in-flight cap, queued
+  // requests failed by the lane watchdog, and jobs served from sampled
+  // estimators under memory pressure.
+  std::uint64_t rejected_overloaded = 0;
+  std::uint64_t rejected_inflight_cap = 0;
+  std::uint64_t lane_stall_failures = 0;
+  std::uint64_t mem_degraded = 0;
 };
 
 class Server {

@@ -1,0 +1,173 @@
+#include "service/supervisor.h"
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace topogen::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// One human-readable rendering of how a worker died, for the restart
+// line and the supervisor event record.
+std::string DescribeStatus(int status) {
+  if (WIFEXITED(status)) {
+    return "exit " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return "signal " + std::to_string(WTERMSIG(status));
+  }
+  return "status " + std::to_string(status);
+}
+
+}  // namespace
+
+int ResolvePort(int port) {
+  if (port != 0) return port;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("supervisor: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  socklen_t addr_len = sizeof(addr);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) < 0) {
+    ::close(fd);
+    throw std::runtime_error("supervisor: cannot reserve an ephemeral port");
+  }
+  ::close(fd);
+  // SO_REUSEADDR on both this probe and the worker's listener makes the
+  // close-then-rebind race benign on loopback.
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+int RunSupervised(const std::function<int()>& run_worker,
+                  const SupervisorOptions& options) {
+  // Everything the parent reacts to arrives as a signal, so block the
+  // set up front and receive synchronously with sigwait/sigtimedwait --
+  // no handlers, no async-signal-safety hazards. The worker inherits the
+  // blocked mask and does its own sigwait, exactly like an unsupervised
+  // daemon.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  sigaddset(&signals, SIGCHLD);
+  sigprocmask(SIG_BLOCK, &signals, nullptr);
+
+  // Open the event sink (if configured) before the first fork. The sink
+  // opens lazily with truncation, and the workers are forked without
+  // exec -- left lazy, the supervisor and each worker generation would
+  // open the file independently, every open truncating the others'
+  // records and writing at its own offset. Opening here instead means
+  // every child inherits this one file description: a single shared
+  // offset, so supervisor and worker lines interleave at line
+  // granularity in one log.
+  obs::EventLog::Get().Flush();
+
+  std::uint64_t backoff_ms = options.backoff_initial_ms;
+  int restarts = 0;
+  for (;;) {
+    const pid_t child = ::fork();
+    if (child < 0) {
+      std::fprintf(stderr, "topogend: fork() failed; supervision over\n");
+      return 1;
+    }
+    if (child == 0) {
+      ::_exit(run_worker());
+    }
+    const Clock::time_point born = Clock::now();
+    obs::Event("supervisor")
+        .Str("op", restarts == 0 ? "start" : "restart")
+        .U64("pid", static_cast<std::uint64_t>(child))
+        .U64("generation", static_cast<std::uint64_t>(restarts));
+
+    // Wait for the worker to die or for a shutdown signal to forward.
+    bool shutdown = false;
+    int status = 0;
+    for (;;) {
+      int got = 0;
+      sigwait(&signals, &got);
+      if (got == SIGINT || got == SIGTERM) {
+        shutdown = true;
+        ::kill(child, got);
+        // The worker drains; collect it however it ends.
+        ::waitpid(child, &status, 0);
+        break;
+      }
+      // SIGCHLD coalesces, so reap specifically and keep waiting when
+      // the worker is still alive (a stray SIGCHLD from elsewhere).
+      if (::waitpid(child, &status, WNOHANG) == child) break;
+    }
+    const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (shutdown || clean) {
+      obs::Event("supervisor")
+          .Str("op", "exit")
+          .Str("worker", DescribeStatus(status))
+          .U64("restarts", static_cast<std::uint64_t>(restarts));
+      return clean ? 0 : status;
+    }
+
+    // Abnormal death: restart with backoff. A worker that ran long
+    // enough to be called stable resets the ladder, so one crash a day
+    // does not creep toward the cap.
+    const std::uint64_t lifetime_ms =
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                Clock::now() - born)
+                .count());
+    if (lifetime_ms >= options.stable_after_ms) {
+      backoff_ms = options.backoff_initial_ms;
+    }
+    ++restarts;
+    if (options.max_restarts > 0 && restarts > options.max_restarts) {
+      std::fprintf(stderr,
+                   "topogend: worker died (%s) after %d restarts; giving up\n",
+                   DescribeStatus(status).c_str(), options.max_restarts);
+      return WIFEXITED(status) ? WEXITSTATUS(status) : 1;
+    }
+    TOPOGEN_COUNT("supervisor.restarts");
+    obs::Event("supervisor")
+        .Str("op", "worker_died")
+        .Str("worker", DescribeStatus(status))
+        .U64("lifetime_ms", lifetime_ms)
+        .U64("backoff_ms", backoff_ms);
+    std::fprintf(stderr,
+                 "topogend: worker died (%s) after %llums; restarting in "
+                 "%llums\n",
+                 DescribeStatus(status).c_str(),
+                 static_cast<unsigned long long>(lifetime_ms),
+                 static_cast<unsigned long long>(backoff_ms));
+    std::fflush(stderr);
+
+    // Interruptible backoff: a shutdown signal during the sleep ends
+    // supervision immediately instead of forking one more doomed worker.
+    timespec ts{};
+    ts.tv_sec = static_cast<time_t>(backoff_ms / 1000);
+    ts.tv_nsec = static_cast<long>((backoff_ms % 1000) * 1'000'000);
+    const int got = sigtimedwait(&signals, nullptr, &ts);
+    if (got == SIGINT || got == SIGTERM) {
+      obs::Event("supervisor").Str("op", "exit").Str("worker", "shutdown");
+      return 0;
+    }
+    backoff_ms = std::min(backoff_ms * 2, options.backoff_max_ms);
+  }
+}
+
+}  // namespace topogen::service

@@ -1,0 +1,51 @@
+// Supervised restart for topogend (docs/ROBUSTNESS.md, "Supervised
+// restart").
+//
+// `topogend --supervise` splits the daemon into a tiny supervisor parent
+// and a worker child: the parent forks the worker, waits, and re-forks it
+// with capped exponential backoff whenever it dies abnormally -- an
+// injected crash (fault::kCrashExitCode), a kernel OOM kill, a stray
+// signal. The worker re-opens the same artifact store on restart, so
+// everything the previous generation persisted (topologies, figures) is
+// served warm from cache instead of recomputed; in-flight requests of the
+// crashed generation are lost, which is exactly what the client's
+// reconnect-and-retry loop (service/client.h) is for.
+//
+// The parent holds no server state: no sockets, no sessions, no threads
+// before fork -- so the fork is async-signal clean. SIGTERM/SIGINT to the
+// parent forward to the worker (which drains and exits 0) and end
+// supervision; a worker that exits 0 on its own ends supervision too.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace topogen::service {
+
+struct SupervisorOptions {
+  // First restart delay; doubles per consecutive crash up to the cap.
+  std::uint64_t backoff_initial_ms = 100;
+  std::uint64_t backoff_max_ms = 5000;
+  // A worker that survives this long resets the backoff ladder.
+  std::uint64_t stable_after_ms = 10000;
+  // Give up after this many consecutive crashes (0 = never). The
+  // supervisor then exits with the last worker's status.
+  int max_restarts = 0;
+};
+
+// Resolves port 0 to a concrete ephemeral port by binding and closing a
+// loopback socket, so every supervised worker generation listens on the
+// *same* port and clients can reconnect across restarts. A nonzero port
+// passes through unchanged. Throws std::runtime_error when no port can
+// be reserved.
+int ResolvePort(int port);
+
+// Runs `run_worker` in a forked child, restarting per SupervisorOptions.
+// `run_worker` must not return to the caller's stack in a meaningful way
+// -- its return value becomes the child's exit code. Returns the process
+// exit code for the supervisor: 0 after a clean worker exit or forwarded
+// shutdown signal, the worker's final status when restarts are exhausted.
+int RunSupervised(const std::function<int()>& run_worker,
+                  const SupervisorOptions& options = {});
+
+}  // namespace topogen::service

@@ -1,0 +1,162 @@
+// Process-wide memory budget (src/core/memory_budget.h): advisory
+// charge/release accounting, per-category ledgers, the pressure
+// predicate and its edge behavior, and the session-pool eviction that
+// relieves pressure (docs/ROBUSTNESS.md, "Memory budgets").
+//
+// MemoryBudget is a process-wide singleton, so every test restores the
+// budget to 0 (unlimited) and zeroes the charges on exit -- a leaked
+// budget would degrade unrelated service tests to sampled estimators.
+#include "core/memory_budget.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/scale.h"
+#include "core/session_pool.h"
+
+namespace topogen::core {
+namespace {
+
+class MemoryBudgetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MemoryBudget::Get().SetBudgetForTesting(0);
+    MemoryBudget::Get().ResetChargesForTesting();
+  }
+  void TearDown() override {
+    MemoryBudget::Get().SetBudgetForTesting(0);
+    MemoryBudget::Get().ResetChargesForTesting();
+  }
+};
+
+TEST_F(MemoryBudgetTest, ChargesAccumulatePerCategoryAndInTotal) {
+  MemoryBudget& b = MemoryBudget::Get();
+  b.Charge(MemCategory::kTopology, 100);
+  b.Charge(MemCategory::kScratch, 40);
+  b.Charge(MemCategory::kTopology, 10);
+  EXPECT_EQ(b.charged_bytes(), 150u);
+  EXPECT_EQ(b.charged_bytes(MemCategory::kTopology), 110u);
+  EXPECT_EQ(b.charged_bytes(MemCategory::kScratch), 40u);
+  EXPECT_EQ(b.charged_bytes(MemCategory::kOther), 0u);
+  EXPECT_EQ(b.peak_bytes(), 150u);
+
+  b.Release(MemCategory::kTopology, 110);
+  EXPECT_EQ(b.charged_bytes(), 40u);
+  EXPECT_EQ(b.charged_bytes(MemCategory::kTopology), 0u);
+  EXPECT_EQ(b.peak_bytes(), 150u) << "peak is a high-water mark";
+}
+
+TEST_F(MemoryBudgetTest, NoBudgetMeansNoPressure) {
+  MemoryBudget& b = MemoryBudget::Get();
+  EXPECT_EQ(b.budget_bytes(), 0u);
+  b.Charge(MemCategory::kOther, 1u << 30);
+  EXPECT_FALSE(b.UnderPressure()) << "0 budget = unlimited";
+}
+
+TEST_F(MemoryBudgetTest, PressureEntersAtTheCeilingAndExitsBelowIt) {
+  MemoryBudget& b = MemoryBudget::Get();
+  b.SetBudgetForTesting(1000);
+  b.Charge(MemCategory::kTopology, 999);
+  EXPECT_FALSE(b.UnderPressure());
+  b.Charge(MemCategory::kTopology, 1);
+  EXPECT_TRUE(b.UnderPressure()) << "charged == budget is pressure";
+  b.Release(MemCategory::kTopology, 1);
+  EXPECT_FALSE(b.UnderPressure());
+}
+
+TEST_F(MemoryBudgetTest, OverReleaseClampsInsteadOfUnderflowing) {
+  MemoryBudget& b = MemoryBudget::Get();
+  b.SetBudgetForTesting(100);
+  b.Charge(MemCategory::kScratch, 50);
+  // A buggy or double-counted release must not wrap the unsigned total
+  // to ~2^64 and pin the process in permanent pressure.
+  b.Release(MemCategory::kScratch, 9999);
+  EXPECT_EQ(b.charged_bytes(), 0u);
+  EXPECT_EQ(b.charged_bytes(MemCategory::kScratch), 0u);
+  EXPECT_FALSE(b.UnderPressure());
+}
+
+TEST_F(MemoryBudgetTest, ConcurrentChargesBalanceExactly) {
+  MemoryBudget& b = MemoryBudget::Get();
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 2000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&b] {
+      for (int i = 0; i < kRounds; ++i) {
+        b.Charge(MemCategory::kScratch, 7);
+        b.Release(MemCategory::kScratch, 7);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(b.charged_bytes(), 0u);
+  EXPECT_EQ(b.charged_bytes(MemCategory::kScratch), 0u);
+}
+
+// A materialized Session must actually charge the budget (residency is
+// what topogend evicts under pressure), and destroying it must release
+// what it charged.
+TEST_F(MemoryBudgetTest, SessionResidencyIsChargedAndReleased) {
+  MemoryBudget& b = MemoryBudget::Get();
+  SessionOptions so = ScaledSessionOptions("small");
+  so.roster.as_nodes = 200;
+  so.journal_path.clear();
+  {
+    Session session(so);
+    session.Metrics("Tree");
+    EXPECT_GT(b.charged_bytes(MemCategory::kTopology), 0u)
+        << "a resident CSR topology must be on the ledger";
+  }
+  EXPECT_EQ(b.charged_bytes(MemCategory::kTopology), 0u)
+      << "destruction must release residency";
+}
+
+TEST_F(MemoryBudgetTest, PoolEvictionRelievesPressureButKeepsOneSession) {
+  MemoryBudget& b = MemoryBudget::Get();
+  SessionPool pool(/*max_sessions=*/4);
+  auto factory = [](int as_nodes) {
+    return [as_nodes]() {
+      SessionOptions so = ScaledSessionOptions("small");
+      so.roster.as_nodes = static_cast<graph::NodeId>(as_nodes);
+      so.journal_path.clear();
+      auto session = std::make_unique<Session>(so);
+      session->Metrics("Tree");  // materialize, so residency is charged
+      return session;
+    };
+  };
+  pool.Acquire("a", factory(150));
+  pool.Acquire("b", factory(200));
+  pool.Acquire("c", factory(250));
+  ASSERT_EQ(pool.size(), 3u);
+  const std::uint64_t resident = b.charged_bytes(MemCategory::kTopology);
+  ASSERT_GT(resident, 0u);
+
+  // No pressure: eviction is a no-op.
+  EXPECT_EQ(pool.EvictUnderPressure(), 0u);
+  EXPECT_EQ(pool.size(), 3u);
+
+  // Impossible budget: evict down to the floor of one resident Session
+  // (the one serving the in-flight request must survive).
+  b.SetBudgetForTesting(1);
+  EXPECT_EQ(pool.EvictUnderPressure(), 2u);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_LT(b.charged_bytes(MemCategory::kTopology), resident);
+
+  // Achievable budget: evicting LRU entries stops as soon as the ledger
+  // is back under it.
+  b.SetBudgetForTesting(0);
+  pool.Acquire("d", factory(300));
+  pool.Acquire("e", factory(350));
+  ASSERT_EQ(pool.size(), 3u);
+  b.SetBudgetForTesting(b.charged_bytes() - 1);
+  EXPECT_GE(pool.EvictUnderPressure(), 1u);
+  EXPECT_FALSE(b.UnderPressure());
+  EXPECT_GE(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace topogen::core

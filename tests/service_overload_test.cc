@@ -1,0 +1,711 @@
+// Overload resilience for topogend (docs/ROBUSTNESS.md): the CoDel-style
+// shedding controller, the per-connection in-flight cap, drain-under-
+// overload semantics, the lane watchdog, memory-budget degradation, the
+// retrying client, and the socket-seam chaos points.
+//
+// Tests that need a slow or wedged executor pin it with the svc.respond
+// delay fault instead of sleeping in kernels, so timing stays
+// deterministic: the executor is provably inside a known window.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/memory_budget.h"
+#include "fault/fault.h"
+#include "obs/json.h"
+#include "obs/obs.h"
+#include "service/client.h"
+#include "service/overload.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/supervisor.h"
+
+namespace topogen::service {
+namespace {
+
+namespace fs = std::filesystem;
+using obs::Json;
+
+// --- the shedding controller in isolation ---
+
+TEST(LaneOverloadTest, SojournAboveTargetForAnIntervalLatchesShedding) {
+  LaneOverload lo(OverloadOptions{
+      .target_ns = 1000, .interval_ns = 10000, .estimate_factor = 4});
+  lo.OnDequeue(/*sojourn_ns=*/2000, /*now_ns=*/1000);  // episode opens
+  EXPECT_FALSE(lo.overloaded()) << "one bad sojourn is a burst, not overload";
+  lo.OnDequeue(2000, 5000);  // above target, interval not yet elapsed
+  EXPECT_FALSE(lo.overloaded());
+  lo.OnDequeue(2000, 11500);  // above target for a full interval
+  EXPECT_TRUE(lo.overloaded());
+  EXPECT_TRUE(lo.ShouldShed(1));
+  // An empty lane always admits, even mid-episode: only a dequeue can
+  // end the episode, and shedding into an empty queue would mean no
+  // dequeues ever happen again -- a permanently starved lane.
+  EXPECT_FALSE(lo.ShouldShed(0));
+  lo.OnDequeue(500, 12000);  // first dequeue back under target
+  EXPECT_FALSE(lo.overloaded()) << "the episode must end immediately";
+  EXPECT_FALSE(lo.ShouldShed(1));
+}
+
+TEST(LaneOverloadTest, EstimateTriggerShedsWithoutAnyDequeueSignal) {
+  LaneOverload lo(OverloadOptions{
+      .target_ns = 1000, .interval_ns = 10000, .estimate_factor = 4});
+  EXPECT_FALSE(lo.ShouldShed(100)) << "no service-time sample yet";
+  lo.OnComplete(5000);  // first sample sets the EWMA exactly
+  EXPECT_EQ(lo.ewma_service_ns(), 5000u);
+  EXPECT_FALSE(lo.ShouldShed(0)) << "empty queue is never estimate-shed";
+  EXPECT_TRUE(lo.ShouldShed(1)) << "1 x 5000ns > 4 x 1000ns";
+  lo.OnComplete(1000);  // EWMA decays: (7*5000 + 1000) / 8 = 4500
+  EXPECT_EQ(lo.ewma_service_ns(), 4500u);
+}
+
+TEST(LaneOverloadTest, RetryAfterIsFlooredAtTargetAndCapped) {
+  LaneOverload lo(OverloadOptions{});  // default 20ms target
+  EXPECT_EQ(lo.RetryAfterMs(0), 20u) << "no EWMA: floor at the target";
+  lo.OnComplete(1'000'000'000);  // 1s per job
+  EXPECT_EQ(lo.RetryAfterMs(10), 5000u) << "11s estimate capped at 5s";
+  EXPECT_EQ(lo.RetryAfterMs(0), 1000u) << "(0+1) x 1s";
+}
+
+// --- shared server-test plumbing ---
+
+class RawClient {
+ public:
+  explicit RawClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~RawClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  void Send(const std::string& line) {
+    const std::string framed = line + "\n";
+    ASSERT_EQ(::send(fd_, framed.data(), framed.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(framed.size()));
+  }
+
+  // Blocks until one full line arrives ("" = connection closed first).
+  std::string ReadLine() {
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return {};
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  // Everything the server sends before closing, newline-framed or not --
+  // for asserting what a torn write actually put on the wire.
+  std::string ReadToEof() {
+    std::string out = buffer_;
+    buffer_.clear();
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return out;
+      out.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+Json MustParse(const std::string& line) {
+  const std::optional<Json> doc = Json::Parse(line);
+  EXPECT_TRUE(doc.has_value()) << "unparseable response: " << line;
+  return doc.value_or(Json());
+}
+
+std::string Field(const Json& doc, const char* key) {
+  const Json* v = doc.Find(key);
+  return (v != nullptr && v->is_string()) ? v->AsString() : std::string();
+}
+
+std::string ErrorCode(const Json& doc) {
+  const Json* err = doc.Find("error");
+  return err != nullptr ? Field(*err, "code") : std::string();
+}
+
+std::uint64_t RetryAfterOf(const Json& doc) {
+  const Json* err = doc.Find("error");
+  if (err == nullptr) return 0;
+  const Json* retry = err->Find("retry_after_ms");
+  return (retry != nullptr && retry->is_number())
+             ? static_cast<std::uint64_t>(retry->AsDouble())
+             : 0;
+}
+
+// A tiny small-tier request with a unique roster size, so each id gets
+// its own structural key (no dedup attach) while staying milliseconds to
+// compute. With executors=1 every key lands on lane 0.
+std::string TinyRequest(const std::string& id, int as_nodes) {
+  return std::string(R"({"id":")") + id +
+         R"(","topology":"Tree","metrics":["signature"],"scale":"small",)" +
+         R"("as_nodes":)" + std::to_string(as_nodes) + "}";
+}
+
+void WaitFor(const std::function<bool()>& pred, const char* what) {
+  for (int i = 0; i < 5000; ++i) {
+    if (pred()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "timed out waiting for " << what;
+}
+
+struct FaultGuard {
+  explicit FaultGuard(const char* spec) { fault::ArmForTesting(spec); }
+  ~FaultGuard() { fault::Disarm(); }
+};
+
+// Restores the process memory budget on every exit path; a leaked tiny
+// budget would silently degrade every later service test to estimators.
+struct BudgetGuard {
+  explicit BudgetGuard(std::uint64_t bytes) {
+    core::MemoryBudget::Get().SetBudgetForTesting(bytes);
+  }
+  ~BudgetGuard() { core::MemoryBudget::Get().SetBudgetForTesting(0); }
+};
+
+// Routes the JSONL event log to a temp file for the duration of a test.
+class EventCapture {
+ public:
+  EventCapture() {
+    path_ = fs::temp_directory_path() /
+            ("topogen_overload_events_" +
+             std::to_string(static_cast<long>(::getpid())) + ".jsonl");
+    fs::remove(path_);
+    ::setenv("TOPOGEN_EVENTS", path_.c_str(), 1);
+    obs::Env::ResetForTesting();
+    obs::EventLog::Get().ResetForTesting();
+  }
+  ~EventCapture() {
+    ::unsetenv("TOPOGEN_EVENTS");
+    obs::Env::ResetForTesting();
+    obs::EventLog::Get().ResetForTesting();
+    fs::remove(path_);
+  }
+
+  // Every parsed record of the given type.
+  std::vector<Json> Records(const std::string& type) const {
+    std::vector<Json> out;
+    std::ifstream is(path_);
+    std::string line;
+    while (std::getline(is, line)) {
+      if (line.empty()) continue;
+      std::optional<Json> doc = Json::Parse(line);
+      if (!doc.has_value() || !doc->is_object()) {
+        ADD_FAILURE() << "unparseable event line: " << line;
+        continue;
+      }
+      if (Field(*doc, "type") == type) out.push_back(std::move(*doc));
+    }
+    return out;
+  }
+
+ private:
+  fs::path path_;
+};
+
+// --- the per-connection in-flight cap ---
+
+TEST(ServiceOverloadTest, InflightCapShedsWithRetryAfterMs) {
+  Server server({.executors = 1, .inflight_cap = 2, .start_paused = true});
+  server.Start();
+  RawClient conn(server.port());
+  ASSERT_TRUE(conn.connected());
+
+  conn.Send(TinyRequest("cap1", 150));
+  conn.Send(TinyRequest("cap2", 151));
+  WaitFor([&] { return server.stats().admitted >= 2; }, "2 admitted");
+  conn.Send(TinyRequest("cap3", 152));
+
+  // The third request sheds immediately (executors still paused), with
+  // the typed code and a positive backoff hint.
+  const Json shed = MustParse(conn.ReadLine());
+  EXPECT_EQ(Field(shed, "id"), "cap3");
+  EXPECT_EQ(Field(shed, "status"), "error");
+  EXPECT_EQ(ErrorCode(shed), "overloaded");
+  EXPECT_GE(RetryAfterOf(shed), 1u);
+  EXPECT_EQ(server.stats().rejected_inflight_cap, 1u);
+
+  server.ResumeExecutor();
+  const Json r1 = MustParse(conn.ReadLine());
+  const Json r2 = MustParse(conn.ReadLine());
+  EXPECT_EQ(Field(r1, "status"), "ok");
+  EXPECT_EQ(Field(r2, "status"), "ok");
+
+  // The answered requests released their in-flight slots: the same
+  // connection is admittable again.
+  conn.Send(TinyRequest("cap4", 153));
+  EXPECT_EQ(Field(MustParse(conn.ReadLine()), "status"), "ok");
+  EXPECT_EQ(server.stats().rejected_inflight_cap, 1u);
+}
+
+// A second connection has its own ledger: one greedy client must not
+// starve its neighbors.
+TEST(ServiceOverloadTest, InflightCapIsPerConnection) {
+  Server server({.executors = 1, .inflight_cap = 1, .start_paused = true});
+  server.Start();
+  RawClient greedy(server.port());
+  RawClient polite(server.port());
+  ASSERT_TRUE(greedy.connected());
+  ASSERT_TRUE(polite.connected());
+
+  greedy.Send(TinyRequest("g1", 150));
+  WaitFor([&] { return server.stats().admitted >= 1; }, "g1 admitted");
+  greedy.Send(TinyRequest("g2", 151));
+  EXPECT_EQ(ErrorCode(MustParse(greedy.ReadLine())), "overloaded");
+
+  polite.Send(TinyRequest("p1", 152));
+  WaitFor([&] { return server.stats().admitted >= 2; }, "p1 admitted");
+  server.ResumeExecutor();
+  EXPECT_EQ(Field(MustParse(polite.ReadLine()), "status"), "ok");
+  EXPECT_EQ(Field(MustParse(greedy.ReadLine()), "status"), "ok");
+}
+
+// --- adaptive shedding through the wire ---
+
+// Prime the lane's EWMA with one slow job, wedge a second, and the
+// estimate trigger (depth x EWMA >> target) sheds the next arrival while
+// the queue is still far below the admission budget -- the fixed
+// queue_full limit never fires.
+TEST(ServiceOverloadTest, BackloggedLaneShedsAdaptivelyWithRetryAfterMs) {
+  if (!fault::CompiledIn()) GTEST_SKIP() << "fault points not compiled in";
+  const FaultGuard guard("svc.respond@kind=delay,ms=150,match=slow");
+  EventCapture events;
+  Server server({.executors = 1, .target_ms = 1});
+  server.Start();
+  RawClient conn(server.port());
+  ASSERT_TRUE(conn.connected());
+
+  // slow1 completes in ~150ms and seeds the EWMA with it.
+  conn.Send(TinyRequest("slow1", 150));
+  EXPECT_EQ(Field(MustParse(conn.ReadLine()), "status"), "ok");
+
+  // slow2 occupies the executor for another 150ms...
+  conn.Send(TinyRequest("slow2", 151));
+  WaitFor([&] { return server.stats().completed >= 2; },
+          "slow2 executing (completed bumps before its delayed send)");
+  // ...r3 queues behind it (depth 0 at admission: never shed)...
+  conn.Send(TinyRequest("r3", 152));
+  WaitFor([&] { return server.stats().admitted >= 3; }, "r3 admitted");
+  // ...and r4 sees depth 1 x ~150ms EWMA >> 4 x 1ms target: shed.
+  conn.Send(TinyRequest("r4", 153));
+
+  const Json shed = MustParse(conn.ReadLine());
+  EXPECT_EQ(Field(shed, "id"), "r4");
+  EXPECT_EQ(ErrorCode(shed), "overloaded");
+  // The hint reflects the estimated drain time: (depth 1 + 1) x ~150ms.
+  EXPECT_GE(RetryAfterOf(shed), 100u);
+  EXPECT_EQ(server.stats().rejected_overloaded, 1u);
+  EXPECT_EQ(server.stats().rejected_queue_full, 0u)
+      << "adaptive shedding must fire long before the queue cap";
+
+  // Everything admitted still answers.
+  const Json s2 = MustParse(conn.ReadLine());
+  const Json rr3 = MustParse(conn.ReadLine());
+  EXPECT_EQ(Field(s2, "id"), "slow2");
+  EXPECT_EQ(Field(rr3, "id"), "r3");
+  EXPECT_EQ(Field(s2, "status"), "ok");
+  EXPECT_EQ(Field(rr3, "status"), "ok");
+
+  // The shed left an audit record with the hint.
+  const std::vector<Json> sheds = events.Records("request");
+  bool found = false;
+  for (const Json& rec : sheds) {
+    if (Field(rec, "op") == "shed" && Field(rec, "id") == "r4") {
+      found = true;
+      const Json* retry = rec.Find("retry_after_ms");
+      ASSERT_NE(retry, nullptr);
+      EXPECT_GE(retry->AsDouble(), 100.0);
+    }
+  }
+  EXPECT_TRUE(found) << "no shed event record for r4";
+}
+
+// --- drain under overload (SIGTERM semantics) ---
+
+// Stop() while a shed response is already on the wire and two slow
+// requests are admitted: both admitted requests must be *answered*, a
+// request arriving mid-drain must be *rejected* with the typed draining
+// error -- nothing is silently dropped -- and the event log must carry
+// the shed audit record alongside both done records.
+TEST(ServiceOverloadTest, DrainUnderOverloadAnswersAdmittedRejectsLate) {
+  if (!fault::CompiledIn()) GTEST_SKIP() << "fault points not compiled in";
+  const FaultGuard guard("svc.respond@kind=delay,ms=300,match=dr");
+  EventCapture events;
+  Server server({.executors = 1, .inflight_cap = 2, .start_paused = true});
+  server.Start();
+  RawClient conn(server.port());
+  ASSERT_TRUE(conn.connected());
+
+  conn.Send(TinyRequest("dr1", 150));
+  conn.Send(TinyRequest("dr2", 151));
+  WaitFor([&] { return server.stats().admitted >= 2; }, "2 admitted");
+  conn.Send(TinyRequest("shed3", 152));
+  const Json shed = MustParse(conn.ReadLine());
+  EXPECT_EQ(Field(shed, "id"), "shed3");
+  EXPECT_EQ(ErrorCode(shed), "overloaded");
+  EXPECT_GE(RetryAfterOf(shed), 1u);
+
+  // SIGTERM-equivalent: Stop() unpauses and drains. The delay fault
+  // holds each dr response for 300ms, so the drain provably spans the
+  // late request below.
+  std::thread stopper([&] { server.Stop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  conn.Send(TinyRequest("late4", 153));
+
+  // Responses, in arrival order: late4's typed rejection beats the
+  // delayed dr responses.
+  const Json late = MustParse(conn.ReadLine());
+  EXPECT_EQ(Field(late, "id"), "late4");
+  EXPECT_EQ(ErrorCode(late), "draining");
+  const Json d1 = MustParse(conn.ReadLine());
+  const Json d2 = MustParse(conn.ReadLine());
+  EXPECT_EQ(Field(d1, "id"), "dr1");
+  EXPECT_EQ(Field(d2, "id"), "dr2");
+  EXPECT_EQ(Field(d1, "status"), "ok");
+  EXPECT_EQ(Field(d2, "status"), "ok");
+  stopper.join();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.responses, 2u) << "every admitted request answered";
+  EXPECT_EQ(stats.rejected_inflight_cap, 1u);
+  EXPECT_EQ(stats.response_errors, 0u) << "nothing dropped";
+
+  // events.jsonl: the shed audit record plus a done record per admitted
+  // request survived the drain.
+  std::size_t sheds = 0, dones = 0;
+  for (const Json& rec : events.Records("request")) {
+    if (Field(rec, "op") == "shed") ++sheds;
+    if (Field(rec, "op") == "done") ++dones;
+  }
+  EXPECT_EQ(sheds, 1u);
+  EXPECT_EQ(dones, 2u);
+}
+
+// --- the lane watchdog ---
+
+TEST(ServiceOverloadTest, WatchdogFailsQueuedRequestsBehindAWedgedLane) {
+  if (!fault::CompiledIn()) GTEST_SKIP() << "fault points not compiled in";
+  const FaultGuard guard("svc.respond@kind=delay,ms=1500,match=wedge");
+  Server server({.executors = 1, .stall_ms = 100});
+  server.Start();
+  RawClient conn(server.port());
+  ASSERT_TRUE(conn.connected());
+
+  conn.Send(TinyRequest("wedge1", 150));
+  // completed bumps just before the 1500ms-delayed send, so observing it
+  // proves the executor is wedged inside Respond.
+  WaitFor([&] { return server.stats().completed >= 1; }, "executor wedged");
+  conn.Send(TinyRequest("q2", 151));
+  WaitFor([&] { return server.stats().admitted >= 2; }, "q2 queued");
+
+  // The watchdog (stall_ms=100, polling every 25ms) fails q2 with a
+  // typed error long before the wedged job's 1500ms hold releases.
+  const auto t0 = std::chrono::steady_clock::now();
+  const Json failed = MustParse(conn.ReadLine());
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_EQ(Field(failed, "id"), "q2");
+  EXPECT_EQ(ErrorCode(failed), "lane_stalled");
+  EXPECT_LT(elapsed.count(), 1300) << "q2 must not wait out the wedge";
+  EXPECT_EQ(server.stats().lane_stall_failures, 1u);
+
+  // The wedged job itself still answers once the hold releases.
+  const Json wedged = MustParse(conn.ReadLine());
+  EXPECT_EQ(Field(wedged, "id"), "wedge1");
+  EXPECT_EQ(Field(wedged, "status"), "ok");
+
+  // The lane is healthy again afterwards.
+  conn.Send(TinyRequest("after", 152));
+  EXPECT_EQ(Field(MustParse(conn.ReadLine()), "status"), "ok");
+}
+
+// --- memory-budget degradation ---
+
+TEST(ServiceOverloadTest, MemoryPressureDegradesToSampledEstimators) {
+  Server server({.executors = 1});
+  server.Start();
+  RawClient conn(server.port());
+  ASSERT_TRUE(conn.connected());
+
+  // Uncontended request: full metrics.
+  conn.Send(TinyRequest("m1", 150));
+  const Json full = MustParse(conn.ReadLine());
+  EXPECT_EQ(Field(full, "status"), "ok");
+
+  // A 1-byte budget is unsatisfiable (m1's topology is resident), so the
+  // next job evicts what it can and then serves sampled.
+  const BudgetGuard budget(1);
+  conn.Send(TinyRequest("m2", 151));
+  const Json degraded = MustParse(conn.ReadLine());
+  EXPECT_EQ(Field(degraded, "id"), "m2");
+  EXPECT_EQ(Field(degraded, "status"), "degraded");
+  const Json* entries = degraded.Find("degraded");
+  ASSERT_NE(entries, nullptr);
+  ASSERT_GE(entries->AsArray().size(), 1u);
+  bool marked = false;
+  for (const Json& e : entries->AsArray()) {
+    if (Field(e, "kind") == "mem_budget") marked = true;
+  }
+  EXPECT_TRUE(marked) << "degraded[] must carry the mem_budget marker";
+  // The degraded response still carries the requested figure.
+  ASSERT_NE(degraded.Find("figures"), nullptr);
+  EXPECT_FALSE(Field(*degraded.Find("figures"), "signature").empty());
+  EXPECT_GE(server.stats().mem_degraded, 1u);
+}
+
+// --- the retrying client ---
+
+TEST(ServiceClientTest, RetriesThroughShedsUntilTheLaneDrains) {
+  if (!fault::CompiledIn()) GTEST_SKIP() << "fault points not compiled in";
+  const FaultGuard guard("svc.respond@kind=delay,ms=150,match=slow");
+  Server server({.executors = 1, .target_ms = 1});
+  server.Start();
+  RawClient conn(server.port());
+  ASSERT_TRUE(conn.connected());
+
+  // Same backlog shape as the shedding test: EWMA seeded, lane wedged,
+  // one job queued.
+  conn.Send(TinyRequest("slow1", 150));
+  EXPECT_EQ(Field(MustParse(conn.ReadLine()), "status"), "ok");
+  conn.Send(TinyRequest("slow2", 151));
+  WaitFor([&] { return server.stats().completed >= 2; }, "slow2 executing");
+  conn.Send(TinyRequest("r3", 152));
+  WaitFor([&] { return server.stats().admitted >= 3; }, "r3 admitted");
+
+  // The client's first attempt sheds; it honors retry_after_ms and
+  // succeeds once the backlog drains.
+  Client client({.port = server.port(), .op_timeout_ms = 10000});
+  const ClientResult result = client.Call(TinyRequest("via-client", 153));
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_GE(result.sheds, 1) << "the first attempt must have been shed";
+  const Json doc = MustParse(result.line);
+  EXPECT_EQ(Field(doc, "id"), "via-client");
+  EXPECT_EQ(Field(doc, "status"), "ok");
+  EXPECT_GE(server.stats().rejected_overloaded, 1u);
+}
+
+TEST(ServiceClientTest, GivesUpCleanlyWhenNothingListens) {
+  // A reserved-then-released port: nothing listens there.
+  const int port = ResolvePort(0);
+  Client client({.port = port,
+                 .op_timeout_ms = 200,
+                 .max_attempts = 2,
+                 .backoff_initial_ms = 1,
+                 .backoff_max_ms = 2});
+  const ClientResult result = client.Call(TinyRequest("void", 150));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.line.empty());
+  EXPECT_EQ(result.attempts, 2);
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(ServiceClientTest, ParsesOverloadHints) {
+  const std::string shed = OverloadedResponse("x", "busy", 137);
+  EXPECT_TRUE(IsOverloadedError(shed));
+  EXPECT_EQ(ParseRetryAfterMs(shed), 137u);
+  const std::string other = ErrorResponse("x", "queue_full", "full");
+  EXPECT_FALSE(IsOverloadedError(other));
+  EXPECT_EQ(ParseRetryAfterMs(other), 0u);
+  EXPECT_FALSE(IsOverloadedError(R"({"id":"x","status":"ok"})"));
+  EXPECT_FALSE(IsOverloadedError("not json"));
+}
+
+// --- wire-level chaos: the socket seams ---
+
+TEST(ServiceChaosTest, WriteResetDropsTheResponseNeverWrongBytes) {
+  if (!fault::CompiledIn()) GTEST_SKIP() << "fault points not compiled in";
+  const FaultGuard guard("svc.sock.write@nth=1,kind=reset");
+  Server server({.executors = 1});
+  server.Start();
+  {
+    RawClient conn(server.port());
+    ASSERT_TRUE(conn.connected());
+    conn.Send(TinyRequest("reset1", 150));
+    // The response write resets the connection before any byte: the
+    // client sees a clean EOF, zero stray bytes.
+    EXPECT_EQ(conn.ReadToEof(), "");
+  }
+  // The fault fired once; a fresh connection gets the full answer, and
+  // the dropped response is on the ledger.
+  RawClient retry(server.port());
+  ASSERT_TRUE(retry.connected());
+  retry.Send(TinyRequest("reset2", 150));
+  EXPECT_EQ(Field(MustParse(retry.ReadLine()), "status"), "ok");
+  EXPECT_EQ(server.stats().response_errors, 1u);
+}
+
+TEST(ServiceChaosTest, ShortWriteTearsTheLinePrefixOnly) {
+  if (!fault::CompiledIn()) GTEST_SKIP() << "fault points not compiled in";
+  const FaultGuard guard("svc.sock.write@nth=1,kind=short");
+  Server server({.executors = 1});
+  server.Start();
+  std::string torn;
+  {
+    RawClient conn(server.port());
+    ASSERT_TRUE(conn.connected());
+    conn.Send(TinyRequest("torn1", 150));
+    torn = conn.ReadToEof();
+  }
+  // A torn response is a strict prefix of a correct line: bytes that
+  // arrived are right, the newline never came, and the close is clean.
+  ASSERT_FALSE(torn.empty()) << "short write must send a prefix";
+  EXPECT_EQ(torn.find('\n'), std::string::npos) << "torn, not framed";
+  EXPECT_EQ(torn.rfind(R"({"id":"torn1")", 0), 0u)
+      << "the prefix is the real response's bytes: " << torn.substr(0, 40);
+
+  RawClient retry(server.port());
+  ASSERT_TRUE(retry.connected());
+  retry.Send(TinyRequest("torn2", 150));
+  EXPECT_EQ(Field(MustParse(retry.ReadLine()), "status"), "ok");
+}
+
+TEST(ServiceChaosTest, ShortReadGarblesFramingIntoATypedError) {
+  if (!fault::CompiledIn()) GTEST_SKIP() << "fault points not compiled in";
+  const FaultGuard guard("svc.sock.read@nth=1,kind=short");
+  Server server({.executors = 1});
+  server.Start();
+  RawClient conn(server.port());
+  ASSERT_TRUE(conn.connected());
+
+  // The first recv is truncated: the server keeps a half request with no
+  // newline. The next request's bytes splice onto it, and the combined
+  // line is garbage -- which must answer as a typed parse error, not
+  // hang and not crash.
+  conn.Send(TinyRequest("lost-tail", 150));
+  // Let the server recv (and truncate) the first request on its own
+  // before the second arrives: back-to-back sends can coalesce into one
+  // recv on loopback, and a truncation of the *combined* buffer could
+  // eat both newlines and leave nothing to answer.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  conn.Send(TinyRequest("spliced", 151));
+  const Json garbled = MustParse(conn.ReadLine());
+  EXPECT_EQ(Field(garbled, "status"), "error");
+  EXPECT_EQ(ErrorCode(garbled), "invalid_argument");
+  EXPECT_GE(server.stats().parse_errors, 1u);
+
+  // The connection survives and serves the retry.
+  conn.Send(TinyRequest("retry", 152));
+  const Json ok = MustParse(conn.ReadLine());
+  EXPECT_EQ(Field(ok, "id"), "retry");
+  EXPECT_EQ(Field(ok, "status"), "ok");
+}
+
+// --- config clamp observability ---
+
+TEST(ServiceConfigTest, OutOfRangeEnvEmitsConfigClampedEvent) {
+  EventCapture events;
+  ::setenv("TOPOGEN_SERVICE_EXECUTORS", "0", 1);  // below the minimum of 1
+  obs::Env::ResetForTesting();
+  const ServerOptions options = ServerOptions::FromEnv();
+  ::unsetenv("TOPOGEN_SERVICE_EXECUTORS");
+  obs::Env::ResetForTesting();
+
+  EXPECT_EQ(options.executors, 2u) << "the default, not the bad value";
+  const std::vector<Json> clamps = events.Records("config_clamped");
+  ASSERT_EQ(clamps.size(), 1u)
+      << "a silently substituted default is the bug this event fixes";
+  EXPECT_EQ(Field(clamps[0], "var"), "TOPOGEN_SERVICE_EXECUTORS");
+  EXPECT_EQ(Field(clamps[0], "raw"), "0");
+  const Json* used = clamps[0].Find("used");
+  ASSERT_NE(used, nullptr);
+  EXPECT_EQ(used->AsDouble(), 2.0);
+}
+
+TEST(ServiceConfigTest, InRangeEnvEmitsNoClampEvent) {
+  EventCapture events;
+  ::setenv("TOPOGEN_SERVICE_EXECUTORS", "3", 1);
+  obs::Env::ResetForTesting();
+  const ServerOptions options = ServerOptions::FromEnv();
+  ::unsetenv("TOPOGEN_SERVICE_EXECUTORS");
+  obs::Env::ResetForTesting();
+
+  EXPECT_EQ(options.executors, 3u);
+  EXPECT_TRUE(events.Records("config_clamped").empty());
+}
+
+// --- supervised restart ---
+
+// RunSupervised forks workers without exec, so the supervisor and every
+// worker generation write the same event sink. The supervisor must open
+// that sink before the first fork: left to the usual lazy open, each
+// process's first event would truncate the file independently and wipe
+// the other's records. This pins the whole restart story landing in one
+// parseable log -- start, the crash, the restart, the clean exit -- with
+// both generations' own worker events intact (EventCapture::Records
+// fails the test on any unparseable line).
+TEST(SupervisorTest, RestartRecoversAndSharesOneEventLog) {
+  EventCapture events;
+  const fs::path marker =
+      fs::temp_directory_path() /
+      ("topogen_supervisor_marker_" +
+       std::to_string(static_cast<long>(::getpid())));
+  fs::remove(marker);
+
+  sigset_t saved;
+  ::sigprocmask(SIG_SETMASK, nullptr, &saved);
+  SupervisorOptions options;
+  options.backoff_initial_ms = 1;
+  options.backoff_max_ms = 2;
+  const int rc = RunSupervised(
+      [&marker]() -> int {
+        obs::Event("probe").Str("op", "worker");
+        if (!fs::exists(marker)) {
+          std::ofstream(marker) << "born once\n";
+          return 41;  // abnormal exit: the supervisor must restart us
+        }
+        return 0;  // second generation exits clean, ending supervision
+      },
+      options);
+  // RunSupervised blocks its signal set in the caller; restore for the
+  // rest of the test binary.
+  ::sigprocmask(SIG_SETMASK, &saved, nullptr);
+  fs::remove(marker);
+
+  EXPECT_EQ(rc, 0);
+  std::vector<std::string> ops;
+  for (const Json& rec : events.Records("supervisor")) {
+    ops.push_back(Field(rec, "op"));
+  }
+  EXPECT_EQ(ops, (std::vector<std::string>{"start", "worker_died", "restart",
+                                           "exit"}));
+  EXPECT_EQ(events.Records("probe").size(), 2u);
+}
+
+}  // namespace
+}  // namespace topogen::service

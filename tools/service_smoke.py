@@ -14,20 +14,38 @@ series for every curve of Figure 2, and asserts that
     the same figures the paper harness printed whichever wire a client
     chose.
 
+Every socket operation runs under a per-operation deadline
+(--op-timeout), and a whole-run watchdog (--run-timeout) hard-exits with
+a diagnostic if the sweep wedges -- a hung smoke is itself a daemon bug,
+and it must fail loudly, not eat a CI job.
+
+--chaos switches the sweep to the retry discipline of the overload
+design (docs/ROBUSTNESS.md): transport errors (resets, torn lines,
+timeouts from injected socket faults or a supervised worker restart)
+reconnect and resend; "overloaded" responses honor retry_after_ms before
+resending. Under chaos the assertion weakens only in *when*, never in
+*what*: every request must still eventually produce a response
+value-identical to the batch run, and any complete line the server sends
+must parse -- a torn line may lose its tail (no newline, then EOF), but
+bytes that did arrive framed are never wrong.
+
 Usage:
-  service_smoke.py --port PORT --batch-dir DIR [--clients N]
+  service_smoke.py --port PORT --batch-dir DIR [--clients N] [--chaos]
 
 DIR is a TOPOGEN_OUTDIR populated by bench_fig2_expansion (fig2a.dat,
 fig2d.dat, fig2g.dat, fig2j.dat). Exits 0 on success, 1 with a
-diagnostic on any mismatch or transport error.
+diagnostic on any mismatch, transport failure, or hang.
 """
 
 import argparse
 import json
+import os
 import pathlib
+import random
 import socket
 import sys
 import threading
+import time
 
 # Every Figure 2 expansion curve: (topology, use_policy) -> curve name in
 # the .dat files (suite.cc appends "(Policy)" for policy-routed runs).
@@ -71,27 +89,64 @@ def load_batch_curves(batch_dir):
     return curves
 
 
+class WrongBytes(Exception):
+    """A complete (newline-framed) line from the server failed to parse:
+    the one thing no injected fault is allowed to produce."""
+
+
 class Client:
-    """Protocol /1: one request line, one response line."""
+    """Protocol /1: one request line, one response line. Every recv/send
+    runs under op_timeout; socket.timeout surfaces as a transport error
+    for the chaos retry loop (and a hard failure without --chaos)."""
 
     version = 1
 
-    def __init__(self, port):
-        self.sock = socket.create_connection(("127.0.0.1", port), timeout=60)
+    def __init__(self, port, op_timeout):
+        self.port = port
+        self.op_timeout = op_timeout
+        self.sock = None
         self.buf = b""
+        self.reconnects = 0
+        self.connect()
 
-    def read_line(self):
+    def connect(self):
+        if self.sock is not None:
+            self.sock.close()
+            self.reconnects += 1
+        self.buf = b""  # a torn partial line never bleeds across sockets
+        self.sock = socket.create_connection(("127.0.0.1", self.port),
+                                             timeout=self.op_timeout)
+        self.sock.settimeout(self.op_timeout)
+
+    def read_json_line(self):
         while b"\n" not in self.buf:
             chunk = self.sock.recv(65536)
             if not chunk:
                 raise ConnectionError("server closed the connection")
             self.buf += chunk
         line, self.buf = self.buf.split(b"\n", 1)
-        return json.loads(line)
+        try:
+            return json.loads(line)
+        except ValueError as exc:
+            raise WrongBytes(f"unparsable framed line {line[:120]!r}: {exc}")
+
+    def read_line_for(self, rid):
+        """The next complete line for request `rid`. Lines with another
+        id are server-side typed errors for bytes a read fault garbled
+        (their framing stole our line's tail or vice versa); they are
+        legitimate chaos outcomes for *some* line, just not an answer to
+        this request, so keep reading until the deadline."""
+        deadline = time.monotonic() + self.op_timeout
+        while True:
+            if time.monotonic() > deadline:
+                raise socket.timeout(f"no response for {rid}")
+            doc = self.read_json_line()
+            if doc.get("id", "") == rid:
+                return doc
 
     def round_trip(self, request):
         self.sock.sendall((json.dumps(request) + "\n").encode())
-        return self.read_line()
+        return self.read_line_for(request["id"])
 
 
 class V2Client(Client):
@@ -107,7 +162,7 @@ class V2Client(Client):
         self.sock.sendall((json.dumps(request) + "\n").encode())
         series = {}
         while True:
-            frame = self.read_line()
+            frame = self.read_line_for(request["id"])
             if "more" not in frame:
                 raise ValueError(f"/2 response missing framing: {frame}")
             if frame["more"]:
@@ -120,6 +175,42 @@ class V2Client(Client):
             # Final frame: the /1 body minus the streamed series.
             frame.setdefault("figures", {}).update(series)
             return frame
+
+
+def chaos_round_trip(client, request, attempts, errors):
+    """The retry discipline: reconnect through transport faults, honor
+    retry_after_ms through sheds, and insist on an eventual non-error
+    response. Returns None (appending a diagnostic) when the attempt
+    budget runs out."""
+    rid = request["id"]
+    for attempt in range(attempts):
+        try:
+            response = client.round_trip(request)
+        except (OSError, ConnectionError, socket.timeout) as exc:
+            # Reset, torn line, stall past deadline, worker restart: all
+            # recover by reconnect + resend. /2 partial reassembly state
+            # is discarded with the connection -- chunk frames of a dead
+            # socket never mix into the retry's response.
+            time.sleep(min(0.05 * (attempt + 1), 0.5) * random.random())
+            try:
+                client.connect()
+            except OSError:
+                time.sleep(0.2)
+            continue
+        error = response.get("error")
+        if error:
+            if error.get("code") == "overloaded":
+                time.sleep(error.get("retry_after_ms", 50) / 1000.0)
+                continue
+            # Any other typed error for *our* id (an injected parse
+            # fault swallowed this line, the lane watchdog failed it):
+            # the server answered cleanly, so resending is safe.
+            time.sleep(0.05)
+            continue
+        return response
+    errors.append(f"{rid}: no usable response after {attempts} attempts "
+                  f"({client.reconnects} reconnects on this client)")
+    return None
 
 
 def check_response(response, topology, use_policy, batch_curves, errors):
@@ -146,9 +237,9 @@ def check_response(response, topology, use_policy, batch_curves, errors):
                       f"  served: {got[:5]}...\n  batch:  {want[:5]}...")
 
 
-def worker(port, offset, client_class, batch_curves, errors, lock):
+def worker(args, offset, client_class, batch_curves, errors, lock):
     try:
-        client = client_class(port)
+        client = client_class(args.port, args.op_timeout)
         # Each client walks the full request list from its own offset, so
         # concurrent clients hit the same keys in different orders.
         for i in range(len(REQUESTS)):
@@ -161,12 +252,24 @@ def worker(port, offset, client_class, batch_curves, errors, lock):
             }
             if use_policy:
                 request["use_policy"] = True
-            response = client.round_trip(request)
             local = []
-            check_response(response, topology, use_policy, batch_curves, local)
+            if args.chaos:
+                response = chaos_round_trip(client, request, args.attempts,
+                                            local)
+                if response is not None:
+                    check_response(response, topology, use_policy,
+                                   batch_curves, local)
+            else:
+                response = client.round_trip(request)
+                check_response(response, topology, use_policy, batch_curves,
+                               local)
             if local:
                 with lock:
                     errors.extend(local)
+    except WrongBytes as exc:
+        with lock:
+            errors.append(f"client {offset} (/{client_class.version}): "
+                          f"WRONG BYTES: {exc}")
     except (OSError, ConnectionError, KeyError, ValueError) as exc:
         with lock:
             errors.append(f"client {offset} (/{client_class.version}): "
@@ -180,6 +283,16 @@ def main():
     ap.add_argument("--clients", type=int, default=8,
                     help="total concurrent clients; even slots speak /1, "
                          "odd slots /2, all against the one daemon")
+    ap.add_argument("--chaos", action="store_true",
+                    help="retry through transport faults and sheds instead "
+                         "of failing on the first one")
+    ap.add_argument("--attempts", type=int, default=25,
+                    help="per-request retry budget under --chaos")
+    ap.add_argument("--op-timeout", type=float, default=30.0,
+                    help="per-operation socket deadline, seconds")
+    ap.add_argument("--run-timeout", type=float, default=600.0,
+                    help="whole-run watchdog, seconds; a wedged sweep "
+                         "exits 1 instead of hanging its caller")
     args = ap.parse_args()
 
     batch_curves = load_batch_curves(args.batch_dir)
@@ -194,14 +307,23 @@ def main():
     threads = [
         threading.Thread(
             target=worker,
-            args=(args.port, i, Client if i % 2 == 0 else V2Client,
-                  batch_curves, errors, lock))
+            args=(args, i, Client if i % 2 == 0 else V2Client,
+                  batch_curves, errors, lock),
+            daemon=True)  # the watchdog's hard exit must not wait on these
         for i in range(args.clients)
     ]
+    deadline = time.monotonic() + args.run_timeout
     for t in threads:
         t.start()
     for t in threads:
-        t.join()
+        t.join(timeout=max(0.0, deadline - time.monotonic()))
+    if any(t.is_alive() for t in threads):
+        stuck = sum(1 for t in threads if t.is_alive())
+        print(f"FAIL: watchdog: {stuck}/{len(threads)} clients still "
+              f"running after {args.run_timeout:.0f}s; a request hung",
+              file=sys.stderr)
+        sys.stderr.flush()
+        os._exit(1)
 
     if errors:
         for e in errors:
@@ -209,7 +331,8 @@ def main():
         sys.exit(1)
     total = args.clients * len(REQUESTS)
     v1 = (args.clients + 1) // 2
-    print(f"service smoke OK: {total} responses from {v1} /1 and "
+    mode = "chaos" if args.chaos else "smoke"
+    print(f"service {mode} OK: {total} responses from {v1} /1 and "
           f"{args.clients - v1} /2 concurrent clients, all cached and "
           f"identical to the batch run")
 

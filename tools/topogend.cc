@@ -23,6 +23,7 @@
 
 #include "obs/obs.h"
 #include "service/server.h"
+#include "service/supervisor.h"
 
 namespace {
 
@@ -30,7 +31,8 @@ void PrintUsage() {
   std::printf(
       "topogend -- serve topogen topologies and metrics over TCP\n"
       "\n"
-      "usage: topogend [--port N] [--queue N] [--executors N] [--help]\n"
+      "usage: topogend [--port N] [--queue N] [--executors N] [--supervise]\n"
+      "                [--help]\n"
       "\n"
       "  --port N       listen port on 127.0.0.1 (0 = ephemeral); overrides\n"
       "                 TOPOGEN_SERVICE_PORT\n"
@@ -38,6 +40,10 @@ void PrintUsage() {
       "                 TOPOGEN_SERVICE_QUEUE\n"
       "  --executors N  executor lanes, session-affine (minimum 1);\n"
       "                 overrides TOPOGEN_SERVICE_EXECUTORS\n"
+      "  --supervise    run the daemon as a supervised worker: a parent\n"
+      "                 process restarts it with capped backoff when it\n"
+      "                 crashes, on the same port, warm from the artifact\n"
+      "                 store (docs/ROBUSTNESS.md)\n"
       "\n"
       "protocol: one JSON request per line; /1 answers with one response\n"
       "line per request, /2 (request field \"v\":2) with streamed frames\n"
@@ -68,6 +74,46 @@ bool ParseIntFlag(const char* value, const char* flag, int min, int max,
   return true;
 }
 
+// One daemon lifetime: serve until SIGINT/SIGTERM, drain, exit 0. Runs
+// directly in plain mode, or as the forked worker under --supervise.
+int RunDaemon(topogen::service::ServerOptions options) {
+  // Block the shutdown signals before the server spawns its threads, so
+  // every thread inherits the mask and sigwait below is the one receiver.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  topogen::service::Server server(options);
+  try {
+    server.Start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "topogend: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("topogend: listening on 127.0.0.1:%d\n", server.port());
+  std::fflush(stdout);
+
+  int got = 0;
+  sigwait(&signals, &got);
+  std::fprintf(stderr, "topogend: signal %d, draining\n", got);
+  server.Stop();
+
+  const topogen::service::ServerStats stats = server.stats();
+  std::fprintf(stderr,
+               "topogend: served %llu responses (%llu deduped, %llu "
+               "queue-full rejections, %llu shed)\n",
+               static_cast<unsigned long long>(stats.responses),
+               static_cast<unsigned long long>(stats.deduped),
+               static_cast<unsigned long long>(stats.rejected_queue_full),
+               static_cast<unsigned long long>(stats.rejected_overloaded +
+                                               stats.rejected_inflight_cap));
+  topogen::obs::FlushRunArtifacts();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -76,6 +122,7 @@ int main(int argc, char** argv) {
   int port = options.port;
   int queue = static_cast<int>(options.queue_limit);
   int executors = static_cast<int>(options.executors);
+  bool supervise = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -100,6 +147,8 @@ int main(int argc, char** argv) {
                         64, &executors)) {
         return 2;
       }
+    } else if (std::strcmp(arg, "--supervise") == 0) {
+      supervise = true;
     } else {
       std::fprintf(stderr, "topogend: unknown argument '%s' (try --help)\n",
                    arg);
@@ -107,40 +156,21 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Block the shutdown signals before the server spawns its threads, so
-  // every thread inherits the mask and sigwait below is the one receiver.
-  sigset_t signals;
-  sigemptyset(&signals);
-  sigaddset(&signals, SIGINT);
-  sigaddset(&signals, SIGTERM);
-  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
-
   options.port = port;
   options.queue_limit = static_cast<std::size_t>(queue);
   options.executors = static_cast<std::size_t>(executors);
-  topogen::service::Server server(options);
+
+  if (!supervise) return RunDaemon(options);
+
+  // Supervised: pin an ephemeral port *before* the first fork so every
+  // worker generation listens on the same one and clients reconnect
+  // across restarts.
   try {
-    server.Start();
+    options.port = topogen::service::ResolvePort(options.port);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "topogend: %s\n", e.what());
     return 1;
   }
-
-  std::printf("topogend: listening on 127.0.0.1:%d\n", server.port());
-  std::fflush(stdout);
-
-  int got = 0;
-  sigwait(&signals, &got);
-  std::fprintf(stderr, "topogend: signal %d, draining\n", got);
-  server.Stop();
-
-  const topogen::service::ServerStats stats = server.stats();
-  std::fprintf(stderr,
-               "topogend: served %llu responses (%llu deduped, %llu "
-               "queue-full rejections)\n",
-               static_cast<unsigned long long>(stats.responses),
-               static_cast<unsigned long long>(stats.deduped),
-               static_cast<unsigned long long>(stats.rejected_queue_full));
-  topogen::obs::FlushRunArtifacts();
-  return 0;
+  return topogen::service::RunSupervised(
+      [options] { return RunDaemon(options); });
 }
